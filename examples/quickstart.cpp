@@ -1,0 +1,83 @@
+//===- examples/quickstart.cpp - Smokestack in five minutes ---------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: build a tiny Mini-IR program, harden it with the Smokestack
+/// pass, and watch the stack layout change on every invocation while the
+/// program's behavior stays identical.
+///
+///   $ ./examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/SmokestackPass.h"
+#include "ir/IRBuilder.h"
+#include "rng/AesCtr.h"
+#include "support/RawStream.h"
+#include "vm/Interpreter.h"
+
+#include <memory>
+
+using namespace smokestack;
+
+/// i64 layout(): returns the distance between two locals — a direct window
+/// into the frame layout.
+static void buildProgram(Module &M) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("layout", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *Counter = B.alloca_(B.i64(), "counter");
+  AllocaInst *Buffer = B.alloca_(B.getContext().getArrayTy(B.i8(), 64),
+                                 "buffer");
+  B.store(B.constI64(7), Counter);
+  Value *C = B.cast_(CastInst::CastOp::PtrToInt, B.i64(), Counter);
+  Value *Buf = B.cast_(CastInst::CastOp::PtrToInt, B.i64(), Buffer);
+  B.ret(B.sub(C, Buf));
+}
+
+int main() {
+  RawOStream &OS = outs();
+
+  // 1. An unhardened module: the layout is the same on every call.
+  Module Plain("plain");
+  buildProgram(Plain);
+  Interpreter PlainVM(Plain);
+  OS << "uninstrumented:  distance(counter, buffer) per invocation:";
+  for (int I = 0; I != 6; ++I)
+    OS << ' ' << static_cast<int64_t>(PlainVM.run("layout").ReturnValue);
+  OS << "\n";
+
+  // 2. Harden a fresh copy with the Smokestack pass.
+  Module Hard("hardened");
+  buildProgram(Hard);
+  PassManager PM;
+  auto Pass = std::make_unique<SmokestackPass>();
+  const PBox *Box = &Pass->pbox();
+  PM.addPass(std::move(Pass));
+  PM.run(Hard);
+
+  OS << "\nP-BOX: " << Box->numTables() << " table(s), "
+     << Box->totalBytes() << " read-only bytes\n";
+  OS << "\nhardened IR for @layout:\n";
+  std::string Text;
+  RawStringOStream IROut(Text);
+  Hard.print(IROut);
+  // Print just the hardened function for brevity.
+  size_t Pos = Text.find("define i64 @layout");
+  OS << Text.substr(Pos, Text.find("\n}\n", Pos) + 3 - Pos) << "\n";
+
+  // 3. Run it: same observable behavior, fresh layout per invocation.
+  DeterministicEntropySource Entropy(42);
+  AesCtrRandomSource Rng(Entropy, /*NumRounds=*/10);
+  Interpreter HardVM(Hard, &Rng);
+  OS << "smokestack:      distance(counter, buffer) per invocation:";
+  for (int I = 0; I != 6; ++I)
+    OS << ' ' << static_cast<int64_t>(HardVM.run("layout").ReturnValue);
+  OS << "\n\nEvery invocation drew a fresh permutation from the P-BOX; an\n"
+        "attacker's knowledge of one frame layout is stale by the next "
+        "call.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===- apps/Librelp.h - librelp CVE-2018-1000140 model ---------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model of the librelp logging library's CVE-2018-1000140 and the paper's
+/// own proof-of-concept DOP exploit (Section II-C).
+///
+/// relpTcpChkPeerName() accumulates X.509 subject-alt-names into a
+/// fixed-size report buffer with
+///   iAllNames += snprintf(allNames+iAllNames, sizeof(allNames)-iAllNames,
+///                         "DNSname: %s; ", szAltName);
+/// Because C99 snprintf returns the length that *would* have been written,
+/// iAllNames can be driven past sizeof(allNames); the size expression then
+/// underflows and the next snprintf writes *unbounded at an attacker-chosen
+/// offset* — a non-linear overflow that jumps stack canaries and lands
+/// directly in the frames of callers up the hierarchy.
+///
+/// The caller, relpTcpLstnInit(), contains the DOP dispatcher (a loop whose
+/// counter the attacker reschedules) and MOV/DEREFERENCE gadgets operating
+/// on byte-wide opcode/index locals. The exploit chains them to exfiltrate
+/// a secret global through the function's return value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_APPS_LIBRELP_H
+#define SMOKESTACK_APPS_LIBRELP_H
+
+#include "attacks/AttackReport.h"
+#include "attacks/Scenarios.h"
+
+namespace smokestack {
+
+class Module;
+
+/// The secret the exploit exfiltrates (value of the module's g_secret).
+inline constexpr uint64_t LibrelpSecret = 0x53454352455431ULL; // "SECRET1"
+
+/// Builds the vulnerable librelp model into \p M. Entry point:
+/// i64 relpTcpLstnInit().
+void buildLibrelpModule(Module &M);
+
+/// Runs the full probe-then-exploit campaign against a deployment of the
+/// librelp model under \p Config.Defense.
+AttackReport runLibrelpExploit(const ScenarioConfig &Config);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_APPS_LIBRELP_H

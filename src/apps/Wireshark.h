@@ -1,0 +1,40 @@
+//===- apps/Wireshark.h - Wireshark CVE-2014-2299 model --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model of the Wireshark mpeg-parser stack overflow (CVE-2014-2299) and
+/// Hu et al.'s DOP exploit over it, as reproduced in the paper's Section
+/// V-C. cf_read_frame_r() copies an attacker-length mpeg frame into the
+/// fixed buffer `pd` of packet_list_dissect_and_cache_record(); the
+/// overflow corrupts that function's locals `col`/`cinfo` (used here as a
+/// write-what-where gadget) and the loop state of the caller,
+/// gtk_tree_view_column_cell_set_cell_data().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_APPS_WIRESHARK_H
+#define SMOKESTACK_APPS_WIRESHARK_H
+
+#include "attacks/AttackReport.h"
+#include "attacks/Scenarios.h"
+
+namespace smokestack {
+
+class Module;
+
+/// The value the exploit plants in the caller's result slot.
+inline constexpr uint64_t WiresharkTarget = 0xBEEF;
+
+/// Builds the vulnerable Wireshark model. Entry point:
+/// i64 gtk_tree_view_column_cell_set_cell_data().
+void buildWiresharkModule(Module &M);
+
+/// Probe-then-exploit campaign under \p Config.Defense.
+AttackReport runWiresharkExploit(const ScenarioConfig &Config);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_APPS_WIRESHARK_H

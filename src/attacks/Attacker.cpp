@@ -1,0 +1,71 @@
+//===- attacks/Attacker.cpp - Attacker toolbox ------------------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/Attacker.h"
+
+#include "rng/Pseudo.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace smokestack;
+
+const char *smokestack::attackOutcomeName(AttackOutcome Outcome) {
+  switch (Outcome) {
+  case AttackOutcome::Succeeded:
+    return "SUCCEEDED";
+  case AttackOutcome::StoppedByTrap:
+    return "stopped-by-trap";
+  case AttackOutcome::MissedTarget:
+    return "missed-target";
+  }
+  smokestack_unreachable("unknown attack outcome");
+}
+
+bool LayoutOracle::knows(const std::string &Func,
+                         const std::string &Var) const {
+  auto FIt = Layout.find(Func);
+  return FIt != Layout.end() && FIt->second.count(Var);
+}
+
+uint64_t LayoutOracle::addressOf(const std::string &Func,
+                                 const std::string &Var) const {
+  assert(knows(Func, Var) && "oracle was never shown this variable");
+  return Layout.at(Func).at(Var).Addr;
+}
+
+int64_t LayoutOracle::distance(const std::string &Func,
+                               const std::string &From,
+                               const std::string &To) const {
+  return static_cast<int64_t>(addressOf(Func, To)) -
+         static_cast<int64_t>(addressOf(Func, From));
+}
+
+void Payload::pokeInt(size_t Offset, uint64_t Value, unsigned Width) {
+  assert(Width >= 1 && Width <= 8);
+  if (Offset + Width > Bytes.size())
+    Bytes.resize(Offset + Width, 'A');
+  for (unsigned I = 0; I != Width; ++I)
+    Bytes[Offset + I] = static_cast<uint8_t>(Value >> (8 * I));
+}
+
+void Payload::pokeBytes(size_t Offset, const void *Data, size_t Size) {
+  if (Offset + Size > Bytes.size())
+    Bytes.resize(Offset + Size, 'A');
+  std::memcpy(Bytes.data() + Offset, Data, Size);
+}
+
+uint64_t smokestack::predictPseudoDraw(const uint8_t DisclosedState[16],
+                                       unsigned Draws) {
+  assert(Draws > 0 && "must predict at least one draw");
+  uint64_t State[2];
+  std::memcpy(State, DisclosedState, 16);
+  uint64_t Value = 0;
+  for (unsigned I = 0; I != Draws; ++I)
+    Value = PseudoRandomSource::stepState(State);
+  return Value;
+}

@@ -1,0 +1,109 @@
+//===- attacks/Attacker.h - Attacker toolbox -------------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adversary of the paper's threat model (Section III-B), as reusable
+/// machinery:
+///
+///  - LayoutOracle: records where a function's locals landed during a
+///    *probe* execution — the stand-in for a memory-disclosure read plus
+///    knowledge of program semantics. Probing a statically randomized
+///    binary fully de-randomizes it (Section II-C); probing a Smokestack
+///    binary yields information that is stale by the next invocation.
+///  - Payload: little-endian byte-poking helper for building overflow
+///    records that sweep from a buffer up to chosen targets while
+///    preserving the bytes in between.
+///  - predictPseudoDraws: replays a disclosed in-memory PRNG state to
+///    anticipate future permutation indices (why `pseudo` is unsafe).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_ATTACKS_ATTACKER_H
+#define SMOKESTACK_ATTACKS_ATTACKER_H
+
+#include "attacks/AttackReport.h"
+#include "vm/Interpreter.h"
+
+#include <map>
+
+namespace smokestack {
+
+/// Captures the most recent address of every named alloca, per function —
+/// the product of a disclosure/probing pass by the attacker.
+class LayoutOracle : public LayoutObserver {
+public:
+  /// With \p KeepFirst the oracle retains the first observed placement of
+  /// each variable (attacks target the first invocation); by default the
+  /// most recent placement wins.
+  explicit LayoutOracle(bool KeepFirst = false) : KeepFirst(KeepFirst) {}
+
+  void onAlloca(const Function &F, const AllocaInst &Alloca, uint64_t Addr,
+                uint64_t Size) override {
+    auto &Slot = Layout[F.getName()][Alloca.getName()];
+    if (KeepFirst && Slot.Size != 0)
+      return;
+    Slot = {Addr, Size};
+  }
+
+  void onVariableAddress(const Function &F, const std::string &Name,
+                         uint64_t Addr) override {
+    auto &Slot = Layout[F.getName()][Name];
+    if (KeepFirst && Slot.Size != 0)
+      return;
+    Slot = {Addr, 1};
+  }
+
+  /// True if variable \p Var of \p Func was observed.
+  bool knows(const std::string &Func, const std::string &Var) const;
+
+  /// Disclosed address of \p Var in \p Func (asserts if unknown).
+  uint64_t addressOf(const std::string &Func, const std::string &Var) const;
+
+  /// Distance from \p From's start to \p To's start within \p Func.
+  /// Positive when \p To sits above (at a higher address than) \p From.
+  int64_t distance(const std::string &Func, const std::string &From,
+                   const std::string &To) const;
+
+  void clear() { Layout.clear(); }
+
+private:
+  struct Placement {
+    uint64_t Addr = 0;
+    uint64_t Size = 0;
+  };
+  bool KeepFirst;
+  std::map<std::string, std::map<std::string, Placement>> Layout;
+};
+
+/// An overflow record under construction. Bytes default to 'A' filler; the
+/// attacker pokes target values at the offsets the oracle disclosed.
+class Payload {
+public:
+  explicit Payload(size_t Length, uint8_t Filler = 'A')
+      : Bytes(Length, Filler) {}
+
+  /// Writes the low \p Width bytes of \p Value at \p Offset (extending the
+  /// payload if needed — a longer record simply overflows further).
+  void pokeInt(size_t Offset, uint64_t Value, unsigned Width = 8);
+
+  /// Copies raw bytes at \p Offset.
+  void pokeBytes(size_t Offset, const void *Data, size_t Size);
+
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  size_t size() const { return Bytes.size(); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Replays \p Draws outputs of the victim's xorshift128+ generator from a
+/// disclosed 16-byte state snapshot, returning the final draw. This is the
+/// Kelsey-style state-compromise attack on memory-resident PRNGs.
+uint64_t predictPseudoDraw(const uint8_t DisclosedState[16], unsigned Draws);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_ATTACKS_ATTACKER_H

@@ -1,0 +1,51 @@
+//===- core/Allocation.cpp - Stack-allocation descriptors -----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Allocation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace smokestack;
+
+AllocationSignature::AllocationSignature(
+    const std::vector<AllocationSlot> &Slots) {
+  // Stable-sort positions by (align desc, size desc) so equal slots keep
+  // their relative order — this makes the original->canonical mapping
+  // deterministic.
+  std::vector<unsigned> Order(Slots.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    if (Slots[A].Align != Slots[B].Align)
+      return Slots[A].Align > Slots[B].Align;
+    return Slots[A].Size > Slots[B].Size;
+  });
+
+  Canonical.reserve(Slots.size());
+  OrigToCanon.assign(Slots.size(), 0);
+  for (unsigned CanonIndex = 0; CanonIndex != Order.size(); ++CanonIndex) {
+    unsigned Orig = Order[CanonIndex];
+    Canonical.emplace_back(Slots[Orig].Size, Slots[Orig].Align);
+    OrigToCanon[Orig] = CanonIndex;
+  }
+}
+
+bool AllocationSignature::isPrefixByOneOf(
+    const AllocationSignature &Bigger) const {
+  if (Bigger.Canonical.size() != Canonical.size() + 1)
+    return false;
+  // Only a *trailing* extra slot qualifies, so the borrowing function's
+  // canonical slot indices map one-to-one onto the bigger table's first N
+  // columns. Because canonical order sorts small primitives last, an extra
+  // scalar lands at the end in the common case anyway. The extra slot must
+  // be primitive-sized: the optimization trades one scalar's worth of
+  // padding for a shared table.
+  if (!std::equal(Canonical.begin(), Canonical.end(),
+                  Bigger.Canonical.begin()))
+    return false;
+  return Bigger.Canonical.back().first <= 8;
+}

@@ -1,0 +1,81 @@
+//===- core/Allocation.h - Stack-allocation descriptors --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The permutation engine and P-BOX consume stack allocations as
+/// (size, alignment) slots — the exact metadata the paper's discovery phase
+/// gathers (Section III-D). An AllocationSignature is the order-insensitive
+/// canonical form used for P-BOX table sharing (the "Rearranging Stack
+/// Allocations" optimization of Section III-E).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_CORE_ALLOCATION_H
+#define SMOKESTACK_CORE_ALLOCATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smokestack {
+
+/// One permutable stack allocation.
+struct AllocationSlot {
+  uint64_t Size = 0;
+  uint64_t Align = 1;
+  std::string Name; ///< For diagnostics only; not part of identity.
+
+  friend bool operator==(const AllocationSlot &A, const AllocationSlot &B) {
+    return A.Size == B.Size && A.Align == B.Align;
+  }
+};
+
+/// Order-insensitive identity of an allocation set: the multiset of
+/// (size, align) pairs, canonically sorted (descending alignment, then
+/// descending size) so that functions whose locals differ only in
+/// declaration order map to the same P-BOX table.
+class AllocationSignature {
+public:
+  AllocationSignature() = default;
+
+  /// Builds the canonical signature of \p Slots and remembers, for each
+  /// original slot position, its position in the canonical order.
+  explicit AllocationSignature(const std::vector<AllocationSlot> &Slots);
+
+  /// Canonically ordered (size, align) pairs.
+  const std::vector<std::pair<uint64_t, uint64_t>> &slots() const {
+    return Canonical;
+  }
+
+  /// Maps original slot index -> canonical slot index.
+  const std::vector<unsigned> &originalToCanonical() const {
+    return OrigToCanon;
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Canonical.size()); }
+
+  /// True if this signature plus exactly one extra primitive (scalar-sized)
+  /// slot equals \p Bigger — the precondition for the paper's "Rounding up
+  /// Allocations" table-sharing optimization.
+  bool isPrefixByOneOf(const AllocationSignature &Bigger) const;
+
+  friend bool operator==(const AllocationSignature &A,
+                         const AllocationSignature &B) {
+    return A.Canonical == B.Canonical;
+  }
+  friend bool operator<(const AllocationSignature &A,
+                        const AllocationSignature &B) {
+    return A.Canonical < B.Canonical;
+  }
+
+private:
+  std::vector<std::pair<uint64_t, uint64_t>> Canonical;
+  std::vector<unsigned> OrigToCanon;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_CORE_ALLOCATION_H

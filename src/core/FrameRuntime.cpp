@@ -1,0 +1,60 @@
+//===- core/FrameRuntime.cpp - Native permuted-frame runtime ---------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FrameRuntime.h"
+
+#include "rng/RandomSource.h"
+
+#include <atomic>
+#include <cassert>
+
+using namespace smokestack;
+
+namespace {
+
+/// Process-wide function-id allocator for native frames.
+std::atomic<uint64_t> NextNativeFunctionId{0x4E41'0001};
+
+} // namespace
+
+PBoxTable FrameDescriptor::buildTable(std::vector<AllocationSlot> &Slots,
+                                      const PBoxOptions &Opts) {
+  // Declaration-order layout for the uninstrumented baseline comparison.
+  LayoutRow Baseline = decodePermutationLayout(0, Slots);
+  BaselineOffsets = std::move(Baseline.Offsets);
+
+  Slots.push_back({8, 8, "__ss_fnid"});
+  AllocationSignature Sig(Slots);
+  Canon = Sig.originalToCanonical();
+
+  std::vector<AllocationSlot> CanonSlots;
+  CanonSlots.reserve(Sig.size());
+  for (auto [Size, Align] : Sig.slots())
+    CanonSlots.push_back({Size, Align, ""});
+  assert(CanonSlots.size() <= Opts.MaxExhaustiveSlots + 1 &&
+         "native frames use exhaustive tables; keep slot counts small");
+  return PBoxTable(Sig, generateAllPermutations(CanonSlots),
+                   Opts.PowerOfTwoRows, Opts.ShuffleSeed);
+}
+
+FrameDescriptor::FrameDescriptor(std::vector<AllocationSlot> Slots,
+                                 PBoxOptions Opts)
+    : NumUserSlots(static_cast<unsigned>(Slots.size())),
+      Table(buildTable(Slots, Opts)),
+      FunctionId(NextNativeFunctionId.fetch_add(1)) {}
+
+PermutedFrame::PermutedFrame(const FrameDescriptor &Desc, RandomSource &Rng,
+                             void *Slab)
+    : Desc(Desc), Base(static_cast<char *>(Slab)) {
+  Rand = Rng.next();
+  const PBoxTable &Table = Desc.table();
+  Row = Table.rowMask() ? (Rand & Table.rowMask()) : (Rand % Table.numRows());
+  *identifierSlot() = Desc.functionId() ^ Rand;
+}
+
+bool PermutedFrame::checkIdentifier() const {
+  return (*identifierSlot() ^ Rand) == Desc.functionId();
+}

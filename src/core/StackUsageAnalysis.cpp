@@ -1,0 +1,84 @@
+//===- core/StackUsageAnalysis.cpp - Frame statistics ----------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StackUsageAnalysis.h"
+
+#include "core/PermutationEngine.h"
+#include "ir/Module.h"
+#include "support/Align.h"
+#include "support/Format.h"
+#include "support/RawStream.h"
+
+#include <set>
+
+using namespace smokestack;
+
+const FunctionStackUsage *
+ModuleStackUsage::find(const std::string &Name) const {
+  for (const FunctionStackUsage &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+FunctionStackUsage smokestack::analyzeFunctionStackUsage(const Function &F) {
+  FunctionStackUsage Usage;
+  Usage.Name = F.getName();
+  for (const AllocaInst *Alloca : F.getStaticAllocas()) {
+    AllocationSlot Slot{Alloca->getStaticSize(), Alloca->getAlign(),
+                        Alloca->getName()};
+    Usage.StaticBytes += Slot.Size;
+    Usage.LargestAllocation = std::max(Usage.LargestAllocation, Slot.Size);
+    Usage.MaxAlignment = std::max(Usage.MaxAlignment, Slot.Align);
+    Usage.Slots.push_back(std::move(Slot));
+  }
+  Usage.VLACount = static_cast<unsigned>(F.getVLAAllocas().size());
+  if (!Usage.Slots.empty()) {
+    std::vector<AllocationSlot> WithId = Usage.Slots;
+    WithId.push_back({8, 8, "__ss_fnid"});
+    Usage.WorstCaseFrameBytes = alignTo(maxFrameSize(WithId), 16);
+  }
+  return Usage;
+}
+
+ModuleStackUsage smokestack::analyzeModuleStackUsage(const Module &M) {
+  ModuleStackUsage Usage;
+  std::set<std::vector<std::pair<uint64_t, uint64_t>>> Signatures;
+  for (const auto &F : M) {
+    if (F->isDeclaration())
+      continue;
+    FunctionStackUsage FU = analyzeFunctionStackUsage(*F);
+    Usage.InstrumentableFunctions += FU.instrumentable();
+    Usage.FunctionsWithVLAs += FU.VLACount > 0;
+    Usage.TotalStaticBytes += FU.StaticBytes;
+    Usage.MaxFrameBytes = std::max(Usage.MaxFrameBytes,
+                                   FU.WorstCaseFrameBytes);
+    if (FU.instrumentable())
+      Signatures.insert(AllocationSignature(FU.Slots).slots());
+    Usage.Functions.push_back(std::move(FU));
+  }
+  Usage.DistinctSignatures = static_cast<unsigned>(Signatures.size());
+  return Usage;
+}
+
+void smokestack::printStackUsage(const ModuleStackUsage &Usage,
+                                 RawOStream &OS) {
+  OS << formatString("%-24s %7s %10s %12s %6s %4s\n", "function", "allocs",
+                     "bytes", "frame(worst)", "align", "VLAs");
+  for (const FunctionStackUsage &F : Usage.Functions) {
+    OS << formatString("%-24s %7zu %10llu %12llu %6llu %4u\n",
+                       F.Name.c_str(), F.Slots.size(),
+                       (unsigned long long)F.StaticBytes,
+                       (unsigned long long)F.WorstCaseFrameBytes,
+                       (unsigned long long)F.MaxAlignment, F.VLACount);
+  }
+  OS << formatString(
+      "\n%u instrumentable function(s), %u with VLAs, %u distinct "
+      "signature(s),\n%llu static bytes total, %llu bytes worst frame\n",
+      Usage.InstrumentableFunctions, Usage.FunctionsWithVLAs,
+      Usage.DistinctSignatures, (unsigned long long)Usage.TotalStaticBytes,
+      (unsigned long long)Usage.MaxFrameBytes);
+}

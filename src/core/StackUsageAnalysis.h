@@ -1,0 +1,75 @@
+//===- core/StackUsageAnalysis.h - Frame statistics -------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discovery-phase analysis (paper Section III-D / IV-A) surfaced as a
+/// reusable report: per-function allocation counts, frame bytes, alignment
+/// demands, and VLA presence, plus module-wide aggregates. smokestack-opt
+/// prints it with -stats; the memory-overhead experiment and the tests use
+/// it to reason about instrumentation cost before rewriting anything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_CORE_STACKUSAGEANALYSIS_H
+#define SMOKESTACK_CORE_STACKUSAGEANALYSIS_H
+
+#include "core/Allocation.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smokestack {
+
+class Function;
+class Module;
+class RawOStream;
+
+/// One function's stack profile.
+struct FunctionStackUsage {
+  std::string Name;
+  /// Static (permutable) allocations in declaration order.
+  std::vector<AllocationSlot> Slots;
+  /// Sum of static allocation bytes (no padding).
+  uint64_t StaticBytes = 0;
+  /// Worst-case Smokestack frame for these slots + the identifier slot.
+  uint64_t WorstCaseFrameBytes = 0;
+  /// Largest single allocation.
+  uint64_t LargestAllocation = 0;
+  /// Strictest alignment demanded by any allocation.
+  uint64_t MaxAlignment = 1;
+  unsigned VLACount = 0;
+
+  bool instrumentable() const { return !Slots.empty(); }
+};
+
+/// Module-wide aggregate.
+struct ModuleStackUsage {
+  std::vector<FunctionStackUsage> Functions;
+  unsigned InstrumentableFunctions = 0;
+  unsigned FunctionsWithVLAs = 0;
+  uint64_t TotalStaticBytes = 0;
+  uint64_t MaxFrameBytes = 0;
+  /// Distinct canonical allocation signatures (upper bound on P-BOX tables
+  /// before round-up sharing).
+  unsigned DistinctSignatures = 0;
+
+  /// Finds one function's entry (null if absent).
+  const FunctionStackUsage *find(const std::string &Name) const;
+};
+
+/// Computes the profile of one function definition.
+FunctionStackUsage analyzeFunctionStackUsage(const Function &F);
+
+/// Computes the whole-module profile.
+ModuleStackUsage analyzeModuleStackUsage(const Module &M);
+
+/// Prints a human-readable report (the smokestack-opt -stats output).
+void printStackUsage(const ModuleStackUsage &Usage, RawOStream &OS);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_CORE_STACKUSAGEANALYSIS_H

@@ -1,0 +1,149 @@
+//===- defenses/BaselineDefenses.cpp - Prior stack defenses ---------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defenses/BaselineDefenses.h"
+
+#include "ir/IRBuilder.h"
+#include "rng/Entropy.h"
+#include "support/Casting.h"
+#include "support/SplitMix64.h"
+
+#include <algorithm>
+
+using namespace smokestack;
+
+bool StaticPermutationPass::runOnFunction(Function &F) {
+  std::vector<AllocaInst *> Allocas = F.getStaticAllocas();
+  if (Allocas.size() < 2)
+    return false;
+
+  BasicBlock *Entry = F.getEntryBlock();
+
+  // Take the allocas out (remember their block indices in ascending order),
+  // shuffle, and reinsert into the same index slots. Uses of the allocas
+  // are unaffected; only the declaration order — and hence the VM's frame
+  // layout — changes. This permutation is fixed at compile time: every run
+  // of every invocation sees the same layout.
+  std::vector<size_t> Indices;
+  for (AllocaInst *A : Allocas)
+    Indices.push_back(Entry->indexOf(A));
+
+  std::vector<std::unique_ptr<Instruction>> Taken;
+  for (size_t I = Allocas.size(); I-- > 0;)
+    Taken.push_back(Entry->take(Indices[I])); // back-to-front keeps indices
+  std::reverse(Taken.begin(), Taken.end());   // restore original order
+
+  SplitMix64 Rng(Seed ^ (Counter++ * 0x9e3779b97f4a7c15ULL));
+  for (size_t I = Taken.size(); I > 1; --I)
+    std::swap(Taken[I - 1], Taken[Rng.nextBounded(I)]);
+
+  for (size_t I = 0; I != Taken.size(); ++I)
+    Entry->insertAt(Indices[I], std::move(Taken[I]));
+  return true;
+}
+
+bool EntryPaddingPass::runOnFunction(Function &F) {
+  std::vector<AllocaInst *> Allocas = F.getStaticAllocas();
+  if (Allocas.empty())
+    return false;
+  uint64_t FrameBytes = 0;
+  for (const AllocaInst *A : Allocas)
+    FrameBytes += A->getStaticSize();
+  if (FrameBytes <= MinProtectedFrame)
+    return false;
+
+  // One of the 8 paddings {8,16,...,64}, drawn at compile time (Forrest et
+  // al.). The pad leads the frame, shifting every local down uniformly.
+  SplitMix64 Rng(Seed ^ (Counter++ * 0x9e3779b97f4a7c15ULL));
+  uint64_t Pad = 8 * (1 + Rng.nextBounded(8));
+
+  Module &M = *F.getParent();
+  Type *PadTy = M.getContext().getArrayTy(M.getContext().getInt8Ty(), Pad);
+  F.getEntryBlock()->insertAt(
+      0, std::make_unique<AllocaInst>(M.getContext().getPointerTy(), PadTy,
+                                      "__pad"));
+  F.setAttribute("entrypad.bytes", Pad);
+  return true;
+}
+
+bool StackCanaryPass::runOnModule(Module &M) {
+  // Guard global: written once at load; its value is what a leak would
+  // disclose, exactly like a real __stack_chk_guard in libc's TLS.
+  if (!M.getGlobal(CanaryGuardName)) {
+    std::vector<uint8_t> Init(8);
+    for (int I = 0; I != 8; ++I)
+      Init[I] = static_cast<uint8_t>(GuardValue >> (8 * I));
+    M.createGlobal(CanaryGuardName, M.getContext().getInt64Ty(),
+                   std::move(Init));
+  }
+  bool Changed = false;
+  for (const auto &F : M)
+    if (!F->isDeclaration())
+      Changed |= instrumentFunction(*F, M);
+  return Changed;
+}
+
+bool StackCanaryPass::instrumentFunction(Function &F, Module &M) {
+  if (F.getStaticAllocas().empty())
+    return false;
+
+  IRBuilder B(M);
+  GlobalVariable *Guard = M.getGlobal(CanaryGuardName);
+  Function *TrapFn =
+      M.getOrInsertDeclaration("smokestack.trap", B.voidTy(), {B.i64()});
+
+  // The canary slot is declared FIRST so it lands at the highest address —
+  // between the locals and the caller's frame, as on x86.
+  BasicBlock *Entry = F.getEntryBlock();
+  auto CanarySlot = std::make_unique<AllocaInst>(
+      B.ptr(), B.i64(), std::string("__canary"));
+  AllocaInst *Canary = static_cast<AllocaInst *>(
+      Entry->insertAt(0, std::move(CanarySlot)));
+  auto GuardLoad =
+      std::make_unique<LoadInst>(B.i64(), Guard, "__guardval");
+  LoadInst *GuardVal =
+      static_cast<LoadInst *>(Entry->insertAt(1, std::move(GuardLoad)));
+  Entry->insertAt(2, std::make_unique<StoreInst>(B.voidTy(), GuardVal,
+                                                 Canary));
+
+  // Trap block + per-return checks.
+  BasicBlock *TrapBlock = F.createBlock("canary.trap");
+  {
+    IRBuilder TB(M);
+    TB.setInsertPoint(TrapBlock);
+    TB.call(TrapFn, {TB.constI64(2)});
+    TB.unreachable_();
+  }
+
+  std::vector<BasicBlock *> RetBlocks;
+  for (const auto &Block : F)
+    if (Block.get() != TrapBlock && Block->getTerminator() &&
+        isa<RetInst>(Block->getTerminator()))
+      RetBlocks.push_back(Block.get());
+
+  unsigned RetIndex = 0;
+  for (BasicBlock *Block : RetBlocks) {
+    auto *Ret = cast<RetInst>(Block->getTerminator());
+    Value *RetValue = Ret->getReturnValue();
+    Block->erase(Block->indexOf(Ret));
+    IRBuilder EB(M);
+    BasicBlock *Cont =
+        F.createBlock("canary.ret" + std::to_string(RetIndex++));
+    EB.setInsertPoint(Block);
+    Value *Live = EB.load(B.i64(), Canary, "__canary.check");
+    Value *Fresh = EB.load(B.i64(), Guard, "__guard.check");
+    Value *Ok = EB.icmp(ICmpInst::Predicate::EQ, Live, Fresh);
+    EB.condBr(Ok, Cont, TrapBlock);
+    EB.setInsertPoint(Cont);
+    EB.ret(RetValue);
+  }
+  return true;
+}
+
+uint64_t smokestack::randomStackBaseOffset(EntropySource &Entropy) {
+  // 16-byte aligned, below 1 MiB — 16 bits of stack-base entropy.
+  return (Entropy.next64() % (1u << 20)) & ~uint64_t(15);
+}

@@ -1,0 +1,90 @@
+//===- defenses/BaselineDefenses.h - Prior stack defenses ------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The prior stack-protection schemes the paper evaluates against
+/// (Section II-B):
+///
+///  - StaticPermutationPass — compile-time one-shot permutation of a
+///    function's stack allocations (Giuffrida et al. style). The layout is
+///    random per build but identical for every run and invocation, which is
+///    why the paper's Section II-C attack de-randomizes it with a single
+///    disclosure.
+///  - EntryPaddingPass — Forrest et al.: for every frame larger than 16
+///    bytes, prepend one of the 8 paddings {8, 16, ..., 64}, chosen at
+///    compile time. Shifts absolute addresses; preserves relative ones.
+///  - StackCanaryPass — classic SSP: a guard word between the locals and
+///    the caller's frame, checked at returns. Defeated by non-linear
+///    overflows that jump the guard.
+///  - Stack-base randomization (ASLR) — not a pass; a loader option
+///    (InterpreterOptions::StackBaseOffset). randomStackBaseOffset() draws
+///    a suitable value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_DEFENSES_BASELINEDEFENSES_H
+#define SMOKESTACK_DEFENSES_BASELINEDEFENSES_H
+
+#include "pass/Pass.h"
+
+#include <cstdint>
+
+namespace smokestack {
+
+class EntropySource;
+
+/// Compile-time one-shot permutation of each function's static allocas.
+class StaticPermutationPass : public FunctionPass {
+public:
+  explicit StaticPermutationPass(uint64_t Seed) : Seed(Seed) {}
+  const char *getPassName() const override { return "static-permutation"; }
+  bool runOnFunction(Function &F) override;
+
+private:
+  uint64_t Seed;
+  uint64_t Counter = 0;
+};
+
+/// Forrest-style random padding at function entry for frames > 16 bytes.
+class EntryPaddingPass : public FunctionPass {
+public:
+  explicit EntryPaddingPass(uint64_t Seed) : Seed(Seed) {}
+  const char *getPassName() const override { return "entry-padding"; }
+  bool runOnFunction(Function &F) override;
+
+  /// Frames at or below this many bytes are left alone (the paper's
+  /// heuristic for "has no buffer variables").
+  static constexpr uint64_t MinProtectedFrame = 16;
+
+private:
+  uint64_t Seed;
+  uint64_t Counter = 0;
+};
+
+/// Name of the canary guard global emitted by StackCanaryPass.
+inline constexpr const char *CanaryGuardName = "__stack_chk_guard";
+
+/// Stack smashing protector: guard word above the locals, verified before
+/// every return (traps with code 2 on mismatch).
+class StackCanaryPass : public ModulePass {
+public:
+  explicit StackCanaryPass(uint64_t GuardValue) : GuardValue(GuardValue) {}
+  const char *getPassName() const override { return "stack-canary"; }
+  bool runOnModule(Module &M) override;
+
+private:
+  bool instrumentFunction(Function &F, Module &M);
+  uint64_t GuardValue;
+};
+
+/// Draws a random, 16-byte-aligned stack-base offset below 1 MiB — the
+/// loader-side ASLR the paper groups under "stack base address
+/// randomization".
+uint64_t randomStackBaseOffset(EntropySource &Entropy);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_DEFENSES_BASELINEDEFENSES_H

@@ -1,0 +1,66 @@
+//===- defenses/Deploy.cpp - Defense deployment façade ---------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defenses/Deploy.h"
+
+#include "core/SmokestackPass.h"
+#include "defenses/BaselineDefenses.h"
+#include "support/ErrorHandling.h"
+#include "support/SplitMix64.h"
+
+using namespace smokestack;
+
+const char *smokestack::defenseKindName(DefenseKind Kind) {
+  switch (Kind) {
+  case DefenseKind::None:
+    return "none";
+  case DefenseKind::StackBaseRandomization:
+    return "stack-base-rand";
+  case DefenseKind::EntryPadding:
+    return "entry-pad";
+  case DefenseKind::StaticPermutation:
+    return "static-perm";
+  case DefenseKind::StackCanary:
+    return "canary";
+  case DefenseKind::Smokestack:
+    return "smokestack";
+  }
+  smokestack_unreachable("unknown defense kind");
+}
+
+DeployedDefense smokestack::deployDefense(Module &M, DefenseKind Kind,
+                                          uint64_t BuildSeed) {
+  DeployedDefense Result;
+  Result.Kind = Kind;
+  SplitMix64 Seeder(BuildSeed);
+
+  PassManager PM;
+  switch (Kind) {
+  case DefenseKind::None:
+    break;
+  case DefenseKind::StackBaseRandomization:
+    // Loader-side only: shift the stack base. (Per-exec in reality; per
+    // deployDefense here, so a fresh "run" should re-deploy.)
+    Result.InterpOpts.StackBaseOffset =
+        (Seeder.next() % (1u << 20)) & ~uint64_t(15);
+    break;
+  case DefenseKind::EntryPadding:
+    PM.addPass(std::make_unique<EntryPaddingPass>(Seeder.next()));
+    break;
+  case DefenseKind::StaticPermutation:
+    PM.addPass(std::make_unique<StaticPermutationPass>(Seeder.next()));
+    break;
+  case DefenseKind::StackCanary:
+    PM.addPass(std::make_unique<StackCanaryPass>(Seeder.next()));
+    break;
+  case DefenseKind::Smokestack:
+    PM.addPass(std::make_unique<SmokestackPass>());
+    break;
+  }
+  if (PM.size())
+    PM.run(M);
+  return Result;
+}

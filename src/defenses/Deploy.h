@@ -1,0 +1,54 @@
+//===- defenses/Deploy.h - Defense deployment façade -----------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One switchboard for the security experiments: pick a DefenseKind, call
+/// deployDefense() on a freshly built module, and run it with the returned
+/// interpreter options. This is what the penetration-test matrix iterates
+/// over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_DEFENSES_DEPLOY_H
+#define SMOKESTACK_DEFENSES_DEPLOY_H
+
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+
+namespace smokestack {
+
+/// The protection schemes compared in the paper's security evaluation.
+enum class DefenseKind {
+  None,                   ///< Unprotected baseline.
+  StackBaseRandomization, ///< ASLR-style random stack base (loader).
+  EntryPadding,           ///< Forrest et al. compile-time random pad.
+  StaticPermutation,      ///< One-shot compile-time layout shuffle.
+  StackCanary,            ///< Guard word + epilogue check.
+  Smokestack,             ///< This paper: per-invocation relayout.
+};
+
+/// Printable name ("none", "aslr", "entry-pad", ...).
+const char *defenseKindName(DefenseKind Kind);
+
+/// Everything needed to run a module under a deployed defense.
+struct DeployedDefense {
+  DefenseKind Kind = DefenseKind::None;
+  /// Loader options (stack base offset for ASLR; defaults otherwise).
+  InterpreterOptions InterpOpts;
+};
+
+/// Applies \p Kind to \p M (compile-time passes) and returns the loader
+/// configuration. \p BuildSeed drives every compile-time random choice, so
+/// a rebuild with a new seed models recompilation and a reused seed models
+/// re-running the same binary. The Smokestack variant additionally needs a
+/// RandomSource bound to the Interpreter at run time.
+DeployedDefense deployDefense(Module &M, DefenseKind Kind,
+                              uint64_t BuildSeed);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_DEFENSES_DEPLOY_H

@@ -1,0 +1,72 @@
+//===- ir/BasicBlock.h - Mini-IR basic block -------------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A straight-line instruction sequence ending in a terminator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_IR_BASICBLOCK_H
+#define SMOKESTACK_IR_BASICBLOCK_H
+
+#include "ir/Instructions.h"
+
+#include <memory>
+
+namespace smokestack {
+
+class Function;
+
+/// A basic block: owned instructions, the last of which is the terminator in
+/// a well-formed function.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, std::string Name)
+      : Parent(Parent), Name(std::move(Name)) {}
+
+  Function *getParent() const { return Parent; }
+  const std::string &getName() const { return Name; }
+
+  /// Appends \p Inst and returns a raw pointer to it.
+  Instruction *append(std::unique_ptr<Instruction> Inst);
+
+  /// Inserts \p Inst before position \p Index.
+  Instruction *insertAt(size_t Index, std::unique_ptr<Instruction> Inst);
+
+  /// Removes (and destroys) the instruction at \p Index.
+  void erase(size_t Index);
+
+  /// Removes the instruction at \p Index and returns ownership of it
+  /// (for passes that reorder instructions).
+  std::unique_ptr<Instruction> take(size_t Index);
+
+  size_t size() const { return Instructions.size(); }
+  bool empty() const { return Instructions.empty(); }
+  Instruction *at(size_t Index) const { return Instructions[Index].get(); }
+
+  /// The block's terminator, or null if the block is not yet terminated.
+  Instruction *getTerminator() const {
+    if (Instructions.empty() || !Instructions.back()->isTerminator())
+      return nullptr;
+    return Instructions.back().get();
+  }
+
+  /// Index of \p Inst within this block; asserts if absent.
+  size_t indexOf(const Instruction *Inst) const;
+
+  // Iteration over raw instruction pointers.
+  auto begin() const { return Instructions.begin(); }
+  auto end() const { return Instructions.end(); }
+
+private:
+  Function *Parent;
+  std::string Name;
+  std::vector<std::unique_ptr<Instruction>> Instructions;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_IR_BASICBLOCK_H

@@ -1,0 +1,86 @@
+//===- ir/Function.h - Mini-IR function ------------------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Mini-IR function: arguments, basic blocks (the first is the entry), and
+/// a small integer-attribute map that the Smokestack passes use to attach
+/// per-function metadata (P-BOX table id, function identifier, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_IR_FUNCTION_H
+#define SMOKESTACK_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <map>
+#include <optional>
+
+namespace smokestack {
+
+class Module;
+
+/// A function definition or declaration.
+class Function {
+public:
+  Function(Module *Parent, std::string Name, Type *ReturnType,
+           std::vector<Type *> ParamTypes, bool IsDeclaration,
+           bool IsVarArg = false);
+
+  Module *getParent() const { return Parent; }
+  const std::string &getName() const { return Name; }
+  Type *getReturnType() const { return ReturnType; }
+
+  bool isDeclaration() const { return Declaration; }
+  bool isVarArg() const { return VarArg; }
+
+  unsigned getNumArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *getArg(unsigned Index) const { return Args[Index].get(); }
+
+  /// Appends a new basic block named \p BlockName.
+  BasicBlock *createBlock(std::string BlockName);
+
+  /// Inserts a new block before all others, making it the entry block.
+  /// Instrumentation passes use this to prepend prologue code.
+  BasicBlock *insertBlockAtFront(std::string BlockName);
+
+  BasicBlock *getEntryBlock() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+
+  size_t getNumBlocks() const { return Blocks.size(); }
+  BasicBlock *getBlock(size_t Index) const { return Blocks[Index].get(); }
+
+  auto begin() const { return Blocks.begin(); }
+  auto end() const { return Blocks.end(); }
+
+  /// Collects the function's static (non-VLA) entry-block allocas in
+  /// program order — the allocation set Smokestack permutes.
+  std::vector<AllocaInst *> getStaticAllocas() const;
+
+  /// Collects VLA allocas anywhere in the function.
+  std::vector<AllocaInst *> getVLAAllocas() const;
+
+  /// Pass-attached integer attribute (absent if never set).
+  std::optional<uint64_t> getAttribute(const std::string &Key) const;
+  void setAttribute(const std::string &Key, uint64_t Value) {
+    Attributes[Key] = Value;
+  }
+
+private:
+  Module *Parent;
+  std::string Name;
+  Type *ReturnType;
+  bool Declaration;
+  bool VarArg;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::map<std::string, uint64_t> Attributes;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_IR_FUNCTION_H

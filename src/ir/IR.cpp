@@ -1,0 +1,333 @@
+//===- ir/IR.cpp - Mini-IR core implementations ---------------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace smokestack;
+
+//===----------------------------------------------------------------------===//
+// Value / Instruction
+//===----------------------------------------------------------------------===//
+
+Value::~Value() = default;
+
+void Instruction::replaceUsesOfWith(Value *From, Value *To) {
+  for (Value *&Op : Operands)
+    if (Op == From)
+      Op = To;
+}
+
+const char *Instruction::getOpcodeName() const {
+  switch (TheOpcode) {
+  case Opcode::Alloca:
+    return "alloca";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Gep:
+    return "gep";
+  case Opcode::BinOp:
+    return cast<BinaryInst>(this)->getBinOpName();
+  case Opcode::ICmp:
+    return "icmp";
+  case Opcode::Cast:
+    return cast<CastInst>(this)->getCastOpName();
+  case Opcode::Select:
+    return "select";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Unreachable:
+    return "unreachable";
+  }
+  smokestack_unreachable("unknown opcode");
+}
+
+const char *BinaryInst::getBinOpName() const {
+  switch (Op) {
+  case BinOp::Add:
+    return "add";
+  case BinOp::Sub:
+    return "sub";
+  case BinOp::Mul:
+    return "mul";
+  case BinOp::UDiv:
+    return "udiv";
+  case BinOp::SDiv:
+    return "sdiv";
+  case BinOp::URem:
+    return "urem";
+  case BinOp::SRem:
+    return "srem";
+  case BinOp::And:
+    return "and";
+  case BinOp::Or:
+    return "or";
+  case BinOp::Xor:
+    return "xor";
+  case BinOp::Shl:
+    return "shl";
+  case BinOp::LShr:
+    return "lshr";
+  case BinOp::AShr:
+    return "ashr";
+  case BinOp::FAdd:
+    return "fadd";
+  case BinOp::FSub:
+    return "fsub";
+  case BinOp::FMul:
+    return "fmul";
+  case BinOp::FDiv:
+    return "fdiv";
+  }
+  smokestack_unreachable("unknown binop");
+}
+
+const char *ICmpInst::getPredicateName() const {
+  switch (Pred) {
+  case Predicate::EQ:
+    return "eq";
+  case Predicate::NE:
+    return "ne";
+  case Predicate::ULT:
+    return "ult";
+  case Predicate::ULE:
+    return "ule";
+  case Predicate::UGT:
+    return "ugt";
+  case Predicate::UGE:
+    return "uge";
+  case Predicate::SLT:
+    return "slt";
+  case Predicate::SLE:
+    return "sle";
+  case Predicate::SGT:
+    return "sgt";
+  case Predicate::SGE:
+    return "sge";
+  case Predicate::OEQ:
+    return "oeq";
+  case Predicate::OLT:
+    return "olt";
+  case Predicate::OLE:
+    return "ole";
+  case Predicate::OGT:
+    return "ogt";
+  case Predicate::OGE:
+    return "oge";
+  }
+  smokestack_unreachable("unknown predicate");
+}
+
+const char *CastInst::getCastOpName() const {
+  switch (Op) {
+  case CastOp::Trunc:
+    return "trunc";
+  case CastOp::ZExt:
+    return "zext";
+  case CastOp::SExt:
+    return "sext";
+  case CastOp::Bitcast:
+    return "bitcast";
+  case CastOp::PtrToInt:
+    return "ptrtoint";
+  case CastOp::IntToPtr:
+    return "inttoptr";
+  case CastOp::FPToSI:
+    return "fptosi";
+  case CastOp::SIToFP:
+    return "sitofp";
+  case CastOp::FPExt:
+    return "fpext";
+  case CastOp::FPTrunc:
+    return "fptrunc";
+  }
+  smokestack_unreachable("unknown cast op");
+}
+
+CallInst::CallInst(Type *RetTy, Function *Callee, std::vector<Value *> Args,
+                   std::string Name)
+    : Instruction(Opcode::Call, RetTy, std::move(Name)), Callee(Callee) {
+  for (Value *Arg : Args)
+    addOperand(Arg);
+}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> Inst) {
+  Inst->setParent(this);
+  Instructions.push_back(std::move(Inst));
+  return Instructions.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Index,
+                                  std::unique_ptr<Instruction> Inst) {
+  assert(Index <= Instructions.size() && "insertion index out of range");
+  Inst->setParent(this);
+  auto It = Instructions.insert(Instructions.begin() +
+                                    static_cast<ptrdiff_t>(Index),
+                                std::move(Inst));
+  return It->get();
+}
+
+void BasicBlock::erase(size_t Index) {
+  assert(Index < Instructions.size() && "erase index out of range");
+  Instructions.erase(Instructions.begin() + static_cast<ptrdiff_t>(Index));
+}
+
+std::unique_ptr<Instruction> BasicBlock::take(size_t Index) {
+  assert(Index < Instructions.size() && "take index out of range");
+  std::unique_ptr<Instruction> Result = std::move(Instructions[Index]);
+  Instructions.erase(Instructions.begin() + static_cast<ptrdiff_t>(Index));
+  return Result;
+}
+
+size_t BasicBlock::indexOf(const Instruction *Inst) const {
+  for (size_t I = 0, E = Instructions.size(); I != E; ++I)
+    if (Instructions[I].get() == Inst)
+      return I;
+  smokestack_unreachable("instruction not in this block");
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+Function::Function(Module *Parent, std::string Name, Type *ReturnType,
+                   std::vector<Type *> ParamTypes, bool IsDeclaration,
+                   bool IsVarArg)
+    : Parent(Parent), Name(std::move(Name)), ReturnType(ReturnType),
+      Declaration(IsDeclaration), VarArg(IsVarArg) {
+  for (unsigned I = 0, E = static_cast<unsigned>(ParamTypes.size()); I != E;
+       ++I)
+    Args.push_back(std::make_unique<Argument>(
+        ParamTypes[I], "arg" + std::to_string(I), I));
+}
+
+BasicBlock *Function::createBlock(std::string BlockName) {
+  assert(!Declaration && "declarations have no body");
+  Blocks.push_back(std::make_unique<BasicBlock>(this, std::move(BlockName)));
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::insertBlockAtFront(std::string BlockName) {
+  assert(!Declaration && "declarations have no body");
+  Blocks.insert(Blocks.begin(),
+                std::make_unique<BasicBlock>(this, std::move(BlockName)));
+  return Blocks.front().get();
+}
+
+std::vector<AllocaInst *> Function::getStaticAllocas() const {
+  std::vector<AllocaInst *> Result;
+  if (Blocks.empty())
+    return Result;
+  for (const auto &Inst : *getEntryBlock())
+    if (auto *Alloca = dyn_cast<AllocaInst>(Inst.get()))
+      if (!Alloca->isVLA())
+        Result.push_back(Alloca);
+  return Result;
+}
+
+std::vector<AllocaInst *> Function::getVLAAllocas() const {
+  std::vector<AllocaInst *> Result;
+  for (const auto &Block : Blocks)
+    for (const auto &Inst : *Block)
+      if (auto *Alloca = dyn_cast<AllocaInst>(Inst.get()))
+        if (Alloca->isVLA())
+          Result.push_back(Alloca);
+  return Result;
+}
+
+std::optional<uint64_t> Function::getAttribute(const std::string &Key) const {
+  auto It = Attributes.find(Key);
+  if (It == Attributes.end())
+    return std::nullopt;
+  return It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Module::Module(std::string Name) : Name(std::move(Name)) {}
+Module::~Module() = default;
+
+Function *Module::createFunction(std::string FuncName, Type *ReturnType,
+                                 std::vector<Type *> ParamTypes) {
+  assert(!getFunction(FuncName) && "function already exists");
+  Functions.push_back(std::make_unique<Function>(
+      this, std::move(FuncName), ReturnType, std::move(ParamTypes),
+      /*IsDeclaration=*/false));
+  return Functions.back().get();
+}
+
+Function *Module::getOrInsertDeclaration(std::string FuncName,
+                                         Type *ReturnType,
+                                         std::vector<Type *> ParamTypes,
+                                         bool IsVarArg) {
+  if (Function *Existing = getFunction(FuncName))
+    return Existing;
+  Functions.push_back(std::make_unique<Function>(
+      this, std::move(FuncName), ReturnType, std::move(ParamTypes),
+      /*IsDeclaration=*/true, IsVarArg));
+  return Functions.back().get();
+}
+
+Function *Module::getFunction(const std::string &FuncName) const {
+  for (const auto &F : Functions)
+    if (F->getName() == FuncName)
+      return F.get();
+  return nullptr;
+}
+
+GlobalVariable *Module::createGlobal(std::string VarName, Type *ValueTy,
+                                     std::vector<uint8_t> Init,
+                                     bool ReadOnly) {
+  assert(!getGlobal(VarName) && "global already exists");
+  assert(Init.size() <= ValueTy->sizeInBytes() &&
+         "initializer larger than the object");
+  Globals.push_back(std::make_unique<GlobalVariable>(
+      Context.getPointerTy(), std::move(VarName), ValueTy, std::move(Init),
+      ReadOnly));
+  return Globals.back().get();
+}
+
+GlobalVariable *Module::getGlobal(const std::string &VarName) const {
+  for (const auto &G : Globals)
+    if (G->getName() == VarName)
+      return G.get();
+  return nullptr;
+}
+
+ConstantInt *Module::getConstantInt(Type *Ty, uint64_t Bits) {
+  assert(Ty->isInteger() || Ty->isPointer());
+  auto Key = std::make_pair(Ty, Bits);
+  auto It = IntConstants.find(Key);
+  if (It != IntConstants.end())
+    return It->second.get();
+  auto New = std::make_unique<ConstantInt>(Ty, Bits);
+  ConstantInt *Result = New.get();
+  IntConstants.emplace(Key, std::move(New));
+  return Result;
+}
+
+ConstantFP *Module::getConstantFP(Type *Ty, double V) {
+  assert(Ty->isFloatingPoint());
+  FPConstants.push_back(std::make_unique<ConstantFP>(Ty, V));
+  return FPConstants.back().get();
+}

@@ -1,0 +1,155 @@
+//===- ir/IRBuilder.cpp - Instruction creation helper ---------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace smokestack;
+
+std::string IRBuilder::autoName(std::string Name) {
+  if (!Name.empty())
+    return Name;
+  return "t" + std::to_string(NextTemp++);
+}
+
+Instruction *IRBuilder::insert(std::unique_ptr<Instruction> Inst) {
+  assert(Block && "no insertion point set");
+  return Block->append(std::move(Inst));
+}
+
+AllocaInst *IRBuilder::alloca_(Type *AllocatedTy, std::string Name,
+                               uint64_t AlignOverride) {
+  return static_cast<AllocaInst *>(insert(std::make_unique<AllocaInst>(
+      ptr(), AllocatedTy, autoName(std::move(Name)), AlignOverride)));
+}
+
+AllocaInst *IRBuilder::allocaVLA(Type *ElementTy, Value *Count,
+                                 std::string Name) {
+  return static_cast<AllocaInst *>(insert(std::make_unique<AllocaInst>(
+      ptr(), ElementTy, Count, autoName(std::move(Name)))));
+}
+
+LoadInst *IRBuilder::load(Type *LoadedTy, Value *Pointer, std::string Name) {
+  return static_cast<LoadInst *>(insert(std::make_unique<LoadInst>(
+      LoadedTy, Pointer, autoName(std::move(Name)))));
+}
+
+StoreInst *IRBuilder::store(Value *StoredValue, Value *Pointer) {
+  return static_cast<StoreInst *>(
+      insert(std::make_unique<StoreInst>(voidTy(), StoredValue, Pointer)));
+}
+
+GepInst *IRBuilder::gep(Value *Base, Value *Index, uint64_t Scale,
+                        int64_t ConstOffset, std::string Name) {
+  return static_cast<GepInst *>(insert(std::make_unique<GepInst>(
+      ptr(), Base, Index, Scale, ConstOffset, autoName(std::move(Name)))));
+}
+
+GepInst *IRBuilder::gepConst(Value *Base, int64_t ConstOffset,
+                             std::string Name) {
+  return gep(Base, nullptr, 0, ConstOffset, std::move(Name));
+}
+
+Value *IRBuilder::binop(BinaryInst::BinOp Op, Value *LHS, Value *RHS,
+                        std::string Name) {
+  return insert(std::make_unique<BinaryInst>(Op, LHS->getType(), LHS, RHS,
+                                             autoName(std::move(Name))));
+}
+
+Value *IRBuilder::add(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::Add, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::sub(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::Sub, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::mul(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::Mul, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::udiv(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::UDiv, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::sdiv(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::SDiv, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::urem(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::URem, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::srem(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::SRem, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::and_(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::And, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::or_(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::Or, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::xor_(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::Xor, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::shl(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::Shl, LHS, RHS, std::move(Name));
+}
+Value *IRBuilder::lshr(Value *LHS, Value *RHS, std::string Name) {
+  return binop(BinaryInst::BinOp::LShr, LHS, RHS, std::move(Name));
+}
+
+Value *IRBuilder::icmp(ICmpInst::Predicate Pred, Value *LHS, Value *RHS,
+                       std::string Name) {
+  return insert(std::make_unique<ICmpInst>(Pred, i8(), LHS, RHS,
+                                           autoName(std::move(Name))));
+}
+
+Value *IRBuilder::cast_(CastInst::CastOp Op, Type *DestTy, Value *Src,
+                        std::string Name) {
+  return insert(std::make_unique<CastInst>(Op, DestTy, Src,
+                                           autoName(std::move(Name))));
+}
+
+Value *IRBuilder::zext(Type *DestTy, Value *Src, std::string Name) {
+  return cast_(CastInst::CastOp::ZExt, DestTy, Src, std::move(Name));
+}
+Value *IRBuilder::sext(Type *DestTy, Value *Src, std::string Name) {
+  return cast_(CastInst::CastOp::SExt, DestTy, Src, std::move(Name));
+}
+Value *IRBuilder::trunc(Type *DestTy, Value *Src, std::string Name) {
+  return cast_(CastInst::CastOp::Trunc, DestTy, Src, std::move(Name));
+}
+
+Value *IRBuilder::select(Value *Cond, Value *TrueV, Value *FalseV,
+                         std::string Name) {
+  return insert(std::make_unique<SelectInst>(TrueV->getType(), Cond, TrueV,
+                                             FalseV, autoName(std::move(Name))));
+}
+
+BranchInst *IRBuilder::br(BasicBlock *Target) {
+  return static_cast<BranchInst *>(
+      insert(std::make_unique<BranchInst>(voidTy(), Target)));
+}
+
+BranchInst *IRBuilder::condBr(Value *Cond, BasicBlock *IfTrue,
+                              BasicBlock *IfFalse) {
+  return static_cast<BranchInst *>(
+      insert(std::make_unique<BranchInst>(voidTy(), Cond, IfTrue, IfFalse)));
+}
+
+CallInst *IRBuilder::call(Function *Callee, std::vector<Value *> Args,
+                          std::string Name) {
+  std::string CallName =
+      Callee->getReturnType()->isVoid() ? "" : autoName(std::move(Name));
+  return static_cast<CallInst *>(insert(std::make_unique<CallInst>(
+      Callee->getReturnType(), Callee, std::move(Args), std::move(CallName))));
+}
+
+RetInst *IRBuilder::ret(Value *ReturnValue) {
+  return static_cast<RetInst *>(
+      insert(std::make_unique<RetInst>(voidTy(), ReturnValue)));
+}
+
+UnreachableInst *IRBuilder::unreachable_() {
+  return static_cast<UnreachableInst *>(
+      insert(std::make_unique<UnreachableInst>(voidTy())));
+}

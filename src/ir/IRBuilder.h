@@ -1,0 +1,112 @@
+//===- ir/IRBuilder.h - Instruction creation helper ------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience builder that appends instructions to a basic block, with the
+/// LLVM IRBuilder's overall shape. Temporary names are generated per
+/// builder ("t0", "t1", ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_IR_IRBUILDER_H
+#define SMOKESTACK_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace smokestack {
+
+/// Appends instructions at the end of a current insertion block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  Module &getModule() const { return M; }
+  TypeContext &getContext() const { return M.getContext(); }
+
+  void setInsertPoint(BasicBlock *BB) { Block = BB; }
+  BasicBlock *getInsertBlock() const { return Block; }
+
+  // Convenience type accessors.
+  Type *voidTy() const { return getContext().getVoidTy(); }
+  Type *i8() const { return getContext().getInt8Ty(); }
+  Type *i16() const { return getContext().getInt16Ty(); }
+  Type *i32() const { return getContext().getInt32Ty(); }
+  Type *i64() const { return getContext().getInt64Ty(); }
+  Type *f32() const { return getContext().getFloatTy(); }
+  Type *f64() const { return getContext().getDoubleTy(); }
+  Type *ptr() const { return getContext().getPointerTy(); }
+
+  // Constants.
+  ConstantInt *constInt(Type *Ty, uint64_t Bits) {
+    return M.getConstantInt(Ty, Bits);
+  }
+  ConstantInt *constI8(uint64_t V) { return constInt(i8(), V & 0xff); }
+  ConstantInt *constI32(uint64_t V) {
+    return constInt(i32(), V & 0xffffffffULL);
+  }
+  ConstantInt *constI64(uint64_t V) { return constInt(i64(), V); }
+  ConstantFP *constF64(double V) { return M.getConstantFP(f64(), V); }
+
+  // Memory.
+  AllocaInst *alloca_(Type *AllocatedTy, std::string Name,
+                      uint64_t AlignOverride = 0);
+  AllocaInst *allocaVLA(Type *ElementTy, Value *Count, std::string Name);
+  LoadInst *load(Type *LoadedTy, Value *Pointer, std::string Name = "");
+  StoreInst *store(Value *StoredValue, Value *Pointer);
+  GepInst *gep(Value *Base, Value *Index, uint64_t Scale,
+               int64_t ConstOffset = 0, std::string Name = "");
+  GepInst *gepConst(Value *Base, int64_t ConstOffset, std::string Name = "");
+
+  // Arithmetic (integer unless noted).
+  Value *add(Value *LHS, Value *RHS, std::string Name = "");
+  Value *sub(Value *LHS, Value *RHS, std::string Name = "");
+  Value *mul(Value *LHS, Value *RHS, std::string Name = "");
+  Value *udiv(Value *LHS, Value *RHS, std::string Name = "");
+  Value *sdiv(Value *LHS, Value *RHS, std::string Name = "");
+  Value *urem(Value *LHS, Value *RHS, std::string Name = "");
+  Value *srem(Value *LHS, Value *RHS, std::string Name = "");
+  Value *and_(Value *LHS, Value *RHS, std::string Name = "");
+  Value *or_(Value *LHS, Value *RHS, std::string Name = "");
+  Value *xor_(Value *LHS, Value *RHS, std::string Name = "");
+  Value *shl(Value *LHS, Value *RHS, std::string Name = "");
+  Value *lshr(Value *LHS, Value *RHS, std::string Name = "");
+  Value *binop(BinaryInst::BinOp Op, Value *LHS, Value *RHS,
+               std::string Name = "");
+
+  // Comparison (result i8, 0/1).
+  Value *icmp(ICmpInst::Predicate Pred, Value *LHS, Value *RHS,
+              std::string Name = "");
+
+  // Casts.
+  Value *cast_(CastInst::CastOp Op, Type *DestTy, Value *Src,
+               std::string Name = "");
+  Value *zext(Type *DestTy, Value *Src, std::string Name = "");
+  Value *sext(Type *DestTy, Value *Src, std::string Name = "");
+  Value *trunc(Type *DestTy, Value *Src, std::string Name = "");
+
+  Value *select(Value *Cond, Value *TrueV, Value *FalseV,
+                std::string Name = "");
+
+  // Control flow.
+  BranchInst *br(BasicBlock *Target);
+  BranchInst *condBr(Value *Cond, BasicBlock *IfTrue, BasicBlock *IfFalse);
+  CallInst *call(Function *Callee, std::vector<Value *> Args,
+                 std::string Name = "");
+  RetInst *ret(Value *ReturnValue = nullptr);
+  UnreachableInst *unreachable_();
+
+private:
+  std::string autoName(std::string Name);
+  Instruction *insert(std::unique_ptr<Instruction> Inst);
+
+  Module &M;
+  BasicBlock *Block = nullptr;
+  unsigned NextTemp = 0;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_IR_IRBUILDER_H

@@ -1,0 +1,434 @@
+//===- ir/Instructions.h - Mini-IR instruction set -------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Mini-IR instruction set: the subset of LLVM IR that the Smokestack
+/// passes and the DOP-vulnerable programs need. Mutable locals are expressed
+/// through alloca/load/store (as clang emits at -O0), which is also the
+/// representation the paper's stack-randomization passes operate on — there
+/// are no phi nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_IR_INSTRUCTIONS_H
+#define SMOKESTACK_IR_INSTRUCTIONS_H
+
+#include "ir/Value.h"
+#include "support/Casting.h"
+
+#include <cassert>
+
+namespace smokestack {
+
+class BasicBlock;
+class Function;
+
+/// Base instruction: an operation with operands, owned by a BasicBlock.
+class Instruction : public Value {
+public:
+  enum class Opcode {
+    Alloca,
+    Load,
+    Store,
+    Gep,
+    BinOp,
+    ICmp,
+    Cast,
+    Select,
+    Br,
+    Call,
+    Ret,
+    Unreachable,
+  };
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == Kind::Instruction;
+  }
+
+  Opcode getOpcode() const { return TheOpcode; }
+
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *getOperand(unsigned Index) const {
+    assert(Index < Operands.size() && "operand index out of range");
+    return Operands[Index];
+  }
+  void setOperand(unsigned Index, Value *V) {
+    assert(Index < Operands.size() && "operand index out of range");
+    Operands[Index] = V;
+  }
+
+  /// Replaces every use of \p From among this instruction's operands.
+  void replaceUsesOfWith(Value *From, Value *To);
+
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// True for instructions that end a basic block.
+  bool isTerminator() const {
+    return TheOpcode == Opcode::Br || TheOpcode == Opcode::Ret ||
+           TheOpcode == Opcode::Unreachable;
+  }
+
+  /// Opcode mnemonic for printing.
+  const char *getOpcodeName() const;
+
+protected:
+  Instruction(Opcode TheOpcode, Type *Ty, std::string Name)
+      : Value(Kind::Instruction, Ty, std::move(Name)), TheOpcode(TheOpcode) {}
+
+  void addOperand(Value *V) { Operands.push_back(V); }
+
+private:
+  Opcode TheOpcode;
+  std::vector<Value *> Operands;
+  BasicBlock *Parent = nullptr;
+};
+
+/// Stack allocation. Static allocas reserve sizeof(AllocatedType) bytes;
+/// a VLA carries a dynamic element-count operand.
+class AllocaInst : public Instruction {
+public:
+  /// Static alloca of one \p AllocatedType object.
+  AllocaInst(Type *PtrTy, Type *AllocatedType, std::string Name,
+             uint64_t AlignOverride = 0)
+      : Instruction(Opcode::Alloca, PtrTy, std::move(Name)),
+        AllocatedType(AllocatedType), AlignOverride(AlignOverride) {}
+
+  /// VLA-style alloca of \p Count elements of \p AllocatedType.
+  AllocaInst(Type *PtrTy, Type *AllocatedType, Value *Count, std::string Name)
+      : Instruction(Opcode::Alloca, PtrTy, std::move(Name)),
+        AllocatedType(AllocatedType), VLA(true) {
+    addOperand(Count);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Alloca;
+  }
+  static bool classof(const Instruction *I) {
+    return I->getOpcode() == Opcode::Alloca;
+  }
+
+  Type *getAllocatedType() const { return AllocatedType; }
+  bool isVLA() const { return VLA; }
+  Value *getCount() const { return VLA ? getOperand(0) : nullptr; }
+
+  /// Alignment of the allocation (type alignment unless overridden).
+  uint64_t getAlign() const {
+    return AlignOverride ? AlignOverride : AllocatedType->alignment();
+  }
+
+  /// Static size in bytes (only valid for non-VLA allocas).
+  uint64_t getStaticSize() const {
+    assert(!VLA && "VLA size is dynamic");
+    return AllocatedType->sizeInBytes();
+  }
+
+private:
+  Type *AllocatedType;
+  uint64_t AlignOverride = 0;
+  bool VLA = false;
+};
+
+/// Typed load from a pointer operand.
+class LoadInst : public Instruction {
+public:
+  LoadInst(Type *LoadedTy, Value *Pointer, std::string Name)
+      : Instruction(Opcode::Load, LoadedTy, std::move(Name)) {
+    addOperand(Pointer);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Load;
+  }
+
+  Value *getPointer() const { return getOperand(0); }
+};
+
+/// Typed store of operand 0 to pointer operand 1.
+class StoreInst : public Instruction {
+public:
+  StoreInst(Type *VoidTy, Value *Stored, Value *Pointer)
+      : Instruction(Opcode::Store, VoidTy, "") {
+    addOperand(Stored);
+    addOperand(Pointer);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Store;
+  }
+
+  Value *getStoredValue() const { return getOperand(0); }
+  Value *getPointer() const { return getOperand(1); }
+};
+
+/// Address arithmetic: result = Base + Index * Scale + ConstOffset.
+///
+/// This is a byte-level GEP; field and element accesses are expressed with
+/// the appropriate Scale and ConstOffset. Index may be null for pure
+/// constant offsets.
+class GepInst : public Instruction {
+public:
+  GepInst(Type *PtrTy, Value *Base, Value *Index, uint64_t Scale,
+          int64_t ConstOffset, std::string Name)
+      : Instruction(Opcode::Gep, PtrTy, std::move(Name)), Scale(Scale),
+        ConstOffset(ConstOffset), HasIndex(Index != nullptr) {
+    addOperand(Base);
+    if (Index)
+      addOperand(Index);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Gep;
+  }
+
+  Value *getBase() const { return getOperand(0); }
+  Value *getIndex() const { return HasIndex ? getOperand(1) : nullptr; }
+  uint64_t getScale() const { return Scale; }
+  int64_t getConstOffset() const { return ConstOffset; }
+
+private:
+  uint64_t Scale;
+  int64_t ConstOffset;
+  bool HasIndex;
+};
+
+/// Two-operand arithmetic/logic, integer or floating point.
+class BinaryInst : public Instruction {
+public:
+  enum class BinOp {
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    SDiv,
+    URem,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+  };
+
+  BinaryInst(BinOp Op, Type *Ty, Value *LHS, Value *RHS, std::string Name)
+      : Instruction(Opcode::BinOp, Ty, std::move(Name)), Op(Op) {
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::BinOp;
+  }
+
+  BinOp getBinOp() const { return Op; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  /// Mnemonic ("add", "fmul", ...).
+  const char *getBinOpName() const;
+
+private:
+  BinOp Op;
+};
+
+/// Comparison producing an i8 boolean (0 or 1).
+class ICmpInst : public Instruction {
+public:
+  enum class Predicate {
+    EQ,
+    NE,
+    ULT,
+    ULE,
+    UGT,
+    UGE,
+    SLT,
+    SLE,
+    SGT,
+    SGE,
+    OEQ, ///< Floating-point ordered equal.
+    OLT,
+    OLE,
+    OGT,
+    OGE,
+  };
+
+  ICmpInst(Predicate Pred, Type *BoolTy, Value *LHS, Value *RHS,
+           std::string Name)
+      : Instruction(Opcode::ICmp, BoolTy, std::move(Name)), Pred(Pred) {
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::ICmp;
+  }
+
+  Predicate getPredicate() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  /// Mnemonic ("eq", "slt", ...).
+  const char *getPredicateName() const;
+
+private:
+  Predicate Pred;
+};
+
+/// Value conversion.
+class CastInst : public Instruction {
+public:
+  enum class CastOp {
+    Trunc,
+    ZExt,
+    SExt,
+    Bitcast,
+    PtrToInt,
+    IntToPtr,
+    FPToSI,
+    SIToFP,
+    FPExt,
+    FPTrunc,
+  };
+
+  CastInst(CastOp Op, Type *DestTy, Value *Src, std::string Name)
+      : Instruction(Opcode::Cast, DestTy, std::move(Name)), Op(Op) {
+    addOperand(Src);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Cast;
+  }
+
+  CastOp getCastOp() const { return Op; }
+  Value *getSource() const { return getOperand(0); }
+
+  /// Mnemonic ("trunc", "zext", ...).
+  const char *getCastOpName() const;
+
+private:
+  CastOp Op;
+};
+
+/// Ternary select: Cond ? TrueValue : FalseValue.
+class SelectInst : public Instruction {
+public:
+  SelectInst(Type *Ty, Value *Cond, Value *TrueValue, Value *FalseValue,
+             std::string Name)
+      : Instruction(Opcode::Select, Ty, std::move(Name)) {
+    addOperand(Cond);
+    addOperand(TrueValue);
+    addOperand(FalseValue);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Select;
+  }
+
+  Value *getCondition() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+};
+
+/// Conditional or unconditional branch.
+class BranchInst : public Instruction {
+public:
+  /// Unconditional branch to \p Target.
+  BranchInst(Type *VoidTy, BasicBlock *Target)
+      : Instruction(Opcode::Br, VoidTy, ""), TrueTarget(Target) {}
+
+  /// Conditional branch on \p Cond.
+  BranchInst(Type *VoidTy, Value *Cond, BasicBlock *IfTrue, BasicBlock *IfFalse)
+      : Instruction(Opcode::Br, VoidTy, ""), TrueTarget(IfTrue),
+        FalseTarget(IfFalse) {
+    addOperand(Cond);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Br;
+  }
+
+  bool isConditional() const { return getNumOperands() == 1; }
+  Value *getCondition() const {
+    assert(isConditional() && "unconditional branch has no condition");
+    return getOperand(0);
+  }
+  BasicBlock *getTrueTarget() const { return TrueTarget; }
+  BasicBlock *getFalseTarget() const { return FalseTarget; }
+
+private:
+  BasicBlock *TrueTarget;
+  BasicBlock *FalseTarget = nullptr;
+};
+
+/// Direct call. The callee may be a declaration, in which case the VM
+/// dispatches it as a builtin by name.
+class CallInst : public Instruction {
+public:
+  CallInst(Type *RetTy, Function *Callee, std::vector<Value *> Args,
+           std::string Name);
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Call;
+  }
+
+  Function *getCallee() const { return Callee; }
+  unsigned getNumArgs() const { return getNumOperands(); }
+  Value *getArg(unsigned Index) const { return getOperand(Index); }
+
+private:
+  Function *Callee;
+};
+
+/// Function return, with an optional value.
+class RetInst : public Instruction {
+public:
+  RetInst(Type *VoidTy, Value *ReturnValue) : Instruction(Opcode::Ret, VoidTy, "") {
+    if (ReturnValue)
+      addOperand(ReturnValue);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Ret;
+  }
+
+  Value *getReturnValue() const {
+    return getNumOperands() ? getOperand(0) : nullptr;
+  }
+};
+
+/// Marks statically unreachable code (used after trap calls).
+class UnreachableInst : public Instruction {
+public:
+  explicit UnreachableInst(Type *VoidTy)
+      : Instruction(Opcode::Unreachable, VoidTy, "") {}
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Unreachable;
+  }
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_IR_INSTRUCTIONS_H

@@ -1,0 +1,88 @@
+//===- ir/Module.h - Mini-IR module ----------------------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level IR container: functions, global variables, interned
+/// constants, and the type context. A Module is what passes transform and
+/// what the VM loads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_IR_MODULE_H
+#define SMOKESTACK_IR_MODULE_H
+
+#include "ir/Function.h"
+
+namespace smokestack {
+
+class RawOStream;
+
+/// A translation unit of Mini-IR.
+class Module {
+public:
+  explicit Module(std::string Name);
+  ~Module();
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const std::string &getName() const { return Name; }
+  TypeContext &getContext() { return Context; }
+
+  /// Creates a function definition.
+  Function *createFunction(std::string FuncName, Type *ReturnType,
+                           std::vector<Type *> ParamTypes);
+
+  /// Returns the declaration named \p FuncName, creating it if needed.
+  /// Declarations are dispatched as builtins by the VM.
+  Function *getOrInsertDeclaration(std::string FuncName, Type *ReturnType,
+                                   std::vector<Type *> ParamTypes,
+                                   bool IsVarArg = false);
+
+  /// Finds a function by name, or null.
+  Function *getFunction(const std::string &FuncName) const;
+
+  size_t getNumFunctions() const { return Functions.size(); }
+  Function *getFunctionAt(size_t Index) const {
+    return Functions[Index].get();
+  }
+  auto begin() const { return Functions.begin(); }
+  auto end() const { return Functions.end(); }
+
+  /// Creates a global variable of \p ValueTy named \p VarName. \p Init may
+  /// be shorter than the object (zero-filled); \p ReadOnly places it in the
+  /// read-only segment (e.g. the P-BOX).
+  GlobalVariable *createGlobal(std::string VarName, Type *ValueTy,
+                               std::vector<uint8_t> Init = {},
+                               bool ReadOnly = false);
+
+  GlobalVariable *getGlobal(const std::string &VarName) const;
+  size_t getNumGlobals() const { return Globals.size(); }
+  GlobalVariable *getGlobalAt(size_t Index) const {
+    return Globals[Index].get();
+  }
+
+  /// Interned integer constant of \p Ty with bit pattern \p Bits.
+  ConstantInt *getConstantInt(Type *Ty, uint64_t Bits);
+
+  /// Floating-point constant.
+  ConstantFP *getConstantFP(Type *Ty, double V);
+
+  /// Prints the whole module in LLVM-like textual form.
+  void print(RawOStream &OS) const;
+
+private:
+  std::string Name;
+  TypeContext Context;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ConstantInt>>
+      IntConstants;
+  std::vector<std::unique_ptr<ConstantFP>> FPConstants;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_IR_MODULE_H

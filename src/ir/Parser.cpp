@@ -1,0 +1,901 @@
+//===- ir/Parser.cpp - Textual Mini-IR parser -------------------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstring>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace smokestack;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+/// Token kinds. Words cover keywords, type names, and mnemonics; sigils
+/// prefix value (%), global (@) names.
+enum class TokKind {
+  End,
+  Word,    // identifiers, keywords, mnemonics
+  Number,  // integer or floating literal (with optional sign)
+  Percent, // %name
+  At,      // @name
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Colon,
+  Equals,
+  Plus,
+  Star,
+  Ellipsis,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text; // word text, number text, or sigil-stripped name
+  unsigned Line = 0;
+};
+
+/// Hand-rolled lexer over the whole buffer; '; ...' comments run to EOL.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) {}
+
+  Token next() {
+    skipTrivia();
+    Token Tok;
+    Tok.Line = Line;
+    if (Pos >= Text.size())
+      return Tok;
+
+    char C = Text[Pos];
+    auto Single = [&](TokKind Kind) {
+      ++Pos;
+      Tok.Kind = Kind;
+      return Tok;
+    };
+    switch (C) {
+    case '(':
+      return Single(TokKind::LParen);
+    case ')':
+      return Single(TokKind::RParen);
+    case '[':
+      return Single(TokKind::LBracket);
+    case ']':
+      return Single(TokKind::RBracket);
+    case '{':
+      return Single(TokKind::LBrace);
+    case '}':
+      return Single(TokKind::RBrace);
+    case ',':
+      return Single(TokKind::Comma);
+    case ':':
+      return Single(TokKind::Colon);
+    case '=':
+      return Single(TokKind::Equals);
+    case '+':
+      // '+' may start a signed number ("+ -5" never occurs; "+5" could).
+      if (Pos + 1 < Text.size() && std::isdigit(Text[Pos + 1]))
+        break; // fall through to number lexing
+      return Single(TokKind::Plus);
+    case '*':
+      return Single(TokKind::Star);
+    case '%':
+    case '@': {
+      ++Pos;
+      Tok.Kind = C == '%' ? TokKind::Percent : TokKind::At;
+      Tok.Text = lexName();
+      return Tok;
+    }
+    case '.':
+      if (Text.compare(Pos, 3, "...") == 0) {
+        Pos += 3;
+        Tok.Kind = TokKind::Ellipsis;
+        return Tok;
+      }
+      break;
+    default:
+      break;
+    }
+
+    if (C == '-' || C == '+' || std::isdigit(C)) {
+      size_t Start = Pos;
+      ++Pos;
+      while (Pos < Text.size() &&
+             (std::isdigit(Text[Pos]) || Text[Pos] == '.' ||
+              Text[Pos] == 'e' || Text[Pos] == 'E' ||
+              ((Text[Pos] == '+' || Text[Pos] == '-') &&
+               (Text[Pos - 1] == 'e' || Text[Pos - 1] == 'E'))))
+        ++Pos;
+      Tok.Kind = TokKind::Number;
+      Tok.Text = Text.substr(Start, Pos - Start);
+      return Tok;
+    }
+
+    if (std::isalpha(C) || C == '_') {
+      Tok.Kind = TokKind::Word;
+      Tok.Text = lexName();
+      return Tok;
+    }
+
+    // Unknown character: return it as a one-char word; the parser will
+    // produce a sensible diagnostic.
+    Tok.Kind = TokKind::Word;
+    Tok.Text = std::string(1, C);
+    ++Pos;
+    return Tok;
+  }
+
+private:
+  void skipTrivia() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string lexName() {
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_' || Text[Pos] == '.' || Text[Pos] == '-'))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string ModuleName)
+      : Lex(Text), M(std::make_unique<Module>(std::move(ModuleName))) {
+    advance();
+  }
+
+  ParseResult run() {
+    while (Tok.Kind != TokKind::End && Failed.empty()) {
+      if (Tok.Kind == TokKind::Percent)
+        parseStructDef();
+      else if (Tok.Kind == TokKind::At)
+        parseGlobal();
+      else if (Tok.Kind == TokKind::Word && Tok.Text == "declare")
+        parseDeclare();
+      else if (Tok.Kind == TokKind::Word && Tok.Text == "define")
+        parseDefine();
+      else
+        fail("expected '@global', 'declare', or 'define'");
+    }
+    ParseResult Result;
+    if (!Failed.empty())
+      Result.Error = Failed;
+    else
+      Result.M = std::move(M);
+    return Result;
+  }
+
+private:
+  //===--- diagnostics and token plumbing ---------------------------------===//
+
+  void fail(const std::string &Message) {
+    if (Failed.empty())
+      Failed = formatString("line %u: %s", Tok.Line, Message.c_str());
+  }
+
+  void advance() { Tok = Lex.next(); }
+
+  bool expect(TokKind Kind, const char *What) {
+    if (Tok.Kind != Kind) {
+      fail(formatString("expected %s", What));
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  bool expectWord(const char *Word) {
+    if (Tok.Kind != TokKind::Word || Tok.Text != Word) {
+      fail(formatString("expected '%s'", Word));
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  /// Consumes a %name / @name / word and returns its text.
+  std::optional<std::string> takeName(TokKind Kind, const char *What) {
+    if (Tok.Kind != Kind) {
+      fail(formatString("expected %s", What));
+      return std::nullopt;
+    }
+    std::string Name = Tok.Text;
+    advance();
+    return Name;
+  }
+
+  std::optional<int64_t> takeInt() {
+    if (Tok.Kind != TokKind::Number) {
+      fail("expected integer literal");
+      return std::nullopt;
+    }
+    int64_t Value = std::strtoll(Tok.Text.c_str(), nullptr, 10);
+    advance();
+    return Value;
+  }
+
+  //===--- types -----------------------------------------------------------===//
+
+  Type *parseType() {
+    TypeContext &Ctx = M->getContext();
+    if (Tok.Kind == TokKind::Percent) {
+      // %struct.<name> — must have been defined earlier.
+      std::string Ref = Tok.Text;
+      auto It = Structs.find(Ref);
+      if (It == Structs.end()) {
+        fail(formatString("unknown struct type %%%s", Ref.c_str()));
+        return nullptr;
+      }
+      advance();
+      return It->second;
+    }
+    if (Tok.Kind == TokKind::LBracket) {
+      advance();
+      std::optional<int64_t> Count = takeInt();
+      if (!Count)
+        return nullptr;
+      if (!expectWord("x"))
+        return nullptr;
+      Type *Element = parseType();
+      if (!Element)
+        return nullptr;
+      if (!expect(TokKind::RBracket, "']'"))
+        return nullptr;
+      return Ctx.getArrayTy(Element, static_cast<uint64_t>(*Count));
+    }
+    if (Tok.Kind != TokKind::Word) {
+      fail("expected type");
+      return nullptr;
+    }
+    std::string Name = Tok.Text;
+    advance();
+    if (Name == "void")
+      return Ctx.getVoidTy();
+    if (Name == "i8")
+      return Ctx.getInt8Ty();
+    if (Name == "i16")
+      return Ctx.getInt16Ty();
+    if (Name == "i32")
+      return Ctx.getInt32Ty();
+    if (Name == "i64")
+      return Ctx.getInt64Ty();
+    if (Name == "float")
+      return Ctx.getFloatTy();
+    if (Name == "double")
+      return Ctx.getDoubleTy();
+    if (Name == "ptr")
+      return Ctx.getPointerTy();
+    fail(formatString("unknown type '%s'", Name.c_str()));
+    return nullptr;
+  }
+
+  //===--- values ----------------------------------------------------------===//
+
+  /// Parses a typed value reference: "<type> %name", "<type> <literal>",
+  /// or "ptr @global".
+  Value *parseValue() {
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    if (Tok.Kind == TokKind::Percent) {
+      auto It = Locals.find(Tok.Text);
+      if (It == Locals.end()) {
+        fail(formatString("use of undefined value %%%s", Tok.Text.c_str()));
+        return nullptr;
+      }
+      advance();
+      return It->second;
+    }
+    if (Tok.Kind == TokKind::At) {
+      GlobalVariable *G = M->getGlobal(Tok.Text);
+      if (!G) {
+        fail(formatString("use of undefined global @%s", Tok.Text.c_str()));
+        return nullptr;
+      }
+      advance();
+      return G;
+    }
+    if (Tok.Kind == TokKind::Number) {
+      std::string Literal = Tok.Text;
+      advance();
+      if (Ty->isFloatingPoint())
+        return M->getConstantFP(Ty, std::strtod(Literal.c_str(), nullptr));
+      return M->getConstantInt(
+          Ty, static_cast<uint64_t>(std::strtoll(Literal.c_str(), nullptr,
+                                                 10)));
+    }
+    fail("expected value reference or literal");
+    return nullptr;
+  }
+
+  void defineLocal(const std::string &Name, Value *V) {
+    if (Locals.count(Name)) {
+      fail(formatString("redefinition of %%%s", Name.c_str()));
+      return;
+    }
+    Locals[Name] = V;
+  }
+
+  //===--- top-level entities ----------------------------------------------===//
+
+  /// %struct.NAME = type { T1, T2, ... }
+  void parseStructDef() {
+    std::optional<std::string> Ref = takeName(TokKind::Percent, "type name");
+    if (!Ref || !expect(TokKind::Equals, "'='") || !expectWord("type") ||
+        !expect(TokKind::LBrace, "'{'"))
+      return;
+    if (Ref->rfind("struct.", 0) != 0) {
+      fail("struct type names start with 'struct.'");
+      return;
+    }
+    std::vector<Type *> Fields;
+    while (Tok.Kind != TokKind::RBrace && Failed.empty()) {
+      Type *Field = parseType();
+      if (!Field)
+        return;
+      Fields.push_back(Field);
+      if (Tok.Kind == TokKind::Comma)
+        advance();
+    }
+    if (!expect(TokKind::RBrace, "'}'"))
+      return;
+    if (Structs.count(*Ref)) {
+      fail(formatString("redefinition of type %%%s", Ref->c_str()));
+      return;
+    }
+    Structs[*Ref] = M->getContext().createStructTy(
+        Ref->substr(strlen("struct.")), std::move(Fields));
+  }
+
+  void parseGlobal() {
+    std::optional<std::string> Name = takeName(TokKind::At, "global name");
+    if (!Name || !expect(TokKind::Equals, "'='"))
+      return;
+    bool ReadOnly;
+    if (Tok.Kind == TokKind::Word && Tok.Text == "global")
+      ReadOnly = false;
+    else if (Tok.Kind == TokKind::Word && Tok.Text == "constant")
+      ReadOnly = true;
+    else {
+      fail("expected 'global' or 'constant'");
+      return;
+    }
+    advance();
+    Type *Ty = parseType();
+    if (!Ty)
+      return;
+    std::vector<uint8_t> Init;
+    if (Tok.Kind == TokKind::Word && Tok.Text == "zeroinit") {
+      advance();
+    } else if (Tok.Kind == TokKind::Word && Tok.Text == "bytes") {
+      advance();
+      if (!expect(TokKind::LBracket, "'['"))
+        return;
+      while (Tok.Kind == TokKind::Number) {
+        std::optional<int64_t> Byte = takeInt();
+        if (!Byte)
+          return;
+        if (*Byte < 0 || *Byte > 255) {
+          fail("initializer byte out of range");
+          return;
+        }
+        Init.push_back(static_cast<uint8_t>(*Byte));
+      }
+      if (!expect(TokKind::RBracket, "']'"))
+        return;
+    } else {
+      fail("expected 'zeroinit' or 'bytes [...]'");
+      return;
+    }
+    if (M->getGlobal(*Name)) {
+      fail(formatString("redefinition of global @%s", Name->c_str()));
+      return;
+    }
+    if (Init.size() > Ty->sizeInBytes()) {
+      fail("initializer larger than the global's type");
+      return;
+    }
+    M->createGlobal(*Name, Ty, std::move(Init), ReadOnly);
+  }
+
+  void parseDeclare() {
+    advance(); // 'declare'
+    Type *RetTy = parseType();
+    if (!RetTy)
+      return;
+    std::optional<std::string> Name = takeName(TokKind::At, "function name");
+    if (!Name || !expect(TokKind::LParen, "'('"))
+      return;
+    std::vector<Type *> Params;
+    bool VarArg = false;
+    while (Tok.Kind != TokKind::RParen && Failed.empty()) {
+      if (Tok.Kind == TokKind::Ellipsis) {
+        VarArg = true;
+        advance();
+        break;
+      }
+      Type *ParamTy = parseType();
+      if (!ParamTy)
+        return;
+      Params.push_back(ParamTy);
+      if (Tok.Kind == TokKind::Comma)
+        advance();
+    }
+    if (!expect(TokKind::RParen, "')'"))
+      return;
+    M->getOrInsertDeclaration(*Name, RetTy, std::move(Params), VarArg);
+  }
+
+  void parseDefine() {
+    advance(); // 'define'
+    Locals.clear();
+    Blocks.clear();
+
+    Type *RetTy = parseType();
+    if (!RetTy)
+      return;
+    std::optional<std::string> Name = takeName(TokKind::At, "function name");
+    if (!Name || !expect(TokKind::LParen, "'('"))
+      return;
+    std::vector<Type *> Params;
+    std::vector<std::string> ParamNames;
+    while (Tok.Kind != TokKind::RParen && Failed.empty()) {
+      Type *ParamTy = parseType();
+      if (!ParamTy)
+        return;
+      std::optional<std::string> ParamName =
+          takeName(TokKind::Percent, "argument name");
+      if (!ParamName)
+        return;
+      Params.push_back(ParamTy);
+      ParamNames.push_back(*ParamName);
+      if (Tok.Kind == TokKind::Comma)
+        advance();
+    }
+    if (!expect(TokKind::RParen, "')'") || !expect(TokKind::LBrace, "'{'"))
+      return;
+    if (M->getFunction(*Name)) {
+      fail(formatString("redefinition of @%s", Name->c_str()));
+      return;
+    }
+
+    F = M->createFunction(*Name, RetTy, Params);
+    for (unsigned I = 0; I != ParamNames.size(); ++I) {
+      F->getArg(I)->setName(ParamNames[I]);
+      defineLocal(ParamNames[I], F->getArg(I));
+    }
+
+    IRBuilder B(*M);
+    while (Tok.Kind != TokKind::RBrace && Failed.empty()) {
+      // Block label.
+      std::optional<std::string> Label =
+          takeName(TokKind::Word, "block label");
+      if (!Label || !expect(TokKind::Colon, "':'"))
+        return;
+      B.setInsertPoint(getBlock(*Label));
+      // Instructions until the next label or '}'. A label is a Word
+      // followed by ':'; instructions start with '%', 'store', 'br',
+      // 'call', 'ret', 'unreachable'.
+      while (Failed.empty() && Tok.Kind != TokKind::RBrace &&
+             !atBlockLabel()) {
+        parseInstruction(B);
+      }
+    }
+    expect(TokKind::RBrace, "'}'");
+  }
+
+  /// Lookahead-free label detection: the statement words that can begin an
+  /// instruction are a closed set; any other bare word at statement start
+  /// is a label.
+  bool atBlockLabel() {
+    if (Tok.Kind != TokKind::Word)
+      return false;
+    static const char *Starters[] = {"store", "br", "call", "ret",
+                                     "unreachable"};
+    for (const char *Starter : Starters)
+      if (Tok.Text == Starter)
+        return false;
+    return true;
+  }
+
+  BasicBlock *getBlock(const std::string &Label) {
+    auto It = Blocks.find(Label);
+    if (It != Blocks.end())
+      return It->second;
+    BasicBlock *BB = F->createBlock(Label);
+    Blocks[Label] = BB;
+    return BB;
+  }
+
+  //===--- instructions -----------------------------------------------------===//
+
+  void parseInstruction(IRBuilder &B) {
+    if (Tok.Kind == TokKind::Percent) {
+      std::string Name = Tok.Text;
+      advance();
+      if (!expect(TokKind::Equals, "'='"))
+        return;
+      parseNamedInstruction(B, Name);
+      return;
+    }
+    if (Tok.Kind != TokKind::Word) {
+      fail("expected instruction");
+      return;
+    }
+    if (Tok.Text == "store") {
+      advance();
+      Value *Stored = parseValue();
+      if (!Stored || !expect(TokKind::Comma, "','"))
+        return;
+      Value *Ptr = parseValue();
+      if (!Ptr)
+        return;
+      B.store(Stored, Ptr);
+      return;
+    }
+    if (Tok.Text == "br") {
+      advance();
+      if (Tok.Kind == TokKind::Word && Tok.Text == "label") {
+        advance();
+        std::optional<std::string> Target =
+            takeName(TokKind::Percent, "block name");
+        if (Target)
+          B.br(getBlock(*Target));
+        return;
+      }
+      Value *Cond = parseValue();
+      if (!Cond || !expect(TokKind::Comma, "','") || !expectWord("label"))
+        return;
+      std::optional<std::string> TrueTarget =
+          takeName(TokKind::Percent, "block name");
+      if (!TrueTarget || !expect(TokKind::Comma, "','") ||
+          !expectWord("label"))
+        return;
+      std::optional<std::string> FalseTarget =
+          takeName(TokKind::Percent, "block name");
+      if (!FalseTarget)
+        return;
+      B.condBr(Cond, getBlock(*TrueTarget), getBlock(*FalseTarget));
+      return;
+    }
+    if (Tok.Text == "call") { // void call
+      advance();
+      parseCall(B, "");
+      return;
+    }
+    if (Tok.Text == "ret") {
+      advance();
+      if (atEndOfStatementValue()) {
+        B.ret();
+        return;
+      }
+      Value *RV = parseValue();
+      if (RV)
+        B.ret(RV);
+      return;
+    }
+    if (Tok.Text == "unreachable") {
+      advance();
+      B.unreachable_();
+      return;
+    }
+    fail(formatString("unknown instruction '%s'", Tok.Text.c_str()));
+  }
+
+  /// True when a 'ret' has no value: next token starts a label, '}', or
+  /// another statement.
+  bool atEndOfStatementValue() {
+    if (Tok.Kind == TokKind::RBrace || Tok.Kind == TokKind::End)
+      return true;
+    if (Tok.Kind == TokKind::Percent)
+      return false; // "%x" can only be a value here (named defs need '=')
+    if (Tok.Kind == TokKind::LBracket || Tok.Kind == TokKind::Number)
+      return false;
+    if (Tok.Kind == TokKind::Word) {
+      // A type word begins a ret value; anything else is a statement or
+      // label.
+      static const char *TypeWords[] = {"i8",     "i16", "i32", "i64",
+                                        "float",  "double", "ptr", "void"};
+      for (const char *Word : TypeWords)
+        if (Tok.Text == Word)
+          return false;
+      return true;
+    }
+    return true;
+  }
+
+  void parseCall(IRBuilder &B, const std::string &ResultName) {
+    Type *RetTy = parseType();
+    if (!RetTy)
+      return;
+    std::optional<std::string> Callee =
+        takeName(TokKind::At, "callee name");
+    if (!Callee || !expect(TokKind::LParen, "'('"))
+      return;
+    std::vector<Value *> Args;
+    while (Tok.Kind != TokKind::RParen && Failed.empty()) {
+      Value *Arg = parseValue();
+      if (!Arg)
+        return;
+      Args.push_back(Arg);
+      if (Tok.Kind == TokKind::Comma)
+        advance();
+    }
+    if (!expect(TokKind::RParen, "')'"))
+      return;
+    Function *CalleeFn = M->getFunction(*Callee);
+    if (!CalleeFn) {
+      // Forward reference to a builtin: synthesize a vararg declaration.
+      CalleeFn = M->getOrInsertDeclaration(*Callee, RetTy, {}, true);
+    }
+    CallInst *Call = B.call(CalleeFn, std::move(Args), ResultName);
+    if (!ResultName.empty()) {
+      Call->setName(ResultName);
+      defineLocal(ResultName, Call);
+    }
+  }
+
+  void parseNamedInstruction(IRBuilder &B, const std::string &Name) {
+    if (Tok.Kind != TokKind::Word) {
+      fail("expected instruction mnemonic");
+      return;
+    }
+    std::string Mnemonic = Tok.Text;
+
+    if (Mnemonic == "alloca") {
+      advance();
+      Type *AllocTy = parseType();
+      if (!AllocTy)
+        return;
+      Value *Count = nullptr;
+      uint64_t Align = 0;
+      while (Tok.Kind == TokKind::Comma) {
+        advance();
+        if (Tok.Kind == TokKind::Word && Tok.Text == "count") {
+          advance();
+          Count = parseValue();
+          if (!Count)
+            return;
+        } else if (Tok.Kind == TokKind::Word && Tok.Text == "align") {
+          advance();
+          std::optional<int64_t> AlignVal = takeInt();
+          if (!AlignVal)
+            return;
+          Align = static_cast<uint64_t>(*AlignVal);
+        } else {
+          fail("expected 'count' or 'align'");
+          return;
+        }
+      }
+      AllocaInst *A;
+      if (Count)
+        A = B.allocaVLA(AllocTy, Count, Name);
+      else
+        A = B.alloca_(AllocTy, Name,
+                      Align == AllocTy->alignment() ? 0 : Align);
+      defineLocal(Name, A);
+      return;
+    }
+
+    if (Mnemonic == "load") {
+      advance();
+      Type *LoadTy = parseType();
+      if (!LoadTy || !expect(TokKind::Comma, "','"))
+        return;
+      Value *Ptr = parseValue();
+      if (!Ptr)
+        return;
+      defineLocal(Name, B.load(LoadTy, Ptr, Name));
+      return;
+    }
+
+    if (Mnemonic == "gep") {
+      advance();
+      Value *Base = parseValue();
+      if (!Base)
+        return;
+      Value *Index = nullptr;
+      uint64_t Scale = 0;
+      int64_t Offset = 0;
+      // Optional "+ <value> * <scale>" then optional "+ <offset>".
+      if (Tok.Kind == TokKind::Plus) {
+        advance();
+        if (Tok.Kind == TokKind::Number) {
+          std::optional<int64_t> Off = takeInt();
+          if (!Off)
+            return;
+          Offset = *Off;
+        } else {
+          Index = parseValue();
+          if (!Index || !expect(TokKind::Star, "'*'"))
+            return;
+          std::optional<int64_t> ScaleVal = takeInt();
+          if (!ScaleVal)
+            return;
+          Scale = static_cast<uint64_t>(*ScaleVal);
+          if (Tok.Kind == TokKind::Plus) {
+            advance();
+            std::optional<int64_t> Off = takeInt();
+            if (!Off)
+              return;
+            Offset = *Off;
+          }
+        }
+      }
+      defineLocal(Name, B.gep(Base, Index, Scale, Offset, Name));
+      return;
+    }
+
+    if (Mnemonic == "icmp") {
+      advance();
+      std::optional<std::string> Pred =
+          takeName(TokKind::Word, "icmp predicate");
+      if (!Pred)
+        return;
+      std::optional<ICmpInst::Predicate> Predicate = lookupPredicate(*Pred);
+      if (!Predicate) {
+        fail(formatString("unknown predicate '%s'", Pred->c_str()));
+        return;
+      }
+      Value *LHS = parseValue();
+      if (!LHS || !expect(TokKind::Comma, "','"))
+        return;
+      Value *RHS = parseValue();
+      if (!RHS)
+        return;
+      defineLocal(Name, B.icmp(*Predicate, LHS, RHS, Name));
+      return;
+    }
+
+    if (Mnemonic == "select") {
+      advance();
+      Value *Cond = parseValue();
+      if (!Cond || !expect(TokKind::Comma, "','"))
+        return;
+      Value *TrueV = parseValue();
+      if (!TrueV || !expect(TokKind::Comma, "','"))
+        return;
+      Value *FalseV = parseValue();
+      if (!FalseV)
+        return;
+      defineLocal(Name, B.select(Cond, TrueV, FalseV, Name));
+      return;
+    }
+
+    if (Mnemonic == "call") {
+      advance();
+      parseCall(B, Name);
+      return;
+    }
+
+    if (std::optional<BinaryInst::BinOp> Op = lookupBinOp(Mnemonic)) {
+      advance();
+      Value *LHS = parseValue();
+      if (!LHS || !expect(TokKind::Comma, "','"))
+        return;
+      Value *RHS = parseValue();
+      if (!RHS)
+        return;
+      defineLocal(Name, B.binop(*Op, LHS, RHS, Name));
+      return;
+    }
+
+    if (std::optional<CastInst::CastOp> Op = lookupCastOp(Mnemonic)) {
+      advance();
+      Value *Src = parseValue();
+      if (!Src || !expectWord("to"))
+        return;
+      Type *DestTy = parseType();
+      if (!DestTy)
+        return;
+      defineLocal(Name, B.cast_(*Op, DestTy, Src, Name));
+      return;
+    }
+
+    fail(formatString("unknown instruction '%s'", Mnemonic.c_str()));
+  }
+
+  //===--- mnemonic tables --------------------------------------------------===//
+
+  static std::optional<BinaryInst::BinOp> lookupBinOp(const std::string &S) {
+    using BinOp = BinaryInst::BinOp;
+    static const std::pair<const char *, BinOp> Table[] = {
+        {"add", BinOp::Add},   {"sub", BinOp::Sub},   {"mul", BinOp::Mul},
+        {"udiv", BinOp::UDiv}, {"sdiv", BinOp::SDiv}, {"urem", BinOp::URem},
+        {"srem", BinOp::SRem}, {"and", BinOp::And},   {"or", BinOp::Or},
+        {"xor", BinOp::Xor},   {"shl", BinOp::Shl},   {"lshr", BinOp::LShr},
+        {"ashr", BinOp::AShr}, {"fadd", BinOp::FAdd}, {"fsub", BinOp::FSub},
+        {"fmul", BinOp::FMul}, {"fdiv", BinOp::FDiv}};
+    for (const auto &[Word, Op] : Table)
+      if (S == Word)
+        return Op;
+    return std::nullopt;
+  }
+
+  static std::optional<CastInst::CastOp>
+  lookupCastOp(const std::string &S) {
+    using CastOp = CastInst::CastOp;
+    static const std::pair<const char *, CastOp> Table[] = {
+        {"trunc", CastOp::Trunc},       {"zext", CastOp::ZExt},
+        {"sext", CastOp::SExt},         {"bitcast", CastOp::Bitcast},
+        {"ptrtoint", CastOp::PtrToInt}, {"inttoptr", CastOp::IntToPtr},
+        {"fptosi", CastOp::FPToSI},     {"sitofp", CastOp::SIToFP},
+        {"fpext", CastOp::FPExt},       {"fptrunc", CastOp::FPTrunc}};
+    for (const auto &[Word, Op] : Table)
+      if (S == Word)
+        return Op;
+    return std::nullopt;
+  }
+
+  static std::optional<ICmpInst::Predicate>
+  lookupPredicate(const std::string &S) {
+    using Pred = ICmpInst::Predicate;
+    static const std::pair<const char *, Pred> Table[] = {
+        {"eq", Pred::EQ},   {"ne", Pred::NE},   {"ult", Pred::ULT},
+        {"ule", Pred::ULE}, {"ugt", Pred::UGT}, {"uge", Pred::UGE},
+        {"slt", Pred::SLT}, {"sle", Pred::SLE}, {"sgt", Pred::SGT},
+        {"sge", Pred::SGE}, {"oeq", Pred::OEQ}, {"olt", Pred::OLT},
+        {"ole", Pred::OLE}, {"ogt", Pred::OGT}, {"oge", Pred::OGE}};
+    for (const auto &[Word, Op] : Table)
+      if (S == Word)
+        return Op;
+    return std::nullopt;
+  }
+
+  Lexer Lex;
+  Token Tok;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  std::map<std::string, Value *> Locals;
+  std::map<std::string, BasicBlock *> Blocks;
+  std::map<std::string, StructType *> Structs;
+  std::string Failed;
+};
+
+} // namespace
+
+ParseResult smokestack::parseModule(const std::string &Text,
+                                    std::string ModuleName) {
+  return Parser(Text, std::move(ModuleName)).run();
+}

@@ -1,0 +1,42 @@
+//===- ir/Parser.h - Textual Mini-IR parser --------------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual Mini-IR form emitted by Module::print(), enabling
+/// IR files on disk, the smokestack-opt command-line driver, and
+/// print/parse round-trip testing. The accepted grammar covers everything
+/// the printer emits except struct types (which no current producer prints
+/// into modules).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_IR_PARSER_H
+#define SMOKESTACK_IR_PARSER_H
+
+#include <memory>
+#include <string>
+
+namespace smokestack {
+
+class Module;
+
+/// Result of a parse: the module, or a diagnostic with 1-based line info.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parses \p Text (the printer's format) into a fresh module named
+/// \p ModuleName. On failure the returned module is null and Error holds a
+/// "line N: message" diagnostic.
+ParseResult parseModule(const std::string &Text,
+                        std::string ModuleName = "parsed");
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_IR_PARSER_H

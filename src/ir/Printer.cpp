@@ -1,0 +1,251 @@
+//===- ir/Printer.cpp - Textual IR printing -------------------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-like textual printing of Mini-IR modules, used by tests, examples,
+/// pass debugging, and IR files on disk. The output round-trips through
+/// ir/Parser.h (struct types excepted).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/Casting.h"
+#include "support/Format.h"
+#include "support/RawStream.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace smokestack;
+
+namespace {
+
+/// Per-function printing context: assigns each named value a unique
+/// printable name (instrumentation passes can produce duplicate temp
+/// names; the textual form must be unambiguous to round-trip).
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) {
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+      assignName(F.getArg(I));
+    for (const auto &Block : F)
+      for (const auto &Inst : *Block)
+        if (!Inst->getType()->isVoid())
+          assignName(Inst.get());
+  }
+
+  std::string valueRef(const Value *V) const {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return formatString("%s %lld", CI->getType()->getName().c_str(),
+                          (long long)CI->getSExtValue());
+    if (const auto *CF = dyn_cast<ConstantFP>(V))
+      return formatString("%s %g", CF->getType()->getName().c_str(),
+                          CF->getValue());
+    if (isa<GlobalVariable>(V))
+      return formatString("ptr @%s", V->getName().c_str());
+    return formatString("%s %%%s", V->getType()->getName().c_str(),
+                        nameOf(V).c_str());
+  }
+
+  const std::string &nameOf(const Value *V) const { return Names.at(V); }
+
+  void printInstruction(RawOStream &OS, const Instruction *Inst) const;
+
+private:
+  void assignName(const Value *V) {
+    std::string Base = V->getName().empty() ? "v" : V->getName();
+    std::string Candidate = Base;
+    unsigned Suffix = 0;
+    while (!Used.insert(Candidate).second)
+      Candidate = Base + "." + std::to_string(++Suffix);
+    Names[V] = Candidate;
+  }
+
+  std::map<const Value *, std::string> Names;
+  std::set<std::string> Used;
+};
+
+void FunctionPrinter::printInstruction(RawOStream &OS,
+                                       const Instruction *Inst) const {
+  OS << "  ";
+  if (!Inst->getType()->isVoid())
+    OS << '%' << nameOf(Inst) << " = ";
+
+  switch (Inst->getOpcode()) {
+  case Instruction::Opcode::Alloca: {
+    const auto *Alloca = cast<AllocaInst>(Inst);
+    OS << "alloca " << Alloca->getAllocatedType()->getName();
+    if (Alloca->isVLA())
+      OS << ", count " << valueRef(Alloca->getCount());
+    OS << ", align " << Alloca->getAlign();
+    break;
+  }
+  case Instruction::Opcode::Load:
+    OS << "load " << Inst->getType()->getName() << ", "
+       << valueRef(cast<LoadInst>(Inst)->getPointer());
+    break;
+  case Instruction::Opcode::Store: {
+    const auto *Store = cast<StoreInst>(Inst);
+    OS << "store " << valueRef(Store->getStoredValue()) << ", "
+       << valueRef(Store->getPointer());
+    break;
+  }
+  case Instruction::Opcode::Gep: {
+    const auto *Gep = cast<GepInst>(Inst);
+    OS << "gep " << valueRef(Gep->getBase());
+    if (Gep->getIndex())
+      OS << " + " << valueRef(Gep->getIndex()) << " * " << Gep->getScale();
+    if (Gep->getConstOffset() || !Gep->getIndex())
+      OS << " + " << Gep->getConstOffset();
+    break;
+  }
+  case Instruction::Opcode::BinOp: {
+    const auto *Bin = cast<BinaryInst>(Inst);
+    OS << Bin->getBinOpName() << ' ' << valueRef(Bin->getLHS()) << ", "
+       << valueRef(Bin->getRHS());
+    break;
+  }
+  case Instruction::Opcode::ICmp: {
+    const auto *Cmp = cast<ICmpInst>(Inst);
+    OS << "icmp " << Cmp->getPredicateName() << ' ' << valueRef(Cmp->getLHS())
+       << ", " << valueRef(Cmp->getRHS());
+    break;
+  }
+  case Instruction::Opcode::Cast: {
+    const auto *Cast = smokestack::cast<CastInst>(Inst);
+    OS << Cast->getCastOpName() << ' ' << valueRef(Cast->getSource())
+       << " to " << Cast->getType()->getName();
+    break;
+  }
+  case Instruction::Opcode::Select: {
+    const auto *Sel = cast<SelectInst>(Inst);
+    OS << "select " << valueRef(Sel->getCondition()) << ", "
+       << valueRef(Sel->getTrueValue()) << ", "
+       << valueRef(Sel->getFalseValue());
+    break;
+  }
+  case Instruction::Opcode::Br: {
+    const auto *Br = cast<BranchInst>(Inst);
+    if (Br->isConditional())
+      OS << "br " << valueRef(Br->getCondition()) << ", label %"
+         << Br->getTrueTarget()->getName() << ", label %"
+         << Br->getFalseTarget()->getName();
+    else
+      OS << "br label %" << Br->getTrueTarget()->getName();
+    break;
+  }
+  case Instruction::Opcode::Call: {
+    const auto *Call = cast<CallInst>(Inst);
+    OS << "call " << Call->getType()->getName() << " @"
+       << Call->getCallee()->getName() << '(';
+    for (unsigned I = 0, E = Call->getNumArgs(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      OS << valueRef(Call->getArg(I));
+    }
+    OS << ')';
+    break;
+  }
+  case Instruction::Opcode::Ret:
+    OS << "ret";
+    if (Value *RV = cast<RetInst>(Inst)->getReturnValue())
+      OS << ' ' << valueRef(RV);
+    break;
+  case Instruction::Opcode::Unreachable:
+    OS << "unreachable";
+    break;
+  }
+  OS << '\n';
+}
+
+} // namespace
+
+void Module::print(RawOStream &OS) const {
+  OS << "; module '" << Name << "'\n";
+  // Struct definitions first: collect every struct type reachable from
+  // globals and allocas (nested members included).
+  std::set<const StructType *> Printed;
+  std::vector<const StructType *> Order;
+  std::function<void(const Type *)> Collect = [&](const Type *Ty) {
+    if (const auto *Arr = dyn_cast<ArrayType>(Ty)) {
+      Collect(Arr->getElementType());
+      return;
+    }
+    const auto *S = dyn_cast<StructType>(Ty);
+    if (!S || !Printed.insert(S).second)
+      return;
+    for (const Type *Field : S->getFields())
+      Collect(Field);
+    Order.push_back(S);
+  };
+  for (const auto &G : Globals)
+    Collect(G->getValueType());
+  for (const auto &F : Functions)
+    for (const auto &Block : *F)
+      for (const auto &Inst : *Block)
+        if (const auto *Alloca = dyn_cast<AllocaInst>(Inst.get()))
+          Collect(Alloca->getAllocatedType());
+  for (const StructType *S : Order) {
+    OS << "%struct." << S->getStructName() << " = type {";
+    for (size_t I = 0; I != S->getFields().size(); ++I)
+      OS << (I ? ", " : " ") << S->getFields()[I]->getName();
+    OS << " }\n";
+  }
+  if (!Order.empty())
+    OS << '\n';
+
+  for (const auto &G : Globals) {
+    OS << '@' << G->getName() << " = "
+       << (G->isReadOnly() ? "constant " : "global ")
+       << G->getValueType()->getName();
+    const std::vector<uint8_t> &Init = G->getInitializer();
+    if (Init.empty()) {
+      OS << " zeroinit\n";
+    } else {
+      OS << " bytes [";
+      for (uint8_t Byte : Init)
+        OS << ' ' << uint64_t(Byte);
+      OS << " ]\n";
+    }
+  }
+  if (!Globals.empty())
+    OS << '\n';
+
+  for (const auto &F : Functions) {
+    if (F->isDeclaration()) {
+      OS << "declare " << F->getReturnType()->getName() << " @"
+         << F->getName() << '(';
+      for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I) {
+        if (I)
+          OS << ", ";
+        OS << F->getArg(I)->getType()->getName();
+      }
+      if (F->isVarArg())
+        OS << (F->getNumArgs() ? ", ..." : "...");
+      OS << ")\n";
+      continue;
+    }
+    FunctionPrinter FP(*F);
+    OS << "define " << F->getReturnType()->getName() << " @" << F->getName()
+       << '(';
+    for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      const Argument *Arg = F->getArg(I);
+      OS << Arg->getType()->getName() << " %" << FP.nameOf(Arg);
+    }
+    OS << ") {\n";
+    for (const auto &Block : *F) {
+      OS << Block->getName() << ":\n";
+      for (const auto &Inst : *Block)
+        FP.printInstruction(OS, Inst.get());
+    }
+    OS << "}\n\n";
+  }
+}

@@ -1,0 +1,166 @@
+//===- ir/Type.cpp - Mini-IR type system ----------------------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/Align.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace smokestack;
+
+Type::~Type() = default;
+
+uint64_t Type::sizeInBytes() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return 0;
+  case Kind::Int8:
+    return 1;
+  case Kind::Int16:
+    return 2;
+  case Kind::Int32:
+  case Kind::Float:
+    return 4;
+  case Kind::Int64:
+  case Kind::Double:
+  case Kind::Pointer:
+    return 8;
+  case Kind::Array: {
+    const auto *Array = cast<ArrayType>(this);
+    return Array->getElementType()->sizeInBytes() * Array->getNumElements();
+  }
+  case Kind::Struct:
+    return cast<StructType>(this)->getStructSize();
+  }
+  smokestack_unreachable("unknown type kind");
+}
+
+uint64_t Type::alignment() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return 1;
+  case Kind::Int8:
+    return 1;
+  case Kind::Int16:
+    return 2;
+  case Kind::Int32:
+  case Kind::Float:
+    return 4;
+  case Kind::Int64:
+  case Kind::Double:
+  case Kind::Pointer:
+    return 8;
+  case Kind::Array:
+    // Element alignment requirement; this is the recursive case the paper's
+    // Section IV-A calls out for aggregate types.
+    return cast<ArrayType>(this)->getElementType()->alignment();
+  case Kind::Struct:
+    return cast<StructType>(this)->getStructAlignment();
+  }
+  smokestack_unreachable("unknown type kind");
+}
+
+unsigned Type::integerBitWidth() const {
+  switch (TheKind) {
+  case Kind::Int8:
+    return 8;
+  case Kind::Int16:
+    return 16;
+  case Kind::Int32:
+    return 32;
+  case Kind::Int64:
+    return 64;
+  default:
+    smokestack_unreachable("not an integer type");
+  }
+}
+
+std::string Type::getName() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return "void";
+  case Kind::Int8:
+    return "i8";
+  case Kind::Int16:
+    return "i16";
+  case Kind::Int32:
+    return "i32";
+  case Kind::Int64:
+    return "i64";
+  case Kind::Float:
+    return "float";
+  case Kind::Double:
+    return "double";
+  case Kind::Pointer:
+    return "ptr";
+  case Kind::Array: {
+    const auto *Array = cast<ArrayType>(this);
+    return formatString("[%llu x %s]",
+                        (unsigned long long)Array->getNumElements(),
+                        Array->getElementType()->getName().c_str());
+  }
+  case Kind::Struct:
+    return "%struct." + cast<StructType>(this)->getStructName();
+  }
+  smokestack_unreachable("unknown type kind");
+}
+
+StructType::StructType(std::string Name, std::vector<Type *> Fields)
+    : Type(Kind::Struct), Name(std::move(Name)), Fields(std::move(Fields)) {
+  // Natural layout: each field at the next offset aligned for it; the
+  // struct's alignment is the max field alignment, and its size is padded
+  // to a multiple of that alignment.
+  uint64_t Offset = 0;
+  for (Type *Field : this->Fields) {
+    uint64_t FieldAlign = Field->alignment();
+    if (FieldAlign > Align)
+      Align = FieldAlign;
+    Offset = alignTo(Offset, FieldAlign);
+    Offsets.push_back(Offset);
+    Offset += Field->sizeInBytes();
+  }
+  Size = alignTo(Offset, Align);
+}
+
+TypeContext::TypeContext() = default;
+TypeContext::~TypeContext() = default;
+
+ArrayType *TypeContext::getArrayTy(Type *Element, uint64_t NumElements) {
+  auto Key = std::make_pair(Element, NumElements);
+  auto It = ArrayTypes.find(Key);
+  if (It != ArrayTypes.end())
+    return It->second.get();
+  auto New = std::make_unique<ArrayType>(Element, NumElements);
+  ArrayType *Result = New.get();
+  ArrayTypes.emplace(Key, std::move(New));
+  return Result;
+}
+
+StructType *TypeContext::createStructTy(std::string Name,
+                                        std::vector<Type *> Fields) {
+  StructTypes.push_back(
+      std::make_unique<StructType>(std::move(Name), std::move(Fields)));
+  return StructTypes.back().get();
+}
+
+Type *TypeContext::getIntTy(unsigned Bits) {
+  switch (Bits) {
+  case 8:
+    return getInt8Ty();
+  case 16:
+    return getInt16Ty();
+  case 32:
+    return getInt32Ty();
+  case 64:
+    return getInt64Ty();
+  default:
+    smokestack_unreachable("unsupported integer width");
+  }
+}

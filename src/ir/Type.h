@@ -1,0 +1,165 @@
+//===- ir/Type.h - Mini-IR type system -------------------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Mini-IR type system. Smokestack's permutation engine consumes exactly
+/// two properties of every stack allocation — size and ABI alignment — so
+/// types carry a System-V-style natural layout: primitives are self-aligned,
+/// arrays take their element alignment, structs take the max field alignment
+/// and are padded per field.
+///
+/// Types are interned in and owned by a TypeContext (one per Module);
+/// pointer equality is type equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_IR_TYPE_H
+#define SMOKESTACK_IR_TYPE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smokestack {
+
+class TypeContext;
+
+/// Base of the Mini-IR type hierarchy.
+class Type {
+public:
+  enum class Kind {
+    Void,
+    Int8,
+    Int16,
+    Int32,
+    Int64,
+    Float,
+    Double,
+    Pointer,
+    Array,
+    Struct,
+  };
+
+  explicit Type(Kind TheKind) : TheKind(TheKind) {}
+  virtual ~Type();
+
+  Kind getKind() const { return TheKind; }
+
+  bool isVoid() const { return TheKind == Kind::Void; }
+  bool isInteger() const {
+    return TheKind == Kind::Int8 || TheKind == Kind::Int16 ||
+           TheKind == Kind::Int32 || TheKind == Kind::Int64;
+  }
+  bool isFloatingPoint() const {
+    return TheKind == Kind::Float || TheKind == Kind::Double;
+  }
+  bool isPointer() const { return TheKind == Kind::Pointer; }
+  bool isAggregate() const {
+    return TheKind == Kind::Array || TheKind == Kind::Struct;
+  }
+
+  /// Size of a value of this type in bytes (0 for void).
+  uint64_t sizeInBytes() const;
+
+  /// ABI alignment requirement in bytes (1 for void).
+  uint64_t alignment() const;
+
+  /// For integers, the width in bits.
+  unsigned integerBitWidth() const;
+
+  /// Short printable name ("i32", "[16 x i8]", "%struct.foo").
+  std::string getName() const;
+
+private:
+  Kind TheKind;
+};
+
+/// Fixed-size array type.
+class ArrayType : public Type {
+public:
+  ArrayType(Type *Element, uint64_t NumElements)
+      : Type(Kind::Array), Element(Element), NumElements(NumElements) {}
+
+  static bool classof(const Type *Ty) { return Ty->getKind() == Kind::Array; }
+
+  Type *getElementType() const { return Element; }
+  uint64_t getNumElements() const { return NumElements; }
+
+private:
+  Type *Element;
+  uint64_t NumElements;
+};
+
+/// Struct type with natural (padded) field layout.
+class StructType : public Type {
+public:
+  StructType(std::string Name, std::vector<Type *> Fields);
+
+  static bool classof(const Type *Ty) { return Ty->getKind() == Kind::Struct; }
+
+  const std::string &getStructName() const { return Name; }
+  const std::vector<Type *> &getFields() const { return Fields; }
+
+  /// Byte offset of field \p Index within the struct.
+  uint64_t getFieldOffset(unsigned Index) const { return Offsets[Index]; }
+
+  uint64_t getStructSize() const { return Size; }
+  uint64_t getStructAlignment() const { return Align; }
+
+private:
+  std::string Name;
+  std::vector<Type *> Fields;
+  std::vector<uint64_t> Offsets;
+  uint64_t Size = 0;
+  uint64_t Align = 1;
+};
+
+/// Owns and interns all types of one module.
+class TypeContext {
+public:
+  TypeContext();
+  ~TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  Type *getVoidTy() { return &VoidTy; }
+  Type *getInt8Ty() { return &Int8Ty; }
+  Type *getInt16Ty() { return &Int16Ty; }
+  Type *getInt32Ty() { return &Int32Ty; }
+  Type *getInt64Ty() { return &Int64Ty; }
+  Type *getFloatTy() { return &FloatTy; }
+  Type *getDoubleTy() { return &DoubleTy; }
+  Type *getPointerTy() { return &PointerTy; }
+
+  /// Returns the interned array type [NumElements x Element].
+  ArrayType *getArrayTy(Type *Element, uint64_t NumElements);
+
+  /// Creates a named struct with the given fields (names are not uniqued;
+  /// each call creates a distinct type).
+  StructType *createStructTy(std::string Name, std::vector<Type *> Fields);
+
+  /// Returns the integer type of \p Bits (8/16/32/64).
+  Type *getIntTy(unsigned Bits);
+
+private:
+  Type VoidTy{Type::Kind::Void};
+  Type Int8Ty{Type::Kind::Int8};
+  Type Int16Ty{Type::Kind::Int16};
+  Type Int32Ty{Type::Kind::Int32};
+  Type Int64Ty{Type::Kind::Int64};
+  Type FloatTy{Type::Kind::Float};
+  Type DoubleTy{Type::Kind::Double};
+  Type PointerTy{Type::Kind::Pointer};
+
+  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ArrayType>> ArrayTypes;
+  std::vector<std::unique_ptr<StructType>> StructTypes;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_IR_TYPE_H

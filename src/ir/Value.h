@@ -1,0 +1,131 @@
+//===- ir/Value.h - Mini-IR value hierarchy --------------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Mini-IR value hierarchy root: everything an instruction can use as an
+/// operand is a Value (arguments, constants, globals, other instructions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_IR_VALUE_H
+#define SMOKESTACK_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smokestack {
+
+/// Base of everything that can appear as an instruction operand.
+class Value {
+public:
+  enum class Kind {
+    Argument,
+    ConstantInt,
+    ConstantFP,
+    GlobalVariable,
+    Instruction,
+  };
+
+  Value(Kind TheKind, Type *Ty, std::string Name)
+      : TheKind(TheKind), Ty(Ty), Name(std::move(Name)) {}
+  virtual ~Value();
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+
+  Kind getValueKind() const { return TheKind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+private:
+  Kind TheKind;
+  Type *Ty;
+  std::string Name;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, std::string Name, unsigned Index)
+      : Value(Kind::Argument, Ty, std::move(Name)), Index(Index) {}
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == Kind::Argument;
+  }
+
+  unsigned getArgIndex() const { return Index; }
+
+private:
+  unsigned Index;
+};
+
+/// An integer constant, stored as the raw 64-bit pattern (sign-extension to
+/// 64 bits for signed constants happens at creation).
+class ConstantInt : public Value {
+public:
+  ConstantInt(Type *Ty, uint64_t Bits)
+      : Value(Kind::ConstantInt, Ty, ""), Bits(Bits) {}
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == Kind::ConstantInt;
+  }
+
+  uint64_t getZExtValue() const { return Bits; }
+  int64_t getSExtValue() const { return static_cast<int64_t>(Bits); }
+
+private:
+  uint64_t Bits;
+};
+
+/// A floating-point constant (float or double), stored as double.
+class ConstantFP : public Value {
+public:
+  ConstantFP(Type *Ty, double V) : Value(Kind::ConstantFP, Ty, ""), Val(V) {}
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == Kind::ConstantFP;
+  }
+
+  double getValue() const { return Val; }
+
+private:
+  double Val;
+};
+
+/// A module-level variable; its value is its address in the simulated
+/// address space (type: ptr). Carries an optional byte initializer.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(Type *PointerTy, std::string Name, Type *ValueTy,
+                 std::vector<uint8_t> Init, bool ReadOnly)
+      : Value(Kind::GlobalVariable, PointerTy, std::move(Name)),
+        ValueTy(ValueTy), Init(std::move(Init)), ReadOnly(ReadOnly) {}
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == Kind::GlobalVariable;
+  }
+
+  /// Type of the stored object (the global's value type).
+  Type *getValueType() const { return ValueTy; }
+
+  /// Initializer bytes; shorter than the object size means zero-fill.
+  const std::vector<uint8_t> &getInitializer() const { return Init; }
+
+  bool isReadOnly() const { return ReadOnly; }
+
+private:
+  Type *ValueTy;
+  std::vector<uint8_t> Init;
+  bool ReadOnly;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_IR_VALUE_H

@@ -1,0 +1,35 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification of Mini-IR modules. Run after construction and
+/// after every transformation pass; the instrumentation passes must leave
+/// the module verifiable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_IR_VERIFIER_H
+#define SMOKESTACK_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace smokestack {
+
+class Function;
+class Module;
+
+/// Checks \p M for structural validity. Returns true if valid; otherwise
+/// false with human-readable diagnostics appended to \p Errors.
+bool verifyModule(const Module &M, std::vector<std::string> *Errors = nullptr);
+
+/// Per-function verification.
+bool verifyFunction(const Function &F,
+                    std::vector<std::string> *Errors = nullptr);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_IR_VERIFIER_H

@@ -1,0 +1,47 @@
+//===- pass/Pass.cpp - Module/function pass framework ---------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/Pass.h"
+
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "support/RawStream.h"
+
+using namespace smokestack;
+
+ModulePass::~ModulePass() = default;
+
+bool FunctionPass::runOnModule(Module &M) {
+  bool Changed = false;
+  for (const auto &F : M)
+    if (!F->isDeclaration())
+      Changed |= runOnFunction(*F);
+  return Changed;
+}
+
+void PassManager::addPass(std::unique_ptr<ModulePass> Pass) {
+  Passes.push_back(std::move(Pass));
+}
+
+bool PassManager::run(Module &M) {
+  bool AnyChanged = false;
+  for (const auto &Pass : Passes) {
+    bool Changed = Pass->runOnModule(M);
+    AnyChanged |= Changed;
+    if (!Changed)
+      continue;
+    std::vector<std::string> Errors;
+    if (verifyModule(M, &Errors))
+      continue;
+    errs() << "pass '" << Pass->getPassName()
+           << "' produced invalid IR:\n";
+    for (const std::string &Error : Errors)
+      errs() << "  " << Error << '\n';
+    reportFatalError("pass pipeline broke module validity");
+  }
+  return AnyChanged;
+}

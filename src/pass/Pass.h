@@ -1,0 +1,68 @@
+//===- pass/Pass.h - Module/function pass framework ------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small pass framework: passes transform a Module in place
+/// and report whether they changed it; the PassManager runs a sequence and
+/// re-verifies the module after each transformation, mirroring how the
+/// paper's analysis and instrumentation passes are staged in LLVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_PASS_PASS_H
+#define SMOKESTACK_PASS_PASS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smokestack {
+
+class Function;
+class Module;
+
+/// A whole-module transformation or analysis.
+class ModulePass {
+public:
+  virtual ~ModulePass();
+
+  /// Pass name for diagnostics.
+  virtual const char *getPassName() const = 0;
+
+  /// Runs on \p M; returns true if the module was modified.
+  virtual bool runOnModule(Module &M) = 0;
+};
+
+/// Convenience base for passes that visit each function definition.
+class FunctionPass : public ModulePass {
+public:
+  bool runOnModule(Module &M) override;
+
+  /// Runs on one function definition; returns true if modified.
+  virtual bool runOnFunction(Function &F) = 0;
+};
+
+/// Runs a pipeline of passes with post-pass verification.
+class PassManager {
+public:
+  /// Appends \p Pass to the pipeline.
+  void addPass(std::unique_ptr<ModulePass> Pass);
+
+  /// Runs all passes in order. Returns true if any modified the module.
+  /// If a pass leaves the module unverifiable this reports a fatal error
+  /// (with the verifier diagnostics) — instrumentation must preserve IR
+  /// validity.
+  bool run(Module &M);
+
+  size_t size() const { return Passes.size(); }
+
+private:
+  std::vector<std::unique_ptr<ModulePass>> Passes;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_PASS_PASS_H

@@ -1,0 +1,61 @@
+//===- rng/Aes128.h - AES-128 block cipher ---------------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AES-128 block encryption with a configurable number of rounds, backing
+/// the paper's AES-1 and AES-10 randomness schemes. Ten rounds is standard
+/// FIPS-197 AES; one round is the paper's deliberately weakened
+/// performance/security trade-off point.
+///
+/// Two backends are provided: a portable software implementation and an
+/// AES-NI implementation (the paper uses Intel's AES-NI extensions [20]).
+/// The AES-NI backend is selected at runtime when the CPU supports it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_RNG_AES128_H
+#define SMOKESTACK_RNG_AES128_H
+
+#include <cstdint>
+
+namespace smokestack {
+
+/// Expanded AES-128 key schedule: 11 round keys of 16 bytes each.
+struct Aes128KeySchedule {
+  uint8_t RoundKeys[11][16];
+};
+
+/// Expands a 16-byte AES-128 \p Key into \p Schedule (FIPS-197 key
+/// expansion). Both backends share this schedule.
+void aes128ExpandKey(const uint8_t Key[16], Aes128KeySchedule &Schedule);
+
+/// Encrypts one 16-byte \p Block in place with the software backend.
+///
+/// \p NumRounds must be in [1, 10]. With 10 rounds this is standard AES-128:
+/// rounds 1..9 apply SubBytes/ShiftRows/MixColumns/AddRoundKey and round 10
+/// omits MixColumns. Reduced-round variants keep the same final round so
+/// AES-1 is AddRoundKey(0) followed by one final round.
+void aes128EncryptBlockSoftware(uint8_t Block[16],
+                                const Aes128KeySchedule &Schedule,
+                                unsigned NumRounds);
+
+/// Returns true if this CPU exposes the AES-NI instructions.
+bool aes128HardwareAvailable();
+
+/// Encrypts one 16-byte \p Block in place using AES-NI. Must only be called
+/// when aes128HardwareAvailable() returns true. Semantics match the software
+/// backend for every round count in [1, 10].
+void aes128EncryptBlockAesni(uint8_t Block[16],
+                             const Aes128KeySchedule &Schedule,
+                             unsigned NumRounds);
+
+/// Encrypts one block with the best available backend.
+void aes128EncryptBlock(uint8_t Block[16], const Aes128KeySchedule &Schedule,
+                        unsigned NumRounds);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_RNG_AES128_H

@@ -1,0 +1,60 @@
+//===- rng/AesCtr.cpp - AES-CTR disclosure-resistant PRNG ----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rng/AesCtr.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+using namespace smokestack;
+
+AesCtrRandomSource::AesCtrRandomSource(EntropySource &Entropy,
+                                       unsigned NumRounds,
+                                       uint64_t RekeyInterval, Backend Which)
+    : Entropy(Entropy), NumRounds(NumRounds), RekeyInterval(RekeyInterval),
+      UseHardware(Which == Backend::Auto && aes128HardwareAvailable()) {
+  assert(NumRounds >= 1 && NumRounds <= 10 && "AES-128 takes 1..10 rounds");
+  assert(RekeyInterval > 0 && "rekey interval must be nonzero");
+  std::snprintf(Name, sizeof(Name), "AES-%u", NumRounds);
+  rekey();
+}
+
+const char *AesCtrRandomSource::name() const { return Name; }
+
+void AesCtrRandomSource::rekey() {
+  uint8_t Key[16];
+  Entropy.fill(Key, sizeof(Key));
+  aes128ExpandKey(Key, Schedule);
+  Nonce = Entropy.next64();
+  LastRandom = Entropy.next64();
+  ++Rekeys;
+}
+
+uint64_t AesCtrRandomSource::next() {
+  // The universal call counter counts this draw; when it reaches a multiple
+  // of the interval the key and nonce are refreshed from true randomness.
+  ++CallCounter;
+  if (CallCounter % RekeyInterval == 0)
+    rekey();
+
+  // Block = (last random value, nonce ^ call counter); encrypt under the
+  // true-random key. The feedback through LastRandom matches the paper's
+  // "using the last generated random number as an initial value and the
+  // call counter as a counter".
+  uint8_t Block[16];
+  uint64_t Counter = Nonce ^ CallCounter;
+  std::memcpy(Block, &LastRandom, 8);
+  std::memcpy(Block + 8, &Counter, 8);
+
+  if (UseHardware)
+    aes128EncryptBlockAesni(Block, Schedule, NumRounds);
+  else
+    aes128EncryptBlockSoftware(Block, Schedule, NumRounds);
+
+  std::memcpy(&LastRandom, Block, 8);
+  return LastRandom;
+}

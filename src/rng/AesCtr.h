@@ -1,0 +1,76 @@
+//===- rng/AesCtr.h - AES-CTR disclosure-resistant PRNG --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's cryptographically secure pseudo-random scheme (Section III-D):
+/// AES counter-mode encryption whose key and nonce come from a true random
+/// source and are refreshed when a universal call counter reaches a maximum.
+/// Each draw encrypts a block formed from the last generated random value
+/// (the "initial value") and the call counter, exactly as described in the
+/// paper. AES-1 and AES-10 differ only in the round count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_RNG_AESCTR_H
+#define SMOKESTACK_RNG_AESCTR_H
+
+#include "rng/Aes128.h"
+#include "rng/Entropy.h"
+#include "rng/RandomSource.h"
+
+namespace smokestack {
+
+/// AES-128 counter-mode random source with true-random re-keying.
+class AesCtrRandomSource : public RandomSource {
+public:
+  /// Default number of draws between true-random re-keyings.
+  static constexpr uint64_t DefaultRekeyInterval = 1u << 16;
+
+  enum class Backend {
+    Auto,     ///< AES-NI when available, software otherwise.
+    Software, ///< Force the portable implementation.
+  };
+
+  /// Creates a source running \p NumRounds AES rounds per draw (1 for the
+  /// paper's AES-1, 10 for AES-10).
+  AesCtrRandomSource(EntropySource &Entropy, unsigned NumRounds,
+                     uint64_t RekeyInterval = DefaultRekeyInterval,
+                     Backend Which = Backend::Auto);
+
+  uint64_t next() override;
+  const char *name() const override;
+  SecurityLevel securityLevel() const override {
+    return NumRounds >= 10 ? SecurityLevel::High : SecurityLevel::Low;
+  }
+
+  /// Number of true-random re-keyings performed so far (initial keying
+  /// included). Exposed for tests of the rekey policy.
+  uint64_t rekeyCount() const { return Rekeys; }
+
+  /// The universal call counter value (number of draws so far).
+  uint64_t callCounter() const { return CallCounter; }
+
+private:
+  void rekey();
+
+  EntropySource &Entropy;
+  unsigned NumRounds;
+  uint64_t RekeyInterval;
+  bool UseHardware;
+  char Name[16];
+
+  // Per the threat model these live in registers in the real system; attack
+  // code in this repository never reads them (disclosableState() is empty).
+  Aes128KeySchedule Schedule;
+  uint64_t Nonce = 0;
+  uint64_t LastRandom = 0;
+  uint64_t CallCounter = 0;
+  uint64_t Rekeys = 0;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_RNG_AESCTR_H

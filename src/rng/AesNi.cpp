@@ -1,0 +1,69 @@
+//===- rng/AesNi.cpp - AES-128 AES-NI backend ------------------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AES-NI backend used when the host CPU supports it, mirroring the paper's
+/// use of Intel's AES-NI instruction-set extensions to accelerate random
+/// number generation. Functions carry a `target("aes")` attribute so the
+/// rest of the build needs no special -maes flags; callers gate on
+/// aes128HardwareAvailable().
+///
+//===----------------------------------------------------------------------===//
+
+#include "rng/Aes128.h"
+
+#include <cassert>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SMOKESTACK_X86 1
+#else
+#define SMOKESTACK_X86 0
+#endif
+
+using namespace smokestack;
+
+bool smokestack::aes128HardwareAvailable() {
+#if SMOKESTACK_X86
+  return __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2");
+#else
+  return false;
+#endif
+}
+
+#if SMOKESTACK_X86
+
+__attribute__((target("aes,sse2"))) void
+smokestack::aes128EncryptBlockAesni(uint8_t Block[16],
+                                    const Aes128KeySchedule &Schedule,
+                                    unsigned NumRounds) {
+  assert(NumRounds >= 1 && NumRounds <= 10 && "AES-128 takes 1..10 rounds");
+  __m128i State =
+      _mm_loadu_si128(reinterpret_cast<const __m128i *>(Block));
+  State = _mm_xor_si128(
+      State, _mm_loadu_si128(
+                 reinterpret_cast<const __m128i *>(Schedule.RoundKeys[0])));
+  for (unsigned Round = 1; Round < NumRounds; ++Round)
+    State = _mm_aesenc_si128(
+        State, _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                   Schedule.RoundKeys[Round])));
+  State = _mm_aesenclast_si128(
+      State, _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                 Schedule.RoundKeys[NumRounds])));
+  _mm_storeu_si128(reinterpret_cast<__m128i *>(Block), State);
+}
+
+#else
+
+void smokestack::aes128EncryptBlockAesni(uint8_t Block[16],
+                                         const Aes128KeySchedule &Schedule,
+                                         unsigned NumRounds) {
+  // Non-x86 hosts never report hardware availability; keep a definition so
+  // the library links.
+  aes128EncryptBlockSoftware(Block, Schedule, NumRounds);
+}
+
+#endif // SMOKESTACK_X86

@@ -1,0 +1,48 @@
+//===- rng/Entropy.cpp - True-random entropy sources ---------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rng/Entropy.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cstring>
+#include <random>
+
+using namespace smokestack;
+
+EntropySource::~EntropySource() = default;
+
+uint64_t EntropySource::next64() {
+  uint8_t Buf[8];
+  fill(Buf, sizeof(Buf));
+  uint64_t Value;
+  std::memcpy(&Value, Buf, sizeof(Value));
+  return Value;
+}
+
+void SystemEntropySource::fill(uint8_t *Buffer, size_t Size) {
+  // std::random_device on Linux/glibc reads from the kernel entropy pool
+  // (the non-stalling interface, matching the paper's rejection of the
+  // blocking /dev/random).
+  static thread_local std::random_device Device;
+  size_t Offset = 0;
+  while (Offset < Size) {
+    unsigned Word = Device();
+    size_t Chunk = Size - Offset < sizeof(Word) ? Size - Offset : sizeof(Word);
+    std::memcpy(Buffer + Offset, &Word, Chunk);
+    Offset += Chunk;
+  }
+}
+
+void DeterministicEntropySource::fill(uint8_t *Buffer, size_t Size) {
+  size_t Offset = 0;
+  while (Offset < Size) {
+    uint64_t Word = Generator.next();
+    size_t Chunk = Size - Offset < sizeof(Word) ? Size - Offset : sizeof(Word);
+    std::memcpy(Buffer + Offset, &Word, Chunk);
+    Offset += Chunk;
+  }
+}

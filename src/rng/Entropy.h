@@ -1,0 +1,58 @@
+//===- rng/Entropy.h - True-random entropy sources -------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// True-random seed material for keying the AES-CTR generator and for the
+/// simulated-RDRAND fallback. The paper seeds from a true random number
+/// source (rdrand; /dev/random was rejected because it stalls). We provide a
+/// system-backed source for real runs and a deterministic source so tests
+/// and experiments are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_RNG_ENTROPY_H
+#define SMOKESTACK_RNG_ENTROPY_H
+
+#include "support/SplitMix64.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smokestack {
+
+/// Produces seed material assumed unpredictable by the attacker.
+class EntropySource {
+public:
+  virtual ~EntropySource();
+
+  /// Fills \p Size bytes at \p Buffer with entropy.
+  virtual void fill(uint8_t *Buffer, size_t Size) = 0;
+
+  /// Convenience: returns 64 bits of entropy.
+  uint64_t next64();
+};
+
+/// Entropy from the operating system (getrandom / /dev/urandom).
+class SystemEntropySource : public EntropySource {
+public:
+  void fill(uint8_t *Buffer, size_t Size) override;
+};
+
+/// Deterministic entropy for reproducible tests and experiments. Callers
+/// must treat it as if it were true randomness; attack code in this repo is
+/// never allowed to read its seed.
+class DeterministicEntropySource : public EntropySource {
+public:
+  explicit DeterministicEntropySource(uint64_t Seed) : Generator(Seed) {}
+  void fill(uint8_t *Buffer, size_t Size) override;
+
+private:
+  SplitMix64 Generator;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_RNG_ENTROPY_H

@@ -1,0 +1,29 @@
+//===- rng/Pseudo.cpp - Memory-state PRNG (insecure baseline) ------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rng/Pseudo.h"
+
+using namespace smokestack;
+
+PseudoRandomSource::PseudoRandomSource(EntropySource &Entropy) {
+  State[0] = Entropy.next64();
+  State[1] = Entropy.next64();
+  // xorshift128+ requires a nonzero state.
+  if (State[0] == 0 && State[1] == 0)
+    State[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t PseudoRandomSource::stepState(uint64_t State[2]) {
+  uint64_t S1 = State[0];
+  const uint64_t S0 = State[1];
+  const uint64_t Result = S0 + S1;
+  State[0] = S0;
+  S1 ^= S1 << 23;
+  State[1] = S1 ^ S0 ^ (S1 >> 18) ^ (S0 >> 5);
+  return Result;
+}
+
+uint64_t PseudoRandomSource::next() { return stepState(State); }

@@ -1,0 +1,52 @@
+//===- rng/Pseudo.h - Memory-state PRNG (insecure baseline) ----*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `pseudo` scheme of the paper's evaluation: a fast xorshift128+
+/// generator whose entire state lives in ordinary data memory. It is
+/// included purely as a performance baseline; under the paper's threat model
+/// an attacker discloses the state and predicts every future permutation
+/// index, which the security tests in this repo demonstrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_RNG_PSEUDO_H
+#define SMOKESTACK_RNG_PSEUDO_H
+
+#include "rng/Entropy.h"
+#include "rng/RandomSource.h"
+
+namespace smokestack {
+
+/// xorshift128+ with attacker-disclosable in-memory state.
+class PseudoRandomSource : public RandomSource {
+public:
+  /// Seeds the two state words from \p Entropy.
+  explicit PseudoRandomSource(EntropySource &Entropy);
+
+  uint64_t next() override;
+  const char *name() const override { return "pseudo"; }
+  SecurityLevel securityLevel() const override { return SecurityLevel::None; }
+
+  std::span<const uint8_t> disclosableState() const override {
+    return {reinterpret_cast<const uint8_t *>(State), sizeof(State)};
+  }
+  std::span<uint8_t> mutableDisclosableState() override {
+    return {reinterpret_cast<uint8_t *>(State), sizeof(State)};
+  }
+
+  /// Advances a copy of the generator state exactly as next() does and
+  /// returns the output. This is the attacker's prediction routine: given
+  /// disclosed state bytes, it reproduces the victim's future draws.
+  static uint64_t stepState(uint64_t State[2]);
+
+private:
+  uint64_t State[2];
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_RNG_PSEUDO_H

@@ -1,0 +1,25 @@
+//===- rng/RandomSource.cpp - Randomness-source interface ----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rng/RandomSource.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace smokestack;
+
+RandomSource::~RandomSource() = default;
+
+const char *smokestack::securityLevelName(SecurityLevel Level) {
+  switch (Level) {
+  case SecurityLevel::None:
+    return "None";
+  case SecurityLevel::Low:
+    return "Low";
+  case SecurityLevel::High:
+    return "High";
+  }
+  smokestack_unreachable("unknown security level");
+}

@@ -1,0 +1,66 @@
+//===- rng/RandomSource.h - Randomness-source interface --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface behind which the four randomness schemes of the paper's
+/// Table I live (pseudo, AES-1, AES-10, RDRAND). The permutation-selection
+/// code in the Smokestack prologue draws one value per hardened function
+/// invocation from a RandomSource.
+///
+/// The paper's threat model grants the attacker arbitrary *read and write*
+/// access to data memory but not to registers. disclosableState() models
+/// that: it exposes exactly the generator state that lives in attacker-
+/// readable memory, which is what makes the `pseudo` scheme unsafe and the
+/// AES/RDRAND schemes disclosure-resistant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_RNG_RANDOMSOURCE_H
+#define SMOKESTACK_RNG_RANDOMSOURCE_H
+
+#include <cstdint>
+#include <span>
+
+namespace smokestack {
+
+/// Security classification used in the paper's Table I.
+enum class SecurityLevel {
+  None, ///< Attacker can reconstruct the stream (memory-resident state).
+  Low,  ///< Cryptographically weakened (e.g. 1-round AES).
+  High, ///< Cryptographically secure or true random.
+};
+
+/// Returns a printable name for \p Level ("None", "Low", "High").
+const char *securityLevelName(SecurityLevel Level);
+
+/// A source of 64-bit random values for permutation selection.
+class RandomSource {
+public:
+  virtual ~RandomSource();
+
+  /// Returns the next random value.
+  virtual uint64_t next() = 0;
+
+  /// Short scheme name as used in the paper ("pseudo", "AES-1", ...).
+  virtual const char *name() const = 0;
+
+  /// Security classification against the paper's threat model.
+  virtual SecurityLevel securityLevel() const = 0;
+
+  /// The generator state that resides in attacker-readable data memory.
+  ///
+  /// An attacker with a memory-disclosure primitive can read these bytes and
+  /// (for stateful schemes) write them. Empty for schemes whose state lives
+  /// only in registers or hardware.
+  virtual std::span<const uint8_t> disclosableState() const { return {}; }
+
+  /// Mutable view of the same state, for modeling state-corruption attacks.
+  virtual std::span<uint8_t> mutableDisclosableState() { return {}; }
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_RNG_RANDOMSOURCE_H

@@ -1,0 +1,50 @@
+//===- rng/RdRand.cpp - Hardware true-random source ----------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rng/RdRand.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#define SMOKESTACK_X86_64 1
+#else
+#define SMOKESTACK_X86_64 0
+#endif
+
+using namespace smokestack;
+
+bool smokestack::rdRandAvailable() {
+#if SMOKESTACK_X86_64
+  return __builtin_cpu_supports("rdrnd");
+#else
+  return false;
+#endif
+}
+
+#if SMOKESTACK_X86_64
+namespace {
+__attribute__((target("rdrnd"))) uint64_t drawRdRand() {
+  unsigned long long Value = 0;
+  // RDRAND can transiently fail when the DRNG is busy; Intel's guidance is
+  // to retry a bounded number of times.
+  for (int Attempt = 0; Attempt != 16; ++Attempt)
+    if (_rdrand64_step(&Value))
+      return Value;
+  return Value;
+}
+} // namespace
+#endif
+
+RdRandSource::RdRandSource(EntropySource &Fallback, bool ForceFallback)
+    : Fallback(Fallback),
+      UseHardware(!ForceFallback && rdRandAvailable()) {}
+
+uint64_t RdRandSource::next() {
+#if SMOKESTACK_X86_64
+  if (UseHardware)
+    return drawRdRand();
+#endif
+  return Fallback.next64();
+}

@@ -1,0 +1,67 @@
+//===- support/Align.h - Alignment arithmetic helpers ----------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alignment arithmetic used throughout the permutation engine and the
+/// frame-layout code. All alignments are required to be powers of two, as in
+/// LLVM's data layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_SUPPORT_ALIGN_H
+#define SMOKESTACK_SUPPORT_ALIGN_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace smokestack {
+
+/// Returns true if \p Value is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// Returns the smallest power of two that is >= \p Value.
+///
+/// \p Value must be nonzero and at most 2^63.
+constexpr uint64_t nextPowerOf2(uint64_t Value) {
+  assert(Value != 0 && "nextPowerOf2 of zero is meaningless");
+  uint64_t Result = 1;
+  while (Result < Value)
+    Result <<= 1;
+  return Result;
+}
+
+/// Returns log2 of \p Value, which must be a power of two.
+constexpr unsigned log2OfPowerOf2(uint64_t Value) {
+  assert(isPowerOf2(Value) && "value must be a power of two");
+  unsigned Log = 0;
+  while (Value > 1) {
+    Value >>= 1;
+    ++Log;
+  }
+  return Log;
+}
+
+/// Rounds \p Offset up to the next multiple of \p Alignment.
+///
+/// This is the ALIGN procedure of Smokestack's Algorithm 1 (the paper writes
+/// it with an explicit divide; the bit-mask form below is equivalent because
+/// alignments are powers of two).
+constexpr uint64_t alignTo(uint64_t Offset, uint64_t Alignment) {
+  assert(isPowerOf2(Alignment) && "alignment must be a power of two");
+  return (Offset + Alignment - 1) & ~(Alignment - 1);
+}
+
+/// Returns true if \p Offset is a multiple of \p Alignment.
+constexpr bool isAligned(uint64_t Offset, uint64_t Alignment) {
+  assert(isPowerOf2(Alignment) && "alignment must be a power of two");
+  return (Offset & (Alignment - 1)) == 0;
+}
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_SUPPORT_ALIGN_H

@@ -1,0 +1,75 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ---------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small LLVM-style opt-in RTTI facility. A class hierarchy participates by
+/// providing `static bool classof(const Base *)` on each derived class; the
+/// isa<>/cast<>/dyn_cast<> templates below then work without compiler RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_SUPPORT_CASTING_H
+#define SMOKESTACK_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace smokestack {
+
+/// Returns true if \p Val is an instance of \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast, const overload.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Reference form of isa<>.
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked downcast on a reference.
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+To &cast(From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+/// Checked downcast on a const reference.
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+const To &cast(const From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast, const overload.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_SUPPORT_CASTING_H

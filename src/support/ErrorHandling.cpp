@@ -1,0 +1,24 @@
+//===- support/ErrorHandling.cpp - Fatal error reporting -----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace smokestack;
+
+void smokestack::reportFatalError(const char *Message) {
+  std::fprintf(stderr, "smokestack fatal error: %s\n", Message);
+  std::abort();
+}
+
+void smokestack::unreachableInternal(const char *Message, const char *File,
+                                     unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
+               Message);
+  std::abort();
+}

@@ -1,0 +1,32 @@
+//===- support/ErrorHandling.h - Fatal error reporting ---------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error and unreachable-code reporting. Library code does not use
+/// exceptions; unrecoverable conditions abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_SUPPORT_ERRORHANDLING_H
+#define SMOKESTACK_SUPPORT_ERRORHANDLING_H
+
+namespace smokestack {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations that
+/// must be diagnosed even in builds without assertions.
+[[noreturn]] void reportFatalError(const char *Message);
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace smokestack
+
+/// Use to document control flow that is impossible if program invariants hold.
+#define smokestack_unreachable(MSG)                                           \
+  ::smokestack::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // SMOKESTACK_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,30 @@
+//===- support/Format.cpp - printf-style string formatting ---------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+using namespace smokestack;
+
+std::string smokestack::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}

@@ -1,0 +1,25 @@
+//===- support/Format.h - printf-style string formatting -------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A checked printf-style formatter returning std::string, used for building
+/// diagnostics and experiment-table rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_SUPPORT_FORMAT_H
+#define SMOKESTACK_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace smokestack {
+
+/// Formats like printf into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string formatString(const char *Fmt, ...);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_SUPPORT_FORMAT_H

@@ -1,0 +1,65 @@
+//===- support/MathExtras.cpp - Factorials and Lehmer codes --------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace smokestack;
+
+uint64_t smokestack::factorial(unsigned N) {
+  assert(N <= MaxFactorialArg && "factorial would overflow uint64_t");
+  uint64_t Result = 1;
+  for (unsigned I = 2; I <= N; ++I)
+    Result *= I;
+  return Result;
+}
+
+std::vector<unsigned> smokestack::decodeLehmer(uint64_t Index, unsigned N) {
+  assert(N <= MaxFactorialArg && "permutation domain too large");
+  assert(Index < factorial(N) && "permutation index out of range");
+
+  // Remaining[i] holds the not-yet-placed original positions in order.
+  std::vector<unsigned> Remaining;
+  Remaining.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Remaining.push_back(I);
+
+  std::vector<unsigned> Perm;
+  Perm.reserve(N);
+  uint64_t Temp = Index;
+  for (unsigned I = 0; I != N; ++I) {
+    uint64_t CurrFact = factorial(N - I - 1);
+    uint64_t Digit = Temp / CurrFact;
+    Temp %= CurrFact;
+    Perm.push_back(Remaining[Digit]);
+    Remaining.erase(Remaining.begin() + static_cast<ptrdiff_t>(Digit));
+  }
+  return Perm;
+}
+
+uint64_t smokestack::encodeLehmer(const std::vector<unsigned> &Perm) {
+  unsigned N = static_cast<unsigned>(Perm.size());
+  assert(N <= MaxFactorialArg && "permutation domain too large");
+
+  std::vector<unsigned> Remaining;
+  Remaining.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Remaining.push_back(I);
+
+  uint64_t Index = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    uint64_t Digit = 0;
+    while (Remaining[Digit] != Perm[I]) {
+      ++Digit;
+      assert(Digit < Remaining.size() && "input is not a permutation");
+    }
+    Index += Digit * factorial(N - I - 1);
+    Remaining.erase(Remaining.begin() + static_cast<ptrdiff_t>(Digit));
+  }
+  return Index;
+}

@@ -1,0 +1,44 @@
+//===- support/MathExtras.h - Factorials and Lehmer codes ------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factorial-number-system utilities underlying the permutation engine.
+/// A permutation of N elements is identified by its 0-based index in the
+/// lexicographic enumeration of all N! permutations; decoding that index is a
+/// Lehmer-code decode, which is exactly what the inner loop of the paper's
+/// Algorithm 1 performs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_SUPPORT_MATHEXTRAS_H
+#define SMOKESTACK_SUPPORT_MATHEXTRAS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace smokestack {
+
+/// Largest N such that N! fits in a uint64_t.
+inline constexpr unsigned MaxFactorialArg = 20;
+
+/// Returns N!. \p N must be <= MaxFactorialArg.
+uint64_t factorial(unsigned N);
+
+/// Decodes lexicographic permutation \p Index of \p N elements.
+///
+/// \returns a vector P of length \p N where P[i] is the original position of
+/// the element placed i-th; i.e. applying the result to the identity sequence
+/// yields the \p Index-th permutation in lexical order.
+/// \p Index must be < N!.
+std::vector<unsigned> decodeLehmer(uint64_t Index, unsigned N);
+
+/// Encodes permutation \p Perm (a reordering of 0..N-1) back to its
+/// lexicographic index. Inverse of decodeLehmer.
+uint64_t encodeLehmer(const std::vector<unsigned> &Perm);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_SUPPORT_MATHEXTRAS_H

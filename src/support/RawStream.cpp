@@ -1,0 +1,64 @@
+//===- support/RawStream.cpp - Lightweight output streams ----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RawStream.h"
+
+#include <cinttypes>
+
+using namespace smokestack;
+
+RawOStream::~RawOStream() = default;
+
+RawOStream &RawOStream::operator<<(uint64_t Value) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, Value);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOStream &RawOStream::operator<<(int64_t Value) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, Value);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOStream &RawOStream::operator<<(double Value) {
+  char Buf[64];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", Value);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOStream &RawOStream::operator<<(const void *Ptr) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%p", Ptr);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOStream &smokestack::operator<<(RawOStream &OS, HexFormat Fmt) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "0x%" PRIx64, Fmt.Value);
+  OS.write(Buf, static_cast<size_t>(Len));
+  return OS;
+}
+
+void RawFdOStream::write(const char *Data, size_t Size) {
+  std::fwrite(Data, 1, Size, File);
+}
+
+void RawFdOStream::flush() { std::fflush(File); }
+
+RawOStream &smokestack::outs() {
+  static RawFdOStream Stream(stdout);
+  return Stream;
+}
+
+RawOStream &smokestack::errs() {
+  static RawFdOStream Stream(stderr);
+  return Stream;
+}

@@ -1,0 +1,101 @@
+//===- support/RawStream.h - Lightweight output streams --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal raw_ostream analog. Library code writes human-readable output
+/// (IR dumps, diagnostics, experiment tables) through RawOStream instead of
+/// <iostream>, which keeps static constructors out of every translation unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_SUPPORT_RAWSTREAM_H
+#define SMOKESTACK_SUPPORT_RAWSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace smokestack {
+
+/// Abstract character sink with convenient operator<< formatting.
+class RawOStream {
+public:
+  virtual ~RawOStream();
+
+  RawOStream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  RawOStream &operator<<(std::string_view Str) {
+    write(Str.data(), Str.size());
+    return *this;
+  }
+  RawOStream &operator<<(const char *Str) {
+    return *this << std::string_view(Str);
+  }
+  RawOStream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+  RawOStream &operator<<(uint64_t Value);
+  RawOStream &operator<<(int64_t Value);
+  RawOStream &operator<<(uint32_t Value) {
+    return *this << static_cast<uint64_t>(Value);
+  }
+  RawOStream &operator<<(int32_t Value) {
+    return *this << static_cast<int64_t>(Value);
+  }
+  RawOStream &operator<<(double Value);
+  RawOStream &operator<<(const void *Ptr);
+
+  /// Writes \p Size raw bytes.
+  virtual void write(const char *Data, size_t Size) = 0;
+
+  /// Flushes buffered output (no-op for string streams).
+  virtual void flush() {}
+};
+
+/// Writes a value in hexadecimal; usage: OS << hex(Value).
+struct HexFormat {
+  uint64_t Value;
+};
+inline HexFormat hex(uint64_t Value) { return HexFormat{Value}; }
+RawOStream &operator<<(RawOStream &OS, HexFormat Fmt);
+
+/// Stream over a stdio FILE handle (not owned).
+class RawFdOStream : public RawOStream {
+public:
+  explicit RawFdOStream(std::FILE *File) : File(File) {}
+  void write(const char *Data, size_t Size) override;
+  void flush() override;
+
+private:
+  std::FILE *File;
+};
+
+/// Stream that appends to a caller-owned std::string.
+class RawStringOStream : public RawOStream {
+public:
+  explicit RawStringOStream(std::string &Buffer) : Buffer(Buffer) {}
+  void write(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+  /// Returns the accumulated contents.
+  const std::string &str() const { return Buffer; }
+
+private:
+  std::string &Buffer;
+};
+
+/// Returns a stream connected to stdout.
+RawOStream &outs();
+
+/// Returns a stream connected to stderr.
+RawOStream &errs();
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_SUPPORT_RAWSTREAM_H

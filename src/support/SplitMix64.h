@@ -1,0 +1,45 @@
+//===- support/SplitMix64.h - Deterministic seeding RNG --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a tiny, fast, high-quality mixing generator. Used only for
+/// deterministic test seeding and for expanding seeds into generator state;
+/// it is *not* one of the security-evaluated randomness sources (those live
+/// in src/rng).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_SUPPORT_SPLITMIX64_H
+#define SMOKESTACK_SUPPORT_SPLITMIX64_H
+
+#include <cstdint>
+
+namespace smokestack {
+
+/// Sebastiano Vigna's splitmix64 generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniform in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBounded(uint64_t Bound) { return next() % Bound; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_SUPPORT_SPLITMIX64_H

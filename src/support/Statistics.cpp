@@ -1,0 +1,77 @@
+//===- support/Statistics.cpp - Small statistics helpers ------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cmath>
+
+using namespace smokestack;
+
+double smokestack::sampleMean(std::span<const double> Samples) {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double Sample : Samples)
+    Sum += Sample;
+  return Sum / static_cast<double>(Samples.size());
+}
+
+double smokestack::sampleStdDev(std::span<const double> Samples) {
+  if (Samples.size() < 2)
+    return 0.0;
+  double Mean = sampleMean(Samples);
+  double SumSq = 0.0;
+  for (double Sample : Samples)
+    SumSq += (Sample - Mean) * (Sample - Mean);
+  return std::sqrt(SumSq / static_cast<double>(Samples.size() - 1));
+}
+
+double
+smokestack::chiSquaredUniform(std::span<const uint64_t> ObservedCounts) {
+  if (ObservedCounts.empty())
+    return 0.0;
+  uint64_t Total = 0;
+  for (uint64_t Count : ObservedCounts)
+    Total += Count;
+  if (Total == 0)
+    return 0.0;
+  double Expected =
+      static_cast<double>(Total) / static_cast<double>(ObservedCounts.size());
+  double Stat = 0.0;
+  for (uint64_t Count : ObservedCounts) {
+    double Delta = static_cast<double>(Count) - Expected;
+    Stat += Delta * Delta / Expected;
+  }
+  return Stat;
+}
+
+double smokestack::chiSquaredCritical999(unsigned DegreesOfFreedom) {
+  // Wilson–Hilferty: chi2_k(p) ~ k * (1 - 2/(9k) + z_p * sqrt(2/(9k)))^3,
+  // with z_0.999 = 3.0902.
+  if (DegreesOfFreedom == 0)
+    return 0.0;
+  double K = DegreesOfFreedom;
+  double Term = 2.0 / (9.0 * K);
+  double Cube = 1.0 - Term + 3.0902 * std::sqrt(Term);
+  return K * Cube * Cube * Cube;
+}
+
+double
+smokestack::shannonEntropyBits(std::span<const uint64_t> ObservedCounts) {
+  uint64_t Total = 0;
+  for (uint64_t Count : ObservedCounts)
+    Total += Count;
+  if (Total == 0)
+    return 0.0;
+  double Entropy = 0.0;
+  for (uint64_t Count : ObservedCounts) {
+    if (Count == 0)
+      continue;
+    double P = static_cast<double>(Count) / static_cast<double>(Total);
+    Entropy -= P * std::log2(P);
+  }
+  return Entropy;
+}

@@ -1,0 +1,45 @@
+//===- support/Statistics.h - Small statistics helpers ---------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics used by the entropy analyses: sample mean / standard
+/// deviation for benchmark series, and a chi-squared uniformity statistic
+/// for checking that permutation-row selection is unbiased (a biased
+/// selector would concentrate layouts and hand entropy back to the
+/// attacker).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_SUPPORT_STATISTICS_H
+#define SMOKESTACK_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <span>
+
+namespace smokestack {
+
+/// Arithmetic mean of \p Samples (0 for an empty span).
+double sampleMean(std::span<const double> Samples);
+
+/// Unbiased (n-1) sample standard deviation (0 for fewer than 2 samples).
+double sampleStdDev(std::span<const double> Samples);
+
+/// Pearson chi-squared statistic of \p ObservedCounts against a uniform
+/// expectation. Degrees of freedom = bins - 1.
+double chiSquaredUniform(std::span<const uint64_t> ObservedCounts);
+
+/// Conservative upper critical value of the chi-squared distribution at
+/// significance 0.001 for \p DegreesOfFreedom, via the Wilson–Hilferty
+/// approximation. A statistic below this is consistent with uniformity.
+double chiSquaredCritical999(unsigned DegreesOfFreedom);
+
+/// Shannon entropy (bits) of the empirical distribution in
+/// \p ObservedCounts. Uniform n-bin data approaches log2(n).
+double shannonEntropyBits(std::span<const uint64_t> ObservedCounts);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_SUPPORT_STATISTICS_H

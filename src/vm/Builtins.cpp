@@ -1,0 +1,317 @@
+//===- vm/Builtins.cpp - VM builtin (libc-model) functions ----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builtin functions dispatched for calls to declarations, modeling the C
+/// library routines the studied vulnerabilities live in:
+///
+///  - snprintf with C99 return semantics (returns the would-be length) —
+///    the misuse pattern behind librelp CVE-2018-1000140;
+///  - sstrncpy with ProFTPD's CVE-2006-5815 behavior (a non-positive length
+///    copies unbounded);
+///  - strcpy/get_input as classic unbounded writes;
+///  - smokestack.rand / smokestack.trap, the runtime hooks inserted by the
+///    instrumentation passes.
+///
+/// Builtins go through SimMemory for every byte, so overflows corrupt
+/// neighboring simulated objects exactly as on hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "rng/RandomSource.h"
+#include "support/Format.h"
+#include "vm/Interpreter.h"
+
+#include <cstring>
+
+using namespace smokestack;
+
+namespace {
+
+/// Copies a host string into simulated memory (no NUL bound checking here;
+/// the caller decides how many bytes).
+bool writeBytes(SimMemory &Memory, uint64_t Addr, const void *Data,
+                uint64_t Size, ExecResult &Result) {
+  if (Size == 0)
+    return true;
+  if (!Memory.write(Addr, Data, Size)) {
+    Result.Trap = Memory.getTrap();
+    Result.Message = Memory.getTrapMessage();
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool Interpreter::builtinSnprintf(const std::vector<uint64_t> &Args,
+                                  uint64_t &RetValue, ExecResult &Result) {
+  // snprintf(buf, size, fmt, ...). Supports %s %d %u %c %x %lld %% — the
+  // directives the vulnerable code paths use.
+  if (Args.size() < 3) {
+    Result.Trap = TrapKind::BadCall;
+    Result.Message = "snprintf needs at least (buf, size, fmt)";
+    return false;
+  }
+  uint64_t Buf = Args[0];
+  uint64_t Size = Args[1];
+  std::string Fmt;
+  if (!Memory.readCString(Args[2], Fmt)) {
+    Result.Trap = Memory.getTrap();
+    Result.Message = Memory.getTrapMessage();
+    return false;
+  }
+
+  std::string Out;
+  size_t ArgIndex = 3;
+  for (size_t I = 0; I < Fmt.size(); ++I) {
+    if (Fmt[I] != '%') {
+      Out.push_back(Fmt[I]);
+      continue;
+    }
+    ++I;
+    if (I >= Fmt.size())
+      break;
+    // Skip the 'll' length modifier; slots are 64-bit anyway.
+    while (I < Fmt.size() && Fmt[I] == 'l')
+      ++I;
+    if (I >= Fmt.size())
+      break;
+    char Conv = Fmt[I];
+    if (Conv == '%') {
+      Out.push_back('%');
+      continue;
+    }
+    if (ArgIndex >= Args.size()) {
+      Result.Trap = TrapKind::BadCall;
+      Result.Message = "snprintf: missing variadic argument";
+      return false;
+    }
+    uint64_t Arg = Args[ArgIndex++];
+    switch (Conv) {
+    case 's': {
+      std::string Str;
+      if (!Memory.readCString(Arg, Str)) {
+        Result.Trap = Memory.getTrap();
+        Result.Message = Memory.getTrapMessage();
+        return false;
+      }
+      Out += Str;
+      break;
+    }
+    case 'd':
+      Out += formatString("%lld", (long long)(int64_t)Arg);
+      break;
+    case 'u':
+      Out += formatString("%llu", (unsigned long long)Arg);
+      break;
+    case 'x':
+      Out += formatString("%llx", (unsigned long long)Arg);
+      break;
+    case 'c':
+      Out.push_back(static_cast<char>(Arg));
+      break;
+    default:
+      Result.Trap = TrapKind::BadCall;
+      Result.Message = formatString("snprintf: unsupported directive %%%c",
+                                    Conv);
+      return false;
+    }
+  }
+
+  // C99: write at most Size-1 characters plus NUL; return the length that
+  // would have been written. Callers that add the return value to a running
+  // offset without checking it against the buffer size create exactly the
+  // non-linear overflow librelp had.
+  if (Size > 0) {
+    uint64_t ToCopy = Out.size() < Size - 1 ? Out.size() : Size - 1;
+    if (!writeBytes(Memory, Buf, Out.data(), ToCopy, Result))
+      return false;
+    uint8_t Nul = 0;
+    if (!writeBytes(Memory, Buf + ToCopy, &Nul, 1, Result))
+      return false;
+  }
+  RetValue = Out.size();
+  return true;
+}
+
+bool Interpreter::dispatchBuiltin(Function *Callee,
+                                  const std::vector<uint64_t> &Args,
+                                  uint64_t &RetValue, ExecResult &Result) {
+  const std::string &Name = Callee->getName();
+  RetValue = 0;
+
+  auto TrapFromMemory = [&]() {
+    Result.Trap = Memory.getTrap();
+    Result.Message = Memory.getTrapMessage();
+    return false;
+  };
+
+  if (Name == "smokestack.rand") {
+    if (!Rng) {
+      Result.Trap = TrapKind::BadCall;
+      Result.Message = "smokestack.rand called with no bound RandomSource";
+      return false;
+    }
+    RetValue = Rng->next();
+    return true;
+  }
+
+  if (Name == "smokestack.trap") {
+    uint64_t Code = Args.empty() ? 0 : Args[0];
+    if (Code == 1) {
+      Result.Trap = TrapKind::FunctionIdViolation;
+      Result.Message = "smokestack function-identifier check failed";
+    } else if (Code == 2) {
+      Result.Trap = TrapKind::CanaryViolation;
+      Result.Message = "stack canary check failed";
+    } else {
+      Result.Trap = TrapKind::ExplicitTrap;
+      Result.Message = "explicit trap";
+    }
+    return false;
+  }
+
+  if (Name == "malloc") {
+    RetValue = Memory.heapAlloc(Args.at(0));
+    return true;
+  }
+  if (Name == "free")
+    return true; // bump allocator: no-op
+
+  if (Name == "memset") {
+    uint64_t Dst = Args.at(0), Byte = Args.at(1), N = Args.at(2);
+    std::vector<uint8_t> Fill(N, static_cast<uint8_t>(Byte));
+    if (!writeBytes(Memory, Dst, Fill.data(), N, Result))
+      return false;
+    RetValue = Dst;
+    return true;
+  }
+
+  if (Name == "memcpy") {
+    uint64_t Dst = Args.at(0), Src = Args.at(1), N = Args.at(2);
+    std::vector<uint8_t> Tmp(N);
+    if (N && !Memory.read(Src, Tmp.data(), N))
+      return TrapFromMemory();
+    if (!writeBytes(Memory, Dst, Tmp.data(), N, Result))
+      return false;
+    RetValue = Dst;
+    return true;
+  }
+
+  if (Name == "strlen") {
+    std::string Str;
+    if (!Memory.readCString(Args.at(0), Str))
+      return TrapFromMemory();
+    RetValue = Str.size();
+    return true;
+  }
+
+  if (Name == "strcpy") {
+    // Classic unbounded copy.
+    std::string Str;
+    if (!Memory.readCString(Args.at(1), Str))
+      return TrapFromMemory();
+    if (!writeBytes(Memory, Args.at(0), Str.c_str(), Str.size() + 1, Result))
+      return false;
+    RetValue = Args.at(0);
+    return true;
+  }
+
+  if (Name == "strncpy") {
+    std::string Str;
+    if (!Memory.readCString(Args.at(1), Str))
+      return TrapFromMemory();
+    uint64_t N = Args.at(2);
+    std::vector<uint8_t> Tmp(N, 0);
+    std::memcpy(Tmp.data(), Str.data(), Str.size() < N ? Str.size() : N);
+    if (!writeBytes(Memory, Args.at(0), Tmp.data(), N, Result))
+      return false;
+    RetValue = Args.at(0);
+    return true;
+  }
+
+  if (Name == "sstrncpy") {
+    // ProFTPD's sstrncpy(dst, src, len): copies at most len-1 bytes and
+    // NUL-terminates. CVE-2006-5815: a non-positive len underflows the
+    // bound and the copy runs to the source's end, unbounded by dst.
+    std::string Str;
+    if (!Memory.readCString(Args.at(1), Str))
+      return TrapFromMemory();
+    int64_t N = static_cast<int64_t>(Args.at(2));
+    uint64_t ToCopy = N <= 0 ? Str.size()
+                             : (Str.size() < static_cast<uint64_t>(N - 1)
+                                    ? Str.size()
+                                    : static_cast<uint64_t>(N - 1));
+    if (!writeBytes(Memory, Args.at(0), Str.data(), ToCopy, Result))
+      return false;
+    uint8_t Nul = 0;
+    if (!writeBytes(Memory, Args.at(0) + ToCopy, &Nul, 1, Result))
+      return false;
+    RetValue = Args.at(0);
+    return true;
+  }
+
+  if (Name == "get_input") {
+    // Unbounded read of the next input record — the canonical vulnerable
+    // input function from the paper's Listing 1.
+    if (InputQueue.empty())
+      return true; // RetValue stays 0
+    std::vector<uint8_t> Record = std::move(InputQueue.front());
+    InputQueue.pop_front();
+    if (!writeBytes(Memory, Args.at(0), Record.data(), Record.size(), Result))
+      return false;
+    RetValue = Record.size();
+    return true;
+  }
+
+  if (Name == "get_input_n") {
+    // Bounds-checked variant (a patched program would use this).
+    if (InputQueue.empty())
+      return true;
+    std::vector<uint8_t> Record = std::move(InputQueue.front());
+    InputQueue.pop_front();
+    uint64_t Max = Args.at(1);
+    uint64_t ToCopy = Record.size() < Max ? Record.size() : Max;
+    if (!writeBytes(Memory, Args.at(0), Record.data(), ToCopy, Result))
+      return false;
+    RetValue = ToCopy;
+    return true;
+  }
+
+  if (Name == "input_remaining") {
+    RetValue = InputQueue.size();
+    return true;
+  }
+
+  if (Name == "print_i64") {
+    Output += formatString("%lld\n", (long long)(int64_t)Args.at(0));
+    return true;
+  }
+
+  if (Name == "print_str") {
+    std::string Str;
+    if (!Memory.readCString(Args.at(0), Str))
+      return TrapFromMemory();
+    Output += Str;
+    Output.push_back('\n');
+    return true;
+  }
+
+  if (Name == "snprintf")
+    return builtinSnprintf(Args, RetValue, Result);
+
+  if (Name == "abort") {
+    Result.Trap = TrapKind::ExplicitTrap;
+    Result.Message = "abort() called";
+    return false;
+  }
+
+  Result.Trap = TrapKind::BadCall;
+  Result.Message = "unknown builtin: " + Name;
+  return false;
+}

@@ -1,0 +1,534 @@
+//===- vm/Interpreter.cpp - Mini-IR interpreter ----------------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include "rng/RandomSource.h"
+#include "support/Align.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace smokestack;
+
+LayoutObserver::~LayoutObserver() = default;
+
+namespace {
+
+/// Byte width of a scalar slot of type \p Ty.
+uint64_t scalarWidth(const Type *Ty) {
+  assert(!Ty->isAggregate() && !Ty->isVoid() && "not a scalar type");
+  return Ty->sizeInBytes();
+}
+
+/// Masks \p Bits to the low \p Width bytes.
+uint64_t maskToWidth(uint64_t Bits, uint64_t Width) {
+  if (Width >= 8)
+    return Bits;
+  return Bits & ((uint64_t(1) << (Width * 8)) - 1);
+}
+
+/// Sign-extends the low \p Width bytes of \p Bits to 64 bits.
+int64_t sextFromWidth(uint64_t Bits, uint64_t Width) {
+  if (Width >= 8)
+    return static_cast<int64_t>(Bits);
+  unsigned Shift = static_cast<unsigned>(64 - Width * 8);
+  return static_cast<int64_t>(Bits << Shift) >> Shift;
+}
+
+/// Reinterprets a slot as double given its IR type.
+double slotToFP(uint64_t Bits, const Type *Ty) {
+  if (Ty->getKind() == Type::Kind::Float) {
+    float F;
+    uint32_t Low = static_cast<uint32_t>(Bits);
+    std::memcpy(&F, &Low, sizeof(F));
+    return F;
+  }
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+/// Encodes a double into a slot of IR type \p Ty.
+uint64_t fpToSlot(double Value, const Type *Ty) {
+  if (Ty->getKind() == Type::Kind::Float) {
+    float F = static_cast<float>(Value);
+    uint32_t Low;
+    std::memcpy(&Low, &F, sizeof(F));
+    return Low;
+  }
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Value));
+  return Bits;
+}
+
+} // namespace
+
+Interpreter::Interpreter(Module &M, RandomSource *Rng,
+                         InterpreterOptions Opts)
+    : M(M), Rng(Rng), Opts(Opts) {
+  assert(Opts.StackBaseOffset < MemoryMap::StackSize / 2 &&
+         "stack base randomization exceeds half the stack");
+}
+
+const Interpreter::Numbering &Interpreter::getNumbering(Function *F) {
+  auto It = Numberings.find(F);
+  if (It != Numberings.end())
+    return It->second;
+  Numbering N;
+  for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
+    N.Index[F->getArg(I)] = N.Count++;
+  for (const auto &Block : *F)
+    for (const auto &Inst : *Block)
+      if (!Inst->getType()->isVoid())
+        N.Index[Inst.get()] = N.Count++;
+  return Numberings.emplace(F, std::move(N)).first->second;
+}
+
+void Interpreter::loadGlobals() {
+  if (GlobalsLoaded)
+    return;
+  GlobalsLoaded = true;
+  uint64_t RWCursor = 0;
+  uint64_t ROCursor = 0;
+  for (size_t I = 0, E = M.getNumGlobals(); I != E; ++I) {
+    const GlobalVariable *G = M.getGlobalAt(I);
+    uint64_t Size = G->getValueType()->sizeInBytes();
+    uint64_t Align = G->getValueType()->alignment();
+    uint64_t Addr;
+    if (G->isReadOnly()) {
+      ROCursor = alignTo(ROCursor, Align);
+      Addr = MemoryMap::RODataBase + ROCursor;
+      ROCursor += Size;
+      if (ROCursor > MemoryMap::RODataSize)
+        reportFatalError("read-only data segment exhausted");
+    } else {
+      RWCursor = alignTo(RWCursor, Align);
+      Addr = MemoryMap::GlobalsBase + RWCursor;
+      RWCursor += Size;
+      if (RWCursor > MemoryMap::GlobalsSize)
+        reportFatalError("globals segment exhausted");
+    }
+    const std::vector<uint8_t> &Init = G->getInitializer();
+    if (!Init.empty())
+      Memory.write(Addr, Init.data(), Init.size(), /*IgnoreProtection=*/true);
+    GlobalAddresses[G->getName()] = Addr;
+  }
+}
+
+uint64_t Interpreter::getGlobalAddress(const std::string &Name) const {
+  auto It = GlobalAddresses.find(Name);
+  return It == GlobalAddresses.end() ? 0 : It->second;
+}
+
+uint64_t Interpreter::getValue(const Frame &Fr, const Value *V) const {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return maskToWidth(CI->getZExtValue(), scalarWidth(CI->getType()));
+  if (const auto *CF = dyn_cast<ConstantFP>(V))
+    return fpToSlot(CF->getValue(), CF->getType());
+  if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+    auto It = GlobalAddresses.find(G->getName());
+    assert(It != GlobalAddresses.end() && "global not loaded");
+    return It->second;
+  }
+  const Numbering &N = Numberings.at(Fr.F);
+  auto It = N.Index.find(V);
+  assert(It != N.Index.end() && "value has no register");
+  return Fr.Registers[It->second];
+}
+
+void Interpreter::setValue(Frame &Fr, const Value *V, uint64_t Bits) {
+  const Numbering &N = Numberings.at(Fr.F);
+  auto It = N.Index.find(V);
+  assert(It != N.Index.end() && "value has no register");
+  Fr.Registers[It->second] =
+      V->getType()->isFloatingPoint()
+          ? Bits
+          : maskToWidth(Bits, scalarWidth(V->getType()));
+}
+
+ExecResult Interpreter::run(const std::string &FuncName,
+                            const std::vector<uint64_t> &Args) {
+  loadGlobals();
+  Function *F = M.getFunction(FuncName);
+  ExecResult Result;
+  if (!F || F->isDeclaration()) {
+    Result.Trap = TrapKind::BadCall;
+    Result.Message = "no such function definition: " + FuncName;
+    return Result;
+  }
+  Memory.clearTrap();
+  StackPointer = MemoryMap::StackTop - MemoryMap::StackHeadroom -
+                 alignTo(Opts.StackBaseOffset, 16);
+  FuelLeft = Opts.Fuel;
+  CallCount = 0;
+  Result.ReturnValue = callFunction(F, Args, Result, 0);
+  Result.Steps = Opts.Fuel - FuelLeft;
+  return Result;
+}
+
+uint64_t Interpreter::materializeAlloca(Frame &Fr, const AllocaInst &Alloca,
+                                        uint64_t Count, ExecResult &Result) {
+  (void)Fr;
+  uint64_t ElemSize = Alloca.getAllocatedType()->sizeInBytes();
+  uint64_t Bytes = ElemSize * Count;
+  uint64_t Align = Alloca.getAlign();
+  if (Bytes > MemoryMap::StackSize ||
+      StackPointer < MemoryMap::StackBase + Bytes) {
+    Result.Trap = TrapKind::StackOverflow;
+    Result.Message = formatString("alloca of %llu bytes in '%s'",
+                                  (unsigned long long)Bytes,
+                                  Fr.F->getName().c_str());
+    return 0;
+  }
+  StackPointer -= Bytes;
+  StackPointer &= ~(Align - 1); // align down; alignments are powers of two
+  if (StackPointer < MemoryMap::StackBase) {
+    Result.Trap = TrapKind::StackOverflow;
+    Result.Message = "stack exhausted";
+    return 0;
+  }
+  if (TheObserver)
+    TheObserver->onAlloca(*Fr.F, Alloca, StackPointer, Bytes);
+  return StackPointer;
+}
+
+uint64_t Interpreter::callFunction(Function *F,
+                                   const std::vector<uint64_t> &Args,
+                                   ExecResult &Result, unsigned Depth) {
+  if (Depth > Opts.MaxCallDepth) {
+    Result.Trap = TrapKind::StackOverflow;
+    Result.Message = "call depth limit reached in " + F->getName();
+    return 0;
+  }
+  ++CallCount;
+  const Numbering &N = getNumbering(F);
+  Frame Fr;
+  Fr.F = F;
+  Fr.Registers.assign(N.Count, 0);
+  Fr.SavedStackPointer = StackPointer;
+  assert(Args.size() == F->getNumArgs() && "argument count mismatch");
+  for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
+    setValue(Fr, F->getArg(I), Args[I]);
+
+  if (TheObserver)
+    TheObserver->onFunctionEnter(*F);
+
+  const BasicBlock *Block = F->getEntryBlock();
+  size_t InstIndex = 0;
+
+  while (true) {
+    if (FuelLeft == 0) {
+      Result.Trap = TrapKind::OutOfFuel;
+      Result.Message = "instruction budget exhausted in " + F->getName();
+      break;
+    }
+    --FuelLeft;
+    assert(InstIndex < Block->size() && "fell off a basic block");
+    const Instruction *Inst = Block->at(InstIndex++);
+
+    switch (Inst->getOpcode()) {
+    case Instruction::Opcode::Alloca: {
+      const auto *Alloca = cast<AllocaInst>(Inst);
+      uint64_t Count = 1;
+      if (Alloca->isVLA())
+        Count = getValue(Fr, Alloca->getCount());
+      uint64_t Addr = materializeAlloca(Fr, *Alloca, Count, Result);
+      if (Result.Trap != TrapKind::None)
+        break;
+      setValue(Fr, Inst, Addr);
+      continue;
+    }
+    case Instruction::Opcode::Load: {
+      const auto *Load = cast<LoadInst>(Inst);
+      uint64_t Addr = getValue(Fr, Load->getPointer());
+      uint64_t Bits = 0;
+      if (!Memory.loadInt(Addr, scalarWidth(Load->getType()), Bits)) {
+        Result.Trap = Memory.getTrap();
+        Result.Message = Memory.getTrapMessage();
+        break;
+      }
+      setValue(Fr, Inst, Bits);
+      continue;
+    }
+    case Instruction::Opcode::Store: {
+      const auto *Store = cast<StoreInst>(Inst);
+      uint64_t Addr = getValue(Fr, Store->getPointer());
+      uint64_t Bits = getValue(Fr, Store->getStoredValue());
+      uint64_t Width = scalarWidth(Store->getStoredValue()->getType());
+      if (!Memory.storeInt(Addr, Width, Bits)) {
+        Result.Trap = Memory.getTrap();
+        Result.Message = Memory.getTrapMessage();
+        break;
+      }
+      continue;
+    }
+    case Instruction::Opcode::Gep: {
+      const auto *Gep = cast<GepInst>(Inst);
+      uint64_t Addr = getValue(Fr, Gep->getBase());
+      if (const Value *Index = Gep->getIndex())
+        Addr += getValue(Fr, Index) * Gep->getScale();
+      Addr += static_cast<uint64_t>(Gep->getConstOffset());
+      setValue(Fr, Inst, Addr);
+      // Smokestack frame slices are named "<var>.ss"; report the logical
+      // variable's address so disclosure-based attacks see instrumented
+      // frames the same way they see plain allocas.
+      if (TheObserver) {
+        const std::string &Name = Inst->getName();
+        if (Name.size() > 3 && Name.compare(Name.size() - 3, 3, ".ss") == 0)
+          TheObserver->onVariableAddress(*F, Name.substr(0, Name.size() - 3),
+                                         Addr);
+      }
+      continue;
+    }
+    case Instruction::Opcode::BinOp: {
+      const auto *Bin = cast<BinaryInst>(Inst);
+      uint64_t L = getValue(Fr, Bin->getLHS());
+      uint64_t R = getValue(Fr, Bin->getRHS());
+      const Type *Ty = Bin->getType();
+      uint64_t Width = scalarWidth(Ty);
+      uint64_t Out = 0;
+      bool Trapped = false;
+      using BinOp = BinaryInst::BinOp;
+      switch (Bin->getBinOp()) {
+      case BinOp::Add:
+        Out = L + R;
+        break;
+      case BinOp::Sub:
+        Out = L - R;
+        break;
+      case BinOp::Mul:
+        Out = L * R;
+        break;
+      case BinOp::UDiv:
+      case BinOp::URem:
+        if (R == 0) {
+          Trapped = true;
+          break;
+        }
+        Out = Bin->getBinOp() == BinOp::UDiv ? L / R : L % R;
+        break;
+      case BinOp::SDiv:
+      case BinOp::SRem: {
+        int64_t SL = sextFromWidth(L, Width), SR = sextFromWidth(R, Width);
+        if (SR == 0) {
+          Trapped = true;
+          break;
+        }
+        if (SL == INT64_MIN && SR == -1)
+          Out = static_cast<uint64_t>(SL); // wraps, remainder 0
+        else
+          Out = static_cast<uint64_t>(Bin->getBinOp() == BinOp::SDiv
+                                          ? SL / SR
+                                          : SL % SR);
+        break;
+      }
+      case BinOp::And:
+        Out = L & R;
+        break;
+      case BinOp::Or:
+        Out = L | R;
+        break;
+      case BinOp::Xor:
+        Out = L ^ R;
+        break;
+      case BinOp::Shl:
+        Out = R >= Width * 8 ? 0 : L << R;
+        break;
+      case BinOp::LShr:
+        Out = R >= Width * 8 ? 0 : L >> R;
+        break;
+      case BinOp::AShr: {
+        int64_t SL = sextFromWidth(L, Width);
+        Out = static_cast<uint64_t>(R >= Width * 8 ? (SL < 0 ? -1 : 0)
+                                                   : SL >> R);
+        break;
+      }
+      case BinOp::FAdd:
+        Out = fpToSlot(slotToFP(L, Ty) + slotToFP(R, Ty), Ty);
+        break;
+      case BinOp::FSub:
+        Out = fpToSlot(slotToFP(L, Ty) - slotToFP(R, Ty), Ty);
+        break;
+      case BinOp::FMul:
+        Out = fpToSlot(slotToFP(L, Ty) * slotToFP(R, Ty), Ty);
+        break;
+      case BinOp::FDiv:
+        Out = fpToSlot(slotToFP(L, Ty) / slotToFP(R, Ty), Ty);
+        break;
+      }
+      if (Trapped) {
+        Result.Trap = TrapKind::DivisionByZero;
+        Result.Message = "division by zero in " + F->getName();
+        break;
+      }
+      setValue(Fr, Inst, Out);
+      continue;
+    }
+    case Instruction::Opcode::ICmp: {
+      const auto *Cmp = cast<ICmpInst>(Inst);
+      uint64_t L = getValue(Fr, Cmp->getLHS());
+      uint64_t R = getValue(Fr, Cmp->getRHS());
+      const Type *OpTy = Cmp->getLHS()->getType();
+      bool Out = false;
+      using Pred = ICmpInst::Predicate;
+      if (OpTy->isFloatingPoint()) {
+        double DL = slotToFP(L, OpTy), DR = slotToFP(R, OpTy);
+        switch (Cmp->getPredicate()) {
+        case Pred::OEQ:
+          Out = DL == DR;
+          break;
+        case Pred::OLT:
+          Out = DL < DR;
+          break;
+        case Pred::OLE:
+          Out = DL <= DR;
+          break;
+        case Pred::OGT:
+          Out = DL > DR;
+          break;
+        case Pred::OGE:
+          Out = DL >= DR;
+          break;
+        default:
+          smokestack_unreachable("integer predicate on float operands");
+        }
+      } else {
+        uint64_t Width = scalarWidth(OpTy);
+        int64_t SL = sextFromWidth(L, Width), SR = sextFromWidth(R, Width);
+        switch (Cmp->getPredicate()) {
+        case Pred::EQ:
+          Out = L == R;
+          break;
+        case Pred::NE:
+          Out = L != R;
+          break;
+        case Pred::ULT:
+          Out = L < R;
+          break;
+        case Pred::ULE:
+          Out = L <= R;
+          break;
+        case Pred::UGT:
+          Out = L > R;
+          break;
+        case Pred::UGE:
+          Out = L >= R;
+          break;
+        case Pred::SLT:
+          Out = SL < SR;
+          break;
+        case Pred::SLE:
+          Out = SL <= SR;
+          break;
+        case Pred::SGT:
+          Out = SL > SR;
+          break;
+        case Pred::SGE:
+          Out = SL >= SR;
+          break;
+        default:
+          smokestack_unreachable("float predicate on integer operands");
+        }
+      }
+      setValue(Fr, Inst, Out ? 1 : 0);
+      continue;
+    }
+    case Instruction::Opcode::Cast: {
+      const auto *Cast = smokestack::cast<CastInst>(Inst);
+      uint64_t Src = getValue(Fr, Cast->getSource());
+      const Type *SrcTy = Cast->getSource()->getType();
+      const Type *DstTy = Cast->getType();
+      uint64_t Out = 0;
+      using CastOp = CastInst::CastOp;
+      switch (Cast->getCastOp()) {
+      case CastOp::Trunc:
+      case CastOp::Bitcast:
+      case CastOp::PtrToInt:
+      case CastOp::IntToPtr:
+      case CastOp::ZExt:
+        Out = Src; // setValue masks to the destination width
+        break;
+      case CastOp::SExt:
+        Out = static_cast<uint64_t>(
+            sextFromWidth(Src, scalarWidth(SrcTy)));
+        break;
+      case CastOp::FPToSI:
+        Out = static_cast<uint64_t>(
+            static_cast<int64_t>(slotToFP(Src, SrcTy)));
+        break;
+      case CastOp::SIToFP:
+        Out = fpToSlot(
+            static_cast<double>(sextFromWidth(Src, scalarWidth(SrcTy))),
+            DstTy);
+        break;
+      case CastOp::FPExt:
+      case CastOp::FPTrunc:
+        Out = fpToSlot(slotToFP(Src, SrcTy), DstTy);
+        break;
+      }
+      setValue(Fr, Inst, Out);
+      continue;
+    }
+    case Instruction::Opcode::Select: {
+      const auto *Sel = cast<SelectInst>(Inst);
+      uint64_t Cond = getValue(Fr, Sel->getCondition());
+      setValue(Fr, Inst,
+               getValue(Fr, Cond ? Sel->getTrueValue()
+                                 : Sel->getFalseValue()));
+      continue;
+    }
+    case Instruction::Opcode::Br: {
+      const auto *Br = cast<BranchInst>(Inst);
+      if (!Br->isConditional() || getValue(Fr, Br->getCondition()))
+        Block = Br->getTrueTarget();
+      else
+        Block = Br->getFalseTarget();
+      InstIndex = 0;
+      continue;
+    }
+    case Instruction::Opcode::Call: {
+      const auto *Call = cast<CallInst>(Inst);
+      Function *Callee = Call->getCallee();
+      std::vector<uint64_t> CallArgs;
+      CallArgs.reserve(Call->getNumArgs());
+      for (unsigned I = 0, E = Call->getNumArgs(); I != E; ++I)
+        CallArgs.push_back(getValue(Fr, Call->getArg(I)));
+      uint64_t RetValue = 0;
+      if (Callee->isDeclaration()) {
+        if (!dispatchBuiltin(Callee, CallArgs, RetValue, Result))
+          break;
+      } else {
+        RetValue = callFunction(Callee, CallArgs, Result, Depth + 1);
+        if (Result.Trap != TrapKind::None)
+          break;
+      }
+      if (!Call->getType()->isVoid())
+        setValue(Fr, Inst, RetValue);
+      continue;
+    }
+    case Instruction::Opcode::Ret: {
+      const auto *Ret = cast<RetInst>(Inst);
+      uint64_t RetValue =
+          Ret->getReturnValue() ? getValue(Fr, Ret->getReturnValue()) : 0;
+      StackPointer = Fr.SavedStackPointer;
+      return RetValue;
+    }
+    case Instruction::Opcode::Unreachable:
+      Result.Trap = TrapKind::ExplicitTrap;
+      Result.Message = "reached unreachable in " + F->getName();
+      break;
+    }
+    // Any path that did not 'continue' above trapped.
+    break;
+  }
+
+  StackPointer = Fr.SavedStackPointer;
+  return 0;
+}

@@ -1,0 +1,168 @@
+//===- vm/Interpreter.h - Mini-IR interpreter ------------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes Mini-IR modules over SimMemory. SSA values (the "registers")
+/// live outside the simulated address space, matching the paper's threat
+/// model in which the attacker owns data memory but not registers; only
+/// alloca'd objects, globals, and the heap are attacker-reachable.
+///
+/// Frame layout follows x86-ish conventions: the stack grows down and each
+/// alloca carves its object below the previous one, so overflowing a buffer
+/// upward reaches earlier locals and then the caller's frame — the layout
+/// determinism DOP attacks rely on. A Smokestack-instrumented module does
+/// not need VM cooperation: its prologue code computes permuted slices at
+/// runtime like any other IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_VM_INTERPRETER_H
+#define SMOKESTACK_VM_INTERPRETER_H
+
+#include "ir/Module.h"
+#include "vm/SimMemory.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace smokestack {
+
+class RandomSource;
+
+/// Outcome of one simulated execution.
+struct ExecResult {
+  TrapKind Trap = TrapKind::None;
+  std::string Message;
+  uint64_t ReturnValue = 0;
+  uint64_t Steps = 0;
+
+  bool ok() const { return Trap == TrapKind::None; }
+};
+
+/// Observes stack allocations as they happen. Security tests use this as
+/// the "memory disclosure" oracle when modeling an attacker that leaks a
+/// frame's layout; it must never be used to guide the *same* invocation's
+/// corruption (Smokestack's whole point is that the next invocation
+/// relayouts).
+class LayoutObserver {
+public:
+  virtual ~LayoutObserver();
+
+  /// Called after \p Alloca in \p F materialized at \p Addr (\p Size bytes).
+  virtual void onAlloca(const Function &F, const AllocaInst &Alloca,
+                        uint64_t Addr, uint64_t Size) = 0;
+
+  /// Called when an instrumented function binds logical variable \p Name to
+  /// \p Addr (Smokestack frame slices carry their original variable name).
+  /// A real attacker learns the same mapping by reading the frame contents;
+  /// this hook is the simulation's disclosure channel for rewritten frames.
+  virtual void onVariableAddress(const Function &F, const std::string &Name,
+                                 uint64_t Addr) {
+    (void)F;
+    (void)Name;
+    (void)Addr;
+  }
+
+  /// Called when a frame for \p F is entered (before any alloca).
+  virtual void onFunctionEnter(const Function &F) { (void)F; }
+};
+
+/// Execution options for one Interpreter instance.
+struct InterpreterOptions {
+  /// Maximum number of executed instructions before OutOfFuel.
+  uint64_t Fuel = 200'000'000;
+  /// Random downward shift of the initial stack pointer — models stack
+  /// base randomization / ASLR (must be < half the stack size).
+  uint64_t StackBaseOffset = 0;
+  /// Maximum simulated call depth.
+  unsigned MaxCallDepth = 512;
+};
+
+/// The Mini-IR virtual machine.
+class Interpreter {
+public:
+  explicit Interpreter(Module &M, RandomSource *Rng = nullptr,
+                       InterpreterOptions Opts = InterpreterOptions());
+
+  /// Runs \p FuncName with integer/pointer \p Args.
+  ExecResult run(const std::string &FuncName,
+                 const std::vector<uint64_t> &Args = {});
+
+  SimMemory &memory() { return Memory; }
+
+  /// Queues one attacker/input record consumed by the get_input builtins.
+  void pushInput(std::vector<uint8_t> Record) {
+    InputQueue.push_back(std::move(Record));
+  }
+  void pushInputString(const std::string &Record) {
+    InputQueue.emplace_back(Record.begin(), Record.end());
+  }
+  void clearInput() { InputQueue.clear(); }
+
+  /// Output accumulated by the print builtins.
+  const std::string &output() const { return Output; }
+  void clearOutput() { Output.clear(); }
+
+  /// Address of a module global after loading (0 if absent).
+  uint64_t getGlobalAddress(const std::string &Name) const;
+
+  void setLayoutObserver(LayoutObserver *Observer) {
+    TheObserver = Observer;
+  }
+
+  /// Binds the randomness source consumed by the smokestack.rand builtin.
+  void setRandomSource(RandomSource *Source) { Rng = Source; }
+
+  /// Number of functions entered during the last run (perf accounting).
+  uint64_t callsExecuted() const { return CallCount; }
+
+private:
+  struct Frame {
+    Function *F = nullptr;
+    std::vector<uint64_t> Registers;
+    uint64_t SavedStackPointer = 0;
+  };
+
+  /// Per-function value numbering (registers).
+  struct Numbering {
+    std::unordered_map<const Value *, unsigned> Index;
+    unsigned Count = 0;
+  };
+  const Numbering &getNumbering(Function *F);
+
+  void loadGlobals();
+  uint64_t callFunction(Function *F, const std::vector<uint64_t> &Args,
+                        ExecResult &Result, unsigned Depth);
+  bool dispatchBuiltin(Function *Callee, const std::vector<uint64_t> &Args,
+                       uint64_t &RetValue, ExecResult &Result);
+  uint64_t materializeAlloca(Frame &Fr, const AllocaInst &Alloca,
+                             uint64_t Count, ExecResult &Result);
+
+  uint64_t getValue(const Frame &Fr, const Value *V) const;
+  void setValue(Frame &Fr, const Value *V, uint64_t Bits);
+
+  // Builtin helpers.
+  bool builtinSnprintf(const std::vector<uint64_t> &Args, uint64_t &RetValue,
+                       ExecResult &Result);
+
+  Module &M;
+  SimMemory Memory;
+  RandomSource *Rng;
+  InterpreterOptions Opts;
+  uint64_t StackPointer = 0;
+  uint64_t FuelLeft = 0;
+  uint64_t CallCount = 0;
+  std::unordered_map<const Function *, Numbering> Numberings;
+  std::unordered_map<std::string, uint64_t> GlobalAddresses;
+  std::deque<std::vector<uint8_t>> InputQueue;
+  std::string Output;
+  LayoutObserver *TheObserver = nullptr;
+  bool GlobalsLoaded = false;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_VM_INTERPRETER_H

@@ -1,0 +1,143 @@
+//===- vm/SimMemory.cpp - Simulated flat data memory ----------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/SimMemory.h"
+
+#include "support/Align.h"
+#include "support/ErrorHandling.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace smokestack;
+
+const char *smokestack::trapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::UnmappedAccess:
+    return "unmapped-access";
+  case TrapKind::ReadOnlyViolation:
+    return "read-only-violation";
+  case TrapKind::StackOverflow:
+    return "stack-overflow";
+  case TrapKind::FunctionIdViolation:
+    return "function-id-violation";
+  case TrapKind::CanaryViolation:
+    return "canary-violation";
+  case TrapKind::ExplicitTrap:
+    return "explicit-trap";
+  case TrapKind::DivisionByZero:
+    return "division-by-zero";
+  case TrapKind::OutOfFuel:
+    return "out-of-fuel";
+  case TrapKind::BadCall:
+    return "bad-call";
+  }
+  smokestack_unreachable("unknown trap kind");
+}
+
+SimMemory::SimMemory()
+    : Globals{"globals", MemoryMap::GlobalsBase, true,
+              std::vector<uint8_t>(MemoryMap::GlobalsSize)},
+      ROData{"rodata", MemoryMap::RODataBase, false,
+             std::vector<uint8_t>(MemoryMap::RODataSize)},
+      Heap{"heap", MemoryMap::HeapBase, true,
+           std::vector<uint8_t>(MemoryMap::HeapSize)},
+      Stack{"stack", MemoryMap::StackBase, true,
+            std::vector<uint8_t>(MemoryMap::StackSize)} {}
+
+SimMemory::Segment *SimMemory::findSegment(uint64_t Addr, uint64_t Size) {
+  for (Segment *Seg : {&Globals, &ROData, &Heap, &Stack})
+    if (Seg->contains(Addr, Size))
+      return Seg;
+  return nullptr;
+}
+
+const SimMemory::Segment *SimMemory::findSegment(uint64_t Addr,
+                                                 uint64_t Size) const {
+  return const_cast<SimMemory *>(this)->findSegment(Addr, Size);
+}
+
+void SimMemory::raiseUnmapped(uint64_t Addr, uint64_t Size, const char *What) {
+  Trap = TrapKind::UnmappedAccess;
+  TrapMessage = formatString("%s of %llu bytes at 0x%llx hit unmapped memory",
+                             What, (unsigned long long)Size,
+                             (unsigned long long)Addr);
+}
+
+bool SimMemory::read(uint64_t Addr, void *Out, uint64_t Size) {
+  const Segment *Seg = findSegment(Addr, Size);
+  if (!Seg) {
+    raiseUnmapped(Addr, Size, "read");
+    return false;
+  }
+  std::memcpy(Out, Seg->Bytes.data() + (Addr - Seg->Base), Size);
+  return true;
+}
+
+bool SimMemory::write(uint64_t Addr, const void *Data, uint64_t Size,
+                      bool IgnoreProtection) {
+  Segment *Seg = findSegment(Addr, Size);
+  if (!Seg) {
+    raiseUnmapped(Addr, Size, "write");
+    return false;
+  }
+  if (!Seg->Writable && !IgnoreProtection) {
+    Trap = TrapKind::ReadOnlyViolation;
+    TrapMessage =
+        formatString("write of %llu bytes at 0x%llx into read-only '%s'",
+                     (unsigned long long)Size, (unsigned long long)Addr,
+                     Seg->Name);
+    return false;
+  }
+  std::memcpy(Seg->Bytes.data() + (Addr - Seg->Base), Data, Size);
+  return true;
+}
+
+bool SimMemory::loadInt(uint64_t Addr, uint64_t Size, uint64_t &Out) {
+  assert((Size == 1 || Size == 2 || Size == 4 || Size == 8) &&
+         "scalar loads are 1/2/4/8 bytes");
+  uint64_t Value = 0;
+  if (!read(Addr, &Value, Size))
+    return false;
+  Out = Value;
+  return true;
+}
+
+bool SimMemory::storeInt(uint64_t Addr, uint64_t Size, uint64_t Value) {
+  assert((Size == 1 || Size == 2 || Size == 4 || Size == 8) &&
+         "scalar stores are 1/2/4/8 bytes");
+  return write(Addr, &Value, Size);
+}
+
+bool SimMemory::readCString(uint64_t Addr, std::string &Out,
+                            uint64_t MaxLen) {
+  Out.clear();
+  for (uint64_t I = 0; I != MaxLen; ++I) {
+    uint8_t Byte;
+    if (!read(Addr + I, &Byte, 1))
+      return false;
+    if (Byte == 0)
+      return true;
+    Out.push_back(static_cast<char>(Byte));
+  }
+  return true;
+}
+
+bool SimMemory::isMapped(uint64_t Addr, uint64_t Size) const {
+  return findSegment(Addr, Size) != nullptr;
+}
+
+uint64_t SimMemory::heapAlloc(uint64_t Size) {
+  uint64_t Aligned = alignTo(Size == 0 ? 1 : Size, 16);
+  if (HeapCursor + Aligned > MemoryMap::HeapSize)
+    return 0;
+  uint64_t Addr = MemoryMap::HeapBase + HeapCursor;
+  HeapCursor += Aligned;
+  return Addr;
+}

@@ -1,0 +1,113 @@
+//===- vm/SimMemory.h - Simulated flat data memory --------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM's byte-addressable data memory: globals, read-only data (where the
+/// P-BOX lives), heap, and a downward-growing stack, each a contiguous
+/// segment at a fixed base. Out-of-bounds writes *within* a segment silently
+/// corrupt neighboring objects — exactly the hardware behavior DOP attacks
+/// exploit — while accesses outside any segment trap like a real segfault.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_VM_SIMMEMORY_H
+#define SMOKESTACK_VM_SIMMEMORY_H
+
+#include "vm/Trap.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smokestack {
+
+/// Segment layout constants (fixed virtual addresses).
+struct MemoryMap {
+  static constexpr uint64_t GlobalsBase = 0x0001'0000;
+  static constexpr uint64_t GlobalsSize = 0x0010'0000; // 1 MiB
+  static constexpr uint64_t RODataBase = 0x0100'0000;
+  static constexpr uint64_t RODataSize = 0x0100'0000; // 16 MiB (P-BOX)
+  static constexpr uint64_t HeapBase = 0x0400'0000;
+  static constexpr uint64_t HeapSize = 0x0100'0000; // 16 MiB
+  static constexpr uint64_t StackTop = 0x0800'0000; // grows down
+  static constexpr uint64_t StackSize = 0x0040'0000; // 4 MiB
+  static constexpr uint64_t StackBase = StackTop - StackSize;
+  /// Mapped bytes above the first frame, standing in for the argv/environ
+  /// area of a real process — an overflow out of the top frame lands here
+  /// instead of faulting immediately.
+  static constexpr uint64_t StackHeadroom = 0x1000;
+};
+
+/// Flat simulated memory with segment-granular protection.
+class SimMemory {
+public:
+  SimMemory();
+
+  /// Reads \p Size bytes at \p Addr. Returns false (and sets the trap) on
+  /// unmapped access.
+  bool read(uint64_t Addr, void *Out, uint64_t Size);
+
+  /// Writes \p Size bytes at \p Addr, honoring read-only protection unless
+  /// \p IgnoreProtection (used only by the loader to populate the P-BOX).
+  bool write(uint64_t Addr, const void *Data, uint64_t Size,
+             bool IgnoreProtection = false);
+
+  /// Loads a little-endian unsigned integer of \p Size bytes (1/2/4/8).
+  bool loadInt(uint64_t Addr, uint64_t Size, uint64_t &Out);
+
+  /// Stores the low \p Size bytes of \p Value.
+  bool storeInt(uint64_t Addr, uint64_t Size, uint64_t Value);
+
+  /// Reads a NUL-terminated string (bounded by \p MaxLen).
+  bool readCString(uint64_t Addr, std::string &Out, uint64_t MaxLen = 1u << 20);
+
+  /// True if [Addr, Addr+Size) lies inside one mapped segment.
+  bool isMapped(uint64_t Addr, uint64_t Size) const;
+
+  /// Trap state from the last failing access.
+  TrapKind getTrap() const { return Trap; }
+  const std::string &getTrapMessage() const { return TrapMessage; }
+  void clearTrap() {
+    Trap = TrapKind::None;
+    TrapMessage.clear();
+  }
+
+  /// Bump-allocates \p Size bytes (16-byte aligned) from the heap; returns 0
+  /// when exhausted.
+  uint64_t heapAlloc(uint64_t Size);
+
+  /// Total heap bytes handed out so far (memory-overhead accounting).
+  uint64_t heapBytesUsed() const { return HeapCursor; }
+
+private:
+  struct Segment {
+    const char *Name;
+    uint64_t Base;
+    bool Writable;
+    std::vector<uint8_t> Bytes;
+
+    bool contains(uint64_t Addr, uint64_t Size) const {
+      return Addr >= Base && Size <= Bytes.size() &&
+             Addr - Base <= Bytes.size() - Size;
+    }
+  };
+
+  Segment *findSegment(uint64_t Addr, uint64_t Size);
+  const Segment *findSegment(uint64_t Addr, uint64_t Size) const;
+  void raiseUnmapped(uint64_t Addr, uint64_t Size, const char *What);
+
+  Segment Globals;
+  Segment ROData;
+  Segment Heap;
+  Segment Stack;
+  uint64_t HeapCursor = 0;
+  TrapKind Trap = TrapKind::None;
+  std::string TrapMessage;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_VM_SIMMEMORY_H

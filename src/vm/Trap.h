@@ -1,0 +1,39 @@
+//===- vm/Trap.h - VM trap kinds -------------------------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ways a simulated execution can stop abnormally. Security experiments
+/// classify attack outcomes by these: a DOP attack "succeeds" only when the
+/// program runs to completion with the attacker's intended effect; any trap
+/// means the defense (or plain memory protection) stopped it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_VM_TRAP_H
+#define SMOKESTACK_VM_TRAP_H
+
+namespace smokestack {
+
+/// Abnormal-termination causes.
+enum class TrapKind {
+  None,                ///< Normal completion.
+  UnmappedAccess,      ///< Load/store outside any segment (a real segfault).
+  ReadOnlyViolation,   ///< Store to the read-only segment (e.g. the P-BOX).
+  StackOverflow,       ///< Frame allocation exhausted the stack segment.
+  FunctionIdViolation, ///< Smokestack prologue/epilogue identifier check.
+  CanaryViolation,     ///< Stack-canary epilogue check.
+  ExplicitTrap,        ///< Program-requested trap.
+  DivisionByZero,      ///< Integer division by zero.
+  OutOfFuel,           ///< Step budget exhausted (runaway execution).
+  BadCall,             ///< Call to an unknown builtin or malformed call.
+};
+
+/// Printable trap name.
+const char *trapKindName(TrapKind Kind);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_VM_TRAP_H

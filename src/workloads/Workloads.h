@@ -1,0 +1,90 @@
+//===- workloads/Workloads.h - SPEC-like benchmark kernels -----*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Native benchmark kernels standing in for the paper's SPEC 2006 and
+/// I/O-bound evaluation programs (substitution documented in DESIGN.md).
+/// Every kernel's hot function allocates its locals through the
+/// smokestack::PermutedFrame runtime when a RandomSource is supplied —
+/// paying exactly the instrumented prologue/epilogue cost (one RNG draw,
+/// one P-BOX row lookup, slice pointers, identifier tag + check) — and
+/// through the same accessor with fixed declaration-order offsets when not,
+/// which is the uninstrumented baseline. The measured delta is the paper's
+/// Figure 3 quantity.
+///
+/// Kernels are named after the SPEC program whose call/frame profile they
+/// imitate (call frequency, frame size, arithmetic flavor); they are not
+/// the SPEC codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_WORKLOADS_WORKLOADS_H
+#define SMOKESTACK_WORKLOADS_WORKLOADS_H
+
+#include "core/FrameRuntime.h"
+#include "rng/RandomSource.h"
+
+#include <cassert>
+#include <span>
+
+namespace smokestack {
+
+/// Largest frame any kernel uses (gobmk-like board frames are the biggest).
+inline constexpr size_t MaxKernelFrame = 4096;
+
+/// Uniform view over a function's locals, independent of whether the frame
+/// was randomized this invocation.
+struct FrameView {
+  void *Slots[8] = {};
+
+  template <typename T> T *as(unsigned I) const {
+    return static_cast<T *>(Slots[I]);
+  }
+};
+
+/// Invokes \p Body with a frame laid out per \p Desc. With \p Rng the call
+/// performs the full Smokestack prologue and epilogue; without it the
+/// locals sit at fixed declaration-order offsets (baseline). Both paths go
+/// through FrameView so the only difference measured is the defense.
+template <typename Fn>
+inline uint64_t invokeFrame(const FrameDescriptor &Desc, RandomSource *Rng,
+                            Fn &&Body) {
+  assert(Desc.frameSize() <= MaxKernelFrame && "enlarge MaxKernelFrame");
+  alignas(16) char Slab[MaxKernelFrame];
+  FrameView View;
+  if (Rng) {
+    PermutedFrame Frame(Desc, *Rng, Slab);
+    for (unsigned I = 0, E = Desc.numSlots(); I != E; ++I)
+      View.Slots[I] = Frame.slot(I);
+    uint64_t Result = Body(View);
+    // Epilogue check: a detected violation poisons the checksum (never
+    // happens in benign benchmarking, but the check must be paid for).
+    return Frame.checkIdentifier() ? Result : Result ^ 0xDEAD;
+  }
+  for (unsigned I = 0, E = Desc.numSlots(); I != E; ++I)
+    View.Slots[I] = Slab + Desc.baselineOffset(I);
+  return Body(View);
+}
+
+/// One benchmark kernel.
+struct Workload {
+  /// Display name ("400.perlbench-like", "proftpd-like", ...).
+  const char *Name;
+  /// True for the I/O-bound server models (rare hardened calls relative to
+  /// bulk data movement).
+  bool IOBound;
+  /// Runs the kernel for \p Work units with optional frame randomization;
+  /// returns a checksum the caller must consume.
+  uint64_t (*Run)(RandomSource *Rng, uint64_t Work);
+};
+
+/// All kernels: twelve SPEC-2006-like CPU-bound programs plus two I/O-bound
+/// server models, in the order the paper's Figure 3 lists them.
+std::span<const Workload> allWorkloads();
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_WORKLOADS_WORKLOADS_H

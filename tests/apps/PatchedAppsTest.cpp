@@ -1,0 +1,95 @@
+//===- tests/apps/PatchedAppsTest.cpp - Fixed-version app behavior -------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sanity checks that the app models are vulnerable for the *modeled
+/// reason*: feeding the exact exploit inputs to runs where the dangerous
+/// primitive cannot fire (bounded sizes, sane lengths) must be harmless.
+/// This guards the models against accidentally being exploitable through
+/// some unrelated artifact of the simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Librelp.h"
+#include "apps/Proftpd.h"
+#include "apps/Wireshark.h"
+
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+TEST(PatchedAppsTest, LibrelpCursorStaysBoundedWithShortSans) {
+  // SANs that keep iAllNames below 1024 can never reach the caller: the
+  // snprintf stays clipped inside allNames.
+  Module M("librelp");
+  buildLibrelpModule(M);
+  Interpreter VM(M);
+  for (int I = 0; I != 6; ++I)
+    VM.pushInputString("a-short-name.example");
+  VM.pushInput({});
+  ExecResult R = VM.run("relpTcpLstnInit");
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 0u) << "gadgets must stay dormant";
+}
+
+TEST(PatchedAppsTest, LibrelpBoundaryWithoutPayloadIsHarmless) {
+  // Driving the cursor past the boundary but sending only filler (no
+  // precise gadget bytes) corrupts pad space, not the gadget operands on
+  // the baseline layout.
+  Module M("librelp");
+  buildLibrelpModule(M);
+  Interpreter VM(M);
+  for (int I = 0; I != 12; ++I)
+    VM.pushInput(std::vector<uint8_t>(100, 'Z'));
+  VM.pushInput({});
+  ExecResult R = VM.run("relpTcpLstnInit");
+  // The blind spray may or may not derail the dispatcher, but it must not
+  // exfiltrate the secret.
+  if (R.ok())
+    EXPECT_NE(R.ReturnValue, LibrelpSecret);
+}
+
+TEST(PatchedAppsTest, WiresharkInFrameDataIsHarmless) {
+  // A frame that fits in pd never reaches col/cinfo.
+  Module M("wireshark");
+  buildWiresharkModule(M);
+  Interpreter VM(M);
+  VM.pushInput(std::vector<uint8_t>(512, 0x7F));
+  ExecResult R = VM.run("gtk_tree_view_column_cell_set_cell_data");
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 0u);
+}
+
+TEST(PatchedAppsTest, ProftpdShortCommandsAreHarmless) {
+  // Commands shorter than the buffer keep sstrncpy's bound positive.
+  Module M("proftpd");
+  buildProftpdModule(M);
+  Interpreter VM(M);
+  for (int I = 0; I != 10; ++I) {
+    std::string Cmd = "RETR file" + std::to_string(I);
+    std::vector<uint8_t> Record(Cmd.begin(), Cmd.end());
+    Record.push_back(0);
+    VM.pushInput(Record);
+  }
+  ExecResult R = VM.run("main_loop");
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 0u) << "key must not leak";
+}
+
+TEST(PatchedAppsTest, ProftpdExactBoundaryCommand) {
+  // A 127-byte command gives space == 1: sstrncpy writes only the NUL.
+  Module M("proftpd");
+  buildProftpdModule(M);
+  Interpreter VM(M);
+  std::vector<uint8_t> Record(127, 'A');
+  Record.push_back(0);
+  VM.pushInput(Record);
+  ExecResult R = VM.run("main_loop");
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 0u);
+}

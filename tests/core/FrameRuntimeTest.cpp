@@ -1,0 +1,113 @@
+//===- tests/core/FrameRuntimeTest.cpp - Native frame runtime tests ------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FrameRuntime.h"
+
+#include "rng/AesCtr.h"
+#include "rng/Pseudo.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace smokestack;
+
+namespace {
+
+FrameDescriptor makeDescriptor() {
+  return FrameDescriptor({{64, 1, "buf"}, {8, 8, "len"}, {4, 4, "flag"}});
+}
+
+} // namespace
+
+TEST(FrameRuntimeTest, SlotsAreDisjointAndInBounds) {
+  FrameDescriptor Desc = makeDescriptor();
+  DeterministicEntropySource Entropy(1);
+  PseudoRandomSource Rng(Entropy);
+  alignas(16) std::vector<char> Slab(Desc.frameSize());
+
+  uint64_t Sizes[3] = {64, 8, 4};
+  for (int Trial = 0; Trial != 100; ++Trial) {
+    PermutedFrame Frame(Desc, Rng, Slab.data());
+    std::vector<std::pair<uint64_t, uint64_t>> Intervals;
+    for (unsigned I = 0; I != 3; ++I) {
+      auto *P = static_cast<char *>(Frame.slot(I));
+      ASSERT_GE(P, Slab.data());
+      ASSERT_LE(P + Sizes[I], Slab.data() + Slab.size());
+      Intervals.emplace_back(P - Slab.data(), P - Slab.data() + Sizes[I]);
+    }
+    std::sort(Intervals.begin(), Intervals.end());
+    for (size_t I = 1; I != Intervals.size(); ++I)
+      ASSERT_LE(Intervals[I - 1].second, Intervals[I].first);
+  }
+}
+
+TEST(FrameRuntimeTest, LayoutVariesAcrossInvocations) {
+  FrameDescriptor Desc = makeDescriptor();
+  DeterministicEntropySource Entropy(2);
+  PseudoRandomSource Rng(Entropy);
+  alignas(16) std::vector<char> Slab(Desc.frameSize());
+
+  std::set<uint64_t> BufOffsets;
+  for (int Trial = 0; Trial != 64; ++Trial) {
+    PermutedFrame Frame(Desc, Rng, Slab.data());
+    BufOffsets.insert(static_cast<char *>(Frame.slot(0)) - Slab.data());
+  }
+  EXPECT_GT(BufOffsets.size(), 1u)
+      << "per-invocation permutation must move the buffer around";
+}
+
+TEST(FrameRuntimeTest, RowsCoverTheTable) {
+  FrameDescriptor Desc = makeDescriptor(); // 4 slots (incl. id) -> 24 -> 32
+  DeterministicEntropySource Entropy(3);
+  AesCtrRandomSource Rng(Entropy, 10);
+  alignas(16) std::vector<char> Slab(Desc.frameSize());
+  std::set<uint64_t> Rows;
+  for (int Trial = 0; Trial != 2000; ++Trial) {
+    PermutedFrame Frame(Desc, Rng, Slab.data());
+    Rows.insert(Frame.row());
+  }
+  EXPECT_EQ(Rows.size(), Desc.table().numRows())
+      << "a good RNG should hit every row of a 32-row table in 2000 draws";
+}
+
+TEST(FrameRuntimeTest, IdentifierCheckPassesWhenUntouched) {
+  FrameDescriptor Desc = makeDescriptor();
+  DeterministicEntropySource Entropy(4);
+  PseudoRandomSource Rng(Entropy);
+  alignas(16) std::vector<char> Slab(Desc.frameSize());
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    PermutedFrame Frame(Desc, Rng, Slab.data());
+    std::memset(Frame.slot(0), 0xAB, 64); // normal writes inside the slot
+    EXPECT_TRUE(Frame.checkIdentifier());
+  }
+}
+
+TEST(FrameRuntimeTest, IdentifierCheckCatchesFrameWideOverflow) {
+  FrameDescriptor Desc = makeDescriptor();
+  DeterministicEntropySource Entropy(5);
+  PseudoRandomSource Rng(Entropy);
+  alignas(16) std::vector<char> Slab(Desc.frameSize());
+  PermutedFrame Frame(Desc, Rng, Slab.data());
+  // A linear overflow sweeping the whole slab necessarily corrupts the
+  // identifier tag wherever the permutation placed it.
+  std::memset(Slab.data(), 0x41, Slab.size());
+  EXPECT_FALSE(Frame.checkIdentifier());
+}
+
+TEST(FrameRuntimeTest, DistinctDescriptorsGetDistinctFunctionIds) {
+  FrameDescriptor A({{8, 8, "x"}});
+  FrameDescriptor B({{8, 8, "x"}});
+  EXPECT_NE(A.functionId(), B.functionId());
+}
+
+TEST(FrameRuntimeTest, FrameSizeAccountsForIdentifierSlot) {
+  // One 8-byte user slot + 8-byte id slot = 16 bytes minimum.
+  FrameDescriptor Desc({{8, 8, "x"}});
+  EXPECT_GE(Desc.frameSize(), 16u);
+  EXPECT_EQ(Desc.numSlots(), 1u);
+  EXPECT_EQ(Desc.table().numSlots(), 2u);
+}

@@ -1,0 +1,89 @@
+//===- tests/core/StackUsageAnalysisTest.cpp - Frame statistics tests ----===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StackUsageAnalysis.h"
+
+#include "ir/IRBuilder.h"
+#include "support/RawStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+namespace {
+
+Module *buildSample(Module &M) {
+  IRBuilder B(M);
+  // f1: 3 static allocations, one VLA.
+  Function *F1 = M.createFunction("f1", B.voidTy(), {B.i64()});
+  B.setInsertPoint(F1->createBlock("entry"));
+  B.alloca_(B.getContext().getArrayTy(B.i8(), 64), "buf");
+  B.alloca_(B.i64(), "x");
+  B.alloca_(B.i32(), "y", /*AlignOverride=*/32);
+  B.allocaVLA(B.i8(), F1->getArg(0), "v");
+  B.ret();
+  // f2: same multiset, different order.
+  Function *F2 = M.createFunction("f2", B.voidTy(), {});
+  B.setInsertPoint(F2->createBlock("entry"));
+  B.alloca_(B.i32(), "y", /*AlignOverride=*/32);
+  B.alloca_(B.i64(), "x");
+  B.alloca_(B.getContext().getArrayTy(B.i8(), 64), "buf");
+  B.ret();
+  // f3: no stack frame.
+  Function *F3 = M.createFunction("f3", B.i64(), {B.i64()});
+  B.setInsertPoint(F3->createBlock("entry"));
+  B.ret(F3->getArg(0));
+  // A declaration must be skipped entirely.
+  M.getOrInsertDeclaration("memcpy", B.ptr(), {B.ptr(), B.ptr(), B.i64()});
+  return &M;
+}
+
+} // namespace
+
+TEST(StackUsageAnalysisTest, PerFunctionProfile) {
+  Module M("m");
+  buildSample(M);
+  FunctionStackUsage F1 = analyzeFunctionStackUsage(*M.getFunction("f1"));
+  EXPECT_EQ(F1.Slots.size(), 3u);
+  EXPECT_EQ(F1.StaticBytes, 64u + 8 + 4);
+  EXPECT_EQ(F1.LargestAllocation, 64u);
+  EXPECT_EQ(F1.MaxAlignment, 32u) << "the alloca's override counts";
+  EXPECT_EQ(F1.VLACount, 1u);
+  EXPECT_TRUE(F1.instrumentable());
+  // Worst frame: slots + id slot, with worst-case padding, 16-aligned.
+  EXPECT_GE(F1.WorstCaseFrameBytes, 64u + 8 + 4 + 8);
+  EXPECT_EQ(F1.WorstCaseFrameBytes % 16, 0u);
+
+  FunctionStackUsage F3 = analyzeFunctionStackUsage(*M.getFunction("f3"));
+  EXPECT_FALSE(F3.instrumentable());
+  EXPECT_EQ(F3.WorstCaseFrameBytes, 0u);
+}
+
+TEST(StackUsageAnalysisTest, ModuleAggregates) {
+  Module M("m");
+  buildSample(M);
+  ModuleStackUsage Usage = analyzeModuleStackUsage(M);
+  EXPECT_EQ(Usage.Functions.size(), 3u) << "declarations are skipped";
+  EXPECT_EQ(Usage.InstrumentableFunctions, 2u);
+  EXPECT_EQ(Usage.FunctionsWithVLAs, 1u);
+  EXPECT_EQ(Usage.TotalStaticBytes, 2 * (64u + 8 + 4));
+  EXPECT_EQ(Usage.DistinctSignatures, 1u)
+      << "f1 and f2 share one canonical signature";
+  ASSERT_NE(Usage.find("f1"), nullptr);
+  EXPECT_EQ(Usage.find("missing"), nullptr);
+}
+
+TEST(StackUsageAnalysisTest, ReportPrints) {
+  Module M("m");
+  buildSample(M);
+  std::string Text;
+  RawStringOStream OS(Text);
+  printStackUsage(analyzeModuleStackUsage(M), OS);
+  EXPECT_NE(Text.find("f1"), std::string::npos);
+  EXPECT_NE(Text.find("2 instrumentable function(s)"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("1 distinct signature(s)"), std::string::npos) << Text;
+}

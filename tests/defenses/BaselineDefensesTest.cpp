@@ -1,0 +1,235 @@
+//===- tests/defenses/BaselineDefensesTest.cpp - Baseline defense tests ---===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defenses/BaselineDefenses.h"
+
+#include "defenses/Deploy.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace smokestack;
+
+namespace {
+
+/// i64 delta(): layout probe — distance between two locals, plus behavior
+/// check through a computed value.
+void buildProbe(Module &M) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("probe", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *A = B.alloca_(B.i64(), "a");
+  AllocaInst *Buf = B.alloca_(B.getContext().getArrayTy(B.i8(), 24), "buf");
+  AllocaInst *C = B.alloca_(B.i32(), "c");
+  B.store(B.constI64(0), A);
+  B.store(B.constI32(0), C);
+  Value *AI = B.cast_(CastInst::CastOp::PtrToInt, B.i64(), A);
+  Value *BI = B.cast_(CastInst::CastOp::PtrToInt, B.i64(), Buf);
+  B.ret(B.sub(AI, BI));
+}
+
+/// i64 addr(): absolute address of a local.
+void buildAddrProbe(Module &M) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("addr", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *Buf = B.alloca_(B.getContext().getArrayTy(B.i8(), 64), "buf");
+  B.store(B.constI8(1), Buf);
+  B.ret(B.cast_(CastInst::CastOp::PtrToInt, B.i64(), Buf));
+}
+
+} // namespace
+
+TEST(StaticPermutationTest, ShufflesLayoutOnceAtCompileTime) {
+  std::set<int64_t> DeltasAcrossBuilds;
+  for (uint64_t Build = 0; Build != 16; ++Build) {
+    Module M("m");
+    buildProbe(M);
+    PassManager PM;
+    PM.addPass(std::make_unique<StaticPermutationPass>(Build));
+    PM.run(M);
+    ASSERT_TRUE(verifyModule(M));
+
+    // Within one build, every run and invocation sees the same layout.
+    Interpreter VM(M);
+    int64_t First = static_cast<int64_t>(VM.run("probe").ReturnValue);
+    for (int Trial = 0; Trial != 8; ++Trial)
+      ASSERT_EQ(static_cast<int64_t>(VM.run("probe").ReturnValue), First);
+    DeltasAcrossBuilds.insert(First);
+  }
+  EXPECT_GT(DeltasAcrossBuilds.size(), 1u)
+      << "different builds should pick different layouts";
+}
+
+TEST(StaticPermutationTest, PreservesBehavior) {
+  Module M("m");
+  IRBuilder B(M);
+  Function *F = M.createFunction("sum", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *X = B.alloca_(B.i64(), "x");
+  AllocaInst *Y = B.alloca_(B.i64(), "y");
+  AllocaInst *Z = B.alloca_(B.i64(), "z");
+  B.store(B.constI64(5), X);
+  B.store(B.constI64(7), Y);
+  B.store(B.constI64(9), Z);
+  B.ret(B.add(B.add(B.load(B.i64(), X), B.load(B.i64(), Y)),
+              B.load(B.i64(), Z)));
+  PassManager PM;
+  PM.addPass(std::make_unique<StaticPermutationPass>(3));
+  PM.run(M);
+  Interpreter VM(M);
+  EXPECT_EQ(VM.run("sum").ReturnValue, 21u);
+}
+
+TEST(EntryPaddingTest, PadsLargeFramesOnly) {
+  Module M("m");
+  IRBuilder B(M);
+  // Small frame: single i64 (8 bytes <= 16) — must not be padded.
+  Function *Small = M.createFunction("small", B.voidTy(), {});
+  B.setInsertPoint(Small->createBlock("entry"));
+  B.alloca_(B.i64(), "x");
+  B.ret();
+  // Large frame: 24-byte buffer.
+  Function *Large = M.createFunction("large", B.voidTy(), {});
+  B.setInsertPoint(Large->createBlock("entry"));
+  B.alloca_(B.getContext().getArrayTy(B.i8(), 24), "buf");
+  B.ret();
+
+  PassManager PM;
+  PM.addPass(std::make_unique<EntryPaddingPass>(1));
+  PM.run(M);
+
+  EXPECT_FALSE(Small->getAttribute("entrypad.bytes").has_value());
+  ASSERT_TRUE(Large->getAttribute("entrypad.bytes").has_value());
+  uint64_t Pad = *Large->getAttribute("entrypad.bytes");
+  EXPECT_GE(Pad, 8u);
+  EXPECT_LE(Pad, 64u);
+  EXPECT_EQ(Pad % 8, 0u);
+}
+
+TEST(EntryPaddingTest, ShiftsAbsoluteButNotRelativeAddresses) {
+  // The crucial weakness: padding moves the whole frame but keeps the
+  // distances between locals — DOP needs only the relative distance.
+  std::set<int64_t> Deltas;
+  std::set<uint64_t> Addrs;
+  for (uint64_t Build = 0; Build != 16; ++Build) {
+    Module M("m");
+    buildProbe(M);
+    buildAddrProbe(M);
+    PassManager PM;
+    PM.addPass(std::make_unique<EntryPaddingPass>(Build));
+    PM.run(M);
+    Interpreter VM(M);
+    Deltas.insert(static_cast<int64_t>(VM.run("probe").ReturnValue));
+    Addrs.insert(VM.run("addr").ReturnValue);
+  }
+  EXPECT_EQ(Deltas.size(), 1u) << "relative distances are invariant";
+  EXPECT_GT(Addrs.size(), 1u) << "absolute addresses do move";
+}
+
+TEST(StackCanaryTest, CatchesLinearOverflowPastFrame) {
+  // Overflow from a local buffer across the whole frame clobbers the
+  // canary (declared first = highest address), trapping at the epilogue.
+  Module M("m");
+  IRBuilder B(M);
+  Function *Memset =
+      M.getOrInsertDeclaration("memset", B.ptr(), {B.ptr(), B.i32(), B.i64()});
+  Function *F = M.createFunction("smash", B.voidTy(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *Buf = B.alloca_(B.getContext().getArrayTy(B.i8(), 16), "buf");
+  B.call(Memset, {Buf, B.constI32('A'), B.constI64(64)});
+  B.ret();
+
+  PassManager PM;
+  PM.addPass(std::make_unique<StackCanaryPass>(0x1234567890abcdefULL));
+  PM.run(M);
+  ASSERT_TRUE(verifyModule(M));
+
+  Interpreter VM(M);
+  EXPECT_EQ(VM.run("smash").Trap, TrapKind::CanaryViolation);
+}
+
+TEST(StackCanaryTest, BenignExecutionPasses) {
+  Module M("m");
+  IRBuilder B(M);
+  Function *F = M.createFunction("fine", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *X = B.alloca_(B.i64(), "x");
+  B.store(B.constI64(11), X);
+  B.ret(B.load(B.i64(), X));
+  PassManager PM;
+  PM.addPass(std::make_unique<StackCanaryPass>(0xfeedface));
+  PM.run(M);
+  Interpreter VM(M);
+  ExecResult R = VM.run("fine");
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 11u);
+}
+
+TEST(StackCanaryTest, MissesTargetedCorruptionBelowCanary) {
+  // A store that corrupts a sibling local without touching the canary is
+  // invisible to SSP — the gap DOP attacks drive through.
+  Module M("m");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *Victim = B.alloca_(B.i64(), "victim");
+  AllocaInst *Buf = B.alloca_(B.getContext().getArrayTy(B.i8(), 16), "buf");
+  B.store(B.constI64(0), Victim);
+  B.store(B.constI64(0x41414141), B.gepConst(Buf, 16)); // exactly victim
+  B.ret(B.load(B.i64(), Victim));
+  PassManager PM;
+  PM.addPass(std::make_unique<StackCanaryPass>(0xdead10cc));
+  PM.run(M);
+  Interpreter VM(M);
+  ExecResult R = VM.run("f");
+  ASSERT_TRUE(R.ok()) << "canary not touched, no trap";
+  EXPECT_EQ(R.ReturnValue, 0x41414141u) << "victim silently corrupted";
+}
+
+TEST(DeployTest, AllDefensesPreserveProgramBehavior) {
+  for (DefenseKind Kind :
+       {DefenseKind::None, DefenseKind::StackBaseRandomization,
+        DefenseKind::EntryPadding, DefenseKind::StaticPermutation,
+        DefenseKind::StackCanary}) {
+    Module M("m");
+    IRBuilder B(M);
+    Function *F = M.createFunction("id42", B.i64(), {});
+    B.setInsertPoint(F->createBlock("entry"));
+    AllocaInst *X = B.alloca_(B.i64(), "x");
+    AllocaInst *Buf = B.alloca_(B.getContext().getArrayTy(B.i8(), 32), "b");
+    B.store(B.constI8(0), Buf);
+    B.store(B.constI64(42), X);
+    B.ret(B.load(B.i64(), X));
+    DeployedDefense D = deployDefense(M, Kind, /*BuildSeed=*/9);
+    Interpreter VM(M, nullptr, D.InterpOpts);
+    ExecResult R = VM.run("id42");
+    ASSERT_TRUE(R.ok()) << defenseKindName(Kind) << ": " << R.Message;
+    EXPECT_EQ(R.ReturnValue, 42u) << defenseKindName(Kind);
+  }
+}
+
+TEST(DeployTest, StackBaseRandomizationMovesAbsoluteAddresses) {
+  std::set<uint64_t> Addrs;
+  for (uint64_t Build = 0; Build != 8; ++Build) {
+    Module M("m");
+    buildAddrProbe(M);
+    DeployedDefense D =
+        deployDefense(M, DefenseKind::StackBaseRandomization, Build);
+    Interpreter VM(M, nullptr, D.InterpOpts);
+    Addrs.insert(VM.run("addr").ReturnValue);
+  }
+  EXPECT_GT(Addrs.size(), 4u);
+}
+
+TEST(DeployTest, DefenseNames) {
+  EXPECT_STREQ(defenseKindName(DefenseKind::None), "none");
+  EXPECT_STREQ(defenseKindName(DefenseKind::Smokestack), "smokestack");
+  EXPECT_STREQ(defenseKindName(DefenseKind::EntryPadding), "entry-pad");
+}

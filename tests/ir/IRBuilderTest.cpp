@@ -1,0 +1,158 @@
+//===- tests/ir/IRBuilderTest.cpp - IR construction tests ----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "ir/Verifier.h"
+#include "support/RawStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+namespace {
+
+/// Builds:  i32 sumTo(i32 n) { s=0; for(i=0;i<n;i++) s+=i; return s; }
+/// with allocas for s and i (clang -O0 style).
+Function *buildSumTo(Module &M) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("sumTo", B.i32(), {B.i32()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Cond = F->createBlock("cond");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  AllocaInst *S = B.alloca_(B.i32(), "s");
+  AllocaInst *I = B.alloca_(B.i32(), "i");
+  B.store(B.constI32(0), S);
+  B.store(B.constI32(0), I);
+  B.br(Cond);
+
+  B.setInsertPoint(Cond);
+  Value *IV = B.load(B.i32(), I);
+  Value *Cmp = B.icmp(ICmpInst::Predicate::SLT, IV, F->getArg(0));
+  B.condBr(Cmp, Body, Exit);
+
+  B.setInsertPoint(Body);
+  Value *SV = B.load(B.i32(), S);
+  Value *IV2 = B.load(B.i32(), I);
+  B.store(B.add(SV, IV2), S);
+  B.store(B.add(IV2, B.constI32(1)), I);
+  B.br(Cond);
+
+  B.setInsertPoint(Exit);
+  B.ret(B.load(B.i32(), S));
+  return F;
+}
+
+} // namespace
+
+TEST(IRBuilderTest, StructureOfBuiltFunction) {
+  Module M("test");
+  Function *F = buildSumTo(M);
+  EXPECT_EQ(F->getNumBlocks(), 4u);
+  EXPECT_EQ(F->getNumArgs(), 1u);
+  EXPECT_EQ(F->getEntryBlock()->getName(), "entry");
+  EXPECT_NE(F->getEntryBlock()->getTerminator(), nullptr);
+  EXPECT_EQ(F->getStaticAllocas().size(), 2u);
+  EXPECT_TRUE(F->getVLAAllocas().empty());
+}
+
+TEST(IRBuilderTest, BuiltFunctionVerifies) {
+  Module M("test");
+  buildSumTo(M);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M, &Errors)) << (Errors.empty() ? "" : Errors[0]);
+}
+
+TEST(IRBuilderTest, ConstantInterning) {
+  Module M("test");
+  IRBuilder B(M);
+  EXPECT_EQ(B.constI32(7), B.constI32(7));
+  EXPECT_NE(B.constI32(7), B.constI32(8));
+  EXPECT_NE(B.constI32(7), B.constI64(7)) << "interning is per type";
+}
+
+TEST(IRBuilderTest, VLAAlloca) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *F = M.createFunction("vla", B.voidTy(), {B.i64()});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *VLA = B.allocaVLA(B.i8(), F->getArg(0), "buf");
+  B.ret();
+  EXPECT_TRUE(VLA->isVLA());
+  EXPECT_EQ(VLA->getCount(), F->getArg(0));
+  EXPECT_TRUE(F->getStaticAllocas().empty())
+      << "VLAs are excluded from the static (permutable) allocation set";
+  EXPECT_EQ(F->getVLAAllocas().size(), 1u);
+}
+
+TEST(IRBuilderTest, AllocaAlignmentOverride) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", B.voidTy(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *Natural = B.alloca_(B.i32(), "nat");
+  AllocaInst *Over = B.alloca_(B.i32(), "over", /*AlignOverride=*/16);
+  B.ret();
+  EXPECT_EQ(Natural->getAlign(), 4u);
+  EXPECT_EQ(Over->getAlign(), 16u);
+}
+
+TEST(IRBuilderTest, FunctionAttributes) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", B.voidTy(), {});
+  EXPECT_FALSE(F->getAttribute("pbox.table").has_value());
+  F->setAttribute("pbox.table", 42);
+  ASSERT_TRUE(F->getAttribute("pbox.table").has_value());
+  EXPECT_EQ(*F->getAttribute("pbox.table"), 42u);
+}
+
+TEST(IRBuilderTest, PrintingContainsStructure) {
+  Module M("test");
+  buildSumTo(M);
+  std::string Text;
+  RawStringOStream OS(Text);
+  M.print(OS);
+  EXPECT_NE(Text.find("define i32 @sumTo(i32 %arg0)"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("alloca i32"), std::string::npos);
+  EXPECT_NE(Text.find("icmp slt"), std::string::npos);
+  EXPECT_NE(Text.find("br i8"), std::string::npos);
+  EXPECT_NE(Text.find("ret i32"), std::string::npos);
+}
+
+TEST(IRBuilderTest, GlobalsAndDeclarations) {
+  Module M("test");
+  IRBuilder B(M);
+  GlobalVariable *G = M.createGlobal(
+      "table", B.getContext().getArrayTy(B.i8(), 64), {1, 2, 3}, true);
+  EXPECT_TRUE(G->isReadOnly());
+  EXPECT_EQ(M.getGlobal("table"), G);
+  EXPECT_EQ(M.getGlobal("missing"), nullptr);
+
+  Function *Decl =
+      M.getOrInsertDeclaration("memcpy", B.ptr(), {B.ptr(), B.ptr(), B.i64()});
+  EXPECT_TRUE(Decl->isDeclaration());
+  EXPECT_EQ(M.getOrInsertDeclaration("memcpy", B.ptr(), {}), Decl)
+      << "second insertion returns the same declaration";
+}
+
+TEST(IRBuilderTest, ReplaceUsesOfWith) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", B.i32(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *A = B.add(B.constI32(1), B.constI32(2));
+  auto *Sum = static_cast<Instruction *>(B.add(A, A));
+  B.ret(Sum);
+  Value *C = B.constI32(9);
+  Sum->replaceUsesOfWith(A, C);
+  EXPECT_EQ(Sum->getOperand(0), C);
+  EXPECT_EQ(Sum->getOperand(1), C);
+}

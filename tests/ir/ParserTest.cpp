@@ -1,0 +1,388 @@
+//===- tests/ir/ParserTest.cpp - Textual IR parser tests -----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "core/SmokestackPass.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "rng/AesCtr.h"
+#include "support/RawStream.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+namespace {
+
+std::string printed(Module &M) {
+  std::string Text;
+  RawStringOStream OS(Text);
+  M.print(OS);
+  return Text;
+}
+
+/// Parses or fails the test.
+std::unique_ptr<Module> parseOrDie(const std::string &Text) {
+  ParseResult R = parseModule(Text);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+/// sumTo builder used for semantic round-trip checks.
+void buildSumTo(Module &M) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("sumTo", B.i64(), {B.i64()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Cond = F->createBlock("cond");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  AllocaInst *S = B.alloca_(B.i64(), "s");
+  AllocaInst *I = B.alloca_(B.i64(), "i");
+  B.store(B.constI64(0), S);
+  B.store(B.constI64(0), I);
+  B.br(Cond);
+  B.setInsertPoint(Cond);
+  B.condBr(B.icmp(ICmpInst::Predicate::SLT, B.load(B.i64(), I),
+                  F->getArg(0)),
+           Body, Exit);
+  B.setInsertPoint(Body);
+  B.store(B.add(B.load(B.i64(), S), B.load(B.i64(), I)), S);
+  B.store(B.add(B.load(B.i64(), I), B.constI64(1)), I);
+  B.br(Cond);
+  B.setInsertPoint(Exit);
+  B.ret(B.load(B.i64(), S));
+}
+
+} // namespace
+
+TEST(ParserTest, MinimalFunction) {
+  auto M = parseOrDie("define i64 @f(i64 %x) {\n"
+                      "entry:\n"
+                      "  %y = add i64 %x, i64 5\n"
+                      "  ret i64 %y\n"
+                      "}\n");
+  ASSERT_TRUE(verifyModule(*M));
+  Interpreter VM(*M);
+  EXPECT_EQ(VM.run("f", {37}).ReturnValue, 42u);
+}
+
+TEST(ParserTest, GlobalsZeroinitBytesAndConstant) {
+  auto M = parseOrDie("@zero = global i64 zeroinit\n"
+                      "@blob = global [4 x i8] bytes [ 1 2 3 ]\n"
+                      "@ro = constant i32 bytes [ 255 0 0 0 ]\n");
+  ASSERT_NE(M->getGlobal("zero"), nullptr);
+  EXPECT_TRUE(M->getGlobal("zero")->getInitializer().empty());
+  EXPECT_EQ(M->getGlobal("blob")->getInitializer().size(), 3u);
+  EXPECT_TRUE(M->getGlobal("ro")->isReadOnly());
+  EXPECT_FALSE(M->getGlobal("blob")->isReadOnly());
+}
+
+TEST(ParserTest, DeclarationsWithParamsAndVarArgs) {
+  auto M = parseOrDie("declare i64 @strlen(ptr)\n"
+                      "declare i64 @snprintf(ptr, i64, ptr, ...)\n"
+                      "declare void @abort(...)\n");
+  Function *Strlen = M->getFunction("strlen");
+  ASSERT_NE(Strlen, nullptr);
+  EXPECT_TRUE(Strlen->isDeclaration());
+  EXPECT_EQ(Strlen->getNumArgs(), 1u);
+  EXPECT_FALSE(Strlen->isVarArg());
+  EXPECT_TRUE(M->getFunction("snprintf")->isVarArg());
+  EXPECT_EQ(M->getFunction("snprintf")->getNumArgs(), 3u);
+  EXPECT_TRUE(M->getFunction("abort")->isVarArg());
+}
+
+TEST(ParserTest, ControlFlowAndForwardBlockReferences) {
+  auto M = parseOrDie("define i64 @abs(i64 %x) {\n"
+                      "entry:\n"
+                      "  %neg = icmp slt i64 %x, i64 0\n"
+                      "  br i8 %neg, label %flip, label %keep\n"
+                      "flip:\n"
+                      "  %n = sub i64 0, i64 %x\n"
+                      "  ret i64 %n\n"
+                      "keep:\n"
+                      "  ret i64 %x\n"
+                      "}\n");
+  Interpreter VM(*M);
+  EXPECT_EQ(VM.run("abs", {static_cast<uint64_t>(-9)}).ReturnValue, 9u);
+  EXPECT_EQ(VM.run("abs", {9}).ReturnValue, 9u);
+}
+
+TEST(ParserTest, MemoryAndGepForms) {
+  auto M = parseOrDie(
+      "@tab = global [16 x i8] bytes [ 10 20 30 40 ]\n"
+      "define i64 @pick(i64 %i) {\n"
+      "entry:\n"
+      "  %slot = gep ptr @tab + i64 %i * 1 + 1\n"
+      "  %v = load i8, ptr %slot\n"
+      "  %w = zext i8 %v to i64\n"
+      "  %base = gep ptr @tab + 0\n"
+      "  %first = load i8, ptr %base\n"
+      "  %f = zext i8 %first to i64\n"
+      "  %sum = add i64 %w, i64 %f\n"
+      "  ret i64 %sum\n"
+      "}\n");
+  Interpreter VM(*M);
+  EXPECT_EQ(VM.run("pick", {1}).ReturnValue, 30u + 10u);
+}
+
+TEST(ParserTest, VLAAndAlignOverride) {
+  auto M = parseOrDie("define i64 @f(i64 %n) {\n"
+                      "entry:\n"
+                      "  %big = alloca i32, align 64\n"
+                      "  %dyn = alloca i8, count i64 %n, align 1\n"
+                      "  %p = ptrtoint ptr %big to i64\n"
+                      "  %r = urem i64 %p, i64 64\n"
+                      "  ret i64 %r\n"
+                      "}\n");
+  Function *F = M->getFunction("f");
+  ASSERT_EQ(F->getStaticAllocas().size(), 1u);
+  EXPECT_EQ(F->getStaticAllocas()[0]->getAlign(), 64u);
+  ASSERT_EQ(F->getVLAAllocas().size(), 1u);
+  Interpreter VM(*M);
+  EXPECT_EQ(VM.run("f", {8}).ReturnValue, 0u) << "64-byte alignment honored";
+}
+
+TEST(ParserTest, CallsIncludingVoid) {
+  auto M = parseOrDie("declare void @print_i64(i64)\n"
+                      "define i64 @twice(i64 %x) {\n"
+                      "entry:\n"
+                      "  call void @print_i64(i64 %x)\n"
+                      "  %d = mul i64 %x, i64 2\n"
+                      "  ret i64 %d\n"
+                      "}\n");
+  Interpreter VM(*M);
+  ExecResult R = VM.run("twice", {21});
+  EXPECT_EQ(R.ReturnValue, 42u);
+  EXPECT_EQ(VM.output(), "21\n");
+}
+
+TEST(ParserTest, FloatingPointLiteralsAndOps) {
+  auto M = parseOrDie("define i64 @f() {\n"
+                      "entry:\n"
+                      "  %a = fadd double 1.5, double 2.25\n"
+                      "  %b = fmul double %a, double 4\n"
+                      "  %c = fptosi double %b to i64\n"
+                      "  ret i64 %c\n"
+                      "}\n");
+  Interpreter VM(*M);
+  EXPECT_EQ(VM.run("f").ReturnValue, 15u);
+}
+
+TEST(ParserTest, SelectAndComparisonPredicates) {
+  auto M = parseOrDie("define i64 @max(i64 %a, i64 %b) {\n"
+                      "entry:\n"
+                      "  %gt = icmp sgt i64 %a, i64 %b\n"
+                      "  %m = select i8 %gt, i64 %a, i64 %b\n"
+                      "  ret i64 %m\n"
+                      "}\n");
+  Interpreter VM(*M);
+  EXPECT_EQ(VM.run("max", {3, 9}).ReturnValue, 9u);
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, RoundTripReachesPrintFixedPoint) {
+  Module M("m");
+  buildSumTo(M);
+  std::string P1 = printed(M);
+  auto M2 = parseOrDie(P1);
+  std::string P2 = printed(*M2);
+  auto M3 = parseOrDie(P2);
+  std::string P3 = printed(*M3);
+  EXPECT_EQ(P2, P3) << "print/parse must be idempotent after one cycle";
+}
+
+TEST(ParserTest, RoundTripPreservesSemantics) {
+  Module M("m");
+  buildSumTo(M);
+  auto M2 = parseOrDie(printed(M));
+  ASSERT_TRUE(verifyModule(*M2));
+  Interpreter VM1(M), VM2(*M2);
+  for (uint64_t N : {0ull, 1ull, 10ull, 100ull})
+    EXPECT_EQ(VM1.run("sumTo", {N}).ReturnValue,
+              VM2.run("sumTo", {N}).ReturnValue);
+}
+
+TEST(ParserTest, RoundTripsInstrumentedModule) {
+  // The Smokestack pass output (geps into the P-BOX global, xor tags,
+  // multi-block epilogues, dotted value names) must survive a round-trip
+  // and still execute correctly.
+  Module M("m");
+  buildSumTo(M);
+  PassManager PM;
+  PM.addPass(std::make_unique<SmokestackPass>());
+  PM.run(M);
+
+  auto M2 = parseOrDie(printed(M));
+  ASSERT_TRUE(verifyModule(*M2));
+
+  DeterministicEntropySource Entropy(3);
+  AesCtrRandomSource Rng(Entropy, 10);
+  Interpreter VM(*M2, &Rng);
+  ExecResult R = VM.run("sumTo", {10});
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ReturnValue, 45u);
+}
+
+TEST(ParserTest, RoundTripsEveryOpcode) {
+  Module M("m");
+  IRBuilder B(M);
+  GlobalVariable *G = M.createGlobal("g", B.i64());
+  Function *Callee = M.getOrInsertDeclaration("print_i64", B.voidTy(),
+                                              {B.i64()});
+  Function *F = M.createFunction("all", B.i64(), {B.i64(), B.f64()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Mid = F->createBlock("mid");
+  B.setInsertPoint(Entry);
+  AllocaInst *A = B.alloca_(B.getContext().getArrayTy(B.i8(), 24), "buf");
+  Value *X = F->getArg(0);
+  Value *Ops = B.add(X, B.constI64(1));
+  Ops = B.sub(Ops, B.constI64(2));
+  Ops = B.mul(Ops, B.constI64(3));
+  Ops = B.udiv(Ops, B.constI64(2));
+  Ops = B.sdiv(Ops, B.constI64(2));
+  Ops = B.urem(Ops, B.constI64(97));
+  Ops = B.srem(Ops, B.constI64(89));
+  Ops = B.and_(Ops, B.constI64(0xFFFF));
+  Ops = B.or_(Ops, B.constI64(0x10));
+  Ops = B.xor_(Ops, B.constI64(0x3));
+  Ops = B.shl(Ops, B.constI64(2));
+  Ops = B.lshr(Ops, B.constI64(1));
+  Ops = B.binop(BinaryInst::BinOp::AShr, Ops, B.constI64(1));
+  Value *FP = B.binop(BinaryInst::BinOp::FAdd, F->getArg(1),
+                      B.constF64(0.5));
+  FP = B.binop(BinaryInst::BinOp::FSub, FP, B.constF64(0.25));
+  FP = B.binop(BinaryInst::BinOp::FMul, FP, B.constF64(2.0));
+  FP = B.binop(BinaryInst::BinOp::FDiv, FP, B.constF64(1.5));
+  Value *FpInt = B.cast_(CastInst::CastOp::FPToSI, B.i64(), FP);
+  Value *Trunced = B.trunc(B.i8(), Ops);
+  Value *Wide = B.sext(B.i64(), Trunced);
+  Value *Z = B.zext(B.i64(), B.trunc(B.i16(), Wide));
+  Value *PtrInt = B.cast_(CastInst::CastOp::PtrToInt, B.i64(), A);
+  Value *BackPtr = B.cast_(CastInst::CastOp::IntToPtr, B.ptr(), PtrInt);
+  B.store(B.constI8(1), BackPtr);
+  Value *AsFp = B.cast_(CastInst::CastOp::SIToFP, B.f64(), Z);
+  Value *Narrow = B.cast_(CastInst::CastOp::FPTrunc, B.f32(), AsFp);
+  Value *WideFp = B.cast_(CastInst::CastOp::FPExt, B.f64(), Narrow);
+  Value *FpInt2 = B.cast_(CastInst::CastOp::FPToSI, B.i64(), WideFp);
+  Value *Cmp = B.icmp(ICmpInst::Predicate::ULE, FpInt2, B.constI64(50));
+  Value *Sel = B.select(Cmp, FpInt, FpInt2);
+  B.store(Sel, G);
+  B.call(Callee, {Sel});
+  B.br(Mid);
+  B.setInsertPoint(Mid);
+  B.ret(B.load(B.i64(), G));
+
+  ASSERT_TRUE(verifyModule(M));
+  std::string P1 = printed(M);
+  ParseResult Parsed = parseModule(P1, "m");
+  ASSERT_TRUE(Parsed.ok()) << Parsed.Error;
+  auto M2 = std::move(Parsed.M);
+  ASSERT_TRUE(verifyModule(*M2));
+  EXPECT_EQ(printed(*M2), P1) << "builder order matches print order here";
+
+  Interpreter VM1(M), VM2(*M2);
+  for (uint64_t N : {1ull, 7ull, 123ull})
+    EXPECT_EQ(VM1.run("all", {N, 0}).ReturnValue,
+              VM2.run("all", {N, 0}).ReturnValue);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, ErrorUnknownType) {
+  ParseResult R = parseModule("define i99 @f() {\nentry:\n  ret\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unknown type"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("line 1"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ErrorUndefinedValue) {
+  ParseResult R = parseModule(
+      "define i64 @f() {\nentry:\n  ret i64 %ghost\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("undefined value"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ErrorUndefinedGlobal) {
+  ParseResult R = parseModule(
+      "define i64 @f() {\nentry:\n  %p = gep ptr @ghost + 0\n  ret i64 0\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("undefined global"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ErrorRedefinition) {
+  ParseResult R = parseModule("define i64 @f() {\n"
+                              "entry:\n"
+                              "  %x = add i64 1, i64 2\n"
+                              "  %x = add i64 3, i64 4\n"
+                              "  ret i64 %x\n"
+                              "}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("redefinition"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ErrorByteOutOfRange) {
+  ParseResult R = parseModule("@g = global [4 x i8] bytes [ 300 ]\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("out of range"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ErrorLineNumbers) {
+  ParseResult R = parseModule("declare i64 @ok(ptr)\n"
+                              "\n"
+                              "define i64 @f() {\n"
+                              "entry:\n"
+                              "  %x = frobnicate i64 1, i64 2\n"
+                              "  ret i64 %x\n"
+                              "}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line 5"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, StructDefinitionsRoundTrip) {
+  Module M("m");
+  IRBuilder B(M);
+  StructType *Inner =
+      M.getContext().createStructTy("inner", {B.i8(), B.f64()});
+  StructType *Outer = M.getContext().createStructTy(
+      "outer", {B.i16(), M.getContext().getArrayTy(Inner, 2)});
+  Function *F = M.createFunction("f", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *O = B.alloca_(Outer, "o");
+  B.store(B.constI64(9), B.gepConst(O, (int64_t)Outer->getFieldOffset(1)));
+  B.ret(B.load(B.i64(), B.gepConst(O, (int64_t)Outer->getFieldOffset(1))));
+
+  std::string P1 = printed(M);
+  EXPECT_NE(P1.find("%struct.inner = type { i8, double }"),
+            std::string::npos)
+      << P1;
+  EXPECT_NE(P1.find("%struct.outer = type { i16, [2 x %struct.inner] }"),
+            std::string::npos)
+      << P1;
+
+  ParseResult Parsed = parseModule(P1, "m");
+  ASSERT_TRUE(Parsed.ok()) << Parsed.Error;
+  EXPECT_EQ(printed(*Parsed.M), P1) << "struct modules must round-trip";
+
+  Interpreter VM1(M), VM2(*Parsed.M);
+  EXPECT_EQ(VM1.run("f").ReturnValue, 9u);
+  EXPECT_EQ(VM2.run("f").ReturnValue, 9u);
+}
+
+TEST(ParserTest, ErrorUnknownStructType) {
+  ParseResult R = parseModule(
+      "define i64 @f() {\nentry:\n  %x = alloca %struct.ghost, align 8\n"
+      "  ret i64 0\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unknown struct"), std::string::npos) << R.Error;
+}

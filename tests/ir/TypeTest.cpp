@@ -1,0 +1,109 @@
+//===- tests/ir/TypeTest.cpp - Type system tests -------------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+TEST(TypeTest, PrimitiveSizesAndAlignments) {
+  TypeContext Ctx;
+  EXPECT_EQ(Ctx.getInt8Ty()->sizeInBytes(), 1u);
+  EXPECT_EQ(Ctx.getInt16Ty()->sizeInBytes(), 2u);
+  EXPECT_EQ(Ctx.getInt32Ty()->sizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getInt64Ty()->sizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getFloatTy()->sizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getDoubleTy()->sizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getPointerTy()->sizeInBytes(), 8u);
+
+  // System-V natural alignment: primitives are self-aligned.
+  EXPECT_EQ(Ctx.getInt8Ty()->alignment(), 1u);
+  EXPECT_EQ(Ctx.getInt16Ty()->alignment(), 2u);
+  EXPECT_EQ(Ctx.getInt32Ty()->alignment(), 4u);
+  EXPECT_EQ(Ctx.getInt64Ty()->alignment(), 8u);
+  EXPECT_EQ(Ctx.getDoubleTy()->alignment(), 8u);
+  EXPECT_EQ(Ctx.getPointerTy()->alignment(), 8u);
+}
+
+TEST(TypeTest, ArrayLayout) {
+  TypeContext Ctx;
+  ArrayType *Arr = Ctx.getArrayTy(Ctx.getInt32Ty(), 10);
+  EXPECT_EQ(Arr->sizeInBytes(), 40u);
+  EXPECT_EQ(Arr->alignment(), 4u) << "array alignment is element alignment";
+  EXPECT_EQ(Arr->getNumElements(), 10u);
+  EXPECT_EQ(Arr->getElementType(), Ctx.getInt32Ty());
+}
+
+TEST(TypeTest, ArraysAreInterned) {
+  TypeContext Ctx;
+  EXPECT_EQ(Ctx.getArrayTy(Ctx.getInt8Ty(), 1024),
+            Ctx.getArrayTy(Ctx.getInt8Ty(), 1024));
+  EXPECT_NE(Ctx.getArrayTy(Ctx.getInt8Ty(), 1024),
+            Ctx.getArrayTy(Ctx.getInt8Ty(), 512));
+}
+
+TEST(TypeTest, NestedArray) {
+  TypeContext Ctx;
+  ArrayType *Inner = Ctx.getArrayTy(Ctx.getInt64Ty(), 4);
+  ArrayType *Outer = Ctx.getArrayTy(Inner, 3);
+  EXPECT_EQ(Outer->sizeInBytes(), 96u);
+  EXPECT_EQ(Outer->alignment(), 8u) << "recursion reaches the scalar element";
+}
+
+TEST(TypeTest, StructNaturalLayout) {
+  TypeContext Ctx;
+  // struct { i8 a; i32 b; i8 c; } -> offsets 0, 4, 8; size 12; align 4.
+  StructType *S = Ctx.createStructTy(
+      "mixed", {Ctx.getInt8Ty(), Ctx.getInt32Ty(), Ctx.getInt8Ty()});
+  EXPECT_EQ(S->getFieldOffset(0), 0u);
+  EXPECT_EQ(S->getFieldOffset(1), 4u);
+  EXPECT_EQ(S->getFieldOffset(2), 8u);
+  EXPECT_EQ(S->getStructSize(), 12u);
+  EXPECT_EQ(S->getStructAlignment(), 4u);
+}
+
+TEST(TypeTest, StructAlignmentIsMaxFieldAlignment) {
+  TypeContext Ctx;
+  // struct { i8; double; } -> double at offset 8, size 16, align 8. This is
+  // the "alignment requirement of the largest element" rule from the
+  // paper's Section IV-A.
+  StructType *S =
+      Ctx.createStructTy("padded", {Ctx.getInt8Ty(), Ctx.getDoubleTy()});
+  EXPECT_EQ(S->getFieldOffset(1), 8u);
+  EXPECT_EQ(S->getStructSize(), 16u);
+  EXPECT_EQ(S->getStructAlignment(), 8u);
+}
+
+TEST(TypeTest, StructContainingStruct) {
+  TypeContext Ctx;
+  StructType *Inner =
+      Ctx.createStructTy("inner", {Ctx.getInt8Ty(), Ctx.getInt64Ty()});
+  StructType *Outer =
+      Ctx.createStructTy("outer", {Ctx.getInt16Ty(), Inner});
+  EXPECT_EQ(Inner->getStructSize(), 16u);
+  EXPECT_EQ(Outer->getFieldOffset(1), 8u)
+      << "inner struct is aligned to its own (recursive) alignment";
+  EXPECT_EQ(Outer->getStructSize(), 24u);
+}
+
+TEST(TypeTest, Names) {
+  TypeContext Ctx;
+  EXPECT_EQ(Ctx.getInt32Ty()->getName(), "i32");
+  EXPECT_EQ(Ctx.getPointerTy()->getName(), "ptr");
+  EXPECT_EQ(Ctx.getArrayTy(Ctx.getInt8Ty(), 16)->getName(), "[16 x i8]");
+  EXPECT_EQ(Ctx.createStructTy("foo", {})->getName(), "%struct.foo");
+}
+
+TEST(TypeTest, Predicates) {
+  TypeContext Ctx;
+  EXPECT_TRUE(Ctx.getInt32Ty()->isInteger());
+  EXPECT_FALSE(Ctx.getFloatTy()->isInteger());
+  EXPECT_TRUE(Ctx.getFloatTy()->isFloatingPoint());
+  EXPECT_TRUE(Ctx.getPointerTy()->isPointer());
+  EXPECT_TRUE(Ctx.getArrayTy(Ctx.getInt8Ty(), 2)->isAggregate());
+  EXPECT_EQ(Ctx.getInt16Ty()->integerBitWidth(), 16u);
+}

@@ -1,0 +1,134 @@
+//===- tests/ir/VerifierTest.cpp - Verifier tests ------------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+namespace {
+
+bool hasErrorContaining(const std::vector<std::string> &Errors,
+                        const std::string &Needle) {
+  for (const std::string &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(VerifierTest, EmptyFunctionDefinitionIsInvalid) {
+  Module M("test");
+  IRBuilder B(M);
+  M.createFunction("empty", B.voidTy(), {});
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, &Errors));
+  EXPECT_TRUE(hasErrorContaining(Errors, "no blocks"));
+}
+
+TEST(VerifierTest, MissingTerminator) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", B.voidTy(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  B.alloca_(B.i32(), "x");
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  EXPECT_TRUE(hasErrorContaining(Errors, "terminator"));
+}
+
+TEST(VerifierTest, DeclarationsAlwaysVerify) {
+  Module M("test");
+  IRBuilder B(M);
+  M.getOrInsertDeclaration("snprintf", B.i32(), {}, /*IsVarArg=*/true);
+  EXPECT_TRUE(verifyModule(M));
+}
+
+TEST(VerifierTest, BinopTypeMismatch) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", B.voidTy(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  B.add(B.constI32(1), B.constI64(2));
+  B.ret();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  EXPECT_TRUE(hasErrorContaining(Errors, "operand types differ"));
+}
+
+TEST(VerifierTest, ReturnValueMismatch) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", B.i32(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  B.ret(); // should return an i32
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  EXPECT_TRUE(hasErrorContaining(Errors, "return value"));
+}
+
+TEST(VerifierTest, CallArgumentCount) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *Callee = M.createFunction("callee", B.voidTy(), {B.i32()});
+  {
+    IRBuilder CB(M);
+    CB.setInsertPoint(Callee->createBlock("entry"));
+    CB.ret();
+  }
+  Function *F = M.createFunction("caller", B.voidTy(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  B.call(Callee, {});
+  B.ret();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  EXPECT_TRUE(hasErrorContaining(Errors, "passes 0 args"));
+}
+
+TEST(VerifierTest, VarArgCallsAcceptAnyCount) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *Printf = M.getOrInsertDeclaration("snprintf", B.i32(),
+                                              {B.ptr(), B.i64()},
+                                              /*IsVarArg=*/true);
+  Function *F = M.createFunction("caller", B.voidTy(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *Buf = B.alloca_(B.getContext().getArrayTy(B.i8(), 8), "buf");
+  B.call(Printf, {Buf, B.constI64(8), B.constI64(1), B.constI64(2)});
+  B.ret();
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST(VerifierTest, StoreToNonPointer) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", B.voidTy(), {B.i64()});
+  B.setInsertPoint(F->createBlock("entry"));
+  // Store through an i64, not a ptr.
+  B.getInsertBlock()->append(std::make_unique<StoreInst>(
+      B.voidTy(), B.constI32(0), F->getArg(0)));
+  B.ret();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  EXPECT_TRUE(hasErrorContaining(Errors, "store pointer operand"));
+}
+
+TEST(VerifierTest, TerminatorInMiddle) {
+  Module M("test");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", B.voidTy(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertPoint(Entry);
+  B.ret();
+  B.ret();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  EXPECT_TRUE(hasErrorContaining(Errors, "middle"));
+}

@@ -1,0 +1,132 @@
+//===- tests/rng/Aes128Test.cpp - AES-128 correctness tests --------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rng/Aes128.h"
+
+#include "support/SplitMix64.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+namespace {
+
+void parseHex(const char *Hex, uint8_t *Out, size_t Size) {
+  for (size_t I = 0; I != Size; ++I) {
+    unsigned Byte;
+    sscanf(Hex + 2 * I, "%2x", &Byte);
+    Out[I] = static_cast<uint8_t>(Byte);
+  }
+}
+
+std::string toHex(const uint8_t *Data, size_t Size) {
+  std::string Result;
+  for (size_t I = 0; I != Size; ++I) {
+    char Buf[3];
+    snprintf(Buf, sizeof(Buf), "%02x", Data[I]);
+    Result += Buf;
+  }
+  return Result;
+}
+
+} // namespace
+
+TEST(Aes128Test, Fips197AppendixCVector) {
+  // FIPS-197 Appendix C.1: AES-128 with the sequential key and plaintext.
+  uint8_t Key[16], Block[16], Expected[16];
+  parseHex("000102030405060708090a0b0c0d0e0f", Key, 16);
+  parseHex("00112233445566778899aabbccddeeff", Block, 16);
+  parseHex("69c4e0d86a7b0430d8cdb78070b4c55a", Expected, 16);
+
+  Aes128KeySchedule Schedule;
+  aes128ExpandKey(Key, Schedule);
+  aes128EncryptBlockSoftware(Block, Schedule, 10);
+  EXPECT_EQ(toHex(Block, 16), toHex(Expected, 16));
+}
+
+TEST(Aes128Test, Fips197AppendixBVector) {
+  // FIPS-197 Appendix B worked example.
+  uint8_t Key[16], Block[16], Expected[16];
+  parseHex("2b7e151628aed2a6abf7158809cf4f3c", Key, 16);
+  parseHex("3243f6a8885a308d313198a2e0370734", Block, 16);
+  parseHex("3925841d02dc09fbdc118597196a0b32", Expected, 16);
+
+  Aes128KeySchedule Schedule;
+  aes128ExpandKey(Key, Schedule);
+  aes128EncryptBlockSoftware(Block, Schedule, 10);
+  EXPECT_EQ(toHex(Block, 16), toHex(Expected, 16));
+}
+
+TEST(Aes128Test, KeyExpansionFirstAndLastRoundKeys) {
+  // FIPS-197 Appendix A.1 expanded-key words for the Appendix B key.
+  uint8_t Key[16];
+  parseHex("2b7e151628aed2a6abf7158809cf4f3c", Key, 16);
+  Aes128KeySchedule Schedule;
+  aes128ExpandKey(Key, Schedule);
+  EXPECT_EQ(toHex(Schedule.RoundKeys[0], 16),
+            "2b7e151628aed2a6abf7158809cf4f3c");
+  EXPECT_EQ(toHex(Schedule.RoundKeys[1], 16),
+            "a0fafe1788542cb123a339392a6c7605");
+  EXPECT_EQ(toHex(Schedule.RoundKeys[10], 16),
+            "d014f9a8c9ee2589e13f0cc8b6630ca6");
+}
+
+/// Property: the AES-NI backend agrees with the software backend for every
+/// round count, across random keys and blocks.
+class AesBackendAgreementTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AesBackendAgreementTest, HardwareMatchesSoftware) {
+  if (!aes128HardwareAvailable())
+    GTEST_SKIP() << "no AES-NI on this host";
+
+  unsigned Rounds = GetParam();
+  SplitMix64 Rng(0x5eed + Rounds);
+  for (int Trial = 0; Trial != 64; ++Trial) {
+    uint8_t Key[16], BlockSw[16], BlockHw[16];
+    for (int I = 0; I != 16; I += 8) {
+      uint64_t K = Rng.next(), B = Rng.next();
+      memcpy(Key + I, &K, 8);
+      memcpy(BlockSw + I, &B, 8);
+    }
+    memcpy(BlockHw, BlockSw, 16);
+
+    Aes128KeySchedule Schedule;
+    aes128ExpandKey(Key, Schedule);
+    aes128EncryptBlockSoftware(BlockSw, Schedule, Rounds);
+    aes128EncryptBlockAesni(BlockHw, Schedule, Rounds);
+    ASSERT_EQ(toHex(BlockHw, 16), toHex(BlockSw, 16))
+        << "rounds=" << Rounds << " trial=" << Trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRoundCounts, AesBackendAgreementTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u));
+
+TEST(Aes128Test, ReducedRoundsDifferFromFull) {
+  uint8_t Key[16], Block1[16], Block10[16];
+  parseHex("000102030405060708090a0b0c0d0e0f", Key, 16);
+  memset(Block1, 0, 16);
+  memset(Block10, 0, 16);
+  Aes128KeySchedule Schedule;
+  aes128ExpandKey(Key, Schedule);
+  aes128EncryptBlockSoftware(Block1, Schedule, 1);
+  aes128EncryptBlockSoftware(Block10, Schedule, 10);
+  EXPECT_NE(toHex(Block1, 16), toHex(Block10, 16));
+}
+
+TEST(Aes128Test, EncryptionIsDeterministic) {
+  uint8_t Key[16], BlockA[16], BlockB[16];
+  parseHex("2b7e151628aed2a6abf7158809cf4f3c", Key, 16);
+  memset(BlockA, 0xab, 16);
+  memset(BlockB, 0xab, 16);
+  Aes128KeySchedule Schedule;
+  aes128ExpandKey(Key, Schedule);
+  aes128EncryptBlock(BlockA, Schedule, 10);
+  aes128EncryptBlock(BlockB, Schedule, 10);
+  EXPECT_EQ(toHex(BlockA, 16), toHex(BlockB, 16));
+}

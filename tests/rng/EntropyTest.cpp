@@ -1,0 +1,53 @@
+//===- tests/rng/EntropyTest.cpp - Entropy source tests ------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rng/Entropy.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+TEST(EntropyTest, DeterministicSourceIsReproducible) {
+  DeterministicEntropySource A(123), B(123);
+  uint8_t BufA[64], BufB[64];
+  A.fill(BufA, sizeof(BufA));
+  B.fill(BufB, sizeof(BufB));
+  EXPECT_EQ(std::memcmp(BufA, BufB, sizeof(BufA)), 0);
+}
+
+TEST(EntropyTest, DeterministicSourceDependsOnSeed) {
+  DeterministicEntropySource A(1), B(2);
+  uint8_t BufA[32], BufB[32];
+  A.fill(BufA, sizeof(BufA));
+  B.fill(BufB, sizeof(BufB));
+  EXPECT_NE(std::memcmp(BufA, BufB, sizeof(BufA)), 0);
+}
+
+TEST(EntropyTest, UnalignedSizes) {
+  DeterministicEntropySource Source(9);
+  uint8_t Buf[13];
+  std::memset(Buf, 0, sizeof(Buf));
+  Source.fill(Buf, sizeof(Buf));
+  bool AnyNonZero = false;
+  for (uint8_t Byte : Buf)
+    AnyNonZero |= Byte != 0;
+  EXPECT_TRUE(AnyNonZero);
+}
+
+TEST(EntropyTest, Next64Changes) {
+  DeterministicEntropySource Source(4);
+  EXPECT_NE(Source.next64(), Source.next64());
+}
+
+TEST(EntropyTest, SystemSourceProducesVaryingBytes) {
+  SystemEntropySource Source;
+  uint8_t BufA[32], BufB[32];
+  Source.fill(BufA, sizeof(BufA));
+  Source.fill(BufB, sizeof(BufB));
+  EXPECT_NE(std::memcmp(BufA, BufB, sizeof(BufA)), 0)
+      << "two 32-byte reads colliding is essentially impossible";
+}

@@ -1,0 +1,72 @@
+//===- tests/support/AlignTest.cpp - Alignment helper tests --------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Align.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+TEST(AlignTest, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(4));
+  EXPECT_FALSE(isPowerOf2(6));
+  EXPECT_TRUE(isPowerOf2(1ULL << 63));
+  EXPECT_FALSE(isPowerOf2((1ULL << 63) + 1));
+}
+
+TEST(AlignTest, NextPowerOf2) {
+  EXPECT_EQ(nextPowerOf2(1), 1u);
+  EXPECT_EQ(nextPowerOf2(2), 2u);
+  EXPECT_EQ(nextPowerOf2(3), 4u);
+  EXPECT_EQ(nextPowerOf2(5), 8u);
+  EXPECT_EQ(nextPowerOf2(17), 32u);
+  // The paper's P-BOX size optimization rounds N! up to a power of two;
+  // 5! = 120 -> 128 and 6! = 720 -> 1024 are the interesting small cases.
+  EXPECT_EQ(nextPowerOf2(120), 128u);
+  EXPECT_EQ(nextPowerOf2(720), 1024u);
+}
+
+TEST(AlignTest, Log2OfPowerOf2) {
+  EXPECT_EQ(log2OfPowerOf2(1), 0u);
+  EXPECT_EQ(log2OfPowerOf2(2), 1u);
+  EXPECT_EQ(log2OfPowerOf2(128), 7u);
+  EXPECT_EQ(log2OfPowerOf2(1ULL << 40), 40u);
+}
+
+TEST(AlignTest, AlignTo) {
+  EXPECT_EQ(alignTo(0, 8), 0u);
+  EXPECT_EQ(alignTo(1, 8), 8u);
+  EXPECT_EQ(alignTo(8, 8), 8u);
+  EXPECT_EQ(alignTo(9, 8), 16u);
+  EXPECT_EQ(alignTo(13, 1), 13u);
+  EXPECT_EQ(alignTo(13, 4), 16u);
+  EXPECT_EQ(alignTo(17, 16), 32u);
+}
+
+TEST(AlignTest, AlignToMatchesAlgorithmOneAlign) {
+  // The paper's ALIGN(ind, alignment) is:
+  //   if ind % alignment == 0 -> ind, else (ind / alignment + 1) * alignment.
+  // Check the bit-mask implementation is equivalent over a dense sweep.
+  for (uint64_t Alignment : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (uint64_t Ind = 0; Ind != 512; ++Ind) {
+      uint64_t Reference =
+          Ind % Alignment == 0 ? Ind : (Ind / Alignment + 1) * Alignment;
+      EXPECT_EQ(alignTo(Ind, Alignment), Reference)
+          << "ind=" << Ind << " align=" << Alignment;
+    }
+  }
+}
+
+TEST(AlignTest, IsAligned) {
+  EXPECT_TRUE(isAligned(0, 16));
+  EXPECT_TRUE(isAligned(32, 16));
+  EXPECT_FALSE(isAligned(33, 16));
+  EXPECT_TRUE(isAligned(33, 1));
+}

@@ -1,0 +1,64 @@
+//===- tests/support/CastingTest.cpp - isa/cast/dyn_cast tests -----------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+namespace {
+
+struct Shape {
+  enum class Kind { Circle, Square } TheKind;
+  explicit Shape(Kind K) : TheKind(K) {}
+};
+
+struct Circle : Shape {
+  Circle() : Shape(Kind::Circle) {}
+  static bool classof(const Shape *S) { return S->TheKind == Kind::Circle; }
+  int Radius = 7;
+};
+
+struct Square : Shape {
+  Square() : Shape(Kind::Square) {}
+  static bool classof(const Shape *S) { return S->TheKind == Kind::Square; }
+};
+
+} // namespace
+
+TEST(CastingTest, Isa) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_TRUE(isa<Circle>(S));
+  EXPECT_FALSE(isa<Square>(S));
+}
+
+TEST(CastingTest, Cast) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_EQ(cast<Circle>(S)->Radius, 7);
+}
+
+TEST(CastingTest, CastConst) {
+  Circle C;
+  const Shape *S = &C;
+  EXPECT_EQ(cast<Circle>(S)->Radius, 7);
+}
+
+TEST(CastingTest, DynCast) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_NE(dyn_cast<Circle>(S), nullptr);
+  EXPECT_EQ(dyn_cast<Square>(S), nullptr);
+}
+
+TEST(CastingTest, DynCastConst) {
+  Square Sq;
+  const Shape *S = &Sq;
+  EXPECT_EQ(dyn_cast<Circle>(S), nullptr);
+  EXPECT_NE(dyn_cast<Square>(S), nullptr);
+}

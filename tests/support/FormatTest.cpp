@@ -1,0 +1,24 @@
+//===- tests/support/FormatTest.cpp - formatString tests -----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+TEST(FormatTest, Basic) {
+  EXPECT_EQ(formatString("x=%d", 5), "x=5");
+  EXPECT_EQ(formatString("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(formatString("%5.1f%%", 10.25), " 10.2%");
+}
+
+TEST(FormatTest, Empty) { EXPECT_EQ(formatString("%s", ""), ""); }
+
+TEST(FormatTest, LongOutput) {
+  std::string Long(500, 'x');
+  EXPECT_EQ(formatString("%s", Long.c_str()), Long);
+}

@@ -1,0 +1,84 @@
+//===- tests/support/MathExtrasTest.cpp - Lehmer-code tests --------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <numeric>
+
+using namespace smokestack;
+
+TEST(MathExtrasTest, FactorialSmall) {
+  EXPECT_EQ(factorial(0), 1u);
+  EXPECT_EQ(factorial(1), 1u);
+  EXPECT_EQ(factorial(2), 2u);
+  EXPECT_EQ(factorial(5), 120u);
+  EXPECT_EQ(factorial(8), 40320u);
+  EXPECT_EQ(factorial(10), 3628800u);
+  EXPECT_EQ(factorial(20), 2432902008176640000ULL);
+}
+
+TEST(MathExtrasTest, DecodeIdentityIsFirstLexical) {
+  auto Perm = decodeLehmer(0, 5);
+  std::vector<unsigned> Identity = {0, 1, 2, 3, 4};
+  EXPECT_EQ(Perm, Identity);
+}
+
+TEST(MathExtrasTest, DecodeLastIsReversed) {
+  auto Perm = decodeLehmer(factorial(5) - 1, 5);
+  std::vector<unsigned> Reversed = {4, 3, 2, 1, 0};
+  EXPECT_EQ(Perm, Reversed);
+}
+
+/// Property: decodeLehmer enumerates permutations in the same order as
+/// std::next_permutation, for every index. This is the oracle the paper's
+/// Algorithm 1 lexical-order claim rests on.
+class LehmerEnumerationTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LehmerEnumerationTest, MatchesNextPermutationOracle) {
+  unsigned N = GetParam();
+  std::vector<unsigned> Oracle(N);
+  std::iota(Oracle.begin(), Oracle.end(), 0u);
+  uint64_t Index = 0;
+  do {
+    ASSERT_EQ(decodeLehmer(Index, N), Oracle) << "index " << Index;
+    ++Index;
+  } while (std::next_permutation(Oracle.begin(), Oracle.end()));
+  EXPECT_EQ(Index, factorial(N));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallSizes, LehmerEnumerationTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+/// Property: encodeLehmer is the inverse of decodeLehmer.
+class LehmerRoundTripTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LehmerRoundTripTest, EncodeInvertsDecode) {
+  unsigned N = GetParam();
+  for (uint64_t Index = 0; Index != factorial(N); ++Index)
+    ASSERT_EQ(encodeLehmer(decodeLehmer(Index, N)), Index);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallSizes, LehmerRoundTripTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(MathExtrasTest, DecodeLargeDomainSpotChecks) {
+  // For N = 12 exhaustive checks are too slow; verify the round-trip on a
+  // spread of indexes including both ends.
+  unsigned N = 12;
+  uint64_t Total = factorial(N);
+  for (uint64_t Index : {uint64_t(0), uint64_t(1), Total / 3, Total / 2,
+                         Total - 2, Total - 1}) {
+    auto Perm = decodeLehmer(Index, N);
+    // Must be a permutation of 0..N-1.
+    std::vector<unsigned> Sorted = Perm;
+    std::sort(Sorted.begin(), Sorted.end());
+    for (unsigned I = 0; I != N; ++I)
+      ASSERT_EQ(Sorted[I], I);
+    ASSERT_EQ(encodeLehmer(Perm), Index);
+  }
+}

@@ -1,0 +1,45 @@
+//===- tests/support/RawStreamTest.cpp - RawOStream tests ----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RawStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+TEST(RawStreamTest, StringSinkBasics) {
+  std::string Buffer;
+  RawStringOStream OS(Buffer);
+  OS << "hello" << ' ' << std::string("world");
+  EXPECT_EQ(Buffer, "hello world");
+}
+
+TEST(RawStreamTest, Integers) {
+  std::string Buffer;
+  RawStringOStream OS(Buffer);
+  OS << uint64_t(42) << ',' << int64_t(-7) << ',' << 13 << ',' << -2;
+  EXPECT_EQ(Buffer, "42,-7,13,-2");
+}
+
+TEST(RawStreamTest, HexFormat) {
+  std::string Buffer;
+  RawStringOStream OS(Buffer);
+  OS << hex(0xdeadbeef);
+  EXPECT_EQ(Buffer, "0xdeadbeef");
+}
+
+TEST(RawStreamTest, Double) {
+  std::string Buffer;
+  RawStringOStream OS(Buffer);
+  OS << 2.5;
+  EXPECT_EQ(Buffer, "2.5");
+}
+
+TEST(RawStreamTest, OutsAndErrsAreDistinctSingletons) {
+  EXPECT_EQ(&outs(), &outs());
+  EXPECT_EQ(&errs(), &errs());
+  EXPECT_NE(&outs(), &errs());
+}

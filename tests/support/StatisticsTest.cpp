@@ -1,0 +1,59 @@
+//===- tests/support/StatisticsTest.cpp - Statistics helper tests --------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+using namespace smokestack;
+
+TEST(StatisticsTest, MeanAndStdDev) {
+  std::vector<double> Samples = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(sampleMean(Samples), 5.0);
+  EXPECT_NEAR(sampleStdDev(Samples), 2.138, 0.001);
+  EXPECT_EQ(sampleMean({}), 0.0);
+  std::vector<double> One = {3.0};
+  EXPECT_EQ(sampleStdDev(One), 0.0);
+}
+
+TEST(StatisticsTest, ChiSquaredZeroForPerfectUniform) {
+  std::vector<uint64_t> Counts(16, 100);
+  EXPECT_DOUBLE_EQ(chiSquaredUniform(Counts), 0.0);
+}
+
+TEST(StatisticsTest, ChiSquaredLargeForConcentration) {
+  std::vector<uint64_t> Counts(16, 0);
+  Counts[3] = 1600;
+  double Stat = chiSquaredUniform(Counts);
+  EXPECT_GT(Stat, chiSquaredCritical999(15))
+      << "a point mass must fail the uniformity test decisively";
+}
+
+TEST(StatisticsTest, CriticalValueSanity) {
+  // Known chi-squared 0.999 quantiles: df=10 -> 29.59, df=100 -> 149.45.
+  EXPECT_NEAR(chiSquaredCritical999(10), 29.59, 0.7);
+  EXPECT_NEAR(chiSquaredCritical999(100), 149.45, 1.5);
+}
+
+TEST(StatisticsTest, UniformRandomPassesChiSquared) {
+  SplitMix64 Rng(0x57a7);
+  std::vector<uint64_t> Counts(64, 0);
+  for (int I = 0; I != 64 * 500; ++I)
+    ++Counts[Rng.nextBounded(64)];
+  EXPECT_LT(chiSquaredUniform(Counts), chiSquaredCritical999(63));
+}
+
+TEST(StatisticsTest, ShannonEntropy) {
+  std::vector<uint64_t> Uniform(8, 10);
+  EXPECT_NEAR(shannonEntropyBits(Uniform), 3.0, 1e-9);
+  std::vector<uint64_t> Point = {100, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(shannonEntropyBits(Point), 0.0);
+  std::vector<uint64_t> Half = {50, 50};
+  EXPECT_NEAR(shannonEntropyBits(Half), 1.0, 1e-9);
+}

@@ -1,0 +1,72 @@
+//===- tests/workloads/WorkloadsTest.cpp - Benchmark kernel tests --------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "rng/AesCtr.h"
+#include "rng/Pseudo.h"
+#include "rng/RdRand.h"
+
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<unsigned> {
+protected:
+  const Workload &kernel() const { return allWorkloads()[GetParam()]; }
+};
+
+} // namespace
+
+TEST(WorkloadsTest, SuiteShape) {
+  auto Kernels = allWorkloads();
+  ASSERT_EQ(Kernels.size(), 14u);
+  unsigned IOBound = 0;
+  for (const Workload &Kernel : Kernels)
+    IOBound += Kernel.IOBound;
+  EXPECT_EQ(IOBound, 2u) << "two I/O-bound server models";
+}
+
+/// The central correctness property: frame randomization must not change
+/// what any kernel computes. The checksum of a hardened run equals the
+/// baseline's for every kernel and every RNG scheme.
+TEST_P(WorkloadTest, RandomizationPreservesResults) {
+  const Workload &Kernel = kernel();
+  uint64_t Baseline = Kernel.Run(nullptr, 32);
+
+  DeterministicEntropySource E1(1), E2(2), E3(3);
+  PseudoRandomSource Pseudo(E1);
+  AesCtrRandomSource Aes10(E2, 10);
+  RdRandSource RdRand(E3);
+  EXPECT_EQ(Kernel.Run(&Pseudo, 32), Baseline) << Kernel.Name;
+  EXPECT_EQ(Kernel.Run(&Aes10, 32), Baseline) << Kernel.Name;
+  EXPECT_EQ(Kernel.Run(&RdRand, 32), Baseline) << Kernel.Name;
+}
+
+TEST_P(WorkloadTest, DeterministicBaseline) {
+  const Workload &Kernel = kernel();
+  EXPECT_EQ(Kernel.Run(nullptr, 16), Kernel.Run(nullptr, 16)) << Kernel.Name;
+}
+
+TEST_P(WorkloadTest, WorkScalesOutput) {
+  // More work must visit more frames (checksums accumulate), so results
+  // for different Work values should differ for these kernels.
+  const Workload &Kernel = kernel();
+  EXPECT_NE(Kernel.Run(nullptr, 8), Kernel.Run(nullptr, 24)) << Kernel.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, WorkloadTest,
+                         ::testing::Range(0u, 14u),
+                         [](const ::testing::TestParamInfo<unsigned> &Info) {
+                           std::string Name =
+                               allWorkloads()[Info.param].Name;
+                           for (char &C : Name)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return Name;
+                         });

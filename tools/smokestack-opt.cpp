@@ -1,0 +1,219 @@
+//===- tools/smokestack-opt.cpp - Command-line pass driver ----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// opt-style driver: read a textual Mini-IR module, apply defense passes,
+/// print and/or execute the result.
+///
+///   smokestack-opt [options] <file.ir | ->
+///     -smokestack            apply the Smokestack pass
+///     -static-perm[=SEED]    apply compile-time permutation
+///     -entry-pad[=SEED]      apply Forrest-style entry padding
+///     -canary[=GUARD]        apply the stack protector
+///     -run=FUNC              execute FUNC in the VM after the passes
+///     -rng=SCHEME            pseudo | aes1 | aes10 | rdrand  (default aes10)
+///     -input=TEXT            queue TEXT as one input record (repeatable)
+///     -print                 print the final module (default unless -run)
+///     -verify                verify and report instead of printing
+///     -stats                 print the stack-usage analysis and exit
+///
+/// Example:
+///   smokestack-opt -smokestack -run=main -rng=aes10 program.ir
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/SmokestackPass.h"
+#include "core/StackUsageAnalysis.h"
+#include "defenses/BaselineDefenses.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "rng/AesCtr.h"
+#include "rng/Pseudo.h"
+#include "rng/RdRand.h"
+#include "support/RawStream.h"
+#include "vm/Interpreter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+using namespace smokestack;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> PassSpecs;
+  std::string RunFunction;
+  std::string RngScheme = "aes10";
+  std::vector<std::string> Inputs;
+  std::string InputFile;
+  bool Print = false;
+  bool Verify = false;
+  bool Stats = false;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-smokestack] [-static-perm[=SEED]] "
+               "[-entry-pad[=SEED]] [-canary[=GUARD]]\n"
+               "          [-run=FUNC] [-rng=pseudo|aes1|aes10|rdrand] "
+               "[-input=TEXT]... [-print] [-verify] [-stats] <file.ir|->\n",
+               Argv0);
+  return 2;
+}
+
+std::unique_ptr<RandomSource> makeRng(const std::string &Scheme,
+                                      EntropySource &Entropy) {
+  if (Scheme == "pseudo")
+    return std::make_unique<PseudoRandomSource>(Entropy);
+  if (Scheme == "aes1")
+    return std::make_unique<AesCtrRandomSource>(Entropy, 1);
+  if (Scheme == "aes10")
+    return std::make_unique<AesCtrRandomSource>(Entropy, 10);
+  if (Scheme == "rdrand")
+    return std::make_unique<RdRandSource>(Entropy);
+  return nullptr;
+}
+
+uint64_t specSeed(const std::string &Spec, uint64_t Default) {
+  size_t Eq = Spec.find('=');
+  if (Eq == std::string::npos)
+    return Default;
+  return std::strtoull(Spec.c_str() + Eq + 1, nullptr, 0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-smokestack" || Arg.rfind("-static-perm", 0) == 0 ||
+        Arg.rfind("-entry-pad", 0) == 0 || Arg.rfind("-canary", 0) == 0) {
+      Opts.PassSpecs.push_back(Arg);
+    } else if (Arg.rfind("-run=", 0) == 0) {
+      Opts.RunFunction = Arg.substr(5);
+    } else if (Arg.rfind("-rng=", 0) == 0) {
+      Opts.RngScheme = Arg.substr(5);
+    } else if (Arg.rfind("-input=", 0) == 0) {
+      Opts.Inputs.push_back(Arg.substr(7));
+    } else if (Arg == "-print") {
+      Opts.Print = true;
+    } else if (Arg == "-verify") {
+      Opts.Verify = true;
+    } else if (Arg == "-stats") {
+      Opts.Stats = true;
+    } else if (Arg[0] == '-' && Arg != "-") {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return usage(argv[0]);
+    } else {
+      if (!Opts.InputFile.empty())
+        return usage(argv[0]);
+      Opts.InputFile = Arg;
+    }
+  }
+  if (Opts.InputFile.empty())
+    return usage(argv[0]);
+
+  // Read the module text.
+  std::string Text;
+  if (Opts.InputFile == "-") {
+    char Chunk[4096];
+    size_t Got;
+    while ((Got = std::fread(Chunk, 1, sizeof(Chunk), stdin)) > 0)
+      Text.append(Chunk, Got);
+  } else {
+    std::ifstream In(Opts.InputFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   Opts.InputFile.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Text = Buf.str();
+  }
+
+  ParseResult Parsed = parseModule(Text, Opts.InputFile);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", Opts.InputFile.c_str(),
+                 Parsed.Error.c_str());
+    return 1;
+  }
+  Module &M = *Parsed.M;
+
+  std::vector<std::string> Errors;
+  if (!verifyModule(M, &Errors)) {
+    std::fprintf(stderr, "error: input module does not verify:\n");
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "  %s\n", E.c_str());
+    return 1;
+  }
+
+  // Apply the requested passes in order.
+  PassManager PM;
+  for (const std::string &Spec : Opts.PassSpecs) {
+    if (Spec == "-smokestack")
+      PM.addPass(std::make_unique<SmokestackPass>());
+    else if (Spec.rfind("-static-perm", 0) == 0)
+      PM.addPass(std::make_unique<StaticPermutationPass>(specSeed(Spec, 1)));
+    else if (Spec.rfind("-entry-pad", 0) == 0)
+      PM.addPass(std::make_unique<EntryPaddingPass>(specSeed(Spec, 1)));
+    else if (Spec.rfind("-canary", 0) == 0)
+      PM.addPass(std::make_unique<StackCanaryPass>(
+          specSeed(Spec, 0x00ff1234cafe0000ULL)));
+  }
+  if (PM.size())
+    PM.run(M);
+
+  if (Opts.Stats) {
+    RawFdOStream OS(stdout);
+    printStackUsage(analyzeModuleStackUsage(M), OS);
+    return 0;
+  }
+
+  if (Opts.Verify) {
+    Errors.clear();
+    bool Ok = verifyModule(M, &Errors);
+    std::printf("%s\n", Ok ? "module verifies" : "module INVALID");
+    for (const std::string &E : Errors)
+      std::printf("  %s\n", E.c_str());
+    return Ok ? 0 : 1;
+  }
+
+  if (!Opts.RunFunction.empty()) {
+    SystemEntropySource Entropy;
+    std::unique_ptr<RandomSource> Rng = makeRng(Opts.RngScheme, Entropy);
+    if (!Rng) {
+      std::fprintf(stderr, "error: unknown rng scheme '%s'\n",
+                   Opts.RngScheme.c_str());
+      return 1;
+    }
+    Interpreter VM(M, Rng.get());
+    for (const std::string &Input : Opts.Inputs)
+      VM.pushInputString(Input);
+    ExecResult R = VM.run(Opts.RunFunction);
+    if (!VM.output().empty())
+      std::fputs(VM.output().c_str(), stdout);
+    if (!R.ok()) {
+      std::fprintf(stderr, "trap: %s (%s)\n", trapKindName(R.Trap),
+                   R.Message.c_str());
+      return 1;
+    }
+    std::printf("-> %lld (after %llu steps)\n",
+                (long long)(int64_t)R.ReturnValue,
+                (unsigned long long)R.Steps);
+    return 0;
+  }
+
+  // Default action: print.
+  RawFdOStream OS(stdout);
+  M.print(OS);
+  return 0;
+}
