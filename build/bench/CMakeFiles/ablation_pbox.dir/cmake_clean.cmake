@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pbox.dir/ablation_pbox.cpp.o"
+  "CMakeFiles/ablation_pbox.dir/ablation_pbox.cpp.o.d"
+  "ablation_pbox"
+  "ablation_pbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmatrix.dir/secmatrix.cpp.o"
+  "CMakeFiles/secmatrix.dir/secmatrix.cpp.o.d"
+  "secmatrix"
+  "secmatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dop_attack_demo.dir/dop_attack_demo.cpp.o"
+  "CMakeFiles/dop_attack_demo.dir/dop_attack_demo.cpp.o.d"
+  "dop_attack_demo"
+  "dop_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dop_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/librelp_cve.dir/librelp_cve.cpp.o"
+  "CMakeFiles/librelp_cve.dir/librelp_cve.cpp.o.d"
+  "librelp_cve"
+  "librelp_cve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/librelp_cve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_frame.dir/native_frame.cpp.o"
+  "CMakeFiles/native_frame.dir/native_frame.cpp.o.d"
+  "native_frame"
+  "native_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

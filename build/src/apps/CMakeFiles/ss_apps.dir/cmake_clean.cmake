@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_apps.dir/Librelp.cpp.o"
+  "CMakeFiles/ss_apps.dir/Librelp.cpp.o.d"
+  "CMakeFiles/ss_apps.dir/Proftpd.cpp.o"
+  "CMakeFiles/ss_apps.dir/Proftpd.cpp.o.d"
+  "CMakeFiles/ss_apps.dir/Wireshark.cpp.o"
+  "CMakeFiles/ss_apps.dir/Wireshark.cpp.o.d"
+  "libss_apps.a"
+  "libss_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_attacks.dir/Attacker.cpp.o"
+  "CMakeFiles/ss_attacks.dir/Attacker.cpp.o.d"
+  "CMakeFiles/ss_attacks.dir/Scenarios.cpp.o"
+  "CMakeFiles/ss_attacks.dir/Scenarios.cpp.o.d"
+  "libss_attacks.a"
+  "libss_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

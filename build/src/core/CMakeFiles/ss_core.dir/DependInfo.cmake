@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Allocation.cpp" "src/core/CMakeFiles/ss_core.dir/Allocation.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/Allocation.cpp.o.d"
+  "/root/repo/src/core/FrameRuntime.cpp" "src/core/CMakeFiles/ss_core.dir/FrameRuntime.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/FrameRuntime.cpp.o.d"
+  "/root/repo/src/core/PBox.cpp" "src/core/CMakeFiles/ss_core.dir/PBox.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/PBox.cpp.o.d"
+  "/root/repo/src/core/PermutationEngine.cpp" "src/core/CMakeFiles/ss_core.dir/PermutationEngine.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/PermutationEngine.cpp.o.d"
+  "/root/repo/src/core/SmokestackPass.cpp" "src/core/CMakeFiles/ss_core.dir/SmokestackPass.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/SmokestackPass.cpp.o.d"
+  "/root/repo/src/core/StackUsageAnalysis.cpp" "src/core/CMakeFiles/ss_core.dir/StackUsageAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/StackUsageAnalysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pass/CMakeFiles/ss_pass.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ss_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

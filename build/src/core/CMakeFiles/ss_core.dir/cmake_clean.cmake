@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_core.dir/Allocation.cpp.o"
+  "CMakeFiles/ss_core.dir/Allocation.cpp.o.d"
+  "CMakeFiles/ss_core.dir/FrameRuntime.cpp.o"
+  "CMakeFiles/ss_core.dir/FrameRuntime.cpp.o.d"
+  "CMakeFiles/ss_core.dir/PBox.cpp.o"
+  "CMakeFiles/ss_core.dir/PBox.cpp.o.d"
+  "CMakeFiles/ss_core.dir/PermutationEngine.cpp.o"
+  "CMakeFiles/ss_core.dir/PermutationEngine.cpp.o.d"
+  "CMakeFiles/ss_core.dir/SmokestackPass.cpp.o"
+  "CMakeFiles/ss_core.dir/SmokestackPass.cpp.o.d"
+  "CMakeFiles/ss_core.dir/StackUsageAnalysis.cpp.o"
+  "CMakeFiles/ss_core.dir/StackUsageAnalysis.cpp.o.d"
+  "libss_core.a"
+  "libss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

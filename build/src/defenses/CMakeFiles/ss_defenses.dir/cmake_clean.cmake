@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_defenses.dir/BaselineDefenses.cpp.o"
+  "CMakeFiles/ss_defenses.dir/BaselineDefenses.cpp.o.d"
+  "CMakeFiles/ss_defenses.dir/Deploy.cpp.o"
+  "CMakeFiles/ss_defenses.dir/Deploy.cpp.o.d"
+  "libss_defenses.a"
+  "libss_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

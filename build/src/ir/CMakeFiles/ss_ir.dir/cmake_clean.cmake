@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_ir.dir/IR.cpp.o"
+  "CMakeFiles/ss_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/ss_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/ss_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/ss_ir.dir/Parser.cpp.o"
+  "CMakeFiles/ss_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/ss_ir.dir/Printer.cpp.o"
+  "CMakeFiles/ss_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/ss_ir.dir/Type.cpp.o"
+  "CMakeFiles/ss_ir.dir/Type.cpp.o.d"
+  "CMakeFiles/ss_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/ss_ir.dir/Verifier.cpp.o.d"
+  "libss_ir.a"
+  "libss_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_pass.dir/Pass.cpp.o"
+  "CMakeFiles/ss_pass.dir/Pass.cpp.o.d"
+  "libss_pass.a"
+  "libss_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

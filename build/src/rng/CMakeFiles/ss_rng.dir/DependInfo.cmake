@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/Aes128.cpp" "src/rng/CMakeFiles/ss_rng.dir/Aes128.cpp.o" "gcc" "src/rng/CMakeFiles/ss_rng.dir/Aes128.cpp.o.d"
+  "/root/repo/src/rng/AesCtr.cpp" "src/rng/CMakeFiles/ss_rng.dir/AesCtr.cpp.o" "gcc" "src/rng/CMakeFiles/ss_rng.dir/AesCtr.cpp.o.d"
+  "/root/repo/src/rng/AesNi.cpp" "src/rng/CMakeFiles/ss_rng.dir/AesNi.cpp.o" "gcc" "src/rng/CMakeFiles/ss_rng.dir/AesNi.cpp.o.d"
+  "/root/repo/src/rng/Entropy.cpp" "src/rng/CMakeFiles/ss_rng.dir/Entropy.cpp.o" "gcc" "src/rng/CMakeFiles/ss_rng.dir/Entropy.cpp.o.d"
+  "/root/repo/src/rng/Pseudo.cpp" "src/rng/CMakeFiles/ss_rng.dir/Pseudo.cpp.o" "gcc" "src/rng/CMakeFiles/ss_rng.dir/Pseudo.cpp.o.d"
+  "/root/repo/src/rng/RandomSource.cpp" "src/rng/CMakeFiles/ss_rng.dir/RandomSource.cpp.o" "gcc" "src/rng/CMakeFiles/ss_rng.dir/RandomSource.cpp.o.d"
+  "/root/repo/src/rng/RdRand.cpp" "src/rng/CMakeFiles/ss_rng.dir/RdRand.cpp.o" "gcc" "src/rng/CMakeFiles/ss_rng.dir/RdRand.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_rng.dir/Aes128.cpp.o"
+  "CMakeFiles/ss_rng.dir/Aes128.cpp.o.d"
+  "CMakeFiles/ss_rng.dir/AesCtr.cpp.o"
+  "CMakeFiles/ss_rng.dir/AesCtr.cpp.o.d"
+  "CMakeFiles/ss_rng.dir/AesNi.cpp.o"
+  "CMakeFiles/ss_rng.dir/AesNi.cpp.o.d"
+  "CMakeFiles/ss_rng.dir/Entropy.cpp.o"
+  "CMakeFiles/ss_rng.dir/Entropy.cpp.o.d"
+  "CMakeFiles/ss_rng.dir/Pseudo.cpp.o"
+  "CMakeFiles/ss_rng.dir/Pseudo.cpp.o.d"
+  "CMakeFiles/ss_rng.dir/RandomSource.cpp.o"
+  "CMakeFiles/ss_rng.dir/RandomSource.cpp.o.d"
+  "CMakeFiles/ss_rng.dir/RdRand.cpp.o"
+  "CMakeFiles/ss_rng.dir/RdRand.cpp.o.d"
+  "libss_rng.a"
+  "libss_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

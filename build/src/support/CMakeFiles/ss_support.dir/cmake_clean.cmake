@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/ss_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/ss_support.dir/Format.cpp.o"
+  "CMakeFiles/ss_support.dir/Format.cpp.o.d"
+  "CMakeFiles/ss_support.dir/MathExtras.cpp.o"
+  "CMakeFiles/ss_support.dir/MathExtras.cpp.o.d"
+  "CMakeFiles/ss_support.dir/RawStream.cpp.o"
+  "CMakeFiles/ss_support.dir/RawStream.cpp.o.d"
+  "CMakeFiles/ss_support.dir/Statistics.cpp.o"
+  "CMakeFiles/ss_support.dir/Statistics.cpp.o.d"
+  "libss_support.a"
+  "libss_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

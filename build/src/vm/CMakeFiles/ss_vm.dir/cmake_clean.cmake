@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_vm.dir/Builtins.cpp.o"
+  "CMakeFiles/ss_vm.dir/Builtins.cpp.o.d"
+  "CMakeFiles/ss_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/ss_vm.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/ss_vm.dir/SimMemory.cpp.o"
+  "CMakeFiles/ss_vm.dir/SimMemory.cpp.o.d"
+  "libss_vm.a"
+  "libss_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Workloads.cpp.o.d"
+  "libss_workloads.a"
+  "libss_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/ExploitsTest.cpp" "tests/CMakeFiles/ss_tests.dir/apps/ExploitsTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/apps/ExploitsTest.cpp.o.d"
+  "/root/repo/tests/apps/PatchedAppsTest.cpp" "tests/CMakeFiles/ss_tests.dir/apps/PatchedAppsTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/apps/PatchedAppsTest.cpp.o.d"
+  "/root/repo/tests/attacks/AttackerTest.cpp" "tests/CMakeFiles/ss_tests.dir/attacks/AttackerTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/attacks/AttackerTest.cpp.o.d"
+  "/root/repo/tests/attacks/ScenariosTest.cpp" "tests/CMakeFiles/ss_tests.dir/attacks/ScenariosTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/attacks/ScenariosTest.cpp.o.d"
+  "/root/repo/tests/core/DifferentialFuzzTest.cpp" "tests/CMakeFiles/ss_tests.dir/core/DifferentialFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/core/DifferentialFuzzTest.cpp.o.d"
+  "/root/repo/tests/core/EntropyAnalysisTest.cpp" "tests/CMakeFiles/ss_tests.dir/core/EntropyAnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/core/EntropyAnalysisTest.cpp.o.d"
+  "/root/repo/tests/core/FrameRuntimeTest.cpp" "tests/CMakeFiles/ss_tests.dir/core/FrameRuntimeTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/core/FrameRuntimeTest.cpp.o.d"
+  "/root/repo/tests/core/PBoxPropertyTest.cpp" "tests/CMakeFiles/ss_tests.dir/core/PBoxPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/core/PBoxPropertyTest.cpp.o.d"
+  "/root/repo/tests/core/PBoxTest.cpp" "tests/CMakeFiles/ss_tests.dir/core/PBoxTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/core/PBoxTest.cpp.o.d"
+  "/root/repo/tests/core/PermutationEngineTest.cpp" "tests/CMakeFiles/ss_tests.dir/core/PermutationEngineTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/core/PermutationEngineTest.cpp.o.d"
+  "/root/repo/tests/core/SmokestackPassTest.cpp" "tests/CMakeFiles/ss_tests.dir/core/SmokestackPassTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/core/SmokestackPassTest.cpp.o.d"
+  "/root/repo/tests/core/StackUsageAnalysisTest.cpp" "tests/CMakeFiles/ss_tests.dir/core/StackUsageAnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/core/StackUsageAnalysisTest.cpp.o.d"
+  "/root/repo/tests/defenses/BaselineDefensesTest.cpp" "tests/CMakeFiles/ss_tests.dir/defenses/BaselineDefensesTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/defenses/BaselineDefensesTest.cpp.o.d"
+  "/root/repo/tests/defenses/CombinedDefensesTest.cpp" "tests/CMakeFiles/ss_tests.dir/defenses/CombinedDefensesTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/defenses/CombinedDefensesTest.cpp.o.d"
+  "/root/repo/tests/ir/IRBuilderTest.cpp" "tests/CMakeFiles/ss_tests.dir/ir/IRBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/ir/IRBuilderTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserTest.cpp" "tests/CMakeFiles/ss_tests.dir/ir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/ir/ParserTest.cpp.o.d"
+  "/root/repo/tests/ir/StructTypeUsageTest.cpp" "tests/CMakeFiles/ss_tests.dir/ir/StructTypeUsageTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/ir/StructTypeUsageTest.cpp.o.d"
+  "/root/repo/tests/ir/TypeTest.cpp" "tests/CMakeFiles/ss_tests.dir/ir/TypeTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/ir/TypeTest.cpp.o.d"
+  "/root/repo/tests/ir/VerifierTest.cpp" "tests/CMakeFiles/ss_tests.dir/ir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/ir/VerifierTest.cpp.o.d"
+  "/root/repo/tests/rng/Aes128Test.cpp" "tests/CMakeFiles/ss_tests.dir/rng/Aes128Test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/rng/Aes128Test.cpp.o.d"
+  "/root/repo/tests/rng/AesCtrTest.cpp" "tests/CMakeFiles/ss_tests.dir/rng/AesCtrTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/rng/AesCtrTest.cpp.o.d"
+  "/root/repo/tests/rng/EntropyTest.cpp" "tests/CMakeFiles/ss_tests.dir/rng/EntropyTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/rng/EntropyTest.cpp.o.d"
+  "/root/repo/tests/rng/PseudoTest.cpp" "tests/CMakeFiles/ss_tests.dir/rng/PseudoTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/rng/PseudoTest.cpp.o.d"
+  "/root/repo/tests/rng/RdRandTest.cpp" "tests/CMakeFiles/ss_tests.dir/rng/RdRandTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/rng/RdRandTest.cpp.o.d"
+  "/root/repo/tests/support/AlignTest.cpp" "tests/CMakeFiles/ss_tests.dir/support/AlignTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/support/AlignTest.cpp.o.d"
+  "/root/repo/tests/support/CastingTest.cpp" "tests/CMakeFiles/ss_tests.dir/support/CastingTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/support/CastingTest.cpp.o.d"
+  "/root/repo/tests/support/FormatTest.cpp" "tests/CMakeFiles/ss_tests.dir/support/FormatTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/support/FormatTest.cpp.o.d"
+  "/root/repo/tests/support/MathExtrasTest.cpp" "tests/CMakeFiles/ss_tests.dir/support/MathExtrasTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/support/MathExtrasTest.cpp.o.d"
+  "/root/repo/tests/support/RawStreamTest.cpp" "tests/CMakeFiles/ss_tests.dir/support/RawStreamTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/support/RawStreamTest.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTest.cpp" "tests/CMakeFiles/ss_tests.dir/support/StatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/support/StatisticsTest.cpp.o.d"
+  "/root/repo/tests/vm/BuiltinsTest.cpp" "tests/CMakeFiles/ss_tests.dir/vm/BuiltinsTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/vm/BuiltinsTest.cpp.o.d"
+  "/root/repo/tests/vm/InterpreterEdgeTest.cpp" "tests/CMakeFiles/ss_tests.dir/vm/InterpreterEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/vm/InterpreterEdgeTest.cpp.o.d"
+  "/root/repo/tests/vm/InterpreterTest.cpp" "tests/CMakeFiles/ss_tests.dir/vm/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/vm/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/vm/SimMemoryTest.cpp" "tests/CMakeFiles/ss_tests.dir/vm/SimMemoryTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/vm/SimMemoryTest.cpp.o.d"
+  "/root/repo/tests/workloads/WorkloadsTest.cpp" "tests/CMakeFiles/ss_tests.dir/workloads/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/workloads/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ss_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ss_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/ss_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/defenses/CMakeFiles/ss_defenses.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ss_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pass/CMakeFiles/ss_pass.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ss_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

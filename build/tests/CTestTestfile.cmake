@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ss_tests[1]_include.cmake")
+add_test(tool.benign "/root/repo/build/tools/smokestack-opt" "-run=driver" "/root/repo/examples/listing1.ir")
+set_tests_properties(tool.benign PROPERTIES  PASS_REGULAR_EXPRESSION "-> 13 " _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;57;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool.hardened_run "/root/repo/build/tools/smokestack-opt" "-smokestack" "-run=driver" "-rng=aes10" "/root/repo/examples/listing1.ir")
+set_tests_properties(tool.hardened_run PROPERTIES  PASS_REGULAR_EXPRESSION "-> 13 " _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool.hardened_print "/root/repo/build/tools/smokestack-opt" "-smokestack" "-print" "/root/repo/examples/listing1.ir")
+set_tests_properties(tool.hardened_print PROPERTIES  PASS_REGULAR_EXPRESSION "@__smokestack_pbox.*smokestack.rand" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;66;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool.verify "/root/repo/build/tools/smokestack-opt" "-smokestack" "-canary" "-verify" "/root/repo/examples/listing1.ir")
+set_tests_properties(tool.verify PROPERTIES  PASS_REGULAR_EXPRESSION "module verifies" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool.stats "/root/repo/build/tools/smokestack-opt" "-stats" "/root/repo/examples/listing1.ir")
+set_tests_properties(tool.stats PROPERTIES  PASS_REGULAR_EXPRESSION "2 instrumentable function" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;77;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smokestack-opt.dir/smokestack-opt.cpp.o"
+  "CMakeFiles/smokestack-opt.dir/smokestack-opt.cpp.o.d"
+  "smokestack-opt"
+  "smokestack-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smokestack-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
