@@ -1,0 +1,365 @@
+//===- bench/interp_throughput.cpp - Decoded vs tree-walk throughput ------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures Mini-IR interpreter throughput (executed instructions per
+/// second) for the tree-walking engine against the pre-decoded engine, on
+/// four SPEC-shaped kernels mirroring the workload models used elsewhere in
+/// the reproduction (perlbench-like hashing, bzip2-like byte frequencies,
+/// mcf-like min scans, gcc-like mixed control flow).
+///
+/// Both engines run the same module object; the decoded engine pays its
+/// one-time decode on the warmup run, which is exactly the deployment
+/// model (decode per function, execute per invocation). Results land in
+/// BENCH_interp.json (path overridable as argv[1]).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "vm/Interpreter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace smokestack;
+
+namespace {
+
+/// perlbench-like: FNV-1a folding of a 32-word buffer, rehashed 4000 times.
+void buildHashKernel(Module &M) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Outer = F->createBlock("outer");
+  BasicBlock *Inner = F->createBlock("inner");
+  BasicBlock *InnerBody = F->createBlock("inner.body");
+  BasicBlock *OuterLatch = F->createBlock("outer.latch");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  AllocaInst *Buf = B.alloca_(B.getContext().getArrayTy(B.i64(), 32), "buf");
+  AllocaInst *Acc = B.alloca_(B.i64(), "acc");
+  AllocaInst *I = B.alloca_(B.i64(), "i");
+  AllocaInst *J = B.alloca_(B.i64(), "j");
+  for (int K = 0; K != 32; ++K)
+    B.store(B.constI64(0x9E3779B97F4A7C15ULL * (K + 1)),
+            B.gepConst(Buf, 8 * K));
+  B.store(B.constI64(1469598103934665603ULL), Acc);
+  B.store(B.constI64(0), I);
+  B.br(Outer);
+
+  B.setInsertPoint(Outer);
+  B.condBr(B.icmp(ICmpInst::Predicate::ULT, B.load(B.i64(), I),
+                  B.constI64(4000)),
+           Inner, Exit);
+
+  B.setInsertPoint(Inner);
+  B.store(B.constI64(0), J);
+  B.br(InnerBody);
+
+  B.setInsertPoint(InnerBody);
+  Value *JV = B.load(B.i64(), J);
+  Value *Word = B.load(B.i64(), B.gep(Buf, JV, 8));
+  Value *Hash = B.mul(B.xor_(B.load(B.i64(), Acc), Word),
+                      B.constI64(1099511628211ULL));
+  B.store(Hash, Acc);
+  Value *JNext = B.add(JV, B.constI64(1));
+  B.store(JNext, J);
+  B.condBr(B.icmp(ICmpInst::Predicate::ULT, JNext, B.constI64(32)), InnerBody,
+           OuterLatch);
+
+  B.setInsertPoint(OuterLatch);
+  B.store(B.add(B.load(B.i64(), I), B.constI64(1)), I);
+  B.br(Outer);
+
+  B.setInsertPoint(Exit);
+  B.ret(B.load(B.i64(), Acc));
+}
+
+/// bzip2-like: byte-frequency counting over a 256-byte block, 1500 passes.
+void buildFreqKernel(Module &M) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Outer = F->createBlock("outer");
+  BasicBlock *Inner = F->createBlock("inner");
+  BasicBlock *InnerBody = F->createBlock("inner.body");
+  BasicBlock *OuterLatch = F->createBlock("outer.latch");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  AllocaInst *Block = B.alloca_(B.getContext().getArrayTy(B.i8(), 256), "blk");
+  AllocaInst *Freq =
+      B.alloca_(B.getContext().getArrayTy(B.i64(), 256), "freq");
+  AllocaInst *I = B.alloca_(B.i64(), "i");
+  AllocaInst *J = B.alloca_(B.i64(), "j");
+  for (int K = 0; K != 256; ++K) {
+    B.store(B.constI8((K * 67 + 13) & 0xFF), B.gepConst(Block, K));
+    B.store(B.constI64(0), B.gepConst(Freq, 8 * K));
+  }
+  B.store(B.constI64(0), I);
+  B.br(Outer);
+
+  B.setInsertPoint(Outer);
+  B.condBr(B.icmp(ICmpInst::Predicate::ULT, B.load(B.i64(), I),
+                  B.constI64(1500)),
+           Inner, Exit);
+
+  B.setInsertPoint(Inner);
+  B.store(B.constI64(0), J);
+  B.br(InnerBody);
+
+  B.setInsertPoint(InnerBody);
+  Value *JV = B.load(B.i64(), J);
+  Value *Byte = B.zext(B.i64(), B.load(B.i8(), B.gep(Block, JV, 1)));
+  Value *Slot = B.gep(Freq, Byte, 8);
+  B.store(B.add(B.load(B.i64(), Slot), B.constI64(1)), Slot);
+  Value *JNext = B.add(JV, B.constI64(1));
+  B.store(JNext, J);
+  B.condBr(B.icmp(ICmpInst::Predicate::ULT, JNext, B.constI64(256)),
+           InnerBody, OuterLatch);
+
+  B.setInsertPoint(OuterLatch);
+  B.store(B.add(B.load(B.i64(), I), B.constI64(1)), I);
+  B.br(Outer);
+
+  B.setInsertPoint(Exit);
+  B.ret(B.load(B.i64(), B.gepConst(Freq, 8 * 42)));
+}
+
+/// mcf-like: repeated minimum-cost scans of a 128-entry arc table with
+/// compare/select chains.
+void buildMinScanKernel(Module &M) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Outer = F->createBlock("outer");
+  BasicBlock *Inner = F->createBlock("inner");
+  BasicBlock *InnerBody = F->createBlock("inner.body");
+  BasicBlock *OuterLatch = F->createBlock("outer.latch");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  AllocaInst *Costs =
+      B.alloca_(B.getContext().getArrayTy(B.i64(), 128), "costs");
+  AllocaInst *Best = B.alloca_(B.i64(), "best");
+  AllocaInst *Sum = B.alloca_(B.i64(), "sum");
+  AllocaInst *I = B.alloca_(B.i64(), "i");
+  AllocaInst *J = B.alloca_(B.i64(), "j");
+  for (int K = 0; K != 128; ++K)
+    B.store(B.constI64((K * 2654435761ULL) % 100000 + 1),
+            B.gepConst(Costs, 8 * K));
+  B.store(B.constI64(0), Sum);
+  B.store(B.constI64(0), I);
+  B.br(Outer);
+
+  B.setInsertPoint(Outer);
+  B.condBr(B.icmp(ICmpInst::Predicate::ULT, B.load(B.i64(), I),
+                  B.constI64(2500)),
+           Inner, Exit);
+
+  B.setInsertPoint(Inner);
+  B.store(B.constI64(~0ULL), Best);
+  B.store(B.constI64(0), J);
+  B.br(InnerBody);
+
+  B.setInsertPoint(InnerBody);
+  Value *JV = B.load(B.i64(), J);
+  Value *Cost = B.load(B.i64(), B.gep(Costs, JV, 8));
+  Value *BestV = B.load(B.i64(), Best);
+  Value *Less = B.icmp(ICmpInst::Predicate::ULT, Cost, BestV);
+  B.store(B.select(Less, Cost, BestV), Best);
+  Value *JNext = B.add(JV, B.constI64(1));
+  B.store(JNext, J);
+  B.condBr(B.icmp(ICmpInst::Predicate::ULT, JNext, B.constI64(128)),
+           InnerBody, OuterLatch);
+
+  B.setInsertPoint(OuterLatch);
+  B.store(B.add(B.load(B.i64(), Sum), B.load(B.i64(), Best)), Sum);
+  // Rotate the table so scans do not trivially repeat.
+  Value *First = B.load(B.i64(), B.gepConst(Costs, 0));
+  B.store(B.add(First, B.constI64(7919)), B.gepConst(Costs, 0));
+  B.store(B.add(B.load(B.i64(), I), B.constI64(1)), I);
+  B.br(Outer);
+
+  B.setInsertPoint(Exit);
+  B.ret(B.load(B.i64(), Sum));
+}
+
+/// gcc-like: worklist loop with data-dependent branching and mixed ALU ops.
+void buildWorklistKernel(Module &M) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Even = F->createBlock("even");
+  BasicBlock *Odd = F->createBlock("odd");
+  BasicBlock *Latch = F->createBlock("latch");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  AllocaInst *State = B.alloca_(B.i64(), "state");
+  AllocaInst *Acc = B.alloca_(B.i64(), "acc");
+  AllocaInst *I = B.alloca_(B.i64(), "i");
+  B.store(B.constI64(0x243F6A8885A308D3ULL), State);
+  B.store(B.constI64(0), Acc);
+  B.store(B.constI64(0), I);
+  B.br(Loop);
+
+  B.setInsertPoint(Loop);
+  Value *S = B.load(B.i64(), State);
+  B.condBr(B.icmp(ICmpInst::Predicate::EQ, B.and_(S, B.constI64(1)),
+                  B.constI64(0)),
+           Even, Odd);
+
+  B.setInsertPoint(Even);
+  B.store(B.add(B.load(B.i64(), Acc), B.lshr(B.load(B.i64(), State),
+                                             B.constI64(3))),
+          Acc);
+  B.store(B.xor_(B.load(B.i64(), State), B.constI64(0x5DEECE66DULL)), State);
+  B.br(Latch);
+
+  B.setInsertPoint(Odd);
+  B.store(B.xor_(B.load(B.i64(), Acc),
+                 B.mul(B.load(B.i64(), State), B.constI64(6364136223846793005ULL))),
+          Acc);
+  B.store(B.add(B.shl(B.load(B.i64(), State), B.constI64(1)),
+                B.constI64(0xB5ULL)),
+          State);
+  B.br(Latch);
+
+  B.setInsertPoint(Latch);
+  Value *INext = B.add(B.load(B.i64(), I), B.constI64(1));
+  B.store(INext, I);
+  B.condBr(B.icmp(ICmpInst::Predicate::ULT, INext, B.constI64(150000)), Loop,
+           Exit);
+
+  B.setInsertPoint(Exit);
+  B.ret(B.load(B.i64(), Acc));
+}
+
+struct KernelSpec {
+  const char *Name;
+  void (*Build)(Module &M);
+};
+
+const KernelSpec Kernels[] = {
+    {"perlbench.fnv_hash", buildHashKernel},
+    {"bzip2.byte_freq", buildFreqKernel},
+    {"mcf.min_scan", buildMinScanKernel},
+    {"gcc.worklist", buildWorklistKernel},
+};
+
+struct EngineResult {
+  uint64_t Steps = 0;
+  uint64_t ReturnValue = 0;
+  double SecondsPerRun = 0.0;
+};
+
+/// Runs `main` of \p M Reps times on one engine and returns the median
+/// per-run wall time. The first (untimed) warmup run absorbs the one-time
+/// decode cost for the decoded engine and any allocator warmup for both.
+EngineResult measureEngine(Module &M, bool UseDecoded, int Reps) {
+  InterpreterOptions Opts;
+  Opts.UseDecodedEngine = UseDecoded;
+  Interpreter VM(M, nullptr, Opts);
+
+  ExecResult Warm = VM.run("main");
+  if (!Warm.ok()) {
+    std::fprintf(stderr, "kernel trapped: %s\n", Warm.Message.c_str());
+    std::exit(1);
+  }
+
+  std::vector<double> Times;
+  EngineResult R;
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    auto T0 = std::chrono::steady_clock::now();
+    ExecResult Res = VM.run("main");
+    auto T1 = std::chrono::steady_clock::now();
+    if (!Res.ok()) {
+      std::fprintf(stderr, "kernel trapped: %s\n", Res.Message.c_str());
+      std::exit(1);
+    }
+    R.Steps = Res.Steps;
+    R.ReturnValue = Res.ReturnValue;
+    Times.push_back(std::chrono::duration<double>(T1 - T0).count());
+  }
+  std::sort(Times.begin(), Times.end());
+  R.SecondsPerRun = Times[Times.size() / 2];
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *JsonPath = argc > 1 ? argv[1] : "BENCH_interp.json";
+  const int Reps = 5;
+
+  std::printf("Mini-IR interpreter throughput: tree-walk vs pre-decoded\n");
+  std::printf("%-22s %12s %14s %14s %9s\n", "kernel", "steps", "tree Mst/s",
+              "decoded Mst/s", "speedup");
+
+  std::string Json = "{\n  \"benchmark\": \"interp_throughput\",\n"
+                     "  \"reps\": " +
+                     std::to_string(Reps) + ",\n  \"kernels\": [\n";
+  double MaxSpeedup = 0.0;
+  for (size_t K = 0; K != std::size(Kernels); ++K) {
+    const KernelSpec &Spec = Kernels[K];
+    Module M(Spec.Name);
+    Spec.Build(M);
+
+    EngineResult Tree = measureEngine(M, /*UseDecoded=*/false, Reps);
+    EngineResult Decoded = measureEngine(M, /*UseDecoded=*/true, Reps);
+    if (Tree.ReturnValue != Decoded.ReturnValue ||
+        Tree.Steps != Decoded.Steps) {
+      std::fprintf(stderr, "%s: engine divergence (tree %llu/%llu steps, "
+                           "decoded %llu/%llu steps)\n",
+                   Spec.Name,
+                   static_cast<unsigned long long>(Tree.ReturnValue),
+                   static_cast<unsigned long long>(Tree.Steps),
+                   static_cast<unsigned long long>(Decoded.ReturnValue),
+                   static_cast<unsigned long long>(Decoded.Steps));
+      return 1;
+    }
+
+    double TreeRate = Tree.Steps / Tree.SecondsPerRun;
+    double DecodedRate = Decoded.Steps / Decoded.SecondsPerRun;
+    double Speedup = DecodedRate / TreeRate;
+    MaxSpeedup = std::max(MaxSpeedup, Speedup);
+
+    std::printf("%-22s %12llu %14.2f %14.2f %8.2fx\n", Spec.Name,
+                static_cast<unsigned long long>(Tree.Steps), TreeRate / 1e6,
+                DecodedRate / 1e6, Speedup);
+
+    char Row[512];
+    std::snprintf(Row, sizeof(Row),
+                  "    {\"name\": \"%s\", \"steps\": %llu, "
+                  "\"treewalk_steps_per_sec\": %.0f, "
+                  "\"decoded_steps_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+                  Spec.Name, static_cast<unsigned long long>(Tree.Steps),
+                  TreeRate, DecodedRate, Speedup,
+                  K + 1 == std::size(Kernels) ? "" : ",");
+    Json += Row;
+  }
+  char Tail[64];
+  std::snprintf(Tail, sizeof(Tail), "  ],\n  \"max_speedup\": %.3f\n}\n",
+                MaxSpeedup);
+  Json += Tail;
+
+  if (std::FILE *Out = std::fopen(JsonPath, "w")) {
+    std::fputs(Json.c_str(), Out);
+    std::fclose(Out);
+    std::printf("\nwrote %s\n", JsonPath);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath);
+    return 1;
+  }
+  return MaxSpeedup >= 3.0 ? 0 : 2;
+}

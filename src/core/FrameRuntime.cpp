@@ -49,7 +49,10 @@ FrameDescriptor::FrameDescriptor(std::vector<AllocationSlot> Slots,
 PermutedFrame::PermutedFrame(const FrameDescriptor &Desc, RandomSource &Rng,
                              void *Slab)
     : Desc(Desc), Base(static_cast<char *>(Slab)) {
-  Rand = Rng.next();
+  // Buffered draw: identical to next() at the default batch size of 1;
+  // callers that enable batching amortize the per-draw setup across the
+  // whole refill (see RandomSource::setBatchSize).
+  Rand = Rng.nextBuffered();
   const PBoxTable &Table = Desc.table();
   Row = Table.rowMask() ? (Rand & Table.rowMask()) : (Rand % Table.numRows());
   *identifierSlot() = Desc.functionId() ^ Rand;

@@ -134,3 +134,11 @@ void smokestack::aes128EncryptBlock(uint8_t Block[16],
   }
   aes128EncryptBlockSoftware(Block, Schedule, NumRounds);
 }
+
+void smokestack::aes128EncryptBlocksSoftware(uint8_t *Blocks,
+                                             unsigned NumBlocks,
+                                             const Aes128KeySchedule &Schedule,
+                                             unsigned NumRounds) {
+  for (unsigned I = 0; I != NumBlocks; ++I)
+    aes128EncryptBlockSoftware(Blocks + 16 * I, Schedule, NumRounds);
+}

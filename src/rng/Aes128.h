@@ -56,6 +56,22 @@ void aes128EncryptBlockAesni(uint8_t Block[16],
 void aes128EncryptBlock(uint8_t Block[16], const Aes128KeySchedule &Schedule,
                         unsigned NumRounds);
 
+/// Encrypts \p NumBlocks consecutive 16-byte blocks in place with the
+/// software backend. The blocks are independent (no chaining), matching
+/// counter-mode use.
+void aes128EncryptBlocksSoftware(uint8_t *Blocks, unsigned NumBlocks,
+                                 const Aes128KeySchedule &Schedule,
+                                 unsigned NumRounds);
+
+/// Encrypts \p NumBlocks independent blocks in place using AES-NI,
+/// interleaving four block states per round so the cipher runs at
+/// instruction throughput instead of round-trip latency — the payoff of
+/// batching counter-mode draws. Must only be called when
+/// aes128HardwareAvailable() returns true.
+void aes128EncryptBlocksAesni(uint8_t *Blocks, unsigned NumBlocks,
+                              const Aes128KeySchedule &Schedule,
+                              unsigned NumRounds);
+
 } // namespace smokestack
 
 #endif // SMOKESTACK_RNG_AES128_H

@@ -6,6 +6,7 @@
 
 #include "rng/AesCtr.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstring>
@@ -57,4 +58,36 @@ uint64_t AesCtrRandomSource::next() {
 
   std::memcpy(&LastRandom, Block, 8);
   return LastRandom;
+}
+
+void AesCtrRandomSource::fill(std::span<uint64_t> Out) {
+  uint8_t Blocks[CipherBatch * 16];
+  size_t I = 0;
+  while (I != Out.size()) {
+    // The draw with counter FirstCounter rekeys first when it lands on a
+    // multiple of the interval, exactly as in next(); a group never spans a
+    // rekey boundary so every block of the group is encrypted under one key.
+    uint64_t FirstCounter = CallCounter + 1;
+    if (FirstCounter % RekeyInterval == 0)
+      rekey();
+    uint64_t ToBoundary = RekeyInterval - (FirstCounter % RekeyInterval);
+    size_t GroupLen = std::min<uint64_t>(
+        std::min<uint64_t>(Out.size() - I, ToBoundary), CipherBatch);
+    for (size_t J = 0; J != GroupLen; ++J) {
+      uint64_t Counter = Nonce ^ (FirstCounter + J);
+      std::memcpy(Blocks + 16 * J, &LastRandom, 8);
+      std::memcpy(Blocks + 16 * J + 8, &Counter, 8);
+    }
+    if (UseHardware)
+      aes128EncryptBlocksAesni(Blocks, static_cast<unsigned>(GroupLen),
+                               Schedule, NumRounds);
+    else
+      aes128EncryptBlocksSoftware(Blocks, static_cast<unsigned>(GroupLen),
+                                  Schedule, NumRounds);
+    for (size_t J = 0; J != GroupLen; ++J)
+      std::memcpy(&Out[I + J], Blocks + 16 * J, 8);
+    std::memcpy(&LastRandom, Blocks + 16 * (GroupLen - 1), 8);
+    CallCounter += GroupLen;
+    I += GroupLen;
+  }
 }

@@ -41,6 +41,21 @@ public:
                      Backend Which = Backend::Auto);
 
   uint64_t next() override;
+
+  /// Batched counter-mode refill. Draws are grouped (up to CipherBatch per
+  /// group); within a group every block shares the group-initial LastRandom
+  /// as its IV and differs only in the counter word, so the blocks are
+  /// independent and the cipher runs at pipeline throughput instead of
+  /// per-draw feedback latency. LastRandom feedback happens at group
+  /// granularity, and the universal call counter and rekey policy advance
+  /// per draw exactly as in next() (fill's first word always equals what
+  /// next() would have produced; later words intentionally diverge from the
+  /// serial feedback stream).
+  void fill(std::span<uint64_t> Out) override;
+
+  /// Blocks encrypted per pipelined group in fill().
+  static constexpr unsigned CipherBatch = 8;
+
   const char *name() const override;
   SecurityLevel securityLevel() const override {
     return NumRounds >= 10 ? SecurityLevel::High : SecurityLevel::Low;

@@ -7,10 +7,42 @@
 #include "rng/RandomSource.h"
 
 #include "support/ErrorHandling.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
 
 using namespace smokestack;
 
+namespace {
+
+Statistic NumBatchRefills("rng.batch-refills",
+                          "Buffered-draw refills served through fill()");
+
+} // namespace
+
 RandomSource::~RandomSource() = default;
+
+void RandomSource::fill(std::span<uint64_t> Out) {
+  for (uint64_t &Word : Out)
+    Word = next();
+}
+
+void RandomSource::setBatchSize(unsigned NewBatch) {
+  Batch = std::clamp(NewBatch, 1u, MaxBatchSize);
+  if (Batch > 1 && !Buffer)
+    Buffer = std::make_unique<uint64_t[]>(MaxBatchSize);
+  // Discard pending words: a batch-size change restarts buffering so the
+  // stream position is well-defined for tests and attack models.
+  BufPos = BufLen = 0;
+}
+
+void RandomSource::refillBuffer() {
+  fill({Buffer.get(), Batch});
+  BufPos = 0;
+  BufLen = Batch;
+  ++Refills;
+  ++NumBatchRefills;
+}
 
 const char *smokestack::securityLevelName(SecurityLevel Level) {
   switch (Level) {

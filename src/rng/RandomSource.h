@@ -16,12 +16,24 @@
 /// readable memory, which is what makes the `pseudo` scheme unsafe and the
 /// AES/RDRAND schemes disclosure-resistant.
 ///
+/// Batched draws: fill() produces many words per call so schemes can
+/// amortize per-draw setup (the AES-CTR source encrypts a block of counters
+/// per refill, removing the LastRandom feedback latency from all but one
+/// block per group). nextBuffered() serves single draws from an internal
+/// buffer refilled via fill(); with the default batch size of 1 it is
+/// exactly next(), so enabling buffering is an explicit opt-in
+/// (setBatchSize). Buffered-but-undrawn words necessarily live in data
+/// memory and are therefore attacker-visible for *every* scheme; they are
+/// exposed through bufferedState() and must be counted as part of the
+/// disclosable surface alongside disclosableState().
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMOKESTACK_RNG_RANDOMSOURCE_H
 #define SMOKESTACK_RNG_RANDOMSOURCE_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 namespace smokestack {
@@ -39,10 +51,51 @@ const char *securityLevelName(SecurityLevel Level);
 /// A source of 64-bit random values for permutation selection.
 class RandomSource {
 public:
+  /// Upper bound on setBatchSize().
+  static constexpr unsigned MaxBatchSize = 1024;
+
   virtual ~RandomSource();
 
   /// Returns the next random value.
   virtual uint64_t next() = 0;
+
+  /// Fills \p Out with consecutive random words. The default implementation
+  /// loops next(), so for unbatched schemes the filled sequence is
+  /// bit-identical to repeated next() calls. Schemes with per-draw setup
+  /// cost override this with a genuinely batched refill (see AesCtr).
+  virtual void fill(std::span<uint64_t> Out);
+
+  /// Returns one word, served from an internal buffer that is refilled
+  /// batchSize() words at a time via fill(). With the default batch size
+  /// of 1 this forwards to next() and buffers nothing.
+  uint64_t nextBuffered() {
+    if (Batch <= 1)
+      return next();
+    if (BufPos == BufLen)
+      refillBuffer();
+    return Buffer[BufPos++];
+  }
+
+  /// Sets the refill granularity of nextBuffered() (clamped to
+  /// [1, MaxBatchSize]). Any pending buffered words are discarded.
+  void setBatchSize(unsigned NewBatch);
+  unsigned batchSize() const { return Batch; }
+
+  /// Number of fill()-based buffer refills performed so far.
+  uint64_t refillCount() const { return Refills; }
+
+  /// Buffered-but-undrawn words. These sit in ordinary data memory, so an
+  /// attacker with a disclosure primitive reads upcoming draws directly —
+  /// for every scheme, even the disclosure-resistant ones. Callers trading
+  /// throughput for buffering accept that the last partial batch is
+  /// attacker-visible; disclosableState() continues to model only the
+  /// scheme's own resident state.
+  std::span<const uint8_t> bufferedState() const {
+    if (BufPos >= BufLen)
+      return {};
+    return {reinterpret_cast<const uint8_t *>(Buffer.get() + BufPos),
+            (BufLen - BufPos) * sizeof(uint64_t)};
+  }
 
   /// Short scheme name as used in the paper ("pseudo", "AES-1", ...).
   virtual const char *name() const = 0;
@@ -54,11 +107,21 @@ public:
   ///
   /// An attacker with a memory-disclosure primitive can read these bytes and
   /// (for stateful schemes) write them. Empty for schemes whose state lives
-  /// only in registers or hardware.
+  /// only in registers or hardware. Does not include bufferedState(), which
+  /// is a separate, scheme-independent disclosure channel.
   virtual std::span<const uint8_t> disclosableState() const { return {}; }
 
   /// Mutable view of the same state, for modeling state-corruption attacks.
   virtual std::span<uint8_t> mutableDisclosableState() { return {}; }
+
+private:
+  void refillBuffer();
+
+  std::unique_ptr<uint64_t[]> Buffer;
+  unsigned Batch = 1;
+  unsigned BufPos = 0;
+  unsigned BufLen = 0;
+  uint64_t Refills = 0;
 };
 
 } // namespace smokestack

@@ -7,8 +7,37 @@
 #include "support/Statistics.h"
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 using namespace smokestack;
+
+namespace {
+
+/// Registration-ordered registry. Function-local static so counters
+/// constructed during static initialization of other TUs register safely.
+std::vector<Statistic *> &statisticRegistry() {
+  static std::vector<Statistic *> Registry;
+  return Registry;
+}
+
+} // namespace
+
+Statistic::Statistic(const char *Name, const char *Description)
+    : TheName(Name), TheDescription(Description) {
+  statisticRegistry().push_back(this);
+}
+
+std::span<Statistic *const> smokestack::allStatistics() {
+  return statisticRegistry();
+}
+
+Statistic *smokestack::findStatistic(const char *Name) {
+  for (Statistic *S : statisticRegistry())
+    if (std::strcmp(S->name(), Name) == 0)
+      return S;
+  return nullptr;
+}
 
 double smokestack::sampleMean(std::span<const double> Samples) {
   if (Samples.empty())

@@ -11,6 +11,11 @@
 /// selector would concentrate layouts and hand entropy back to the
 /// attacker).
 ///
+/// Also hosts Statistic, a tiny LLVM-style named counter registry used for
+/// coarse bookkeeping (functions decoded, RNG batch refills, ...). Counters
+/// are bumped at decode/refill granularity, never inside per-instruction
+/// hot loops, and are not thread-safe.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMOKESTACK_SUPPORT_STATISTICS_H
@@ -20,6 +25,47 @@
 #include <span>
 
 namespace smokestack {
+
+/// A named, process-wide monotonic counter. Define one at namespace scope
+/// next to the code it counts:
+///
+///   static Statistic NumDecoded("vm.decoded-functions",
+///                               "Functions lowered to decoded form");
+///   ...
+///   ++NumDecoded;
+///
+/// All instances self-register; allStatistics() enumerates them for
+/// reporting and tests.
+class Statistic {
+public:
+  Statistic(const char *Name, const char *Description);
+
+  const char *name() const { return TheName; }
+  const char *description() const { return TheDescription; }
+  uint64_t value() const { return Value; }
+
+  Statistic &operator++() {
+    ++Value;
+    return *this;
+  }
+  Statistic &operator+=(uint64_t By) {
+    Value += By;
+    return *this;
+  }
+  /// Resets to zero (tests only; counters are otherwise monotonic).
+  void reset() { Value = 0; }
+
+private:
+  const char *TheName;
+  const char *TheDescription;
+  uint64_t Value = 0;
+};
+
+/// Every Statistic constructed so far, in registration order.
+std::span<Statistic *const> allStatistics();
+
+/// Finds a registered counter by name (nullptr if absent).
+Statistic *findStatistic(const char *Name);
 
 /// Arithmetic mean of \p Samples (0 for an empty span).
 double sampleMean(std::span<const double> Samples);

@@ -157,7 +157,9 @@ bool Interpreter::dispatchBuiltin(Function *Callee,
       Result.Message = "smokestack.rand called with no bound RandomSource";
       return false;
     }
-    RetValue = Rng->next();
+    // Buffered draw: equals next() at the default batch size of 1; the
+    // hardened prologue benefits from batching when the host enables it.
+    RetValue = Rng->nextBuffered();
     return true;
   }
 

@@ -1,0 +1,388 @@
+//===- vm/Decoder.cpp - IR-to-DecodedFunction lowering ---------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Decoder.h"
+
+#include "ir/Module.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+using namespace smokestack;
+
+namespace {
+
+Statistic NumFunctionsDecoded("vm.decoded-functions",
+                              "Functions lowered to decoded form");
+Statistic NumInstsDecoded("vm.decoded-insts",
+                          "IR instructions lowered to DecodedInsts");
+Statistic NumConstPoolSlots("vm.decoded-const-slots",
+                            "Constant-pool slots materialized by the decoder");
+
+/// Byte width of a scalar slot of type \p Ty (mirrors the interpreter).
+uint64_t scalarWidth(const Type *Ty) {
+  assert(!Ty->isAggregate() && !Ty->isVoid() && "not a scalar type");
+  return Ty->sizeInBytes();
+}
+
+/// Masks \p Bits to the low \p Width bytes (mirrors the interpreter).
+uint64_t maskToWidth(uint64_t Bits, uint64_t Width) {
+  if (Width >= 8)
+    return Bits;
+  return Bits & ((uint64_t(1) << (Width * 8)) - 1);
+}
+
+/// Encodes a double into a register slot of IR type \p Ty (mirrors the
+/// interpreter's fpToSlot; floats occupy the low 32 bits).
+uint64_t fpToSlot(double Value, const Type *Ty) {
+  if (Ty->getKind() == Type::Kind::Float) {
+    float F = static_cast<float>(Value);
+    uint32_t Low;
+    std::memcpy(&Low, &F, sizeof(F));
+    return Low;
+  }
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Value));
+  return Bits;
+}
+
+/// Mask width the engines apply to a produced value of type \p Ty:
+/// the scalar width for integers/pointers, 0 (no mask) for floating point.
+uint8_t maskWidthFor(const Type *Ty) {
+  if (Ty->isFloatingPoint())
+    return 0;
+  return static_cast<uint8_t>(scalarWidth(Ty));
+}
+
+/// FP slot width (4 = float, 8 = double) of \p Ty.
+uint8_t fpWidthFor(const Type *Ty) {
+  assert(Ty->isFloatingPoint() && "not a floating-point type");
+  return Ty->getKind() == Type::Kind::Float ? 4 : 8;
+}
+
+/// Builds the register numbering and constant pool for one function.
+class FunctionDecoder {
+public:
+  FunctionDecoder(
+      Function &F,
+      const std::unordered_map<std::string, uint64_t> &GlobalAddresses)
+      : F(F), GlobalAddresses(GlobalAddresses) {}
+
+  std::unique_ptr<DecodedFunction> decode();
+
+private:
+  uint32_t regOf(const Value *V);
+  uint32_t poolSlot(uint64_t Bits);
+  DecodedInst decodeInst(const Instruction *Inst);
+  DecodedInst decodeBinOp(const BinaryInst *Bin);
+  DecodedInst decodeCast(const CastInst *Cast);
+
+  Function &F;
+  const std::unordered_map<std::string, uint64_t> &GlobalAddresses;
+  std::unique_ptr<DecodedFunction> DF;
+  std::unordered_map<const Value *, uint32_t> RegIndex;
+  std::unordered_map<uint64_t, uint32_t> PoolIndex;
+  std::unordered_map<const BasicBlock *, uint32_t> BlockOffset;
+};
+
+uint32_t FunctionDecoder::poolSlot(uint64_t Bits) {
+  auto It = PoolIndex.find(Bits);
+  if (It != PoolIndex.end())
+    return It->second;
+  // Pool registers live after the mutable ones; NumSlots is finalized once
+  // decoding completes.
+  uint32_t Reg = DF->NumMutable + static_cast<uint32_t>(DF->ConstPool.size());
+  DF->ConstPool.push_back(Bits);
+  PoolIndex.emplace(Bits, Reg);
+  return Reg;
+}
+
+uint32_t FunctionDecoder::regOf(const Value *V) {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return poolSlot(maskToWidth(CI->getZExtValue(), scalarWidth(CI->getType())));
+  if (const auto *CF = dyn_cast<ConstantFP>(V))
+    return poolSlot(fpToSlot(CF->getValue(), CF->getType()));
+  if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+    auto It = GlobalAddresses.find(G->getName());
+    assert(It != GlobalAddresses.end() && "global not loaded before decode");
+    return poolSlot(It->second);
+  }
+  auto It = RegIndex.find(V);
+  assert(It != RegIndex.end() && "value has no register");
+  return It->second;
+}
+
+DecodedInst FunctionDecoder::decodeBinOp(const BinaryInst *Bin) {
+  DecodedInst DI;
+  using BinOp = BinaryInst::BinOp;
+  switch (Bin->getBinOp()) {
+  case BinOp::Add:
+    DI.Op = DecodedOp::Add;
+    break;
+  case BinOp::Sub:
+    DI.Op = DecodedOp::Sub;
+    break;
+  case BinOp::Mul:
+    DI.Op = DecodedOp::Mul;
+    break;
+  case BinOp::UDiv:
+    DI.Op = DecodedOp::UDiv;
+    break;
+  case BinOp::SDiv:
+    DI.Op = DecodedOp::SDiv;
+    break;
+  case BinOp::URem:
+    DI.Op = DecodedOp::URem;
+    break;
+  case BinOp::SRem:
+    DI.Op = DecodedOp::SRem;
+    break;
+  case BinOp::And:
+    DI.Op = DecodedOp::And;
+    break;
+  case BinOp::Or:
+    DI.Op = DecodedOp::Or;
+    break;
+  case BinOp::Xor:
+    DI.Op = DecodedOp::Xor;
+    break;
+  case BinOp::Shl:
+    DI.Op = DecodedOp::Shl;
+    break;
+  case BinOp::LShr:
+    DI.Op = DecodedOp::LShr;
+    break;
+  case BinOp::AShr:
+    DI.Op = DecodedOp::AShr;
+    break;
+  case BinOp::FAdd:
+    DI.Op = DecodedOp::FAdd;
+    break;
+  case BinOp::FSub:
+    DI.Op = DecodedOp::FSub;
+    break;
+  case BinOp::FMul:
+    DI.Op = DecodedOp::FMul;
+    break;
+  case BinOp::FDiv:
+    DI.Op = DecodedOp::FDiv;
+    break;
+  }
+  const Type *Ty = Bin->getType();
+  DI.Width = Ty->isFloatingPoint() ? fpWidthFor(Ty)
+                                   : static_cast<uint8_t>(scalarWidth(Ty));
+  DI.A = regOf(Bin->getLHS());
+  DI.B = regOf(Bin->getRHS());
+  return DI;
+}
+
+DecodedInst FunctionDecoder::decodeCast(const CastInst *Cast) {
+  DecodedInst DI;
+  const Type *SrcTy = Cast->getSource()->getType();
+  const Type *DstTy = Cast->getType();
+  DI.A = regOf(Cast->getSource());
+  using CastOp = CastInst::CastOp;
+  switch (Cast->getCastOp()) {
+  case CastOp::Trunc:
+  case CastOp::ZExt:
+  case CastOp::Bitcast:
+  case CastOp::PtrToInt:
+  case CastOp::IntToPtr:
+    DI.Op = DecodedOp::CastCopy;
+    DI.Width = static_cast<uint8_t>(scalarWidth(DstTy));
+    break;
+  case CastOp::SExt:
+    DI.Op = DecodedOp::CastSExt;
+    DI.C = static_cast<uint32_t>(scalarWidth(SrcTy));
+    DI.Width = static_cast<uint8_t>(scalarWidth(DstTy));
+    break;
+  case CastOp::FPToSI:
+    DI.Op = DecodedOp::CastFPToSI;
+    DI.C = fpWidthFor(SrcTy);
+    DI.Width = static_cast<uint8_t>(scalarWidth(DstTy));
+    break;
+  case CastOp::SIToFP:
+    DI.Op = DecodedOp::CastSIToFP;
+    DI.C = static_cast<uint32_t>(scalarWidth(SrcTy));
+    DI.Width = fpWidthFor(DstTy);
+    break;
+  case CastOp::FPExt:
+  case CastOp::FPTrunc:
+    DI.Op = DecodedOp::CastFPConvert;
+    DI.C = fpWidthFor(SrcTy);
+    DI.Width = fpWidthFor(DstTy);
+    break;
+  }
+  return DI;
+}
+
+DecodedInst FunctionDecoder::decodeInst(const Instruction *Inst) {
+  DecodedInst DI;
+  switch (Inst->getOpcode()) {
+  case Instruction::Opcode::Alloca: {
+    const auto *Alloca = cast<AllocaInst>(Inst);
+    if (Alloca->isVLA()) {
+      DI.Op = DecodedOp::AllocaVLA;
+      DI.A = regOf(Alloca->getCount());
+    } else {
+      DI.Op = DecodedOp::AllocaStatic;
+    }
+    DI.Src = Inst;
+    break;
+  }
+  case Instruction::Opcode::Load: {
+    const auto *Load = cast<LoadInst>(Inst);
+    DI.Op = DecodedOp::Load;
+    DI.A = regOf(Load->getPointer());
+    DI.Width = static_cast<uint8_t>(scalarWidth(Load->getType()));
+    break;
+  }
+  case Instruction::Opcode::Store: {
+    const auto *Store = cast<StoreInst>(Inst);
+    DI.Op = DecodedOp::Store;
+    DI.A = regOf(Store->getStoredValue());
+    DI.B = regOf(Store->getPointer());
+    DI.Width =
+        static_cast<uint8_t>(scalarWidth(Store->getStoredValue()->getType()));
+    break;
+  }
+  case Instruction::Opcode::Gep: {
+    const auto *Gep = cast<GepInst>(Inst);
+    const std::string &Name = Gep->getName();
+    bool Observed =
+        Name.size() > 3 && Name.compare(Name.size() - 3, 3, ".ss") == 0;
+    DI.A = regOf(Gep->getBase());
+    DI.Imm = Gep->getConstOffset();
+    if (const Value *Index = Gep->getIndex()) {
+      assert(Gep->getScale() <= std::numeric_limits<uint32_t>::max() &&
+             "gep scale exceeds decoded operand range");
+      DI.Op = Observed ? DecodedOp::GepIndexObs : DecodedOp::GepIndex;
+      DI.B = regOf(Index);
+      DI.C = static_cast<uint32_t>(Gep->getScale());
+    } else {
+      DI.Op = Observed ? DecodedOp::GepConstObs : DecodedOp::GepConst;
+    }
+    if (Observed)
+      DI.Src = Inst;
+    break;
+  }
+  case Instruction::Opcode::BinOp:
+    DI = decodeBinOp(cast<BinaryInst>(Inst));
+    break;
+  case Instruction::Opcode::ICmp: {
+    const auto *Cmp = cast<ICmpInst>(Inst);
+    const Type *OpTy = Cmp->getLHS()->getType();
+    DI.Op = OpTy->isFloatingPoint() ? DecodedOp::ICmpFloat
+                                    : DecodedOp::ICmpInt;
+    DI.A = regOf(Cmp->getLHS());
+    DI.B = regOf(Cmp->getRHS());
+    DI.C = static_cast<uint32_t>(Cmp->getPredicate());
+    DI.Width = OpTy->isFloatingPoint()
+                   ? fpWidthFor(OpTy)
+                   : static_cast<uint8_t>(scalarWidth(OpTy));
+    break;
+  }
+  case Instruction::Opcode::Cast:
+    DI = decodeCast(cast<CastInst>(Inst));
+    break;
+  case Instruction::Opcode::Select: {
+    const auto *Sel = cast<SelectInst>(Inst);
+    DI.Op = DecodedOp::Select;
+    DI.A = regOf(Sel->getCondition());
+    DI.B = regOf(Sel->getTrueValue());
+    DI.C = regOf(Sel->getFalseValue());
+    break;
+  }
+  case Instruction::Opcode::Br: {
+    const auto *Br = cast<BranchInst>(Inst);
+    if (Br->isConditional()) {
+      DI.Op = DecodedOp::CondBr;
+      DI.A = regOf(Br->getCondition());
+      DI.B = BlockOffset.at(Br->getTrueTarget());
+      DI.C = BlockOffset.at(Br->getFalseTarget());
+    } else {
+      DI.Op = DecodedOp::Br;
+      DI.A = BlockOffset.at(Br->getTrueTarget());
+    }
+    break;
+  }
+  case Instruction::Opcode::Call: {
+    const auto *Call = cast<CallInst>(Inst);
+    DI.Op = DecodedOp::Call;
+    DI.A = static_cast<uint32_t>(DF->CallSites.size());
+    DecodedCallSite CS;
+    CS.Callee = Call->getCallee();
+    CS.IsBuiltin = CS.Callee->isDeclaration();
+    CS.ArgStart = static_cast<uint32_t>(DF->CallArgRegs.size());
+    CS.NumArgs = Call->getNumArgs();
+    for (unsigned I = 0, E = Call->getNumArgs(); I != E; ++I)
+      DF->CallArgRegs.push_back(regOf(Call->getArg(I)));
+    DF->CallSites.push_back(CS);
+    DI.Width = Call->getType()->isVoid() ? 0 : maskWidthFor(Call->getType());
+    break;
+  }
+  case Instruction::Opcode::Ret: {
+    const auto *Ret = cast<RetInst>(Inst);
+    if (const Value *RV = Ret->getReturnValue()) {
+      DI.Op = DecodedOp::Ret;
+      DI.A = regOf(RV);
+    } else {
+      DI.Op = DecodedOp::RetVoid;
+    }
+    break;
+  }
+  case Instruction::Opcode::Unreachable:
+    DI.Op = DecodedOp::Unreachable;
+    break;
+  }
+  if (!Inst->getType()->isVoid())
+    DI.Dest = regOf(Inst);
+  return DI;
+}
+
+std::unique_ptr<DecodedFunction> FunctionDecoder::decode() {
+  assert(!F.isDeclaration() && "cannot decode a declaration");
+  DF = std::make_unique<DecodedFunction>();
+  DF->F = &F;
+
+  // Register numbering: arguments first, then value-producing instructions
+  // in block order — identical to the tree-walk engine's Numbering.
+  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+    RegIndex[F.getArg(I)] = DF->NumMutable++;
+    DF->ArgWidths.push_back(maskWidthFor(F.getArg(I)->getType()));
+  }
+  uint32_t FlatOffset = 0;
+  for (const auto &Block : F) {
+    BlockOffset[Block.get()] = FlatOffset;
+    FlatOffset += static_cast<uint32_t>(Block->size());
+    for (const auto &Inst : *Block)
+      if (!Inst->getType()->isVoid())
+        RegIndex[Inst.get()] = DF->NumMutable++;
+  }
+
+  DF->Insts.reserve(FlatOffset);
+  for (const auto &Block : F)
+    for (const auto &Inst : *Block)
+      DF->Insts.push_back(decodeInst(Inst.get()));
+
+  DF->NumSlots = DF->NumMutable + static_cast<uint32_t>(DF->ConstPool.size());
+  ++NumFunctionsDecoded;
+  NumInstsDecoded += DF->Insts.size();
+  NumConstPoolSlots += DF->ConstPool.size();
+  return std::move(DF);
+}
+
+} // namespace
+
+std::unique_ptr<DecodedFunction> smokestack::decodeFunction(
+    Function &F,
+    const std::unordered_map<std::string, uint64_t> &GlobalAddresses) {
+  return FunctionDecoder(F, GlobalAddresses).decode();
+}

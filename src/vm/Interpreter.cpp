@@ -11,6 +11,7 @@
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 #include "support/Format.h"
+#include "vm/Decoder.h"
 
 #include <cassert>
 #include <cstring>
@@ -68,6 +69,32 @@ uint64_t fpToSlot(double Value, const Type *Ty) {
   return Bits;
 }
 
+/// Width-keyed twins of slotToFP/fpToSlot for the decoded engine, which
+/// carries FP slot widths (4 = float, 8 = double) instead of Type pointers.
+double slotToFPW(uint64_t Bits, unsigned Width) {
+  if (Width == 4) {
+    float F;
+    uint32_t Low = static_cast<uint32_t>(Bits);
+    std::memcpy(&F, &Low, sizeof(F));
+    return F;
+  }
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+uint64_t fpToSlotW(double Value, unsigned Width) {
+  if (Width == 4) {
+    float F = static_cast<float>(Value);
+    uint32_t Low;
+    std::memcpy(&Low, &F, sizeof(F));
+    return Low;
+  }
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Value));
+  return Bits;
+}
+
 } // namespace
 
 Interpreter::Interpreter(Module &M, RandomSource *Rng,
@@ -76,6 +103,8 @@ Interpreter::Interpreter(Module &M, RandomSource *Rng,
   assert(Opts.StackBaseOffset < MemoryMap::StackSize / 2 &&
          "stack base randomization exceeds half the stack");
 }
+
+Interpreter::~Interpreter() = default;
 
 const Interpreter::Numbering &Interpreter::getNumbering(Function *F) {
   auto It = Numberings.find(F);
@@ -89,6 +118,13 @@ const Interpreter::Numbering &Interpreter::getNumbering(Function *F) {
       if (!Inst->getType()->isVoid())
         N.Index[Inst.get()] = N.Count++;
   return Numberings.emplace(F, std::move(N)).first->second;
+}
+
+const DecodedFunction &Interpreter::getDecoded(Function *F) {
+  auto It = DecodedCache.find(F);
+  if (It == DecodedCache.end())
+    It = DecodedCache.emplace(F, decodeFunction(*F, GlobalAddresses)).first;
+  return *It->second;
 }
 
 void Interpreter::loadGlobals() {
@@ -137,16 +173,14 @@ uint64_t Interpreter::getValue(const Frame &Fr, const Value *V) const {
     assert(It != GlobalAddresses.end() && "global not loaded");
     return It->second;
   }
-  const Numbering &N = Numberings.at(Fr.F);
-  auto It = N.Index.find(V);
-  assert(It != N.Index.end() && "value has no register");
+  auto It = Fr.N->Index.find(V);
+  assert(It != Fr.N->Index.end() && "value has no register");
   return Fr.Registers[It->second];
 }
 
 void Interpreter::setValue(Frame &Fr, const Value *V, uint64_t Bits) {
-  const Numbering &N = Numberings.at(Fr.F);
-  auto It = N.Index.find(V);
-  assert(It != N.Index.end() && "value has no register");
+  auto It = Fr.N->Index.find(V);
+  assert(It != Fr.N->Index.end() && "value has no register");
   Fr.Registers[It->second] =
       V->getType()->isFloatingPoint()
           ? Bits
@@ -168,23 +202,43 @@ ExecResult Interpreter::run(const std::string &FuncName,
                  alignTo(Opts.StackBaseOffset, 16);
   FuelLeft = Opts.Fuel;
   CallCount = 0;
-  Result.ReturnValue = callFunction(F, Args, Result, 0);
+  if (Opts.UseDecodedEngine) {
+    // Size the depth-indexed register pool up front: callDecoded holds a
+    // reference into it across recursive calls, so it must never resize
+    // mid-run. Depth is bounded by MaxCallDepth before indexing.
+    if (RegisterPool.size() < Opts.MaxCallDepth + 1)
+      RegisterPool.resize(Opts.MaxCallDepth + 1);
+    Result.ReturnValue = callDecoded(getDecoded(F), Args, Result, 0);
+  } else {
+    Result.ReturnValue = callFunction(F, Args, Result, 0);
+  }
   Result.Steps = Opts.Fuel - FuelLeft;
   return Result;
 }
 
-uint64_t Interpreter::materializeAlloca(Frame &Fr, const AllocaInst &Alloca,
+uint64_t Interpreter::materializeAlloca(const Function &F,
+                                        const AllocaInst &Alloca,
                                         uint64_t Count, ExecResult &Result) {
-  (void)Fr;
   uint64_t ElemSize = Alloca.getAllocatedType()->sizeInBytes();
-  uint64_t Bytes = ElemSize * Count;
+  uint64_t Bytes;
+  // The VLA element count is attacker-controllable; an unchecked
+  // ElemSize * Count can wrap to a tiny value and slip past the bounds
+  // check below, handing out a stack pointer with almost no backing space.
+  if (__builtin_mul_overflow(ElemSize, Count, &Bytes)) {
+    Result.Trap = TrapKind::StackOverflow;
+    Result.Message = formatString(
+        "alloca size overflow (%llu x %llu elements) in '%s'",
+        (unsigned long long)ElemSize, (unsigned long long)Count,
+        F.getName().c_str());
+    return 0;
+  }
   uint64_t Align = Alloca.getAlign();
   if (Bytes > MemoryMap::StackSize ||
       StackPointer < MemoryMap::StackBase + Bytes) {
     Result.Trap = TrapKind::StackOverflow;
     Result.Message = formatString("alloca of %llu bytes in '%s'",
                                   (unsigned long long)Bytes,
-                                  Fr.F->getName().c_str());
+                                  F.getName().c_str());
     return 0;
   }
   StackPointer -= Bytes;
@@ -195,7 +249,7 @@ uint64_t Interpreter::materializeAlloca(Frame &Fr, const AllocaInst &Alloca,
     return 0;
   }
   if (TheObserver)
-    TheObserver->onAlloca(*Fr.F, Alloca, StackPointer, Bytes);
+    TheObserver->onAlloca(F, Alloca, StackPointer, Bytes);
   return StackPointer;
 }
 
@@ -211,6 +265,7 @@ uint64_t Interpreter::callFunction(Function *F,
   const Numbering &N = getNumbering(F);
   Frame Fr;
   Fr.F = F;
+  Fr.N = &N;
   Fr.Registers.assign(N.Count, 0);
   Fr.SavedStackPointer = StackPointer;
   assert(Args.size() == F->getNumArgs() && "argument count mismatch");
@@ -239,7 +294,7 @@ uint64_t Interpreter::callFunction(Function *F,
       uint64_t Count = 1;
       if (Alloca->isVLA())
         Count = getValue(Fr, Alloca->getCount());
-      uint64_t Addr = materializeAlloca(Fr, *Alloca, Count, Result);
+      uint64_t Addr = materializeAlloca(*F, *Alloca, Count, Result);
       if (Result.Trap != TrapKind::None)
         break;
       setValue(Fr, Inst, Addr);
@@ -530,5 +585,315 @@ uint64_t Interpreter::callFunction(Function *F,
   }
 
   StackPointer = Fr.SavedStackPointer;
+  return 0;
+}
+
+uint64_t Interpreter::callDecoded(const DecodedFunction &DF,
+                                  const std::vector<uint64_t> &Args,
+                                  ExecResult &Result, unsigned Depth) {
+  Function *F = DF.F;
+  if (Depth > Opts.MaxCallDepth) {
+    Result.Trap = TrapKind::StackOverflow;
+    Result.Message = "call depth limit reached in " + F->getName();
+    return 0;
+  }
+  ++CallCount;
+  // One register file per depth, reused across calls: [mutable | constants].
+  // Only one frame is live per depth at a time, and run() pre-sized the
+  // pool, so this reference stays valid through recursive calls.
+  std::vector<uint64_t> &Regs = RegisterPool[Depth];
+  Regs.assign(DF.NumSlots, 0);
+  std::memcpy(Regs.data() + DF.NumMutable, DF.ConstPool.data(),
+              DF.ConstPool.size() * sizeof(uint64_t));
+  assert(Args.size() == F->getNumArgs() && "argument count mismatch");
+  for (size_t I = 0, E = Args.size(); I != E; ++I)
+    Regs[I] = DF.ArgWidths[I] ? maskToWidth(Args[I], DF.ArgWidths[I])
+                              : Args[I];
+  uint64_t SavedStackPointer = StackPointer;
+
+  if (TheObserver)
+    TheObserver->onFunctionEnter(*F);
+
+  size_t IP = 0;
+  while (true) {
+    if (FuelLeft == 0) {
+      Result.Trap = TrapKind::OutOfFuel;
+      Result.Message = "instruction budget exhausted in " + F->getName();
+      break;
+    }
+    --FuelLeft;
+    assert(IP < DF.Insts.size() && "fell off the decoded instruction array");
+    const DecodedInst &DI = DF.Insts[IP++];
+
+    switch (DI.Op) {
+    case DecodedOp::AllocaStatic:
+    case DecodedOp::AllocaVLA: {
+      uint64_t Count = DI.Op == DecodedOp::AllocaVLA ? Regs[DI.A] : 1;
+      uint64_t Addr = materializeAlloca(
+          *F, *cast<AllocaInst>(DI.Src), Count, Result);
+      if (Result.Trap != TrapKind::None)
+        break;
+      Regs[DI.Dest] = Addr;
+      continue;
+    }
+    case DecodedOp::Load: {
+      uint64_t Bits = 0;
+      if (!Memory.loadInt(Regs[DI.A], DI.Width, Bits)) {
+        Result.Trap = Memory.getTrap();
+        Result.Message = Memory.getTrapMessage();
+        break;
+      }
+      Regs[DI.Dest] = Bits;
+      continue;
+    }
+    case DecodedOp::Store:
+      if (!Memory.storeInt(Regs[DI.B], DI.Width, Regs[DI.A])) {
+        Result.Trap = Memory.getTrap();
+        Result.Message = Memory.getTrapMessage();
+        break;
+      }
+      continue;
+    case DecodedOp::GepConst:
+      Regs[DI.Dest] = Regs[DI.A] + static_cast<uint64_t>(DI.Imm);
+      continue;
+    case DecodedOp::GepIndex:
+      Regs[DI.Dest] =
+          Regs[DI.A] + Regs[DI.B] * DI.C + static_cast<uint64_t>(DI.Imm);
+      continue;
+    case DecodedOp::GepConstObs:
+    case DecodedOp::GepIndexObs: {
+      uint64_t Addr = Regs[DI.A] + static_cast<uint64_t>(DI.Imm);
+      if (DI.Op == DecodedOp::GepIndexObs)
+        Addr += Regs[DI.B] * DI.C;
+      Regs[DI.Dest] = Addr;
+      if (TheObserver) {
+        const std::string &Name = DI.Src->getName();
+        TheObserver->onVariableAddress(
+            *F, Name.substr(0, Name.size() - 3), Addr);
+      }
+      continue;
+    }
+    case DecodedOp::Add:
+      Regs[DI.Dest] = maskToWidth(Regs[DI.A] + Regs[DI.B], DI.Width);
+      continue;
+    case DecodedOp::Sub:
+      Regs[DI.Dest] = maskToWidth(Regs[DI.A] - Regs[DI.B], DI.Width);
+      continue;
+    case DecodedOp::Mul:
+      Regs[DI.Dest] = maskToWidth(Regs[DI.A] * Regs[DI.B], DI.Width);
+      continue;
+    case DecodedOp::UDiv:
+    case DecodedOp::URem: {
+      uint64_t L = Regs[DI.A], R = Regs[DI.B];
+      if (R == 0) {
+        Result.Trap = TrapKind::DivisionByZero;
+        Result.Message = "division by zero in " + F->getName();
+        break;
+      }
+      Regs[DI.Dest] = DI.Op == DecodedOp::UDiv ? L / R : L % R;
+      continue;
+    }
+    case DecodedOp::SDiv:
+    case DecodedOp::SRem: {
+      int64_t SL = sextFromWidth(Regs[DI.A], DI.Width);
+      int64_t SR = sextFromWidth(Regs[DI.B], DI.Width);
+      if (SR == 0) {
+        Result.Trap = TrapKind::DivisionByZero;
+        Result.Message = "division by zero in " + F->getName();
+        break;
+      }
+      uint64_t Out;
+      if (SL == INT64_MIN && SR == -1)
+        Out = static_cast<uint64_t>(SL); // wraps, remainder 0
+      else
+        Out = static_cast<uint64_t>(DI.Op == DecodedOp::SDiv ? SL / SR
+                                                             : SL % SR);
+      Regs[DI.Dest] = maskToWidth(Out, DI.Width);
+      continue;
+    }
+    case DecodedOp::And:
+      Regs[DI.Dest] = Regs[DI.A] & Regs[DI.B];
+      continue;
+    case DecodedOp::Or:
+      Regs[DI.Dest] = Regs[DI.A] | Regs[DI.B];
+      continue;
+    case DecodedOp::Xor:
+      Regs[DI.Dest] = Regs[DI.A] ^ Regs[DI.B];
+      continue;
+    case DecodedOp::Shl: {
+      uint64_t R = Regs[DI.B];
+      Regs[DI.Dest] = R >= DI.Width * 8u
+                          ? 0
+                          : maskToWidth(Regs[DI.A] << R, DI.Width);
+      continue;
+    }
+    case DecodedOp::LShr: {
+      uint64_t R = Regs[DI.B];
+      Regs[DI.Dest] = R >= DI.Width * 8u ? 0 : Regs[DI.A] >> R;
+      continue;
+    }
+    case DecodedOp::AShr: {
+      int64_t SL = sextFromWidth(Regs[DI.A], DI.Width);
+      uint64_t R = Regs[DI.B];
+      uint64_t Out = static_cast<uint64_t>(
+          R >= DI.Width * 8u ? (SL < 0 ? -1 : 0) : SL >> R);
+      Regs[DI.Dest] = maskToWidth(Out, DI.Width);
+      continue;
+    }
+    case DecodedOp::FAdd:
+      Regs[DI.Dest] = fpToSlotW(slotToFPW(Regs[DI.A], DI.Width) +
+                                    slotToFPW(Regs[DI.B], DI.Width),
+                                DI.Width);
+      continue;
+    case DecodedOp::FSub:
+      Regs[DI.Dest] = fpToSlotW(slotToFPW(Regs[DI.A], DI.Width) -
+                                    slotToFPW(Regs[DI.B], DI.Width),
+                                DI.Width);
+      continue;
+    case DecodedOp::FMul:
+      Regs[DI.Dest] = fpToSlotW(slotToFPW(Regs[DI.A], DI.Width) *
+                                    slotToFPW(Regs[DI.B], DI.Width),
+                                DI.Width);
+      continue;
+    case DecodedOp::FDiv:
+      Regs[DI.Dest] = fpToSlotW(slotToFPW(Regs[DI.A], DI.Width) /
+                                    slotToFPW(Regs[DI.B], DI.Width),
+                                DI.Width);
+      continue;
+    case DecodedOp::ICmpInt: {
+      uint64_t L = Regs[DI.A], R = Regs[DI.B];
+      int64_t SL = sextFromWidth(L, DI.Width);
+      int64_t SR = sextFromWidth(R, DI.Width);
+      bool Out = false;
+      using Pred = ICmpInst::Predicate;
+      switch (static_cast<Pred>(DI.C)) {
+      case Pred::EQ:
+        Out = L == R;
+        break;
+      case Pred::NE:
+        Out = L != R;
+        break;
+      case Pred::ULT:
+        Out = L < R;
+        break;
+      case Pred::ULE:
+        Out = L <= R;
+        break;
+      case Pred::UGT:
+        Out = L > R;
+        break;
+      case Pred::UGE:
+        Out = L >= R;
+        break;
+      case Pred::SLT:
+        Out = SL < SR;
+        break;
+      case Pred::SLE:
+        Out = SL <= SR;
+        break;
+      case Pred::SGT:
+        Out = SL > SR;
+        break;
+      case Pred::SGE:
+        Out = SL >= SR;
+        break;
+      default:
+        smokestack_unreachable("float predicate on integer operands");
+      }
+      Regs[DI.Dest] = Out ? 1 : 0;
+      continue;
+    }
+    case DecodedOp::ICmpFloat: {
+      double DL = slotToFPW(Regs[DI.A], DI.Width);
+      double DR = slotToFPW(Regs[DI.B], DI.Width);
+      bool Out = false;
+      using Pred = ICmpInst::Predicate;
+      switch (static_cast<Pred>(DI.C)) {
+      case Pred::OEQ:
+        Out = DL == DR;
+        break;
+      case Pred::OLT:
+        Out = DL < DR;
+        break;
+      case Pred::OLE:
+        Out = DL <= DR;
+        break;
+      case Pred::OGT:
+        Out = DL > DR;
+        break;
+      case Pred::OGE:
+        Out = DL >= DR;
+        break;
+      default:
+        smokestack_unreachable("integer predicate on float operands");
+      }
+      Regs[DI.Dest] = Out ? 1 : 0;
+      continue;
+    }
+    case DecodedOp::CastCopy:
+      Regs[DI.Dest] = maskToWidth(Regs[DI.A], DI.Width);
+      continue;
+    case DecodedOp::CastSExt:
+      Regs[DI.Dest] = maskToWidth(
+          static_cast<uint64_t>(sextFromWidth(Regs[DI.A], DI.C)), DI.Width);
+      continue;
+    case DecodedOp::CastFPToSI:
+      Regs[DI.Dest] = maskToWidth(
+          static_cast<uint64_t>(
+              static_cast<int64_t>(slotToFPW(Regs[DI.A], DI.C))),
+          DI.Width);
+      continue;
+    case DecodedOp::CastSIToFP:
+      Regs[DI.Dest] = fpToSlotW(
+          static_cast<double>(sextFromWidth(Regs[DI.A], DI.C)), DI.Width);
+      continue;
+    case DecodedOp::CastFPConvert:
+      Regs[DI.Dest] = fpToSlotW(slotToFPW(Regs[DI.A], DI.C), DI.Width);
+      continue;
+    case DecodedOp::Select:
+      Regs[DI.Dest] = Regs[DI.A] ? Regs[DI.B] : Regs[DI.C];
+      continue;
+    case DecodedOp::Br:
+      IP = DI.A;
+      continue;
+    case DecodedOp::CondBr:
+      IP = Regs[DI.A] ? DI.B : DI.C;
+      continue;
+    case DecodedOp::Call: {
+      const DecodedCallSite &CS = DF.CallSites[DI.A];
+      std::vector<uint64_t> CallArgs;
+      CallArgs.reserve(CS.NumArgs);
+      for (uint32_t I = 0; I != CS.NumArgs; ++I)
+        CallArgs.push_back(Regs[DF.CallArgRegs[CS.ArgStart + I]]);
+      uint64_t RetValue = 0;
+      if (CS.IsBuiltin) {
+        if (!dispatchBuiltin(CS.Callee, CallArgs, RetValue, Result))
+          break;
+      } else {
+        RetValue = callDecoded(getDecoded(CS.Callee), CallArgs, Result,
+                               Depth + 1);
+        if (Result.Trap != TrapKind::None)
+          break;
+      }
+      if (DI.Dest != DecodedInst::NoReg)
+        Regs[DI.Dest] = DI.Width ? maskToWidth(RetValue, DI.Width) : RetValue;
+      continue;
+    }
+    case DecodedOp::Ret:
+      StackPointer = SavedStackPointer;
+      return Regs[DI.A];
+    case DecodedOp::RetVoid:
+      StackPointer = SavedStackPointer;
+      return 0;
+    case DecodedOp::Unreachable:
+      Result.Trap = TrapKind::ExplicitTrap;
+      Result.Message = "reached unreachable in " + F->getName();
+      break;
+    }
+    // Any path that did not 'continue' above trapped.
+    break;
+  }
+
+  StackPointer = SavedStackPointer;
   return 0;
 }

@@ -26,11 +26,13 @@
 #include "vm/SimMemory.h"
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 
 namespace smokestack {
 
 class RandomSource;
+struct DecodedFunction;
 
 /// Outcome of one simulated execution.
 struct ExecResult {
@@ -79,6 +81,11 @@ struct InterpreterOptions {
   uint64_t StackBaseOffset = 0;
   /// Maximum simulated call depth.
   unsigned MaxCallDepth = 512;
+  /// Execute through the pre-decoded engine (flat DecodedInst arrays with
+  /// resolved operand indices; see vm/DecodedFunction.h). The tree-walking
+  /// engine remains available as a differential-testing oracle; both
+  /// produce bit-identical ExecResults including Steps.
+  bool UseDecodedEngine = true;
 };
 
 /// The Mini-IR virtual machine.
@@ -86,6 +93,7 @@ class Interpreter {
 public:
   explicit Interpreter(Module &M, RandomSource *Rng = nullptr,
                        InterpreterOptions Opts = InterpreterOptions());
+  ~Interpreter();
 
   /// Runs \p FuncName with integer/pointer \p Args.
   ExecResult run(const std::string &FuncName,
@@ -120,25 +128,36 @@ public:
   uint64_t callsExecuted() const { return CallCount; }
 
 private:
-  struct Frame {
-    Function *F = nullptr;
-    std::vector<uint64_t> Registers;
-    uint64_t SavedStackPointer = 0;
-  };
-
   /// Per-function value numbering (registers).
   struct Numbering {
     std::unordered_map<const Value *, unsigned> Index;
     unsigned Count = 0;
   };
+
+  struct Frame {
+    Function *F = nullptr;
+    /// The numbering for F, cached so operand access is one map lookup.
+    const Numbering *N = nullptr;
+    std::vector<uint64_t> Registers;
+    uint64_t SavedStackPointer = 0;
+  };
+
   const Numbering &getNumbering(Function *F);
+
+  /// The decoded form of \p F, lowered on first use (after globals load).
+  const DecodedFunction &getDecoded(Function *F);
 
   void loadGlobals();
   uint64_t callFunction(Function *F, const std::vector<uint64_t> &Args,
                         ExecResult &Result, unsigned Depth);
+  /// Decoded-engine twin of callFunction; dispatches over flat DecodedInst
+  /// arrays with zero per-operand map lookups.
+  uint64_t callDecoded(const DecodedFunction &DF,
+                       const std::vector<uint64_t> &Args, ExecResult &Result,
+                       unsigned Depth);
   bool dispatchBuiltin(Function *Callee, const std::vector<uint64_t> &Args,
                        uint64_t &RetValue, ExecResult &Result);
-  uint64_t materializeAlloca(Frame &Fr, const AllocaInst &Alloca,
+  uint64_t materializeAlloca(const Function &F, const AllocaInst &Alloca,
                              uint64_t Count, ExecResult &Result);
 
   uint64_t getValue(const Frame &Fr, const Value *V) const;
@@ -156,6 +175,11 @@ private:
   uint64_t FuelLeft = 0;
   uint64_t CallCount = 0;
   std::unordered_map<const Function *, Numbering> Numberings;
+  std::unordered_map<const Function *, std::unique_ptr<DecodedFunction>>
+      DecodedCache;
+  /// Depth-indexed register files reused across decoded calls; sized once
+  /// per run so references stay stable through recursion.
+  std::vector<std::vector<uint64_t>> RegisterPool;
   std::unordered_map<std::string, uint64_t> GlobalAddresses;
   std::deque<std::vector<uint8_t>> InputQueue;
   std::string Output;

@@ -57,3 +57,27 @@ TEST(StatisticsTest, ShannonEntropy) {
   std::vector<uint64_t> Half = {50, 50};
   EXPECT_NEAR(shannonEntropyBits(Half), 1.0, 1e-9);
 }
+
+namespace {
+Statistic TestCounter("test.statistics-counter", "counter used by this test");
+} // namespace
+
+TEST(StatisticsTest, StatisticRegistry) {
+  Statistic *Found = findStatistic("test.statistics-counter");
+  ASSERT_EQ(Found, &TestCounter);
+  EXPECT_STREQ(Found->description(), "counter used by this test");
+
+  TestCounter.reset();
+  ++TestCounter;
+  TestCounter += 4;
+  EXPECT_EQ(TestCounter.value(), 5u);
+
+  // The VM decode counters registered themselves too.
+  EXPECT_NE(findStatistic("vm.decoded-functions"), nullptr);
+  EXPECT_EQ(findStatistic("no.such.counter"), nullptr);
+
+  bool Seen = false;
+  for (Statistic *S : allStatistics())
+    Seen |= S == &TestCounter;
+  EXPECT_TRUE(Seen);
+}

@@ -51,6 +51,7 @@ struct Options {
   std::vector<std::string> PassSpecs;
   std::string RunFunction;
   std::string RngScheme = "aes10";
+  std::string Engine = "decoded";
   std::vector<std::string> Inputs;
   std::string InputFile;
   bool Print = false;
@@ -63,7 +64,9 @@ int usage(const char *Argv0) {
                "usage: %s [-smokestack] [-static-perm[=SEED]] "
                "[-entry-pad[=SEED]] [-canary[=GUARD]]\n"
                "          [-run=FUNC] [-rng=pseudo|aes1|aes10|rdrand] "
-               "[-input=TEXT]... [-print] [-verify] [-stats] <file.ir|->\n",
+               "[-engine=decoded|treewalk]\n"
+               "          [-input=TEXT]... [-print] [-verify] [-stats] "
+               "<file.ir|->\n",
                Argv0);
   return 2;
 }
@@ -101,6 +104,8 @@ int main(int argc, char **argv) {
       Opts.RunFunction = Arg.substr(5);
     } else if (Arg.rfind("-rng=", 0) == 0) {
       Opts.RngScheme = Arg.substr(5);
+    } else if (Arg.rfind("-engine=", 0) == 0) {
+      Opts.Engine = Arg.substr(8);
     } else if (Arg.rfind("-input=", 0) == 0) {
       Opts.Inputs.push_back(Arg.substr(7));
     } else if (Arg == "-print") {
@@ -195,7 +200,13 @@ int main(int argc, char **argv) {
                    Opts.RngScheme.c_str());
       return 1;
     }
-    Interpreter VM(M, Rng.get());
+    if (Opts.Engine != "decoded" && Opts.Engine != "treewalk") {
+      std::fprintf(stderr, "error: unknown engine '%s'\n", Opts.Engine.c_str());
+      return 1;
+    }
+    InterpreterOptions VMOpts;
+    VMOpts.UseDecodedEngine = Opts.Engine == "decoded";
+    Interpreter VM(M, Rng.get(), VMOpts);
     for (const std::string &Input : Opts.Inputs)
       VM.pushInputString(Input);
     ExecResult R = VM.run(Opts.RunFunction);
