@@ -1,0 +1,114 @@
+//===- faults/FaultInjector.cpp - Deterministic fault injection ------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/FaultInjector.h"
+
+#include "support/Statistics.h"
+
+using namespace smokestack;
+
+FaultInjector *smokestack::detail::ActiveInjector = nullptr;
+
+namespace {
+
+Statistic NumInjectedProbes("faults.injected-probes",
+                            "Probes failed by the installed fault plan");
+Statistic NumInjectedEvents("faults.injected-events",
+                            "Distinct injection events (streaks + deaths)");
+
+/// Uniform double in [0, 1) from one stream step.
+double nextUnit(SplitMix64 &Stream) {
+  return static_cast<double>(Stream.next() >> 11) * 0x1.0p-53;
+}
+
+/// Decorrelates the per-site streams: two sites sharing a plan seed must
+/// not see related decision sequences.
+uint64_t siteSeed(uint64_t PlanSeed, unsigned Site) {
+  SplitMix64 Mixer(PlanSeed ^ (0x5341'4654'4C55'4146ULL + Site));
+  return Mixer.next();
+}
+
+} // namespace
+
+const char *smokestack::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::RdRandStep:
+    return "rdrand-step";
+  case FaultSite::RdRandDeath:
+    return "rdrand-death";
+  case FaultSite::EntropyFill:
+    return "entropy-fill";
+  case FaultSite::AesNiPresence:
+    return "aesni-presence";
+  case FaultSite::RekeyEntropy:
+    return "rekey-entropy";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan &Plan)
+    : Plan(Plan), State{SiteState(siteSeed(Plan.Seed, 0)),
+                        SiteState(siteSeed(Plan.Seed, 1)),
+                        SiteState(siteSeed(Plan.Seed, 2)),
+                        SiteState(siteSeed(Plan.Seed, 3)),
+                        SiteState(siteSeed(Plan.Seed, 4))} {
+  static_assert(NumFaultSites == 5, "update the stream initializer list");
+}
+
+bool FaultInjector::shouldFail(FaultSite Site) {
+  const SitePlan &P = Plan.site(Site);
+  SiteState &S = State[static_cast<unsigned>(Site)];
+  ++S.Probes;
+
+  // Permanent failure dominates everything, and each failed probe is its
+  // own accounted event so post-death draws stay visible in the books.
+  if (P.FailFromProbe != 0 && S.Probes >= P.FailFromProbe) {
+    ++S.InjectedProbes;
+    ++S.InjectedEvents;
+    ++NumInjectedProbes;
+    ++NumInjectedEvents;
+    return true;
+  }
+
+  if (S.StreakLeft != 0) {
+    --S.StreakLeft;
+    ++S.InjectedProbes;
+    ++NumInjectedProbes;
+    return true;
+  }
+
+  if (P.Probability > 0.0 && nextUnit(S.Stream) < P.Probability) {
+    S.StreakLeft = P.StreakLen > 0 ? P.StreakLen - 1 : 0;
+    ++S.InjectedProbes;
+    ++S.InjectedEvents;
+    ++NumInjectedProbes;
+    ++NumInjectedEvents;
+    return true;
+  }
+
+  return false;
+}
+
+uint64_t FaultInjector::totalInjectedProbes() const {
+  uint64_t Total = 0;
+  for (const SiteState &S : State)
+    Total += S.InjectedProbes;
+  return Total;
+}
+
+uint64_t FaultInjector::totalInjectedEvents() const {
+  uint64_t Total = 0;
+  for (const SiteState &S : State)
+    Total += S.InjectedEvents;
+  return Total;
+}
+
+FaultScope::FaultScope(FaultInjector &Injector)
+    : Previous(detail::ActiveInjector) {
+  detail::ActiveInjector = &Injector;
+}
+
+FaultScope::~FaultScope() { detail::ActiveInjector = Previous; }

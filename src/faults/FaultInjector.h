@@ -1,0 +1,154 @@
+//===- faults/FaultInjector.h - Deterministic fault injection --*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seed-replayable fault injection for the randomness and
+/// detection stack. Smokestack's security argument rests on the prologue
+/// randomness being available and the epilogue checks firing; DOP attackers
+/// (Hu et al.) deliberately drive programs into rare error paths, so those
+/// paths must be testable on demand.
+///
+/// The production code carries *probes* at the points where hardware or the
+/// operating system can fail: one RDRAND retry attempt (CF=0), permanent
+/// DRNG death, an entropy-pool read, AES-NI availability, and the entropy
+/// draw behind an AES-CTR re-keying. A probe is a single inline null-pointer
+/// check when no injector is installed — zero-cost in production — and
+/// consults the installed FaultInjector otherwise.
+///
+/// Faults are scripted by a FaultPlan: per-site Bernoulli probability (with
+/// configurable failure streak length) plus an optional probe index after
+/// which the site fails permanently. Every decision is drawn from a per-site
+/// SplitMix64 stream derived from the plan seed, so a plan replays
+/// bit-identically against the same workload — the soak harness runs twice
+/// and asserts identical outcomes — and injection at one site never
+/// perturbs another site's stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_FAULTS_FAULTINJECTOR_H
+#define SMOKESTACK_FAULTS_FAULTINJECTOR_H
+
+#include "support/SplitMix64.h"
+
+#include <cstdint>
+
+namespace smokestack {
+
+/// The failure points instrumented with probes.
+enum class FaultSite : unsigned {
+  RdRandStep = 0, ///< One _rdrand64_step attempt returns CF=0.
+  RdRandDeath,    ///< The DRNG is dead: the whole draw fails, no retries.
+  EntropyFill,    ///< An EntropySource::tryFill stalls or throws.
+  AesNiPresence,  ///< AES-NI disappears (e.g. VM migration to older host).
+  RekeyEntropy,   ///< The entropy draw behind an AES-CTR rekey is exhausted.
+};
+
+/// Number of FaultSite values (array bound).
+inline constexpr unsigned NumFaultSites = 5;
+
+/// Printable site name ("rdrand-step", ...).
+const char *faultSiteName(FaultSite Site);
+
+/// Per-site injection script.
+struct SitePlan {
+  /// Probability that a probe starts a failure streak.
+  double Probability = 0.0;
+  /// Consecutive failing probes per streak start (>= 1).
+  unsigned StreakLen = 1;
+  /// 1-based probe index from which every probe fails permanently
+  /// (0 = never). Models DRNG death / persistent entropy exhaustion.
+  uint64_t FailFromProbe = 0;
+};
+
+/// A complete, replayable injection script.
+struct FaultPlan {
+  /// Seed for every per-site decision stream.
+  uint64_t Seed = 0;
+  SitePlan Sites[NumFaultSites];
+
+  SitePlan &site(FaultSite S) { return Sites[static_cast<unsigned>(S)]; }
+  const SitePlan &site(FaultSite S) const {
+    return Sites[static_cast<unsigned>(S)];
+  }
+};
+
+/// Evaluates a FaultPlan probe by probe and keeps the books: how many
+/// probes each site saw, how many were failed, and how many distinct
+/// injection *events* occurred (a streak counts once at its start; each
+/// permanently-failed probe counts as its own event, so after DRNG death
+/// every failed draw remains visible in the accounting). The soak harness
+/// checks the RNG layer's degradation counters against these numbers —
+/// "zero silent degradations" means the two bookkeepings agree exactly.
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultPlan &Plan);
+
+  /// One probe at \p Site; returns true when the probe must fail.
+  bool shouldFail(FaultSite Site);
+
+  /// Probes evaluated at \p Site so far.
+  uint64_t probeCount(FaultSite Site) const {
+    return State[static_cast<unsigned>(Site)].Probes;
+  }
+  /// Probes failed at \p Site (every member of a streak counts).
+  uint64_t injectedProbes(FaultSite Site) const {
+    return State[static_cast<unsigned>(Site)].InjectedProbes;
+  }
+  /// Injection events at \p Site (streak starts + permanent-failure probes).
+  uint64_t injectedEvents(FaultSite Site) const {
+    return State[static_cast<unsigned>(Site)].InjectedEvents;
+  }
+  uint64_t totalInjectedProbes() const;
+  uint64_t totalInjectedEvents() const;
+
+  const FaultPlan &plan() const { return Plan; }
+
+private:
+  struct SiteState {
+    explicit SiteState(uint64_t Seed) : Stream(Seed) {}
+    SplitMix64 Stream;
+    uint64_t Probes = 0;
+    uint64_t InjectedProbes = 0;
+    uint64_t InjectedEvents = 0;
+    unsigned StreakLeft = 0;
+  };
+
+  FaultPlan Plan;
+  SiteState State[NumFaultSites];
+};
+
+namespace detail {
+/// The installed injector (nullptr = injection disabled). Not thread-safe;
+/// fault campaigns are single-threaded like the VM they drive.
+extern FaultInjector *ActiveInjector;
+} // namespace detail
+
+/// Probe helper the production code calls at each fault site. Compiles to a
+/// load + null check when no injector is installed.
+inline bool faultProbe(FaultSite Site) {
+  FaultInjector *Injector = detail::ActiveInjector;
+  return Injector != nullptr && Injector->shouldFail(Site);
+}
+
+/// True while some FaultScope is installed.
+inline bool faultInjectionActive() { return detail::ActiveInjector != nullptr; }
+
+/// RAII installation of an injector. Scopes nest; the previous injector is
+/// restored on destruction.
+class FaultScope {
+public:
+  explicit FaultScope(FaultInjector &Injector);
+  ~FaultScope();
+  FaultScope(const FaultScope &) = delete;
+  FaultScope &operator=(const FaultScope &) = delete;
+
+private:
+  FaultInjector *Previous;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_FAULTS_FAULTINJECTOR_H

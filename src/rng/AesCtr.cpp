@@ -6,12 +6,28 @@
 
 #include "rng/AesCtr.h"
 
+#include "faults/FaultInjector.h"
+#include "support/Statistics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstring>
 
 using namespace smokestack;
+
+namespace {
+
+Statistic NumRekeyFailures("rng.aes-rekey-failures",
+                           "AES-CTR rekey attempts whose entropy draw failed");
+Statistic NumStaleKeyDraws("rng.aes-stale-key-draws",
+                           "Draws served under a stale key (deferred rekey)");
+Statistic NumUnkeyedDraws("rng.aes-unkeyed-draws",
+                          "Draws failed closed because no key was ever set");
+Statistic NumAesNiLost("rng.aesni-losses",
+                       "Rekey boundaries at which AES-NI disappeared");
+
+} // namespace
 
 AesCtrRandomSource::AesCtrRandomSource(EntropySource &Entropy,
                                        unsigned NumRounds,
@@ -21,26 +37,66 @@ AesCtrRandomSource::AesCtrRandomSource(EntropySource &Entropy,
   assert(NumRounds >= 1 && NumRounds <= 10 && "AES-128 takes 1..10 rounds");
   assert(RekeyInterval > 0 && "rekey interval must be nonzero");
   std::snprintf(Name, sizeof(Name), "AES-%u", NumRounds);
-  rekey();
+  // If even the initial keying fails, Keyed stays false and every draw
+  // fails closed while retrying the keying (see next()).
+  (void)tryRekey();
 }
 
 const char *AesCtrRandomSource::name() const { return Name; }
 
-void AesCtrRandomSource::rekey() {
+bool AesCtrRandomSource::rekeyFailed() {
+  ++FailedRekeys;
+  ++NumRekeyFailures;
+  // With an existing key the scheme keeps serving (accounted stale-key
+  // degradation) and retries at the next boundary; without one it must
+  // fail closed and retry every draw.
+  if (Keyed)
+    RekeyDeferred = true;
+  return false;
+}
+
+bool AesCtrRandomSource::tryRekey() {
+  // AES-NI disappearance is surfaced at rekey boundaries. Probe before the
+  // entropy draws so fill() and next() consume the fault streams in the
+  // same order for the same draw sequence.
+  if (faultProbe(FaultSite::AesNiPresence) && UseHardware) {
+    UseHardware = false;
+    ++AesNiLosses;
+    ++NumAesNiLost;
+  }
+  if (faultProbe(FaultSite::RekeyEntropy))
+    return rekeyFailed();
+
   uint8_t Key[16];
-  Entropy.fill(Key, sizeof(Key));
+  uint64_t NewNonce, NewLast;
+  if (!Entropy.tryFill(Key, sizeof(Key)) || !Entropy.tryNext64(NewNonce) ||
+      !Entropy.tryNext64(NewLast))
+    return rekeyFailed();
+
+  // All-or-nothing commit: key, nonce and IV only change together, so a
+  // failed rekey never leaves the generator in a mixed state.
   aes128ExpandKey(Key, Schedule);
-  Nonce = Entropy.next64();
-  LastRandom = Entropy.next64();
+  Nonce = NewNonce;
+  LastRandom = NewLast;
   ++Rekeys;
+  Keyed = true;
+  RekeyDeferred = false;
+  return true;
 }
 
 uint64_t AesCtrRandomSource::next() {
   // The universal call counter counts this draw; when it reaches a multiple
   // of the interval the key and nonce are refreshed from true randomness.
+  // An unkeyed source retries the initial keying on every draw.
   ++CallCounter;
-  if (CallCounter % RekeyInterval == 0)
-    rekey();
+  if (CallCounter % RekeyInterval == 0 || !Keyed)
+    (void)tryRekey();
+  if (!Keyed) {
+    ++UnkeyedFailures;
+    ++NumUnkeyedDraws;
+    setDrawStatus(DrawStatus::Failed);
+    return 0; // must not be used: lastDrawStatus() == Failed
+  }
 
   // Block = (last random value, nonce ^ call counter); encrypt under the
   // true-random key. The feedback through LastRandom matches the paper's
@@ -57,19 +113,41 @@ uint64_t AesCtrRandomSource::next() {
     aes128EncryptBlockSoftware(Block, Schedule, NumRounds);
 
   std::memcpy(&LastRandom, Block, 8);
+  if (RekeyDeferred) {
+    ++StaleKeyDraws;
+    ++NumStaleKeyDraws;
+    setDrawStatus(DrawStatus::Degraded);
+  } else {
+    setDrawStatus(DrawStatus::Ok);
+  }
   return LastRandom;
 }
 
 void AesCtrRandomSource::fill(std::span<uint64_t> Out) {
   uint8_t Blocks[CipherBatch * 16];
+  // The batch reports the worst status across its draws (one failed word
+  // must poison the whole refill for the buffered consumer).
+  DrawStatus Worst = DrawStatus::Ok;
   size_t I = 0;
   while (I != Out.size()) {
     // The draw with counter FirstCounter rekeys first when it lands on a
-    // multiple of the interval, exactly as in next(); a group never spans a
-    // rekey boundary so every block of the group is encrypted under one key.
+    // multiple of the interval (or when the source is unkeyed), exactly as
+    // in next(); a group never spans a rekey boundary so every block of the
+    // group is encrypted under one key.
     uint64_t FirstCounter = CallCounter + 1;
-    if (FirstCounter % RekeyInterval == 0)
-      rekey();
+    if (FirstCounter % RekeyInterval == 0 || !Keyed)
+      (void)tryRekey();
+    if (!Keyed) {
+      // Serve this one draw exactly as next() would — failed closed — so
+      // the keying retry cadence (and fault-probe consumption) of fill()
+      // matches the serial stream draw for draw.
+      ++CallCounter;
+      ++UnkeyedFailures;
+      ++NumUnkeyedDraws;
+      Worst = DrawStatus::Failed;
+      Out[I++] = 0;
+      continue;
+    }
     uint64_t ToBoundary = RekeyInterval - (FirstCounter % RekeyInterval);
     size_t GroupLen = std::min<uint64_t>(
         std::min<uint64_t>(Out.size() - I, ToBoundary), CipherBatch);
@@ -89,5 +167,12 @@ void AesCtrRandomSource::fill(std::span<uint64_t> Out) {
     std::memcpy(&LastRandom, Blocks + 16 * (GroupLen - 1), 8);
     CallCounter += GroupLen;
     I += GroupLen;
+    if (RekeyDeferred) {
+      StaleKeyDraws += GroupLen;
+      NumStaleKeyDraws += GroupLen;
+      if (Worst == DrawStatus::Ok)
+        Worst = DrawStatus::Degraded;
+    }
   }
+  setDrawStatus(Worst);
 }

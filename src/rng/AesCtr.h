@@ -68,14 +68,39 @@ public:
   /// The universal call counter value (number of draws so far).
   uint64_t callCounter() const { return CallCounter; }
 
+  /// Failure surface of the rekey policy. A scheduled rekey whose entropy
+  /// draw fails (exhaustion, stall, injected fault) is *deferred*: the
+  /// source keeps serving under the stale key — an accounted degradation,
+  /// DrawStatus::Degraded per draw — and retries at the next boundary. If
+  /// even the initial keying fails there is no key at all and every draw
+  /// fails closed (DrawStatus::Failed) until a retried keying succeeds.
+  uint64_t failedRekeys() const { return FailedRekeys; }
+  uint64_t staleKeyDraws() const { return StaleKeyDraws; }
+  uint64_t unkeyedDrawFailures() const { return UnkeyedFailures; }
+  bool rekeyDeferred() const { return RekeyDeferred; }
+  bool keyed() const { return Keyed; }
+
+  /// Times the AES-NI backend was lost at a rekey boundary (injected
+  /// disappearance); the source degrades to the software backend, which
+  /// produces the identical stream at lower throughput.
+  uint64_t aesNiLosses() const { return AesNiLosses; }
+  bool usingHardware() const { return UseHardware; }
+
 private:
-  void rekey();
+  bool tryRekey();
+  bool rekeyFailed();
 
   EntropySource &Entropy;
   unsigned NumRounds;
   uint64_t RekeyInterval;
   bool UseHardware;
+  bool Keyed = false;
+  bool RekeyDeferred = false;
   char Name[16];
+  uint64_t FailedRekeys = 0;
+  uint64_t StaleKeyDraws = 0;
+  uint64_t UnkeyedFailures = 0;
+  uint64_t AesNiLosses = 0;
 
   // Per the threat model these live in registers in the real system; attack
   // code in this repository never reads them (disclosableState() is empty).

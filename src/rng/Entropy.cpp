@@ -6,38 +6,80 @@
 
 #include "rng/Entropy.h"
 
+#include "faults/FaultInjector.h"
 #include "support/ErrorHandling.h"
+#include "support/Statistics.h"
 
 #include <cstring>
 #include <random>
 
 using namespace smokestack;
 
+namespace {
+
+Statistic NumEntropyFailures("rng.entropy-failures",
+                             "Entropy reads that failed (real or injected)");
+
+} // namespace
+
 EntropySource::~EntropySource() = default;
 
-uint64_t EntropySource::next64() {
+bool EntropySource::tryNext64(uint64_t &Out) {
   uint8_t Buf[8];
-  fill(Buf, sizeof(Buf));
-  uint64_t Value;
-  std::memcpy(&Value, Buf, sizeof(Value));
-  return Value;
+  if (!tryFill(Buf, sizeof(Buf)))
+    return false;
+  std::memcpy(&Out, Buf, sizeof(Out));
+  return true;
 }
 
-void SystemEntropySource::fill(uint8_t *Buffer, size_t Size) {
-  // std::random_device on Linux/glibc reads from the kernel entropy pool
-  // (the non-stalling interface, matching the paper's rejection of the
-  // blocking /dev/random).
-  static thread_local std::random_device Device;
-  size_t Offset = 0;
-  while (Offset < Size) {
-    unsigned Word = Device();
-    size_t Chunk = Size - Offset < sizeof(Word) ? Size - Offset : sizeof(Word);
-    std::memcpy(Buffer + Offset, &Word, Chunk);
-    Offset += Chunk;
+void EntropySource::fill(uint8_t *Buffer, size_t Size) {
+  if (!tryFill(Buffer, Size))
+    reportFatalError("entropy source failed and the caller cannot degrade");
+}
+
+uint64_t EntropySource::next64() {
+  uint64_t Out;
+  if (!tryNext64(Out))
+    reportFatalError("entropy source failed and the caller cannot degrade");
+  return Out;
+}
+
+bool SystemEntropySource::tryFill(uint8_t *Buffer, size_t Size) {
+  if (faultProbe(FaultSite::EntropyFill)) {
+    ++NumEntropyFailures;
+    return false;
   }
+  // std::random_device construction and operator() are both allowed to
+  // throw (no hardware/OS source, fd exhaustion); neither may escape as an
+  // exception from library code — the failure surfaces as a result instead.
+  try {
+    // On Linux/glibc this reads the kernel entropy pool (the non-stalling
+    // interface, matching the paper's rejection of the blocking
+    // /dev/random). If construction throws, the local stays uninitialized
+    // and the next call retries it.
+    static thread_local std::random_device Device;
+    size_t Offset = 0;
+    while (Offset < Size) {
+      unsigned Word = Device();
+      size_t Chunk =
+          Size - Offset < sizeof(Word) ? Size - Offset : sizeof(Word);
+      std::memcpy(Buffer + Offset, &Word, Chunk);
+      Offset += Chunk;
+    }
+  } catch (...) {
+    ++NumEntropyFailures;
+    return false;
+  }
+  return true;
 }
 
-void DeterministicEntropySource::fill(uint8_t *Buffer, size_t Size) {
+bool DeterministicEntropySource::tryFill(uint8_t *Buffer, size_t Size) {
+  // Probe before consuming the generator: a failed fill must not advance
+  // the deterministic stream, so recovery draws replay identically.
+  if (faultProbe(FaultSite::EntropyFill)) {
+    ++NumEntropyFailures;
+    return false;
+  }
   size_t Offset = 0;
   while (Offset < Size) {
     uint64_t Word = Generator.next();
@@ -45,4 +87,5 @@ void DeterministicEntropySource::fill(uint8_t *Buffer, size_t Size) {
     std::memcpy(Buffer + Offset, &Word, Chunk);
     Offset += Chunk;
   }
+  return true;
 }

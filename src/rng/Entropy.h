@@ -11,6 +11,13 @@
 /// system-backed source for real runs and a deterministic source so tests
 /// and experiments are reproducible.
 ///
+/// Entropy can fail: std::random_device may throw, the kernel interface can
+/// stall, and the fault-injection layer models both. tryFill()/tryNext64()
+/// surface failure as an explicit result the caller can degrade on; the
+/// fill()/next64() conveniences are fail-closed — they terminate through
+/// reportFatalError rather than ever handing out non-random bytes or
+/// letting an exception escape library code.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMOKESTACK_RNG_ENTROPY_H
@@ -28,17 +35,26 @@ class EntropySource {
 public:
   virtual ~EntropySource();
 
-  /// Fills \p Size bytes at \p Buffer with entropy.
-  virtual void fill(uint8_t *Buffer, size_t Size) = 0;
+  /// Fills \p Size bytes at \p Buffer with entropy. Returns false on
+  /// entropy failure (pool stall, std::random_device exception, injected
+  /// fault); the buffer contents are unspecified then and must not be used.
+  [[nodiscard]] virtual bool tryFill(uint8_t *Buffer, size_t Size) = 0;
 
-  /// Convenience: returns 64 bits of entropy.
+  /// Returns 64 bits of entropy in \p Out, or false on entropy failure.
+  [[nodiscard]] bool tryNext64(uint64_t &Out);
+
+  /// Fail-closed convenience: like tryFill, but a failure is a fatal error
+  /// (never silently degraded). Use tryFill where degradation is handled.
+  void fill(uint8_t *Buffer, size_t Size);
+
+  /// Fail-closed convenience: 64 bits of entropy or a fatal error.
   uint64_t next64();
 };
 
 /// Entropy from the operating system (getrandom / /dev/urandom).
 class SystemEntropySource : public EntropySource {
 public:
-  void fill(uint8_t *Buffer, size_t Size) override;
+  bool tryFill(uint8_t *Buffer, size_t Size) override;
 };
 
 /// Deterministic entropy for reproducible tests and experiments. Callers
@@ -47,7 +63,7 @@ public:
 class DeterministicEntropySource : public EntropySource {
 public:
   explicit DeterministicEntropySource(uint64_t Seed) : Generator(Seed) {}
-  void fill(uint8_t *Buffer, size_t Size) override;
+  bool tryFill(uint8_t *Buffer, size_t Size) override;
 
 private:
   SplitMix64 Generator;

@@ -6,11 +6,29 @@
 
 #include "rng/Pseudo.h"
 
+#include "support/SplitMix64.h"
+#include "support/Statistics.h"
+
 using namespace smokestack;
 
+namespace {
+
+Statistic NumDegradedSeeds("rng.pseudo-degraded-seeds",
+                           "pseudo seedings that fell back to a fixed seed");
+
+} // namespace
+
 PseudoRandomSource::PseudoRandomSource(EntropySource &Entropy) {
-  State[0] = Entropy.next64();
-  State[1] = Entropy.next64();
+  if (!Entropy.tryNext64(State[0]) || !Entropy.tryNext64(State[1])) {
+    // Entropy failure: seed from a fixed constant instead of crashing. The
+    // scheme offers no disclosure resistance either way; the degradation is
+    // counted so it is never silent.
+    SplitMix64 Seeder(0x536d6f6b65737461ULL); // "Smokesta"
+    State[0] = Seeder.next();
+    State[1] = Seeder.next();
+    DegradedSeed = true;
+    ++NumDegradedSeeds;
+  }
   // xorshift128+ requires a nonzero state.
   if (State[0] == 0 && State[1] == 0)
     State[0] = 0x9e3779b97f4a7c15ULL;

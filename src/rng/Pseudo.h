@@ -24,8 +24,15 @@ namespace smokestack {
 /// xorshift128+ with attacker-disclosable in-memory state.
 class PseudoRandomSource : public RandomSource {
 public:
-  /// Seeds the two state words from \p Entropy.
+  /// Seeds the two state words from \p Entropy. If the entropy source
+  /// fails, seeding degrades to a fixed SplitMix64 constant — accounted
+  /// via degradedSeed(), never silent. The scheme is already predictable
+  /// by design (SecurityLevel::None), so a deterministic seed does not
+  /// change its security class.
   explicit PseudoRandomSource(EntropySource &Entropy);
+
+  /// True when the constructor had to fall back to the fixed seed.
+  bool degradedSeed() const { return DegradedSeed; }
 
   uint64_t next() override;
   const char *name() const override { return "pseudo"; }
@@ -45,6 +52,7 @@ public:
 
 private:
   uint64_t State[2];
+  bool DegradedSeed = false;
 };
 
 } // namespace smokestack

@@ -23,8 +23,16 @@ Statistic NumBatchRefills("rng.batch-refills",
 RandomSource::~RandomSource() = default;
 
 void RandomSource::fill(std::span<uint64_t> Out) {
-  for (uint64_t &Word : Out)
+  // A batch reports the *worst* status of its draws: one failed word must
+  // poison the refill (the buffered consumer cannot tell which word it
+  // was), never be hidden by a later healthy draw.
+  DrawStatus Worst = DrawStatus::Ok;
+  for (uint64_t &Word : Out) {
     Word = next();
+    if (static_cast<uint8_t>(lastDrawStatus()) > static_cast<uint8_t>(Worst))
+      Worst = lastDrawStatus();
+  }
+  setDrawStatus(Worst);
 }
 
 void RandomSource::setBatchSize(unsigned NewBatch) {
@@ -42,6 +50,18 @@ void RandomSource::refillBuffer() {
   BufLen = Batch;
   ++Refills;
   ++NumBatchRefills;
+}
+
+const char *smokestack::drawStatusName(DrawStatus Status) {
+  switch (Status) {
+  case DrawStatus::Ok:
+    return "ok";
+  case DrawStatus::Degraded:
+    return "degraded";
+  case DrawStatus::Failed:
+    return "failed";
+  }
+  smokestack_unreachable("unknown draw status");
 }
 
 const char *smokestack::securityLevelName(SecurityLevel Level) {

@@ -48,6 +48,20 @@ enum class SecurityLevel {
 /// Returns a printable name for \p Level ("None", "Low", "High").
 const char *securityLevelName(SecurityLevel Level);
 
+/// Health classification of the most recent draw. The randomness stack
+/// never downgrades silently: a draw is either fully healthy, explicitly
+/// degraded (served by a fallback path or under a stale AES key, always
+/// with a bumped counter), or failed closed (the returned value must not
+/// be used; the VM turns this into a RandomnessFailure trap).
+enum class DrawStatus : uint8_t {
+  Ok,       ///< Drawn from the scheme's primary, healthy path.
+  Degraded, ///< Served, but through an accounted degradation.
+  Failed,   ///< Fail-closed: no usable randomness was produced.
+};
+
+/// Printable status name ("ok", "degraded", "failed").
+const char *drawStatusName(DrawStatus Status);
+
 /// A source of 64-bit random values for permutation selection.
 class RandomSource {
 public:
@@ -56,8 +70,24 @@ public:
 
   virtual ~RandomSource();
 
-  /// Returns the next random value.
+  /// Returns the next random value. Sources with failure modes record the
+  /// draw's health in lastDrawStatus(); on DrawStatus::Failed the returned
+  /// value is meaningless and must not be used as randomness.
   virtual uint64_t next() = 0;
+
+  /// Failure-honest draw: returns false instead of a value when the source
+  /// cannot produce randomness (the resilience layer's preferred entry
+  /// point). The default forwards to next() and reports failure via
+  /// lastDrawStatus().
+  [[nodiscard]] virtual bool tryNext(uint64_t &Out) {
+    Out = next();
+    return lastDrawStatus() != DrawStatus::Failed;
+  }
+
+  /// Health of the most recent next()/tryNext()/fill() call. Buffered
+  /// draws (nextBuffered) report the status of the refill that produced
+  /// the served word's batch.
+  DrawStatus lastDrawStatus() const { return LastStatus; }
 
   /// Fills \p Out with consecutive random words. The default implementation
   /// loops next(), so for unbatched schemes the filled sequence is
@@ -114,6 +144,10 @@ public:
   /// Mutable view of the same state, for modeling state-corruption attacks.
   virtual std::span<uint8_t> mutableDisclosableState() { return {}; }
 
+protected:
+  /// Records the health of the draw in flight.
+  void setDrawStatus(DrawStatus Status) { LastStatus = Status; }
+
 private:
   void refillBuffer();
 
@@ -122,6 +156,7 @@ private:
   unsigned BufPos = 0;
   unsigned BufLen = 0;
   uint64_t Refills = 0;
+  DrawStatus LastStatus = DrawStatus::Ok;
 };
 
 } // namespace smokestack

@@ -6,6 +6,9 @@
 
 #include "rng/RdRand.h"
 
+#include "faults/FaultInjector.h"
+#include "support/Statistics.h"
+
 #if defined(__x86_64__)
 #include <immintrin.h>
 #define SMOKESTACK_X86_64 1
@@ -14,6 +17,20 @@
 #endif
 
 using namespace smokestack;
+
+namespace {
+
+Statistic NumRetryFailures("rng.rdrand-retry-failures",
+                           "RDRAND attempts that returned CF=0");
+Statistic NumDrngFailures("rng.rdrand-drng-failures",
+                          "Draws on which the DRNG failed outright");
+Statistic NumEmergencyDraws(
+    "rng.rdrand-emergency-draws",
+    "next() draws degraded to the seed-entropy fallback");
+Statistic NumFailClosed("rng.rdrand-failclosed-draws",
+                        "Draws on which RDRAND failed closed");
+
+} // namespace
 
 bool smokestack::rdRandAvailable() {
 #if SMOKESTACK_X86_64
@@ -25,14 +42,25 @@ bool smokestack::rdRandAvailable() {
 
 #if SMOKESTACK_X86_64
 namespace {
-__attribute__((target("rdrnd"))) uint64_t drawRdRand() {
-  unsigned long long Value = 0;
-  // RDRAND can transiently fail when the DRNG is busy; Intel's guidance is
-  // to retry a bounded number of times.
-  for (int Attempt = 0; Attempt != 16; ++Attempt)
-    if (_rdrand64_step(&Value))
-      return Value;
-  return Value;
+/// Bounded-retry hardware draw. Returns false on retry exhaustion instead
+/// of leaking the zero-initialized scratch word as "randomness".
+__attribute__((target("rdrnd"))) bool
+drawRdRandHardware(uint64_t &Out, uint64_t &RetryFailures) {
+  for (int Attempt = 0; Attempt != RdRandSource::RetryLimit; ++Attempt) {
+    if (faultProbe(FaultSite::RdRandStep)) {
+      ++RetryFailures;
+      ++NumRetryFailures;
+      continue;
+    }
+    unsigned long long Value = 0;
+    if (_rdrand64_step(&Value)) {
+      Out = Value;
+      return true;
+    }
+    ++RetryFailures;
+    ++NumRetryFailures;
+  }
+  return false;
 }
 } // namespace
 #endif
@@ -41,10 +69,65 @@ RdRandSource::RdRandSource(EntropySource &Fallback, bool ForceFallback)
     : Fallback(Fallback),
       UseHardware(!ForceFallback && rdRandAvailable()) {}
 
-uint64_t RdRandSource::next() {
+bool RdRandSource::drawFromDrng(uint64_t &Out) {
+  // Permanent-death fault: the whole DRNG is gone; no retry helps.
+  if (faultProbe(FaultSite::RdRandDeath)) {
+    ++FailureEvents;
+    ++NumDrngFailures;
+    return false;
+  }
 #if SMOKESTACK_X86_64
-  if (UseHardware)
-    return drawRdRand();
+  if (UseHardware) {
+    if (drawRdRandHardware(Out, RetryFailures))
+      return true;
+    ++FailureEvents;
+    ++NumDrngFailures;
+    return false;
+  }
 #endif
-  return Fallback.next64();
+  // Simulated DRNG: the entropy stand-in behind the same bounded retry
+  // loop, so RDRAND failure modes are testable on every host.
+  for (int Attempt = 0; Attempt != RetryLimit; ++Attempt) {
+    if (faultProbe(FaultSite::RdRandStep)) {
+      ++RetryFailures;
+      ++NumRetryFailures;
+      continue;
+    }
+    if (Fallback.tryNext64(Out))
+      return true;
+    ++RetryFailures;
+    ++NumRetryFailures;
+  }
+  ++FailureEvents;
+  ++NumDrngFailures;
+  return false;
+}
+
+bool RdRandSource::tryNext(uint64_t &Out) {
+  if (drawFromDrng(Out)) {
+    setDrawStatus(DrawStatus::Ok);
+    return true;
+  }
+  setDrawStatus(DrawStatus::Failed);
+  return false;
+}
+
+uint64_t RdRandSource::next() {
+  uint64_t Out = 0;
+  if (drawFromDrng(Out)) {
+    setDrawStatus(DrawStatus::Ok);
+    return Out;
+  }
+  // DRNG exhausted: one accounted emergency draw from the seed-entropy
+  // source (same High security class) — an explicit degradation, not the
+  // old fail-open that returned zero as if it were random.
+  if (Fallback.tryNext64(Out)) {
+    ++EmergencyDraws;
+    ++NumEmergencyDraws;
+    setDrawStatus(DrawStatus::Degraded);
+    return Out;
+  }
+  ++NumFailClosed;
+  setDrawStatus(DrawStatus::Failed);
+  return 0; // must not be used: lastDrawStatus() == Failed
 }

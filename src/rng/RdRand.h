@@ -11,6 +11,16 @@
 /// limits. On hosts without RDRAND a simulated entropy-backed source stands
 /// in (documented substitution; same interface, same security class).
 ///
+/// Failure model: RDRAND can transiently return CF=0 when the DRNG is busy,
+/// and the DRNG can die outright (documented on several steppings). A draw
+/// makes a bounded number of retry attempts; exhaustion is reported to the
+/// caller via tryNext() — never papered over by returning the
+/// zero-initialized scratch word, which would be a fail-open handing the
+/// attacker an all-zero "random" permutation index. next() keeps a total
+/// function signature by degrading to one accounted emergency draw from the
+/// seed-entropy fallback, and fails closed (DrawStatus::Failed) when even
+/// that is unavailable.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMOKESTACK_RNG_RDRAND_H
@@ -29,18 +39,37 @@ bool rdRandAvailable();
 /// reproducible experiments).
 class RdRandSource : public RandomSource {
 public:
+  /// Retry attempts per draw before the DRNG is declared exhausted
+  /// (Intel's guidance is a small bounded retry loop).
+  static constexpr int RetryLimit = 16;
+
   explicit RdRandSource(EntropySource &Fallback, bool ForceFallback = false);
 
   uint64_t next() override;
+  [[nodiscard]] bool tryNext(uint64_t &Out) override;
   const char *name() const override { return "RDRAND"; }
   SecurityLevel securityLevel() const override { return SecurityLevel::High; }
 
   /// True when draws come from the hardware instruction.
   bool usingHardware() const { return UseHardware; }
 
+  /// Individual retry attempts that failed (CF=0, real or injected).
+  uint64_t retryFailures() const { return RetryFailures; }
+  /// Draws on which the DRNG failed outright (retry exhaustion or death).
+  uint64_t drngFailureEvents() const { return FailureEvents; }
+  /// next() draws served by the accounted emergency entropy fallback.
+  uint64_t emergencyDraws() const { return EmergencyDraws; }
+
 private:
+  /// One DRNG draw (hardware RDRAND or the simulated stand-in), including
+  /// the bounded retry loop and the fault probes. Honest: false = failure.
+  bool drawFromDrng(uint64_t &Out);
+
   EntropySource &Fallback;
   bool UseHardware;
+  uint64_t RetryFailures = 0;
+  uint64_t FailureEvents = 0;
+  uint64_t EmergencyDraws = 0;
 };
 
 } // namespace smokestack

@@ -160,6 +160,14 @@ bool Interpreter::dispatchBuiltin(Function *Callee,
     // Buffered draw: equals next() at the default batch size of 1; the
     // hardened prologue benefits from batching when the host enables it.
     RetValue = Rng->nextBuffered();
+    // Fail closed: a permutation index from a failed draw would be
+    // predictable (zero), exactly the layout determinism Smokestack
+    // removes. The trap is recoverable at the request boundary.
+    if (Rng->lastDrawStatus() == DrawStatus::Failed) {
+      Result.Trap = TrapKind::RandomnessFailure;
+      Result.Message = "randomness source failed closed during a draw";
+      return false;
+    }
     return true;
   }
 

@@ -11,6 +11,7 @@
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 #include "support/Format.h"
+#include "support/Statistics.h"
 #include "vm/Decoder.h"
 
 #include <cassert>
@@ -94,6 +95,14 @@ uint64_t fpToSlotW(double Value, unsigned Width) {
   std::memcpy(&Bits, &Value, sizeof(Value));
   return Bits;
 }
+
+Statistic NumRequests("vm.requests-served",
+                      "Requests served through runRequest()");
+Statistic NumRequestTraps("vm.request-traps",
+                          "Requests that ended in a trap");
+Statistic NumRequestRecoveries(
+    "vm.request-recoveries",
+    "Post-trap request-state recoveries performed");
 
 } // namespace
 
@@ -200,6 +209,7 @@ ExecResult Interpreter::run(const std::string &FuncName,
   Memory.clearTrap();
   StackPointer = MemoryMap::StackTop - MemoryMap::StackHeadroom -
                  alignTo(Opts.StackBaseOffset, 16);
+  StackLowWater = StackPointer;
   FuelLeft = Opts.Fuel;
   CallCount = 0;
   if (Opts.UseDecodedEngine) {
@@ -248,9 +258,47 @@ uint64_t Interpreter::materializeAlloca(const Function &F,
     Result.Message = "stack exhausted";
     return 0;
   }
+  if (StackPointer < StackLowWater)
+    StackLowWater = StackPointer;
   if (TheObserver)
     TheObserver->onAlloca(F, Alloca, StackPointer, Bytes);
   return StackPointer;
+}
+
+ExecResult Interpreter::runRequest(const std::string &FuncName,
+                                   const std::vector<uint64_t> &Args) {
+  // Fresh per-request output and heap arena; globals persist, matching a
+  // long-lived server process handling independent connections.
+  Output.clear();
+  Memory.resetHeap();
+  ExecResult Result = run(FuncName, Args);
+  ++RequestsServed;
+  ++NumRequests;
+  if (!Result.ok()) {
+    ++RequestTraps;
+    ++NumRequestTraps;
+    recoverRequestState();
+    ++RequestRecoveries;
+    ++NumRequestRecoveries;
+  }
+  return Result;
+}
+
+void Interpreter::recoverRequestState() {
+  // A trapped request aborted mid-execution, leaving attacker-written bytes
+  // in the dead frames. Scrub from the run's low-water mark (minus slack
+  // for alignment and the headroom an overflow can reach into) to the top
+  // of the stack so the next request cannot observe or be steered by them.
+  uint64_t From = StackLowWater > MemoryMap::StackBase + ScrubSlack
+                      ? StackLowWater - ScrubSlack
+                      : MemoryMap::StackBase;
+  Memory.scrubStack(From);
+  // Drop the decoded-engine frame pools: registers are assigned on entry,
+  // but a recovered server must not keep stale register images around.
+  for (std::vector<uint64_t> &Regs : RegisterPool)
+    Regs.clear();
+  InputQueue.clear();
+  Memory.clearTrap();
 }
 
 uint64_t Interpreter::callFunction(Function *F,

@@ -99,6 +99,23 @@ public:
   ExecResult run(const std::string &FuncName,
                  const std::vector<uint64_t> &Args = {});
 
+  /// Serves one request of a long-lived server loop: clears the previous
+  /// request's output, resets the heap arena, runs \p FuncName, and — if
+  /// the execution trapped (detection trap, segfault, randomness failure)
+  /// — confines the damage to this request: the touched stack region is
+  /// scrubbed from the run's low-water mark, the frame register pools are
+  /// dropped, leftover input records are discarded, and the memory trap
+  /// state is cleared. The trap stays visible in the returned ExecResult;
+  /// it is recoverable, not ignored, so the same Interpreter can keep
+  /// serving requests after a defeated attack or an injected fault.
+  ExecResult runRequest(const std::string &FuncName,
+                        const std::vector<uint64_t> &Args = {});
+
+  /// Request-boundary accounting (for the soak harness and -stats).
+  uint64_t requestsServed() const { return RequestsServed; }
+  uint64_t requestTraps() const { return RequestTraps; }
+  uint64_t requestRecoveries() const { return RequestRecoveries; }
+
   SimMemory &memory() { return Memory; }
 
   /// Queues one attacker/input record consumed by the get_input builtins.
@@ -160,6 +177,9 @@ private:
   uint64_t materializeAlloca(const Function &F, const AllocaInst &Alloca,
                              uint64_t Count, ExecResult &Result);
 
+  /// Post-trap cleanup behind runRequest().
+  void recoverRequestState();
+
   uint64_t getValue(const Frame &Fr, const Value *V) const;
   void setValue(Frame &Fr, const Value *V, uint64_t Bits);
 
@@ -171,9 +191,19 @@ private:
   SimMemory Memory;
   RandomSource *Rng;
   InterpreterOptions Opts;
+  /// Extra bytes below the low-water mark scrubbed on recovery, covering
+  /// alignment slop and the headroom area an overflowing frame can reach.
+  static constexpr uint64_t ScrubSlack = 0x1'0000;
+
   uint64_t StackPointer = 0;
+  /// Lowest stack pointer reached by the current run's allocas; bounds the
+  /// post-trap scrub so recovery cost tracks actual usage, not segment size.
+  uint64_t StackLowWater = 0;
   uint64_t FuelLeft = 0;
   uint64_t CallCount = 0;
+  uint64_t RequestsServed = 0;
+  uint64_t RequestTraps = 0;
+  uint64_t RequestRecoveries = 0;
   std::unordered_map<const Function *, Numbering> Numberings;
   std::unordered_map<const Function *, std::unique_ptr<DecodedFunction>>
       DecodedCache;

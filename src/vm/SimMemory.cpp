@@ -37,6 +37,8 @@ const char *smokestack::trapKindName(TrapKind Kind) {
     return "out-of-fuel";
   case TrapKind::BadCall:
     return "bad-call";
+  case TrapKind::RandomnessFailure:
+    return "randomness-failure";
   }
   smokestack_unreachable("unknown trap kind");
 }
@@ -131,6 +133,21 @@ bool SimMemory::readCString(uint64_t Addr, std::string &Out,
 
 bool SimMemory::isMapped(uint64_t Addr, uint64_t Size) const {
   return findSegment(Addr, Size) != nullptr;
+}
+
+void SimMemory::scrubStack(uint64_t FromAddr) {
+  uint64_t From = FromAddr < MemoryMap::StackBase ? MemoryMap::StackBase
+                                                  : FromAddr;
+  if (From >= MemoryMap::StackTop)
+    return;
+  std::memset(Stack.Bytes.data() + (From - MemoryMap::StackBase), 0,
+              MemoryMap::StackTop - From);
+}
+
+void SimMemory::resetHeap() {
+  if (HeapCursor)
+    std::memset(Heap.Bytes.data(), 0, HeapCursor);
+  HeapCursor = 0;
 }
 
 uint64_t SimMemory::heapAlloc(uint64_t Size) {

@@ -82,6 +82,18 @@ public:
   /// Total heap bytes handed out so far (memory-overhead accounting).
   uint64_t heapBytesUsed() const { return HeapCursor; }
 
+  /// Zeroes stack bytes from \p FromAddr (clamped into the segment) up to
+  /// the top of the stack segment. Request-boundary hygiene after a trap:
+  /// attacker-corrupted frames must not leak into the next request, and
+  /// scrubbing only from the run's low-water mark keeps the cost
+  /// proportional to what was actually touched.
+  void scrubStack(uint64_t FromAddr);
+
+  /// Zeroes the used heap prefix and resets the bump allocator — the heap
+  /// acts as a per-request arena under the server-loop model, so request N
+  /// cannot exhaust or contaminate the heap of request N+1.
+  void resetHeap();
+
 private:
   struct Segment {
     const char *Name;

@@ -29,6 +29,7 @@ enum class TrapKind {
   DivisionByZero,      ///< Integer division by zero.
   OutOfFuel,           ///< Step budget exhausted (runaway execution).
   BadCall,             ///< Call to an unknown builtin or malformed call.
+  RandomnessFailure,   ///< The randomness stack failed closed mid-draw.
 };
 
 /// Printable trap name.

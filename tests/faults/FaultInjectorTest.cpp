@@ -1,0 +1,133 @@
+//===- tests/faults/FaultInjectorTest.cpp - Fault injector tests ----------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/FaultInjector.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace smokestack;
+
+namespace {
+
+TEST(FaultInjectorTest, SiteNamesAreStable) {
+  EXPECT_STREQ(faultSiteName(FaultSite::RdRandStep), "rdrand-step");
+  EXPECT_STREQ(faultSiteName(FaultSite::RdRandDeath), "rdrand-death");
+  EXPECT_STREQ(faultSiteName(FaultSite::EntropyFill), "entropy-fill");
+  EXPECT_STREQ(faultSiteName(FaultSite::AesNiPresence), "aesni-presence");
+  EXPECT_STREQ(faultSiteName(FaultSite::RekeyEntropy), "rekey-entropy");
+}
+
+TEST(FaultInjectorTest, NoPlanNoFailures) {
+  FaultPlan Plan; // all probabilities zero
+  Plan.Seed = 123;
+  FaultInjector Inj(Plan);
+  for (unsigned I = 0; I != 1000; ++I)
+    EXPECT_FALSE(Inj.shouldFail(FaultSite::RdRandStep));
+  EXPECT_EQ(Inj.probeCount(FaultSite::RdRandStep), 1000u);
+  EXPECT_EQ(Inj.injectedProbes(FaultSite::RdRandStep), 0u);
+  EXPECT_EQ(Inj.totalInjectedEvents(), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysBitIdentically) {
+  FaultPlan Plan;
+  Plan.Seed = 99;
+  Plan.site(FaultSite::RdRandStep) = {0.3, 2, 0};
+  Plan.site(FaultSite::RekeyEntropy) = {0.1, 1, 0};
+  Plan.site(FaultSite::EntropyFill) = {0.5, 3, 0};
+
+  FaultInjector A(Plan);
+  FaultInjector B(Plan);
+  for (unsigned I = 0; I != 5000; ++I) {
+    FaultSite Site = static_cast<FaultSite>(I % NumFaultSites);
+    EXPECT_EQ(A.shouldFail(Site), B.shouldFail(Site)) << "probe " << I;
+  }
+  EXPECT_EQ(A.totalInjectedProbes(), B.totalInjectedProbes());
+  EXPECT_EQ(A.totalInjectedEvents(), B.totalInjectedEvents());
+}
+
+TEST(FaultInjectorTest, SitesHaveIndependentStreams) {
+  // The decision sequence at one site must not depend on how often other
+  // sites are probed in between (otherwise two subsystems sharing one
+  // injector would perturb each other's faults).
+  FaultPlan Plan;
+  Plan.Seed = 7;
+  Plan.site(FaultSite::RdRandStep) = {0.5, 1, 0};
+  Plan.site(FaultSite::RekeyEntropy) = {0.5, 1, 0};
+
+  FaultInjector Alone(Plan);
+  FaultInjector Interleaved(Plan);
+  std::vector<bool> A, B;
+  for (unsigned I = 0; I != 500; ++I)
+    A.push_back(Alone.shouldFail(FaultSite::RdRandStep));
+  for (unsigned I = 0; I != 500; ++I) {
+    B.push_back(Interleaved.shouldFail(FaultSite::RdRandStep));
+    (void)Interleaved.shouldFail(FaultSite::RekeyEntropy);
+    (void)Interleaved.shouldFail(FaultSite::AesNiPresence);
+  }
+  EXPECT_EQ(A, B);
+}
+
+TEST(FaultInjectorTest, StreaksFailConsecutivelyAndCountOneEvent) {
+  FaultPlan Plan;
+  Plan.Seed = 1;
+  Plan.site(FaultSite::RdRandStep) = {1.0, 4, 0};
+  FaultInjector Inj(Plan);
+  for (unsigned I = 0; I != 12; ++I)
+    EXPECT_TRUE(Inj.shouldFail(FaultSite::RdRandStep));
+  // Probability 1.0 restarts a streak the moment the previous one drains:
+  // 12 failed probes are 3 events of 4 probes each.
+  EXPECT_EQ(Inj.injectedProbes(FaultSite::RdRandStep), 12u);
+  EXPECT_EQ(Inj.injectedEvents(FaultSite::RdRandStep), 3u);
+}
+
+TEST(FaultInjectorTest, FailFromProbeIsPermanentAndPerProbeAccounted) {
+  FaultPlan Plan;
+  Plan.Seed = 5;
+  Plan.site(FaultSite::RdRandDeath) = {0.0, 1, 5};
+  FaultInjector Inj(Plan);
+  for (unsigned I = 1; I <= 4; ++I)
+    EXPECT_FALSE(Inj.shouldFail(FaultSite::RdRandDeath)) << "probe " << I;
+  for (unsigned I = 5; I <= 20; ++I)
+    EXPECT_TRUE(Inj.shouldFail(FaultSite::RdRandDeath)) << "probe " << I;
+  // Each post-death probe is its own event so the books keep growing.
+  EXPECT_EQ(Inj.injectedEvents(FaultSite::RdRandDeath), 16u);
+  EXPECT_EQ(Inj.probeCount(FaultSite::RdRandDeath), 20u);
+}
+
+TEST(FaultScopeTest, ProbeIsInertWithoutScope) {
+  EXPECT_FALSE(faultInjectionActive());
+  EXPECT_FALSE(faultProbe(FaultSite::RdRandStep));
+}
+
+TEST(FaultScopeTest, ScopesNestAndRestore) {
+  FaultPlan Always;
+  Always.Seed = 2;
+  Always.site(FaultSite::EntropyFill) = {1.0, 1, 0};
+  FaultPlan Never;
+  Never.Seed = 3;
+
+  FaultInjector Outer(Always);
+  FaultInjector Inner(Never);
+  EXPECT_FALSE(faultInjectionActive());
+  {
+    FaultScope S1(Outer);
+    EXPECT_TRUE(faultInjectionActive());
+    EXPECT_TRUE(faultProbe(FaultSite::EntropyFill));
+    {
+      FaultScope S2(Inner);
+      EXPECT_FALSE(faultProbe(FaultSite::EntropyFill));
+    }
+    // The outer injector is restored when the inner scope dies.
+    EXPECT_TRUE(faultProbe(FaultSite::EntropyFill));
+  }
+  EXPECT_FALSE(faultInjectionActive());
+  EXPECT_EQ(Outer.probeCount(FaultSite::EntropyFill), 2u);
+  EXPECT_EQ(Inner.probeCount(FaultSite::EntropyFill), 1u);
+}
+
+} // namespace

@@ -60,8 +60,9 @@ TEST(PseudoTest, ZeroSeedStillProducesOutput) {
   // All-zero xorshift state would be a fixed point; the constructor must
   // avoid it.
   class ZeroEntropy : public EntropySource {
-    void fill(uint8_t *Buffer, size_t Size) override {
+    bool tryFill(uint8_t *Buffer, size_t Size) override {
       std::memset(Buffer, 0, Size);
+      return true;
     }
   } Entropy;
   PseudoRandomSource Source(Entropy);

@@ -1,0 +1,184 @@
+//===- tests/vm/RequestBoundaryTest.cpp - runRequest() boundary tests -----===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The recoverable-trap boundary: runRequest() must confine a trap to one
+// request — scrub the touched stack, drop queued input, reset the heap
+// arena, clear the trap — and keep the same Interpreter serving. Includes
+// the fail-closed randomness path: a RandomnessFailure trap from
+// smokestack.rand is recoverable, and swapping a healthy source back in
+// resumes clean service.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/Attacker.h"
+#include "ir/IRBuilder.h"
+#include "rng/Entropy.h"
+#include "rng/Pseudo.h"
+#include "vm/Interpreter.h"
+
+#include "gtest/gtest.h"
+
+using namespace smokestack;
+
+namespace {
+
+/// RandomSource test double that always fails closed.
+class DeadSource : public RandomSource {
+public:
+  uint64_t next() override {
+    setDrawStatus(DrawStatus::Failed);
+    return 0;
+  }
+  const char *name() const override { return "dead"; }
+  SecurityLevel securityLevel() const override { return SecurityLevel::High; }
+};
+
+/// driver(fail): stores a sentinel into a local buffer, then either traps
+/// (fail != 0) or returns 7.
+void buildTrappingModule(Module &M) {
+  IRBuilder B(M);
+  Function *Trap =
+      M.getOrInsertDeclaration("smokestack.trap", B.voidTy(), {B.i64()});
+  Function *Driver = M.createFunction("driver", B.i64(), {B.i64()});
+  BasicBlock *Entry = Driver->createBlock("entry");
+  BasicBlock *Boom = Driver->createBlock("boom");
+  BasicBlock *Fine = Driver->createBlock("fine");
+
+  B.setInsertPoint(Entry);
+  AllocaInst *Buf = B.alloca_(B.getContext().getArrayTy(B.i8(), 64), "buf");
+  B.store(B.constI64(0x5EC7E7), Buf);
+  B.condBr(B.icmp(ICmpInst::Predicate::NE, Driver->getArg(0), B.constI64(0)),
+           Boom, Fine);
+  B.setInsertPoint(Boom);
+  B.call(Trap, {B.constI64(0)});
+  B.ret(B.constI64(0));
+  B.setInsertPoint(Fine);
+  B.ret(B.constI64(7));
+}
+
+TEST(RequestBoundaryTest, TrapIsConfinedAndStackIsScrubbed) {
+  Module M("boundary");
+  buildTrappingModule(M);
+  LayoutOracle Oracle;
+  Interpreter VM(M);
+  VM.setLayoutObserver(&Oracle);
+
+  // Clean request: the sentinel stays behind on the (unscrubbed) stack.
+  ExecResult Clean = VM.runRequest("driver", {0});
+  ASSERT_TRUE(Clean.ok());
+  EXPECT_EQ(Clean.ReturnValue, 7u);
+  ASSERT_TRUE(Oracle.knows("driver", "buf"));
+  uint64_t BufAddr = Oracle.addressOf("driver", "buf");
+  uint64_t Word = 0;
+  ASSERT_TRUE(VM.memory().loadInt(BufAddr, 8, Word));
+  EXPECT_EQ(Word, 0x5EC7E7u) << "clean exits do not scrub";
+
+  // Trapping request: same entry point, same frame placement (no
+  // randomization deployed), but this time the request traps.
+  ExecResult Bad = VM.runRequest("driver", {1});
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.Trap, TrapKind::ExplicitTrap);
+  ASSERT_TRUE(VM.memory().loadInt(BufAddr, 8, Word));
+  EXPECT_EQ(Word, 0u) << "post-trap recovery must scrub the touched stack";
+  EXPECT_EQ(VM.memory().getTrap(), TrapKind::None)
+      << "the memory trap state must be cleared at the boundary";
+
+  // The same Interpreter keeps serving.
+  ExecResult Again = VM.runRequest("driver", {0});
+  EXPECT_TRUE(Again.ok());
+  EXPECT_EQ(Again.ReturnValue, 7u);
+
+  EXPECT_EQ(VM.requestsServed(), 3u);
+  EXPECT_EQ(VM.requestTraps(), 1u);
+  EXPECT_EQ(VM.requestRecoveries(), 1u);
+}
+
+TEST(RequestBoundaryTest, QueuedInputIsDroppedOnTrap) {
+  Module M("inputs");
+  IRBuilder B(M);
+  Function *Remaining =
+      M.getOrInsertDeclaration("input_remaining", B.i64(), {});
+  Function *Trap =
+      M.getOrInsertDeclaration("smokestack.trap", B.voidTy(), {B.i64()});
+  {
+    Function *F = M.createFunction("boom", B.i64(), {});
+    IRBuilder FB(M);
+    FB.setInsertPoint(F->createBlock("entry"));
+    FB.call(Trap, {FB.constI64(0)});
+    FB.ret(FB.constI64(0));
+  }
+  {
+    Function *F = M.createFunction("count", B.i64(), {});
+    IRBuilder FB(M);
+    FB.setInsertPoint(F->createBlock("entry"));
+    FB.ret(FB.call(Remaining, {}));
+  }
+
+  Interpreter VM(M);
+  VM.pushInputString("record-1");
+  VM.pushInputString("record-2");
+  EXPECT_FALSE(VM.runRequest("boom").ok());
+  // A trapped request must not leak its pending records into the next one
+  // (stale attacker payloads would otherwise be replayed cross-request).
+  ExecResult R = VM.runRequest("count");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ReturnValue, 0u);
+}
+
+TEST(RequestBoundaryTest, HeapActsAsPerRequestArena) {
+  Module M("heap");
+  IRBuilder B(M);
+  Function *Malloc = M.getOrInsertDeclaration("malloc", B.ptr(), {B.i64()});
+  Function *F = M.createFunction("alloc", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  // Two MiB per request: 64 requests would need 128 MiB without the
+  // per-request arena reset (the simulated heap holds 16 MiB).
+  Value *P = B.call(Malloc, {B.constI64(2u << 20)}, "p");
+  Value *Ok = B.icmp(ICmpInst::Predicate::NE,
+                     B.cast_(CastInst::CastOp::PtrToInt, B.i64(), P),
+                     B.constI64(0));
+  B.ret(B.zext(B.i64(), Ok));
+
+  Interpreter VM(M);
+  for (unsigned I = 0; I != 64; ++I) {
+    ExecResult R = VM.runRequest("alloc");
+    ASSERT_TRUE(R.ok()) << "request " << I;
+    EXPECT_EQ(R.ReturnValue, 1u) << "allocation failed on request " << I;
+  }
+}
+
+TEST(RequestBoundaryTest, RandomnessFailureTrapsAndHealthySourceResumes) {
+  Module M("rand");
+  IRBuilder B(M);
+  Function *Rand = M.getOrInsertDeclaration("smokestack.rand", B.i64(), {});
+  Function *F = M.createFunction("draw", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  B.ret(B.call(Rand, {}));
+
+  DeadSource Dead;
+  Interpreter VM(M, &Dead);
+  ExecResult R = VM.runRequest("draw");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Trap, TrapKind::RandomnessFailure);
+  EXPECT_EQ(VM.requestTraps(), 1u);
+  EXPECT_EQ(VM.requestRecoveries(), 1u);
+
+  // Ops swaps in a healthy source; the same server resumes clean service.
+  DeterministicEntropySource Entropy(3);
+  PseudoRandomSource Healthy(Entropy);
+  VM.setRandomSource(&Healthy);
+  ExecResult Ok = VM.runRequest("draw");
+  EXPECT_TRUE(Ok.ok());
+  EXPECT_EQ(VM.requestsServed(), 2u);
+  EXPECT_EQ(VM.requestTraps(), 1u);
+}
+
+TEST(RequestBoundaryTest, TrapKindNameCoversRandomnessFailure) {
+  EXPECT_STREQ(trapKindName(TrapKind::RandomnessFailure),
+               "randomness-failure");
+}
+
+} // namespace

@@ -15,10 +15,17 @@
 ///     -canary[=GUARD]        apply the stack protector
 ///     -run=FUNC              execute FUNC in the VM after the passes
 ///     -rng=SCHEME            pseudo | aes1 | aes10 | rdrand  (default aes10)
+///     -resilient             wrap the RNG in the fallback chain
+///                            (scheme -> AES-10 -> fail closed)
+///     -faults=SEED:RATE      run under a seeded fault-injection plan that
+///                            fails DRNG draws and rekey entropy at RATE
 ///     -input=TEXT            queue TEXT as one input record (repeatable)
 ///     -print                 print the final module (default unless -run)
 ///     -verify                verify and report instead of printing
-///     -stats                 print the stack-usage analysis and exit
+///     -stats                 without -run: print the stack-usage analysis;
+///                            with -run: also print every nonzero counter
+///                            (fault, degradation, VM bookkeeping) after
+///                            execution
 ///
 /// Example:
 ///   smokestack-opt -smokestack -run=main -rng=aes10 program.ir
@@ -28,12 +35,15 @@
 #include "core/SmokestackPass.h"
 #include "core/StackUsageAnalysis.h"
 #include "defenses/BaselineDefenses.h"
+#include "faults/FaultInjector.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "rng/AesCtr.h"
 #include "rng/Pseudo.h"
 #include "rng/RdRand.h"
+#include "rng/Resilient.h"
 #include "support/RawStream.h"
+#include "support/Statistics.h"
 #include "vm/Interpreter.h"
 
 #include <cstdio>
@@ -57,6 +67,10 @@ struct Options {
   bool Print = false;
   bool Verify = false;
   bool Stats = false;
+  bool Resilient = false;
+  bool Faults = false;
+  uint64_t FaultSeed = 0;
+  double FaultRate = 0.0;
 };
 
 int usage(const char *Argv0) {
@@ -65,6 +79,7 @@ int usage(const char *Argv0) {
                "[-entry-pad[=SEED]] [-canary[=GUARD]]\n"
                "          [-run=FUNC] [-rng=pseudo|aes1|aes10|rdrand] "
                "[-engine=decoded|treewalk]\n"
+               "          [-resilient] [-faults=SEED:RATE]\n"
                "          [-input=TEXT]... [-print] [-verify] [-stats] "
                "<file.ir|->\n",
                Argv0);
@@ -108,6 +123,20 @@ int main(int argc, char **argv) {
       Opts.Engine = Arg.substr(8);
     } else if (Arg.rfind("-input=", 0) == 0) {
       Opts.Inputs.push_back(Arg.substr(7));
+    } else if (Arg == "-resilient") {
+      Opts.Resilient = true;
+    } else if (Arg.rfind("-faults=", 0) == 0) {
+      unsigned long long Seed = 0;
+      double Rate = 0.0;
+      if (std::sscanf(Arg.c_str() + 8, "%llu:%lf", &Seed, &Rate) != 2 ||
+          Rate < 0.0 || Rate > 1.0) {
+        std::fprintf(stderr, "bad -faults spec '%s' (want SEED:RATE)\n",
+                     Arg.c_str());
+        return usage(argv[0]);
+      }
+      Opts.Faults = true;
+      Opts.FaultSeed = Seed;
+      Opts.FaultRate = Rate;
     } else if (Arg == "-print") {
       Opts.Print = true;
     } else if (Arg == "-verify") {
@@ -177,7 +206,7 @@ int main(int argc, char **argv) {
   if (PM.size())
     PM.run(M);
 
-  if (Opts.Stats) {
+  if (Opts.Stats && Opts.RunFunction.empty()) {
     RawFdOStream OS(stdout);
     printStackUsage(analyzeModuleStackUsage(M), OS);
     return 0;
@@ -193,6 +222,26 @@ int main(int argc, char **argv) {
   }
 
   if (!Opts.RunFunction.empty()) {
+    if (Opts.Engine != "decoded" && Opts.Engine != "treewalk") {
+      std::fprintf(stderr, "error: unknown engine '%s'\n", Opts.Engine.c_str());
+      return 1;
+    }
+
+    // The fault scope must cover RNG construction too: a plan that kills
+    // rekey entropy from probe one must be able to hit the initial keying.
+    FaultPlan Plan;
+    Plan.Seed = Opts.FaultSeed;
+    if (Opts.Faults) {
+      Plan.site(FaultSite::RdRandStep) = {Opts.FaultRate,
+                                          RdRandSource::RetryLimit, 0};
+      Plan.site(FaultSite::RekeyEntropy) = {Opts.FaultRate, 1, 0};
+      Plan.site(FaultSite::AesNiPresence) = {Opts.FaultRate / 4, 1, 0};
+    }
+    FaultInjector Injector(Plan);
+    std::unique_ptr<FaultScope> Scope;
+    if (Opts.Faults)
+      Scope = std::make_unique<FaultScope>(Injector);
+
     SystemEntropySource Entropy;
     std::unique_ptr<RandomSource> Rng = makeRng(Opts.RngScheme, Entropy);
     if (!Rng) {
@@ -200,27 +249,61 @@ int main(int argc, char **argv) {
                    Opts.RngScheme.c_str());
       return 1;
     }
-    if (Opts.Engine != "decoded" && Opts.Engine != "treewalk") {
-      std::fprintf(stderr, "error: unknown engine '%s'\n", Opts.Engine.c_str());
-      return 1;
+    std::unique_ptr<RandomSource> Fallback;
+    std::unique_ptr<ResilientRandomSource> Resilient;
+    RandomSource *Active = Rng.get();
+    RandomSource *ChainStorage[2];
+    if (Opts.Resilient) {
+      Fallback = std::make_unique<AesCtrRandomSource>(Entropy, 10);
+      ChainStorage[0] = Rng.get();
+      ChainStorage[1] = Fallback.get();
+      Resilient = std::make_unique<ResilientRandomSource>(
+          std::span<RandomSource *const>(ChainStorage, 2));
+      Active = Resilient.get();
     }
+
     InterpreterOptions VMOpts;
     VMOpts.UseDecodedEngine = Opts.Engine == "decoded";
-    Interpreter VM(M, Rng.get(), VMOpts);
+    Interpreter VM(M, Active, VMOpts);
     for (const std::string &Input : Opts.Inputs)
       VM.pushInputString(Input);
     ExecResult R = VM.run(Opts.RunFunction);
     if (!VM.output().empty())
       std::fputs(VM.output().c_str(), stdout);
+
+    int Exit = 0;
     if (!R.ok()) {
       std::fprintf(stderr, "trap: %s (%s)\n", trapKindName(R.Trap),
                    R.Message.c_str());
-      return 1;
+      Exit = 1;
+    } else {
+      std::printf("-> %lld (after %llu steps)\n",
+                  (long long)(int64_t)R.ReturnValue,
+                  (unsigned long long)R.Steps);
     }
-    std::printf("-> %lld (after %llu steps)\n",
-                (long long)(int64_t)R.ReturnValue,
-                (unsigned long long)R.Steps);
-    return 0;
+    if (Opts.Stats) {
+      std::printf("counters:\n");
+      for (const Statistic *S : allStatistics())
+        if (S->value() != 0)
+          std::printf("  %10llu %-28s %s\n", (unsigned long long)S->value(),
+                      S->name(), S->description());
+      if (Resilient)
+        std::printf("rng: %s (%llu draws, %llu degraded, %llu fail-closed)\n",
+                    Resilient->name(),
+                    (unsigned long long)Resilient->drawsServed(),
+                    (unsigned long long)Resilient->degradedDraws(),
+                    (unsigned long long)Resilient->failClosedDraws());
+      if (Opts.Faults) {
+        uint64_t Probes = 0;
+        for (unsigned S = 0; S != NumFaultSites; ++S)
+          Probes += Injector.probeCount(static_cast<FaultSite>(S));
+        std::printf("faults: %llu probes, %llu injected, %llu events\n",
+                    (unsigned long long)Probes,
+                    (unsigned long long)Injector.totalInjectedProbes(),
+                    (unsigned long long)Injector.totalInjectedEvents());
+      }
+    }
+    return Exit;
   }
 
   // Default action: print.
