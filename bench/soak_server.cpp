@@ -25,6 +25,20 @@
 //   5. The entire soak is seed-replayable: a second pass from the same
 //      seed reproduces a bit-identical outcome digest.
 //
+// Modes:
+//   soak_server [requests rate seed]        sequential soak (the original)
+//   soak_server -workers=N [...]            pool soak: N interpreter workers
+//                                           serve the same traffic through a
+//                                           WorkerPool; adds the checks that
+//                                           the aggregate books and the
+//                                           sorted outcome digest are
+//                                           bit-identical across reruns AND
+//                                           across worker counts
+//   soak_server -scaling [...]              worker-count sweep 1..hardware
+//                                           concurrency; verifies the cross-
+//                                           count digest and emits
+//                                           BENCH_scaling.json (-json=PATH)
+//
 // Exit code 0 and the final line "SOAK PASS" only when all checks hold.
 //
 //===----------------------------------------------------------------------===//
@@ -38,11 +52,17 @@
 #include "rng/Entropy.h"
 #include "rng/RdRand.h"
 #include "rng/Resilient.h"
+#include "runtime/WorkerPool.h"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <optional>
+#include <string>
+#include <thread>
+#include <vector>
 
 using namespace smokestack;
 
@@ -425,6 +445,316 @@ void checkEq(uint64_t A, uint64_t B, const char *What) {
     Failed = true;
 }
 
+//===----------------------------------------------------------------------===//
+// Pool soak pass (WorkerPool, -workers=N / -scaling)
+//===----------------------------------------------------------------------===//
+
+struct PoolPassResult {
+  bool Valid = false;
+  uint64_t DigestValue = 0;
+  /// Wall-clock of the submit→finish segment (request serving only).
+  double Seconds = 0.0;
+
+  // Request ledger.
+  uint64_t Requests = 0;
+  uint64_t BenignOk = 0;
+  uint64_t BenignRandFail = 0;
+  uint64_t BenignUnexpected = 0;
+  uint64_t AttackAttempts = 0;
+  uint64_t AttackTraps = 0;
+  uint64_t AttackMisses = 0;
+  uint64_t AttackSuccesses = 0;
+
+  PoolBooks Books;
+};
+
+/// Serves NumRequests through a WorkerPool of \p Workers interpreters.
+/// Same traffic shape as the sequential soak (every eighth request replays
+/// the stale payload); per-request fault plans replace the sequential
+/// scripted campaign, with a permanent-DRNG-death segment over the last
+/// ~15% of the request space. Deterministic in (Seed, NumRequests,
+/// FaultRate) — and, by the pool's derivation scheme, independent of
+/// Workers.
+PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
+                           double FaultRate, unsigned Workers) {
+  PoolPassResult R;
+
+  Module M("soak-server");
+  buildServerModule(M);
+  DeployedDefense Deployed = deployDefense(M, DefenseKind::Smokestack, Seed);
+
+  // Attacker's one disclosure pass, as in the sequential soak.
+  LayoutOracle Oracle(/*KeepFirst=*/true);
+  DeterministicEntropySource ProbeEntropy(Seed ^ 0x9e3779b97f4a7c15ULL);
+  AesCtrRandomSource ProbeRng(ProbeEntropy, /*NumRounds=*/10);
+  {
+    Interpreter ProbeVM(M, &ProbeRng, Deployed.InterpOpts);
+    ProbeVM.setLayoutObserver(&Oracle);
+    ProbeVM.run("driver");
+  }
+  std::optional<Payload> Stale = buildStalePayload(Oracle);
+  if (!Stale) {
+    std::fprintf(stderr,
+                 "soak: disclosed layout offers no reachable targets for "
+                 "seed %" PRIu64 "; pick another seed\n",
+                 Seed);
+    return R;
+  }
+
+  PoolOptions PO;
+  PO.Workers = Workers;
+  PO.RootSeed = Seed;
+  PO.QueueCapacity = 256;
+  PO.Function = "driver";
+  PO.InterpOpts = Deployed.InterpOpts;
+  PO.InjectFaults = true;
+  PO.FaultTemplate.site(FaultSite::RdRandStep) = {FaultRate,
+                                                  RdRandSource::RetryLimit, 0};
+  PO.FaultTemplate.site(FaultSite::RekeyEntropy) = {0.25, 1, 0};
+  PO.FaultTemplate.site(FaultSite::AesNiPresence) = {0.02, 1, 0};
+  // Permanent DRNG death over the tail ~15% of the request space: those
+  // requests' primaries fail every draw and the AES fallback carries the
+  // load — the pool-mode analogue of the sequential soak's mid-run death.
+  const uint64_t DeathFrom = NumRequests - NumRequests * 3 / 20;
+  PO.PlanForRequest = [DeathFrom](uint64_t Index, FaultPlan &Plan) {
+    if (Index >= DeathFrom)
+      Plan.site(FaultSite::RdRandDeath) = {0.0, 1, 1};
+  };
+
+  WorkerPool Pool(M, PO);
+  Pool.start();
+  auto Begin = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I != NumRequests; ++I) {
+    PoolRequest Req;
+    Req.Index = I;
+    if ((I % 8) == 5)
+      Req.Inputs.push_back(Stale->bytes());
+    Pool.submit(std::move(Req));
+  }
+  std::vector<PoolOutcome> Outcomes = Pool.finish();
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = std::chrono::duration<double>(End - Begin).count();
+  R.Books = Pool.books();
+
+  // The digest covers the index-sorted outcome stream plus the aggregate
+  // books, so "bit-identical" means identical traps, return values, step
+  // counts, and accounting — regardless of which worker served what.
+  Digest D;
+  for (const PoolOutcome &O : Outcomes) {
+    bool Attack = (O.Index % 8) == 5;
+    ++R.Requests;
+    if (Attack) {
+      ++R.AttackAttempts;
+      if (O.ok() && O.ReturnValue == DirectDopTarget)
+        ++R.AttackSuccesses;
+      else if (!O.ok())
+        ++R.AttackTraps;
+      else
+        ++R.AttackMisses;
+    } else if (O.ok() && O.ReturnValue == BenignReturn) {
+      ++R.BenignOk;
+    } else if (!O.ok() && O.Trap == TrapKind::RandomnessFailure) {
+      ++R.BenignRandFail;
+    } else {
+      ++R.BenignUnexpected;
+    }
+    D.mix(O.Index);
+    D.mix(static_cast<uint64_t>(O.Trap));
+    D.mix(O.ReturnValue);
+    D.mix(O.Steps);
+  }
+  const PoolBooks &B = R.Books;
+  for (uint64_t Word :
+       {B.Requests, B.RequestTraps, B.RequestRecoveries, B.Rng.DrawsServed,
+        B.Rng.DegradedDraws, B.Rng.FallbackDraws, B.Rng.FailClosedDraws,
+        B.Rng.Failovers, B.Rng.Recoveries, B.Rng.AesRekeys,
+        B.Rng.FailedRekeys, B.Rng.StaleKeyDraws, B.Rng.UnkeyedDraws,
+        B.Rng.DrngRetryFailures, B.Rng.DrngFailureEvents, B.Rng.BufferRefills})
+    D.mix(Word);
+  // AES-NI loss effects are host-dependent (see the sequential pass); the
+  // *stream*-driven sites are not, so they are digest material.
+  for (FaultSite S : {FaultSite::RdRandStep, FaultSite::RdRandDeath,
+                      FaultSite::RekeyEntropy}) {
+    D.mix(B.InjectedProbes[static_cast<unsigned>(S)]);
+    D.mix(B.InjectedEvents[static_cast<unsigned>(S)]);
+  }
+
+  R.DigestValue = D.value();
+  R.Valid = true;
+  return R;
+}
+
+void printPoolLedger(const PoolPassResult &A) {
+  std::printf("\nrequest ledger (pool pass 1):\n"
+              "  benign ok              %" PRIu64 "\n"
+              "  benign rand-fail traps %" PRIu64 "\n"
+              "  benign unexpected      %" PRIu64 "\n"
+              "  attack attempts        %" PRIu64 "\n"
+              "  attack trapped         %" PRIu64 "\n"
+              "  attack missed          %" PRIu64 "\n"
+              "  attack succeeded       %" PRIu64 "\n",
+              A.BenignOk, A.BenignRandFail, A.BenignUnexpected,
+              A.AttackAttempts, A.AttackTraps, A.AttackMisses,
+              A.AttackSuccesses);
+  const PoolBooks &B = A.Books;
+  std::printf("randomness books (aggregate over workers):\n"
+              "  draws served           %" PRIu64 "\n"
+              "  degraded draws         %" PRIu64 "\n"
+              "  fallback draws         %" PRIu64 "\n"
+              "  fail-closed draws      %" PRIu64 "\n"
+              "  injected step events   %" PRIu64 "\n"
+              "  injected death events  %" PRIu64 "\n"
+              "  injected rekey events  %" PRIu64 "\n"
+              "  failed rekeys          %" PRIu64 "\n"
+              "  unkeyed draw failures  %" PRIu64 "\n",
+              B.Rng.DrawsServed, B.Rng.DegradedDraws, B.Rng.FallbackDraws,
+              B.Rng.FailClosedDraws,
+              B.injectedEvents(FaultSite::RdRandStep),
+              B.injectedEvents(FaultSite::RdRandDeath),
+              B.injectedEvents(FaultSite::RekeyEntropy), B.Rng.FailedRekeys,
+              B.Rng.UnkeyedDraws);
+}
+
+/// The pool-soak robustness contract: survival, defeated attacks, exact
+/// accounting, and fault-volume floor — on one pass's results.
+void runPoolChecks(const PoolPassResult &A, uint64_t NumRequests) {
+  const PoolBooks &B = A.Books;
+  checkEq(A.Requests, NumRequests, "every request produced an outcome");
+  checkEq(B.Requests, NumRequests, "every request reached a worker VM");
+  checkEq(B.RequestRecoveries, B.RequestTraps, "every trap was recovered");
+  checkEq(A.BenignUnexpected, 0,
+          "benign requests only succeed or fail-closed");
+
+  check(A.AttackAttempts >= NumRequests / 8, "attack volume as scripted");
+  checkEq(A.AttackSuccesses, 0, "no stale-layout attack succeeded");
+  check(A.AttackTraps > 0, "attacks are being detected (trapped)");
+
+  uint64_t PrimaryFailureEvents = B.injectedEvents(FaultSite::RdRandStep) +
+                                  B.injectedEvents(FaultSite::RdRandDeath);
+  checkEq(PrimaryFailureEvents,
+          B.Rng.FallbackDraws + B.Rng.FailClosedDraws,
+          "primary failure events == fallback + fail-closed draws");
+  checkEq(B.Rng.FailedRekeys, B.injectedEvents(FaultSite::RekeyEntropy),
+          "failed AES rekeys == injected rekey-entropy events");
+  check(B.Rng.DegradedDraws >= B.Rng.FallbackDraws,
+        "fallback draws are a subset of degraded draws");
+  check(PrimaryFailureEvents * 20 >=
+            B.Rng.DrawsServed + B.Rng.FailClosedDraws,
+        "injected fault volume >= 5% of draws");
+}
+
+int runPoolSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
+                unsigned Workers) {
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+  }
+  std::printf("soak (pool): %" PRIu64 " requests, fault rate %.3f, seed %"
+              PRIu64 ", %u workers\n",
+              NumRequests, FaultRate, Seed, Workers);
+
+  PoolPassResult A = runPoolPass(Seed, NumRequests, FaultRate, Workers);
+  PoolPassResult B = runPoolPass(Seed, NumRequests, FaultRate, Workers);
+  // The worker-count invariance pass: same traffic, different parallelism.
+  unsigned AltWorkers = Workers == 1 ? 2 : 1;
+  PoolPassResult C = runPoolPass(Seed, NumRequests, FaultRate, AltWorkers);
+  if (!A.Valid || !B.Valid || !C.Valid)
+    return 1;
+
+  printPoolLedger(A);
+  std::printf("\nchecks:\n");
+  runPoolChecks(A, NumRequests);
+  checkEq(A.DigestValue, B.DigestValue, "same-seed rerun is bit-identical");
+  checkEq(A.DigestValue, C.DigestValue,
+          "digest is invariant under the worker count");
+
+  std::printf("\ndigest: 0x%016" PRIx64 " (%.2fs, %.0f req/s)\n",
+              A.DigestValue, A.Seconds,
+              static_cast<double>(NumRequests) / A.Seconds);
+  std::printf(Failed ? "SOAK FAIL\n" : "SOAK PASS\n");
+  return Failed ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Scaling sweep (-scaling)
+//===----------------------------------------------------------------------===//
+
+int runScaling(uint64_t Seed, uint64_t NumRequests, double FaultRate,
+               const std::string &JsonPath) {
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW == 0)
+    HW = 1;
+  std::vector<unsigned> Sweep;
+  for (unsigned W = 1; W < HW; W *= 2)
+    Sweep.push_back(W);
+  Sweep.push_back(HW);
+  if (HW == 1)
+    Sweep.push_back(2); // still prove cross-count determinism on 1 core
+
+  std::printf("soak scaling: %" PRIu64 " requests, fault rate %.3f, seed %"
+              PRIu64 ", hardware_concurrency %u\n",
+              NumRequests, FaultRate, Seed, HW);
+
+  std::vector<PoolPassResult> Results;
+  for (unsigned W : Sweep) {
+    PoolPassResult R = runPoolPass(Seed, NumRequests, FaultRate, W);
+    if (!R.Valid)
+      return 1;
+    std::printf("  workers=%-3u %8.2fs  %9.0f req/s  digest 0x%016" PRIx64
+                "\n",
+                W, R.Seconds,
+                static_cast<double>(NumRequests) / R.Seconds, R.DigestValue);
+    Results.push_back(std::move(R));
+  }
+
+  std::printf("\nchecks:\n");
+  runPoolChecks(Results.front(), NumRequests);
+  for (size_t I = 1; I != Results.size(); ++I)
+    checkEq(Results[I].DigestValue, Results.front().DigestValue,
+            "digest identical across worker counts");
+
+  // BENCH_scaling.json: the scaling curve plus the determinism verdict.
+  if (FILE *Out = std::fopen(JsonPath.c_str(), "w")) {
+    double Base = static_cast<double>(NumRequests) / Results.front().Seconds;
+    std::fprintf(Out,
+                 "{\n"
+                 "  \"bench\": \"soak_scaling\",\n"
+                 "  \"requests\": %" PRIu64 ",\n"
+                 "  \"fault_rate\": %.3f,\n"
+                 "  \"seed\": %" PRIu64 ",\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"deterministic_across_worker_counts\": %s,\n"
+                 "  \"sweep\": [\n",
+                 NumRequests, FaultRate, Seed, HW,
+                 Failed ? "false" : "true");
+    for (size_t I = 0; I != Results.size(); ++I) {
+      const PoolPassResult &R = Results[I];
+      double Rate = static_cast<double>(NumRequests) / R.Seconds;
+      std::fprintf(Out,
+                   "    {\"workers\": %u, \"seconds\": %.4f, "
+                   "\"requests_per_sec\": %.1f, \"speedup_vs_1\": %.2f, "
+                   "\"digest\": \"0x%016" PRIx64 "\", "
+                   "\"traps_recovered\": %" PRIu64 ", "
+                   "\"fallback_draws\": %" PRIu64 ", "
+                   "\"failclosed_draws\": %" PRIu64 "}%s\n",
+                   Sweep[I], R.Seconds, Rate, Rate / Base, R.DigestValue,
+                   R.Books.RequestRecoveries, R.Books.Rng.FallbackDraws,
+                   R.Books.Rng.FailClosedDraws,
+                   I + 1 == Results.size() ? "" : ",");
+    }
+    std::fprintf(Out, "  ]\n}\n");
+    std::fclose(Out);
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    Failed = true;
+  }
+
+  std::printf(Failed ? "SOAK FAIL\n" : "SOAK PASS\n");
+  return Failed ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -437,12 +767,48 @@ int main(int argc, char **argv) {
   uint64_t NumRequests = 10000;
   double FaultRate = 0.08;
   uint64_t Seed = 7;
-  if (argc > 1)
-    NumRequests = std::strtoull(argv[1], nullptr, 0);
-  if (argc > 2)
-    FaultRate = std::strtod(argv[2], nullptr);
-  if (argc > 3)
-    Seed = std::strtoull(argv[3], nullptr, 0);
+  bool Pool = false;
+  unsigned Workers = 1;
+  bool Scaling = false;
+  std::string JsonPath = "BENCH_scaling.json";
+  int Positional = 0;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "-workers=", 9) == 0) {
+      Pool = true;
+      Workers = static_cast<unsigned>(std::strtoul(Arg + 9, nullptr, 0));
+    } else if (std::strcmp(Arg, "-scaling") == 0) {
+      Scaling = true;
+    } else if (std::strncmp(Arg, "-requests=", 10) == 0) {
+      NumRequests = std::strtoull(Arg + 10, nullptr, 0);
+    } else if (std::strncmp(Arg, "-rate=", 6) == 0) {
+      FaultRate = std::strtod(Arg + 6, nullptr);
+    } else if (std::strncmp(Arg, "-seed=", 6) == 0) {
+      Seed = std::strtoull(Arg + 6, nullptr, 0);
+    } else if (std::strncmp(Arg, "-json=", 6) == 0) {
+      JsonPath = Arg + 6;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: soak_server [requests [rate [seed]]] "
+                   "[-requests=N] [-rate=R] [-seed=S] [-workers=N] "
+                   "[-scaling] [-json=PATH]\n");
+      return 2;
+    } else if (Positional == 0) {
+      NumRequests = std::strtoull(Arg, nullptr, 0);
+      ++Positional;
+    } else if (Positional == 1) {
+      FaultRate = std::strtod(Arg, nullptr);
+      ++Positional;
+    } else {
+      Seed = std::strtoull(Arg, nullptr, 0);
+      ++Positional;
+    }
+  }
+
+  if (Scaling)
+    return runScaling(Seed, NumRequests, FaultRate, JsonPath);
+  if (Pool)
+    return runPoolSoak(Seed, NumRequests, FaultRate, Workers);
 
   std::printf("soak: %" PRIu64 " requests, fault rate %.3f, seed %" PRIu64
               "\n",

@@ -10,7 +10,8 @@
 
 using namespace smokestack;
 
-FaultInjector *smokestack::detail::ActiveInjector = nullptr;
+thread_local FaultInjector *smokestack::detail::ThreadInjector = nullptr;
+std::atomic<FaultInjector *> smokestack::detail::ProcessInjector{nullptr};
 
 namespace {
 
@@ -59,6 +60,10 @@ FaultInjector::FaultInjector(const FaultPlan &Plan)
 }
 
 bool FaultInjector::shouldFail(FaultSite Site) {
+  // Serialize the decision state: a ProcessFaultScope-installed injector
+  // can be probed from several threads at once. Per-worker injectors never
+  // contend here, so the uncontended lock is noise next to the draw itself.
+  std::lock_guard<std::mutex> Lock(Mutex);
   const SitePlan &P = Plan.site(Site);
   SiteState &S = State[static_cast<unsigned>(Site)];
   ++S.Probes;
@@ -93,6 +98,7 @@ bool FaultInjector::shouldFail(FaultSite Site) {
 }
 
 uint64_t FaultInjector::totalInjectedProbes() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   uint64_t Total = 0;
   for (const SiteState &S : State)
     Total += S.InjectedProbes;
@@ -100,6 +106,7 @@ uint64_t FaultInjector::totalInjectedProbes() const {
 }
 
 uint64_t FaultInjector::totalInjectedEvents() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   uint64_t Total = 0;
   for (const SiteState &S : State)
     Total += S.InjectedEvents;
@@ -107,8 +114,16 @@ uint64_t FaultInjector::totalInjectedEvents() const {
 }
 
 FaultScope::FaultScope(FaultInjector &Injector)
-    : Previous(detail::ActiveInjector) {
-  detail::ActiveInjector = &Injector;
+    : Previous(detail::ThreadInjector) {
+  detail::ThreadInjector = &Injector;
 }
 
-FaultScope::~FaultScope() { detail::ActiveInjector = Previous; }
+FaultScope::~FaultScope() { detail::ThreadInjector = Previous; }
+
+ProcessFaultScope::ProcessFaultScope(FaultInjector &Injector)
+    : Previous(detail::ProcessInjector.exchange(&Injector,
+                                                std::memory_order_acq_rel)) {}
+
+ProcessFaultScope::~ProcessFaultScope() {
+  detail::ProcessInjector.store(Previous, std::memory_order_release);
+}

@@ -14,9 +14,12 @@
 /// The production code carries *probes* at the points where hardware or the
 /// operating system can fail: one RDRAND retry attempt (CF=0), permanent
 /// DRNG death, an entropy-pool read, AES-NI availability, and the entropy
-/// draw behind an AES-CTR re-keying. A probe is a single inline null-pointer
-/// check when no injector is installed — zero-cost in production — and
-/// consults the installed FaultInjector otherwise.
+/// draw behind an AES-CTR re-keying. A probe is two inline null-pointer
+/// checks when no injector is installed — zero-cost in production — and
+/// consults the installed FaultInjector otherwise. Injectors install into
+/// a per-thread slot (FaultScope) or a process-wide fallback slot
+/// (ProcessFaultScope); pool workers use the per-thread slot so each
+/// worker's decision streams stay isolated and replayable.
 ///
 /// Faults are scripted by a FaultPlan: per-site Bernoulli probability (with
 /// configurable failure streak length) plus an optional probe index after
@@ -33,7 +36,9 @@
 
 #include "support/SplitMix64.h"
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 namespace smokestack {
 
@@ -87,18 +92,25 @@ public:
   explicit FaultInjector(const FaultPlan &Plan);
 
   /// One probe at \p Site; returns true when the probe must fail.
+  /// Serialized internally so a process-installed injector tolerates
+  /// concurrent probes (the decision *order* under concurrency is then
+  /// scheduling-dependent; replayable campaigns use one injector per
+  /// worker thread via FaultScope instead).
   bool shouldFail(FaultSite Site);
 
   /// Probes evaluated at \p Site so far.
   uint64_t probeCount(FaultSite Site) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
     return State[static_cast<unsigned>(Site)].Probes;
   }
   /// Probes failed at \p Site (every member of a streak counts).
   uint64_t injectedProbes(FaultSite Site) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
     return State[static_cast<unsigned>(Site)].InjectedProbes;
   }
   /// Injection events at \p Site (streak starts + permanent-failure probes).
   uint64_t injectedEvents(FaultSite Site) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
     return State[static_cast<unsigned>(Site)].InjectedEvents;
   }
   uint64_t totalInjectedProbes() const;
@@ -117,33 +129,67 @@ private:
   };
 
   FaultPlan Plan;
+  mutable std::mutex Mutex;
   SiteState State[NumFaultSites];
 };
 
 namespace detail {
-/// The installed injector (nullptr = injection disabled). Not thread-safe;
-/// fault campaigns are single-threaded like the VM they drive.
-extern FaultInjector *ActiveInjector;
+/// Per-thread injector slot (nullptr = none installed on this thread).
+/// Each pool worker installs its own injector through FaultScope, so one
+/// worker's probes never consume — or even observe — another worker's
+/// decision stream.
+extern thread_local FaultInjector *ThreadInjector;
+
+/// Process-wide fallback slot, consulted only by threads with no
+/// thread-local scope. Published with release semantics and read with
+/// acquire semantics so a thread that observes the pointer also observes
+/// the fully constructed injector behind it.
+extern std::atomic<FaultInjector *> ProcessInjector;
 } // namespace detail
 
-/// Probe helper the production code calls at each fault site. Compiles to a
-/// load + null check when no injector is installed.
+/// Probe helper the production code calls at each fault site. Compiles to
+/// two loads + null checks when no injector is installed: the thread-local
+/// slot wins, the process-wide slot is the fallback.
 inline bool faultProbe(FaultSite Site) {
-  FaultInjector *Injector = detail::ActiveInjector;
-  return Injector != nullptr && Injector->shouldFail(Site);
+  if (FaultInjector *Injector = detail::ThreadInjector)
+    return Injector->shouldFail(Site);
+  FaultInjector *Process =
+      detail::ProcessInjector.load(std::memory_order_acquire);
+  return Process != nullptr && Process->shouldFail(Site);
 }
 
-/// True while some FaultScope is installed.
-inline bool faultInjectionActive() { return detail::ActiveInjector != nullptr; }
+/// True while some injector is installed for the calling thread (its own
+/// FaultScope or the process-wide slot).
+inline bool faultInjectionActive() {
+  return detail::ThreadInjector != nullptr ||
+         detail::ProcessInjector.load(std::memory_order_acquire) != nullptr;
+}
 
-/// RAII installation of an injector. Scopes nest; the previous injector is
-/// restored on destruction.
+/// RAII installation of an injector for the *calling thread*. Scopes nest;
+/// the previous injector is restored on destruction. Thread-locality is
+/// what gives pool workers stream isolation: a FaultScope on worker A is
+/// invisible to worker B.
 class FaultScope {
 public:
   explicit FaultScope(FaultInjector &Injector);
   ~FaultScope();
   FaultScope(const FaultScope &) = delete;
   FaultScope &operator=(const FaultScope &) = delete;
+
+private:
+  FaultInjector *Previous;
+};
+
+/// RAII publication of a process-wide injector, visible to every thread
+/// that has no FaultScope of its own. Installation and removal use
+/// release/acquire publication, so it is safe against probes racing on
+/// other threads; the shared injector serializes its own decision state.
+class ProcessFaultScope {
+public:
+  explicit ProcessFaultScope(FaultInjector &Injector);
+  ~ProcessFaultScope();
+  ProcessFaultScope(const ProcessFaultScope &) = delete;
+  ProcessFaultScope &operator=(const ProcessFaultScope &) = delete;
 
 private:
   FaultInjector *Previous;

@@ -1,0 +1,50 @@
+//===- runtime/DeriveSeed.h - Deterministic seed derivation ----*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based derivation of per-request, per-lane seeds from one root
+/// seed. This is what makes the worker pool's accounting invariant under
+/// the worker count: every request's randomness (its RDRAND stand-in
+/// entropy, its AES keying entropy, its fault-plan streams) is a pure
+/// function of (RootSeed, RequestIndex, Lane) — never of which worker
+/// happened to pick the request up or what that worker served before. Any
+/// scheduling of the same request set therefore replays to bit-identical
+/// per-request outcomes and bit-identical aggregate books.
+///
+/// SplitMix64 is the repo's standard seed expander (support/SplitMix64.h);
+/// one warm-up step decorrelates adjacent request indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_RUNTIME_DERIVESEED_H
+#define SMOKESTACK_RUNTIME_DERIVESEED_H
+
+#include "support/SplitMix64.h"
+
+#include <cstdint>
+
+namespace smokestack {
+
+/// The independent randomness consumers of one pool request.
+enum class SeedLane : uint64_t {
+  DrngEntropy = 0, ///< Simulated-RDRAND entropy stand-in.
+  AesEntropy,      ///< AES-CTR keying / rekeying entropy.
+  FaultPlan,       ///< Per-request fault-decision streams.
+};
+
+/// Derives the seed for \p Lane of request \p Index under \p RootSeed.
+/// O(1) in Index, so workers can seed any request without replaying
+/// predecessors.
+inline uint64_t deriveSeed(uint64_t RootSeed, uint64_t Index, SeedLane Lane) {
+  SplitMix64 Mixer(RootSeed + 0x9e3779b97f4a7c15ULL * (Index + 1) +
+                   0xbf58476d1ce4e5b9ULL * static_cast<uint64_t>(Lane));
+  Mixer.next();
+  return Mixer.next();
+}
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_RUNTIME_DERIVESEED_H

@@ -1,0 +1,90 @@
+//===- runtime/MpmcQueue.h - Bounded MPMC request queue --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer/multi-consumer queue: the hand-off point
+/// between request submitters and the interpreter workers. Bounded on
+/// purpose — a full queue back-pressures producers instead of letting an
+/// overload grow the heap without limit — and closable, so shutdown is a
+/// race-free "no more work" signal rather than a sentinel item per worker.
+///
+/// Mutex + two condition variables rather than a lock-free ring: requests
+/// carry heap-owning payloads (input records), each request then executes
+/// for thousands of VM steps, so the queue is nowhere near the contention
+/// point of the pool. Correct and simple wins here; the hot path the pool
+/// optimizes is the interpreter loop, which never touches the queue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_RUNTIME_MPMCQUEUE_H
+#define SMOKESTACK_RUNTIME_MPMCQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace smokestack {
+
+template <typename T> class MpmcQueue {
+public:
+  explicit MpmcQueue(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// Blocks while the queue is full. Returns false (dropping \p Item) when
+  /// the queue has been closed.
+  bool push(T Item) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotFull.wait(Lock,
+                 [this] { return Closed || Items.size() < Capacity; });
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    Lock.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns nullopt once the queue is
+  /// closed *and* drained — workers exit on that, never on emptiness alone.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait(Lock, [this] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// No further pushes succeed; pops drain the remaining items, then
+  /// return nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  size_t capacity() const { return Capacity; }
+
+private:
+  const size_t Capacity;
+  std::mutex Mutex;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_RUNTIME_MPMCQUEUE_H

@@ -1,0 +1,79 @@
+//===- runtime/RequestRng.cpp - Per-worker randomness chain ---------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RequestRng.h"
+
+#include "runtime/DeriveSeed.h"
+
+using namespace smokestack;
+
+RequestRng::Books &RequestRng::Books::operator+=(const Books &O) {
+  DrawsServed += O.DrawsServed;
+  DegradedDraws += O.DegradedDraws;
+  FallbackDraws += O.FallbackDraws;
+  FailClosedDraws += O.FailClosedDraws;
+  Failovers += O.Failovers;
+  Recoveries += O.Recoveries;
+  RetriesUsed += O.RetriesUsed;
+  EmergencyDraws += O.EmergencyDraws;
+  DrngRetryFailures += O.DrngRetryFailures;
+  DrngFailureEvents += O.DrngFailureEvents;
+  AesRekeys += O.AesRekeys;
+  FailedRekeys += O.FailedRekeys;
+  StaleKeyDraws += O.StaleKeyDraws;
+  UnkeyedDraws += O.UnkeyedDraws;
+  BufferRefills += O.BufferRefills;
+  return *this;
+}
+
+RequestRng::Books RequestRng::liveBooks() const {
+  Books B;
+  if (!Chain)
+    return B;
+  B.DrawsServed = Chain->drawsServed();
+  B.DegradedDraws = Chain->degradedDraws();
+  B.FallbackDraws = Chain->fallbackDraws();
+  B.FailClosedDraws = Chain->failClosedDraws();
+  B.Failovers = Chain->failovers();
+  B.Recoveries = Chain->recoveries();
+  B.RetriesUsed = Chain->retriesUsed();
+  B.EmergencyDraws = Chain->emergencyDraws();
+  B.DrngRetryFailures = Primary->retryFailures();
+  B.DrngFailureEvents = Primary->drngFailureEvents();
+  B.AesRekeys = Fallback->rekeyCount();
+  B.FailedRekeys = Fallback->failedRekeys();
+  B.StaleKeyDraws = Fallback->staleKeyDraws();
+  B.UnkeyedDraws = Fallback->unkeyedDrawFailures();
+  B.BufferRefills = Chain->refillCount();
+  return B;
+}
+
+RequestRng::Books RequestRng::books() const {
+  Books Total = Accumulated;
+  Total += liveBooks();
+  return Total;
+}
+
+void RequestRng::reseed(uint64_t RootSeed, uint64_t Index) {
+  Accumulated += liveBooks();
+
+  // Destruction order mirrors construction: the decorator holds raw
+  // pointers into the sources, so it goes first.
+  Chain.reset();
+  Fallback.reset();
+  Primary.reset();
+
+  DrngEntropy.emplace(deriveSeed(RootSeed, Index, SeedLane::DrngEntropy));
+  AesEntropy.emplace(deriveSeed(RootSeed, Index, SeedLane::AesEntropy));
+  // ForceFallback: the simulated DRNG, so every host replays the same
+  // stream and the fault sites are exercised deterministically.
+  Primary.emplace(*DrngEntropy, /*ForceFallback=*/true);
+  Fallback.emplace(*AesEntropy, Cfg.AesRounds, Cfg.RekeyInterval);
+  RandomSource *Sources[] = {&*Primary, &*Fallback};
+  Chain.emplace(std::span<RandomSource *const>(Sources, 2), Cfg.Chain);
+  if (Cfg.BatchSize > 1)
+    Chain->setBatchSize(Cfg.BatchSize);
+}

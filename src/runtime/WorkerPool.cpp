@@ -1,0 +1,143 @@
+//===- runtime/WorkerPool.cpp - Parallel interpreter pool -----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/WorkerPool.h"
+
+#include "runtime/DeriveSeed.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <optional>
+
+using namespace smokestack;
+
+namespace {
+
+Statistic NumPoolRequests("pool.requests",
+                          "Requests served through a WorkerPool");
+Statistic NumPoolWorkers("pool.workers-launched",
+                         "Worker threads launched by WorkerPools");
+
+} // namespace
+
+uint64_t PoolBooks::totalInjectedProbes() const {
+  uint64_t Total = 0;
+  for (uint64_t P : InjectedProbes)
+    Total += P;
+  return Total;
+}
+
+uint64_t PoolBooks::totalInjectedEvents() const {
+  uint64_t Total = 0;
+  for (uint64_t E : InjectedEvents)
+    Total += E;
+  return Total;
+}
+
+WorkerPool::WorkerPool(Module &M, PoolOptions Opts)
+    : M(M), Opts(Opts), Shared(M), Queue(Opts.QueueCapacity) {
+  unsigned Count = Opts.Workers;
+  if (Count == 0) {
+    Count = std::thread::hardware_concurrency();
+    if (Count == 0)
+      Count = 1;
+  }
+  for (unsigned I = 0; I != Count; ++I) {
+    auto W = std::make_unique<Worker>(Opts.Rng);
+    W->VM = std::make_unique<Interpreter>(M, nullptr, Opts.InterpOpts);
+    W->VM->setSharedProgram(&Shared);
+    Workers.push_back(std::move(W));
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  if (Started && !Finished)
+    finish();
+}
+
+void WorkerPool::start() {
+  if (Started)
+    return;
+  Started = true;
+  for (auto &W : Workers) {
+    W->Thread = std::thread([this, Raw = W.get()] { workerMain(*Raw); });
+    ++NumPoolWorkers;
+  }
+}
+
+bool WorkerPool::submit(PoolRequest Request) {
+  return Queue.push(std::move(Request));
+}
+
+void WorkerPool::workerMain(Worker &W) {
+  while (std::optional<PoolRequest> Request = Queue.pop())
+    serveRequest(W, *Request);
+}
+
+void WorkerPool::serveRequest(Worker &W, PoolRequest &Request) {
+  // Per-request fault injector, installed thread-locally so this worker's
+  // probes consume only this request's decision streams. The scope covers
+  // the chain reseed too: initial AES keying must be able to fail.
+  std::optional<FaultInjector> Injector;
+  std::optional<FaultScope> Scope;
+  if (Opts.InjectFaults) {
+    FaultPlan Plan = Opts.FaultTemplate;
+    Plan.Seed = deriveSeed(Opts.RootSeed, Request.Index, SeedLane::FaultPlan);
+    if (Opts.PlanForRequest)
+      Opts.PlanForRequest(Request.Index, Plan);
+    Injector.emplace(Plan);
+    Scope.emplace(*Injector);
+  }
+
+  W.Rng.reseed(Opts.RootSeed, Request.Index);
+  W.VM->setRandomSource(&W.Rng.source());
+  for (std::vector<uint8_t> &Record : Request.Inputs)
+    W.VM->pushInput(std::move(Record));
+
+  ExecResult E = W.VM->runRequest(Opts.Function);
+  // Unconsumed inputs must not leak into the next request this worker
+  // serves (the request boundary only clears them on a trap).
+  W.VM->clearInput();
+
+  W.Outcomes.push_back({Request.Index, E.Trap, E.ReturnValue, E.Steps});
+  ++NumPoolRequests;
+
+  if (Injector)
+    for (unsigned S = 0; S != NumFaultSites; ++S) {
+      W.InjectedProbes[S] +=
+          Injector->injectedProbes(static_cast<FaultSite>(S));
+      W.InjectedEvents[S] +=
+          Injector->injectedEvents(static_cast<FaultSite>(S));
+    }
+}
+
+std::vector<PoolOutcome> WorkerPool::finish() {
+  Queue.close();
+  std::vector<PoolOutcome> Outcomes;
+  if (Finished)
+    return Outcomes;
+  Finished = true;
+  for (auto &W : Workers)
+    if (W->Thread.joinable())
+      W->Thread.join();
+
+  for (auto &W : Workers) {
+    Outcomes.insert(Outcomes.end(), W->Outcomes.begin(), W->Outcomes.end());
+    Books.Requests += W->VM->requestsServed();
+    Books.RequestTraps += W->VM->requestTraps();
+    Books.RequestRecoveries += W->VM->requestRecoveries();
+    Books.Rng += W->Rng.books();
+    for (unsigned S = 0; S != NumFaultSites; ++S) {
+      Books.InjectedProbes[S] += W->InjectedProbes[S];
+      Books.InjectedEvents[S] += W->InjectedEvents[S];
+    }
+  }
+  std::sort(Outcomes.begin(), Outcomes.end(),
+            [](const PoolOutcome &A, const PoolOutcome &B) {
+              return A.Index < B.Index;
+            });
+  return Outcomes;
+}

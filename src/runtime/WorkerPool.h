@@ -1,0 +1,172 @@
+//===- runtime/WorkerPool.h - Parallel interpreter pool --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-worker request engine: N interpreter workers serve requests
+/// from a bounded MPMC queue over one shared, immutable module.
+///
+/// Ownership map (the concurrency model, DESIGN.md §9):
+///
+///   shared, immutable, zero-sync on the hot path
+///     - the Module (IR, P-BOX tables as read-only globals)
+///     - the DecodedProgram (global address map + decoded functions),
+///       built once in the constructor and published read-only
+///   per-worker, mutable, never shared
+///     - one Interpreter with its own SimMemory arena
+///     - one RequestRng chain (entropy streams, AES key schedule,
+///       buffered words)
+///     - one FaultInjector per request, installed via the thread-local
+///       FaultScope
+///   synchronized
+///     - the request queue (mutex + condvars; see MpmcQueue.h)
+///     - process-wide Statistic counters (sharded relaxed atomics)
+///
+/// Determinism contract: every request's outcome and counter deltas are a
+/// pure function of (module, options, root seed, request index, request
+/// inputs) — per-request seeds come from runtime/DeriveSeed.h and the
+/// per-request chain/injector are rebuilt from them — so the sorted
+/// outcome list and the aggregate books are bit-identical for ANY worker
+/// count and any scheduling, and identical across reruns. Preconditions:
+/// the served function must not carry state across requests through
+/// writable globals (the request boundary resets heap, output, and — after
+/// traps — the stack, but globals persist by design), and all workers use
+/// the same InterpreterOptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_RUNTIME_WORKERPOOL_H
+#define SMOKESTACK_RUNTIME_WORKERPOOL_H
+
+#include "faults/FaultInjector.h"
+#include "runtime/MpmcQueue.h"
+#include "runtime/RequestRng.h"
+#include "vm/DecodedProgram.h"
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace smokestack {
+
+/// One unit of work: run the pool's function once, with these input
+/// records queued for the get_input builtins. Index is the request's
+/// global sequence number; it alone determines the request's randomness.
+struct PoolRequest {
+  uint64_t Index = 0;
+  std::vector<std::vector<uint8_t>> Inputs;
+};
+
+/// The outcome of one request, keyed by its index.
+struct PoolOutcome {
+  uint64_t Index = 0;
+  TrapKind Trap = TrapKind::None;
+  uint64_t ReturnValue = 0;
+  uint64_t Steps = 0;
+
+  bool ok() const { return Trap == TrapKind::None; }
+};
+
+/// Aggregate accounting across all workers. Every field is a sum of
+/// per-request deltas, so it is invariant under worker count.
+struct PoolBooks {
+  // VM request boundary.
+  uint64_t Requests = 0;
+  uint64_t RequestTraps = 0;
+  uint64_t RequestRecoveries = 0;
+
+  // Randomness chain.
+  RequestRng::Books Rng;
+
+  // Fault injection, per site.
+  uint64_t InjectedProbes[NumFaultSites] = {};
+  uint64_t InjectedEvents[NumFaultSites] = {};
+
+  uint64_t injectedEvents(FaultSite S) const {
+    return InjectedEvents[static_cast<unsigned>(S)];
+  }
+  uint64_t totalInjectedProbes() const;
+  uint64_t totalInjectedEvents() const;
+};
+
+struct PoolOptions {
+  /// Worker threads (0 = hardware_concurrency).
+  unsigned Workers = 1;
+  /// Root of every derived per-request seed.
+  uint64_t RootSeed = 7;
+  /// Bound of the request queue (back-pressure point).
+  size_t QueueCapacity = 128;
+  /// Function every request runs.
+  std::string Function = "main";
+  InterpreterOptions InterpOpts;
+  RequestRng::Config Rng;
+  /// When set, each request runs under a FaultInjector whose plan is
+  /// FaultTemplate with the seed replaced by the request-derived seed.
+  /// SitePlan::FailFromProbe counts probes *within* the request.
+  bool InjectFaults = false;
+  FaultPlan FaultTemplate;
+  /// Optional per-request adjustment of the derived plan (e.g. "the DRNG
+  /// is dead for every request past 85% of the soak"). MUST be a pure
+  /// function of the index — any other dependence breaks the replay
+  /// guarantee.
+  std::function<void(uint64_t Index, FaultPlan &Plan)> PlanForRequest;
+};
+
+/// The pool. Lifecycle: construct → start() → submit()… → finish().
+class WorkerPool {
+public:
+  WorkerPool(Module &M, PoolOptions Opts);
+  ~WorkerPool();
+
+  unsigned workerCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Launches the worker threads.
+  void start();
+
+  /// Enqueues one request; blocks while the queue is full. Returns false
+  /// only after finish() closed the queue.
+  bool submit(PoolRequest Request);
+
+  /// Closes the queue, drains it, joins every worker, and returns all
+  /// outcomes sorted by request index. Call once.
+  std::vector<PoolOutcome> finish();
+
+  /// Aggregate accounting; valid after finish().
+  const PoolBooks &books() const { return Books; }
+
+  /// The shared decoded program (exposed for tests).
+  const DecodedProgram &sharedProgram() const { return Shared; }
+
+private:
+  struct Worker {
+    explicit Worker(RequestRng::Config C) : Rng(C) {}
+    std::thread Thread;
+    std::unique_ptr<Interpreter> VM;
+    RequestRng Rng;
+    std::vector<PoolOutcome> Outcomes;
+    uint64_t InjectedProbes[NumFaultSites] = {};
+    uint64_t InjectedEvents[NumFaultSites] = {};
+  };
+
+  void workerMain(Worker &W);
+  void serveRequest(Worker &W, PoolRequest &Request);
+
+  Module &M;
+  PoolOptions Opts;
+  DecodedProgram Shared;
+  MpmcQueue<PoolRequest> Queue;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  PoolBooks Books;
+  bool Started = false;
+  bool Finished = false;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_RUNTIME_WORKERPOOL_H

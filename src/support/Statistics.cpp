@@ -23,6 +23,13 @@ std::vector<Statistic *> &statisticRegistry() {
 
 } // namespace
 
+unsigned smokestack::detail::statisticShardIndex() {
+  static std::atomic<unsigned> NextShard{0};
+  thread_local unsigned Index =
+      NextShard.fetch_add(1, std::memory_order_relaxed) % Statistic::NumShards;
+  return Index;
+}
+
 Statistic::Statistic(const char *Name, const char *Description)
     : TheName(Name), TheDescription(Description) {
   statisticRegistry().push_back(this);

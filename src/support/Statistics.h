@@ -14,17 +14,26 @@
 /// Also hosts Statistic, a tiny LLVM-style named counter registry used for
 /// coarse bookkeeping (functions decoded, RNG batch refills, ...). Counters
 /// are bumped at decode/refill granularity, never inside per-instruction
-/// hot loops, and are not thread-safe.
+/// hot loops. They are thread-safe: each counter is sharded into per-thread
+/// relaxed-atomic cells (aggregated on read), so interpreter workers bump
+/// them without contending on a shared cache line.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMOKESTACK_SUPPORT_STATISTICS_H
 #define SMOKESTACK_SUPPORT_STATISTICS_H
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 
 namespace smokestack {
+
+namespace detail {
+/// Stable per-thread shard index: threads are assigned round-robin on
+/// first use, so up to NumShards concurrent bumpers never share a cell.
+unsigned statisticShardIndex();
+} // namespace detail
 
 /// A named, process-wide monotonic counter. Define one at namespace scope
 /// next to the code it counts:
@@ -36,29 +45,51 @@ namespace smokestack {
 ///
 /// All instances self-register; allStatistics() enumerates them for
 /// reporting and tests.
+///
+/// Increments are relaxed atomics on a per-thread shard; value() sums the
+/// shards. Reads concurrent with writers therefore see a momentary total
+/// (no torn words, no lost increments); quiescent reads — after the pool's
+/// workers have joined — are exact.
 class Statistic {
 public:
+  /// Number of per-thread cells; worker counts beyond this share cells
+  /// (still correct, merely contended).
+  static constexpr unsigned NumShards = 8;
+
   Statistic(const char *Name, const char *Description);
 
   const char *name() const { return TheName; }
   const char *description() const { return TheDescription; }
-  uint64_t value() const { return Value; }
 
-  Statistic &operator++() {
-    ++Value;
-    return *this;
+  /// Sum over all shards (exact when no writer is concurrently active).
+  uint64_t value() const {
+    uint64_t Total = 0;
+    for (const Shard &S : Shards)
+      Total += S.Count.load(std::memory_order_relaxed);
+    return Total;
   }
+
+  Statistic &operator++() { return *this += 1; }
   Statistic &operator+=(uint64_t By) {
-    Value += By;
+    Shards[detail::statisticShardIndex()].Count.fetch_add(
+        By, std::memory_order_relaxed);
     return *this;
   }
   /// Resets to zero (tests only; counters are otherwise monotonic).
-  void reset() { Value = 0; }
+  void reset() {
+    for (Shard &S : Shards)
+      S.Count.store(0, std::memory_order_relaxed);
+  }
 
 private:
+  /// One cache line per cell so worker threads never false-share.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> Count{0};
+  };
+
   const char *TheName;
   const char *TheDescription;
-  uint64_t Value = 0;
+  Shard Shards[NumShards];
 };
 
 /// Every Statistic constructed so far, in registration order.

@@ -12,6 +12,7 @@
 #include "support/ErrorHandling.h"
 #include "support/Format.h"
 #include "support/Statistics.h"
+#include "vm/DecodedProgram.h"
 #include "vm/Decoder.h"
 
 #include <cassert>
@@ -130,6 +131,11 @@ const Interpreter::Numbering &Interpreter::getNumbering(Function *F) {
 }
 
 const DecodedFunction &Interpreter::getDecoded(Function *F) {
+  // The shared program (if any) is immutable and covers every definition
+  // of the module, so the common pool-worker path is one read-only lookup.
+  if (SharedProgram)
+    if (const DecodedFunction *DF = SharedProgram->find(F))
+      return *DF;
   auto It = DecodedCache.find(F);
   if (It == DecodedCache.end())
     It = DecodedCache.emplace(F, decodeFunction(*F, GlobalAddresses)).first;
@@ -140,30 +146,13 @@ void Interpreter::loadGlobals() {
   if (GlobalsLoaded)
     return;
   GlobalsLoaded = true;
-  uint64_t RWCursor = 0;
-  uint64_t ROCursor = 0;
+  GlobalAddresses = layoutModuleGlobals(M);
   for (size_t I = 0, E = M.getNumGlobals(); I != E; ++I) {
     const GlobalVariable *G = M.getGlobalAt(I);
-    uint64_t Size = G->getValueType()->sizeInBytes();
-    uint64_t Align = G->getValueType()->alignment();
-    uint64_t Addr;
-    if (G->isReadOnly()) {
-      ROCursor = alignTo(ROCursor, Align);
-      Addr = MemoryMap::RODataBase + ROCursor;
-      ROCursor += Size;
-      if (ROCursor > MemoryMap::RODataSize)
-        reportFatalError("read-only data segment exhausted");
-    } else {
-      RWCursor = alignTo(RWCursor, Align);
-      Addr = MemoryMap::GlobalsBase + RWCursor;
-      RWCursor += Size;
-      if (RWCursor > MemoryMap::GlobalsSize)
-        reportFatalError("globals segment exhausted");
-    }
     const std::vector<uint8_t> &Init = G->getInitializer();
     if (!Init.empty())
-      Memory.write(Addr, Init.data(), Init.size(), /*IgnoreProtection=*/true);
-    GlobalAddresses[G->getName()] = Addr;
+      Memory.write(GlobalAddresses[G->getName()], Init.data(), Init.size(),
+                   /*IgnoreProtection=*/true);
   }
 }
 

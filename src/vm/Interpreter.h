@@ -33,6 +33,7 @@ namespace smokestack {
 
 class RandomSource;
 struct DecodedFunction;
+class DecodedProgram;
 
 /// Outcome of one simulated execution.
 struct ExecResult {
@@ -141,6 +142,15 @@ public:
   /// Binds the randomness source consumed by the smokestack.rand builtin.
   void setRandomSource(RandomSource *Source) { Rng = Source; }
 
+  /// Publishes a shared, immutable pre-decoded program (see
+  /// vm/DecodedProgram.h). Functions found there are executed from the
+  /// shared form instead of this interpreter's private decode cache, so N
+  /// pool workers pay the decode cost once. The program must outlive this
+  /// interpreter and must have been built from the same Module.
+  void setSharedProgram(const DecodedProgram *Program) {
+    SharedProgram = Program;
+  }
+
   /// Number of functions entered during the last run (perf accounting).
   uint64_t callsExecuted() const { return CallCount; }
 
@@ -207,6 +217,9 @@ private:
   std::unordered_map<const Function *, Numbering> Numberings;
   std::unordered_map<const Function *, std::unique_ptr<DecodedFunction>>
       DecodedCache;
+  /// Shared read-only decode cache consulted before DecodedCache (set by
+  /// the worker pool; nullptr for standalone interpreters).
+  const DecodedProgram *SharedProgram = nullptr;
   /// Depth-indexed register files reused across decoded calls; sized once
   /// per run so references stay stable through recursion.
   std::vector<std::vector<uint64_t>> RegisterPool;

@@ -8,6 +8,7 @@
 
 #include "gtest/gtest.h"
 
+#include <thread>
 #include <vector>
 
 using namespace smokestack;
@@ -128,6 +129,70 @@ TEST(FaultScopeTest, ScopesNestAndRestore) {
   EXPECT_FALSE(faultInjectionActive());
   EXPECT_EQ(Outer.probeCount(FaultSite::EntropyFill), 2u);
   EXPECT_EQ(Inner.probeCount(FaultSite::EntropyFill), 1u);
+}
+
+TEST(FaultScopeTest, ScopeIsThreadLocal) {
+  // A FaultScope on one thread must not leak into another: each pool
+  // worker installs its own per-request injector.
+  FaultPlan Always;
+  Always.Seed = 2;
+  Always.site(FaultSite::EntropyFill) = {1.0, 1, 0};
+  FaultInjector Inj(Always);
+  FaultScope Scope(Inj);
+  EXPECT_TRUE(faultProbe(FaultSite::EntropyFill));
+
+  bool OtherThreadActive = true;
+  bool OtherThreadProbe = true;
+  std::thread([&] {
+    OtherThreadActive = faultInjectionActive();
+    OtherThreadProbe = faultProbe(FaultSite::EntropyFill);
+  }).join();
+  EXPECT_FALSE(OtherThreadActive);
+  EXPECT_FALSE(OtherThreadProbe);
+}
+
+TEST(FaultScopeTest, ProcessScopeReachesEveryThread) {
+  // ProcessFaultScope is the whole-process fallback slot: visible from
+  // threads that installed nothing, shadowed by a thread-local scope.
+  FaultPlan Always;
+  Always.Seed = 2;
+  Always.site(FaultSite::EntropyFill) = {1.0, 1, 0};
+  FaultPlan Never;
+  Never.Seed = 3;
+
+  FaultInjector Global(Always);
+  FaultInjector Local(Never);
+  ProcessFaultScope Process(Global);
+  EXPECT_TRUE(faultInjectionActive());
+  EXPECT_TRUE(faultProbe(FaultSite::EntropyFill));
+
+  bool SeenFromThread = false;
+  std::thread([&] { SeenFromThread = faultProbe(FaultSite::EntropyFill); })
+      .join();
+  EXPECT_TRUE(SeenFromThread);
+
+  {
+    FaultScope Shadow(Local);
+    EXPECT_FALSE(faultProbe(FaultSite::EntropyFill))
+        << "the thread-local slot shadows the process slot";
+  }
+  EXPECT_TRUE(faultProbe(FaultSite::EntropyFill));
+
+  // Concurrent probes against the shared injector are serialized: the
+  // books stay exact under contention.
+  uint64_t Before = Global.probeCount(FaultSite::EntropyFill);
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned PerThread = 5000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        (void)faultProbe(FaultSite::EntropyFill);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Global.probeCount(FaultSite::EntropyFill),
+            Before + NumThreads * PerThread);
 }
 
 } // namespace

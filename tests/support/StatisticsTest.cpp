@@ -9,6 +9,7 @@
 #include "support/SplitMix64.h"
 
 #include <gtest/gtest.h>
+#include <thread>
 #include <vector>
 
 using namespace smokestack;
@@ -80,4 +81,24 @@ TEST(StatisticsTest, StatisticRegistry) {
   for (Statistic *S : allStatistics())
     Seen |= S == &TestCounter;
   EXPECT_TRUE(Seen);
+}
+
+TEST(StatisticsTest, ConcurrentIncrementsAreLossless) {
+  // The sharded counter's whole contract: N threads hammering the same
+  // Statistic lose no increments (value() sums the shards).
+  TestCounter.reset();
+  constexpr unsigned NumThreads = 8;
+  constexpr uint64_t PerThread = 20000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([] {
+      for (uint64_t I = 0; I != PerThread; ++I)
+        ++TestCounter;
+      TestCounter += 2;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(TestCounter.value(), NumThreads * (PerThread + 2));
+  TestCounter.reset();
+  EXPECT_EQ(TestCounter.value(), 0u);
 }

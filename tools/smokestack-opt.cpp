@@ -20,6 +20,15 @@
 ///     -faults=SEED:RATE      run under a seeded fault-injection plan that
 ///                            fails DRNG draws and rekey entropy at RATE
 ///     -input=TEXT            queue TEXT as one input record (repeatable)
+///     -workers=N             serve -run through a WorkerPool of N
+///                            interpreter threads (0 = all cores); implies
+///                            the pool's deterministic per-request RNG
+///                            chain, so -rng/-resilient are ignored
+///     -requests=M            pool mode: number of requests to serve
+///                            (default 1); every request queues the same
+///                            -input records
+///     -seed=S                pool mode: root seed for per-request
+///                            randomness derivation (default 7)
 ///     -print                 print the final module (default unless -run)
 ///     -verify                verify and report instead of printing
 ///     -stats                 without -run: print the stack-usage analysis;
@@ -42,6 +51,7 @@
 #include "rng/Pseudo.h"
 #include "rng/RdRand.h"
 #include "rng/Resilient.h"
+#include "runtime/WorkerPool.h"
 #include "support/RawStream.h"
 #include "support/Statistics.h"
 #include "vm/Interpreter.h"
@@ -71,6 +81,10 @@ struct Options {
   bool Faults = false;
   uint64_t FaultSeed = 0;
   double FaultRate = 0.0;
+  bool Pool = false;
+  unsigned Workers = 1;
+  uint64_t PoolRequests = 1;
+  uint64_t PoolSeed = 7;
 };
 
 int usage(const char *Argv0) {
@@ -80,6 +94,7 @@ int usage(const char *Argv0) {
                "          [-run=FUNC] [-rng=pseudo|aes1|aes10|rdrand] "
                "[-engine=decoded|treewalk]\n"
                "          [-resilient] [-faults=SEED:RATE]\n"
+               "          [-workers=N] [-requests=M] [-seed=S]\n"
                "          [-input=TEXT]... [-print] [-verify] [-stats] "
                "<file.ir|->\n",
                Argv0);
@@ -123,6 +138,14 @@ int main(int argc, char **argv) {
       Opts.Engine = Arg.substr(8);
     } else if (Arg.rfind("-input=", 0) == 0) {
       Opts.Inputs.push_back(Arg.substr(7));
+    } else if (Arg.rfind("-workers=", 0) == 0) {
+      Opts.Pool = true;
+      Opts.Workers =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 9, nullptr, 0));
+    } else if (Arg.rfind("-requests=", 0) == 0) {
+      Opts.PoolRequests = std::strtoull(Arg.c_str() + 10, nullptr, 0);
+    } else if (Arg.rfind("-seed=", 0) == 0) {
+      Opts.PoolSeed = std::strtoull(Arg.c_str() + 6, nullptr, 0);
     } else if (Arg == "-resilient") {
       Opts.Resilient = true;
     } else if (Arg.rfind("-faults=", 0) == 0) {
@@ -227,6 +250,70 @@ int main(int argc, char **argv) {
       return 1;
     }
 
+    InterpreterOptions VMOpts;
+    VMOpts.UseDecodedEngine = Opts.Engine == "decoded";
+
+    if (Opts.Pool) {
+      // Pool mode: the WorkerPool owns per-request deterministic RNG
+      // chains and per-request fault injectors, so -rng/-resilient (and
+      // the -faults seed) are superseded by -seed.
+      PoolOptions PO;
+      PO.Workers = Opts.Workers;
+      PO.RootSeed = Opts.PoolSeed;
+      PO.Function = Opts.RunFunction;
+      PO.InterpOpts = VMOpts;
+      if (Opts.Faults) {
+        PO.InjectFaults = true;
+        PO.FaultTemplate.site(FaultSite::RdRandStep) = {
+            Opts.FaultRate, RdRandSource::RetryLimit, 0};
+        PO.FaultTemplate.site(FaultSite::RekeyEntropy) = {Opts.FaultRate, 1,
+                                                          0};
+        PO.FaultTemplate.site(FaultSite::AesNiPresence) = {
+            Opts.FaultRate / 4, 1, 0};
+      }
+
+      std::vector<std::vector<uint8_t>> Records;
+      for (const std::string &Input : Opts.Inputs)
+        Records.emplace_back(Input.begin(), Input.end());
+
+      WorkerPool Pool(M, PO);
+      Pool.start();
+      for (uint64_t I = 0; I != Opts.PoolRequests; ++I)
+        Pool.submit({I, Records});
+      std::vector<PoolOutcome> Outcomes = Pool.finish();
+
+      uint64_t Ok = 0, Trapped = 0;
+      for (const PoolOutcome &O : Outcomes)
+        O.ok() ? ++Ok : ++Trapped;
+      std::printf("pool: %u workers, %llu requests, %llu ok, %llu trapped\n",
+                  Pool.workerCount(),
+                  (unsigned long long)Outcomes.size(),
+                  (unsigned long long)Ok, (unsigned long long)Trapped);
+      if (!Outcomes.empty() && Outcomes.front().ok())
+        std::printf("-> %lld (after %llu steps)\n",
+                    (long long)(int64_t)Outcomes.front().ReturnValue,
+                    (unsigned long long)Outcomes.front().Steps);
+      if (Opts.Stats) {
+        std::printf("counters:\n");
+        for (const Statistic *S : allStatistics())
+          if (S->value() != 0)
+            std::printf("  %10llu %-28s %s\n",
+                        (unsigned long long)S->value(), S->name(),
+                        S->description());
+        const PoolBooks &B = Pool.books();
+        std::printf("rng: pool chain (%llu draws, %llu degraded, "
+                    "%llu fail-closed)\n",
+                    (unsigned long long)B.Rng.DrawsServed,
+                    (unsigned long long)B.Rng.DegradedDraws,
+                    (unsigned long long)B.Rng.FailClosedDraws);
+        if (Opts.Faults)
+          std::printf("faults: %llu injected, %llu events\n",
+                      (unsigned long long)B.totalInjectedProbes(),
+                      (unsigned long long)B.totalInjectedEvents());
+      }
+      return Trapped == 0 ? 0 : 1;
+    }
+
     // The fault scope must cover RNG construction too: a plan that kills
     // rekey entropy from probe one must be able to hit the initial keying.
     FaultPlan Plan;
@@ -262,8 +349,6 @@ int main(int argc, char **argv) {
       Active = Resilient.get();
     }
 
-    InterpreterOptions VMOpts;
-    VMOpts.UseDecodedEngine = Opts.Engine == "decoded";
     Interpreter VM(M, Active, VMOpts);
     for (const std::string &Input : Opts.Inputs)
       VM.pushInputString(Input);
