@@ -38,6 +38,16 @@
 //                                           concurrency; verifies the cross-
 //                                           count digest and emits
 //                                           BENCH_scaling.json (-json=PATH)
+//   soak_server -chaos [...]                pool soak plus injected worker
+//                                           crashes, hard worker deaths, and
+//                                           scripted poison requests; checks
+//                                           the exact accounting identity
+//                                           Submitted == Completed + Shed +
+//                                           Poisoned and that the extended
+//                                           digest (attempts, quarantines,
+//                                           supervision books) replays
+//                                           bit-identically; emits
+//                                           BENCH_soak.json (-json=PATH)
 //
 // Exit code 0 and the final line "SOAK PASS" only when all checks hold.
 //
@@ -54,6 +64,7 @@
 #include "rng/Resilient.h"
 #include "runtime/WorkerPool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -464,9 +475,18 @@ struct PoolPassResult {
   uint64_t AttackTraps = 0;
   uint64_t AttackMisses = 0;
   uint64_t AttackSuccesses = 0;
+  /// Requests quarantined by the supervision layer (chaos mode).
+  uint64_t PoisonedSeen = 0;
 
   PoolBooks Books;
 };
+
+/// Poison-request cadence in chaos mode: every request with
+/// Index % PoisonStride == PoisonPhase crashes its worker on every
+/// attempt, deterministically — the DOP-style "poison request" whose
+/// quarantine the supervision layer must guarantee.
+constexpr uint64_t PoisonStride = 997;
+constexpr uint64_t PoisonPhase = 400;
 
 /// Serves NumRequests through a WorkerPool of \p Workers interpreters.
 /// Same traffic shape as the sequential soak (every eighth request replays
@@ -475,8 +495,15 @@ struct PoolPassResult {
 /// ~15% of the request space. Deterministic in (Seed, NumRequests,
 /// FaultRate) — and, by the pool's derivation scheme, independent of
 /// Workers.
+///
+/// \p Chaos additionally injects worker crashes (~1% of attempts), hard
+/// worker deaths (~0.2%), and the scripted poison requests; the digest
+/// then also covers Attempts, the Poisoned flags, and the supervision
+/// books, so "bit-identical" extends to the pool's entire failure
+/// handling. Attempt budgets are drawn from [2, 4].
 PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
-                           double FaultRate, unsigned Workers) {
+                           double FaultRate, unsigned Workers,
+                           bool Chaos = false) {
   PoolPassResult R;
 
   Module M("soak-server");
@@ -512,13 +539,27 @@ PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
                                                   RdRandSource::RetryLimit, 0};
   PO.FaultTemplate.site(FaultSite::RekeyEntropy) = {0.25, 1, 0};
   PO.FaultTemplate.site(FaultSite::AesNiPresence) = {0.02, 1, 0};
+  if (Chaos) {
+    // Worker-level failures on top of the randomness faults: contained
+    // crashes on ~1% of attempts, hard worker deaths on ~0.2%. Both probes
+    // fire before the request RNG reseeds, so a doomed attempt consumes no
+    // request randomness and the retry replays bit-identically.
+    PO.FaultTemplate.site(FaultSite::WorkerCrash) = {0.01, 1, 0};
+    PO.FaultTemplate.site(FaultSite::WorkerDeath) = {0.002, 1, 0};
+    PO.Supervision.AttemptsMin = 2;
+    PO.Supervision.AttemptsMax = 4;
+  }
   // Permanent DRNG death over the tail ~15% of the request space: those
   // requests' primaries fail every draw and the AES fallback carries the
   // load — the pool-mode analogue of the sequential soak's mid-run death.
   const uint64_t DeathFrom = NumRequests - NumRequests * 3 / 20;
-  PO.PlanForRequest = [DeathFrom](uint64_t Index, FaultPlan &Plan) {
+  PO.PlanForRequest = [DeathFrom, Chaos](uint64_t Index, FaultPlan &Plan) {
     if (Index >= DeathFrom)
       Plan.site(FaultSite::RdRandDeath) = {0.0, 1, 1};
+    // Scripted poison requests: crash the worker on every attempt so the
+    // retry budget exhausts and the request lands in quarantine.
+    if (Chaos && Index % PoisonStride == PoisonPhase)
+      Plan.site(FaultSite::WorkerCrash) = {0.0, 1, 1};
   };
 
   WorkerPool Pool(M, PO);
@@ -543,7 +584,13 @@ PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
   for (const PoolOutcome &O : Outcomes) {
     bool Attack = (O.Index % 8) == 5;
     ++R.Requests;
-    if (Attack) {
+    if (O.Poisoned) {
+      // Quarantined requests never completed a run; they are their own
+      // ledger class, not a benign failure or a defeated attack.
+      ++R.PoisonedSeen;
+      if (Attack)
+        ++R.AttackAttempts; // still scripted attack traffic
+    } else if (Attack) {
       ++R.AttackAttempts;
       if (O.ok() && O.ReturnValue == DirectDopTarget)
         ++R.AttackSuccesses;
@@ -562,6 +609,10 @@ PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
     D.mix(static_cast<uint64_t>(O.Trap));
     D.mix(O.ReturnValue);
     D.mix(O.Steps);
+    if (Chaos) {
+      D.mix(O.Attempts);
+      D.mix(O.Poisoned ? 1 : 0);
+    }
   }
   const PoolBooks &B = R.Books;
   for (uint64_t Word :
@@ -577,6 +628,21 @@ PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
                       FaultSite::RekeyEntropy}) {
     D.mix(B.InjectedProbes[static_cast<unsigned>(S)]);
     D.mix(B.InjectedEvents[static_cast<unsigned>(S)]);
+  }
+  if (Chaos) {
+    // Supervision accounting is digest material too: identical crash
+    // containment, retry, and quarantine behavior on every replay. Shed
+    // counters and stall alarms stay out — shedding is off here and
+    // alarms are wall-clock-driven.
+    for (uint64_t Word :
+         {B.Submitted, B.Accepted, B.Completed, B.Poisoned,
+          B.PoisonedPoolDeath, B.CrashesContained, B.WorkerDeaths,
+          B.WorkerRestarts, B.Retries})
+      D.mix(Word);
+    for (FaultSite S : {FaultSite::WorkerCrash, FaultSite::WorkerDeath}) {
+      D.mix(B.InjectedProbes[static_cast<unsigned>(S)]);
+      D.mix(B.InjectedEvents[static_cast<unsigned>(S)]);
+    }
   }
 
   R.DigestValue = D.value();
@@ -668,6 +734,181 @@ int runPoolSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
   checkEq(A.DigestValue, B.DigestValue, "same-seed rerun is bit-identical");
   checkEq(A.DigestValue, C.DigestValue,
           "digest is invariant under the worker count");
+
+  std::printf("\ndigest: 0x%016" PRIx64 " (%.2fs, %.0f req/s)\n",
+              A.DigestValue, A.Seconds,
+              static_cast<double>(NumRequests) / A.Seconds);
+  std::printf(Failed ? "SOAK FAIL\n" : "SOAK PASS\n");
+  return Failed ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos soak (-chaos): worker crashes, deaths, and poison quarantine
+//===----------------------------------------------------------------------===//
+
+void printSupervisionLedger(const PoolBooks &B) {
+  std::printf("supervision books:\n"
+              "  submitted              %" PRIu64 "\n"
+              "  accepted               %" PRIu64 "\n"
+              "  completed              %" PRIu64 "\n"
+              "  shed                   %" PRIu64 "\n"
+              "  poisoned               %" PRIu64 "\n"
+              "  crashes contained      %" PRIu64 "\n"
+              "  worker deaths          %" PRIu64 "\n"
+              "  worker restarts        %" PRIu64 "\n"
+              "  retries                %" PRIu64 "\n"
+              "  injected crash events  %" PRIu64 "\n"
+              "  injected death events  %" PRIu64 "\n",
+              B.Submitted, B.Accepted, B.Completed, B.Shed, B.Poisoned,
+              B.CrashesContained, B.WorkerDeaths, B.WorkerRestarts, B.Retries,
+              B.injectedEvents(FaultSite::WorkerCrash),
+              B.injectedEvents(FaultSite::WorkerDeath));
+}
+
+/// Chaos soak: the pool soak plus injected worker crashes, hard worker
+/// deaths, and scripted poison requests. Three passes — a rerun and an
+/// alternate worker count — must agree bit for bit on the extended digest
+/// (outcomes incl. attempts and quarantine flags, supervision books).
+/// Returns nonzero if any check fails, including the exact accounting
+/// identity Submitted == Completed + Shed + Poisoned.
+int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
+                 unsigned Workers, const std::string &JsonPath) {
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+  }
+  std::printf("soak (chaos): %" PRIu64 " requests, fault rate %.3f, seed %"
+              PRIu64 ", %u workers, crash 0.010, death 0.002\n",
+              NumRequests, FaultRate, Seed, Workers);
+
+  PoolPassResult A =
+      runPoolPass(Seed, NumRequests, FaultRate, Workers, /*Chaos=*/true);
+  PoolPassResult B =
+      runPoolPass(Seed, NumRequests, FaultRate, Workers, /*Chaos=*/true);
+  unsigned AltWorkers = Workers == 1 ? 2 : 1;
+  PoolPassResult C =
+      runPoolPass(Seed, NumRequests, FaultRate, AltWorkers, /*Chaos=*/true);
+  if (!A.Valid || !B.Valid || !C.Valid)
+    return 1;
+
+  printPoolLedger(A);
+  std::printf("  poisoned (quarantined) %" PRIu64 "\n", A.PoisonedSeen);
+  const PoolBooks &BK = A.Books;
+  printSupervisionLedger(BK);
+
+  std::printf("\nchecks:\n");
+  // 1. Exact accounting: every submitted request is completed, shed, or
+  //    quarantined — no losses, no double counting, no deadlock exits.
+  check(BK.accountingIdentityHolds(),
+        "accounting identity: submitted == completed + shed + poisoned");
+  checkEq(BK.Submitted, NumRequests, "every request was submitted");
+  checkEq(BK.Shed, 0, "nothing shed (shedding off, pool never died)");
+  checkEq(A.Requests, NumRequests, "every request produced an outcome");
+  checkEq(BK.Completed + BK.Poisoned, NumRequests,
+          "completed + poisoned covers the request space");
+  checkEq(BK.Requests, BK.Completed,
+          "every completed outcome is one finished VM run");
+  checkEq(BK.RequestRecoveries, BK.RequestTraps, "every trap was recovered");
+
+  // 2. The supervision layer actually worked for a living.
+  check(BK.CrashesContained > 0, "worker crashes were injected + contained");
+  check(BK.WorkerDeaths > 0, "hard worker deaths were injected");
+  checkEq(BK.WorkerRestarts, BK.WorkerDeaths, "every dead worker replaced");
+  check(BK.Retries > 0, "crashed requests were retried");
+  checkEq(BK.PoisonedPoolDeath, 0, "no pool-death quarantines");
+
+  // 3. Poison quarantine: every scripted poison request (crashes on every
+  //    attempt) exhausted its budget and landed in PoisonedIndices.
+  uint64_t ExpectedPoison = 0;
+  bool PoisonIndexed = true;
+  for (uint64_t I = PoisonPhase; I < NumRequests; I += PoisonStride) {
+    ++ExpectedPoison;
+    PoisonIndexed =
+        PoisonIndexed &&
+        std::binary_search(BK.PoisonedIndices.begin(),
+                           BK.PoisonedIndices.end(), I);
+  }
+  check(BK.Poisoned >= ExpectedPoison, "poison volume as scripted");
+  check(PoisonIndexed, "every scripted poison request is quarantined");
+  checkEq(A.PoisonedSeen, BK.Poisoned, "outcome flags match the books");
+
+  // 4. Attacks stay defeated under chaos.
+  check(A.AttackAttempts >= NumRequests / 8, "attack volume as scripted");
+  checkEq(A.AttackSuccesses, 0, "no stale-layout attack succeeded");
+  check(A.AttackTraps > 0, "attacks are being detected (trapped)");
+
+  // 5. Zero silent degradations survive crash containment: doomed attempts
+  //    abort before the request RNG reseeds, so the randomness books still
+  //    balance against the injector's books exactly.
+  uint64_t PrimaryFailureEvents = BK.injectedEvents(FaultSite::RdRandStep) +
+                                  BK.injectedEvents(FaultSite::RdRandDeath);
+  checkEq(PrimaryFailureEvents,
+          BK.Rng.FallbackDraws + BK.Rng.FailClosedDraws,
+          "primary failure events == fallback + fail-closed draws");
+  checkEq(BK.Rng.FailedRekeys, BK.injectedEvents(FaultSite::RekeyEntropy),
+          "failed AES rekeys == injected rekey-entropy events");
+  check((PrimaryFailureEvents + BK.injectedEvents(FaultSite::WorkerCrash) +
+         BK.injectedEvents(FaultSite::WorkerDeath)) *
+                20 >=
+            BK.Rng.DrawsServed + BK.Rng.FailClosedDraws,
+        "injected fault volume >= 5% of draws");
+
+  // 6. Determinism: rerun and alternate worker count replay bit-identically
+  //    — including attempts, retries, quarantines, and supervision books.
+  checkEq(A.DigestValue, B.DigestValue, "same-seed rerun is bit-identical");
+  checkEq(A.DigestValue, C.DigestValue,
+          "digest is invariant under the worker count");
+
+  if (FILE *Out = std::fopen(JsonPath.c_str(), "w")) {
+    std::fprintf(Out,
+                 "{\n"
+                 "  \"bench\": \"soak_chaos\",\n"
+                 "  \"requests\": %" PRIu64 ",\n"
+                 "  \"fault_rate\": %.3f,\n"
+                 "  \"crash_rate\": 0.01,\n"
+                 "  \"death_rate\": 0.002,\n"
+                 "  \"seed\": %" PRIu64 ",\n"
+                 "  \"workers\": %u,\n"
+                 "  \"digest\": \"0x%016" PRIx64 "\",\n"
+                 "  \"accounting\": {\n"
+                 "    \"submitted\": %" PRIu64 ",\n"
+                 "    \"completed\": %" PRIu64 ",\n"
+                 "    \"shed\": %" PRIu64 ",\n"
+                 "    \"poisoned\": %" PRIu64 ",\n"
+                 "    \"identity_holds\": %s\n"
+                 "  },\n"
+                 "  \"supervision\": {\n"
+                 "    \"crashes_contained\": %" PRIu64 ",\n"
+                 "    \"worker_deaths\": %" PRIu64 ",\n"
+                 "    \"worker_restarts\": %" PRIu64 ",\n"
+                 "    \"retries\": %" PRIu64 "\n"
+                 "  },\n"
+                 "  \"attacks\": {\n"
+                 "    \"attempts\": %" PRIu64 ",\n"
+                 "    \"trapped\": %" PRIu64 ",\n"
+                 "    \"succeeded\": %" PRIu64 "\n"
+                 "  },\n"
+                 "  \"rerun_bit_identical\": %s,\n"
+                 "  \"worker_count_invariant\": %s,\n"
+                 "  \"seconds\": %.4f,\n"
+                 "  \"requests_per_sec\": %.1f\n"
+                 "}\n",
+                 NumRequests, FaultRate, Seed, Workers, A.DigestValue,
+                 BK.Submitted, BK.Completed, BK.Shed, BK.Poisoned,
+                 BK.accountingIdentityHolds() ? "true" : "false",
+                 BK.CrashesContained, BK.WorkerDeaths, BK.WorkerRestarts,
+                 BK.Retries, A.AttackAttempts, A.AttackTraps,
+                 A.AttackSuccesses,
+                 A.DigestValue == B.DigestValue ? "true" : "false",
+                 A.DigestValue == C.DigestValue ? "true" : "false", A.Seconds,
+                 static_cast<double>(NumRequests) / A.Seconds);
+    std::fclose(Out);
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    Failed = true;
+  }
 
   std::printf("\ndigest: 0x%016" PRIx64 " (%.2fs, %.0f req/s)\n",
               A.DigestValue, A.Seconds,
@@ -769,16 +1010,21 @@ int main(int argc, char **argv) {
   uint64_t Seed = 7;
   bool Pool = false;
   unsigned Workers = 1;
+  bool WorkersGiven = false;
   bool Scaling = false;
-  std::string JsonPath = "BENCH_scaling.json";
+  bool Chaos = false;
+  std::string JsonPath; // per-mode default resolved after parsing
   int Positional = 0;
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
     if (std::strncmp(Arg, "-workers=", 9) == 0) {
       Pool = true;
+      WorkersGiven = true;
       Workers = static_cast<unsigned>(std::strtoul(Arg + 9, nullptr, 0));
     } else if (std::strcmp(Arg, "-scaling") == 0) {
       Scaling = true;
+    } else if (std::strcmp(Arg, "-chaos") == 0) {
+      Chaos = true;
     } else if (std::strncmp(Arg, "-requests=", 10) == 0) {
       NumRequests = std::strtoull(Arg + 10, nullptr, 0);
     } else if (std::strncmp(Arg, "-rate=", 6) == 0) {
@@ -791,7 +1037,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: soak_server [requests [rate [seed]]] "
                    "[-requests=N] [-rate=R] [-seed=S] [-workers=N] "
-                   "[-scaling] [-json=PATH]\n");
+                   "[-scaling] [-chaos] [-json=PATH]\n");
       return 2;
     } else if (Positional == 0) {
       NumRequests = std::strtoull(Arg, nullptr, 0);
@@ -805,6 +1051,11 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (JsonPath.empty())
+    JsonPath = Chaos ? "BENCH_soak.json" : "BENCH_scaling.json";
+  if (Chaos)
+    return runChaosSoak(Seed, NumRequests, FaultRate,
+                        WorkersGiven ? Workers : 4, JsonPath);
   if (Scaling)
     return runScaling(Seed, NumRequests, FaultRate, JsonPath);
   if (Pool)

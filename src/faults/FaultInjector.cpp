@@ -46,17 +46,17 @@ const char *smokestack::faultSiteName(FaultSite Site) {
     return "aesni-presence";
   case FaultSite::RekeyEntropy:
     return "rekey-entropy";
+  case FaultSite::WorkerCrash:
+    return "worker-crash";
+  case FaultSite::WorkerDeath:
+    return "worker-death";
   }
   return "unknown";
 }
 
-FaultInjector::FaultInjector(const FaultPlan &Plan)
-    : Plan(Plan), State{SiteState(siteSeed(Plan.Seed, 0)),
-                        SiteState(siteSeed(Plan.Seed, 1)),
-                        SiteState(siteSeed(Plan.Seed, 2)),
-                        SiteState(siteSeed(Plan.Seed, 3)),
-                        SiteState(siteSeed(Plan.Seed, 4))} {
-  static_assert(NumFaultSites == 5, "update the stream initializer list");
+FaultInjector::FaultInjector(const FaultPlan &Plan) : Plan(Plan) {
+  for (unsigned I = 0; I != NumFaultSites; ++I)
+    State[I] = SiteState(siteSeed(Plan.Seed, I));
 }
 
 bool FaultInjector::shouldFail(FaultSite Site) {

@@ -49,10 +49,12 @@ enum class FaultSite : unsigned {
   EntropyFill,    ///< An EntropySource::tryFill stalls or throws.
   AesNiPresence,  ///< AES-NI disappears (e.g. VM migration to older host).
   RekeyEntropy,   ///< The entropy draw behind an AES-CTR rekey is exhausted.
+  WorkerCrash,    ///< An exception escapes a pool worker's serve path.
+  WorkerDeath,    ///< A pool worker thread dies outright (no unwind).
 };
 
 /// Number of FaultSite values (array bound).
-inline constexpr unsigned NumFaultSites = 5;
+inline constexpr unsigned NumFaultSites = 7;
 
 /// Printable site name ("rdrand-step", ...).
 const char *faultSiteName(FaultSite Site);
@@ -120,6 +122,7 @@ public:
 
 private:
   struct SiteState {
+    SiteState() : Stream(0) {}
     explicit SiteState(uint64_t Seed) : Stream(Seed) {}
     SplitMix64 Stream;
     uint64_t Probes = 0;

@@ -33,6 +33,8 @@ enum class SeedLane : uint64_t {
   DrngEntropy = 0, ///< Simulated-RDRAND entropy stand-in.
   AesEntropy,      ///< AES-CTR keying / rekeying entropy.
   FaultPlan,       ///< Per-request fault-decision streams.
+  RetryBudget,     ///< Per-request attempt budget (supervision layer).
+  RetrySalt,       ///< Per-attempt fault-plan reseed on retries.
 };
 
 /// Derives the seed for \p Lane of request \p Index under \p RootSeed.

@@ -1,0 +1,114 @@
+//===- runtime/Supervisor.h - Worker liveness supervisor -------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pool's supervisor thread (DESIGN.md §10): the only component that
+/// may join and relaunch worker threads while the pool is serving.
+///
+/// Contained crashes never reach the supervisor — the worker catches the
+/// exception, rebuilds itself on its own thread, and keeps serving. The
+/// supervisor handles the failures a thread cannot handle for itself:
+///
+///  - Worker death. A dying worker stashes the request it holds, marks
+///    itself Dead, posts its id to the supervisor's inbox, and returns
+///    from its thread function. The supervisor joins the corpse (the join
+///    is the happens-before edge that makes the stash and the worker's
+///    books safe to touch), salvages the stashed request — requeue on the
+///    priority lane while its attempt budget lasts, quarantine it
+///    otherwise — and, while the restart budget lasts, rebuilds the worker
+///    and relaunches its thread (the thread create publishes the rebuilt
+///    state). Past the budget the worker is retired.
+///
+///  - Unrecoverable pool death. When every worker has been retired there
+///    is nobody left to serve the backlog. The supervisor sets the pool's
+///    cancel flag, closes the queue — so producers blocked in submit()
+///    wake up with `false` instead of deadlocking — and drains both lanes,
+///    booking every request as poisoned-by-pool-death. The accounting
+///    identity survives the pool's death.
+///
+///  - Stall detection. Each wake the supervisor samples worker
+///    heartbeats; a worker stuck Serving with an unmoved heartbeat is
+///    booked as a stall alarm, once per stall. Diagnostic only (it is the
+///    one wall-clock-driven counter in PoolBooks) — a stalled VM run is
+///    indistinguishable from a slow one, so no action is taken.
+///
+/// Event-driven: deaths are delivered through a condvar inbox, so
+/// reaction time is bounded by the condvar wake, not the heartbeat
+/// period; the timed wait only paces stall sampling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_RUNTIME_SUPERVISOR_H
+#define SMOKESTACK_RUNTIME_SUPERVISOR_H
+
+#include "runtime/WorkerPool.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smokestack {
+
+class Supervisor {
+public:
+  explicit Supervisor(WorkerPool &Pool);
+  ~Supervisor();
+
+  /// Launches the supervisor thread. Idempotent.
+  void start();
+
+  /// Signals the thread to exit and joins it. Call only after the queue
+  /// has gone idle: every death event has then been processed (an
+  /// unprocessed death would still hold an in-flight stash). Idempotent.
+  void stop();
+
+  /// Posts "worker \p Id died" to the inbox. Called by the dying worker
+  /// thread itself, immediately before it returns.
+  void notifyDeath(unsigned Id);
+
+  /// Books merged by WorkerPool::finish() after stop().
+  uint64_t deathsHandled() const { return Deaths; }
+  uint64_t restartsUsed() const { return RestartsUsed; }
+  uint64_t retries() const { return Retries; }
+  uint64_t stallAlarms() const { return StallAlarms; }
+  uint64_t poisonedPoolDeath() const { return PoisonedPoolDeath; }
+  bool poolDeclaredDead() const { return PoolDead; }
+  std::vector<PoolOutcome> takeOutcomes() { return std::move(Outcomes); }
+
+private:
+  void supervisorMain();
+  void handleDeath(unsigned Id);
+  void declarePoolDead();
+  void sampleHeartbeats();
+
+  WorkerPool &Pool;
+  std::thread Thread;
+
+  std::mutex Mutex;
+  std::condition_variable Wake;
+  std::deque<unsigned> Inbox;
+  bool StopRequested = false;
+  bool Running = false;
+
+  // Touched only by the supervisor thread until stop() joins it.
+  std::vector<uint64_t> SeenHeartbeat;
+  std::vector<uint64_t> AlarmedHeartbeat;
+  std::vector<bool> Retired;
+  std::vector<PoolOutcome> Outcomes;
+  uint64_t Deaths = 0;
+  uint64_t RestartsUsed = 0;
+  uint64_t Retries = 0;
+  uint64_t StallAlarms = 0;
+  uint64_t PoisonedPoolDeath = 0;
+  bool PoolDead = false;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_RUNTIME_SUPERVISOR_H

@@ -1,4 +1,4 @@
-//===- runtime/WorkerPool.cpp - Parallel interpreter pool -----------------===//
+//===- runtime/WorkerPool.cpp - Supervised interpreter pool ---------------===//
 //
 // Part of the Smokestack reproduction. MIT license.
 //
@@ -7,6 +7,7 @@
 #include "runtime/WorkerPool.h"
 
 #include "runtime/DeriveSeed.h"
+#include "runtime/Supervisor.h"
 #include "support/Statistics.h"
 
 #include <algorithm>
@@ -20,6 +21,35 @@ Statistic NumPoolRequests("pool.requests",
                           "Requests served through a WorkerPool");
 Statistic NumPoolWorkers("pool.workers-launched",
                          "Worker threads launched by WorkerPools");
+Statistic NumPoolCrashes("pool.crashes-contained",
+                         "Worker crashes contained by the supervision layer");
+Statistic NumPoolRestarts("pool.worker-restarts",
+                          "Dead workers rebuilt and relaunched");
+Statistic NumPoolRetries("pool.retries",
+                         "Requests requeued after a worker crash or death");
+Statistic NumPoolShed("pool.requests-shed",
+                      "Requests rejected by the admission controller");
+Statistic NumPoolPoisoned("pool.requests-poisoned",
+                          "Requests quarantined as poisoned");
+
+/// The carrier for an injected FaultSite::WorkerCrash: thrown out of the
+/// serve path and caught by the worker's containment loop, exactly like a
+/// real bug escaping the interpreter would be.
+struct WorkerCrashInjected {};
+
+/// Minimal scope-exit runner: the injector book harvest must fire even
+/// when the serve path unwinds (a crashed attempt's probes are part of the
+/// request's accounting).
+template <typename Fn> class ScopeExit {
+public:
+  explicit ScopeExit(Fn F) : F(std::move(F)) {}
+  ~ScopeExit() { F(); }
+  ScopeExit(const ScopeExit &) = delete;
+  ScopeExit &operator=(const ScopeExit &) = delete;
+
+private:
+  Fn F;
+};
 
 } // namespace
 
@@ -46,22 +76,25 @@ WorkerPool::WorkerPool(Module &M, PoolOptions Opts)
       Count = 1;
   }
   for (unsigned I = 0; I != Count; ++I) {
-    auto W = std::make_unique<Worker>(Opts.Rng);
-    W->VM = std::make_unique<Interpreter>(M, nullptr, Opts.InterpOpts);
+    auto W = std::make_unique<Worker>(I, this->Opts.Rng);
+    W->VM = std::make_unique<Interpreter>(M, nullptr, this->Opts.InterpOpts);
     W->VM->setSharedProgram(&Shared);
+    W->VM->setCancelFlag(&CancelAll);
     Workers.push_back(std::move(W));
   }
+  Super = std::make_unique<Supervisor>(*this);
 }
 
 WorkerPool::~WorkerPool() {
-  if (Started && !Finished)
+  if (!Finished)
     finish();
 }
 
 void WorkerPool::start() {
-  if (Started)
+  if (Started || Finished)
     return;
   Started = true;
+  Super->start();
   for (auto &W : Workers) {
     W->Thread = std::thread([this, Raw = W.get()] { workerMain(*Raw); });
     ++NumPoolWorkers;
@@ -69,72 +102,287 @@ void WorkerPool::start() {
 }
 
 bool WorkerPool::submit(PoolRequest Request) {
-  return Queue.push(std::move(Request));
+  SubmittedCount.fetch_add(1, std::memory_order_relaxed);
+
+  const AdmissionOptions &A = Opts.Admission;
+  if (A.BreakerTrapRate > 0.0) {
+    uint64_t Done = CompletedCount.load(std::memory_order_relaxed);
+    uint64_t Traps = TrappedCount.load(std::memory_order_relaxed);
+    if (Done >= A.BreakerMinSamples &&
+        static_cast<double>(Traps) >
+            A.BreakerTrapRate * static_cast<double>(Done)) {
+      ShedBreakerCount.fetch_add(1, std::memory_order_relaxed);
+      ++NumPoolShed;
+      return false;
+    }
+  }
+
+  Pending Item{std::move(Request), 0};
+  if (A.Policy == AdmissionOptions::ShedPolicy::ShedNewest) {
+    switch (Queue.tryPush(Item)) {
+    case QueuePush::Ok:
+      AcceptedCount.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    case QueuePush::Full:
+      ShedFullCount.fetch_add(1, std::memory_order_relaxed);
+      ++NumPoolShed;
+      return false;
+    case QueuePush::Closed:
+      break;
+    }
+    ShedClosedCount.fetch_add(1, std::memory_order_relaxed);
+    ++NumPoolShed;
+    return false;
+  }
+
+  if (!Queue.push(std::move(Item))) {
+    ShedClosedCount.fetch_add(1, std::memory_order_relaxed);
+    ++NumPoolShed;
+    return false;
+  }
+  AcceptedCount.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void WorkerPool::shutdownNow() {
+  CancelAll.store(true, std::memory_order_relaxed);
+  Queue.close();
+}
+
+uint32_t WorkerPool::attemptBudget(uint64_t Index) const {
+  const SupervisionOptions &S = Opts.Supervision;
+  uint32_t Min = std::max<uint32_t>(1, S.AttemptsMin);
+  uint32_t Max = std::max(Min, S.AttemptsMax);
+  if (Max == Min)
+    return Min;
+  uint64_t Span = static_cast<uint64_t>(Max) - Min + 1;
+  return Min + static_cast<uint32_t>(
+                   deriveSeed(Opts.RootSeed, Index, SeedLane::RetryBudget) %
+                   Span);
+}
+
+void WorkerPool::recordPoisoned(std::vector<PoolOutcome> &Sink, uint64_t Index,
+                                uint32_t Attempts) {
+  PoolOutcome O;
+  O.Index = Index;
+  O.Trap = TrapKind::WorkerCrash;
+  O.Attempts = Attempts;
+  O.Poisoned = true;
+  Sink.push_back(O);
+  ++NumPoolPoisoned;
+}
+
+void WorkerPool::rebuildWorker(Worker &W) {
+  // Bank the doomed components' books first: a fresh Interpreter and
+  // RequestRng restart their counters at zero, and the pre-crash totals
+  // are part of the pool's accounting.
+  W.VmCarry.Requests += W.VM->requestsServed();
+  W.VmCarry.Traps += W.VM->requestTraps();
+  W.VmCarry.Recoveries += W.VM->requestRecoveries();
+  W.RngCarry += W.Rng->books();
+
+  W.VM = std::make_unique<Interpreter>(M, nullptr, Opts.InterpOpts);
+  W.VM->setSharedProgram(&Shared);
+  W.VM->setCancelFlag(&CancelAll);
+  W.Rng = std::make_unique<RequestRng>(Opts.Rng);
 }
 
 void WorkerPool::workerMain(Worker &W) {
-  while (std::optional<PoolRequest> Request = Queue.pop())
-    serveRequest(W, *Request);
+  while (std::optional<Pending> Item = Queue.pop()) {
+    W.Heartbeat.fetch_add(1, std::memory_order_relaxed);
+    W.State.store(WorkerState::Serving, std::memory_order_relaxed);
+
+    ServeVerdict Verdict;
+    bool Crashed = false;
+    try {
+      Verdict = serveRequest(W, *Item);
+    } catch (...) {
+      // Containment: any exception escaping the serve path — injected or
+      // real — costs this worker its attempt, never its thread.
+      Crashed = true;
+      Verdict = ServeVerdict::Served; // placate -Wmaybe-uninitialized
+    }
+
+    if (Crashed) {
+      ++W.CrashEvents;
+      rebuildWorker(W);
+      uint32_t Burned = Item->Attempt + 1;
+      if (Burned < attemptBudget(Item->Req.Index)) {
+        ++W.Retries;
+        Queue.pushPriority(Pending{std::move(Item->Req), Burned});
+      } else {
+        recordPoisoned(W.Outcomes, Item->Req.Index, Burned);
+      }
+      Queue.taskDone();
+    } else if (Verdict == ServeVerdict::Died) {
+      // Simulated hard death: stash the request for the supervisor and
+      // fall off the thread. Deliberately NO taskDone — the request is
+      // still in flight until the supervisor salvages the stash, which
+      // keeps sibling workers (and finish()) from declaring the queue
+      // drained under it.
+      {
+        std::lock_guard<std::mutex> Lock(W.StashMutex);
+        W.Stash = std::move(*Item);
+      }
+      W.State.store(WorkerState::Dead, std::memory_order_release);
+      Super->notifyDeath(W.Id);
+      return;
+    } else {
+      Queue.taskDone();
+    }
+
+    W.State.store(WorkerState::Idle, std::memory_order_relaxed);
+  }
+  W.State.store(WorkerState::Exited, std::memory_order_relaxed);
 }
 
-void WorkerPool::serveRequest(Worker &W, PoolRequest &Request) {
-  // Per-request fault injector, installed thread-locally so this worker's
-  // probes consume only this request's decision streams. The scope covers
-  // the chain reseed too: initial AES keying must be able to fail.
+WorkerPool::ServeVerdict WorkerPool::serveRequest(Worker &W, Pending &Item) {
+  const PoolRequest &Request = Item.Req;
+
+  // Per-attempt fault injector, installed thread-locally so this worker's
+  // probes consume only this attempt's decision streams. The scope covers
+  // the chain reseed too: initial AES keying must be able to fail. Retry
+  // attempts re-salt the plan seed (attempt 0 keeps the legacy derivation,
+  // so pre-supervision digests remain valid) — a retry faces fresh fault
+  // luck rather than deterministically replaying the crash that killed the
+  // previous attempt.
   std::optional<FaultInjector> Injector;
   std::optional<FaultScope> Scope;
   if (Opts.InjectFaults) {
     FaultPlan Plan = Opts.FaultTemplate;
     Plan.Seed = deriveSeed(Opts.RootSeed, Request.Index, SeedLane::FaultPlan);
+    if (Item.Attempt != 0)
+      Plan.Seed = deriveSeed(Plan.Seed, Item.Attempt, SeedLane::RetrySalt);
     if (Opts.PlanForRequest)
       Opts.PlanForRequest(Request.Index, Plan);
     Injector.emplace(Plan);
     Scope.emplace(*Injector);
   }
 
-  W.Rng.reseed(Opts.RootSeed, Request.Index);
-  W.VM->setRandomSource(&W.Rng.source());
-  for (std::vector<uint8_t> &Record : Request.Inputs)
-    W.VM->pushInput(std::move(Record));
+  ScopeExit Harvest([&] {
+    if (!Injector)
+      return;
+    for (unsigned S = 0; S != NumFaultSites; ++S) {
+      W.InjectedProbes[S] += Injector->injectedProbes(static_cast<FaultSite>(S));
+      W.InjectedEvents[S] += Injector->injectedEvents(static_cast<FaultSite>(S));
+    }
+  });
+
+  // Crash/death probes come BEFORE the reseed: a doomed attempt consumes
+  // no request randomness, so the RNG lanes stay attempt-independent and
+  // the serving attempt's draws are bit-identical whether or not earlier
+  // attempts crashed.
+  if (faultProbe(FaultSite::WorkerDeath))
+    return ServeVerdict::Died;
+  if (faultProbe(FaultSite::WorkerCrash))
+    throw WorkerCrashInjected{};
+
+  W.Rng->reseed(Opts.RootSeed, Request.Index);
+  W.VM->setRandomSource(&W.Rng->source());
+  // Inputs are COPIED into the VM: the request must keep them in case this
+  // attempt crashes and a retry has to replay them.
+  for (const std::vector<uint8_t> &Record : Request.Inputs)
+    W.VM->pushInput(Record);
 
   ExecResult E = W.VM->runRequest(Opts.Function);
   // Unconsumed inputs must not leak into the next request this worker
   // serves (the request boundary only clears them on a trap).
   W.VM->clearInput();
 
-  W.Outcomes.push_back({Request.Index, E.Trap, E.ReturnValue, E.Steps});
-  ++NumPoolRequests;
+  if (E.Trap == TrapKind::WorkerCrash) {
+    // The cooperative cancel flag fired mid-run: the pool is in abnormal
+    // shutdown. The run was cut short, so its result is not a completion;
+    // book it as poisoned-by-pool-death.
+    recordPoisoned(W.Outcomes, Request.Index, Item.Attempt + 1);
+    W.Outcomes.back().Steps = E.Steps;
+    ++W.PoisonedPoolDeath;
+    return ServeVerdict::Served;
+  }
 
-  if (Injector)
-    for (unsigned S = 0; S != NumFaultSites; ++S) {
-      W.InjectedProbes[S] +=
-          Injector->injectedProbes(static_cast<FaultSite>(S));
-      W.InjectedEvents[S] +=
-          Injector->injectedEvents(static_cast<FaultSite>(S));
-    }
+  W.Outcomes.push_back(
+      {Request.Index, E.Trap, E.ReturnValue, E.Steps, Item.Attempt + 1, false});
+  ++NumPoolRequests;
+  CompletedCount.fetch_add(1, std::memory_order_relaxed);
+  if (E.Trap != TrapKind::None)
+    TrappedCount.fetch_add(1, std::memory_order_relaxed);
+  return ServeVerdict::Served;
 }
 
 std::vector<PoolOutcome> WorkerPool::finish() {
-  Queue.close();
   std::vector<PoolOutcome> Outcomes;
   if (Finished)
     return Outcomes;
   Finished = true;
-  for (auto &W : Workers)
-    if (W->Thread.joinable())
-      W->Thread.join();
+  Queue.close();
+
+  if (Started) {
+    // Order matters: the backlog (including retries and death stashes)
+    // must reach terminal states before the supervisor stops — an
+    // unjoined death event holds an in-flight item, so waitIdle() also
+    // proves the supervisor's inbox is empty. Workers are joined last;
+    // after close + drain they exit their serve loops on their own.
+    Queue.waitIdle();
+    Super->stop();
+    for (auto &W : Workers)
+      if (W->Thread.joinable())
+        W->Thread.join();
+  } else {
+    // finish() before start(): nobody ever served, but submit() may have
+    // queued work. Quarantine it so the accounting identity holds rather
+    // than silently dropping accepted requests.
+    while (std::optional<Pending> Item = Queue.tryPop()) {
+      recordPoisoned(Outcomes, Item->Req.Index, Item->Attempt);
+      Books.PoisonedPoolDeath += 1;
+      Queue.taskDone();
+    }
+    Super->stop();
+  }
 
   for (auto &W : Workers) {
     Outcomes.insert(Outcomes.end(), W->Outcomes.begin(), W->Outcomes.end());
-    Books.Requests += W->VM->requestsServed();
-    Books.RequestTraps += W->VM->requestTraps();
-    Books.RequestRecoveries += W->VM->requestRecoveries();
-    Books.Rng += W->Rng.books();
+    Books.Requests += W->VmCarry.Requests + W->VM->requestsServed();
+    Books.RequestTraps += W->VmCarry.Traps + W->VM->requestTraps();
+    Books.RequestRecoveries += W->VmCarry.Recoveries + W->VM->requestRecoveries();
+    Books.Rng += W->RngCarry;
+    Books.Rng += W->Rng->books();
     for (unsigned S = 0; S != NumFaultSites; ++S) {
       Books.InjectedProbes[S] += W->InjectedProbes[S];
       Books.InjectedEvents[S] += W->InjectedEvents[S];
     }
+    Books.CrashesContained += W->CrashEvents;
+    Books.Retries += W->Retries;
+    Books.PoisonedPoolDeath += W->PoisonedPoolDeath;
   }
+
+  {
+    std::vector<PoolOutcome> FromSuper = Super->takeOutcomes();
+    Outcomes.insert(Outcomes.end(), FromSuper.begin(), FromSuper.end());
+    Books.WorkerDeaths += Super->deathsHandled();
+    Books.WorkerRestarts += Super->restartsUsed();
+    Books.Retries += Super->retries();
+    Books.StallAlarms += Super->stallAlarms();
+    Books.PoisonedPoolDeath += Super->poisonedPoolDeath();
+  }
+
+  Books.Submitted = SubmittedCount.load(std::memory_order_relaxed);
+  Books.Accepted = AcceptedCount.load(std::memory_order_relaxed);
+  Books.Completed = CompletedCount.load(std::memory_order_relaxed);
+  Books.ShedByBreaker = ShedBreakerCount.load(std::memory_order_relaxed);
+  Books.ShedQueueFull = ShedFullCount.load(std::memory_order_relaxed);
+  Books.ShedClosed = ShedClosedCount.load(std::memory_order_relaxed);
+  Books.Shed = Books.ShedByBreaker + Books.ShedQueueFull + Books.ShedClosed;
+
+  for (const PoolOutcome &O : Outcomes)
+    if (O.Poisoned) {
+      ++Books.Poisoned;
+      Books.PoisonedIndices.push_back(O.Index);
+    }
+  std::sort(Books.PoisonedIndices.begin(), Books.PoisonedIndices.end());
+
+  NumPoolCrashes += Books.CrashesContained;
+  NumPoolRestarts += Books.WorkerRestarts;
+  NumPoolRetries += Books.Retries;
+
   std::sort(Outcomes.begin(), Outcomes.end(),
             [](const PoolOutcome &A, const PoolOutcome &B) {
               return A.Index < B.Index;

@@ -1,4 +1,4 @@
-//===- runtime/WorkerPool.h - Parallel interpreter pool --------*- C++ -*-===//
+//===- runtime/WorkerPool.h - Supervised interpreter pool ------*- C++ -*-===//
 //
 // Part of the Smokestack reproduction. MIT license.
 //
@@ -6,7 +6,10 @@
 ///
 /// \file
 /// The multi-worker request engine: N interpreter workers serve requests
-/// from a bounded MPMC queue over one shared, immutable module.
+/// from a bounded MPMC queue over one shared, immutable module, under a
+/// supervision layer that contains worker crashes, retries crashed
+/// requests, quarantines poison requests, and sheds load deterministically
+/// (DESIGN.md §10).
 ///
 /// Ownership map (the concurrency model, DESIGN.md §9):
 ///
@@ -18,22 +21,54 @@
 ///     - one Interpreter with its own SimMemory arena
 ///     - one RequestRng chain (entropy streams, AES key schedule,
 ///       buffered words)
-///     - one FaultInjector per request, installed via the thread-local
-///       FaultScope
+///     - one FaultInjector per request attempt, installed via the
+///       thread-local FaultScope
 ///   synchronized
 ///     - the request queue (mutex + condvars; see MpmcQueue.h)
+///     - the supervisor's event inbox (worker-death notifications)
 ///     - process-wide Statistic counters (sharded relaxed atomics)
+///     - the pool's per-request admission/completion atomics
+///
+/// Supervision model. Any exception escaping a worker's serve path — the
+/// injected FaultSite::WorkerCrash, or a real bug in a hook or the VM — is
+/// contained: the worker's Interpreter, SimMemory arena, and RequestRng
+/// are rebuilt in place and the thread keeps serving. The crashed request
+/// is requeued on the queue's priority lane with a bounded, per-request
+/// attempt budget derived from (RootSeed, Index, SeedLane::RetryBudget);
+/// once the budget is exhausted the request is recorded as *poisoned* and
+/// never retried again (quarantine). A worker thread that dies outright
+/// (FaultSite::WorkerDeath — models a segfaulting or OS-killed worker) is
+/// detected by the supervisor thread, which joins the corpse, salvages the
+/// request it held, and relaunches a rebuilt worker while the pool has
+/// restart budget. When the pool dies unrecoverably (every worker retired)
+/// the supervisor cancels in-flight runs, closes the queue — so submit()
+/// returns false instead of deadlocking — and drains the backlog as
+/// poisoned, keeping the books exact.
+///
+/// Accounting identity, exact at finish():
+///
+///   Submitted == Completed + Shed + Poisoned
+///   Shed      == ShedByBreaker + ShedQueueFull + ShedClosed
+///
+/// Every submitted request reaches exactly one terminal state; nothing is
+/// dropped silently, nothing is double-counted.
 ///
 /// Determinism contract: every request's outcome and counter deltas are a
 /// pure function of (module, options, root seed, request index, request
-/// inputs) — per-request seeds come from runtime/DeriveSeed.h and the
-/// per-request chain/injector are rebuilt from them — so the sorted
-/// outcome list and the aggregate books are bit-identical for ANY worker
-/// count and any scheduling, and identical across reruns. Preconditions:
-/// the served function must not carry state across requests through
-/// writable globals (the request boundary resets heap, output, and — after
-/// traps — the stack, but globals persist by design), and all workers use
-/// the same InterpreterOptions.
+/// inputs) — per-request seeds come from runtime/DeriveSeed.h, the
+/// per-attempt chain/injector are rebuilt from them, and retry attempt K
+/// re-salts only the fault plan (SeedLane::RetrySalt) while the RNG lanes
+/// stay attempt-independent — so the sorted outcome list (including
+/// Attempts and Poisoned) and the aggregate books are bit-identical for
+/// ANY worker count and any scheduling, and identical across reruns.
+/// Preconditions: the served function must not carry state across requests
+/// through writable globals, all workers use the same InterpreterOptions,
+/// shedding is disabled (the breaker and ShedNewest decide from racy
+/// cumulative counters and are deterministic only per-run), and the
+/// restart budget exceeds the injected deaths (a retired worker changes
+/// nothing per-request, but an unrecoverable pool poisons the backlog,
+/// which depends on queue depth at death time). StallAlarms is the one
+/// wall-clock-driven counter and is excluded from the contract.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,14 +81,19 @@
 #include "vm/DecodedProgram.h"
 #include "vm/Interpreter.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace smokestack {
+
+class Supervisor;
 
 /// One unit of work: run the pool's function once, with these input
 /// records queued for the get_input builtins. Index is the request's
@@ -69,12 +109,19 @@ struct PoolOutcome {
   TrapKind Trap = TrapKind::None;
   uint64_t ReturnValue = 0;
   uint64_t Steps = 0;
+  /// Serve attempts consumed (1 = served first time; >1 = retried after
+  /// crashes; budget-many for a poisoned request).
+  uint32_t Attempts = 1;
+  /// True when the request exhausted its attempt budget (or the pool died
+  /// under it) and was quarantined instead of served.
+  bool Poisoned = false;
 
-  bool ok() const { return Trap == TrapKind::None; }
+  bool ok() const { return Trap == TrapKind::None && !Poisoned; }
 };
 
-/// Aggregate accounting across all workers. Every field is a sum of
-/// per-request deltas, so it is invariant under worker count.
+/// Aggregate accounting across all workers. Every field except
+/// StallAlarms is a sum of per-request deltas, so it is invariant under
+/// worker count (given shedding off and sufficient restart budget).
 struct PoolBooks {
   // VM request boundary.
   uint64_t Requests = 0;
@@ -88,11 +135,71 @@ struct PoolBooks {
   uint64_t InjectedProbes[NumFaultSites] = {};
   uint64_t InjectedEvents[NumFaultSites] = {};
 
+  // Admission / terminal-state accounting (the identity).
+  uint64_t Submitted = 0;     ///< submit() calls.
+  uint64_t Accepted = 0;      ///< Admitted into the queue.
+  uint64_t Completed = 0;     ///< Served to a terminal outcome (incl. traps).
+  uint64_t Shed = 0;          ///< Rejected at admission; sum of the three below.
+  uint64_t ShedByBreaker = 0; ///< Rejected by the trap-rate circuit breaker.
+  uint64_t ShedQueueFull = 0; ///< Rejected by ShedNewest on a full queue.
+  uint64_t ShedClosed = 0;    ///< Rejected because the queue was closed.
+  uint64_t Poisoned = 0;      ///< Quarantined after exhausting retries or pool death.
+  uint64_t PoisonedPoolDeath = 0; ///< Subset of Poisoned: abandoned, not retried out.
+
+  // Supervision events.
+  uint64_t CrashesContained = 0; ///< Exceptions caught on the serve path.
+  uint64_t WorkerDeaths = 0;     ///< Worker threads that died outright.
+  uint64_t WorkerRestarts = 0;   ///< Dead workers rebuilt and relaunched.
+  uint64_t Retries = 0;          ///< Requeues after a crash or death.
+  uint64_t StallAlarms = 0;      ///< Heartbeat stalls observed (wall-clock; diagnostic).
+
+  /// Indices of quarantined requests, sorted (the quarantine list).
+  std::vector<uint64_t> PoisonedIndices;
+
+  /// The exact conservation law: every submitted request reached exactly
+  /// one terminal state.
+  bool accountingIdentityHolds() const {
+    return Submitted == Completed + Shed + Poisoned &&
+           Shed == ShedByBreaker + ShedQueueFull + ShedClosed &&
+           Accepted == Completed + Poisoned;
+  }
+
   uint64_t injectedEvents(FaultSite S) const {
     return InjectedEvents[static_cast<unsigned>(S)];
   }
   uint64_t totalInjectedProbes() const;
   uint64_t totalInjectedEvents() const;
+};
+
+/// Crash-retry and worker-replacement policy.
+struct SupervisionOptions {
+  /// Attempt budget per request: uniform in [AttemptsMin, AttemptsMax],
+  /// drawn from deriveSeed(Root, Index, SeedLane::RetryBudget) so the
+  /// budget is a pure function of the request index. Min is clamped to 1.
+  uint32_t AttemptsMin = 3;
+  uint32_t AttemptsMax = 3;
+  /// Dead workers the supervisor may replace before retiring corpses.
+  /// Keep this above the expected injected deaths: cross-worker-count
+  /// determinism of the *backlog* needs the pool to stay alive.
+  uint64_t MaxWorkerRestarts = 1u << 20;
+  /// Supervisor wake/heartbeat-sampling period.
+  unsigned HeartbeatMillis = 25;
+};
+
+/// Load-shedding policy at submit().
+struct AdmissionOptions {
+  enum class ShedPolicy {
+    Block,     ///< submit() blocks while the queue is full (back-pressure).
+    ShedNewest ///< submit() rejects immediately on a full queue.
+  };
+  ShedPolicy Policy = ShedPolicy::Block;
+  /// Trap-rate circuit breaker: when > 0, submit() rejects new work while
+  /// Traps > BreakerTrapRate * Completed (given BreakerMinSamples
+  /// completions). Driven only by the pool's own cumulative per-request
+  /// counters — no wall clock — so a single run's shed decisions follow
+  /// the workload, not the machine.
+  double BreakerTrapRate = 0.0;
+  uint64_t BreakerMinSamples = 64;
 };
 
 struct PoolOptions {
@@ -106,9 +213,13 @@ struct PoolOptions {
   std::string Function = "main";
   InterpreterOptions InterpOpts;
   RequestRng::Config Rng;
-  /// When set, each request runs under a FaultInjector whose plan is
-  /// FaultTemplate with the seed replaced by the request-derived seed.
-  /// SitePlan::FailFromProbe counts probes *within* the request.
+  SupervisionOptions Supervision;
+  AdmissionOptions Admission;
+  /// When set, each request attempt runs under a FaultInjector whose plan
+  /// is FaultTemplate with the seed replaced by the request-derived seed
+  /// (re-salted per retry attempt, so a retry is not doomed to replay the
+  /// crash that killed attempt 0). SitePlan::FailFromProbe counts probes
+  /// *within* the attempt.
   bool InjectFaults = false;
   FaultPlan FaultTemplate;
   /// Optional per-request adjustment of the derived plan (e.g. "the DRNG
@@ -119,6 +230,10 @@ struct PoolOptions {
 };
 
 /// The pool. Lifecycle: construct → start() → submit()… → finish().
+/// Misuse is hardened, not UB: finish() before start() drains anything
+/// already queued as poisoned; double start()/finish() are no-ops; and
+/// submit() after finish() (or after unrecoverable pool death) returns
+/// false and books the request under ShedClosed.
 class WorkerPool {
 public:
   WorkerPool(Module &M, PoolOptions Opts);
@@ -126,15 +241,25 @@ public:
 
   unsigned workerCount() const { return static_cast<unsigned>(Workers.size()); }
 
-  /// Launches the worker threads.
+  /// Launches the supervisor and the worker threads. Idempotent; a no-op
+  /// after finish().
   void start();
 
-  /// Enqueues one request; blocks while the queue is full. Returns false
-  /// only after finish() closed the queue.
+  /// Enqueues one request through the admission controller. Returns false
+  /// when the request was shed (breaker open, queue full under ShedNewest,
+  /// or queue closed by finish()/pool death); the shed is booked, so the
+  /// accounting identity still covers it.
   bool submit(PoolRequest Request);
 
-  /// Closes the queue, drains it, joins every worker, and returns all
-  /// outcomes sorted by request index. Call once.
+  /// Requests cooperative cancellation of in-flight runs and closes the
+  /// queue (abnormal shutdown). Cancelled runs are booked as poisoned.
+  /// finish() still reaps threads and merges books.
+  void shutdownNow();
+
+  /// Closes the queue, waits for the backlog (including retries) to reach
+  /// terminal states, stops the supervisor, joins every worker, and
+  /// returns all outcomes sorted by request index. Idempotent; the second
+  /// call returns an empty vector.
   std::vector<PoolOutcome> finish();
 
   /// Aggregate accounting; valid after finish().
@@ -144,27 +269,103 @@ public:
   const DecodedProgram &sharedProgram() const { return Shared; }
 
 private:
+  friend class Supervisor;
+
+  /// A queued request plus how many serve attempts it has burned.
+  struct Pending {
+    PoolRequest Req;
+    uint32_t Attempt = 0;
+  };
+
+  /// Where one serve attempt ended up.
+  enum class ServeVerdict {
+    Served, ///< Terminal outcome recorded (success, trap, or cancelled).
+    Died,   ///< Injected worker death: the thread must fall over now.
+  };
+
+  /// Observable worker lifecycle state (written by the worker thread,
+  /// read by the supervisor).
+  enum class WorkerState : uint8_t {
+    Idle,    ///< Between requests (or not yet launched).
+    Serving, ///< Inside a serve attempt.
+    Dead,    ///< Fell over with a stashed request; awaiting the supervisor.
+    Exited,  ///< Left the serve loop normally (queue closed and drained).
+  };
+
   struct Worker {
-    explicit Worker(RequestRng::Config C) : Rng(C) {}
+    Worker(unsigned Id, RequestRng::Config C)
+        : Id(Id), Rng(std::make_unique<RequestRng>(C)) {}
+
+    const unsigned Id;
     std::thread Thread;
     std::unique_ptr<Interpreter> VM;
-    RequestRng Rng;
+    std::unique_ptr<RequestRng> Rng;
     std::vector<PoolOutcome> Outcomes;
     uint64_t InjectedProbes[NumFaultSites] = {};
     uint64_t InjectedEvents[NumFaultSites] = {};
+
+    // Supervision state.
+    std::atomic<uint64_t> Heartbeat{0};
+    std::atomic<WorkerState> State{WorkerState::Idle};
+    /// The request a dying worker was holding; harvested by the
+    /// supervisor after joining the corpse.
+    std::mutex StashMutex;
+    std::optional<Pending> Stash;
+
+    // Carried across rebuilds: a fresh Interpreter/RequestRng starts its
+    // counters at zero, so the pre-crash books are banked here and merged
+    // back at finish().
+    struct {
+      uint64_t Requests = 0;
+      uint64_t Traps = 0;
+      uint64_t Recoveries = 0;
+    } VmCarry;
+    RequestRng::Books RngCarry;
+
+    // Per-worker supervision tallies (merged at finish()).
+    uint64_t CrashEvents = 0;
+    uint64_t Retries = 0;
+    uint64_t PoisonedPoolDeath = 0;
   };
 
   void workerMain(Worker &W);
-  void serveRequest(Worker &W, PoolRequest &Request);
+  ServeVerdict serveRequest(Worker &W, Pending &Item);
+  /// Banks W's VM/RNG books into its carries and gives it a fresh
+  /// Interpreter (shared program + cancel flag rewired) and RequestRng.
+  /// Called on the worker's own thread after a contained crash, or on the
+  /// supervisor thread after joining a dead worker (join + relaunch give
+  /// the necessary happens-before edges).
+  void rebuildWorker(Worker &W);
+  /// Deterministic per-request attempt budget (>= 1).
+  uint32_t attemptBudget(uint64_t Index) const;
+  /// Records a quarantined request into \p Sink.
+  static void recordPoisoned(std::vector<PoolOutcome> &Sink, uint64_t Index,
+                             uint32_t Attempts);
 
   Module &M;
   PoolOptions Opts;
   DecodedProgram Shared;
-  MpmcQueue<PoolRequest> Queue;
+  MpmcQueue<Pending> Queue;
   std::vector<std::unique_ptr<Worker>> Workers;
+  std::unique_ptr<Supervisor> Super;
   PoolBooks Books;
   bool Started = false;
   bool Finished = false;
+
+  /// Cooperative-cancel flag wired into every Interpreter; set by
+  /// shutdownNow() and by the supervisor on unrecoverable pool death.
+  std::atomic<bool> CancelAll{false};
+
+  // Admission/terminal accounting. Submit-side counters are written by
+  // the submitting thread; Completed/Trapped by workers (and read racily
+  // by the breaker — per-run determinism only, as documented).
+  std::atomic<uint64_t> SubmittedCount{0};
+  std::atomic<uint64_t> AcceptedCount{0};
+  std::atomic<uint64_t> ShedBreakerCount{0};
+  std::atomic<uint64_t> ShedFullCount{0};
+  std::atomic<uint64_t> ShedClosedCount{0};
+  std::atomic<uint64_t> CompletedCount{0};
+  std::atomic<uint64_t> TrappedCount{0};
 };
 
 } // namespace smokestack

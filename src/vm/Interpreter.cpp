@@ -321,6 +321,12 @@ uint64_t Interpreter::callFunction(Function *F,
       Result.Message = "instruction budget exhausted in " + F->getName();
       break;
     }
+    if ((FuelLeft & CancelCheckMask) == 0 && CancelFlag &&
+        CancelFlag->load(std::memory_order_relaxed)) {
+      Result.Trap = TrapKind::WorkerCrash;
+      Result.Message = "cooperative cancel in " + F->getName();
+      break;
+    }
     --FuelLeft;
     assert(InstIndex < Block->size() && "fell off a basic block");
     const Instruction *Inst = Block->at(InstIndex++);
@@ -656,6 +662,12 @@ uint64_t Interpreter::callDecoded(const DecodedFunction &DF,
     if (FuelLeft == 0) {
       Result.Trap = TrapKind::OutOfFuel;
       Result.Message = "instruction budget exhausted in " + F->getName();
+      break;
+    }
+    if ((FuelLeft & CancelCheckMask) == 0 && CancelFlag &&
+        CancelFlag->load(std::memory_order_relaxed)) {
+      Result.Trap = TrapKind::WorkerCrash;
+      Result.Message = "cooperative cancel in " + F->getName();
       break;
     }
     --FuelLeft;

@@ -25,6 +25,7 @@
 #include "ir/Module.h"
 #include "vm/SimMemory.h"
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -142,6 +143,14 @@ public:
   /// Binds the randomness source consumed by the smokestack.rand builtin.
   void setRandomSource(RandomSource *Source) { Rng = Source; }
 
+  /// Binds a cooperative cancellation flag. Both execution engines poll it
+  /// every CancelCheckInterval steps inside their fuel loops; once it reads
+  /// true the run stops with a recoverable TrapKind::WorkerCrash, so a
+  /// supervisor tearing a pool down can abort an in-flight request without
+  /// killing the thread. nullptr (the default) disables the check; the
+  /// polled load is relaxed, so the hot path cost is one predictable branch.
+  void setCancelFlag(const std::atomic<bool> *Flag) { CancelFlag = Flag; }
+
   /// Publishes a shared, immutable pre-decoded program (see
   /// vm/DecodedProgram.h). Functions found there are executed from the
   /// shared form instead of this interpreter's private decode cache, so N
@@ -201,6 +210,12 @@ private:
   SimMemory Memory;
   RandomSource *Rng;
   InterpreterOptions Opts;
+  /// Cooperative cancellation flag polled by both fuel loops (see
+  /// setCancelFlag); nullptr when cancellation is not wired up.
+  const std::atomic<bool> *CancelFlag = nullptr;
+  /// The cancel flag is polled when FuelLeft is a multiple of this power of
+  /// two, bounding the abort latency to ~1k steps.
+  static constexpr uint64_t CancelCheckMask = 1023;
   /// Extra bytes below the low-water mark scrubbed on recovery, covering
   /// alignment slop and the headroom area an overflowing frame can reach.
   static constexpr uint64_t ScrubSlack = 0x1'0000;

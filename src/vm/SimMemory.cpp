@@ -39,6 +39,8 @@ const char *smokestack::trapKindName(TrapKind Kind) {
     return "bad-call";
   case TrapKind::RandomnessFailure:
     return "randomness-failure";
+  case TrapKind::WorkerCrash:
+    return "worker-crash";
   }
   smokestack_unreachable("unknown trap kind");
 }

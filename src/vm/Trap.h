@@ -30,6 +30,7 @@ enum class TrapKind {
   OutOfFuel,           ///< Step budget exhausted (runaway execution).
   BadCall,             ///< Call to an unknown builtin or malformed call.
   RandomnessFailure,   ///< The randomness stack failed closed mid-draw.
+  WorkerCrash,         ///< The serving worker crashed or cancelled the run.
 };
 
 /// Printable trap name.

@@ -1,0 +1,476 @@
+//===- tests/runtime/SupervisorTest.cpp - supervision layer tests ---------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The pool's supervision layer (DESIGN.md §10): crash containment and
+// worker rebuild, bounded retries with poison quarantine, worker-death
+// repair, unrecoverable-pool-death semantics (submit fails instead of
+// deadlocking), deterministic load shedding, cooperative cancellation,
+// the exact accounting identity Submitted == Completed + Shed + Poisoned,
+// and lifecycle-misuse hardening.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/WorkerPool.h"
+
+#include "ir/IRBuilder.h"
+#include "rng/RdRand.h"
+
+#include "gtest/gtest.h"
+
+#include <stdexcept>
+
+using namespace smokestack;
+
+namespace {
+
+/// driver(): folds two smokestack.rand draws into a byte (the same shape
+/// the WorkerPool determinism tests use).
+void buildRandModule(Module &M) {
+  IRBuilder B(M);
+  Function *Rand = M.getOrInsertDeclaration("smokestack.rand", B.i64(), {});
+  Function *Driver = M.createFunction("driver", B.i64(), {});
+  B.setInsertPoint(Driver->createBlock("entry"));
+  Value *A = B.call(Rand, {});
+  Value *C = B.call(Rand, {});
+  B.ret(B.and_(B.add(A, C), B.constI64(0xff)));
+}
+
+/// spin(): a counted loop long enough that the interpreter's cooperative
+/// cancel poll (every 1024 fuel steps) is guaranteed to fire mid-run.
+void buildSpinModule(Module &M, uint64_t Iterations) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("spin", B.i64(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Done = F->createBlock("done");
+  B.setInsertPoint(Entry);
+  AllocaInst *Ctr = B.alloca_(B.i64(), "ctr");
+  B.store(B.constI64(0), Ctr);
+  B.br(Loop);
+  B.setInsertPoint(Loop);
+  Value *V = B.load(B.i64(), Ctr);
+  Value *Next = B.add(V, B.constI64(1));
+  B.store(Next, Ctr);
+  B.condBr(B.icmp(ICmpInst::Predicate::ULT, Next, B.constI64(Iterations)),
+           Loop, Done);
+  B.setInsertPoint(Done);
+  B.ret(B.constI64(13));
+}
+
+PoolOptions chaosOptions(uint64_t RootSeed = 7) {
+  PoolOptions Opts;
+  Opts.RootSeed = RootSeed;
+  Opts.Function = "driver";
+  Opts.QueueCapacity = 32;
+  Opts.InjectFaults = true;
+  Opts.FaultTemplate.site(FaultSite::RdRandStep) = {0.15,
+                                                    RdRandSource::RetryLimit,
+                                                    0};
+  Opts.FaultTemplate.site(FaultSite::RekeyEntropy) = {0.4, 1, 0};
+  Opts.FaultTemplate.site(FaultSite::WorkerCrash) = {0.2, 1, 0};
+  Opts.FaultTemplate.site(FaultSite::WorkerDeath) = {0.05, 1, 0};
+  Opts.Supervision.AttemptsMin = 2;
+  Opts.Supervision.AttemptsMax = 5;
+  Opts.Supervision.HeartbeatMillis = 5;
+  return Opts;
+}
+
+struct RunResult {
+  std::vector<PoolOutcome> Outcomes;
+  PoolBooks Books;
+};
+
+RunResult runChaos(Module &M, PoolOptions Opts, unsigned Workers,
+                   uint64_t NumRequests) {
+  Opts.Workers = Workers;
+  WorkerPool Pool(M, Opts);
+  Pool.start();
+  for (uint64_t I = 0; I != NumRequests; ++I)
+    EXPECT_TRUE(Pool.submit({I, {}}));
+  RunResult R;
+  R.Outcomes = Pool.finish();
+  R.Books = Pool.books();
+  return R;
+}
+
+void expectIdenticalChaos(const RunResult &A, const RunResult &B,
+                          const char *What) {
+  ASSERT_EQ(A.Outcomes.size(), B.Outcomes.size()) << What;
+  for (size_t I = 0; I != A.Outcomes.size(); ++I) {
+    EXPECT_EQ(A.Outcomes[I].Index, B.Outcomes[I].Index) << What << " @" << I;
+    EXPECT_EQ(A.Outcomes[I].Trap, B.Outcomes[I].Trap) << What << " @" << I;
+    EXPECT_EQ(A.Outcomes[I].ReturnValue, B.Outcomes[I].ReturnValue)
+        << What << " @" << I;
+    EXPECT_EQ(A.Outcomes[I].Steps, B.Outcomes[I].Steps) << What << " @" << I;
+    EXPECT_EQ(A.Outcomes[I].Attempts, B.Outcomes[I].Attempts)
+        << What << " @" << I;
+    EXPECT_EQ(A.Outcomes[I].Poisoned, B.Outcomes[I].Poisoned)
+        << What << " @" << I;
+  }
+  EXPECT_EQ(A.Books.Requests, B.Books.Requests) << What;
+  EXPECT_EQ(A.Books.RequestTraps, B.Books.RequestTraps) << What;
+  EXPECT_EQ(A.Books.Rng.DrawsServed, B.Books.Rng.DrawsServed) << What;
+  EXPECT_EQ(A.Books.Completed, B.Books.Completed) << What;
+  EXPECT_EQ(A.Books.Poisoned, B.Books.Poisoned) << What;
+  EXPECT_EQ(A.Books.CrashesContained, B.Books.CrashesContained) << What;
+  EXPECT_EQ(A.Books.WorkerDeaths, B.Books.WorkerDeaths) << What;
+  EXPECT_EQ(A.Books.Retries, B.Books.Retries) << What;
+  EXPECT_EQ(A.Books.PoisonedIndices, B.Books.PoisonedIndices) << What;
+  for (unsigned S = 0; S != NumFaultSites; ++S) {
+    EXPECT_EQ(A.Books.InjectedProbes[S], B.Books.InjectedProbes[S])
+        << What << " site " << S;
+    EXPECT_EQ(A.Books.InjectedEvents[S], B.Books.InjectedEvents[S])
+        << What << " site " << S;
+  }
+}
+
+TEST(SupervisorTest, CrashesAreContainedAndRetriedToCompletion) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts = chaosOptions();
+  // Crashes only (no deaths): with a generous attempt budget nearly every
+  // request should still complete; a few may exhaust the budget.
+  Opts.FaultTemplate.site(FaultSite::WorkerDeath) = {};
+  Opts.Supervision.AttemptsMin = 6;
+  Opts.Supervision.AttemptsMax = 6;
+
+  RunResult R = runChaos(M, Opts, 4, 128);
+  EXPECT_TRUE(R.Books.accountingIdentityHolds());
+  EXPECT_EQ(R.Books.Submitted, 128u);
+  EXPECT_EQ(R.Outcomes.size(), 128u) << "every request reached a terminal state";
+  EXPECT_GT(R.Books.CrashesContained, 0u) << "no crash landed: vacuous test";
+  EXPECT_GT(R.Books.Retries, 0u);
+  EXPECT_EQ(R.Books.WorkerDeaths, 0u);
+  // p(crash)=0.2 over 6 independent attempts: poisoning a request takes
+  // p^6 = 6.4e-5 luck; none of the 128 should be quarantined.
+  EXPECT_EQ(R.Books.Poisoned, 0u);
+  EXPECT_EQ(R.Books.Completed, 128u);
+  // Retried requests must report the attempts they actually burned.
+  bool SawRetriedOutcome = false;
+  for (const PoolOutcome &O : R.Outcomes)
+    SawRetriedOutcome = SawRetriedOutcome || O.Attempts > 1;
+  EXPECT_TRUE(SawRetriedOutcome);
+}
+
+TEST(SupervisorTest, PoisonRequestsAreQuarantinedAfterBudget) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts = chaosOptions();
+  Opts.FaultTemplate.site(FaultSite::WorkerCrash) = {};
+  Opts.FaultTemplate.site(FaultSite::WorkerDeath) = {};
+  Opts.Supervision.AttemptsMin = 3;
+  Opts.Supervision.AttemptsMax = 3;
+  // Requests with Index % 7 == 3 crash on every attempt, deterministically:
+  // true poison requests in the DOP sense — no retry budget can save them.
+  Opts.PlanForRequest = [](uint64_t Index, FaultPlan &Plan) {
+    if (Index % 7 == 3)
+      Plan.site(FaultSite::WorkerCrash) = {0.0, 1, 1};
+  };
+
+  constexpr uint64_t N = 70;
+  RunResult R = runChaos(M, Opts, 3, N);
+  EXPECT_TRUE(R.Books.accountingIdentityHolds());
+  ASSERT_EQ(R.Outcomes.size(), N);
+
+  std::vector<uint64_t> ExpectedPoison;
+  for (uint64_t I = 0; I != N; ++I)
+    if (I % 7 == 3)
+      ExpectedPoison.push_back(I);
+  EXPECT_EQ(R.Books.PoisonedIndices, ExpectedPoison);
+  EXPECT_EQ(R.Books.Poisoned, ExpectedPoison.size());
+
+  for (const PoolOutcome &O : R.Outcomes) {
+    if (O.Index % 7 == 3) {
+      EXPECT_TRUE(O.Poisoned) << O.Index;
+      EXPECT_EQ(O.Trap, TrapKind::WorkerCrash) << O.Index;
+      EXPECT_EQ(O.Attempts, 3u) << "must burn the whole budget";
+      EXPECT_FALSE(O.ok());
+    } else {
+      EXPECT_FALSE(O.Poisoned) << O.Index;
+      EXPECT_EQ(O.Attempts, 1u);
+    }
+  }
+}
+
+TEST(SupervisorTest, WorkerDeathsAreRepairedBySupervisor) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts = chaosOptions();
+  Opts.FaultTemplate.site(FaultSite::WorkerCrash) = {};
+  Opts.FaultTemplate.site(FaultSite::WorkerDeath) = {0.08, 1, 0};
+
+  constexpr uint64_t N = 96;
+  RunResult R = runChaos(M, Opts, 3, N);
+  EXPECT_TRUE(R.Books.accountingIdentityHolds());
+  EXPECT_EQ(R.Outcomes.size(), N) << "deaths must not lose requests";
+  EXPECT_GT(R.Books.WorkerDeaths, 0u) << "no death landed: vacuous test";
+  EXPECT_EQ(R.Books.WorkerRestarts, R.Books.WorkerDeaths)
+      << "every corpse is replaced while the restart budget lasts";
+}
+
+TEST(SupervisorTest, ChaosOutcomesInvariantUnderWorkerCountAndRerun) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts = chaosOptions();
+
+  constexpr uint64_t N = 96;
+  RunResult One = runChaos(M, Opts, 1, N);
+  RunResult Two = runChaos(M, Opts, 2, N);
+  RunResult Eight = runChaos(M, Opts, 8, N);
+  RunResult Again = runChaos(M, Opts, 2, N);
+
+  // The chaos must actually bite for the invariance to mean anything.
+  EXPECT_GT(One.Books.CrashesContained, 0u);
+  EXPECT_GT(One.Books.WorkerDeaths, 0u);
+  EXPECT_TRUE(One.Books.accountingIdentityHolds());
+
+  expectIdenticalChaos(One, Two, "workers=1 vs workers=2");
+  expectIdenticalChaos(One, Eight, "workers=1 vs workers=8");
+  expectIdenticalChaos(Two, Again, "rerun with same root seed");
+}
+
+TEST(SupervisorTest, UnrecoverablePoolDeathFailsSubmitInsteadOfDeadlocking) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts;
+  Opts.Workers = 1;
+  Opts.Function = "driver";
+  Opts.QueueCapacity = 4;
+  Opts.InjectFaults = true;
+  // Every attempt kills the worker outright, and there is no restart
+  // budget: the pool is unrecoverable by construction.
+  Opts.FaultTemplate.site(FaultSite::WorkerDeath) = {0.0, 1, 1};
+  Opts.Supervision.MaxWorkerRestarts = 0;
+  Opts.Supervision.HeartbeatMillis = 5;
+
+  WorkerPool Pool(M, Opts);
+  Pool.start();
+
+  // Keep submitting until the dead pool's closed queue rejects us. If the
+  // supervisor failed to close the queue this would deadlock on the full
+  // queue (the driver would flag the hang); the bound is generous slack.
+  uint64_t Submitted = 0;
+  bool SawReject = false;
+  for (uint64_t I = 0; I != 10'000; ++I) {
+    ++Submitted;
+    if (!Pool.submit({I, {}})) {
+      SawReject = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(SawReject) << "submit() must start failing once the pool dies";
+
+  std::vector<PoolOutcome> Outcomes = Pool.finish();
+  const PoolBooks &B = Pool.books();
+  EXPECT_TRUE(B.accountingIdentityHolds());
+  EXPECT_EQ(B.Submitted, Submitted);
+  EXPECT_EQ(B.WorkerDeaths, 1u);
+  EXPECT_EQ(B.WorkerRestarts, 0u);
+  EXPECT_EQ(B.Completed, 0u) << "nobody ever served";
+  EXPECT_GT(B.Poisoned, 0u) << "the backlog is quarantined, not lost";
+  // The death-stashed request still had attempt budget, so it was requeued
+  // — and then drained as pool-death poison along with the backlog.
+  EXPECT_EQ(B.Poisoned, B.PoisonedPoolDeath);
+  EXPECT_EQ(B.Retries, 1u);
+  EXPECT_EQ(Outcomes.size(), B.Poisoned);
+}
+
+TEST(SupervisorTest, EscapedHookExceptionIsContainedAndQuarantined) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts;
+  Opts.Workers = 2;
+  Opts.Function = "driver";
+  Opts.InjectFaults = true;
+  Opts.Supervision.AttemptsMin = 2;
+  Opts.Supervision.AttemptsMax = 2;
+  // A real bug, not an injected probe: the per-request hook throws for one
+  // index. The pool must survive it and quarantine the request.
+  Opts.PlanForRequest = [](uint64_t Index, FaultPlan &) {
+    if (Index == 11)
+      throw std::runtime_error("hook bug");
+  };
+
+  constexpr uint64_t N = 24;
+  RunResult R;
+  {
+    WorkerPool Pool(M, Opts);
+    Pool.start();
+    for (uint64_t I = 0; I != N; ++I)
+      EXPECT_TRUE(Pool.submit({I, {}}));
+    R.Outcomes = Pool.finish();
+    R.Books = Pool.books();
+  }
+  EXPECT_TRUE(R.Books.accountingIdentityHolds());
+  ASSERT_EQ(R.Outcomes.size(), N);
+  EXPECT_EQ(R.Books.Poisoned, 1u);
+  ASSERT_EQ(R.Books.PoisonedIndices.size(), 1u);
+  EXPECT_EQ(R.Books.PoisonedIndices[0], 11u);
+  EXPECT_EQ(R.Books.CrashesContained, 2u) << "one per attempt";
+  for (const PoolOutcome &O : R.Outcomes)
+    if (O.Index != 11) {
+      EXPECT_TRUE(O.ok()) << O.Index;
+    }
+}
+
+TEST(SupervisorTest, TrapRateBreakerShedsDeterministicallyByCounters) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts;
+  Opts.Workers = 2;
+  Opts.Function = "driver";
+  Opts.QueueCapacity = 8;
+  Opts.InjectFaults = true;
+  // Whole-chain blackout: the DRNG is dead and the AES fallback can never
+  // key itself, so every request fail-closes into a RandomnessFailure
+  // trap. The breaker must open once enough samples accumulate.
+  Opts.FaultTemplate.site(FaultSite::RdRandDeath) = {0.0, 1, 1};
+  Opts.FaultTemplate.site(FaultSite::RekeyEntropy) = {0.0, 1, 1};
+  Opts.Admission.BreakerTrapRate = 0.5;
+  Opts.Admission.BreakerMinSamples = 16;
+
+  WorkerPool Pool(M, Opts);
+  Pool.start();
+  constexpr uint64_t N = 400;
+  for (uint64_t I = 0; I != N; ++I)
+    Pool.submit({I, {}});
+  std::vector<PoolOutcome> Outcomes = Pool.finish();
+  const PoolBooks &B = Pool.books();
+
+  EXPECT_TRUE(B.accountingIdentityHolds());
+  EXPECT_EQ(B.Submitted, N);
+  EXPECT_GT(B.RequestTraps, 0u);
+  EXPECT_GT(B.ShedByBreaker, 0u) << "the breaker never opened";
+  EXPECT_EQ(B.Completed + B.Shed + B.Poisoned, N);
+  EXPECT_EQ(Outcomes.size(), B.Completed + B.Poisoned)
+      << "shed requests have no outcome record — they never ran";
+}
+
+TEST(SupervisorTest, ShedNewestPolicyShedsOnFullQueueAndKeepsBooks) {
+  Module M("chaos");
+  buildSpinModule(M, 20'000); // slow enough that the queue actually fills
+  PoolOptions Opts;
+  Opts.Workers = 1;
+  Opts.Function = "spin";
+  Opts.QueueCapacity = 2;
+  Opts.Admission.Policy = AdmissionOptions::ShedPolicy::ShedNewest;
+
+  WorkerPool Pool(M, Opts);
+  Pool.start();
+  constexpr uint64_t N = 64;
+  uint64_t Accepted = 0;
+  for (uint64_t I = 0; I != N; ++I)
+    if (Pool.submit({I, {}}))
+      ++Accepted;
+  std::vector<PoolOutcome> Outcomes = Pool.finish();
+  const PoolBooks &B = Pool.books();
+
+  EXPECT_TRUE(B.accountingIdentityHolds());
+  EXPECT_EQ(B.Submitted, N);
+  EXPECT_EQ(B.Accepted, Accepted);
+  EXPECT_GT(B.ShedQueueFull, 0u) << "one slow worker behind a capacity-2 "
+                                    "queue must shed some of 64 rapid submits";
+  EXPECT_EQ(Outcomes.size(), Accepted);
+}
+
+TEST(SupervisorTest, ShutdownNowCancelsInFlightRunsAsPoisoned) {
+  Module M("chaos");
+  buildSpinModule(M, 50'000'000); // far longer than the test will wait
+  PoolOptions Opts;
+  Opts.Workers = 2;
+  Opts.Function = "spin";
+  Opts.QueueCapacity = 16;
+
+  WorkerPool Pool(M, Opts);
+  Pool.start();
+  constexpr uint64_t N = 8;
+  for (uint64_t I = 0; I != N; ++I)
+    EXPECT_TRUE(Pool.submit({I, {}}));
+  // Let the workers get into the spin, then pull the plug. The cooperative
+  // cancel poll (every 1024 steps) turns the endless runs into
+  // TrapKind::WorkerCrash, booked as poisoned; finish() then drains the
+  // queued remainder the same way instead of running it for minutes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Pool.shutdownNow();
+  std::vector<PoolOutcome> Outcomes = Pool.finish();
+  const PoolBooks &B = Pool.books();
+
+  EXPECT_TRUE(B.accountingIdentityHolds());
+  EXPECT_EQ(B.Submitted, N);
+  EXPECT_EQ(B.Completed, 0u) << "no run can finish 50M steps here";
+  EXPECT_EQ(B.Poisoned, N);
+  EXPECT_EQ(B.PoisonedPoolDeath, N);
+  ASSERT_EQ(Outcomes.size(), N);
+  for (const PoolOutcome &O : Outcomes) {
+    EXPECT_TRUE(O.Poisoned);
+    EXPECT_EQ(O.Trap, TrapKind::WorkerCrash);
+  }
+}
+
+// ---- Lifecycle-misuse hardening ----------------------------------------
+
+TEST(WorkerPoolLifecycleTest, FinishBeforeStartQuarantinesQueuedRequests) {
+  Module M("pool");
+  buildRandModule(M);
+  PoolOptions Opts;
+  Opts.Workers = 2;
+  Opts.Function = "driver";
+  WorkerPool Pool(M, Opts);
+
+  // Submitting before start() queues the work (nobody serves yet).
+  EXPECT_TRUE(Pool.submit({0, {}}));
+  EXPECT_TRUE(Pool.submit({1, {}}));
+
+  std::vector<PoolOutcome> Outcomes = Pool.finish();
+  const PoolBooks &B = Pool.books();
+  EXPECT_TRUE(B.accountingIdentityHolds());
+  ASSERT_EQ(Outcomes.size(), 2u);
+  EXPECT_TRUE(Outcomes[0].Poisoned);
+  EXPECT_TRUE(Outcomes[1].Poisoned);
+  EXPECT_EQ(B.Poisoned, 2u);
+  EXPECT_EQ(B.PoisonedPoolDeath, 2u);
+  EXPECT_EQ(B.Completed, 0u);
+
+  // start() after finish() is a hardened no-op; submit stays closed.
+  Pool.start();
+  EXPECT_FALSE(Pool.submit({2, {}}));
+  EXPECT_EQ(Pool.books().accountingIdentityHolds(), true);
+}
+
+TEST(WorkerPoolLifecycleTest, DoubleStartAndDoubleFinishAreIdempotent) {
+  Module M("pool");
+  buildRandModule(M);
+  PoolOptions Opts;
+  Opts.Workers = 2;
+  Opts.Function = "driver";
+  WorkerPool Pool(M, Opts);
+  Pool.start();
+  Pool.start(); // must not relaunch threads or crash
+  for (uint64_t I = 0; I != 6; ++I)
+    EXPECT_TRUE(Pool.submit({I, {}}));
+  EXPECT_EQ(Pool.finish().size(), 6u);
+  EXPECT_EQ(Pool.finish().size(), 0u) << "second finish() is empty, not UB";
+  EXPECT_TRUE(Pool.books().accountingIdentityHolds());
+}
+
+TEST(WorkerPoolLifecycleTest, SubmitBeforeStartIsServedAfterStart) {
+  Module M("pool");
+  buildRandModule(M);
+  PoolOptions Opts;
+  Opts.Workers = 2;
+  Opts.Function = "driver";
+  WorkerPool Pool(M, Opts);
+  EXPECT_TRUE(Pool.submit({0, {}}));
+  Pool.start();
+  EXPECT_TRUE(Pool.submit({1, {}}));
+  std::vector<PoolOutcome> Outcomes = Pool.finish();
+  ASSERT_EQ(Outcomes.size(), 2u);
+  EXPECT_TRUE(Outcomes[0].ok());
+  EXPECT_TRUE(Outcomes[1].ok());
+  EXPECT_TRUE(Pool.books().accountingIdentityHolds());
+}
+
+} // namespace

@@ -29,6 +29,13 @@
 ///                            -input records
 ///     -seed=S                pool mode: root seed for per-request
 ///                            randomness derivation (default 7)
+///     -chaos=RATE            pool mode: inject contained worker crashes at
+///                            RATE (and hard worker deaths at RATE/5) per
+///                            attempt; crashed requests retry under a
+///                            per-request attempt budget and quarantine on
+///                            exhaustion. The exact accounting identity
+///                            (submitted == completed + shed + poisoned)
+///                            is verified; a violation exits nonzero.
 ///     -print                 print the final module (default unless -run)
 ///     -verify                verify and report instead of printing
 ///     -stats                 without -run: print the stack-usage analysis;
@@ -85,6 +92,8 @@ struct Options {
   unsigned Workers = 1;
   uint64_t PoolRequests = 1;
   uint64_t PoolSeed = 7;
+  bool Chaos = false;
+  double ChaosRate = 0.0;
 };
 
 int usage(const char *Argv0) {
@@ -94,7 +103,8 @@ int usage(const char *Argv0) {
                "          [-run=FUNC] [-rng=pseudo|aes1|aes10|rdrand] "
                "[-engine=decoded|treewalk]\n"
                "          [-resilient] [-faults=SEED:RATE]\n"
-               "          [-workers=N] [-requests=M] [-seed=S]\n"
+               "          [-workers=N] [-requests=M] [-seed=S] "
+               "[-chaos=RATE]\n"
                "          [-input=TEXT]... [-print] [-verify] [-stats] "
                "<file.ir|->\n",
                Argv0);
@@ -146,6 +156,15 @@ int main(int argc, char **argv) {
       Opts.PoolRequests = std::strtoull(Arg.c_str() + 10, nullptr, 0);
     } else if (Arg.rfind("-seed=", 0) == 0) {
       Opts.PoolSeed = std::strtoull(Arg.c_str() + 6, nullptr, 0);
+    } else if (Arg.rfind("-chaos=", 0) == 0) {
+      double Rate = std::strtod(Arg.c_str() + 7, nullptr);
+      if (Rate < 0.0 || Rate > 1.0) {
+        std::fprintf(stderr, "bad -chaos rate '%s' (want [0,1])\n",
+                     Arg.c_str());
+        return usage(argv[0]);
+      }
+      Opts.Chaos = true;
+      Opts.ChaosRate = Rate;
     } else if (Arg == "-resilient") {
       Opts.Resilient = true;
     } else if (Arg.rfind("-faults=", 0) == 0) {
@@ -271,6 +290,15 @@ int main(int argc, char **argv) {
         PO.FaultTemplate.site(FaultSite::AesNiPresence) = {
             Opts.FaultRate / 4, 1, 0};
       }
+      if (Opts.Chaos) {
+        PO.InjectFaults = true;
+        PO.FaultTemplate.site(FaultSite::WorkerCrash) = {Opts.ChaosRate, 1,
+                                                         0};
+        PO.FaultTemplate.site(FaultSite::WorkerDeath) = {
+            Opts.ChaosRate / 5, 1, 0};
+        PO.Supervision.AttemptsMin = 2;
+        PO.Supervision.AttemptsMax = 4;
+      }
 
       std::vector<std::vector<uint8_t>> Records;
       for (const std::string &Input : Opts.Inputs)
@@ -285,10 +313,29 @@ int main(int argc, char **argv) {
       uint64_t Ok = 0, Trapped = 0;
       for (const PoolOutcome &O : Outcomes)
         O.ok() ? ++Ok : ++Trapped;
+      const PoolBooks &B = Pool.books();
       std::printf("pool: %u workers, %llu requests, %llu ok, %llu trapped\n",
                   Pool.workerCount(),
                   (unsigned long long)Outcomes.size(),
                   (unsigned long long)Ok, (unsigned long long)Trapped);
+      if (Opts.Chaos)
+        std::printf("supervision: %llu crashes contained, %llu deaths, "
+                    "%llu restarts, %llu retries, %llu poisoned\n",
+                    (unsigned long long)B.CrashesContained,
+                    (unsigned long long)B.WorkerDeaths,
+                    (unsigned long long)B.WorkerRestarts,
+                    (unsigned long long)B.Retries,
+                    (unsigned long long)B.Poisoned);
+      if (!B.accountingIdentityHolds()) {
+        std::fprintf(stderr,
+                     "error: accounting identity violated: submitted %llu != "
+                     "completed %llu + shed %llu + poisoned %llu\n",
+                     (unsigned long long)B.Submitted,
+                     (unsigned long long)B.Completed,
+                     (unsigned long long)B.Shed,
+                     (unsigned long long)B.Poisoned);
+        return 3;
+      }
       if (!Outcomes.empty() && Outcomes.front().ok())
         std::printf("-> %lld (after %llu steps)\n",
                     (long long)(int64_t)Outcomes.front().ReturnValue,
@@ -300,7 +347,6 @@ int main(int argc, char **argv) {
             std::printf("  %10llu %-28s %s\n",
                         (unsigned long long)S->value(), S->name(),
                         S->description());
-        const PoolBooks &B = Pool.books();
         std::printf("rng: pool chain (%llu draws, %llu degraded, "
                     "%llu fail-closed)\n",
                     (unsigned long long)B.Rng.DrawsServed,
