@@ -58,6 +58,8 @@
 #include "defenses/Deploy.h"
 #include "faults/FaultInjector.h"
 #include "ir/IRBuilder.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/Trace.h"
 #include "rng/AesCtr.h"
 #include "rng/Entropy.h"
 #include "rng/RdRand.h"
@@ -456,6 +458,44 @@ void checkEq(uint64_t A, uint64_t B, const char *What) {
     Failed = true;
 }
 
+/// Re-indents a MetricsRegistry::exportJson() blob for embedding as a
+/// nested object: every line after the first gets \p Pad prepended and the
+/// trailing newline is dropped, so `"metrics": <embedJson(...)>` nests
+/// cleanly inside a hand-written JSON file.
+std::string embedJson(const std::string &Json, const char *Pad) {
+  std::string Out;
+  for (size_t I = 0, E = Json.size(); I != E; ++I) {
+    char C = Json[I];
+    if (C == '\n' && I + 1 == E)
+      break;
+    Out += C;
+    if (C == '\n')
+      Out += Pad;
+  }
+  return Out;
+}
+
+/// Counts the sweep points in an existing BENCH_scaling.json by counting
+/// its `"workers":` keys. Returns 0 when the file does not exist or holds
+/// no sweep.
+size_t countSweepPoints(const std::string &Path) {
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In)
+    return 0;
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) != 0)
+    Text.append(Buf, N);
+  std::fclose(In);
+  size_t Count = 0;
+  const char *Key = "\"workers\":";
+  for (size_t Pos = Text.find(Key); Pos != std::string::npos;
+       Pos = Text.find(Key, Pos + 1))
+    ++Count;
+  return Count;
+}
+
 //===----------------------------------------------------------------------===//
 // Pool soak pass (WorkerPool, -workers=N / -scaling)
 //===----------------------------------------------------------------------===//
@@ -501,9 +541,14 @@ constexpr uint64_t PoisonPhase = 400;
 /// then also covers Attempts, the Poisoned flags, and the supervision
 /// books, so "bit-identical" extends to the pool's entire failure
 /// handling. Attempt budgets are drawn from [2, 4].
+///
+/// \p Tracer, when non-null, installs per-request span tracing for this
+/// pass. Tracing is observational only: a traced pass must produce the
+/// same digest as an untraced one, which the chaos soak checks explicitly.
 PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
                            double FaultRate, unsigned Workers,
-                           bool Chaos = false) {
+                           bool Chaos = false,
+                           TraceRecorder *Tracer = nullptr) {
   PoolPassResult R;
 
   Module M("soak-server");
@@ -535,6 +580,7 @@ PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
   PO.Function = "driver";
   PO.InterpOpts = Deployed.InterpOpts;
   PO.InjectFaults = true;
+  PO.Tracer = Tracer;
   PO.FaultTemplate.site(FaultSite::RdRandStep) = {FaultRate,
                                                   RdRandSource::RetryLimit, 0};
   PO.FaultTemplate.site(FaultSite::RekeyEntropy) = {0.25, 1, 0};
@@ -782,8 +828,16 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
               PRIu64 ", %u workers, crash 0.010, death 0.002\n",
               NumRequests, FaultRate, Seed, Workers);
 
-  PoolPassResult A =
-      runPoolPass(Seed, NumRequests, FaultRate, Workers, /*Chaos=*/true);
+  // Pass A runs fully traced (spans + wall-clock histograms); passes B and
+  // C run dark. A == B is therefore simultaneously the rerun check AND the
+  // proof that the observability layer is purely observational.
+  TraceRecorder Recorder;
+  PoolPassResult A;
+  {
+    ObsTimingScope Timing;
+    A = runPoolPass(Seed, NumRequests, FaultRate, Workers, /*Chaos=*/true,
+                    &Recorder);
+  }
   PoolPassResult B =
       runPoolPass(Seed, NumRequests, FaultRate, Workers, /*Chaos=*/true);
   unsigned AltWorkers = Workers == 1 ? 2 : 1;
@@ -856,9 +910,51 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
 
   // 6. Determinism: rerun and alternate worker count replay bit-identically
   //    — including attempts, retries, quarantines, and supervision books.
-  checkEq(A.DigestValue, B.DigestValue, "same-seed rerun is bit-identical");
+  //    Pass A was traced and pass B was not, so the first equality also
+  //    proves tracing never perturbs the served outcomes.
+  checkEq(A.DigestValue, B.DigestValue,
+          "traced pass == untraced rerun (tracing is observational)");
   checkEq(A.DigestValue, C.DigestValue,
           "digest is invariant under the worker count");
+
+  // 7. Trace completeness: the span stream reconstructs the ledger. Every
+  //    request has exactly one terminal span, every contained crash and
+  //    hard death left its span, and no ring ever overflowed.
+  std::vector<TraceSpan> Spans = Recorder.take();
+  uint64_t SpansByDisposition[NumSpanDispositions] = {};
+  for (const TraceSpan &S : Spans)
+    ++SpansByDisposition[static_cast<unsigned>(S.Disposition)];
+  uint64_t CompletedSpans =
+      SpansByDisposition[static_cast<unsigned>(SpanDisposition::Completed)];
+  uint64_t TrappedSpans =
+      SpansByDisposition[static_cast<unsigned>(SpanDisposition::Trapped)];
+  uint64_t CrashedSpans =
+      SpansByDisposition[static_cast<unsigned>(SpanDisposition::Crashed)];
+  uint64_t DiedSpans =
+      SpansByDisposition[static_cast<unsigned>(SpanDisposition::Died)];
+  uint64_t PoisonedSpans =
+      SpansByDisposition[static_cast<unsigned>(SpanDisposition::Poisoned)];
+  std::printf("  trace: %zu spans (completed %" PRIu64 ", trapped %" PRIu64
+              ", crashed %" PRIu64 ", died %" PRIu64 ", poisoned %" PRIu64
+              "), %" PRIu64 " dropped\n",
+              Spans.size(), CompletedSpans, TrappedSpans, CrashedSpans,
+              DiedSpans, PoisonedSpans, Recorder.droppedSpans());
+  checkEq(Recorder.droppedSpans(), 0, "span collection was lossless");
+  checkEq(CompletedSpans + TrappedSpans + PoisonedSpans, NumRequests,
+          "exactly one terminal span per request");
+  checkEq(CompletedSpans + TrappedSpans, BK.Completed,
+          "completed+trapped spans match completed requests");
+  checkEq(PoisonedSpans, BK.Poisoned, "poisoned spans match quarantines");
+  checkEq(CrashedSpans, BK.CrashesContained,
+          "crashed spans match contained crashes");
+  checkEq(DiedSpans, BK.WorkerDeaths, "died spans match hard worker deaths");
+
+  // The metrics snapshot embedded in BENCH_soak.json: the pool's books and
+  // the trace summary, without the process-global registries (three passes
+  // ran in this process; globals would aggregate all of them).
+  MetricsRegistry Metrics(/*IncludeGlobals=*/false);
+  BK.exportMetrics(Metrics);
+  Recorder.exportMetrics(Metrics);
 
   if (FILE *Out = std::fopen(JsonPath.c_str(), "w")) {
     std::fprintf(Out,
@@ -890,9 +986,20 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                  "    \"succeeded\": %" PRIu64 "\n"
                  "  },\n"
                  "  \"rerun_bit_identical\": %s,\n"
+                 "  \"traced_equals_untraced\": %s,\n"
                  "  \"worker_count_invariant\": %s,\n"
+                 "  \"trace\": {\n"
+                 "    \"spans\": %zu,\n"
+                 "    \"dropped\": %" PRIu64 ",\n"
+                 "    \"completed\": %" PRIu64 ",\n"
+                 "    \"trapped\": %" PRIu64 ",\n"
+                 "    \"crashed\": %" PRIu64 ",\n"
+                 "    \"died\": %" PRIu64 ",\n"
+                 "    \"poisoned\": %" PRIu64 "\n"
+                 "  },\n"
                  "  \"seconds\": %.4f,\n"
-                 "  \"requests_per_sec\": %.1f\n"
+                 "  \"requests_per_sec\": %.1f,\n"
+                 "  \"metrics\": %s\n"
                  "}\n",
                  NumRequests, FaultRate, Seed, Workers, A.DigestValue,
                  BK.Submitted, BK.Completed, BK.Shed, BK.Poisoned,
@@ -901,8 +1008,12 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                  BK.Retries, A.AttackAttempts, A.AttackTraps,
                  A.AttackSuccesses,
                  A.DigestValue == B.DigestValue ? "true" : "false",
-                 A.DigestValue == C.DigestValue ? "true" : "false", A.Seconds,
-                 static_cast<double>(NumRequests) / A.Seconds);
+                 A.DigestValue == B.DigestValue ? "true" : "false",
+                 A.DigestValue == C.DigestValue ? "true" : "false",
+                 Spans.size(), Recorder.droppedSpans(), CompletedSpans,
+                 TrappedSpans, CrashedSpans, DiedSpans, PoisonedSpans,
+                 A.Seconds, static_cast<double>(NumRequests) / A.Seconds,
+                 embedJson(Metrics.exportJson(), "  ").c_str());
     std::fclose(Out);
     std::printf("\nwrote %s\n", JsonPath.c_str());
   } else {
@@ -938,6 +1049,7 @@ int runScaling(uint64_t Seed, uint64_t NumRequests, double FaultRate,
               NumRequests, FaultRate, Seed, HW);
 
   std::vector<PoolPassResult> Results;
+  std::vector<std::string> PointMetrics;
   for (unsigned W : Sweep) {
     PoolPassResult R = runPoolPass(Seed, NumRequests, FaultRate, W);
     if (!R.Valid)
@@ -946,6 +1058,11 @@ int runScaling(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                 "\n",
                 W, R.Seconds,
                 static_cast<double>(NumRequests) / R.Seconds, R.DigestValue);
+    // One metrics snapshot per sweep point, from that point's books alone
+    // (globals would aggregate the whole sweep).
+    MetricsRegistry Reg(/*IncludeGlobals=*/false);
+    R.Books.exportMetrics(Reg);
+    PointMetrics.push_back(Reg.exportJson());
     Results.push_back(std::move(R));
   }
 
@@ -956,7 +1073,15 @@ int runScaling(uint64_t Seed, uint64_t NumRequests, double FaultRate,
             "digest identical across worker counts");
 
   // BENCH_scaling.json: the scaling curve plus the determinism verdict.
-  if (FILE *Out = std::fopen(JsonPath.c_str(), "w")) {
+  // A reduced CI run must never clobber a fuller committed sweep: if the
+  // existing file covers more worker counts than this run produced, keep
+  // it and say so (the run itself still passes or fails on its checks).
+  size_t ExistingPoints = countSweepPoints(JsonPath);
+  if (ExistingPoints > Sweep.size()) {
+    std::printf("\nrefusing to overwrite %s: existing sweep has %zu points, "
+                "this run has %zu\n",
+                JsonPath.c_str(), ExistingPoints, Sweep.size());
+  } else if (FILE *Out = std::fopen(JsonPath.c_str(), "w")) {
     double Base = static_cast<double>(NumRequests) / Results.front().Seconds;
     std::fprintf(Out,
                  "{\n"
@@ -978,10 +1103,12 @@ int runScaling(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                    "\"digest\": \"0x%016" PRIx64 "\", "
                    "\"traps_recovered\": %" PRIu64 ", "
                    "\"fallback_draws\": %" PRIu64 ", "
-                   "\"failclosed_draws\": %" PRIu64 "}%s\n",
+                   "\"failclosed_draws\": %" PRIu64 ",\n"
+                   "     \"metrics\": %s}%s\n",
                    Sweep[I], R.Seconds, Rate, Rate / Base, R.DigestValue,
                    R.Books.RequestRecoveries, R.Books.Rng.FallbackDraws,
                    R.Books.Rng.FailClosedDraws,
+                   embedJson(PointMetrics[I], "     ").c_str(),
                    I + 1 == Results.size() ? "" : ",");
     }
     std::fprintf(Out, "  ]\n}\n");

@@ -6,7 +6,9 @@
 
 #include "core/FrameRuntime.h"
 
+#include "obs/Histogram.h"
 #include "rng/RandomSource.h"
+#include "support/Statistics.h"
 
 #include <atomic>
 #include <cassert>
@@ -17,6 +19,12 @@ namespace {
 
 /// Process-wide function-id allocator for native frames.
 std::atomic<uint64_t> NextNativeFunctionId{0x4E41'0001};
+
+Statistic NumPermutedFrames("core.frames-permuted",
+                            "Native permuted frames constructed");
+Histogram PermutationRow(
+    "core.permutation-row",
+    "P-BOX row index selected per permuted frame (log2 buckets)");
 
 } // namespace
 
@@ -56,6 +64,8 @@ PermutedFrame::PermutedFrame(const FrameDescriptor &Desc, RandomSource &Rng,
   const PBoxTable &Table = Desc.table();
   Row = Table.rowMask() ? (Rand & Table.rowMask()) : (Rand % Table.numRows());
   *identifierSlot() = Desc.functionId() ^ Rand;
+  ++NumPermutedFrames;
+  PermutationRow.record(Row);
 }
 
 bool PermutedFrame::checkIdentifier() const {

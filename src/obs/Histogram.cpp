@@ -1,0 +1,80 @@
+//===- obs/Histogram.cpp - Sharded log2 latency histograms ----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Histogram.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+using namespace smokestack;
+
+namespace {
+
+/// Registration-ordered registry. Function-local static so histograms
+/// constructed during static initialization of other TUs register safely.
+std::vector<Histogram *> &histogramRegistry() {
+  static std::vector<Histogram *> Registry;
+  return Registry;
+}
+
+} // namespace
+
+Histogram::Histogram(const char *Name, const char *Description)
+    : TheName(Name), TheDescription(Description) {
+  histogramRegistry().push_back(this);
+}
+
+uint64_t Histogram::Snapshot::percentile(double P) const {
+  if (Count == 0)
+    return 0;
+  // Rank of the percentile sample, 1-based, clamped into [1, Count].
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(P * static_cast<double>(Count)));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  uint64_t Cumulative = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Cumulative += Buckets[I];
+    if (Cumulative >= Rank)
+      return bucketUpperBound(I);
+  }
+  return bucketUpperBound(NumBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot S;
+  for (const Shard &Sh : Shards) {
+    S.Sum += Sh.Sum.load(std::memory_order_relaxed);
+    for (unsigned I = 0; I != NumBuckets; ++I) {
+      uint64_t C = Sh.Buckets[I].load(std::memory_order_relaxed);
+      S.Buckets[I] += C;
+      S.Count += C;
+    }
+  }
+  return S;
+}
+
+void Histogram::reset() {
+  for (Shard &Sh : Shards) {
+    Sh.Sum.store(0, std::memory_order_relaxed);
+    for (unsigned I = 0; I != NumBuckets; ++I)
+      Sh.Buckets[I].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::span<Histogram *const> smokestack::allHistograms() {
+  return histogramRegistry();
+}
+
+Histogram *smokestack::findHistogram(const char *Name) {
+  for (Histogram *H : histogramRegistry())
+    if (std::strcmp(H->name(), Name) == 0)
+      return H;
+  return nullptr;
+}

@@ -1,0 +1,120 @@
+//===- obs/Histogram.h - Sharded log2 latency histograms -------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-bucket log2 histograms for latency and size distributions, built
+/// on the same sharded relaxed-atomic design as Statistic (DESIGN.md §11):
+/// one cache line of buckets per shard, threads assigned to shards
+/// round-robin, record() is a single relaxed fetch_add on the recording
+/// thread's shard. Reads sum the shards, so concurrent snapshots see a
+/// momentary total and quiescent snapshots are exact.
+///
+/// Bucket i holds values whose bit width is i (bucket 0 = {0}, bucket 1 =
+/// {1}, bucket 2 = {2,3}, ...), so the upper bound of bucket i is 2^i - 1
+/// and 65 buckets cover the whole uint64_t range. Log2 buckets keep the
+/// table small and the percentile error bounded by 2x — plenty for "did
+/// reseed latency regress by an order of magnitude", which is what the
+/// bench gates ask.
+///
+/// Like Statistic, every Histogram self-registers; allHistograms() feeds
+/// the MetricsRegistry exporters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_OBS_HISTOGRAM_H
+#define SMOKESTACK_OBS_HISTOGRAM_H
+
+#include "support/Statistics.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <span>
+
+namespace smokestack {
+
+/// A named, process-wide log2 histogram. Define one at namespace scope
+/// next to the code it measures:
+///
+///   static Histogram ReseedNanos("rng.reseed-nanos",
+///                                "RequestRng chain rebuild latency");
+///   ...
+///   ReseedNanos.record(ElapsedNanos);
+class Histogram {
+public:
+  /// Shards shared with Statistic: detail::statisticShardIndex() assigns
+  /// threads round-robin over detail::NumCounterShards cells.
+  static constexpr unsigned NumShards = detail::NumCounterShards;
+  /// Bucket i counts values V with std::bit_width(V) == i; 65 buckets
+  /// cover all of uint64_t (bit widths 0..64).
+  static constexpr unsigned NumBuckets = 65;
+
+  Histogram(const char *Name, const char *Description);
+
+  const char *name() const { return TheName; }
+  const char *description() const { return TheDescription; }
+
+  /// Bucket a value lands in.
+  static unsigned bucketIndex(uint64_t Value) {
+    return static_cast<unsigned>(std::bit_width(Value));
+  }
+  /// Largest value bucket \p Index holds (2^Index - 1; UINT64_MAX for the
+  /// last bucket).
+  static uint64_t bucketUpperBound(unsigned Index) {
+    return Index >= 64 ? UINT64_MAX : (uint64_t{1} << Index) - 1;
+  }
+
+  /// One relaxed fetch_add per call on this thread's shard.
+  void record(uint64_t Value) {
+    Shard &S = Shards[detail::statisticShardIndex()];
+    S.Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+    S.Sum.fetch_add(Value, std::memory_order_relaxed);
+  }
+
+  /// A merged point-in-time view: total count, sum, per-bucket counts,
+  /// and percentile summaries (each percentile reports the upper bound of
+  /// the bucket containing that rank, i.e. within 2x of the true value).
+  struct Snapshot {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Buckets[NumBuckets] = {};
+
+    /// Value below which a \p P fraction of recorded samples fall
+    /// (bucket-upper-bound resolution; 0 for an empty histogram).
+    uint64_t percentile(double P) const;
+    uint64_t p50() const { return percentile(0.50); }
+    uint64_t p95() const { return percentile(0.95); }
+    uint64_t p99() const { return percentile(0.99); }
+  };
+
+  /// Sums the shards (exact when no writer is concurrently active).
+  Snapshot snapshot() const;
+
+  /// Resets to empty (tests only).
+  void reset();
+
+private:
+  /// One cache-line-aligned bucket table per shard so recording threads
+  /// never false-share.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> Sum{0};
+    std::atomic<uint64_t> Buckets[NumBuckets]{};
+  };
+
+  const char *TheName;
+  const char *TheDescription;
+  Shard Shards[NumShards];
+};
+
+/// Every Histogram constructed so far, in registration order.
+std::span<Histogram *const> allHistograms();
+
+/// Finds a registered histogram by name (nullptr if absent).
+Histogram *findHistogram(const char *Name);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_OBS_HISTOGRAM_H

@@ -1,0 +1,175 @@
+//===- obs/MetricsRegistry.cpp - Prometheus/JSON metrics export -----------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsRegistry.h"
+
+#include "obs/Histogram.h"
+#include "support/Format.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+using namespace smokestack;
+
+namespace {
+
+/// Dotted smokestack name -> Prometheus metric name.
+std::string promName(const std::string &Name) {
+  std::string Out = "smokestack_";
+  for (char C : Name)
+    Out += (C == '.' || C == '-') ? '_' : C;
+  return Out;
+}
+
+/// Minimal JSON string escaping (names and help strings are ASCII).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+template <typename T, typename NameFn>
+std::vector<const T *> sortedByName(const std::vector<const T *> &In,
+                                    NameFn Name) {
+  std::vector<const T *> Out = In;
+  std::sort(Out.begin(), Out.end(), [&](const T *A, const T *B) {
+    return std::string(Name(A)) < std::string(Name(B));
+  });
+  return Out;
+}
+
+} // namespace
+
+void MetricsRegistry::addGauge(std::string Name, std::string Help,
+                               uint64_t Value) {
+  Gauges.push_back({std::move(Name), std::move(Help), Value});
+}
+
+void MetricsRegistry::addHistogram(const Histogram *H) { Extra.push_back(H); }
+
+std::string MetricsRegistry::exportText() const {
+  std::string Out;
+
+  std::vector<const Statistic *> Counters;
+  if (IncludeGlobals)
+    for (const Statistic *S : allStatistics())
+      Counters.push_back(S);
+  Counters = sortedByName(Counters,
+                          [](const Statistic *S) { return S->name(); });
+  for (const Statistic *S : Counters) {
+    std::string N = promName(S->name());
+    Out += formatString("# HELP %s %s\n", N.c_str(), S->description());
+    Out += formatString("# TYPE %s counter\n", N.c_str());
+    Out += formatString("%s %llu\n", N.c_str(),
+                        (unsigned long long)S->value());
+  }
+
+  std::vector<Gauge> SortedGauges = Gauges;
+  std::sort(SortedGauges.begin(), SortedGauges.end(),
+            [](const Gauge &A, const Gauge &B) { return A.Name < B.Name; });
+  for (const Gauge &G : SortedGauges) {
+    std::string N = promName(G.Name);
+    Out += formatString("# HELP %s %s\n", N.c_str(), G.Help.c_str());
+    Out += formatString("# TYPE %s gauge\n", N.c_str());
+    Out += formatString("%s %llu\n", N.c_str(), (unsigned long long)G.Value);
+  }
+
+  std::vector<const Histogram *> Hists = Extra;
+  if (IncludeGlobals)
+    for (const Histogram *H : allHistograms())
+      Hists.push_back(H);
+  Hists = sortedByName(Hists, [](const Histogram *H) { return H->name(); });
+  for (const Histogram *H : Hists) {
+    Histogram::Snapshot S = H->snapshot();
+    std::string N = promName(H->name());
+    Out += formatString("# HELP %s %s\n", N.c_str(), H->description());
+    Out += formatString("# TYPE %s histogram\n", N.c_str());
+    uint64_t Cumulative = 0;
+    for (unsigned I = 0; I != Histogram::NumBuckets; ++I) {
+      if (S.Buckets[I] == 0)
+        continue; // elide empty buckets; cumulative counts stay valid
+      Cumulative += S.Buckets[I];
+      Out += formatString(
+          "%s_bucket{le=\"%llu\"} %llu\n", N.c_str(),
+          (unsigned long long)Histogram::bucketUpperBound(I),
+          (unsigned long long)Cumulative);
+    }
+    Out += formatString("%s_bucket{le=\"+Inf\"} %llu\n", N.c_str(),
+                        (unsigned long long)S.Count);
+    Out += formatString("%s_sum %llu\n", N.c_str(),
+                        (unsigned long long)S.Sum);
+    Out += formatString("%s_count %llu\n", N.c_str(),
+                        (unsigned long long)S.Count);
+  }
+
+  return Out;
+}
+
+std::string MetricsRegistry::exportJson() const {
+  std::string Out = "{\n  \"schema\": \"smokestack-metrics-v1\",\n";
+
+  std::vector<const Statistic *> Counters;
+  if (IncludeGlobals)
+    for (const Statistic *S : allStatistics())
+      Counters.push_back(S);
+  Counters = sortedByName(Counters,
+                          [](const Statistic *S) { return S->name(); });
+  Out += "  \"counters\": [";
+  for (size_t I = 0; I != Counters.size(); ++I)
+    Out += formatString(
+        "%s\n    {\"name\": \"%s\", \"value\": %llu}", I ? "," : "",
+        jsonEscape(Counters[I]->name()).c_str(),
+        (unsigned long long)Counters[I]->value());
+  Out += Counters.empty() ? "],\n" : "\n  ],\n";
+
+  std::vector<Gauge> SortedGauges = Gauges;
+  std::sort(SortedGauges.begin(), SortedGauges.end(),
+            [](const Gauge &A, const Gauge &B) { return A.Name < B.Name; });
+  Out += "  \"gauges\": [";
+  for (size_t I = 0; I != SortedGauges.size(); ++I)
+    Out += formatString(
+        "%s\n    {\"name\": \"%s\", \"value\": %llu}", I ? "," : "",
+        jsonEscape(SortedGauges[I].Name).c_str(),
+        (unsigned long long)SortedGauges[I].Value);
+  Out += SortedGauges.empty() ? "],\n" : "\n  ],\n";
+
+  std::vector<const Histogram *> Hists = Extra;
+  if (IncludeGlobals)
+    for (const Histogram *H : allHistograms())
+      Hists.push_back(H);
+  Hists = sortedByName(Hists, [](const Histogram *H) { return H->name(); });
+  Out += "  \"histograms\": [";
+  for (size_t I = 0; I != Hists.size(); ++I) {
+    const Histogram *H = Hists[I];
+    Histogram::Snapshot S = H->snapshot();
+    Out += formatString(
+        "%s\n    {\"name\": \"%s\", \"count\": %llu, \"sum\": %llu, "
+        "\"p50\": %llu, \"p95\": %llu, \"p99\": %llu, \"buckets\": [",
+        I ? "," : "", jsonEscape(H->name()).c_str(),
+        (unsigned long long)S.Count, (unsigned long long)S.Sum,
+        (unsigned long long)S.p50(), (unsigned long long)S.p95(),
+        (unsigned long long)S.p99());
+    bool First = true;
+    for (unsigned B = 0; B != Histogram::NumBuckets; ++B) {
+      if (S.Buckets[B] == 0)
+        continue;
+      Out += formatString(
+          "%s{\"le\": %llu, \"count\": %llu}", First ? "" : ", ",
+          (unsigned long long)Histogram::bucketUpperBound(B),
+          (unsigned long long)S.Buckets[B]);
+      First = false;
+    }
+    Out += "]}";
+  }
+  Out += Hists.empty() ? "]\n" : "\n  ]\n";
+
+  Out += "}\n";
+  return Out;
+}

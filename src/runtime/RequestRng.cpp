@@ -6,9 +6,19 @@
 
 #include "runtime/RequestRng.h"
 
+#include "obs/Histogram.h"
+#include "obs/Trace.h"
 #include "runtime/DeriveSeed.h"
 
 using namespace smokestack;
+
+namespace {
+
+Histogram ReseedNanos(
+    "rng.reseed-nanos",
+    "RequestRng chain rebuild latency per reseed (obs timing only)");
+
+} // namespace
 
 RequestRng::Books &RequestRng::Books::operator+=(const Books &O) {
   DrawsServed += O.DrawsServed;
@@ -58,6 +68,9 @@ RequestRng::Books RequestRng::books() const {
 }
 
 void RequestRng::reseed(uint64_t RootSeed, uint64_t Index) {
+  bool Timed = obsTimingEnabled();
+  uint64_t Start = Timed ? obsNowNanos() : 0;
+
   Accumulated += liveBooks();
 
   // Destruction order mirrors construction: the decorator holds raw
@@ -76,4 +89,7 @@ void RequestRng::reseed(uint64_t RootSeed, uint64_t Index) {
   Chain.emplace(std::span<RandomSource *const>(Sources, 2), Cfg.Chain);
   if (Cfg.BatchSize > 1)
     Chain->setBatchSize(Cfg.BatchSize);
+
+  if (Timed)
+    ReseedNanos.record(obsNowNanos() - Start);
 }

@@ -6,11 +6,23 @@
 
 #include "runtime/Supervisor.h"
 
+#include "obs/Histogram.h"
+#include "obs/Trace.h"
+
 #include <chrono>
 #include <cstdint>
 #include <optional>
 
 using namespace smokestack;
+
+namespace {
+
+Histogram RestartNanos(
+    "pool.restart-nanos",
+    "Supervisor latency per worker death: join, salvage, relaunch "
+    "(obs timing only)");
+
+} // namespace
 
 Supervisor::Supervisor(WorkerPool &Pool) : Pool(Pool) {}
 
@@ -71,12 +83,19 @@ void Supervisor::supervisorMain() {
     if (!Woken) {
       Lock.unlock();
       sampleHeartbeats();
+      // Paced ring drain: with the default heartbeat period the rings
+      // never come close to filling between wakes, which is what makes
+      // steady-state collection lossless (tracked by spans-dropped).
+      if (TraceRecorder *T = Pool.Opts.Tracer)
+        T->collect();
       Lock.lock();
     }
   }
 }
 
 void Supervisor::handleDeath(unsigned Id) {
+  bool Timed = obsTimingEnabled();
+  uint64_t Start = Timed ? obsNowNanos() : 0;
   WorkerPool::Worker &W = *Pool.Workers[Id];
 
   // Join the corpse first: the join is the happens-before edge that makes
@@ -84,6 +103,12 @@ void Supervisor::handleDeath(unsigned Id) {
   if (W.Thread.joinable())
     W.Thread.join();
   ++Deaths;
+
+  // Drain the corpse's ring now (the join made every push visible): a
+  // dead worker's spans — including the Died span it wrote on the way
+  // down — are never lost, even if the worker is retired for good.
+  if (TraceRecorder *T = Pool.Opts.Tracer)
+    T->collect();
 
   // Salvage the request the worker died holding. Requeue-or-poison comes
   // BEFORE taskDone so the queue never looks idle while the request's fate
@@ -97,10 +122,15 @@ void Supervisor::handleDeath(unsigned Id) {
     uint32_t Burned = Item->Attempt + 1;
     if (Burned < Pool.attemptBudget(Item->Req.Index)) {
       ++Retries;
-      Pool.Queue.pushPriority(
-          WorkerPool::Pending{std::move(Item->Req), Burned});
+      WorkerPool::Pending Retry{std::move(Item->Req), Burned};
+      if (Pool.Opts.Tracer)
+        Retry.EnqueueNs = obsNowNanos();
+      Pool.Queue.pushPriority(std::move(Retry));
     } else {
       WorkerPool::recordPoisoned(Outcomes, Item->Req.Index, Burned);
+      if (TraceRecorder *T = Pool.Opts.Tracer)
+        T->recordExternal({Item->Req.Index, Id, Burned,
+                           SpanDisposition::Poisoned, 0, 0, 0, 0, 0});
     }
     Pool.Queue.taskDone();
   }
@@ -120,6 +150,9 @@ void Supervisor::handleDeath(unsigned Id) {
     if (AllRetired)
       declarePoolDead();
   }
+
+  if (Timed)
+    RestartNanos.record(obsNowNanos() - Start);
 }
 
 void Supervisor::declarePoolDead() {
@@ -134,6 +167,9 @@ void Supervisor::declarePoolDead() {
   while (std::optional<WorkerPool::Pending> Item = Pool.Queue.tryPop()) {
     WorkerPool::recordPoisoned(Outcomes, Item->Req.Index, Item->Attempt);
     ++PoisonedPoolDeath;
+    if (TraceRecorder *T = Pool.Opts.Tracer)
+      T->recordExternal({Item->Req.Index, 0, Item->Attempt,
+                         SpanDisposition::Poisoned, 0, 0, 0, 0, 0});
     Pool.Queue.taskDone();
   }
 }

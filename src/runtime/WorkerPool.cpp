@@ -6,8 +6,11 @@
 
 #include "runtime/WorkerPool.h"
 
+#include "obs/MetricsRegistry.h"
+#include "obs/Trace.h"
 #include "runtime/DeriveSeed.h"
 #include "runtime/Supervisor.h"
+#include "support/Format.h"
 #include "support/Statistics.h"
 
 #include <algorithm>
@@ -67,6 +70,75 @@ uint64_t PoolBooks::totalInjectedEvents() const {
   return Total;
 }
 
+void PoolBooks::exportMetrics(MetricsRegistry &R) const {
+  auto G = [&R](const char *Name, const char *Help, uint64_t V) {
+    R.addGauge(Name, Help, V);
+  };
+  G("pool.books.requests", "VM requests served", Requests);
+  G("pool.books.request-traps", "VM requests that trapped", RequestTraps);
+  G("pool.books.request-recoveries", "Post-trap state recoveries",
+    RequestRecoveries);
+  G("pool.books.submitted", "submit() calls", Submitted);
+  G("pool.books.accepted", "Requests admitted into the queue", Accepted);
+  G("pool.books.completed", "Requests served to a terminal outcome",
+    Completed);
+  G("pool.books.shed", "Requests rejected at admission", Shed);
+  G("pool.books.shed-by-breaker", "Sheds by the trap-rate circuit breaker",
+    ShedByBreaker);
+  G("pool.books.shed-queue-full", "Sheds by ShedNewest on a full queue",
+    ShedQueueFull);
+  G("pool.books.shed-closed", "Sheds because the queue was closed",
+    ShedClosed);
+  G("pool.books.poisoned", "Requests quarantined as poisoned", Poisoned);
+  G("pool.books.poisoned-pool-death",
+    "Poisoned subset abandoned on pool death", PoisonedPoolDeath);
+  G("pool.books.crashes-contained", "Worker crashes contained",
+    CrashesContained);
+  G("pool.books.worker-deaths", "Worker threads that died outright",
+    WorkerDeaths);
+  G("pool.books.worker-restarts", "Dead workers rebuilt and relaunched",
+    WorkerRestarts);
+  G("pool.books.retries", "Requeues after a crash or death", Retries);
+  G("pool.books.stall-alarms", "Heartbeat stalls observed (wall clock)",
+    StallAlarms);
+  G("pool.books.rng.draws-served", "Words drawn from the resilient chains",
+    Rng.DrawsServed);
+  G("pool.books.rng.degraded-draws", "Draws served degraded",
+    Rng.DegradedDraws);
+  G("pool.books.rng.fallback-draws", "Draws served by the AES fallback",
+    Rng.FallbackDraws);
+  G("pool.books.rng.fail-closed-draws", "Draws refused fail-closed",
+    Rng.FailClosedDraws);
+  G("pool.books.rng.failovers", "Primary-to-fallback failovers",
+    Rng.Failovers);
+  G("pool.books.rng.recoveries", "Failbacks to the primary",
+    Rng.Recoveries);
+  G("pool.books.rng.retries-used", "Per-source retry attempts burned",
+    Rng.RetriesUsed);
+  G("pool.books.rng.emergency-draws", "Accounted emergency-pool draws",
+    Rng.EmergencyDraws);
+  G("pool.books.rng.drng-retry-failures", "RDRAND step failures",
+    Rng.DrngRetryFailures);
+  G("pool.books.rng.drng-failure-events", "Whole-draw DRNG failures",
+    Rng.DrngFailureEvents);
+  G("pool.books.rng.aes-rekeys", "AES-CTR rekeys performed", Rng.AesRekeys);
+  G("pool.books.rng.failed-rekeys", "AES-CTR rekeys that failed",
+    Rng.FailedRekeys);
+  G("pool.books.rng.stale-key-draws", "Draws under a stale AES key",
+    Rng.StaleKeyDraws);
+  G("pool.books.rng.unkeyed-draws", "Draws refused for lack of a key",
+    Rng.UnkeyedDraws);
+  G("pool.books.rng.buffer-refills", "Batched buffer refills",
+    Rng.BufferRefills);
+  for (unsigned S = 0; S != NumFaultSites; ++S) {
+    const char *Site = faultSiteName(static_cast<FaultSite>(S));
+    R.addGauge(formatString("pool.books.faults.probes.%s", Site),
+               "Fault probes injected at this site", InjectedProbes[S]);
+    R.addGauge(formatString("pool.books.faults.events.%s", Site),
+               "Fault events injected at this site", InjectedEvents[S]);
+  }
+}
+
 WorkerPool::WorkerPool(Module &M, PoolOptions Opts)
     : M(M), Opts(Opts), Shared(M), Queue(Opts.QueueCapacity) {
   unsigned Count = Opts.Workers;
@@ -80,6 +152,8 @@ WorkerPool::WorkerPool(Module &M, PoolOptions Opts)
     W->VM = std::make_unique<Interpreter>(M, nullptr, this->Opts.InterpOpts);
     W->VM->setSharedProgram(&Shared);
     W->VM->setCancelFlag(&CancelAll);
+    if (this->Opts.Tracer)
+      W->Ring = &this->Opts.Tracer->ringFor(I);
     Workers.push_back(std::move(W));
   }
   Super = std::make_unique<Supervisor>(*this);
@@ -118,6 +192,8 @@ bool WorkerPool::submit(PoolRequest Request) {
   }
 
   Pending Item{std::move(Request), 0};
+  if (Opts.Tracer)
+    Item.EnqueueNs = obsNowNanos();
   if (A.Policy == AdmissionOptions::ShedPolicy::ShedNewest) {
     switch (Queue.tryPush(Item)) {
     case QueuePush::Ok:
@@ -207,11 +283,20 @@ void WorkerPool::workerMain(Worker &W) {
       ++W.CrashEvents;
       rebuildWorker(W);
       uint32_t Burned = Item->Attempt + 1;
+      if (W.Ring)
+        W.Ring->push({Item->Req.Index, W.Id, Burned, SpanDisposition::Crashed,
+                      0, 0, 0, 0, 0});
       if (Burned < attemptBudget(Item->Req.Index)) {
         ++W.Retries;
-        Queue.pushPriority(Pending{std::move(Item->Req), Burned});
+        Pending Retry{std::move(Item->Req), Burned};
+        if (Opts.Tracer)
+          Retry.EnqueueNs = obsNowNanos();
+        Queue.pushPriority(std::move(Retry));
       } else {
         recordPoisoned(W.Outcomes, Item->Req.Index, Burned);
+        if (W.Ring)
+          W.Ring->push({Item->Req.Index, W.Id, Burned,
+                        SpanDisposition::Poisoned, 0, 0, 0, 0, 0});
       }
       Queue.taskDone();
     } else if (Verdict == ServeVerdict::Died) {
@@ -220,6 +305,9 @@ void WorkerPool::workerMain(Worker &W) {
       // still in flight until the supervisor salvages the stash, which
       // keeps sibling workers (and finish()) from declaring the queue
       // drained under it.
+      if (W.Ring)
+        W.Ring->push({Item->Req.Index, W.Id, Item->Attempt + 1,
+                      SpanDisposition::Died, 0, 0, 0, 0, 0});
       {
         std::lock_guard<std::mutex> Lock(W.StashMutex);
         W.Stash = std::move(*Item);
@@ -238,6 +326,24 @@ void WorkerPool::workerMain(Worker &W) {
 
 WorkerPool::ServeVerdict WorkerPool::serveRequest(Worker &W, Pending &Item) {
   const PoolRequest &Request = Item.Req;
+
+  // Span skeleton, gated on the ring pointer — the whole tracing cost of
+  // a disabled pool is this one null test. Spans only observe: every
+  // value below either comes from the deterministic books (steps, draws)
+  // or feeds no decision (the nanosecond fields), so tracing can never
+  // perturb outcomes or digests.
+  TraceRing *Ring = W.Ring;
+  TraceSpan Span;
+  uint64_t DrawsBefore = 0;
+  if (Ring) {
+    Span.RequestIndex = Request.Index;
+    Span.Worker = W.Id;
+    Span.Attempt = Item.Attempt + 1;
+    uint64_t Now = obsNowNanos();
+    if (Item.EnqueueNs && Now > Item.EnqueueNs)
+      Span.QueueNanos = Now - Item.EnqueueNs;
+    DrawsBefore = W.Rng->books().DrawsServed;
+  }
 
   // Per-attempt fault injector, installed thread-locally so this worker's
   // probes consume only this attempt's decision streams. The scope covers
@@ -277,14 +383,23 @@ WorkerPool::ServeVerdict WorkerPool::serveRequest(Worker &W, Pending &Item) {
   if (faultProbe(FaultSite::WorkerCrash))
     throw WorkerCrashInjected{};
 
+  uint64_t ReseedStart = Ring ? obsNowNanos() : 0;
   W.Rng->reseed(Opts.RootSeed, Request.Index);
+  if (Ring)
+    Span.ReseedNanos = obsNowNanos() - ReseedStart;
   W.VM->setRandomSource(&W.Rng->source());
   // Inputs are COPIED into the VM: the request must keep them in case this
   // attempt crashes and a retry has to replay them.
   for (const std::vector<uint8_t> &Record : Request.Inputs)
     W.VM->pushInput(Record);
 
+  uint64_t ExecStart = Ring ? obsNowNanos() : 0;
   ExecResult E = W.VM->runRequest(Opts.Function);
+  if (Ring) {
+    Span.ExecNanos = obsNowNanos() - ExecStart;
+    Span.Steps = E.Steps;
+    Span.RngDraws = W.Rng->books().DrawsServed - DrawsBefore;
+  }
   // Unconsumed inputs must not leak into the next request this worker
   // serves (the request boundary only clears them on a trap).
   W.VM->clearInput();
@@ -296,6 +411,10 @@ WorkerPool::ServeVerdict WorkerPool::serveRequest(Worker &W, Pending &Item) {
     recordPoisoned(W.Outcomes, Request.Index, Item.Attempt + 1);
     W.Outcomes.back().Steps = E.Steps;
     ++W.PoisonedPoolDeath;
+    if (Ring) {
+      Span.Disposition = SpanDisposition::Cancelled;
+      Ring->push(Span);
+    }
     return ServeVerdict::Served;
   }
 
@@ -305,6 +424,11 @@ WorkerPool::ServeVerdict WorkerPool::serveRequest(Worker &W, Pending &Item) {
   CompletedCount.fetch_add(1, std::memory_order_relaxed);
   if (E.Trap != TrapKind::None)
     TrappedCount.fetch_add(1, std::memory_order_relaxed);
+  if (Ring) {
+    Span.Disposition = E.Trap != TrapKind::None ? SpanDisposition::Trapped
+                                                : SpanDisposition::Completed;
+    Ring->push(Span);
+  }
   return ServeVerdict::Served;
 }
 
@@ -333,10 +457,19 @@ std::vector<PoolOutcome> WorkerPool::finish() {
     while (std::optional<Pending> Item = Queue.tryPop()) {
       recordPoisoned(Outcomes, Item->Req.Index, Item->Attempt);
       Books.PoisonedPoolDeath += 1;
+      if (Opts.Tracer)
+        Opts.Tracer->recordExternal({Item->Req.Index, 0, Item->Attempt,
+                                     SpanDisposition::Poisoned, 0, 0, 0, 0,
+                                     0});
       Queue.taskDone();
     }
     Super->stop();
   }
+
+  // Final lossless drain: the workers (and the supervisor) are gone, so
+  // every span they produced is visible and the rings go quiescent here.
+  if (Opts.Tracer)
+    Opts.Tracer->collect();
 
   for (auto &W : Workers) {
     Outcomes.insert(Outcomes.end(), W->Outcomes.begin(), W->Outcomes.end());

@@ -93,7 +93,10 @@
 
 namespace smokestack {
 
+class MetricsRegistry;
 class Supervisor;
+class TraceRecorder;
+class TraceRing;
 
 /// One unit of work: run the pool's function once, with these input
 /// records queued for the get_input builtins. Index is the request's
@@ -169,6 +172,11 @@ struct PoolBooks {
   }
   uint64_t totalInjectedProbes() const;
   uint64_t totalInjectedEvents() const;
+
+  /// Adds every field as a "pool.books.*" gauge (DESIGN.md §11). Lives
+  /// here rather than in obs/ so the observability library never depends
+  /// on the runtime layer.
+  void exportMetrics(MetricsRegistry &R) const;
 };
 
 /// Crash-retry and worker-replacement policy.
@@ -227,6 +235,12 @@ struct PoolOptions {
   /// function of the index — any other dependence breaks the replay
   /// guarantee.
   std::function<void(uint64_t Index, FaultPlan &Plan)> PlanForRequest;
+  /// Per-request tracing (obs/Trace.h). Non-owning; null = tracing off,
+  /// and the serve path pays exactly one pointer test per request (the
+  /// FaultInjector probe pattern). Spans are observational only — they
+  /// never feed seeds, scheduling, or digests — so outcomes and books are
+  /// bit-identical with tracing on or off.
+  TraceRecorder *Tracer = nullptr;
 };
 
 /// The pool. Lifecycle: construct → start() → submit()… → finish().
@@ -275,6 +289,9 @@ private:
   struct Pending {
     PoolRequest Req;
     uint32_t Attempt = 0;
+    /// Enqueue timestamp (obsNowNanos) for the span's queue-wait field;
+    /// 0 when tracing is off.
+    uint64_t EnqueueNs = 0;
   };
 
   /// Where one serve attempt ended up.
@@ -300,6 +317,10 @@ private:
     std::thread Thread;
     std::unique_ptr<Interpreter> VM;
     std::unique_ptr<RequestRng> Rng;
+    /// This worker's span ring (null = tracing off). The pointer survives
+    /// rebuilds and relaunches: the supervisor's join/create edges hand
+    /// the producer role to the replacement thread.
+    TraceRing *Ring = nullptr;
     std::vector<PoolOutcome> Outcomes;
     uint64_t InjectedProbes[NumFaultSites] = {};
     uint64_t InjectedEvents[NumFaultSites] = {};

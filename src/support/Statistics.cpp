@@ -26,7 +26,7 @@ std::vector<Statistic *> &statisticRegistry() {
 unsigned smokestack::detail::statisticShardIndex() {
   static std::atomic<unsigned> NextShard{0};
   thread_local unsigned Index =
-      NextShard.fetch_add(1, std::memory_order_relaxed) % Statistic::NumShards;
+      NextShard.fetch_add(1, std::memory_order_relaxed) % NumCounterShards;
   return Index;
 }
 

@@ -30,8 +30,14 @@
 namespace smokestack {
 
 namespace detail {
-/// Stable per-thread shard index: threads are assigned round-robin on
-/// first use, so up to NumShards concurrent bumpers never share a cell.
+/// Shard count shared by every sharded relaxed-atomic instrument
+/// (Statistic here, Histogram in obs/Histogram.h): worker counts beyond
+/// this share cells, which stays correct, merely contended.
+inline constexpr unsigned NumCounterShards = 8;
+
+/// Stable per-thread shard index in [0, NumCounterShards): threads are
+/// assigned round-robin on first use, so up to NumCounterShards
+/// concurrent bumpers never share a cell.
 unsigned statisticShardIndex();
 } // namespace detail
 
@@ -52,9 +58,8 @@ unsigned statisticShardIndex();
 /// workers have joined — are exact.
 class Statistic {
 public:
-  /// Number of per-thread cells; worker counts beyond this share cells
-  /// (still correct, merely contended).
-  static constexpr unsigned NumShards = 8;
+  /// Number of per-thread cells (see detail::NumCounterShards).
+  static constexpr unsigned NumShards = detail::NumCounterShards;
 
   Statistic(const char *Name, const char *Description);
 

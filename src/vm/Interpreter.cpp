@@ -6,6 +6,8 @@
 
 #include "vm/Interpreter.h"
 
+#include "obs/Histogram.h"
+#include "obs/Trace.h"
 #include "rng/RandomSource.h"
 #include "support/Align.h"
 #include "support/Casting.h"
@@ -104,6 +106,11 @@ Statistic NumRequestTraps("vm.request-traps",
 Statistic NumRequestRecoveries(
     "vm.request-recoveries",
     "Post-trap request-state recoveries performed");
+Histogram RequestSteps("vm.request-steps",
+                       "Fuel steps consumed per runRequest() call");
+Histogram RequestNanos(
+    "vm.request-nanos",
+    "Wall-clock nanoseconds per runRequest() call (obs timing only)");
 
 } // namespace
 
@@ -260,7 +267,14 @@ ExecResult Interpreter::runRequest(const std::string &FuncName,
   // long-lived server process handling independent connections.
   Output.clear();
   Memory.resetHeap();
+  // The clock is read only while obs timing is enabled; the disabled path
+  // pays one relaxed load (the probe pattern, DESIGN.md §11).
+  bool Timed = obsTimingEnabled();
+  uint64_t Start = Timed ? obsNowNanos() : 0;
   ExecResult Result = run(FuncName, Args);
+  if (Timed)
+    RequestNanos.record(obsNowNanos() - Start);
+  RequestSteps.record(Result.Steps);
   ++RequestsServed;
   ++NumRequests;
   if (!Result.ok()) {

@@ -1,0 +1,125 @@
+//===- tests/obs/HistogramTest.cpp - Log2 histogram tests ----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Histogram.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+using namespace smokestack;
+
+TEST(HistogramTest, BucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::bucketIndex(255), 8u);
+  EXPECT_EQ(Histogram::bucketIndex(256), 9u);
+  EXPECT_EQ(Histogram::bucketIndex(UINT64_MAX), 64u);
+}
+
+TEST(HistogramTest, BucketUpperBounds) {
+  // Bucket i holds values of bit width i, so its inclusive upper bound is
+  // 2^i - 1; the last bucket absorbs everything up to UINT64_MAX.
+  EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::bucketUpperBound(10), 1023u);
+  EXPECT_EQ(Histogram::bucketUpperBound(63), UINT64_MAX / 2);
+  EXPECT_EQ(Histogram::bucketUpperBound(64), UINT64_MAX);
+  // Every value lands in the bucket whose bound covers it.
+  for (uint64_t V : {0ull, 1ull, 2ull, 7ull, 8ull, 1000ull, 123456789ull})
+    EXPECT_GE(Histogram::bucketUpperBound(Histogram::bucketIndex(V)), V);
+}
+
+namespace {
+Histogram TestHist("test.obs-histogram", "histogram used by this test");
+} // namespace
+
+TEST(HistogramTest, RecordSnapshotReset) {
+  TestHist.reset();
+  TestHist.record(0);
+  TestHist.record(1);
+  TestHist.record(5);
+  TestHist.record(5);
+  TestHist.record(1000);
+
+  Histogram::Snapshot S = TestHist.snapshot();
+  EXPECT_EQ(S.Count, 5u);
+  EXPECT_EQ(S.Sum, 1011u);
+  EXPECT_EQ(S.Buckets[0], 1u);  // {0}
+  EXPECT_EQ(S.Buckets[1], 1u);  // {1}
+  EXPECT_EQ(S.Buckets[3], 2u);  // {4..7}
+  EXPECT_EQ(S.Buckets[10], 1u); // {512..1023}
+
+  TestHist.reset();
+  S = TestHist.snapshot();
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Sum, 0u);
+}
+
+TEST(HistogramTest, PercentilesReportBucketUpperBounds) {
+  TestHist.reset();
+  // Nine zeros and one 1000: the median sits in bucket 0, the tail in the
+  // {512..1023} bucket, so p95/p99 report that bucket's upper bound.
+  for (int I = 0; I != 9; ++I)
+    TestHist.record(0);
+  TestHist.record(1000);
+
+  Histogram::Snapshot S = TestHist.snapshot();
+  EXPECT_EQ(S.p50(), 0u);
+  EXPECT_EQ(S.p95(), 1023u);
+  EXPECT_EQ(S.p99(), 1023u);
+  EXPECT_EQ(S.percentile(0.90), 0u); // rank 9 is still a zero
+
+  // An empty histogram reports 0 for every percentile.
+  TestHist.reset();
+  EXPECT_EQ(TestHist.snapshot().p50(), 0u);
+  EXPECT_EQ(TestHist.snapshot().p99(), 0u);
+}
+
+TEST(HistogramTest, Registry) {
+  Histogram *Found = findHistogram("test.obs-histogram");
+  ASSERT_EQ(Found, &TestHist);
+  EXPECT_STREQ(Found->description(), "histogram used by this test");
+  EXPECT_EQ(findHistogram("no.such.histogram"), nullptr);
+
+  bool Seen = false;
+  for (Histogram *H : allHistograms())
+    Seen |= H == &TestHist;
+  EXPECT_TRUE(Seen);
+}
+
+TEST(HistogramTest, ConcurrentRecordingIsLossless) {
+  // The sharded-atomic contract, mirrored from Statistic: N threads
+  // hammering the same histogram lose no samples and no sum (snapshot()
+  // merges the shards). Run under TSan, this is also the data-race check
+  // for the record()/snapshot() pairing.
+  TestHist.reset();
+  constexpr unsigned NumThreads = 8;
+  constexpr uint64_t PerThread = 20000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([T] {
+      for (uint64_t I = 0; I != PerThread; ++I)
+        TestHist.record(T); // thread T fills bucket bit_width(T)
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  Histogram::Snapshot S = TestHist.snapshot();
+  EXPECT_EQ(S.Count, NumThreads * PerThread);
+  uint64_t WantSum = 0;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    WantSum += T * PerThread;
+  EXPECT_EQ(S.Sum, WantSum);
+  // Values 0..7 span buckets 0..3; nothing may leak elsewhere.
+  EXPECT_EQ(S.Buckets[0] + S.Buckets[1] + S.Buckets[2] + S.Buckets[3],
+            NumThreads * PerThread);
+  TestHist.reset();
+}

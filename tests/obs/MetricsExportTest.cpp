@@ -1,0 +1,103 @@
+//===- tests/obs/MetricsExportTest.cpp - Golden exporter tests -----------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the exact bytes of both export formats against golden files in
+/// tests/obs/golden/. The registry is built with IncludeGlobals=false and
+/// fully deterministic contents, so any byte drift is a deliberate format
+/// change: regenerate with
+///
+///   SMOKESTACK_UPDATE_GOLDEN=1 ./tests/ss_obs_tests
+///       --gtest_filter='MetricsExportTest.*'
+///
+/// and review the diff like any other API change.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsRegistry.h"
+
+#include "obs/Histogram.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
+
+using namespace smokestack;
+
+namespace {
+
+Histogram GoldenHist("test.golden-histogram", "histogram pinned by goldens");
+
+/// The fixed registry every golden test exports: two gauges (registered
+/// out of name order to prove the exporters sort) plus one histogram with
+/// a hand-checkable distribution.
+MetricsRegistry buildGoldenRegistry() {
+  GoldenHist.reset();
+  GoldenHist.record(0);
+  GoldenHist.record(1);
+  GoldenHist.record(5);
+  GoldenHist.record(5);
+  GoldenHist.record(1000);
+  GoldenHist.record(123456789);
+
+  MetricsRegistry Reg(/*IncludeGlobals=*/false);
+  Reg.addGauge("test.golden.z-last", "registered first, sorted last", 7);
+  Reg.addGauge("test.golden.a-first", "registered last, sorted first", 42);
+  Reg.addHistogram(&GoldenHist);
+  return Reg;
+}
+
+std::string goldenPath(const char *File) {
+  return std::string(SMOKESTACK_OBS_GOLDEN_DIR) + "/" + File;
+}
+
+std::string readFile(const std::string &Path) {
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In)
+    return {};
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) != 0)
+    Text.append(Buf, N);
+  std::fclose(In);
+  return Text;
+}
+
+void checkGolden(const char *File, const std::string &Actual) {
+  std::string Path = goldenPath(File);
+  if (std::getenv("SMOKESTACK_UPDATE_GOLDEN")) {
+    std::FILE *Out = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(Out, nullptr) << "cannot write " << Path;
+    std::fwrite(Actual.data(), 1, Actual.size(), Out);
+    std::fclose(Out);
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+  std::string Want = readFile(Path);
+  ASSERT_FALSE(Want.empty()) << "missing golden file " << Path
+                             << " (set SMOKESTACK_UPDATE_GOLDEN=1 to create)";
+  EXPECT_EQ(Actual, Want) << "export drifted from " << Path;
+}
+
+} // namespace
+
+TEST(MetricsExportTest, PrometheusTextMatchesGolden) {
+  checkGolden("metrics.prom", buildGoldenRegistry().exportText());
+}
+
+TEST(MetricsExportTest, JsonMatchesGolden) {
+  checkGolden("metrics.json", buildGoldenRegistry().exportJson());
+}
+
+TEST(MetricsExportTest, EmptyRegistryStaysWellFormed) {
+  MetricsRegistry Reg(/*IncludeGlobals=*/false);
+  EXPECT_EQ(Reg.exportText(), "");
+  EXPECT_EQ(Reg.exportJson(),
+            "{\n  \"schema\": \"smokestack-metrics-v1\",\n"
+            "  \"counters\": [],\n  \"gauges\": [],\n"
+            "  \"histograms\": []\n}\n");
+}

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the committed bench baselines.
+
+Compares a freshly produced bench JSON against the committed baseline of
+the same bench and fails (exit 1) when:
+
+  * a throughput metric dropped more than --max-drop-pct below the
+    baseline (default 25%), or
+  * for the chaos soak, the outcome digest differs from the baseline while
+    the run parameters (requests, seed, workers, fault rate) match — the
+    digest is bit-deterministic, so any mismatch is a real behavior
+    change, not noise.
+
+Supported bench kinds (selected by the "bench"/"benchmark" key):
+
+  soak_chaos        gates requests_per_sec and the exact digest
+  soak_scaling      gates requests_per_sec of the matching sweep points
+  interp_throughput gates max_speedup (a machine-relative ratio, so it
+                    transfers across runner generations better than raw
+                    steps/sec)
+
+Only the Python standard library is used.
+
+Usage:
+  check_bench_regression.py BASELINE CANDIDATE [--max-drop-pct PCT]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"REGRESSION: {msg}")
+    return 1
+
+
+def ok(msg):
+    print(f"ok: {msg}")
+    return 0
+
+
+def check_drop(name, base, cand, max_drop_pct):
+    """Fails when cand fell more than max_drop_pct below base."""
+    if base <= 0:
+        return ok(f"{name}: baseline {base} not gateable")
+    drop_pct = (base - cand) / base * 100.0
+    if drop_pct > max_drop_pct:
+        return fail(
+            f"{name}: {cand:.1f} is {drop_pct:.1f}% below baseline "
+            f"{base:.1f} (limit {max_drop_pct:.0f}%)"
+        )
+    return ok(f"{name}: {cand:.1f} vs baseline {base:.1f} ({drop_pct:+.1f}%)")
+
+
+def same_params(base, cand, keys):
+    return all(base.get(k) == cand.get(k) for k in keys)
+
+
+def check_soak_chaos(base, cand, max_drop_pct):
+    rc = check_drop(
+        "requests_per_sec",
+        base["requests_per_sec"],
+        cand["requests_per_sec"],
+        max_drop_pct,
+    )
+    if same_params(base, cand, ["requests", "seed", "workers", "fault_rate"]):
+        if base["digest"] != cand["digest"]:
+            rc |= fail(
+                f"digest {cand['digest']} != baseline {base['digest']} "
+                "for identical parameters (determinism break)"
+            )
+        else:
+            rc |= ok(f"digest matches baseline exactly ({base['digest']})")
+    else:
+        rc |= ok("digest not compared (run parameters differ from baseline)")
+    return rc
+
+
+def check_soak_scaling(base, cand, max_drop_pct):
+    rc = 0
+    if not same_params(base, cand, ["requests", "seed", "fault_rate"]):
+        print("note: scaling parameters differ from baseline; "
+              "gating matching sweep points only on throughput ratio")
+    base_points = {p["workers"]: p for p in base["sweep"]}
+    compared = 0
+    for p in cand["sweep"]:
+        b = base_points.get(p["workers"])
+        if b is None or not same_params(base, cand,
+                                        ["requests", "seed", "fault_rate"]):
+            continue
+        compared += 1
+        rc |= check_drop(
+            f"workers={p['workers']} requests_per_sec",
+            b["requests_per_sec"],
+            p["requests_per_sec"],
+            max_drop_pct,
+        )
+        if b["digest"] != p["digest"]:
+            rc |= fail(
+                f"workers={p['workers']} digest {p['digest']} != baseline "
+                f"{b['digest']} (determinism break)"
+            )
+    if compared == 0:
+        rc |= ok("no directly comparable sweep points; nothing gated")
+    return rc
+
+
+def check_interp(base, cand, max_drop_pct):
+    return check_drop(
+        "max_speedup", base["max_speedup"], cand["max_speedup"], max_drop_pct
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--max-drop-pct", type=float, default=25.0)
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.candidate) as f:
+        cand = json.load(f)
+
+    kind_of = lambda d: d.get("bench") or d.get("benchmark")
+    kind = kind_of(base)
+    if kind != kind_of(cand):
+        return fail(
+            f"bench kind mismatch: baseline {kind}, candidate {kind_of(cand)}"
+        )
+
+    checks = {
+        "soak_chaos": check_soak_chaos,
+        "soak_scaling": check_soak_scaling,
+        "interp_throughput": check_interp,
+    }
+    if kind not in checks:
+        return fail(f"unknown bench kind {kind!r}")
+    print(f"checking {kind}: {args.candidate} against {args.baseline}")
+    return checks[kind](base, cand, args.max_drop_pct)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,12 @@
 ///                            exhaustion. The exact accounting identity
 ///                            (submitted == completed + shed + poisoned)
 ///                            is verified; a violation exits nonzero.
+///     -metrics=FILE          after -run: export every counter and latency
+///                            histogram as Prometheus text to FILE and as
+///                            smokestack-metrics-v1 JSON to FILE.json;
+///                            enables obs timing (and, in pool mode,
+///                            per-request span tracing), so latency
+///                            histograms are populated
 ///     -print                 print the final module (default unless -run)
 ///     -verify                verify and report instead of printing
 ///     -stats                 without -run: print the stack-usage analysis;
@@ -54,6 +60,8 @@
 #include "faults/FaultInjector.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/Trace.h"
 #include "rng/AesCtr.h"
 #include "rng/Pseudo.h"
 #include "rng/RdRand.h"
@@ -94,7 +102,29 @@ struct Options {
   uint64_t PoolSeed = 7;
   bool Chaos = false;
   double ChaosRate = 0.0;
+  std::string MetricsFile;
 };
+
+/// Writes \p Registry to \p Path (Prometheus text) and \p Path.json.
+/// Returns false (with a diagnostic) when either write fails.
+bool writeMetrics(const MetricsRegistry &Registry, const std::string &Path) {
+  struct Target {
+    std::string Path;
+    std::string Content;
+  } Targets[] = {{Path, Registry.exportText()},
+                 {Path + ".json", Registry.exportJson()}};
+  for (const Target &T : Targets) {
+    std::ofstream Out(T.Path);
+    Out << T.Content;
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   T.Path.c_str());
+      return false;
+    }
+  }
+  std::printf("metrics: wrote %s and %s.json\n", Path.c_str(), Path.c_str());
+  return true;
+}
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
@@ -104,7 +134,7 @@ int usage(const char *Argv0) {
                "[-engine=decoded|treewalk]\n"
                "          [-resilient] [-faults=SEED:RATE]\n"
                "          [-workers=N] [-requests=M] [-seed=S] "
-               "[-chaos=RATE]\n"
+               "[-chaos=RATE] [-metrics=FILE]\n"
                "          [-input=TEXT]... [-print] [-verify] [-stats] "
                "<file.ir|->\n",
                Argv0);
@@ -179,6 +209,12 @@ int main(int argc, char **argv) {
       Opts.Faults = true;
       Opts.FaultSeed = Seed;
       Opts.FaultRate = Rate;
+    } else if (Arg.rfind("-metrics=", 0) == 0) {
+      Opts.MetricsFile = Arg.substr(9);
+      if (Opts.MetricsFile.empty()) {
+        std::fprintf(stderr, "bad -metrics spec (want -metrics=FILE)\n");
+        return usage(argv[0]);
+      }
     } else if (Arg == "-print") {
       Opts.Print = true;
     } else if (Arg == "-verify") {
@@ -272,6 +308,11 @@ int main(int argc, char **argv) {
     InterpreterOptions VMOpts;
     VMOpts.UseDecodedEngine = Opts.Engine == "decoded";
 
+    // -metrics wants the latency histograms populated, so turn on the
+    // process-wide timing probes before anything serves.
+    if (!Opts.MetricsFile.empty())
+      enableObsTiming();
+
     if (Opts.Pool) {
       // Pool mode: the WorkerPool owns per-request deterministic RNG
       // chains and per-request fault injectors, so -rng/-resilient (and
@@ -303,6 +344,10 @@ int main(int argc, char **argv) {
       std::vector<std::vector<uint8_t>> Records;
       for (const std::string &Input : Opts.Inputs)
         Records.emplace_back(Input.begin(), Input.end());
+
+      TraceRecorder Recorder;
+      if (!Opts.MetricsFile.empty())
+        PO.Tracer = &Recorder;
 
       WorkerPool Pool(M, PO);
       Pool.start();
@@ -356,6 +401,13 @@ int main(int argc, char **argv) {
           std::printf("faults: %llu injected, %llu events\n",
                       (unsigned long long)B.totalInjectedProbes(),
                       (unsigned long long)B.totalInjectedEvents());
+      }
+      if (!Opts.MetricsFile.empty()) {
+        MetricsRegistry Registry;
+        B.exportMetrics(Registry);
+        Recorder.exportMetrics(Registry);
+        if (!writeMetrics(Registry, Opts.MetricsFile))
+          return 1;
       }
       return Trapped == 0 ? 0 : 1;
     }
@@ -433,6 +485,11 @@ int main(int argc, char **argv) {
                     (unsigned long long)Injector.totalInjectedProbes(),
                     (unsigned long long)Injector.totalInjectedEvents());
       }
+    }
+    if (!Opts.MetricsFile.empty()) {
+      MetricsRegistry Registry;
+      if (!writeMetrics(Registry, Opts.MetricsFile))
+        return 1;
     }
     return Exit;
   }
