@@ -528,6 +528,12 @@ struct PoolPassResult {
 constexpr uint64_t PoisonStride = 997;
 constexpr uint64_t PoisonPhase = 400;
 
+/// Crash-rebuild policy for every pool pass (-no-snapshot flips it): the
+/// snapshot-restore fast-path is contractually digest-neutral, and the
+/// chaos soak proves it by running one extra pass with the opposite
+/// setting and demanding bit-identical digests.
+bool UseSnapshotFastPath = true;
+
 /// Serves NumRequests through a WorkerPool of \p Workers interpreters.
 /// Same traffic shape as the sequential soak (every eighth request replays
 /// the stale payload); per-request fault plans replace the sequential
@@ -548,7 +554,8 @@ constexpr uint64_t PoisonPhase = 400;
 PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
                            double FaultRate, unsigned Workers,
                            bool Chaos = false,
-                           TraceRecorder *Tracer = nullptr) {
+                           TraceRecorder *Tracer = nullptr,
+                           bool SnapshotRestore = UseSnapshotFastPath) {
   PoolPassResult R;
 
   Module M("soak-server");
@@ -580,6 +587,7 @@ PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
   PO.Function = "driver";
   PO.InterpOpts = Deployed.InterpOpts;
   PO.InjectFaults = true;
+  PO.SnapshotRestore = SnapshotRestore;
   PO.Tracer = Tracer;
   PO.FaultTemplate.site(FaultSite::RdRandStep) = {FaultRate,
                                                   RdRandSource::RetryLimit, 0};
@@ -843,7 +851,14 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
   unsigned AltWorkers = Workers == 1 ? 2 : 1;
   PoolPassResult C =
       runPoolPass(Seed, NumRequests, FaultRate, AltWorkers, /*Chaos=*/true);
-  if (!A.Valid || !B.Valid || !C.Valid)
+  // The fast-path differential pass: identical traffic with the opposite
+  // crash-rebuild policy (snapshot restore vs full reconstruction). Its
+  // digest must match bit for bit — the restore path's correctness
+  // contract, on top of the rerun and worker-count invariances.
+  PoolPassResult E =
+      runPoolPass(Seed, NumRequests, FaultRate, Workers, /*Chaos=*/true,
+                  /*Tracer=*/nullptr, !UseSnapshotFastPath);
+  if (!A.Valid || !B.Valid || !C.Valid || !E.Valid)
     return 1;
 
   printPoolLedger(A);
@@ -916,6 +931,8 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
           "traced pass == untraced rerun (tracing is observational)");
   checkEq(A.DigestValue, C.DigestValue,
           "digest is invariant under the worker count");
+  checkEq(A.DigestValue, E.DigestValue,
+          "snapshot fast-path on/off digests are bit-identical");
 
   // 7. Trace completeness: the span stream reconstructs the ledger. Every
   //    request has exactly one terminal span, every contained crash and
@@ -988,6 +1005,8 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                  "  \"rerun_bit_identical\": %s,\n"
                  "  \"traced_equals_untraced\": %s,\n"
                  "  \"worker_count_invariant\": %s,\n"
+                 "  \"snapshot_restore\": %s,\n"
+                 "  \"fastpath_off_identical\": %s,\n"
                  "  \"trace\": {\n"
                  "    \"spans\": %zu,\n"
                  "    \"dropped\": %" PRIu64 ",\n"
@@ -1010,6 +1029,8 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                  A.DigestValue == B.DigestValue ? "true" : "false",
                  A.DigestValue == B.DigestValue ? "true" : "false",
                  A.DigestValue == C.DigestValue ? "true" : "false",
+                 UseSnapshotFastPath ? "true" : "false",
+                 A.DigestValue == E.DigestValue ? "true" : "false",
                  Spans.size(), Recorder.droppedSpans(), CompletedSpans,
                  TrappedSpans, CrashedSpans, DiedSpans, PoisonedSpans,
                  A.Seconds, static_cast<double>(NumRequests) / A.Seconds,
@@ -1152,6 +1173,8 @@ int main(int argc, char **argv) {
       Scaling = true;
     } else if (std::strcmp(Arg, "-chaos") == 0) {
       Chaos = true;
+    } else if (std::strcmp(Arg, "-no-snapshot") == 0) {
+      UseSnapshotFastPath = false;
     } else if (std::strncmp(Arg, "-requests=", 10) == 0) {
       NumRequests = std::strtoull(Arg + 10, nullptr, 0);
     } else if (std::strncmp(Arg, "-rate=", 6) == 0) {
@@ -1164,7 +1187,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: soak_server [requests [rate [seed]]] "
                    "[-requests=N] [-rate=R] [-seed=S] [-workers=N] "
-                   "[-scaling] [-chaos] [-json=PATH]\n");
+                   "[-scaling] [-chaos] [-no-snapshot] [-json=PATH]\n");
       return 2;
     } else if (Positional == 0) {
       NumRequests = std::strtoull(Arg, nullptr, 0);

@@ -67,6 +67,18 @@ RequestRng::Books RequestRng::books() const {
   return Total;
 }
 
+void RequestRng::reset() {
+  // Teardown order mirrors reseed(): the decorator holds raw pointers into
+  // the sources, so it goes first. No banking here — the caller owns the
+  // books-banking step so reset-vs-reconstruct stays a pure swap.
+  Chain.reset();
+  Fallback.reset();
+  Primary.reset();
+  AesEntropy.reset();
+  DrngEntropy.reset();
+  Accumulated = Books();
+}
+
 void RequestRng::reseed(uint64_t RootSeed, uint64_t Index) {
   bool Timed = obsTimingEnabled();
   uint64_t Start = Timed ? obsNowNanos() : 0;

@@ -90,6 +90,14 @@ public:
   /// FaultScope.
   void reseed(uint64_t RootSeed, uint64_t Index);
 
+  /// Returns this object to its just-constructed state: the chain is torn
+  /// down and the accumulated books are dropped. The crash-rebuild
+  /// fast-path's equivalent of constructing a fresh RequestRng — callers
+  /// must bank books() first, exactly as across a full rebuild. The next
+  /// reseed() rebuilds the chain from its request's derived seeds alone,
+  /// so a reset object's draw streams are identical to a new object's.
+  void reset();
+
   /// The decorator serving draws (valid after the first reseed).
   ResilientRandomSource &source() { return *Chain; }
   bool seeded() const { return Chain.has_value(); }

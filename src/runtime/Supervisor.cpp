@@ -137,7 +137,8 @@ void Supervisor::handleDeath(unsigned Id) {
 
   if (RestartsUsed < Pool.Opts.Supervision.MaxWorkerRestarts) {
     // Rebuild on this thread, then relaunch: the thread create publishes
-    // the fresh Interpreter/RequestRng to the new worker thread.
+    // the rebuilt Interpreter/RequestRng (snapshot-restored in place on
+    // the fast-path, reconstructed otherwise) to the new worker thread.
     ++RestartsUsed;
     Pool.rebuildWorker(W);
     W.State.store(WorkerPool::WorkerState::Idle, std::memory_order_relaxed);

@@ -80,6 +80,7 @@
 #include "runtime/RequestRng.h"
 #include "vm/DecodedProgram.h"
 #include "vm/Interpreter.h"
+#include "vm/Snapshot.h"
 
 #include <atomic>
 #include <cstdint>
@@ -235,6 +236,17 @@ struct PoolOptions {
   /// function of the index — any other dependence breaks the replay
   /// guarantee.
   std::function<void(uint64_t Index, FaultPlan &Plan)> PlanForRequest;
+  /// Crash-rebuild fast-path: the pool captures one post-load VmSnapshot
+  /// at construction (shared read-only by every worker) and rebuilds a
+  /// crashed or dead worker by restoring its existing Interpreter and
+  /// resetting its RequestRng in place — O(bytes dirtied) instead of a
+  /// 37 MiB SimMemory reconstruction plus a module re-layout. Restore is
+  /// bitwise equivalent to reconstruction (vm/Snapshot.h), so outcomes,
+  /// books, and soak digests are identical either way at any worker count
+  /// — the snapshot differential suite (ctest label `snapshot`) proves
+  /// it. Off = legacy full reconstruction, kept as the differential
+  /// oracle.
+  bool SnapshotRestore = true;
   /// Per-request tracing (obs/Trace.h). Non-owning; null = tracing off,
   /// and the serve path pays exactly one pointer test per request (the
   /// FaultInjector probe pattern). Spans are observational only — they
@@ -351,11 +363,14 @@ private:
 
   void workerMain(Worker &W);
   ServeVerdict serveRequest(Worker &W, Pending &Item);
-  /// Banks W's VM/RNG books into its carries and gives it a fresh
-  /// Interpreter (shared program + cancel flag rewired) and RequestRng.
-  /// Called on the worker's own thread after a contained crash, or on the
-  /// supervisor thread after joining a dead worker (join + relaunch give
-  /// the necessary happens-before edges).
+  /// Banks W's VM/RNG books into its carries and returns its Interpreter
+  /// and RequestRng to their fresh state — via the shared snapshot
+  /// (SnapshotRestore, the fast-path: in-place restore + RNG reset) or by
+  /// constructing replacements (the legacy path; shared program + cancel
+  /// flag rewired). Called on the worker's own thread after a contained
+  /// crash, or on the supervisor thread after joining a dead worker (join
+  /// + relaunch give the necessary happens-before edges); the snapshot is
+  /// immutable, so concurrent restores of different workers are safe.
   void rebuildWorker(Worker &W);
   /// Deterministic per-request attempt budget (>= 1).
   uint32_t attemptBudget(uint64_t Index) const;
@@ -366,6 +381,9 @@ private:
   Module &M;
   PoolOptions Opts;
   DecodedProgram Shared;
+  /// Post-load VM image shared read-only by every worker's crash rebuild
+  /// (captured in the constructor; null when SnapshotRestore is off).
+  std::unique_ptr<const VmSnapshot> Snapshot;
   MpmcQueue<Pending> Queue;
   std::vector<std::unique_ptr<Worker>> Workers;
   std::unique_ptr<Supervisor> Super;

@@ -1,0 +1,131 @@
+//===- support/Arena.h - Fixed-capacity bump byte arena --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity byte arena combining three cheap mechanisms that make
+/// per-request memory hygiene O(bytes actually used) instead of O(capacity):
+///
+///   * bump allocation — a cursor advanced with overflow-checked
+///     arithmetic, plus a high-water mark recording the deepest cursor
+///     ever reached (allocation-pressure accounting);
+///   * exact touched-range tracking — [TouchedLo, TouchedHi) brackets
+///     every byte ever written, so "return to all-zeroes" is one memset
+///     over the dirty range, not the whole backing store;
+///   * O(1) cursor reset — resetCursor() rewinds the allocator without
+///     touching memory, leaving zeroing policy to the caller (SimMemory's
+///     request boundary zeroes exactly the allocated prefix, preserving
+///     the documented attack semantics of out-of-cursor heap bytes).
+///
+/// The backing store is zero-initialized at construction, so an arena whose
+/// touched range has been zeroed is bitwise indistinguishable from a fresh
+/// one — the property the VM snapshot/restore fast-path is built on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_SUPPORT_ARENA_H
+#define SMOKESTACK_SUPPORT_ARENA_H
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace smokestack {
+
+class ByteArena {
+public:
+  /// Sentinel returned by tryAllocate() when the arena is exhausted (or the
+  /// request overflows the arithmetic).
+  static constexpr uint64_t NoSpace = UINT64_MAX;
+
+  explicit ByteArena(uint64_t Capacity)
+      : Bytes(new uint8_t[Capacity]()), Cap(Capacity), TouchedLo(Capacity) {}
+
+  uint8_t *data() { return Bytes.get(); }
+  const uint8_t *data() const { return Bytes.get(); }
+  uint64_t capacity() const { return Cap; }
+
+  //===--------------------------------------------------------------------===//
+  // Touched-range tracking
+  //===--------------------------------------------------------------------===//
+
+  /// Widens the touched range to cover [Lo, Hi). Two predictable compares
+  /// on the write hot path.
+  void noteTouched(uint64_t Lo, uint64_t Hi) {
+    if (Lo < TouchedLo)
+      TouchedLo = Lo;
+    if (Hi > TouchedHi)
+      TouchedHi = Hi;
+  }
+
+  bool touched() const { return TouchedHi > TouchedLo; }
+  uint64_t touchedLo() const { return touched() ? TouchedLo : 0; }
+  uint64_t touchedHi() const { return touched() ? TouchedHi : 0; }
+  uint64_t touchedBytes() const { return touched() ? TouchedHi - TouchedLo : 0; }
+
+  /// Zeroes the touched range and collapses it, returning the backing store
+  /// to its freshly-constructed (all-zero) image. Returns the bytes zeroed.
+  uint64_t zeroTouched() {
+    uint64_t Zeroed = touchedBytes();
+    if (Zeroed)
+      std::memset(Bytes.get() + TouchedLo, 0, Zeroed);
+    TouchedLo = Cap;
+    TouchedHi = 0;
+    return Zeroed;
+  }
+
+  /// Declares the touched range directly (snapshot restore stamps the
+  /// captured range back after copying the captured image in).
+  void setTouched(uint64_t Lo, uint64_t Hi) {
+    if (Hi > Lo) {
+      TouchedLo = Lo;
+      TouchedHi = Hi;
+    } else {
+      TouchedLo = Cap;
+      TouchedHi = 0;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Bump allocation
+  //===--------------------------------------------------------------------===//
+
+  /// Reserves \p Size bytes at the cursor and returns the offset of the
+  /// reservation, or NoSpace when the arena cannot hold it. Overflow-safe:
+  /// the exhaustion test is phrased against the remaining capacity, so a
+  /// Size near UINT64_MAX cannot wrap the cursor past the check.
+  uint64_t tryAllocate(uint64_t Size) {
+    if (Size > Cap - Cursor)
+      return NoSpace;
+    uint64_t Offset = Cursor;
+    Cursor += Size;
+    if (Cursor > HighWater)
+      HighWater = Cursor;
+    return Offset;
+  }
+
+  uint64_t cursor() const { return Cursor; }
+
+  /// Deepest cursor position ever reached (never reset — allocation
+  /// pressure accounting across the arena's lifetime).
+  uint64_t highWater() const { return HighWater; }
+
+  /// O(1) rewind of the allocator; memory contents are untouched.
+  void resetCursor() { Cursor = 0; }
+
+private:
+  std::unique_ptr<uint8_t[]> Bytes;
+  uint64_t Cap;
+  uint64_t Cursor = 0;
+  uint64_t HighWater = 0;
+  /// Empty range is encoded as Lo == Cap, Hi == 0 so the first noteTouched
+  /// initializes both bounds without a branch on "is this the first write".
+  uint64_t TouchedLo;
+  uint64_t TouchedHi = 0;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_SUPPORT_ARENA_H

@@ -111,6 +111,12 @@ Histogram RequestSteps("vm.request-steps",
 Histogram RequestNanos(
     "vm.request-nanos",
     "Wall-clock nanoseconds per runRequest() call (obs timing only)");
+Histogram HeapResetBytes(
+    "vm.heap-reset-bytes",
+    "Heap prefix bytes zeroed at each request boundary");
+Histogram ScrubStackBytes(
+    "vm.scrub-stack-bytes",
+    "Stack bytes scrubbed per post-trap recovery");
 
 } // namespace
 
@@ -266,7 +272,7 @@ ExecResult Interpreter::runRequest(const std::string &FuncName,
   // Fresh per-request output and heap arena; globals persist, matching a
   // long-lived server process handling independent connections.
   Output.clear();
-  Memory.resetHeap();
+  HeapResetBytes.record(Memory.resetHeap());
   // The clock is read only while obs timing is enabled; the disabled path
   // pays one relaxed load (the probe pattern, DESIGN.md §11).
   bool Timed = obsTimingEnabled();
@@ -295,7 +301,7 @@ void Interpreter::recoverRequestState() {
   uint64_t From = StackLowWater > MemoryMap::StackBase + ScrubSlack
                       ? StackLowWater - ScrubSlack
                       : MemoryMap::StackBase;
-  Memory.scrubStack(From);
+  ScrubStackBytes.record(Memory.scrubStack(From));
   // Drop the decoded-engine frame pools: registers are assigned on entry,
   // but a recovered server must not keep stale register images around.
   for (std::vector<uint64_t> &Regs : RegisterPool)

@@ -35,6 +35,7 @@ namespace smokestack {
 class RandomSource;
 struct DecodedFunction;
 class DecodedProgram;
+struct VmSnapshot;
 
 /// Outcome of one simulated execution.
 struct ExecResult {
@@ -162,6 +163,20 @@ public:
 
   /// Number of functions entered during the last run (perf accounting).
   uint64_t callsExecuted() const { return CallCount; }
+
+  /// Captures this VM's post-load state (loading globals first if needed)
+  /// into a VmSnapshot (vm/Snapshot.h). The snapshot is immutable and may
+  /// be shared read-only across interpreters built from the same module.
+  VmSnapshot captureSnapshot();
+
+  /// Restores this VM to \p S's capture-time state: memory becomes bitwise
+  /// identical to "freshly constructed + globals loaded", the request
+  /// counters restart at zero (bank them first, as across a full rebuild),
+  /// and per-run state (register pools, input queue, output, trap) is
+  /// cleared. Wiring (random source, cancel flag, shared program, layout
+  /// observer) is preserved. Cost is O(bytes dirtied since capture), the
+  /// crash-rebuild fast-path of runtime/WorkerPool.h.
+  void restoreFromSnapshot(const VmSnapshot &S);
 
 private:
   /// Per-function value numbering (registers).

@@ -47,19 +47,36 @@ const char *smokestack::trapKindName(TrapKind Kind) {
 
 SimMemory::SimMemory()
     : Globals{"globals", MemoryMap::GlobalsBase, true,
-              std::vector<uint8_t>(MemoryMap::GlobalsSize)},
+              ByteArena(MemoryMap::GlobalsSize)},
       ROData{"rodata", MemoryMap::RODataBase, false,
-             std::vector<uint8_t>(MemoryMap::RODataSize)},
-      Heap{"heap", MemoryMap::HeapBase, true,
-           std::vector<uint8_t>(MemoryMap::HeapSize)},
+             ByteArena(MemoryMap::RODataSize)},
+      Heap{"heap", MemoryMap::HeapBase, true, ByteArena(MemoryMap::HeapSize)},
       Stack{"stack", MemoryMap::StackBase, true,
-            std::vector<uint8_t>(MemoryMap::StackSize)} {}
+            ByteArena(MemoryMap::StackSize)} {}
 
 SimMemory::Segment *SimMemory::findSegment(uint64_t Addr, uint64_t Size) {
-  for (Segment *Seg : {&Globals, &ROData, &Heap, &Stack})
-    if (Seg->contains(Addr, Size))
-      return Seg;
-  return nullptr;
+  // Segment bases are 16 MiB-aligned and no segment spans a 16 MiB block
+  // boundary it does not own, so the top address byte picks the candidate
+  // directly; contains() then applies the exact bounds (this is the only
+  // dispatch on the load/store hot path, replacing a four-segment scan).
+  Segment *Seg;
+  switch (Addr >> 24) {
+  case 0x00:
+    Seg = &Globals;
+    break;
+  case 0x01:
+    Seg = &ROData;
+    break;
+  case 0x04:
+    Seg = &Heap;
+    break;
+  case 0x07:
+    Seg = &Stack;
+    break;
+  default:
+    return nullptr;
+  }
+  return Seg->contains(Addr, Size) ? Seg : nullptr;
 }
 
 const SimMemory::Segment *SimMemory::findSegment(uint64_t Addr,
@@ -80,7 +97,7 @@ bool SimMemory::read(uint64_t Addr, void *Out, uint64_t Size) {
     raiseUnmapped(Addr, Size, "read");
     return false;
   }
-  std::memcpy(Out, Seg->Bytes.data() + (Addr - Seg->Base), Size);
+  std::memcpy(Out, Seg->Mem.data() + (Addr - Seg->Base), Size);
   return true;
 }
 
@@ -99,7 +116,9 @@ bool SimMemory::write(uint64_t Addr, const void *Data, uint64_t Size,
                      Seg->Name);
     return false;
   }
-  std::memcpy(Seg->Bytes.data() + (Addr - Seg->Base), Data, Size);
+  uint64_t Off = Addr - Seg->Base;
+  std::memcpy(Seg->Mem.data() + Off, Data, Size);
+  Seg->Mem.noteTouched(Off, Off + Size);
   return true;
 }
 
@@ -137,26 +156,39 @@ bool SimMemory::isMapped(uint64_t Addr, uint64_t Size) const {
   return findSegment(Addr, Size) != nullptr;
 }
 
-void SimMemory::scrubStack(uint64_t FromAddr) {
+uint64_t SimMemory::scrubStack(uint64_t FromAddr) {
   uint64_t From = FromAddr < MemoryMap::StackBase ? MemoryMap::StackBase
                                                   : FromAddr;
   if (From >= MemoryMap::StackTop)
-    return;
-  std::memset(Stack.Bytes.data() + (From - MemoryMap::StackBase), 0,
-              MemoryMap::StackTop - From);
+    return 0;
+  uint64_t Zeroed = MemoryMap::StackTop - From;
+  std::memset(Stack.Mem.data() + (From - MemoryMap::StackBase), 0, Zeroed);
+  // Scrubbing writes zeroes — the segment's fresh-state value — so the
+  // touched range must NOT widen here: it brackets potentially-nonzero
+  // bytes, and widening it would inflate every later restore.
+  return Zeroed;
 }
 
-void SimMemory::resetHeap() {
-  if (HeapCursor)
-    std::memset(Heap.Bytes.data(), 0, HeapCursor);
-  HeapCursor = 0;
+uint64_t SimMemory::resetHeap() {
+  uint64_t Zeroed = Heap.Mem.cursor();
+  if (Zeroed)
+    std::memset(Heap.Mem.data(), 0, Zeroed);
+  Heap.Mem.resetCursor();
+  return Zeroed;
 }
 
 uint64_t SimMemory::heapAlloc(uint64_t Size) {
-  uint64_t Aligned = alignTo(Size == 0 ? 1 : Size, 16);
-  if (HeapCursor + Aligned > MemoryMap::HeapSize)
+  if (Size == 0)
+    Size = 1;
+  // alignTo(Size, 16) wraps to 0 for Size > UINT64_MAX - 15, which used to
+  // slip past the exhaustion check and hand out a bogus allocation backed
+  // by no space. Any Size beyond the segment can never fit, so reject it
+  // before the round-up can overflow; tryAllocate() phrases its own check
+  // against remaining capacity, so the cursor advance cannot wrap either.
+  if (Size > MemoryMap::HeapSize)
     return 0;
-  uint64_t Addr = MemoryMap::HeapBase + HeapCursor;
-  HeapCursor += Aligned;
-  return Addr;
+  uint64_t Offset = Heap.Mem.tryAllocate(alignTo(Size, 16));
+  if (Offset == ByteArena::NoSpace)
+    return 0;
+  return MemoryMap::HeapBase + Offset;
 }

@@ -11,18 +11,26 @@
 /// corrupt neighboring objects — exactly the hardware behavior DOP attacks
 /// exploit — while accesses outside any segment trap like a real segfault.
 ///
+/// Each segment's backing store is a ByteArena (support/Arena.h): writes
+/// maintain an exact touched-byte range, so returning a segment to its
+/// post-load image costs O(bytes actually dirtied) — the mechanism behind
+/// both the request-boundary hygiene metrics and the snapshot/restore
+/// fast-path (vm/Snapshot.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMOKESTACK_VM_SIMMEMORY_H
 #define SMOKESTACK_VM_SIMMEMORY_H
 
+#include "support/Arena.h"
 #include "vm/Trap.h"
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace smokestack {
+
+struct VmSnapshot;
 
 /// Segment layout constants (fixed virtual addresses).
 struct MemoryMap {
@@ -76,34 +84,58 @@ public:
   }
 
   /// Bump-allocates \p Size bytes (16-byte aligned) from the heap; returns 0
-  /// when exhausted.
+  /// when exhausted. Hardened against wraparound: a Size large enough to
+  /// overflow the 16-byte alignment round-up (or the cursor advance) is
+  /// rejected as exhaustion instead of wrapping past the bounds check.
   uint64_t heapAlloc(uint64_t Size);
 
   /// Total heap bytes handed out so far (memory-overhead accounting).
-  uint64_t heapBytesUsed() const { return HeapCursor; }
+  uint64_t heapBytesUsed() const { return Heap.Mem.cursor(); }
+
+  /// Deepest heap cursor ever reached (allocation-pressure accounting;
+  /// never reset by resetHeap).
+  uint64_t heapHighWater() const { return Heap.Mem.highWater(); }
 
   /// Zeroes stack bytes from \p FromAddr (clamped into the segment) up to
   /// the top of the stack segment. Request-boundary hygiene after a trap:
   /// attacker-corrupted frames must not leak into the next request, and
   /// scrubbing only from the run's low-water mark keeps the cost
-  /// proportional to what was actually touched.
-  void scrubStack(uint64_t FromAddr);
+  /// proportional to what was actually touched. Returns the bytes zeroed
+  /// (reset-cost observability).
+  uint64_t scrubStack(uint64_t FromAddr);
 
   /// Zeroes the used heap prefix and resets the bump allocator — the heap
   /// acts as a per-request arena under the server-loop model, so request N
-  /// cannot exhaust or contaminate the heap of request N+1.
-  void resetHeap();
+  /// cannot exhaust or contaminate the heap of request N+1. Exactly the
+  /// allocated prefix [HeapBase, cursor) is zeroed, never more: heap bytes
+  /// beyond the cursor that an out-of-bounds write dirtied survive the
+  /// reset, the documented within-segment corruption semantics. Returns
+  /// the bytes zeroed (reset-cost observability).
+  uint64_t resetHeap();
+
+  /// Captures every segment's touched content plus the heap cursor into
+  /// \p S (vm/Snapshot.h; implemented in Snapshot.cpp).
+  void captureImage(VmSnapshot &S) const;
+
+  /// Restores memory to a captured image: each writable segment's current
+  /// touched range is zeroed and the captured bytes are copied back, making
+  /// the segment bitwise identical to its capture-time state. Read-only
+  /// segments are skipped when their touched range still matches the
+  /// capture (nothing but the one-shot loader can write them), which keeps
+  /// restore cost independent of the multi-MiB P-BOX. Returns the bytes
+  /// written (zeroed + copied; reset-cost observability).
+  uint64_t restoreImage(const VmSnapshot &S);
 
 private:
   struct Segment {
     const char *Name;
     uint64_t Base;
     bool Writable;
-    std::vector<uint8_t> Bytes;
+    ByteArena Mem;
 
     bool contains(uint64_t Addr, uint64_t Size) const {
-      return Addr >= Base && Size <= Bytes.size() &&
-             Addr - Base <= Bytes.size() - Size;
+      return Addr >= Base && Size <= Mem.capacity() &&
+             Addr - Base <= Mem.capacity() - Size;
     }
   };
 
@@ -115,7 +147,6 @@ private:
   Segment ROData;
   Segment Heap;
   Segment Stack;
-  uint64_t HeapCursor = 0;
   TrapKind Trap = TrapKind::None;
   std::string TrapMessage;
 };

@@ -1,0 +1,186 @@
+//===- tests/runtime/SnapshotDifferentialTest.cpp - fast-path differential ===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The pool-level proof of the snapshot/restore contract: every observable —
+// per-request outcomes (index, trap, return value, steps, attempts,
+// poisoned) and the complete PoolBooks — must be bit-identical with the
+// crash-rebuild fast-path on or off, at workers = 1/2/8, across reruns,
+// under chaos (crashes, hard deaths, RNG faults) and scripted poison
+// requests. The legacy full-reconstruction path is kept alive precisely to
+// serve as this differential oracle (PoolOptions::SnapshotRestore).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/WorkerPool.h"
+
+#include "ir/IRBuilder.h"
+#include "rng/RdRand.h"
+
+#include "gtest/gtest.h"
+
+using namespace smokestack;
+
+namespace {
+
+/// driver(): folds two smokestack.rand draws into a byte (same shape as the
+/// supervisor chaos tests, so faults land in the same sites).
+void buildRandModule(Module &M) {
+  IRBuilder B(M);
+  Function *Rand = M.getOrInsertDeclaration("smokestack.rand", B.i64(), {});
+  Function *Driver = M.createFunction("driver", B.i64(), {});
+  B.setInsertPoint(Driver->createBlock("entry"));
+  Value *A = B.call(Rand, {});
+  Value *C = B.call(Rand, {});
+  B.ret(B.and_(B.add(A, C), B.constI64(0xff)));
+}
+
+/// Full chaos: RNG degradation, contained crashes, and hard worker deaths,
+/// so the rebuild path under test actually fires many times per run.
+PoolOptions chaosOptions(uint64_t RootSeed = 7) {
+  PoolOptions Opts;
+  Opts.RootSeed = RootSeed;
+  Opts.Function = "driver";
+  Opts.QueueCapacity = 32;
+  Opts.InjectFaults = true;
+  Opts.FaultTemplate.site(FaultSite::RdRandStep) = {0.15,
+                                                    RdRandSource::RetryLimit,
+                                                    0};
+  Opts.FaultTemplate.site(FaultSite::RekeyEntropy) = {0.4, 1, 0};
+  Opts.FaultTemplate.site(FaultSite::WorkerCrash) = {0.2, 1, 0};
+  Opts.FaultTemplate.site(FaultSite::WorkerDeath) = {0.05, 1, 0};
+  Opts.Supervision.AttemptsMin = 2;
+  Opts.Supervision.AttemptsMax = 5;
+  Opts.Supervision.HeartbeatMillis = 5;
+  return Opts;
+}
+
+struct RunResult {
+  std::vector<PoolOutcome> Outcomes;
+  PoolBooks Books;
+};
+
+RunResult runPool(Module &M, PoolOptions Opts, unsigned Workers,
+                  bool SnapshotRestore, uint64_t NumRequests) {
+  Opts.Workers = Workers;
+  Opts.SnapshotRestore = SnapshotRestore;
+  WorkerPool Pool(M, Opts);
+  Pool.start();
+  for (uint64_t I = 0; I != NumRequests; ++I)
+    EXPECT_TRUE(Pool.submit({I, {}}));
+  RunResult R;
+  R.Outcomes = Pool.finish();
+  R.Books = Pool.books();
+  return R;
+}
+
+void expectIdentical(const RunResult &A, const RunResult &B,
+                     const char *What) {
+  ASSERT_EQ(A.Outcomes.size(), B.Outcomes.size()) << What;
+  for (size_t I = 0; I != A.Outcomes.size(); ++I) {
+    EXPECT_EQ(A.Outcomes[I].Index, B.Outcomes[I].Index) << What << " @" << I;
+    EXPECT_EQ(A.Outcomes[I].Trap, B.Outcomes[I].Trap) << What << " @" << I;
+    EXPECT_EQ(A.Outcomes[I].ReturnValue, B.Outcomes[I].ReturnValue)
+        << What << " @" << I;
+    EXPECT_EQ(A.Outcomes[I].Steps, B.Outcomes[I].Steps) << What << " @" << I;
+    EXPECT_EQ(A.Outcomes[I].Attempts, B.Outcomes[I].Attempts)
+        << What << " @" << I;
+    EXPECT_EQ(A.Outcomes[I].Poisoned, B.Outcomes[I].Poisoned)
+        << What << " @" << I;
+  }
+  EXPECT_EQ(A.Books.Requests, B.Books.Requests) << What;
+  EXPECT_EQ(A.Books.RequestTraps, B.Books.RequestTraps) << What;
+  EXPECT_EQ(A.Books.Rng.DrawsServed, B.Books.Rng.DrawsServed) << What;
+  EXPECT_EQ(A.Books.Rng.FallbackDraws, B.Books.Rng.FallbackDraws) << What;
+  EXPECT_EQ(A.Books.Rng.FailClosedDraws, B.Books.Rng.FailClosedDraws) << What;
+  EXPECT_EQ(A.Books.Completed, B.Books.Completed) << What;
+  EXPECT_EQ(A.Books.Poisoned, B.Books.Poisoned) << What;
+  EXPECT_EQ(A.Books.CrashesContained, B.Books.CrashesContained) << What;
+  EXPECT_EQ(A.Books.WorkerDeaths, B.Books.WorkerDeaths) << What;
+  EXPECT_EQ(A.Books.WorkerRestarts, B.Books.WorkerRestarts) << What;
+  EXPECT_EQ(A.Books.Retries, B.Books.Retries) << What;
+  EXPECT_EQ(A.Books.PoisonedIndices, B.Books.PoisonedIndices) << What;
+  for (unsigned S = 0; S != NumFaultSites; ++S) {
+    EXPECT_EQ(A.Books.InjectedProbes[S], B.Books.InjectedProbes[S])
+        << What << " site " << S;
+    EXPECT_EQ(A.Books.InjectedEvents[S], B.Books.InjectedEvents[S])
+        << What << " site " << S;
+  }
+}
+
+TEST(SnapshotDifferentialTest, FastPathOnOffIdenticalUnderChaos) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts = chaosOptions();
+  constexpr uint64_t N = 96;
+
+  for (unsigned Workers : {1u, 2u, 8u}) {
+    RunResult On = runPool(M, Opts, Workers, /*SnapshotRestore=*/true, N);
+    RunResult Off = runPool(M, Opts, Workers, /*SnapshotRestore=*/false, N);
+    SCOPED_TRACE(Workers);
+    // The rebuild path must actually fire for the comparison to bite.
+    EXPECT_GT(On.Books.CrashesContained, 0u);
+    EXPECT_GT(On.Books.WorkerDeaths, 0u);
+    EXPECT_TRUE(On.Books.accountingIdentityHolds());
+    EXPECT_TRUE(Off.Books.accountingIdentityHolds());
+    expectIdentical(On, Off, "snapshot on vs off");
+  }
+}
+
+TEST(SnapshotDifferentialTest, FastPathInvariantUnderWorkerCountAndRerun) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts = chaosOptions();
+  constexpr uint64_t N = 96;
+
+  RunResult One = runPool(M, Opts, 1, true, N);
+  RunResult Two = runPool(M, Opts, 2, true, N);
+  RunResult Eight = runPool(M, Opts, 8, true, N);
+  RunResult Again = runPool(M, Opts, 2, true, N);
+
+  EXPECT_GT(One.Books.CrashesContained, 0u);
+  expectIdentical(One, Two, "workers=1 vs workers=2 (fast-path)");
+  expectIdentical(One, Eight, "workers=1 vs workers=8 (fast-path)");
+  expectIdentical(Two, Again, "rerun with same root seed (fast-path)");
+}
+
+TEST(SnapshotDifferentialTest, PoisonQuarantineIdenticalOnOff) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts = chaosOptions();
+  Opts.Supervision.AttemptsMin = 3;
+  Opts.Supervision.AttemptsMax = 3;
+  // Requests with Index % 7 == 3 crash on every attempt: guaranteed
+  // quarantines, so the poison path is exercised on both rebuild paths.
+  Opts.PlanForRequest = [](uint64_t Index, FaultPlan &Plan) {
+    if (Index % 7 == 3)
+      Plan.site(FaultSite::WorkerCrash) = {0.0, 1, 1};
+  };
+  constexpr uint64_t N = 70;
+
+  RunResult On = runPool(M, Opts, 2, true, N);
+  RunResult Off = runPool(M, Opts, 2, false, N);
+  EXPECT_GT(On.Books.Poisoned, 0u) << "no quarantine landed: vacuous test";
+  expectIdentical(On, Off, "scripted poison, snapshot on vs off");
+}
+
+TEST(SnapshotDifferentialTest, DeathOnlyChaosIdenticalOnOff) {
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts = chaosOptions();
+  // Hard deaths only: every rebuild flows through the supervisor's
+  // handleDeath → rebuildWorker, the exact path the snapshot replaces.
+  Opts.FaultTemplate.site(FaultSite::WorkerCrash) = {};
+  Opts.FaultTemplate.site(FaultSite::WorkerDeath) = {0.08, 1, 0};
+  constexpr uint64_t N = 96;
+
+  RunResult On = runPool(M, Opts, 3, true, N);
+  RunResult Off = runPool(M, Opts, 3, false, N);
+  EXPECT_GT(On.Books.WorkerDeaths, 0u) << "no death landed: vacuous test";
+  EXPECT_EQ(On.Books.WorkerRestarts, On.Books.WorkerDeaths);
+  expectIdentical(On, Off, "death-only chaos, snapshot on vs off");
+}
+
+} // namespace

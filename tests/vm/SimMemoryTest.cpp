@@ -107,6 +107,37 @@ TEST(SimMemoryTest, HeapAllocAlignsAndExhausts) {
   EXPECT_EQ(Mem.heapAlloc(MemoryMap::HeapSize), 0u) << "exhaustion returns 0";
 }
 
+TEST(SimMemoryTest, HeapAllocRejectsOverflowingSizes) {
+  SimMemory Mem;
+  uint64_t Before = Mem.heapBytesUsed();
+  // A size within a granule of UINT64_MAX used to wrap to a tiny value
+  // inside alignTo and slip past the bounds check. It must fail cleanly.
+  EXPECT_EQ(Mem.heapAlloc(UINT64_MAX - 5), 0u);
+  EXPECT_EQ(Mem.heapAlloc(UINT64_MAX), 0u);
+  EXPECT_EQ(Mem.heapAlloc(MemoryMap::HeapSize + 1), 0u);
+  EXPECT_EQ(Mem.heapBytesUsed(), Before)
+      << "failed allocations must not move the cursor";
+  // A legitimate allocation still works after the rejections.
+  EXPECT_NE(Mem.heapAlloc(32), 0u);
+}
+
+TEST(SimMemoryTest, ResetHeapZeroesExactlyTheAllocatedPrefix) {
+  SimMemory Mem;
+  uint64_t A = Mem.heapAlloc(16);
+  uint64_t Sentinel = 0x4141414141414141ULL;
+  ASSERT_TRUE(Mem.write(A, &Sentinel, 8));
+  // An out-of-bounds scribble past the cursor (within-segment, so no trap).
+  uint64_t Beyond = A + 64;
+  ASSERT_TRUE(Mem.write(Beyond, &Sentinel, 8));
+  EXPECT_EQ(Mem.resetHeap(), 16u) << "reset reports the allocated prefix";
+  uint64_t Out = 1;
+  ASSERT_TRUE(Mem.read(A, &Out, 8));
+  EXPECT_EQ(Out, 0u) << "allocated prefix is scrubbed";
+  ASSERT_TRUE(Mem.read(Beyond, &Out, 8));
+  EXPECT_EQ(Out, Sentinel)
+      << "bytes past the cursor survive reset (documented attack semantics)";
+}
+
 TEST(SimMemoryTest, StackSegmentBounds) {
   SimMemory Mem;
   uint64_t Value = 1;

@@ -18,6 +18,9 @@ Supported bench kinds (selected by the "bench"/"benchmark" key):
   interp_throughput gates max_speedup (a machine-relative ratio, so it
                     transfers across runner generations better than raw
                     steps/sec)
+  request_reset     gates restore_speedup_vs_rebuild (snapshot restore vs
+                    full VM reconstruction — machine-relative like
+                    max_speedup)
 
 Only the Python standard library is used.
 
@@ -112,6 +115,15 @@ def check_interp(base, cand, max_drop_pct):
     )
 
 
+def check_request_reset(base, cand, max_drop_pct):
+    return check_drop(
+        "restore_speedup_vs_rebuild",
+        base["restore_speedup_vs_rebuild"],
+        cand["restore_speedup_vs_rebuild"],
+        max_drop_pct,
+    )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -135,6 +147,7 @@ def main():
         "soak_chaos": check_soak_chaos,
         "soak_scaling": check_soak_scaling,
         "interp_throughput": check_interp,
+        "request_reset": check_request_reset,
     }
     if kind not in checks:
         return fail(f"unknown bench kind {kind!r}")
