@@ -48,6 +48,17 @@
 //                                           supervision books) replays
 //                                           bit-identically; emits
 //                                           BENCH_soak.json (-json=PATH)
+//   soak_server -net [-chaos] [...]       socket soak: the same campaign
+//                                           served over real loopback TCP
+//                                           through the epoll front-end at
+//                                           1/2/4 WorkerPool shards, with
+//                                           malformed-frame chaff and (with
+//                                           -chaos) socket-layer fault
+//                                           injection; outcomes are rebuilt
+//                                           from the wire responses and their
+//                                           digest must equal the in-process
+//                                           pool digest bit for bit; emits
+//                                           BENCH_netsoak.json (-json=PATH)
 //
 // Exit code 0 and the final line "SOAK PASS" only when all checks hold.
 //
@@ -58,6 +69,8 @@
 #include "defenses/Deploy.h"
 #include "faults/FaultInjector.h"
 #include "ir/IRBuilder.h"
+#include "net/Client.h"
+#include "net/SocketServer.h"
 #include "obs/MetricsRegistry.h"
 #include "obs/Trace.h"
 #include "rng/AesCtr.h"
@@ -67,6 +80,7 @@
 #include "runtime/WorkerPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -225,6 +239,30 @@ std::optional<Payload> buildStalePayload(const LayoutOracle &Oracle) {
   return P;
 }
 
+/// The attacker's one disclosure pass (outside any fault scope): record
+/// the first invocation's layout, then reuse it — stale — for every
+/// attack. Shared by the sequential, pool, and socket soaks so all three
+/// replay the identical campaign.
+std::optional<Payload> discloseStalePayload(Module &M,
+                                            const DeployedDefense &Deployed,
+                                            uint64_t Seed) {
+  LayoutOracle Oracle(/*KeepFirst=*/true);
+  DeterministicEntropySource ProbeEntropy(Seed ^ 0x9e3779b97f4a7c15ULL);
+  AesCtrRandomSource ProbeRng(ProbeEntropy, /*NumRounds=*/10);
+  {
+    Interpreter ProbeVM(M, &ProbeRng, Deployed.InterpOpts);
+    ProbeVM.setLayoutObserver(&Oracle);
+    ProbeVM.run("driver");
+  }
+  std::optional<Payload> Stale = buildStalePayload(Oracle);
+  if (!Stale)
+    std::fprintf(stderr,
+                 "soak: disclosed layout offers no reachable targets for "
+                 "seed %" PRIu64 "; pick another seed\n",
+                 Seed);
+  return Stale;
+}
+
 //===----------------------------------------------------------------------===//
 // One soak pass
 //===----------------------------------------------------------------------===//
@@ -281,24 +319,9 @@ PassResult runSoakPass(uint64_t Seed, uint64_t NumRequests, double FaultRate) {
   buildServerModule(M);
   DeployedDefense Deployed = deployDefense(M, DefenseKind::Smokestack, Seed);
 
-  // Attacker's one disclosure pass (outside any fault scope): record the
-  // first invocation's layout, then reuse it — stale — for every attack.
-  LayoutOracle Oracle(/*KeepFirst=*/true);
-  DeterministicEntropySource ProbeEntropy(Seed ^ 0x9e3779b97f4a7c15ULL);
-  AesCtrRandomSource ProbeRng(ProbeEntropy, /*NumRounds=*/10);
-  {
-    Interpreter ProbeVM(M, &ProbeRng, Deployed.InterpOpts);
-    ProbeVM.setLayoutObserver(&Oracle);
-    ProbeVM.run("driver");
-  }
-  std::optional<Payload> Stale = buildStalePayload(Oracle);
-  if (!Stale) {
-    std::fprintf(stderr,
-                 "soak: disclosed layout offers no reachable targets for "
-                 "seed %" PRIu64 "; pick another seed\n",
-                 Seed);
+  std::optional<Payload> Stale = discloseStalePayload(M, Deployed, Seed);
+  if (!Stale)
     return R;
-  }
 
   // The fault script. EntropyFill stays at zero so the RdRand retry loop's
   // failure accounting maps 1:1 onto injected events (a genuine entropy
@@ -534,58 +557,21 @@ constexpr uint64_t PoisonPhase = 400;
 /// setting and demanding bit-identical digests.
 bool UseSnapshotFastPath = true;
 
-/// Serves NumRequests through a WorkerPool of \p Workers interpreters.
-/// Same traffic shape as the sequential soak (every eighth request replays
-/// the stale payload); per-request fault plans replace the sequential
-/// scripted campaign, with a permanent-DRNG-death segment over the last
-/// ~15% of the request space. Deterministic in (Seed, NumRequests,
-/// FaultRate) — and, by the pool's derivation scheme, independent of
-/// Workers.
-///
-/// \p Chaos additionally injects worker crashes (~1% of attempts), hard
-/// worker deaths (~0.2%), and the scripted poison requests; the digest
-/// then also covers Attempts, the Poisoned flags, and the supervision
-/// books, so "bit-identical" extends to the pool's entire failure
-/// handling. Attempt budgets are drawn from [2, 4].
-///
-/// \p Tracer, when non-null, installs per-request span tracing for this
-/// pass. Tracing is observational only: a traced pass must produce the
-/// same digest as an untraced one, which the chaos soak checks explicitly.
-PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
-                           double FaultRate, unsigned Workers,
-                           bool Chaos = false,
-                           TraceRecorder *Tracer = nullptr,
-                           bool SnapshotRestore = UseSnapshotFastPath) {
-  PoolPassResult R;
-
-  Module M("soak-server");
-  buildServerModule(M);
-  DeployedDefense Deployed = deployDefense(M, DefenseKind::Smokestack, Seed);
-
-  // Attacker's one disclosure pass, as in the sequential soak.
-  LayoutOracle Oracle(/*KeepFirst=*/true);
-  DeterministicEntropySource ProbeEntropy(Seed ^ 0x9e3779b97f4a7c15ULL);
-  AesCtrRandomSource ProbeRng(ProbeEntropy, /*NumRounds=*/10);
-  {
-    Interpreter ProbeVM(M, &ProbeRng, Deployed.InterpOpts);
-    ProbeVM.setLayoutObserver(&Oracle);
-    ProbeVM.run("driver");
-  }
-  std::optional<Payload> Stale = buildStalePayload(Oracle);
-  if (!Stale) {
-    std::fprintf(stderr,
-                 "soak: disclosed layout offers no reachable targets for "
-                 "seed %" PRIu64 "; pick another seed\n",
-                 Seed);
-    return R;
-  }
-
+/// The pool options every soak pass serves under — one constructor shared
+/// by the in-process pool soak and the socket soak's shards, because "the
+/// wire digest equals the in-process digest" is only a meaningful claim
+/// if both sides run the identical configuration.
+PoolOptions makeSoakPoolOptions(uint64_t Seed, uint64_t NumRequests,
+                                double FaultRate, unsigned Workers,
+                                bool Chaos, TraceRecorder *Tracer,
+                                bool SnapshotRestore,
+                                const InterpreterOptions &InterpOpts) {
   PoolOptions PO;
   PO.Workers = Workers;
   PO.RootSeed = Seed;
   PO.QueueCapacity = 256;
   PO.Function = "driver";
-  PO.InterpOpts = Deployed.InterpOpts;
+  PO.InterpOpts = InterpOpts;
   PO.InjectFaults = true;
   PO.SnapshotRestore = SnapshotRestore;
   PO.Tracer = Tracer;
@@ -615,22 +601,18 @@ PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
     if (Chaos && Index % PoisonStride == PoisonPhase)
       Plan.site(FaultSite::WorkerCrash) = {0.0, 1, 1};
   };
+  return PO;
+}
 
-  WorkerPool Pool(M, PO);
-  Pool.start();
-  auto Begin = std::chrono::steady_clock::now();
-  for (uint64_t I = 0; I != NumRequests; ++I) {
-    PoolRequest Req;
-    Req.Index = I;
-    if ((I % 8) == 5)
-      Req.Inputs.push_back(Stale->bytes());
-    Pool.submit(std::move(Req));
-  }
-  std::vector<PoolOutcome> Outcomes = Pool.finish();
-  auto End = std::chrono::steady_clock::now();
-  R.Seconds = std::chrono::duration<double>(End - Begin).count();
-  R.Books = Pool.books();
-
+/// Builds the request ledger and the outcome/books digest for one pass.
+/// Shared by the pool soaks (outcomes straight from WorkerPool::finish())
+/// and the socket soak (outcomes reconstructed from the wire responses),
+/// so digest equality between the two is a statement about the serving
+/// layers, not about two different hash functions. \p Outcomes must be
+/// sorted by request index.
+void tallyPass(const std::vector<PoolOutcome> &Outcomes, const PoolBooks &Books,
+               bool Chaos, PoolPassResult &R) {
+  R.Books = Books;
   // The digest covers the index-sorted outcome stream plus the aggregate
   // books, so "bit-identical" means identical traps, return values, step
   // counts, and accounting — regardless of which worker served what.
@@ -701,6 +683,57 @@ PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
 
   R.DigestValue = D.value();
   R.Valid = true;
+}
+
+/// Serves NumRequests through a WorkerPool of \p Workers interpreters.
+/// Same traffic shape as the sequential soak (every eighth request replays
+/// the stale payload); per-request fault plans replace the sequential
+/// scripted campaign, with a permanent-DRNG-death segment over the last
+/// ~15% of the request space. Deterministic in (Seed, NumRequests,
+/// FaultRate) — and, by the pool's derivation scheme, independent of
+/// Workers.
+///
+/// \p Chaos additionally injects worker crashes (~1% of attempts), hard
+/// worker deaths (~0.2%), and the scripted poison requests; the digest
+/// then also covers Attempts, the Poisoned flags, and the supervision
+/// books, so "bit-identical" extends to the pool's entire failure
+/// handling. Attempt budgets are drawn from [2, 4].
+///
+/// \p Tracer, when non-null, installs per-request span tracing for this
+/// pass. Tracing is observational only: a traced pass must produce the
+/// same digest as an untraced one, which the chaos soak checks explicitly.
+PoolPassResult runPoolPass(uint64_t Seed, uint64_t NumRequests,
+                           double FaultRate, unsigned Workers,
+                           bool Chaos = false,
+                           TraceRecorder *Tracer = nullptr,
+                           bool SnapshotRestore = UseSnapshotFastPath) {
+  PoolPassResult R;
+
+  Module M("soak-server");
+  buildServerModule(M);
+  DeployedDefense Deployed = deployDefense(M, DefenseKind::Smokestack, Seed);
+  std::optional<Payload> Stale = discloseStalePayload(M, Deployed, Seed);
+  if (!Stale)
+    return R;
+
+  PoolOptions PO =
+      makeSoakPoolOptions(Seed, NumRequests, FaultRate, Workers, Chaos,
+                          Tracer, SnapshotRestore, Deployed.InterpOpts);
+
+  WorkerPool Pool(M, PO);
+  Pool.start();
+  auto Begin = std::chrono::steady_clock::now();
+  for (uint64_t I = 0; I != NumRequests; ++I) {
+    PoolRequest Req;
+    Req.Index = I;
+    if ((I % 8) == 5)
+      Req.Inputs.push_back(Stale->bytes());
+    Pool.submit(std::move(Req));
+  }
+  std::vector<PoolOutcome> Outcomes = Pool.finish();
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = std::chrono::duration<double>(End - Begin).count();
+  tallyPass(Outcomes, Pool.books(), Chaos, R);
   return R;
 }
 
@@ -1050,6 +1083,454 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
 }
 
 //===----------------------------------------------------------------------===//
+// Socket soak (-net): the pool soak over real loopback TCP
+//===----------------------------------------------------------------------===//
+
+/// Malformed-frame chaff injected during a net pass: counts per
+/// protocol-error class, each frame sent on its own throwaway connection
+/// so the teardown it earns costs the request traffic nothing. The pass
+/// asserts the server's per-class error books match these counts exactly
+/// — chaff is accounted, never absorbed.
+struct NetChaff {
+  uint64_t ZeroLength = 0;
+  uint64_t Oversize = 0;
+  uint64_t Garbage = 0;   ///< Well-framed payloads that fail the schema.
+  uint64_t Truncated = 0; ///< Mid-frame FIN.
+  /// Connections opened and abruptly reset with nothing sent — client
+  /// death at its least polite. Booked as closes, never as frames, so
+  /// these exist purely to prove they perturb nothing.
+  uint64_t Resets = 0;
+  uint64_t total() const {
+    return ZeroLength + Oversize + Garbage + Truncated;
+  }
+};
+
+struct NetPassResult {
+  PoolPassResult Pool;
+  DrainReport Report;
+  /// Every request got exactly one well-formed response with a served
+  /// status (Ok/Trapped/Poisoned) — the precondition for the digest.
+  bool AllServed = false;
+};
+
+/// One socket pass: a SocketServer over the soak module at \p Shards
+/// WorkerPool shards, driven by \p Connections concurrent client threads
+/// with windowed pipelining and the identical traffic shape to
+/// runPoolPass (every eighth request replays the stale payload), plus
+/// malformed chaff and, in chaos mode, socket-layer fault injection.
+/// Outcomes are reconstructed from the wire responses and digested by the
+/// same tallyPass as the in-process soak, so digest equality pins the
+/// whole wire round trip — framing, shard routing, completion fan-in,
+/// response encoding — as a bit-exact no-op on the served results.
+///
+/// The client window (16 frames per connection) against the shard queue
+/// capacity (256) guarantees zero sheds; the caller asserts that, since a
+/// shed would change Completed and break digest parity by construction.
+NetPassResult runNetPass(uint64_t Seed, uint64_t NumRequests, double FaultRate,
+                         unsigned Shards, unsigned WorkersPerShard,
+                         unsigned Connections, bool Chaos,
+                         const NetChaff &Chaff) {
+  NetPassResult R;
+  Module M("soak-server");
+  buildServerModule(M);
+  DeployedDefense Deployed = deployDefense(M, DefenseKind::Smokestack, Seed);
+  std::optional<Payload> Stale = discloseStalePayload(M, Deployed, Seed);
+  if (!Stale)
+    return R;
+
+  ServerOptions SO;
+  SO.Shards = Shards;
+  SO.Pool = makeSoakPoolOptions(Seed, NumRequests, FaultRate, WorkersPerShard,
+                                Chaos, /*Tracer=*/nullptr, UseSnapshotFastPath,
+                                Deployed.InterpOpts);
+  if (Chaos) {
+    // Socket-layer chaos on top of the pool's: flaky accepts, short
+    // reads/writes, simulated EAGAIN stalls. ConnReset stays zero — a
+    // server-side reset would orphan its responses, and this pass pins
+    // Delivered == NumRequests exactly.
+    SO.InjectNetFaults = true;
+    SO.NetFaultPlan.Seed = Seed ^ 0x4e455431; // "NET1"
+    SO.NetFaultPlan.site(FaultSite::AcceptFailure) = {0.05, 1, 0};
+    SO.NetFaultPlan.site(FaultSite::NetPartialIo) = {0.01, 1, 0};
+    SO.NetFaultPlan.site(FaultSite::ClientStall) = {0.01, 1, 0};
+  }
+  SocketServer Server(M, SO);
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "net soak: server start failed: %s\n", Err.c_str());
+    return R;
+  }
+  const uint16_t Port = Server.port();
+
+  // Request traffic: connection T owns the index residue class
+  // I % Connections == T, so every slot of Responses/Got is written by
+  // exactly one thread and read only after the joins.
+  std::vector<WireResponse> Responses(NumRequests);
+  std::vector<uint8_t> Got(NumRequests, 0);
+  std::atomic<bool> ClientFailed{false};
+  constexpr size_t Window = 16;
+  auto Begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> Clients;
+  Clients.reserve(Connections);
+  for (unsigned T = 0; T != Connections; ++T) {
+    Clients.emplace_back([&, T] {
+      BlockingClient C;
+      if (!C.connectTo(Port)) {
+        ClientFailed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      std::vector<uint64_t> Mine;
+      for (uint64_t I = T; I < NumRequests; I += Connections)
+        Mine.push_back(I);
+      size_t Sent = 0, Received = 0;
+      while (Received != Mine.size()) {
+        while (Sent != Mine.size() && Sent - Received < Window) {
+          WireRequest Req;
+          Req.Index = Mine[Sent];
+          if ((Req.Index % 8) == 5)
+            Req.Inputs.push_back(Stale->bytes());
+          if (!C.sendRequest(Req)) {
+            ClientFailed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          ++Sent;
+        }
+        WireResponse Resp;
+        if (!C.recvResponse(Resp, /*TimeoutMillis=*/60000) ||
+            Resp.Index >= NumRequests || Got[Resp.Index]) {
+          ClientFailed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        Got[Resp.Index] = 1;
+        Responses[Resp.Index] = Resp;
+        ++Received;
+      }
+    });
+  }
+
+  // Chaff rides alongside the request traffic. The notice-earning classes
+  // (zero-length, oversize, garbage) wait for their ProtocolError notice,
+  // which the server only sends after booking the error; the truncated
+  // and reset classes get no notice, so their booking is ordered by the
+  // settle sleep below instead.
+  std::thread ChaffThread([&] {
+    auto awaitNotice = [](BlockingClient &C) {
+      WireResponse Notice;
+      if (!C.recvResponse(Notice, /*TimeoutMillis=*/5000) ||
+          Notice.Status != WireStatus::ProtocolError)
+        return false;
+      return true;
+    };
+    auto openConn = [&](BlockingClient &C) {
+      if (C.connectTo(Port))
+        return true;
+      ClientFailed.store(true, std::memory_order_relaxed);
+      return false;
+    };
+    for (uint64_t I = 0; I != Chaff.ZeroLength; ++I) {
+      BlockingClient C;
+      if (!openConn(C))
+        return;
+      const uint8_t Frame[4] = {0, 0, 0, 0};
+      if (!C.sendBytes(Frame, sizeof(Frame)) || !awaitNotice(C))
+        ClientFailed.store(true, std::memory_order_relaxed);
+    }
+    for (uint64_t I = 0; I != Chaff.Oversize; ++I) {
+      BlockingClient C;
+      if (!openConn(C))
+        return;
+      const uint8_t Frame[4] = {0xff, 0xff, 0xff, 0xff};
+      if (!C.sendBytes(Frame, sizeof(Frame)) || !awaitNotice(C))
+        ClientFailed.store(true, std::memory_order_relaxed);
+    }
+    for (uint64_t I = 0; I != Chaff.Garbage; ++I) {
+      BlockingClient C;
+      if (!openConn(C))
+        return;
+      // A perfectly framed payload of 16 bytes that is not a request:
+      // decodes (FramesDecoded), fails the schema (BadPayload).
+      std::vector<uint8_t> Frame = {16, 0, 0, 0};
+      Frame.insert(Frame.end(), 16, 0x5a);
+      if (!C.sendBytes(Frame.data(), Frame.size()) || !awaitNotice(C))
+        ClientFailed.store(true, std::memory_order_relaxed);
+    }
+    for (uint64_t I = 0; I != Chaff.Truncated; ++I) {
+      BlockingClient C;
+      if (!openConn(C))
+        return;
+      // Prefix promising 100 bytes, three delivered, then FIN.
+      const uint8_t Frame[7] = {100, 0, 0, 0, 1, 2, 3};
+      if (!C.sendBytes(Frame, sizeof(Frame)))
+        ClientFailed.store(true, std::memory_order_relaxed);
+      C.closeConn();
+    }
+    for (uint64_t I = 0; I != Chaff.Resets; ++I) {
+      BlockingClient C;
+      if (!openConn(C))
+        return;
+      C.resetConn();
+    }
+  });
+
+  for (std::thread &Th : Clients)
+    Th.join();
+  ChaffThread.join();
+  auto End = std::chrono::steady_clock::now();
+  R.Pool.Seconds = std::chrono::duration<double>(End - Begin).count();
+
+  // Give the loop a beat to process the chaff FINs/RSTs before drain()
+  // freezes the books — nothing else orders "client closed" against it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  R.Report = Server.drain();
+
+  // Reconstruct the outcome stream from the wire responses. Indices
+  // 0..N-1 in order is already index-sorted, as tallyPass requires.
+  bool AllServed = !ClientFailed.load(std::memory_order_relaxed);
+  std::vector<PoolOutcome> Outcomes;
+  Outcomes.reserve(NumRequests);
+  for (uint64_t I = 0; AllServed && I != NumRequests; ++I) {
+    if (!Got[I]) {
+      AllServed = false;
+      break;
+    }
+    const WireResponse &W = Responses[I];
+    if (W.Status != WireStatus::Ok && W.Status != WireStatus::Trapped &&
+        W.Status != WireStatus::Poisoned) {
+      AllServed = false;
+      break;
+    }
+    PoolOutcome O;
+    O.Index = W.Index;
+    O.Trap = W.Trap;
+    O.ReturnValue = W.ReturnValue;
+    O.Steps = W.Steps;
+    O.Attempts = W.Attempts;
+    O.Poisoned = W.Status == WireStatus::Poisoned;
+    Outcomes.push_back(O);
+  }
+  R.AllServed = AllServed;
+  if (AllServed)
+    tallyPass(Outcomes, R.Report.Pool, Chaos, R.Pool);
+  return R;
+}
+
+/// The wire-layer contract for one net pass; the digest comparison
+/// against the in-process reference is the caller's.
+void runNetPassChecks(const NetPassResult &P, uint64_t NumRequests,
+                      const NetChaff &Chaff, bool Chaos, unsigned Shards) {
+  const DrainReport &Rep = P.Report;
+  const NetBooks &NB = Rep.Net;
+  check(P.AllServed, "every request got exactly one served response");
+  check(Rep.Clean, "drain was clean (no cancellation)");
+  check(Rep.IdentityOk, "wire accounting identity holds");
+  checkEq(NB.FramesDecoded, NumRequests + Chaff.Garbage,
+          "frames decoded == requests + garbage chaff");
+  checkEq(NB.RequestsAdmitted, NumRequests, "every request admitted");
+  checkEq(NB.WireShed, 0, "zero sheds (window < queue capacity)");
+  checkEq(NB.DeadlineRejected, 0, "no deadline rejections (none set)");
+  checkEq(NB.ResponsesDelivered, NumRequests, "every response delivered");
+  checkEq(NB.ResponsesOrphaned, 0, "no responses orphaned");
+  checkEq(NB.FrameZeroLength, Chaff.ZeroLength,
+          "zero-length chaff booked exactly");
+  checkEq(NB.FrameOversize, Chaff.Oversize, "oversize chaff booked exactly");
+  checkEq(NB.BadPayload, Chaff.Garbage, "garbage chaff booked exactly");
+  checkEq(NB.FrameTruncated, Chaff.Truncated,
+          "truncated chaff booked exactly");
+  checkEq(NB.ProtocolErrors, Chaff.total(),
+          "protocol errors == chaff volume, per class");
+  checkEq(Rep.Pool.Submitted, NumRequests,
+          "aggregate shard books cover the request space");
+  if (Shards > 1) {
+    unsigned NonEmpty = 0;
+    for (const PoolBooks &SB : Rep.PerShard)
+      if (SB.Submitted)
+        ++NonEmpty;
+    check(NonEmpty >= 2, "routing actually spreads across shards");
+  }
+  if (Chaos)
+    check(NB.AcceptFaults + NB.PartialIoFaults + NB.StallFaults > 0,
+          "socket-layer faults actually injected");
+}
+
+/// Socket soak: the in-process pool pass as the reference, then the same
+/// campaign over real loopback sockets at 1, 2, and 4 shards. The wire
+/// digest must equal the in-process digest at every shard count — the
+/// serving results are bit-independent of both the transport and the
+/// shard topology. Emits BENCH_netsoak.json.
+int runNetSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
+               unsigned Connections, bool Chaos,
+               const std::string &JsonPath) {
+  if (Connections == 0)
+    Connections = 4;
+  std::printf("soak (net%s): %" PRIu64 " requests, fault rate %.3f, seed %"
+              PRIu64 ", %u connections\n",
+              Chaos ? "+chaos" : "", NumRequests, FaultRate, Seed,
+              Connections);
+
+  // The in-process reference: the identical campaign served by a plain
+  // WorkerPool. Everything the socket path adds must cancel out of the
+  // digest.
+  PoolPassResult Ref =
+      runPoolPass(Seed, NumRequests, FaultRate, /*Workers=*/4, Chaos);
+  if (!Ref.Valid)
+    return 1;
+  std::printf("  in-process          %8.2fs  %9.0f req/s  digest 0x%016"
+              PRIx64 "\n",
+              Ref.Seconds, static_cast<double>(NumRequests) / Ref.Seconds,
+              Ref.DigestValue);
+
+  // Malformed chaff is kept at >=1% of the request traffic at any -requests
+  // so hostile-input handling is exercised proportionally, not as a token
+  // handful; every class is still asserted to book exactly.
+  NetChaff Chaff;
+  const uint64_t PerClass = std::max<uint64_t>(4, NumRequests / 400);
+  Chaff.ZeroLength = PerClass;
+  Chaff.Oversize = PerClass;
+  Chaff.Garbage = PerClass;
+  Chaff.Truncated = PerClass;
+  Chaff.Resets = PerClass > 1 ? PerClass - 1 : 1;
+
+  const unsigned ShardSweep[] = {1, 2, 4};
+  std::vector<NetPassResult> Passes;
+  for (unsigned Shards : ShardSweep) {
+    NetPassResult P = runNetPass(Seed, NumRequests, FaultRate, Shards,
+                                 /*WorkersPerShard=*/2, Connections, Chaos,
+                                 Chaff);
+    if (!P.Pool.Valid) {
+      std::fprintf(stderr,
+                   "net soak: pass at shards=%u did not serve every "
+                   "request\n",
+                   Shards);
+      return 1;
+    }
+    std::printf("  shards=%-2u conns=%-2u %8.2fs  %9.0f req/s  digest 0x%016"
+                PRIx64 "\n",
+                Shards, Connections, P.Pool.Seconds,
+                static_cast<double>(NumRequests) / P.Pool.Seconds,
+                P.Pool.DigestValue);
+    Passes.push_back(std::move(P));
+  }
+
+  printPoolLedger(Passes.front().Pool);
+  if (Chaos) {
+    std::printf("  poisoned (quarantined) %" PRIu64 "\n",
+                Passes.front().Pool.PoisonedSeen);
+    printSupervisionLedger(Passes.front().Pool.Books);
+  }
+
+  std::printf("\nchecks:\n");
+  for (size_t I = 0; I != Passes.size(); ++I) {
+    std::printf("  [shards=%u]\n", ShardSweep[I]);
+    runNetPassChecks(Passes[I], NumRequests, Chaff, Chaos, ShardSweep[I]);
+    checkEq(Passes[I].Pool.DigestValue, Ref.DigestValue,
+            "wire digest == in-process digest");
+  }
+  // The ledger contract on the shards=1 pass; the digest equalities above
+  // extend it to every other pass.
+  std::printf("  [ledger]\n");
+  const PoolPassResult &P0 = Passes.front().Pool;
+  if (!Chaos) {
+    runPoolChecks(P0, NumRequests);
+  } else {
+    const PoolBooks &BK = P0.Books;
+    check(BK.accountingIdentityHolds(),
+          "accounting identity: submitted == completed + shed + poisoned");
+    checkEq(BK.Completed + BK.Poisoned, NumRequests,
+            "completed + poisoned covers the request space");
+    check(BK.CrashesContained > 0, "worker crashes were injected + contained");
+    check(BK.WorkerDeaths > 0, "hard worker deaths were injected");
+    check(P0.PoisonedSeen > 0, "scripted poison requests were quarantined");
+    checkEq(P0.AttackSuccesses, 0,
+            "no stale-layout attack succeeded over the wire");
+    check(P0.AttackTraps > 0, "attacks are being detected (trapped)");
+  }
+
+  // BENCH_netsoak.json: the wire determinism verdict plus the socket
+  // books of the shards=1 pass.
+  const NetPassResult &N0 = Passes.front();
+  bool AllEqual = true;
+  for (const NetPassResult &P : Passes)
+    AllEqual = AllEqual && P.Pool.DigestValue == Ref.DigestValue;
+  MetricsRegistry Metrics(/*IncludeGlobals=*/false);
+  N0.Report.Net.exportMetrics(Metrics);
+  N0.Report.Pool.exportMetrics(Metrics);
+  if (FILE *Out = std::fopen(JsonPath.c_str(), "w")) {
+    std::fprintf(Out,
+                 "{\n"
+                 "  \"bench\": \"soak_net_chaos\",\n"
+                 "  \"requests\": %" PRIu64 ",\n"
+                 "  \"fault_rate\": %.3f,\n"
+                 "  \"seed\": %" PRIu64 ",\n"
+                 "  \"connections\": %u,\n"
+                 "  \"chaos\": %s,\n"
+                 "  \"digest\": \"0x%016" PRIx64 "\",\n"
+                 "  \"in_process_digest\": \"0x%016" PRIx64 "\",\n"
+                 "  \"wire_equals_in_process\": %s,\n"
+                 "  \"identity_holds\": %s,\n"
+                 "  \"clean_drain\": %s,\n"
+                 "  \"delivered\": %" PRIu64 ",\n"
+                 "  \"orphaned\": %" PRIu64 ",\n"
+                 "  \"protocol_errors\": {\n"
+                 "    \"zero_length\": %" PRIu64 ",\n"
+                 "    \"oversize\": %" PRIu64 ",\n"
+                 "    \"truncated\": %" PRIu64 ",\n"
+                 "    \"bad_payload\": %" PRIu64 "\n"
+                 "  },\n"
+                 "  \"net_faults\": {\n"
+                 "    \"accept\": %" PRIu64 ",\n"
+                 "    \"partial_io\": %" PRIu64 ",\n"
+                 "    \"stall\": %" PRIu64 "\n"
+                 "  },\n"
+                 "  \"shards\": [\n",
+                 NumRequests, FaultRate, Seed, Connections,
+                 Chaos ? "true" : "false", N0.Pool.DigestValue,
+                 Ref.DigestValue, AllEqual ? "true" : "false",
+                 N0.Report.IdentityOk ? "true" : "false",
+                 N0.Report.Clean ? "true" : "false",
+                 N0.Report.Net.ResponsesDelivered,
+                 N0.Report.Net.ResponsesOrphaned,
+                 N0.Report.Net.FrameZeroLength, N0.Report.Net.FrameOversize,
+                 N0.Report.Net.FrameTruncated, N0.Report.Net.BadPayload,
+                 N0.Report.Net.AcceptFaults, N0.Report.Net.PartialIoFaults,
+                 N0.Report.Net.StallFaults);
+    for (size_t I = 0; I != Passes.size(); ++I) {
+      const NetPassResult &P = Passes[I];
+      std::fprintf(Out,
+                   "    {\"shards\": %u, \"seconds\": %.4f, "
+                   "\"requests_per_sec\": %.1f, \"digest\": \"0x%016" PRIx64
+                   "\", \"identity\": %s, \"clean\": %s}%s\n",
+                   ShardSweep[I], P.Pool.Seconds,
+                   static_cast<double>(NumRequests) / P.Pool.Seconds,
+                   P.Pool.DigestValue,
+                   P.Report.IdentityOk ? "true" : "false",
+                   P.Report.Clean ? "true" : "false",
+                   I + 1 == Passes.size() ? "" : ",");
+    }
+    std::fprintf(Out,
+                 "  ],\n"
+                 "  \"seconds\": %.4f,\n"
+                 "  \"requests_per_sec\": %.1f,\n"
+                 "  \"metrics\": %s\n"
+                 "}\n",
+                 N0.Pool.Seconds,
+                 static_cast<double>(NumRequests) / N0.Pool.Seconds,
+                 embedJson(Metrics.exportJson(), "  ").c_str());
+    std::fclose(Out);
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    Failed = true;
+  }
+
+  std::printf("\ndigest: 0x%016" PRIx64 " (wire, %.2fs, %.0f req/s at "
+              "shards=1)\n",
+              N0.Pool.DigestValue, N0.Pool.Seconds,
+              static_cast<double>(NumRequests) / N0.Pool.Seconds);
+  std::printf(Failed ? "SOAK FAIL\n" : "SOAK PASS\n");
+  return Failed ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Scaling sweep (-scaling)
 //===----------------------------------------------------------------------===//
 
@@ -1087,11 +1568,44 @@ int runScaling(uint64_t Seed, uint64_t NumRequests, double FaultRate,
     Results.push_back(std::move(R));
   }
 
+  // The wire dimension of the same sweep: connections × shards over the
+  // socket front-end — no chaff, no socket faults, just the scaling
+  // matrix. Every point must still reproduce the in-process digest.
+  struct NetPoint {
+    unsigned Connections, Shards;
+  };
+  const NetPoint NetSweep[] = {{2, 1}, {4, 1}, {2, 2}, {4, 2}};
+  std::vector<NetPassResult> NetResults;
+  std::vector<std::string> NetPointMetrics;
+  for (const NetPoint &Pt : NetSweep) {
+    NetPassResult P = runNetPass(Seed, NumRequests, FaultRate, Pt.Shards,
+                                 /*WorkersPerShard=*/2, Pt.Connections,
+                                 /*Chaos=*/false, NetChaff{});
+    if (!P.Pool.Valid)
+      return 1;
+    std::printf("  conns=%-2u shards=%-2u %6.2fs  %9.0f req/s  digest 0x%016"
+                PRIx64 "\n",
+                Pt.Connections, Pt.Shards, P.Pool.Seconds,
+                static_cast<double>(NumRequests) / P.Pool.Seconds,
+                P.Pool.DigestValue);
+    MetricsRegistry Reg(/*IncludeGlobals=*/false);
+    P.Report.Net.exportMetrics(Reg);
+    P.Report.Pool.exportMetrics(Reg);
+    NetPointMetrics.push_back(Reg.exportJson());
+    NetResults.push_back(std::move(P));
+  }
+
   std::printf("\nchecks:\n");
   runPoolChecks(Results.front(), NumRequests);
   for (size_t I = 1; I != Results.size(); ++I)
     checkEq(Results[I].DigestValue, Results.front().DigestValue,
             "digest identical across worker counts");
+  for (const NetPassResult &P : NetResults) {
+    check(P.Report.Clean && P.Report.IdentityOk,
+          "net sweep point drained clean with the wire identity intact");
+    checkEq(P.Pool.DigestValue, Results.front().DigestValue,
+            "wire digest matches the in-process digest");
+  }
 
   // BENCH_scaling.json: the scaling curve plus the determinism verdict.
   // A reduced CI run must never clobber a fuller committed sweep: if the
@@ -1132,6 +1646,28 @@ int runScaling(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                    embedJson(PointMetrics[I], "     ").c_str(),
                    I + 1 == Results.size() ? "" : ",");
     }
+    std::fprintf(Out, "  ],\n  \"net_sweep\": [\n");
+    for (size_t I = 0; I != NetResults.size(); ++I) {
+      const NetPassResult &P = NetResults[I];
+      double Rate = static_cast<double>(NumRequests) / P.Pool.Seconds;
+      std::fprintf(Out,
+                   "    {\"connections\": %u, \"shards\": %u, "
+                   "\"seconds\": %.4f, \"requests_per_sec\": %.1f, "
+                   "\"speedup_vs_1\": %.2f, \"digest\": \"0x%016" PRIx64
+                   "\", \"wire_matches_in_process\": %s, "
+                   "\"delivered\": %" PRIu64 ", "
+                   "\"orphaned\": %" PRIu64 ",\n"
+                   "     \"metrics\": %s}%s\n",
+                   NetSweep[I].Connections, NetSweep[I].Shards, P.Pool.Seconds,
+                   Rate, Rate / Base, P.Pool.DigestValue,
+                   P.Pool.DigestValue == Results.front().DigestValue
+                       ? "true"
+                       : "false",
+                   P.Report.Net.ResponsesDelivered,
+                   P.Report.Net.ResponsesOrphaned,
+                   embedJson(NetPointMetrics[I], "     ").c_str(),
+                   I + 1 == NetResults.size() ? "" : ",");
+    }
     std::fprintf(Out, "  ]\n}\n");
     std::fclose(Out);
     std::printf("\nwrote %s\n", JsonPath.c_str());
@@ -1161,6 +1697,8 @@ int main(int argc, char **argv) {
   bool WorkersGiven = false;
   bool Scaling = false;
   bool Chaos = false;
+  bool Net = false;
+  unsigned Connections = 4;
   std::string JsonPath; // per-mode default resolved after parsing
   int Positional = 0;
   for (int I = 1; I < argc; ++I) {
@@ -1173,6 +1711,10 @@ int main(int argc, char **argv) {
       Scaling = true;
     } else if (std::strcmp(Arg, "-chaos") == 0) {
       Chaos = true;
+    } else if (std::strcmp(Arg, "-net") == 0) {
+      Net = true;
+    } else if (std::strncmp(Arg, "-connections=", 13) == 0) {
+      Connections = static_cast<unsigned>(std::strtoul(Arg + 13, nullptr, 0));
     } else if (std::strcmp(Arg, "-no-snapshot") == 0) {
       UseSnapshotFastPath = false;
     } else if (std::strncmp(Arg, "-requests=", 10) == 0) {
@@ -1187,7 +1729,8 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: soak_server [requests [rate [seed]]] "
                    "[-requests=N] [-rate=R] [-seed=S] [-workers=N] "
-                   "[-scaling] [-chaos] [-no-snapshot] [-json=PATH]\n");
+                   "[-scaling] [-chaos] [-net] [-connections=N] "
+                   "[-no-snapshot] [-json=PATH]\n");
       return 2;
     } else if (Positional == 0) {
       NumRequests = std::strtoull(Arg, nullptr, 0);
@@ -1202,7 +1745,12 @@ int main(int argc, char **argv) {
   }
 
   if (JsonPath.empty())
-    JsonPath = Chaos ? "BENCH_soak.json" : "BENCH_scaling.json";
+    JsonPath = Net     ? "BENCH_netsoak.json"
+               : Chaos ? "BENCH_soak.json"
+                       : "BENCH_scaling.json";
+  if (Net)
+    return runNetSoak(Seed, NumRequests, FaultRate, Connections, Chaos,
+                      JsonPath);
   if (Chaos)
     return runChaosSoak(Seed, NumRequests, FaultRate,
                         WorkersGiven ? Workers : 4, JsonPath);

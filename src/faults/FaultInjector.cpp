@@ -50,6 +50,14 @@ const char *smokestack::faultSiteName(FaultSite Site) {
     return "worker-crash";
   case FaultSite::WorkerDeath:
     return "worker-death";
+  case FaultSite::AcceptFailure:
+    return "accept-failure";
+  case FaultSite::NetPartialIo:
+    return "net-partial-io";
+  case FaultSite::ConnReset:
+    return "conn-reset";
+  case FaultSite::ClientStall:
+    return "client-stall";
   }
   return "unknown";
 }

@@ -51,10 +51,19 @@ enum class FaultSite : unsigned {
   RekeyEntropy,   ///< The entropy draw behind an AES-CTR rekey is exhausted.
   WorkerCrash,    ///< An exception escapes a pool worker's serve path.
   WorkerDeath,    ///< A pool worker thread dies outright (no unwind).
+
+  // Network-level sites (src/net/, DESIGN.md §13). These perturb the
+  // socket front-end's I/O paths, never a request's outcome: the serving
+  // layer below is deterministic in (RootSeed, Index), so network chaos
+  // must degrade delivery, not results.
+  AcceptFailure,  ///< accept() fails transiently (EMFILE/ENFILE pressure).
+  NetPartialIo,   ///< A socket read/write moves only one byte (short I/O).
+  ConnReset,      ///< A connection drops mid-stream (ECONNRESET/EPIPE).
+  ClientStall,    ///< A send hits a stalled peer (kernel buffer full).
 };
 
 /// Number of FaultSite values (array bound).
-inline constexpr unsigned NumFaultSites = 7;
+inline constexpr unsigned NumFaultSites = 11;
 
 /// Printable site name ("rdrand-step", ...).
 const char *faultSiteName(FaultSite Site);

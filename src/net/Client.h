@@ -1,0 +1,72 @@
+//===- net/Client.h - Blocking loopback protocol client --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately simple blocking client for the wire protocol: the test
+/// suites, the socket soak, and smokestack-opt's -serve self-test all
+/// drive SocketServer through this. It exposes the *raw* byte path on
+/// purpose (sendBytes), because half of what the net suite tests is the
+/// server's reaction to bytes a well-behaved client would never send —
+/// truncated prefixes, lying lengths, garbage payloads, abrupt resets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_NET_CLIENT_H
+#define SMOKESTACK_NET_CLIENT_H
+
+#include "net/FrameCodec.h"
+
+#include <cstdint>
+#include <string>
+
+namespace smokestack {
+
+class BlockingClient {
+public:
+  BlockingClient() = default;
+  ~BlockingClient();
+  BlockingClient(BlockingClient &&O) noexcept;
+  BlockingClient &operator=(BlockingClient &&O) noexcept;
+  BlockingClient(const BlockingClient &) = delete;
+  BlockingClient &operator=(const BlockingClient &) = delete;
+
+  /// Connects to 127.0.0.1:\p Port (blocking, TCP_NODELAY).
+  bool connectTo(uint16_t Port, std::string *Err = nullptr);
+
+  bool connected() const { return Fd >= 0; }
+
+  /// Writes exactly \p Len bytes (loops over short writes). Returns false
+  /// on any socket error.
+  bool sendBytes(const void *Data, size_t Len);
+
+  /// Encodes and sends one request frame.
+  bool sendRequest(const WireRequest &Req);
+
+  /// Receives the next complete, schema-valid response frame, waiting up
+  /// to \p TimeoutMillis. Returns false on timeout, peer close, or a
+  /// malformed response. Pipelined responses buffered by an earlier call
+  /// are returned first.
+  bool recvResponse(WireResponse &Out, unsigned TimeoutMillis = 5000);
+
+  /// True once the server has closed the stream (observed by recv).
+  bool peerClosed() const { return PeerClosed; }
+
+  /// Graceful close (FIN).
+  void closeConn();
+
+  /// Abrupt close: SO_LINGER 0 makes the kernel send RST, the shape of a
+  /// client dying mid-stream (FaultSite::ConnReset seen from the server).
+  void resetConn();
+
+private:
+  int Fd = -1;
+  FrameDecoder Decoder;
+  bool PeerClosed = false;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_NET_CLIENT_H

@@ -1,0 +1,146 @@
+//===- net/FrameCodec.h - Length-prefixed wire protocol --------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the socket serving front-end (docs/protocol.md,
+/// DESIGN.md §13) and its hardened incremental decoder.
+///
+/// Every message is one *frame*: a little-endian u32 payload length
+/// followed by exactly that many payload bytes. The decoder is written for
+/// a hostile peer: it never trusts the prefix (oversized and zero-length
+/// frames are rejected before any allocation sized by attacker data),
+/// never assumes read boundaries align with frame boundaries (a frame may
+/// arrive one byte at a time, or many frames in one read), and classifies
+/// every way a frame can be wrong as an accounted FrameError instead of
+/// crashing or desynchronizing silently. After an error the decoder is
+/// *dead*: framing is unrecoverable once a prefix has lied, so the
+/// connection must be torn down — resynchronization heuristics are an
+/// attack surface, not a feature.
+///
+/// Payload schemas (request RQS1, response RSP1) are parsed by separate
+/// pure functions so the frame layer, the schema layer, and the transport
+/// can be tested and fuzzed independently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_NET_FRAMECODEC_H
+#define SMOKESTACK_NET_FRAMECODEC_H
+
+#include "vm/Trap.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smokestack {
+
+/// Frame-layer limits. MaxFramePayload bounds every allocation the decoder
+/// makes on behalf of the peer; MaxRequestInputs bounds the per-request
+/// input-record count the schema layer accepts.
+inline constexpr uint32_t MaxFramePayload = 1u << 20;
+inline constexpr uint32_t MaxRequestInputs = 64;
+
+/// Payload magics (first four payload bytes, little-endian u32).
+inline constexpr uint32_t RequestMagic = 0x31535152;  // "RQS1"
+inline constexpr uint32_t ResponseMagic = 0x31505352; // "RSP1"
+
+/// The ways a frame can be malformed. Every class is booked separately in
+/// NetBooks so a chaos run can assert exact counts per failure mode.
+enum class FrameError : uint8_t {
+  None = 0,
+  ZeroLength, ///< Length prefix of 0: no payload can carry a magic.
+  Oversize,   ///< Length prefix beyond MaxFramePayload.
+  Truncated,  ///< Peer closed (or decoder finalized) mid-frame.
+};
+
+/// One request as it travels the wire. Index is chosen by the client and
+/// is the request's identity end to end: it alone determines the request's
+/// randomness, shard, and outcome (the determinism contract).
+struct WireRequest {
+  uint64_t Index = 0;
+  /// Serving deadline in milliseconds from the frame's first byte reaching
+  /// the server; 0 = none. Enforced at admission (expired requests are
+  /// rejected without touching a shard) and flagged at completion.
+  uint32_t DeadlineMillis = 0;
+  std::vector<std::vector<uint8_t>> Inputs;
+};
+
+/// Response status codes (wire byte; keep values stable).
+enum class WireStatus : uint8_t {
+  Ok = 0,              ///< Served, no trap.
+  Trapped = 1,         ///< Served; the VM trapped (Trap holds the kind).
+  Poisoned = 2,        ///< Quarantined by the supervision layer.
+  Shed = 3,            ///< Rejected by admission control (backpressure).
+  DeadlineExpired = 4, ///< Deadline passed before admission.
+  ProtocolError = 5,   ///< The frame or payload was malformed.
+};
+
+/// Response flag bits.
+inline constexpr uint16_t RespFlagDeadlineMissed = 1u << 0;
+
+/// One response as it travels the wire.
+struct WireResponse {
+  uint64_t Index = 0;
+  WireStatus Status = WireStatus::Ok;
+  TrapKind Trap = TrapKind::None;
+  uint16_t Flags = 0;
+  uint32_t Attempts = 0;
+  uint64_t ReturnValue = 0;
+  uint64_t Steps = 0;
+};
+
+/// Serializes a request/response into a complete frame (prefix included).
+std::vector<uint8_t> encodeRequestFrame(const WireRequest &Req);
+std::vector<uint8_t> encodeResponseFrame(const WireResponse &Resp);
+
+/// Schema parsers over one complete frame payload. Return false on any
+/// inconsistency — bad magic, short header, input lengths that disagree
+/// with the payload size, trailing garbage — without reading out of
+/// bounds. They never throw.
+bool parseRequestPayload(const uint8_t *Data, size_t Len, WireRequest &Out);
+bool parseResponsePayload(const uint8_t *Data, size_t Len, WireResponse &Out);
+
+/// Incremental frame decoder: feed() raw socket bytes in any chunking,
+/// poll next() for complete payloads. One decoder per connection.
+class FrameDecoder {
+public:
+  /// What next() produced.
+  enum class Item : uint8_t {
+    None,    ///< Need more bytes.
+    Payload, ///< One complete frame payload is in \p Payload.
+    Error,   ///< The stream is malformed; the decoder is now dead.
+  };
+
+  /// Appends raw bytes. No-op once dead.
+  void feed(const uint8_t *Data, size_t Len);
+
+  /// Extracts the next complete payload (or the error that killed the
+  /// stream). Frames already buffered keep decoding after feed() — call
+  /// until it returns None.
+  Item next(std::vector<uint8_t> &Payload, FrameError &Err);
+
+  /// Declares end-of-stream (peer closed). Returns Truncated when the
+  /// close landed mid-frame — a partial prefix or a short payload — which
+  /// the server books as a protocol error.
+  FrameError finalize() const;
+
+  /// True while bytes of an incomplete frame are buffered.
+  bool midFrame() const { return !Dead && !Buffer.empty(); }
+
+  /// True after a malformed frame killed the stream.
+  bool dead() const { return Dead; }
+
+  size_t bufferedBytes() const { return Buffer.size(); }
+
+private:
+  std::vector<uint8_t> Buffer;
+  size_t Consumed = 0; ///< Prefix of Buffer already handed out.
+  bool Dead = false;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_NET_FRAMECODEC_H

@@ -1,0 +1,53 @@
+//===- net/ShardRouter.h - Deterministic request→shard routing -*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Routes a request to one of N WorkerPool shards as a pure function of
+/// (RootSeed, RequestIndex) — never of connection identity, arrival order,
+/// or load. This is what extends the pool's determinism contract across
+/// sharding: each shard serves exactly the same request subset on every
+/// run at a given shard count, per-request outcomes are shard-independent
+/// anyway (all shards share the RootSeed and every request's randomness is
+/// derived from its index alone), and the aggregate books are sums of
+/// per-request deltas — so summing per-shard books reproduces the
+/// single-pool books, and the outcome digest is bit-identical at ANY shard
+/// count. docs/protocol.md states the contract; the scaling soak
+/// (soak_server -net) proves it at shards = 1/2/4.
+///
+/// The hash is SplitMix64 over a lane constant distinct from every
+/// SeedLane, so routing never aliases a request's randomness streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_NET_SHARDROUTER_H
+#define SMOKESTACK_NET_SHARDROUTER_H
+
+#include "support/SplitMix64.h"
+
+#include <cstdint>
+
+namespace smokestack {
+
+/// Lane constant for shard routing; outside the SeedLane value range used
+/// by runtime/DeriveSeed.h so the routing draw shares no stream with any
+/// per-request randomness consumer.
+inline constexpr uint64_t ShardRouteLane = 0x5348415244524f55ULL; // "SHARDROU"
+
+/// Shard serving request \p Index under \p RootSeed, uniform over
+/// [0, Shards). \p Shards must be nonzero.
+inline unsigned shardForRequest(uint64_t RootSeed, uint64_t Index,
+                                unsigned Shards) {
+  if (Shards <= 1)
+    return 0;
+  SplitMix64 Mixer(RootSeed + 0x9e3779b97f4a7c15ULL * (Index + 1) +
+                   0xbf58476d1ce4e5b9ULL * ShardRouteLane);
+  Mixer.next();
+  return static_cast<unsigned>(Mixer.nextBounded(Shards));
+}
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_NET_SHARDROUTER_H

@@ -1,0 +1,734 @@
+//===- net/SocketServer.cpp - Epoll socket serving front-end --------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/SocketServer.h"
+
+#include "net/ShardRouter.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace smokestack;
+
+namespace {
+
+/// epoll user-data slots for the two non-connection fds.
+constexpr uint64_t ListenerId = 0;
+constexpr uint64_t WakeId = 1;
+
+constexpr uint64_t MillisToNanos = 1000u * 1000u;
+
+} // namespace
+
+void NetBooks::exportMetrics(MetricsRegistry &R) const {
+  auto G = [&R](const char *Name, const char *Help, uint64_t V) {
+    R.addGauge(Name, Help, V);
+  };
+  G("net.books.connections-accepted", "Connections accepted",
+    ConnectionsAccepted);
+  G("net.books.connections-closed", "Connections closed (any reason)",
+    ConnectionsClosed);
+  G("net.books.connections-refused", "Accepts refused over MaxConnections",
+    ConnectionsRefused);
+  G("net.books.connections-reset", "Connections lost to reset/EPIPE",
+    ConnectionsReset);
+  G("net.books.idle-reaped", "Connections reaped on idle timeout", IdleReaped);
+  G("net.books.stall-reaped", "Connections reaped on write-stall timeout",
+    StallReaped);
+  G("net.books.accept-faults", "Injected accept failures", AcceptFaults);
+  G("net.books.partial-io-faults", "Injected one-byte short I/Os",
+    PartialIoFaults);
+  G("net.books.stall-faults", "Injected peer-stall write rejections",
+    StallFaults);
+  G("net.books.reset-faults", "Injected mid-stream connection resets",
+    ResetFaults);
+  G("net.books.bytes-in", "Payload bytes read from sockets", BytesIn);
+  G("net.books.bytes-out", "Payload bytes written to sockets", BytesOut);
+  G("net.books.frames-decoded", "Complete frames decoded", FramesDecoded);
+  G("net.books.protocol-errors", "Malformed frames/payloads (all classes)",
+    ProtocolErrors);
+  G("net.books.frame-oversize", "Frames with an oversize length prefix",
+    FrameOversize);
+  G("net.books.frame-zero-length", "Frames with a zero length prefix",
+    FrameZeroLength);
+  G("net.books.frame-truncated", "Streams closed mid-frame", FrameTruncated);
+  G("net.books.bad-payload", "Decoded frames failing the request schema",
+    BadPayload);
+  G("net.books.requests-admitted", "Wire requests admitted to a shard",
+    RequestsAdmitted);
+  G("net.books.wire-shed", "Wire requests shed by shard admission", WireShed);
+  G("net.books.deadline-rejected", "Wire requests expired before admission",
+    DeadlineRejected);
+  G("net.books.deadline-missed", "Responses served past their deadline",
+    DeadlineMissed);
+  G("net.books.responses-delivered", "Responses fully written to a socket",
+    ResponsesDelivered);
+  G("net.books.responses-orphaned", "Responses whose connection died first",
+    ResponsesOrphaned);
+}
+
+void smokestack::mergePoolBooks(PoolBooks &Into, const PoolBooks &From) {
+  Into.Requests += From.Requests;
+  Into.RequestTraps += From.RequestTraps;
+  Into.RequestRecoveries += From.RequestRecoveries;
+  Into.Rng += From.Rng;
+  for (unsigned I = 0; I != NumFaultSites; ++I) {
+    Into.InjectedProbes[I] += From.InjectedProbes[I];
+    Into.InjectedEvents[I] += From.InjectedEvents[I];
+  }
+  Into.Submitted += From.Submitted;
+  Into.Accepted += From.Accepted;
+  Into.Completed += From.Completed;
+  Into.Shed += From.Shed;
+  Into.ShedByBreaker += From.ShedByBreaker;
+  Into.ShedQueueFull += From.ShedQueueFull;
+  Into.ShedClosed += From.ShedClosed;
+  Into.Poisoned += From.Poisoned;
+  Into.PoisonedPoolDeath += From.PoisonedPoolDeath;
+  Into.CrashesContained += From.CrashesContained;
+  Into.WorkerDeaths += From.WorkerDeaths;
+  Into.WorkerRestarts += From.WorkerRestarts;
+  Into.Retries += From.Retries;
+  Into.StallAlarms += From.StallAlarms;
+  Into.PoisonedIndices.insert(Into.PoisonedIndices.end(),
+                              From.PoisonedIndices.begin(),
+                              From.PoisonedIndices.end());
+  std::sort(Into.PoisonedIndices.begin(), Into.PoisonedIndices.end());
+}
+
+/// One client connection, owned entirely by the loop thread.
+struct SocketServer::Conn {
+  int Fd = -1;
+  uint64_t Id = 0;
+  FrameDecoder Decoder;
+
+  /// Pending response bytes: [OutPos, Out.size()) is unwritten. Delivery
+  /// accounting runs in lifetime-offset space so a compaction never
+  /// confuses it: RespEnds holds each booked response's end offset in
+  /// OutTotalEnqueued coordinates, and a response is Delivered the moment
+  /// OutTotalFlushed passes its end.
+  std::vector<uint8_t> Out;
+  size_t OutPos = 0;
+  uint64_t OutTotalEnqueued = 0;
+  uint64_t OutTotalFlushed = 0;
+  std::deque<uint64_t> RespEnds;
+
+  uint64_t LastActivityNs = 0; ///< Last byte read (idle reaping).
+  uint64_t LastProgressNs = 0; ///< Last write progress (stall reaping).
+  /// First byte of the frame currently being assembled (deadline base);
+  /// 0 = not mid-frame.
+  uint64_t FrameStartNs = 0;
+
+  unsigned InFlightCount = 0; ///< Admitted requests awaiting completion.
+  bool CloseAfterFlush = false;
+  bool ReadPaused = false; ///< Backpressure or drain quiesce.
+  bool Doomed = false;     ///< Protocol error: no further frames processed.
+  bool WantWrite = false;  ///< EPOLLOUT armed (kernel buffer was full).
+  int ArmedEvents = -1;    ///< Last epoll mask installed (-1 = none yet).
+
+  size_t pendingOut() const { return Out.size() - OutPos; }
+};
+
+SocketServer::SocketServer(Module &M, ServerOptions Opts)
+    : M(M), Opts(std::move(Opts)) {
+  if (this->Opts.Shards == 0)
+    this->Opts.Shards = 1;
+}
+
+SocketServer::~SocketServer() {
+  if (Started && !Drained)
+    drain();
+  for (int *Fd : {&EpollFd, &ListenFd, &WakeFd[0], &WakeFd[1]})
+    if (*Fd >= 0) {
+      ::close(*Fd);
+      *Fd = -1;
+    }
+}
+
+bool SocketServer::netProbe(FaultSite Site) {
+  if (NetInjector && NetInjector->shouldFail(Site))
+    return true;
+  // The injector slot fallback keeps the site probe-able from tests that
+  // install a ProcessFaultScope instead of configuring the server.
+  return !NetInjector && faultProbe(Site);
+}
+
+bool SocketServer::start(std::string *Err) {
+  auto Fail = [&](const char *What) {
+    if (Err)
+      *Err = std::string(What) + ": " + std::strerror(errno);
+    for (int *Fd : {&EpollFd, &ListenFd, &WakeFd[0], &WakeFd[1]})
+      if (*Fd >= 0) {
+        ::close(*Fd);
+        *Fd = -1;
+      }
+    for (auto &S : Shards)
+      S->finish();
+    Shards.clear();
+    return false;
+  };
+
+  if (Started)
+    return false;
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0)
+    return Fail("socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof One);
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Opts.Port);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0)
+    return Fail("bind");
+  if (::listen(ListenFd, 128) < 0)
+    return Fail("listen");
+  socklen_t AddrLen = sizeof Addr;
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen) <
+      0)
+    return Fail("getsockname");
+  BoundPort = ntohs(Addr.sin_port);
+
+  if (::pipe2(WakeFd, O_NONBLOCK | O_CLOEXEC) < 0)
+    return Fail("pipe2");
+
+  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (EpollFd < 0)
+    return Fail("epoll_create1");
+  epoll_event Ev = {};
+  Ev.events = EPOLLIN;
+  Ev.data.u64 = ListenerId;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev) < 0)
+    return Fail("epoll_ctl(listener)");
+  ListenerArmed = true;
+  Ev.data.u64 = WakeId;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd[0], &Ev) < 0)
+    return Fail("epoll_ctl(wake)");
+
+  if (Opts.InjectNetFaults)
+    NetInjector = std::make_unique<FaultInjector>(Opts.NetFaultPlan);
+
+  // Shards: same module, same RootSeed — a request's outcome depends only
+  // on its index, so the shard split is invisible to results. The loop
+  // thread must never block in submit(), so admission is forced to
+  // ShedNewest; a full shard queue becomes an exact WireShed book entry
+  // plus a Shed response, which is the backpressure contract.
+  PoolOptions ShardOpts = Opts.Pool;
+  ShardOpts.Admission.Policy = AdmissionOptions::ShedPolicy::ShedNewest;
+  ShardOpts.OnOutcome = [this](const PoolOutcome &O) {
+    {
+      std::lock_guard<std::mutex> Lock(CompletionMutex);
+      Completions.push_back(O);
+    }
+    char Byte = 1;
+    // A full pipe is fine: any byte already in it wakes the loop.
+    (void)!::write(WakeFd[1], &Byte, 1);
+  };
+  for (unsigned I = 0; I != Opts.Shards; ++I) {
+    Shards.push_back(std::make_unique<WorkerPool>(M, ShardOpts));
+    Shards.back()->start();
+  }
+
+  Started = true;
+  LoopThread = std::thread([this] { loopMain(); });
+  return true;
+}
+
+void SocketServer::requestStop() {
+  StopFlag.store(true, std::memory_order_release);
+  if (WakeFd[1] >= 0) {
+    char Byte = 1;
+    (void)!::write(WakeFd[1], &Byte, 1);
+  }
+}
+
+void SocketServer::updateEpoll(Conn &C) {
+  int Want = (C.ReadPaused ? 0 : int(EPOLLIN)) |
+             (C.WantWrite ? int(EPOLLOUT) : 0);
+  if (Want == C.ArmedEvents)
+    return;
+  epoll_event Ev = {};
+  Ev.events = static_cast<uint32_t>(Want);
+  Ev.data.u64 = C.Id;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+  C.ArmedEvents = Want;
+}
+
+void SocketServer::handleAccept() {
+  if (netProbe(FaultSite::AcceptFailure)) {
+    // Transient accept failure (EMFILE pressure). Level-triggered epoll
+    // re-reports the listener, so the pending connection is retried on
+    // the next loop iteration with a fresh probe.
+    ++Net.AcceptFaults;
+    return;
+  }
+  for (;;) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // EAGAIN or a transient kernel error: retry via level-trigger
+    }
+    if (Conns.size() >= Opts.MaxConnections) {
+      ++Net.ConnectionsRefused;
+      ::close(Fd);
+      continue;
+    }
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+    auto C = std::make_unique<Conn>();
+    C->Fd = Fd;
+    C->Id = NextConnId++;
+    C->LastActivityNs = C->LastProgressNs = obsNowNanos();
+    epoll_event Ev = {};
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = C->Id;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) < 0) {
+      ::close(Fd);
+      continue;
+    }
+    C->ArmedEvents = EPOLLIN;
+    ++Net.ConnectionsAccepted;
+    Conns.emplace(C->Id, std::move(C));
+  }
+}
+
+void SocketServer::closeConn(uint64_t Id, bool CountReset) {
+  auto It = Conns.find(Id);
+  if (It == Conns.end())
+    return;
+  Conn &C = *It->second;
+  // Responses enqueued but not fully written die with the connection.
+  Net.ResponsesOrphaned += C.RespEnds.size();
+  ++Net.ConnectionsClosed;
+  if (CountReset)
+    ++Net.ConnectionsReset;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, C.Fd, nullptr);
+  ::close(C.Fd);
+  // In-flight requests keep their InFlight entries; their completions are
+  // booked Orphaned when they arrive and find no connection.
+  Conns.erase(It);
+}
+
+void SocketServer::enqueueResponse(Conn &C, const WireResponse &R,
+                                   bool Booked) {
+  std::vector<uint8_t> Frame = encodeResponseFrame(R);
+  // Compact the flushed prefix before growing (same anti-ratchet rule as
+  // the decoder buffer).
+  if (C.OutPos > 4096 && C.OutPos * 2 > C.Out.size()) {
+    C.Out.erase(C.Out.begin(), C.Out.begin() + static_cast<ptrdiff_t>(C.OutPos));
+    C.OutPos = 0;
+  }
+  C.Out.insert(C.Out.end(), Frame.begin(), Frame.end());
+  C.OutTotalEnqueued += Frame.size();
+  if (Booked)
+    C.RespEnds.push_back(C.OutTotalEnqueued);
+  if (C.pendingOut() > Opts.MaxConnBacklogBytes)
+    C.ReadPaused = true; // resumed by flushConn below the low-water mark
+}
+
+void SocketServer::flushConn(Conn &C) {
+  uint64_t Id = C.Id;
+  while (C.OutPos < C.Out.size()) {
+    if (netProbe(FaultSite::ClientStall)) {
+      // The peer's receive window is full: behave exactly like EAGAIN so
+      // the EPOLLOUT path gets exercised.
+      ++Net.StallFaults;
+      C.WantWrite = true;
+      break;
+    }
+    if (netProbe(FaultSite::ConnReset)) {
+      ++Net.ResetFaults;
+      closeConn(Id, /*CountReset=*/true);
+      return;
+    }
+    size_t N = C.pendingOut();
+    if (netProbe(FaultSite::NetPartialIo)) {
+      ++Net.PartialIoFaults;
+      N = 1;
+    }
+    ssize_t W = ::send(C.Fd, C.Out.data() + C.OutPos, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        C.WantWrite = true;
+        break;
+      }
+      closeConn(Id, errno == EPIPE || errno == ECONNRESET);
+      return;
+    }
+    C.OutPos += static_cast<size_t>(W);
+    C.OutTotalFlushed += static_cast<uint64_t>(W);
+    Net.BytesOut += static_cast<uint64_t>(W);
+    C.LastProgressNs = obsNowNanos();
+    while (!C.RespEnds.empty() && C.RespEnds.front() <= C.OutTotalFlushed) {
+      C.RespEnds.pop_front();
+      ++Net.ResponsesDelivered;
+    }
+  }
+  if (C.OutPos == C.Out.size()) {
+    C.Out.clear();
+    C.OutPos = 0;
+    C.WantWrite = false;
+    if (C.CloseAfterFlush && C.InFlightCount == 0) {
+      closeConn(Id, false);
+      return;
+    }
+  }
+  // Backpressure low-water mark: resume reads once the backlog halves.
+  if (C.ReadPaused && !C.Doomed &&
+      PhaseFlag.load(std::memory_order_acquire) ==
+          static_cast<int>(Phase::Running) &&
+      C.pendingOut() < Opts.MaxConnBacklogBytes / 2)
+    C.ReadPaused = false;
+  updateEpoll(C);
+}
+
+void SocketServer::handleFrame(Conn &C, const std::vector<uint8_t> &Payload) {
+  uint64_t BaseNs = C.FrameStartNs ? C.FrameStartNs : obsNowNanos();
+  C.FrameStartNs = 0;
+
+  WireRequest Req;
+  bool Parsed = parseRequestPayload(Payload.data(), Payload.size(), Req);
+  if (!Parsed || InFlight.count(Req.Index)) {
+    // Schema violation (or an index already in flight, which would make
+    // response matching ambiguous): the peer is confused or hostile, and
+    // there is no safe way to keep interpreting its stream.
+    ++Net.BadPayload;
+    ++Net.ProtocolErrors;
+    enqueueResponse(C, {0, WireStatus::ProtocolError, TrapKind::None, 0, 0, 0,
+                        0},
+                    /*Booked=*/false);
+    C.Doomed = true;
+    C.CloseAfterFlush = true;
+    C.ReadPaused = true;
+    return;
+  }
+
+  uint64_t DeadlineNs =
+      Req.DeadlineMillis ? BaseNs + Req.DeadlineMillis * MillisToNanos : 0;
+  if (DeadlineNs && obsNowNanos() > DeadlineNs) {
+    // Expired before admission: answer without burning a shard on work
+    // whose answer nobody is waiting for.
+    ++Net.DeadlineRejected;
+    enqueueResponse(C, {Req.Index, WireStatus::DeadlineExpired, TrapKind::None,
+                        0, 0, 0, 0},
+                    /*Booked=*/true);
+    return;
+  }
+
+  unsigned Shard =
+      shardForRequest(Opts.Pool.RootSeed, Req.Index, Opts.Shards);
+  // Insert before submit(): the completion can only be processed by this
+  // same thread on a later iteration, so the entry is always there first.
+  InFlight.emplace(Req.Index, InFlightReq{C.Id, DeadlineNs});
+  ++C.InFlightCount;
+  if (!Shards[Shard]->submit({Req.Index, std::move(Req.Inputs)})) {
+    InFlight.erase(Req.Index);
+    --C.InFlightCount;
+    ++Net.WireShed;
+    enqueueResponse(C, {Req.Index, WireStatus::Shed, TrapKind::None, 0, 0, 0,
+                        0},
+                    /*Booked=*/true);
+    return;
+  }
+  ++Net.RequestsAdmitted;
+}
+
+void SocketServer::pumpDecoder(Conn &C) {
+  std::vector<uint8_t> Payload;
+  FrameError Err;
+  while (!C.Doomed) {
+    FrameDecoder::Item I = C.Decoder.next(Payload, Err);
+    if (I == FrameDecoder::Item::None)
+      break;
+    if (I == FrameDecoder::Item::Error) {
+      ++Net.ProtocolErrors;
+      if (Err == FrameError::Oversize)
+        ++Net.FrameOversize;
+      else
+        ++Net.FrameZeroLength;
+      enqueueResponse(C, {0, WireStatus::ProtocolError, TrapKind::None, 0, 0,
+                          0, 0},
+                      /*Booked=*/false);
+      C.Doomed = true;
+      C.CloseAfterFlush = true;
+      C.ReadPaused = true;
+      break;
+    }
+    ++Net.FramesDecoded;
+    handleFrame(C, Payload);
+  }
+}
+
+void SocketServer::handleReadable(Conn &C) {
+  uint8_t Buf[65536];
+  for (;;) {
+    size_t Want = sizeof Buf;
+    if (netProbe(FaultSite::NetPartialIo)) {
+      ++Net.PartialIoFaults;
+      Want = 1;
+    }
+    ssize_t R = ::recv(C.Fd, Buf, Want, 0);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break;
+      closeConn(C.Id, errno == ECONNRESET);
+      return;
+    }
+    if (R == 0) {
+      // Peer closed. A close mid-frame is a protocol error (the peer's
+      // framing promised bytes it never sent).
+      if (C.Decoder.finalize() == FrameError::Truncated) {
+        ++Net.FrameTruncated;
+        ++Net.ProtocolErrors;
+      }
+      closeConn(C.Id, false);
+      return;
+    }
+    Net.BytesIn += static_cast<uint64_t>(R);
+    C.LastActivityNs = obsNowNanos();
+    bool WasMidFrame = C.Decoder.midFrame();
+    C.Decoder.feed(Buf, static_cast<size_t>(R));
+    if (!WasMidFrame)
+      C.FrameStartNs = C.LastActivityNs;
+    pumpDecoder(C);
+    if (!C.Decoder.midFrame())
+      C.FrameStartNs = 0;
+    if (C.Doomed || C.ReadPaused)
+      break;
+    if (static_cast<size_t>(R) < Want)
+      break; // socket drained (level-trigger re-reports if not)
+  }
+  flushConn(C); // may close C; nothing touches it afterwards
+}
+
+void SocketServer::handleWritable(Conn &C) { flushConn(C); }
+
+void SocketServer::drainCompletions() {
+  std::vector<PoolOutcome> Batch;
+  {
+    std::lock_guard<std::mutex> Lock(CompletionMutex);
+    Batch.swap(Completions);
+  }
+  for (const PoolOutcome &O : Batch) {
+    auto It = InFlight.find(O.Index);
+    if (It == InFlight.end())
+      continue; // not a wire request (defensive; should not happen)
+    InFlightReq Entry = It->second;
+    InFlight.erase(It);
+    auto ConnIt = Conns.find(Entry.ConnId);
+    if (ConnIt == Conns.end()) {
+      // The connection died while the request was being served.
+      ++Net.ResponsesOrphaned;
+      continue;
+    }
+    Conn &C = *ConnIt->second;
+    --C.InFlightCount;
+    WireResponse R;
+    R.Index = O.Index;
+    R.Status = O.Poisoned ? WireStatus::Poisoned
+               : O.Trap != TrapKind::None ? WireStatus::Trapped
+                                          : WireStatus::Ok;
+    R.Trap = O.Trap;
+    R.Attempts = O.Attempts;
+    R.ReturnValue = O.ReturnValue;
+    R.Steps = O.Steps;
+    if (Entry.DeadlineNs && obsNowNanos() > Entry.DeadlineNs) {
+      R.Flags |= RespFlagDeadlineMissed;
+      ++Net.DeadlineMissed;
+    }
+    enqueueResponse(C, R, /*Booked=*/true);
+    flushConn(C);
+  }
+}
+
+void SocketServer::reapTimeouts(uint64_t NowNs) {
+  if (!Opts.IdleTimeoutMillis && !Opts.StallTimeoutMillis)
+    return;
+  std::vector<uint64_t> Idle, Stalled;
+  for (auto &[Id, C] : Conns) {
+    if (Opts.IdleTimeoutMillis && C->InFlightCount == 0 &&
+        C->pendingOut() == 0 && !C->Decoder.midFrame() &&
+        NowNs - C->LastActivityNs > Opts.IdleTimeoutMillis * MillisToNanos)
+      Idle.push_back(Id);
+    else if (Opts.StallTimeoutMillis && C->pendingOut() > 0 &&
+             NowNs - C->LastProgressNs >
+                 Opts.StallTimeoutMillis * MillisToNanos)
+      Stalled.push_back(Id);
+  }
+  for (uint64_t Id : Idle) {
+    ++Net.IdleReaped;
+    closeConn(Id, false);
+  }
+  for (uint64_t Id : Stalled) {
+    ++Net.StallReaped;
+    closeConn(Id, false);
+  }
+}
+
+void SocketServer::loopMain() {
+  int AppliedPhase = static_cast<int>(Phase::Running);
+  uint64_t FlushDeadlineNs = 0;
+
+  for (;;) {
+    int P = PhaseFlag.load(std::memory_order_acquire);
+    if (P >= static_cast<int>(Phase::Quiesce) &&
+        AppliedPhase < static_cast<int>(Phase::Quiesce)) {
+      // Drain step 1: stop accepting, stop reading. In-flight requests
+      // keep completing and responses keep flushing.
+      if (ListenerArmed) {
+        ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, ListenFd, nullptr);
+        ListenerArmed = false;
+      }
+      for (auto &[Id, C] : Conns) {
+        C->ReadPaused = true;
+        updateEpoll(*C);
+      }
+      AppliedPhase = static_cast<int>(Phase::Quiesce);
+    }
+    if (P >= static_cast<int>(Phase::Flush) &&
+        AppliedPhase < static_cast<int>(Phase::Flush)) {
+      // Drain step 2: the shards have finished, so every completion is in
+      // the hand-off vector. Match them all, then push the last bytes out
+      // within one drain budget.
+      drainCompletions();
+      FlushDeadlineNs =
+          obsNowNanos() + uint64_t(Opts.DrainTimeoutMillis) * MillisToNanos;
+      std::vector<uint64_t> Ids;
+      for (auto &[Id, C] : Conns)
+        Ids.push_back(Id);
+      for (uint64_t Id : Ids) {
+        auto It = Conns.find(Id);
+        if (It != Conns.end())
+          flushConn(*It->second);
+      }
+      AppliedPhase = static_cast<int>(Phase::Flush);
+    }
+    if (AppliedPhase == static_cast<int>(Phase::Flush)) {
+      bool AllFlushed = true;
+      for (auto &[Id, C] : Conns)
+        if (C->pendingOut())
+          AllFlushed = false;
+      if (AllFlushed || obsNowNanos() > FlushDeadlineNs) {
+        std::vector<uint64_t> Ids;
+        for (auto &[Id, C] : Conns)
+          Ids.push_back(Id);
+        for (uint64_t Id : Ids)
+          closeConn(Id, false); // orphans whatever could not be flushed
+        return;
+      }
+    }
+
+    epoll_event Events[64];
+    int N = ::epoll_wait(EpollFd, Events, 64, 50);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // epoll itself failed; nothing sane left to do
+    }
+    for (int I = 0; I != N; ++I) {
+      uint64_t Id = Events[I].data.u64;
+      uint32_t Ev = Events[I].events;
+      if (Id == ListenerId) {
+        if (AppliedPhase == static_cast<int>(Phase::Running))
+          handleAccept();
+        continue;
+      }
+      if (Id == WakeId) {
+        uint8_t Sink[256];
+        while (::read(WakeFd[0], Sink, sizeof Sink) > 0)
+          ;
+        drainCompletions();
+        continue;
+      }
+      auto It = Conns.find(Id);
+      if (It == Conns.end())
+        continue; // closed earlier in this batch
+      if (Ev & EPOLLIN)
+        handleReadable(*It->second);
+      It = Conns.find(Id);
+      if (It == Conns.end())
+        continue;
+      if (Ev & EPOLLOUT)
+        handleWritable(*It->second);
+      It = Conns.find(Id);
+      if (It == Conns.end())
+        continue;
+      if ((Ev & (EPOLLHUP | EPOLLERR)) && !(Ev & (EPOLLIN | EPOLLOUT)))
+        closeConn(Id, true);
+    }
+    if (AppliedPhase == static_cast<int>(Phase::Running))
+      reapTimeouts(obsNowNanos());
+  }
+}
+
+DrainReport SocketServer::drain() {
+  if (Drained || !Started) {
+    Drained = true;
+    return Report;
+  }
+  Drained = true;
+
+  auto Wake = [this] {
+    char Byte = 1;
+    (void)!::write(WakeFd[1], &Byte, 1);
+  };
+
+  PhaseFlag.store(static_cast<int>(Phase::Quiesce), std::memory_order_release);
+  Wake();
+
+  // Drain every shard inside the budget; one laggard escalates ALL shards
+  // to cancellation so drain() has a bounded worst case. Cancelled runs
+  // are booked poisoned (PoisonedPoolDeath), which keeps the identity
+  // exact and makes an unclean drain visible in the report.
+  bool Clean = true;
+  for (auto &S : Shards)
+    if (!S->drainWithin(Opts.DrainTimeoutMillis))
+      Clean = false;
+  if (!Clean)
+    for (auto &S : Shards)
+      S->shutdownNow();
+
+  std::vector<PoolOutcome> All;
+  for (auto &S : Shards) {
+    std::vector<PoolOutcome> O = S->finish(); // joins; every OnOutcome fired
+    All.insert(All.end(), O.begin(), O.end());
+    Report.PerShard.push_back(S->books());
+  }
+  std::sort(All.begin(), All.end(),
+            [](const PoolOutcome &A, const PoolOutcome &B) {
+              return A.Index < B.Index;
+            });
+
+  PhaseFlag.store(static_cast<int>(Phase::Flush), std::memory_order_release);
+  Wake();
+  if (LoopThread.joinable())
+    LoopThread.join();
+
+  for (const PoolBooks &B : Report.PerShard)
+    mergePoolBooks(Report.Pool, B);
+  Report.Clean = Clean;
+  Report.Net = Net;
+  Report.Outcomes = std::move(All);
+  Report.IdentityOk = Report.Net.wireIdentityHolds(Report.Pool);
+  return Report;
+}

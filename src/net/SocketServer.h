@@ -1,0 +1,277 @@
+//===- net/SocketServer.h - Epoll socket serving front-end -----*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network serving front-end (DESIGN.md §13): one epoll event-loop
+/// thread speaking the length-prefixed wire protocol (net/FrameCodec.h)
+/// over loopback TCP, routing every request to one of N WorkerPool shards
+/// by the deterministic (RootSeed, Index) hash (net/ShardRouter.h).
+///
+/// Threading model. The loop thread owns the listener, every Connection,
+/// the in-flight request map, and the NetBooks — none of it is locked,
+/// because nothing else touches it. The only cross-thread traffic is the
+/// completion path: shard workers fire PoolOptions::OnOutcome, which
+/// appends the outcome to a mutex-protected vector and pokes a wake pipe;
+/// the loop drains the vector on its own thread and writes responses.
+/// Requests therefore flow loop → shard and outcomes flow shard → loop
+/// with exactly one synchronization point each way.
+///
+/// Robustness posture:
+///  - a malformed frame (hardened decoder) or payload is an accounted
+///    protocol error that tears down that one connection — never a crash,
+///    never a desync;
+///  - per-request deadlines are enforced at admission (an expired request
+///    is answered DeadlineExpired without touching a shard) and flagged at
+///    completion (RespFlagDeadlineMissed);
+///  - backpressure is end-to-end: a slow reader pauses its own socket
+///    reads once its response backlog passes MaxConnBacklogBytes, and the
+///    shards run ShedNewest admission so overload is shed with exact
+///    books, not buffered without bound;
+///  - idle and stalled connections are reaped on wall-clock timeouts;
+///  - network fault sites (accept failure, short I/O, connection reset,
+///    stalled peer) inject at the socket layer and degrade *delivery*
+///    only: the serving layer below stays deterministic in (RootSeed,
+///    Index), which is what lets the chaos soak demand a bit-identical
+///    outcome digest over the wire.
+///
+/// Wire accounting identity, exact at drain() (NetBooks::wireIdentityHolds):
+///
+///   FramesDecoded == Admitted + WireShed + DeadlineRejected + BadPayload
+///   Submitted(pool) == Admitted + WireShed,  Admitted == Accepted(pool)
+///   Delivered + Orphaned == Admitted + WireShed + DeadlineRejected
+///
+/// i.e. every decoded frame reaches exactly one wire-visible terminal
+/// state, extending Submitted == Completed + Shed + Poisoned to the wire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_NET_SOCKETSERVER_H
+#define SMOKESTACK_NET_SOCKETSERVER_H
+
+#include "net/FrameCodec.h"
+#include "runtime/WorkerPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace smokestack {
+
+class MetricsRegistry;
+
+/// Socket-layer accounting, owned by the loop thread and valid to read
+/// after drain(). Mirrors PoolBooks in spirit: every decoded frame and
+/// every generated response is booked into exactly one class.
+struct NetBooks {
+  // Connection lifecycle.
+  uint64_t ConnectionsAccepted = 0;
+  uint64_t ConnectionsClosed = 0; ///< Every close, whatever the reason.
+  uint64_t ConnectionsRefused = 0; ///< Over MaxConnections; closed at accept.
+  uint64_t ConnectionsReset = 0;  ///< Subset of Closed: ECONNRESET/EPIPE.
+  uint64_t IdleReaped = 0;        ///< Subset of Closed: idle timeout.
+  uint64_t StallReaped = 0;       ///< Subset of Closed: write-stall timeout.
+
+  // Injected network faults (booked at the probe that fired).
+  uint64_t AcceptFaults = 0;
+  uint64_t PartialIoFaults = 0;
+  uint64_t StallFaults = 0;
+  uint64_t ResetFaults = 0;
+
+  // Raw I/O.
+  uint64_t BytesIn = 0;
+  uint64_t BytesOut = 0;
+
+  // Frame layer. FramesDecoded counts complete payloads extracted;
+  // ProtocolErrors is the sum of its four classes.
+  uint64_t FramesDecoded = 0;
+  uint64_t ProtocolErrors = 0;
+  uint64_t FrameOversize = 0;
+  uint64_t FrameZeroLength = 0;
+  uint64_t FrameTruncated = 0;
+  uint64_t BadPayload = 0; ///< Decoded frame whose payload failed the schema
+                           ///< (bad magic, lying lengths, duplicate index).
+
+  // Admission (the wire extension of the pool identity).
+  uint64_t RequestsAdmitted = 0;  ///< Accepted by a shard's admission.
+  uint64_t WireShed = 0;          ///< Shard shed it (breaker/full/closed).
+  uint64_t DeadlineRejected = 0;  ///< Expired before admission.
+  uint64_t DeadlineMissed = 0;    ///< Served, but past its deadline (flag).
+
+  // Response delivery. Every request-indexed response ends Delivered
+  // (last byte written to the socket) or Orphaned (its connection died
+  // first). Protocol-error notices are best-effort and booked in neither.
+  uint64_t ResponsesDelivered = 0;
+  uint64_t ResponsesOrphaned = 0;
+
+  /// The wire conservation law against the aggregate shard books
+  /// \p Pool. Exact after drain(): every pool outcome has been matched to
+  /// a response and every response has reached a terminal delivery state.
+  bool wireIdentityHolds(const PoolBooks &Pool) const {
+    return FramesDecoded ==
+               RequestsAdmitted + WireShed + DeadlineRejected + BadPayload &&
+           ProtocolErrors ==
+               FrameOversize + FrameZeroLength + FrameTruncated + BadPayload &&
+           Pool.Submitted == RequestsAdmitted + WireShed &&
+           Pool.Shed == WireShed && RequestsAdmitted == Pool.Accepted &&
+           ResponsesDelivered + ResponsesOrphaned ==
+               RequestsAdmitted + WireShed + DeadlineRejected;
+  }
+
+  /// Adds every field as a "net.books.*" gauge (DESIGN.md §11).
+  void exportMetrics(MetricsRegistry &R) const;
+};
+
+/// Sums shard books into an aggregate. Every PoolBooks field except
+/// StallAlarms is a sum of per-request deltas, so the aggregate over a
+/// deterministic shard split equals the single-pool books — the property
+/// the scaling soak pins.
+void mergePoolBooks(PoolBooks &Into, const PoolBooks &From);
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1 (loopback only; this is a harness front-end,
+  /// not an internet-facing daemon). 0 = kernel-assigned, read via port().
+  uint16_t Port = 0;
+  /// WorkerPool shards. Each shard is an independent pool over the same
+  /// module and RootSeed; requests land by shardForRequest().
+  unsigned Shards = 1;
+  /// Connection cap; accepts beyond it are closed immediately (Refused).
+  unsigned MaxConnections = 256;
+  /// Reap connections idle this long with nothing in flight (0 = never).
+  unsigned IdleTimeoutMillis = 0;
+  /// Reap connections whose pending responses made no write progress for
+  /// this long — the slow-client guard (0 = never).
+  unsigned StallTimeoutMillis = 0;
+  /// Per-connection pending-response cap: past it, the connection's reads
+  /// pause until the backlog flushes below half (read-side backpressure).
+  size_t MaxConnBacklogBytes = 1u << 22;
+  /// Graceful-drain budget per phase (shard drain; final response flush).
+  /// On shard-drain timeout drain() escalates to shutdownNow() — the
+  /// in-flight requests are cancelled and booked poisoned — and reports
+  /// Clean = false.
+  unsigned DrainTimeoutMillis = 5000;
+  /// Network-layer fault injection (sites AcceptFailure..ClientStall),
+  /// evaluated on the loop thread against NetFaultPlan. Independent of
+  /// the shards' per-request injection (Pool.InjectFaults).
+  bool InjectNetFaults = false;
+  FaultPlan NetFaultPlan;
+  /// Template for every shard's pool. Workers is per shard. Admission
+  /// policy is forced to ShedNewest — the loop thread must never block on
+  /// a full shard queue. OnOutcome is owned by the server.
+  PoolOptions Pool;
+};
+
+/// What drain() hands back.
+struct DrainReport {
+  /// True when every shard drained within DrainTimeoutMillis — no
+  /// cancellation, nothing poisoned by the drain itself.
+  bool Clean = false;
+  /// NetBooks::wireIdentityHolds over the aggregate books.
+  bool IdentityOk = false;
+  NetBooks Net;
+  PoolBooks Pool; ///< Aggregate over shards (mergePoolBooks).
+  std::vector<PoolBooks> PerShard;
+  /// All outcomes, every shard, sorted by request index.
+  std::vector<PoolOutcome> Outcomes;
+};
+
+/// Lifecycle: construct → start() → clients connect → drain().
+/// requestStop() is async-signal-safe and only *requests*: the owner (who
+/// sees stopRequested()) still calls drain() from a normal thread — the
+/// SIGTERM pattern in smokestack-opt -serve.
+class SocketServer {
+public:
+  SocketServer(Module &M, ServerOptions Opts);
+  ~SocketServer();
+
+  SocketServer(const SocketServer &) = delete;
+  SocketServer &operator=(const SocketServer &) = delete;
+
+  /// Binds, listens, starts the shards and the loop thread. Returns false
+  /// with \p Err set on socket-layer failure. Not restartable.
+  bool start(std::string *Err = nullptr);
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Records a stop request and wakes the loop. Safe from a signal
+  /// handler (atomic store + pipe write only).
+  void requestStop();
+
+  bool stopRequested() const {
+    return StopFlag.load(std::memory_order_acquire);
+  }
+
+  /// Graceful shutdown: stops accepting, quiesces reads, drains every
+  /// shard within the drain budget (escalating to cancellation on
+  /// timeout), flushes every pending response it still can, closes all
+  /// connections, joins all threads, and returns the merged books.
+  /// Idempotent; the second call returns the first call's report.
+  DrainReport drain();
+
+private:
+  struct Conn;
+
+  void loopMain();
+  void handleAccept();
+  void handleReadable(Conn &C);
+  void handleWritable(Conn &C);
+  void handleFrame(Conn &C, const std::vector<uint8_t> &Payload);
+  void pumpDecoder(Conn &C);
+  void enqueueResponse(Conn &C, const WireResponse &R, bool Booked);
+  void flushConn(Conn &C);
+  void closeConn(uint64_t Id, bool CountReset);
+  void drainCompletions();
+  void reapTimeouts(uint64_t NowNs);
+  void updateEpoll(Conn &C);
+  bool netProbe(FaultSite Site);
+
+  Module &M;
+  ServerOptions Opts;
+
+  std::vector<std::unique_ptr<WorkerPool>> Shards;
+
+  int EpollFd = -1;
+  int ListenFd = -1;
+  int WakeFd[2] = {-1, -1};
+  uint16_t BoundPort = 0;
+  bool ListenerArmed = false;
+
+  std::thread LoopThread;
+  std::atomic<bool> StopFlag{false};
+
+  /// Drain phases, advanced by drain() and observed by the loop.
+  enum class Phase : int { Running = 0, Quiesce = 1, Flush = 2, Exit = 3 };
+  std::atomic<int> PhaseFlag{0};
+
+  /// Completion hand-off (the one shard→loop channel).
+  std::mutex CompletionMutex;
+  std::vector<PoolOutcome> Completions;
+
+  /// Loop-thread state.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> Conns;
+  struct InFlightReq {
+    uint64_t ConnId;
+    uint64_t DeadlineNs; ///< 0 = none.
+  };
+  std::unordered_map<uint64_t, InFlightReq> InFlight;
+  uint64_t NextConnId = 2; ///< 0 = listener, 1 = wake pipe.
+  NetBooks Net;
+  std::unique_ptr<FaultInjector> NetInjector;
+
+  bool Started = false;
+  bool Drained = false;
+  DrainReport Report;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_NET_SOCKETSERVER_H

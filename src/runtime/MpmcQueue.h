@@ -43,6 +43,7 @@
 #define SMOKESTACK_RUNTIME_MPMCQUEUE_H
 
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -151,6 +152,16 @@ public:
   void waitIdle() {
     std::unique_lock<std::mutex> Lock(Mutex);
     Idle.wait(Lock, [this] {
+      return Items.empty() && Priority.empty() && InFlight == 0;
+    });
+  }
+
+  /// waitIdle() with a deadline: returns false when the queue still holds
+  /// queued or in-flight work after \p Millis — the graceful-drain-timeout
+  /// hook (the caller then escalates to cancellation instead of hanging).
+  bool waitIdleFor(unsigned Millis) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    return Idle.wait_for(Lock, std::chrono::milliseconds(Millis), [this] {
       return Items.empty() && Priority.empty() && InFlight == 0;
     });
   }

@@ -127,7 +127,7 @@ void Supervisor::handleDeath(unsigned Id) {
         Retry.EnqueueNs = obsNowNanos();
       Pool.Queue.pushPriority(std::move(Retry));
     } else {
-      WorkerPool::recordPoisoned(Outcomes, Item->Req.Index, Burned);
+      Pool.recordPoisoned(Outcomes, Item->Req.Index, Burned);
       if (TraceRecorder *T = Pool.Opts.Tracer)
         T->recordExternal({Item->Req.Index, Id, Burned,
                            SpanDisposition::Poisoned, 0, 0, 0, 0, 0});
@@ -166,7 +166,7 @@ void Supervisor::declarePoolDead() {
   Pool.CancelAll.store(true, std::memory_order_relaxed);
   Pool.Queue.close();
   while (std::optional<WorkerPool::Pending> Item = Pool.Queue.tryPop()) {
-    WorkerPool::recordPoisoned(Outcomes, Item->Req.Index, Item->Attempt);
+    Pool.recordPoisoned(Outcomes, Item->Req.Index, Item->Attempt);
     ++PoisonedPoolDeath;
     if (TraceRecorder *T = Pool.Opts.Tracer)
       T->recordExternal({Item->Req.Index, 0, Item->Attempt,

@@ -242,6 +242,13 @@ void WorkerPool::shutdownNow() {
   Queue.close();
 }
 
+bool WorkerPool::drainWithin(unsigned Millis) {
+  Queue.close();
+  if (!Started)
+    return Queue.size() == 0;
+  return Queue.waitIdleFor(Millis);
+}
+
 uint32_t WorkerPool::attemptBudget(uint64_t Index) const {
   const SupervisionOptions &S = Opts.Supervision;
   uint32_t Min = std::max<uint32_t>(1, S.AttemptsMin);
@@ -263,6 +270,8 @@ void WorkerPool::recordPoisoned(std::vector<PoolOutcome> &Sink, uint64_t Index,
   O.Poisoned = true;
   Sink.push_back(O);
   ++NumPoolPoisoned;
+  if (Opts.OnOutcome)
+    Opts.OnOutcome(O);
 }
 
 void WorkerPool::rebuildWorker(Worker &W) {
@@ -457,6 +466,8 @@ WorkerPool::ServeVerdict WorkerPool::serveRequest(Worker &W, Pending &Item) {
   CompletedCount.fetch_add(1, std::memory_order_relaxed);
   if (E.Trap != TrapKind::None)
     TrappedCount.fetch_add(1, std::memory_order_relaxed);
+  if (Opts.OnOutcome)
+    Opts.OnOutcome(W.Outcomes.back());
   if (Ring) {
     Span.Disposition = E.Trap != TrapKind::None ? SpanDisposition::Trapped
                                                 : SpanDisposition::Completed;

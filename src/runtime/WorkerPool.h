@@ -247,6 +247,14 @@ struct PoolOptions {
   /// it. Off = legacy full reconstruction, kept as the differential
   /// oracle.
   bool SnapshotRestore = true;
+  /// Terminal-state hook: invoked once per request, the moment it reaches
+  /// its terminal state (completed, trapped, or poisoned) — the socket
+  /// front-end's response path (DESIGN.md §13). Runs on whichever thread
+  /// recorded the outcome (a worker, the supervisor, or the finisher), so
+  /// it must be thread-safe; it observes only, and must never submit back
+  /// into the pool. Shed requests never reach a worker and are NOT
+  /// reported here — submit()'s false return is the shed signal.
+  std::function<void(const PoolOutcome &)> OnOutcome;
   /// Per-request tracing (obs/Trace.h). Non-owning; null = tracing off,
   /// and the serve path pays exactly one pointer test per request (the
   /// FaultInjector probe pattern). Spans are observational only — they
@@ -281,6 +289,17 @@ public:
   /// queue (abnormal shutdown). Cancelled runs are booked as poisoned.
   /// finish() still reaps threads and merges books.
   void shutdownNow();
+
+  /// Graceful-drain step with a deadline: closes the queue and waits up to
+  /// \p Millis for the backlog (including retries) to reach terminal
+  /// states. Returns false on timeout — in-flight work is still running;
+  /// the caller escalates (typically shutdownNow(), which cancels the
+  /// stragglers so finish() books them as poisoned instead of hanging).
+  bool drainWithin(unsigned Millis);
+
+  /// Requests queued but not yet being served (racy diagnostic; the socket
+  /// front-end's backpressure signal).
+  size_t queueDepth() const { return Queue.size(); }
 
   /// Closes the queue, waits for the backlog (including retries) to reach
   /// terminal states, stops the supervisor, joins every worker, and
@@ -374,9 +393,9 @@ private:
   void rebuildWorker(Worker &W);
   /// Deterministic per-request attempt budget (>= 1).
   uint32_t attemptBudget(uint64_t Index) const;
-  /// Records a quarantined request into \p Sink.
-  static void recordPoisoned(std::vector<PoolOutcome> &Sink, uint64_t Index,
-                             uint32_t Attempts);
+  /// Records a quarantined request into \p Sink and fires OnOutcome.
+  void recordPoisoned(std::vector<PoolOutcome> &Sink, uint64_t Index,
+                      uint32_t Attempts);
 
   Module &M;
   PoolOptions Opts;

@@ -1,0 +1,454 @@
+//===- tests/net/FrameCodecTest.cpp - wire protocol hardening tests -------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The frame layer's hostile-peer contract: every malformed byte stream is
+// classified as an accounted FrameError (never a crash, never a silent
+// desync), frame boundaries never depend on read chunking, and after an
+// error the decoder is dead for good. The schema parsers get the same
+// treatment: lying lengths, bad magics, and trailing garbage are rejected
+// without reading out of bounds. A seeded fuzz harness drives both layers
+// with random bytes and random chunkings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/FrameCodec.h"
+
+#include "support/SplitMix64.h"
+
+#include "gtest/gtest.h"
+
+#include <cstring>
+
+using namespace smokestack;
+
+namespace {
+
+/// Little-endian u32, the shape of a length prefix.
+std::vector<uint8_t> u32le(uint32_t V) {
+  return {static_cast<uint8_t>(V), static_cast<uint8_t>(V >> 8),
+          static_cast<uint8_t>(V >> 16), static_cast<uint8_t>(V >> 24)};
+}
+
+std::vector<uint8_t> cat(std::initializer_list<std::vector<uint8_t>> Parts) {
+  std::vector<uint8_t> Out;
+  for (const auto &P : Parts)
+    Out.insert(Out.end(), P.begin(), P.end());
+  return Out;
+}
+
+/// Feeds the whole stream in one call and pumps the decoder dry.
+struct PumpResult {
+  std::vector<std::vector<uint8_t>> Payloads;
+  FrameError Error = FrameError::None;
+};
+
+PumpResult pump(FrameDecoder &D, const std::vector<uint8_t> &Stream) {
+  D.feed(Stream.data(), Stream.size());
+  PumpResult R;
+  std::vector<uint8_t> Payload;
+  FrameError Err;
+  for (;;) {
+    FrameDecoder::Item I = D.next(Payload, Err);
+    if (I == FrameDecoder::Item::None)
+      return R;
+    if (I == FrameDecoder::Item::Error) {
+      R.Error = Err;
+      return R;
+    }
+    R.Payloads.push_back(Payload);
+  }
+}
+
+WireRequest sampleRequest() {
+  WireRequest Req;
+  Req.Index = 0x0123456789abcdefULL;
+  Req.DeadlineMillis = 250;
+  Req.Inputs = {{'h', 'i'}, {}, {0, 1, 2, 255}};
+  return Req;
+}
+
+TEST(FrameCodecTest, RequestRoundTrip) {
+  WireRequest In = sampleRequest();
+  std::vector<uint8_t> Frame = encodeRequestFrame(In);
+
+  FrameDecoder D;
+  PumpResult R = pump(D, Frame);
+  ASSERT_EQ(R.Payloads.size(), 1u);
+  EXPECT_EQ(R.Error, FrameError::None);
+
+  WireRequest Out;
+  ASSERT_TRUE(parseRequestPayload(R.Payloads[0].data(), R.Payloads[0].size(),
+                                  Out));
+  EXPECT_EQ(Out.Index, In.Index);
+  EXPECT_EQ(Out.DeadlineMillis, In.DeadlineMillis);
+  EXPECT_EQ(Out.Inputs, In.Inputs);
+  EXPECT_EQ(D.finalize(), FrameError::None);
+  EXPECT_EQ(D.bufferedBytes(), 0u);
+}
+
+TEST(FrameCodecTest, ResponseRoundTrip) {
+  WireResponse In;
+  In.Index = 42;
+  In.Status = WireStatus::Trapped;
+  In.Trap = TrapKind::OutOfFuel;
+  In.Flags = RespFlagDeadlineMissed;
+  In.Attempts = 3;
+  In.ReturnValue = 0xdeadbeefULL;
+  In.Steps = 1u << 20;
+  std::vector<uint8_t> Frame = encodeResponseFrame(In);
+
+  FrameDecoder D;
+  PumpResult R = pump(D, Frame);
+  ASSERT_EQ(R.Payloads.size(), 1u);
+
+  WireResponse Out;
+  ASSERT_TRUE(parseResponsePayload(R.Payloads[0].data(), R.Payloads[0].size(),
+                                   Out));
+  EXPECT_EQ(Out.Index, In.Index);
+  EXPECT_EQ(Out.Status, In.Status);
+  EXPECT_EQ(Out.Trap, In.Trap);
+  EXPECT_EQ(Out.Flags, In.Flags);
+  EXPECT_EQ(Out.Attempts, In.Attempts);
+  EXPECT_EQ(Out.ReturnValue, In.ReturnValue);
+  EXPECT_EQ(Out.Steps, In.Steps);
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed frames, table-driven: one row per failure class, asserting the
+// exact FrameError and that the decoder is dead afterwards.
+//===----------------------------------------------------------------------===//
+
+struct MalformedFrameCase {
+  const char *Name;
+  std::vector<uint8_t> Stream;
+  FrameError Expected;     ///< From next() — fatal framing errors.
+  FrameError OnFinalize;   ///< From finalize() — mid-frame close.
+};
+
+TEST(FrameCodecTest, MalformedFramesAreClassified) {
+  const std::vector<uint8_t> Valid = encodeRequestFrame(sampleRequest());
+  const MalformedFrameCase Cases[] = {
+      {"zero-length prefix", u32le(0), FrameError::ZeroLength,
+       FrameError::None},
+      {"oversize prefix", u32le(MaxFramePayload + 1), FrameError::Oversize,
+       FrameError::None},
+      {"oversize prefix, max u32", u32le(0xffffffffu), FrameError::Oversize,
+       FrameError::None},
+      {"truncated prefix (1 byte)", {0x05}, FrameError::None,
+       FrameError::Truncated},
+      {"truncated prefix (3 bytes)", {0x05, 0x00, 0x00}, FrameError::None,
+       FrameError::Truncated},
+      {"truncated payload", cat({u32le(10), {1, 2, 3}}), FrameError::None,
+       FrameError::Truncated},
+      {"valid then zero-length", cat({Valid, u32le(0)}),
+       FrameError::ZeroLength, FrameError::None},
+      {"valid then truncated", cat({Valid, u32le(100), {9}}),
+       FrameError::None, FrameError::Truncated},
+  };
+
+  for (const MalformedFrameCase &C : Cases) {
+    SCOPED_TRACE(C.Name);
+    FrameDecoder D;
+    PumpResult R = pump(D, C.Stream);
+    EXPECT_EQ(R.Error, C.Expected);
+    EXPECT_EQ(D.finalize(), C.OnFinalize);
+    if (C.Expected != FrameError::None) {
+      EXPECT_TRUE(D.dead());
+      // Dead is dead: a valid frame fed afterwards yields nothing.
+      std::vector<uint8_t> Payload;
+      FrameError Err;
+      D.feed(Valid.data(), Valid.size());
+      EXPECT_EQ(D.next(Payload, Err), FrameDecoder::Item::None);
+      EXPECT_EQ(D.bufferedBytes(), 0u);
+    }
+  }
+}
+
+TEST(FrameCodecTest, OversizePrefixRejectedBeforePayloadArrives) {
+  // The lying prefix alone must kill the stream: the decoder may not
+  // buffer toward a 4 GiB payload that never comes.
+  FrameDecoder D;
+  std::vector<uint8_t> Prefix = u32le(0x40000000u);
+  PumpResult R = pump(D, Prefix);
+  EXPECT_EQ(R.Error, FrameError::Oversize);
+  EXPECT_TRUE(D.dead());
+  EXPECT_EQ(D.bufferedBytes(), 0u);
+}
+
+TEST(FrameCodecTest, MaxSizePayloadIsAccepted) {
+  std::vector<uint8_t> Stream = u32le(MaxFramePayload);
+  Stream.resize(4 + MaxFramePayload, 0xab);
+  FrameDecoder D;
+  PumpResult R = pump(D, Stream);
+  ASSERT_EQ(R.Payloads.size(), 1u);
+  EXPECT_EQ(R.Payloads[0].size(), MaxFramePayload);
+  EXPECT_EQ(R.Error, FrameError::None);
+}
+
+//===----------------------------------------------------------------------===//
+// Chunking independence: frame boundaries never depend on read boundaries.
+//===----------------------------------------------------------------------===//
+
+TEST(FrameCodecTest, PipelinedFramesSplitAtEveryByteBoundary) {
+  WireRequest A = sampleRequest();
+  WireRequest B;
+  B.Index = 7;
+  WireRequest C;
+  C.Index = 8;
+  C.Inputs = {{0xff}};
+  const std::vector<uint8_t> Stream =
+      cat({encodeRequestFrame(A), encodeRequestFrame(B),
+           encodeRequestFrame(C)});
+
+  for (size_t Split = 0; Split <= Stream.size(); ++Split) {
+    SCOPED_TRACE(Split);
+    FrameDecoder D;
+    D.feed(Stream.data(), Split);
+    PumpResult First = pump(D, {}); // pump whatever the first chunk held
+    D.feed(Stream.data() + Split, Stream.size() - Split);
+    PumpResult Second = pump(D, {});
+
+    std::vector<std::vector<uint8_t>> All = First.Payloads;
+    All.insert(All.end(), Second.Payloads.begin(), Second.Payloads.end());
+    ASSERT_EQ(All.size(), 3u);
+    uint64_t WantIndex[] = {A.Index, B.Index, C.Index};
+    for (size_t I = 0; I != 3; ++I) {
+      WireRequest Out;
+      ASSERT_TRUE(parseRequestPayload(All[I].data(), All[I].size(), Out));
+      EXPECT_EQ(Out.Index, WantIndex[I]);
+    }
+    EXPECT_EQ(D.finalize(), FrameError::None);
+  }
+}
+
+TEST(FrameCodecTest, ByteAtATimeFeeding) {
+  const std::vector<uint8_t> Stream =
+      cat({encodeRequestFrame(sampleRequest()),
+           encodeRequestFrame(sampleRequest())});
+  FrameDecoder D;
+  size_t Got = 0;
+  std::vector<uint8_t> Payload;
+  FrameError Err;
+  for (uint8_t Byte : Stream) {
+    D.feed(&Byte, 1);
+    while (D.next(Payload, Err) == FrameDecoder::Item::Payload)
+      ++Got;
+  }
+  EXPECT_EQ(Got, 2u);
+  EXPECT_EQ(D.bufferedBytes(), 0u);
+}
+
+TEST(FrameCodecTest, BufferDoesNotRatchetAcrossPipelinedFrames) {
+  // The anti-ratchet rule: the consumed prefix is reclaimed on feed, so a
+  // pipelining peer cannot grow the buffer frame by frame.
+  const std::vector<uint8_t> Frame = encodeRequestFrame(sampleRequest());
+  FrameDecoder D;
+  std::vector<uint8_t> Payload;
+  FrameError Err;
+  for (unsigned I = 0; I != 1000; ++I) {
+    D.feed(Frame.data(), Frame.size());
+    ASSERT_EQ(D.next(Payload, Err), FrameDecoder::Item::Payload);
+    ASSERT_LE(D.bufferedBytes(), 2 * Frame.size());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Schema layer, table-driven: a decoded frame whose payload lies.
+//===----------------------------------------------------------------------===//
+
+TEST(FrameCodecTest, RequestSchemaRejectsMalformedPayloads) {
+  const std::vector<uint8_t> Good = [&] {
+    std::vector<uint8_t> F = encodeRequestFrame(sampleRequest());
+    return std::vector<uint8_t>(F.begin() + 4, F.end()); // strip prefix
+  }();
+
+  struct Case {
+    const char *Name;
+    std::vector<uint8_t> Payload;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({"empty payload", {}});
+  Cases.push_back({"short header", {0x52, 0x51}});
+  {
+    std::vector<uint8_t> P = Good;
+    P[0] ^= 0xff;
+    Cases.push_back({"bad magic", P});
+  }
+  {
+    std::vector<uint8_t> P = Good;
+    P.push_back(0x00);
+    Cases.push_back({"trailing byte", P});
+  }
+  {
+    // NumInputs lies high: 20 bytes of header, count = MaxRequestInputs+1.
+    std::vector<uint8_t> P =
+        cat({u32le(RequestMagic), u32le(0), u32le(0), u32le(0),
+             u32le(MaxRequestInputs + 1)});
+    Cases.push_back({"too many inputs", P});
+  }
+  {
+    // One input whose record length promises more bytes than exist.
+    std::vector<uint8_t> P =
+        cat({u32le(RequestMagic), u32le(0), u32le(0), u32le(0), u32le(1),
+             u32le(1000), {1, 2, 3}});
+    Cases.push_back({"lying record length", P});
+  }
+  {
+    // Record length of ~4 GiB: must fail cleanly, not allocate.
+    std::vector<uint8_t> P =
+        cat({u32le(RequestMagic), u32le(0), u32le(0), u32le(0), u32le(1),
+             u32le(0xfffffff0u)});
+    Cases.push_back({"huge record length", P});
+  }
+
+  for (const Case &C : Cases) {
+    SCOPED_TRACE(C.Name);
+    WireRequest Out;
+    EXPECT_FALSE(parseRequestPayload(C.Payload.data(), C.Payload.size(), Out));
+  }
+
+  WireRequest Out;
+  EXPECT_TRUE(parseRequestPayload(Good.data(), Good.size(), Out));
+}
+
+TEST(FrameCodecTest, ResponseSchemaRejectsOutOfRangeEnums) {
+  WireResponse In;
+  In.Index = 1;
+  std::vector<uint8_t> F = encodeResponseFrame(In);
+  std::vector<uint8_t> Good(F.begin() + 4, F.end());
+
+  WireResponse Out;
+  ASSERT_TRUE(parseResponsePayload(Good.data(), Good.size(), Out));
+
+  // Payload layout: magic(4) index(8) status(1) trap(1) ...
+  std::vector<uint8_t> BadStatus = Good;
+  BadStatus[12] = static_cast<uint8_t>(WireStatus::ProtocolError) + 1;
+  EXPECT_FALSE(parseResponsePayload(BadStatus.data(), BadStatus.size(), Out));
+
+  std::vector<uint8_t> BadTrap = Good;
+  BadTrap[13] = static_cast<uint8_t>(TrapKind::WorkerCrash) + 1;
+  EXPECT_FALSE(parseResponsePayload(BadTrap.data(), BadTrap.size(), Out));
+
+  std::vector<uint8_t> Trailing = Good;
+  Trailing.push_back(0);
+  EXPECT_FALSE(parseResponsePayload(Trailing.data(), Trailing.size(), Out));
+}
+
+TEST(FrameCodecTest, GarbagePayloadDecodesButFailsSchema) {
+  // A well-framed frame full of garbage is the frame layer's problem no
+  // longer: the decoder hands it out, the schema rejects it.
+  std::vector<uint8_t> Stream = cat({u32le(32), std::vector<uint8_t>(32, 0x5a)});
+  FrameDecoder D;
+  PumpResult R = pump(D, Stream);
+  ASSERT_EQ(R.Payloads.size(), 1u);
+  WireRequest Out;
+  EXPECT_FALSE(parseRequestPayload(R.Payloads[0].data(), R.Payloads[0].size(),
+                                   Out));
+  EXPECT_FALSE(D.dead()); // framing was fine; the connection decides
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded fuzz harness. Two corpora: pure random bytes, and mutated valid
+// frames (flip/truncate/duplicate), both under random chunking. The
+// invariants: no crash, no out-of-bounds (ASan's job), the buffer stays
+// bounded by one frame, and a dead decoder stays dead and empty.
+//===----------------------------------------------------------------------===//
+
+void fuzzOneStream(SplitMix64 &Rng, const std::vector<uint8_t> &Stream) {
+  FrameDecoder D;
+  size_t Pos = 0;
+  std::vector<uint8_t> Payload;
+  FrameError Err;
+  bool SawError = false;
+  while (Pos < Stream.size()) {
+    size_t Chunk = 1 + Rng.nextBounded(4096);
+    Chunk = std::min(Chunk, Stream.size() - Pos);
+    D.feed(Stream.data() + Pos, Chunk);
+    Pos += Chunk;
+    for (;;) {
+      FrameDecoder::Item I = D.next(Payload, Err);
+      if (I == FrameDecoder::Item::None)
+        break;
+      if (I == FrameDecoder::Item::Error) {
+        ASSERT_NE(Err, FrameError::None);
+        SawError = true;
+        break;
+      }
+      ASSERT_GE(Payload.size(), 1u);
+      ASSERT_LE(Payload.size(), MaxFramePayload);
+      WireRequest R1;
+      WireResponse R2;
+      // Either parser must survive any payload the frame layer emits.
+      (void)parseRequestPayload(Payload.data(), Payload.size(), R1);
+      (void)parseResponsePayload(Payload.data(), Payload.size(), R2);
+    }
+    // The decoder's buffer stays bounded by one max frame (plus the chunk
+    // that completed it, pending the next feed's reclaim).
+    ASSERT_LE(D.bufferedBytes(), size_t(MaxFramePayload) + 4 + 8192);
+    if (SawError) {
+      ASSERT_TRUE(D.dead());
+      ASSERT_EQ(D.bufferedBytes(), 0u);
+    }
+  }
+  (void)D.finalize();
+}
+
+TEST(FrameCodecFuzzTest, RandomByteStreams) {
+  for (uint64_t Seed = 1; Seed <= 32; ++Seed) {
+    SplitMix64 Rng(Seed * 0x9e3779b97f4a7c15ULL);
+    std::vector<uint8_t> Stream(1 + Rng.nextBounded(8192));
+    for (uint8_t &B : Stream)
+      B = static_cast<uint8_t>(Rng.next());
+    SCOPED_TRACE(Seed);
+    fuzzOneStream(Rng, Stream);
+  }
+}
+
+TEST(FrameCodecFuzzTest, MutatedValidFrames) {
+  for (uint64_t Seed = 1; Seed <= 32; ++Seed) {
+    SplitMix64 Rng(Seed);
+    // Start from a pipelined stream of valid frames...
+    std::vector<uint8_t> Stream;
+    unsigned Frames = 1 + Rng.nextBounded(4);
+    for (unsigned F = 0; F != Frames; ++F) {
+      WireRequest Req;
+      Req.Index = Rng.next();
+      Req.DeadlineMillis = static_cast<uint32_t>(Rng.nextBounded(1000));
+      unsigned NumInputs = static_cast<unsigned>(Rng.nextBounded(4));
+      for (unsigned I = 0; I != NumInputs; ++I)
+        Req.Inputs.emplace_back(Rng.nextBounded(64), 0x41);
+      std::vector<uint8_t> Frame = encodeRequestFrame(Req);
+      Stream.insert(Stream.end(), Frame.begin(), Frame.end());
+    }
+    // ...then mutate: byte flips, truncation, or duplication.
+    switch (Rng.nextBounded(4)) {
+    case 0: // flip a handful of bytes
+      for (unsigned I = 0; I != 4 && !Stream.empty(); ++I)
+        Stream[Rng.nextBounded(Stream.size())] ^=
+            static_cast<uint8_t>(1 + Rng.nextBounded(255));
+      break;
+    case 1: // truncate
+      Stream.resize(Rng.nextBounded(Stream.size() + 1));
+      break;
+    case 2: { // duplicate a slice into the middle
+      size_t At = Rng.nextBounded(Stream.size() + 1);
+      std::vector<uint8_t> Slice(
+          Stream.begin(),
+          Stream.begin() +
+              static_cast<ptrdiff_t>(Rng.nextBounded(Stream.size() + 1)));
+      Stream.insert(Stream.begin() + static_cast<ptrdiff_t>(At),
+                    Slice.begin(), Slice.end());
+      break;
+    }
+    default: // leave valid (the harness must also pass clean streams)
+      break;
+    }
+    SCOPED_TRACE(Seed);
+    fuzzOneStream(Rng, Stream);
+  }
+}
+
+} // namespace

@@ -1,0 +1,530 @@
+//===- tests/net/SocketServerTest.cpp - socket front-end tests ------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving front-end's contract over real loopback sockets: wire
+// outcomes are bit-identical to the in-process WorkerPool at any shard
+// count; every malformed byte stream is an accounted protocol error that
+// kills one connection and nothing else; deadlines reject at admission;
+// backpressure sheds with exact books; a hung request is poisoned by the
+// drain-timeout escalation; and the wire accounting identity holds at the
+// end of every scenario, friendly or hostile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/SocketServer.h"
+
+#include "ir/IRBuilder.h"
+#include "net/Client.h"
+#include "net/ShardRouter.h"
+
+#include "gtest/gtest.h"
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+using namespace smokestack;
+
+namespace {
+
+void sleepMillis(unsigned Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+/// driver(): folds two smokestack.rand draws into a byte — the per-request
+/// RNG chain makes the return value a pure function of (RootSeed, Index),
+/// which is what the wire-vs-in-process comparisons key on.
+void buildRandModule(Module &M) {
+  IRBuilder B(M);
+  Function *Rand = M.getOrInsertDeclaration("smokestack.rand", B.i64(), {});
+  Function *Driver = M.createFunction("driver", B.i64(), {});
+  B.setInsertPoint(Driver->createBlock("entry"));
+  Value *A = B.call(Rand, {});
+  Value *C = B.call(Rand, {});
+  B.ret(B.and_(B.add(A, C), B.constI64(0xff)));
+}
+
+/// spin(): a counted loop; with a huge count it hangs until the fuel
+/// budget or a cooperative cancel ends it (the drain-timeout test).
+void buildSpinModule(Module &M, uint64_t Iterations) {
+  IRBuilder B(M);
+  Function *F = M.createFunction("spin", B.i64(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Done = F->createBlock("done");
+  B.setInsertPoint(Entry);
+  AllocaInst *Ctr = B.alloca_(B.i64(), "ctr");
+  B.store(B.constI64(0), Ctr);
+  B.br(Loop);
+  B.setInsertPoint(Loop);
+  Value *V = B.load(B.i64(), Ctr);
+  Value *Next = B.add(V, B.constI64(1));
+  B.store(Next, Ctr);
+  B.condBr(B.icmp(ICmpInst::Predicate::ULT, Next, B.constI64(Iterations)),
+           Loop, Done);
+  B.setInsertPoint(Done);
+  B.ret(B.constI64(13));
+}
+
+ServerOptions randServerOptions(unsigned Shards) {
+  ServerOptions Opts;
+  Opts.Shards = Shards;
+  Opts.Pool.Workers = 2;
+  Opts.Pool.RootSeed = 7;
+  Opts.Pool.Function = "driver";
+  return Opts;
+}
+
+/// Sends indices [0, N) pipelined on one connection and returns the
+/// responses keyed by index (completion order is scheduling-dependent).
+std::map<uint64_t, WireResponse> serveAll(uint16_t Port, uint64_t N) {
+  BlockingClient Client;
+  EXPECT_TRUE(Client.connectTo(Port));
+  for (uint64_t I = 0; I != N; ++I) {
+    WireRequest Req;
+    Req.Index = I;
+    EXPECT_TRUE(Client.sendRequest(Req));
+  }
+  std::map<uint64_t, WireResponse> ByIndex;
+  for (uint64_t I = 0; I != N; ++I) {
+    WireResponse R;
+    if (!Client.recvResponse(R)) {
+      ADD_FAILURE() << "response " << I << " never arrived";
+      break;
+    }
+    ByIndex[R.Index] = R;
+  }
+  return ByIndex;
+}
+
+TEST(SocketServerTest, RoundTripMatchesInProcessPool) {
+  constexpr uint64_t N = 32;
+  Module M("net");
+  buildRandModule(M);
+
+  // The in-process reference: same module, options, and request stream.
+  PoolOptions Ref;
+  Ref.Workers = 2;
+  Ref.RootSeed = 7;
+  Ref.Function = "driver";
+  WorkerPool Pool(M, Ref);
+  Pool.start();
+  for (uint64_t I = 0; I != N; ++I)
+    Pool.submit({I, {}});
+  std::vector<PoolOutcome> Expected = Pool.finish();
+  ASSERT_EQ(Expected.size(), N);
+
+  SocketServer Server(M, randServerOptions(1));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  std::map<uint64_t, WireResponse> Got = serveAll(Server.port(), N);
+
+  ASSERT_EQ(Got.size(), N);
+  for (const PoolOutcome &O : Expected) {
+    const WireResponse &R = Got.at(O.Index);
+    EXPECT_EQ(R.Status, WireStatus::Ok) << O.Index;
+    EXPECT_EQ(R.Trap, TrapKind::None) << O.Index;
+    EXPECT_EQ(R.ReturnValue, O.ReturnValue) << O.Index;
+    EXPECT_EQ(R.Steps, O.Steps) << O.Index;
+    EXPECT_EQ(R.Attempts, O.Attempts) << O.Index;
+  }
+
+  DrainReport Rep = Server.drain();
+  EXPECT_TRUE(Rep.Clean);
+  EXPECT_TRUE(Rep.IdentityOk);
+  EXPECT_EQ(Rep.Net.FramesDecoded, N);
+  EXPECT_EQ(Rep.Net.RequestsAdmitted, N);
+  EXPECT_EQ(Rep.Net.ResponsesDelivered, N);
+  EXPECT_EQ(Rep.Net.ResponsesOrphaned, 0u);
+  EXPECT_EQ(Rep.Net.ProtocolErrors, 0u);
+  EXPECT_EQ(Rep.Pool.Completed, N);
+
+  // The drain report's sorted outcomes match the reference bit for bit.
+  ASSERT_EQ(Rep.Outcomes.size(), N);
+  for (uint64_t I = 0; I != N; ++I) {
+    EXPECT_EQ(Rep.Outcomes[I].Index, Expected[I].Index);
+    EXPECT_EQ(Rep.Outcomes[I].ReturnValue, Expected[I].ReturnValue);
+    EXPECT_EQ(Rep.Outcomes[I].Steps, Expected[I].Steps);
+  }
+}
+
+TEST(SocketServerTest, ShardCountIsInvisibleToResults) {
+  constexpr uint64_t N = 48;
+  Module M("net");
+  buildRandModule(M);
+
+  std::map<uint64_t, WireResponse> PerShardCount[3];
+  DrainReport Reports[3];
+  const unsigned ShardCounts[] = {1, 2, 4};
+  for (unsigned S = 0; S != 3; ++S) {
+    SocketServer Server(M, randServerOptions(ShardCounts[S]));
+    std::string Err;
+    ASSERT_TRUE(Server.start(&Err)) << Err;
+    PerShardCount[S] = serveAll(Server.port(), N);
+    Reports[S] = Server.drain();
+    ASSERT_TRUE(Reports[S].Clean);
+    ASSERT_TRUE(Reports[S].IdentityOk);
+    ASSERT_EQ(Reports[S].PerShard.size(), ShardCounts[S]);
+  }
+
+  for (unsigned S = 1; S != 3; ++S) {
+    ASSERT_EQ(PerShardCount[S].size(), PerShardCount[0].size());
+    for (const auto &[Index, R0] : PerShardCount[0]) {
+      const WireResponse &RS = PerShardCount[S].at(Index);
+      EXPECT_EQ(RS.Status, R0.Status) << Index;
+      EXPECT_EQ(RS.ReturnValue, R0.ReturnValue) << Index;
+      EXPECT_EQ(RS.Steps, R0.Steps) << Index;
+      EXPECT_EQ(RS.Attempts, R0.Attempts) << Index;
+    }
+    // Aggregate books are shard-invariant too (the merge identity).
+    EXPECT_EQ(Reports[S].Pool.Requests, Reports[0].Pool.Requests);
+    EXPECT_EQ(Reports[S].Pool.Completed, Reports[0].Pool.Completed);
+    EXPECT_EQ(Reports[S].Pool.Rng.DrawsServed, Reports[0].Pool.Rng.DrawsServed);
+  }
+
+  // Sanity: at 4 shards the router actually spread the load.
+  uint64_t NonEmpty = 0;
+  for (const PoolBooks &B : Reports[2].PerShard)
+    NonEmpty += B.Requests != 0;
+  EXPECT_GT(NonEmpty, 1u) << "router sent everything to one shard";
+}
+
+TEST(SocketServerTest, ShardRouterIsDeterministic) {
+  for (uint64_t Index = 0; Index != 1000; ++Index) {
+    unsigned A = shardForRequest(7, Index, 4);
+    unsigned B = shardForRequest(7, Index, 4);
+    EXPECT_EQ(A, B);
+    EXPECT_LT(A, 4u);
+    EXPECT_EQ(shardForRequest(7, Index, 1), 0u);
+  }
+}
+
+TEST(SocketServerTest, MalformedStreamsAreAccountedPerClass) {
+  Module M("net");
+  buildRandModule(M);
+  SocketServer Server(M, randServerOptions(1));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  auto expectErrorNotice = [](BlockingClient &C) {
+    WireResponse R;
+    ASSERT_TRUE(C.recvResponse(R));
+    EXPECT_EQ(R.Status, WireStatus::ProtocolError);
+    // The server then closes: wait for the FIN.
+    while (!C.peerClosed())
+      if (!C.recvResponse(R))
+        break;
+  };
+
+  { // Zero-length prefix.
+    BlockingClient C;
+    ASSERT_TRUE(C.connectTo(Server.port()));
+    uint8_t Zero[4] = {0, 0, 0, 0};
+    ASSERT_TRUE(C.sendBytes(Zero, sizeof Zero));
+    expectErrorNotice(C);
+  }
+  { // Oversize prefix.
+    BlockingClient C;
+    ASSERT_TRUE(C.connectTo(Server.port()));
+    uint8_t Huge[4] = {0xff, 0xff, 0xff, 0xff};
+    ASSERT_TRUE(C.sendBytes(Huge, sizeof Huge));
+    expectErrorNotice(C);
+  }
+  { // Garbage payload: well-framed, fails the schema.
+    BlockingClient C;
+    ASSERT_TRUE(C.connectTo(Server.port()));
+    uint8_t Frame[12] = {8, 0, 0, 0, 'g', 'a', 'r', 'b', 'a', 'g', 'e', '!'};
+    ASSERT_TRUE(C.sendBytes(Frame, sizeof Frame));
+    expectErrorNotice(C);
+  }
+  { // Truncated: close mid-frame.
+    BlockingClient C;
+    ASSERT_TRUE(C.connectTo(Server.port()));
+    uint8_t Partial[6] = {100, 0, 0, 0, 1, 2};
+    ASSERT_TRUE(C.sendBytes(Partial, sizeof Partial));
+    C.closeConn();
+  }
+  { // A valid request on a fresh connection still works afterwards: a
+    // hostile connection must not poison its neighbours.
+    BlockingClient C;
+    ASSERT_TRUE(C.connectTo(Server.port()));
+    WireRequest Req;
+    Req.Index = 99;
+    ASSERT_TRUE(C.sendRequest(Req));
+    WireResponse R;
+    ASSERT_TRUE(C.recvResponse(R));
+    EXPECT_EQ(R.Index, 99u);
+    EXPECT_EQ(R.Status, WireStatus::Ok);
+  }
+
+  // The truncated close races the drain: wait for the books to settle.
+  sleepMillis(100);
+  DrainReport Rep = Server.drain();
+  EXPECT_TRUE(Rep.IdentityOk);
+  EXPECT_EQ(Rep.Net.FrameZeroLength, 1u);
+  EXPECT_EQ(Rep.Net.FrameOversize, 1u);
+  EXPECT_EQ(Rep.Net.BadPayload, 1u);
+  EXPECT_EQ(Rep.Net.FrameTruncated, 1u);
+  EXPECT_EQ(Rep.Net.ProtocolErrors, 4u);
+  EXPECT_EQ(Rep.Net.RequestsAdmitted, 1u);
+  EXPECT_EQ(Rep.Net.ResponsesDelivered, 1u);
+}
+
+TEST(SocketServerTest, DuplicateInFlightIndexIsAProtocolError) {
+  // Two frames with the same index pipelined in one write: the first is
+  // admitted, the second is caught while the first is still in flight
+  // (both decode in the same read pump, before any completion can drain).
+  Module M("net");
+  buildRandModule(M);
+  SocketServer Server(M, randServerOptions(1));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  BlockingClient C;
+  ASSERT_TRUE(C.connectTo(Server.port()));
+  WireRequest Req;
+  Req.Index = 5;
+  std::vector<uint8_t> F = encodeRequestFrame(Req);
+  std::vector<uint8_t> Both = F;
+  Both.insert(Both.end(), F.begin(), F.end());
+  ASSERT_TRUE(C.sendBytes(Both.data(), Both.size()));
+
+  // Expect exactly two responses: the protocol-error notice and the first
+  // request's real answer (order depends on completion timing).
+  bool SawError = false, SawAnswer = false;
+  for (unsigned I = 0; I != 2; ++I) {
+    WireResponse R;
+    ASSERT_TRUE(C.recvResponse(R));
+    if (R.Status == WireStatus::ProtocolError)
+      SawError = true;
+    else if (R.Index == 5 && R.Status == WireStatus::Ok)
+      SawAnswer = true;
+  }
+  EXPECT_TRUE(SawError);
+  EXPECT_TRUE(SawAnswer);
+
+  DrainReport Rep = Server.drain();
+  EXPECT_TRUE(Rep.IdentityOk);
+  EXPECT_EQ(Rep.Net.BadPayload, 1u);
+  EXPECT_EQ(Rep.Net.RequestsAdmitted, 1u);
+}
+
+TEST(SocketServerTest, ExpiredDeadlineRejectsAtAdmission) {
+  Module M("net");
+  buildRandModule(M);
+  SocketServer Server(M, randServerOptions(1));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  // The deadline clock starts at the frame's first byte: send half the
+  // frame, stall past the deadline, then complete it.
+  WireRequest Req;
+  Req.Index = 1;
+  Req.DeadlineMillis = 50;
+  std::vector<uint8_t> F = encodeRequestFrame(Req);
+  BlockingClient C;
+  ASSERT_TRUE(C.connectTo(Server.port()));
+  size_t Half = F.size() / 2;
+  ASSERT_TRUE(C.sendBytes(F.data(), Half));
+  sleepMillis(200);
+  ASSERT_TRUE(C.sendBytes(F.data() + Half, F.size() - Half));
+
+  WireResponse R;
+  ASSERT_TRUE(C.recvResponse(R));
+  EXPECT_EQ(R.Index, 1u);
+  EXPECT_EQ(R.Status, WireStatus::DeadlineExpired);
+
+  // A generous deadline on the same connection is served normally.
+  Req.Index = 2;
+  Req.DeadlineMillis = 60000;
+  ASSERT_TRUE(C.sendRequest(Req));
+  ASSERT_TRUE(C.recvResponse(R));
+  EXPECT_EQ(R.Index, 2u);
+  EXPECT_EQ(R.Status, WireStatus::Ok);
+  EXPECT_EQ(R.Flags & RespFlagDeadlineMissed, 0u);
+
+  DrainReport Rep = Server.drain();
+  EXPECT_TRUE(Rep.IdentityOk);
+  EXPECT_EQ(Rep.Net.DeadlineRejected, 1u);
+  EXPECT_EQ(Rep.Net.RequestsAdmitted, 1u);
+  EXPECT_EQ(Rep.Net.ResponsesDelivered, 2u);
+  EXPECT_EQ(Rep.Pool.Submitted, 1u) << "expired request must not hit a shard";
+}
+
+TEST(SocketServerTest, OverloadShedsWithExactBooks) {
+  // One worker, a one-slot queue, and a slow request: flooding the server
+  // must produce Shed responses, not unbounded buffering — and the wire
+  // books must balance exactly even though which requests shed is racy.
+  constexpr uint64_t N = 32;
+  Module M("net");
+  buildSpinModule(M, 200'000);
+  ServerOptions Opts;
+  Opts.Shards = 1;
+  Opts.Pool.Workers = 1;
+  Opts.Pool.QueueCapacity = 1;
+  Opts.Pool.Function = "spin";
+  SocketServer Server(M, Opts);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  BlockingClient C;
+  ASSERT_TRUE(C.connectTo(Server.port()));
+  for (uint64_t I = 0; I != N; ++I) {
+    WireRequest Req;
+    Req.Index = I;
+    ASSERT_TRUE(C.sendRequest(Req));
+  }
+  uint64_t Served = 0, Shed = 0;
+  for (uint64_t I = 0; I != N; ++I) {
+    WireResponse R;
+    ASSERT_TRUE(C.recvResponse(R)) << "response " << I;
+    if (R.Status == WireStatus::Shed)
+      ++Shed;
+    else if (R.Status == WireStatus::Ok) {
+      EXPECT_EQ(R.ReturnValue, 13u);
+      ++Served;
+    }
+  }
+  EXPECT_EQ(Served + Shed, N);
+  EXPECT_GT(Shed, 0u) << "the flood never overflowed a one-slot queue";
+  EXPECT_GT(Served, 0u);
+
+  DrainReport Rep = Server.drain();
+  EXPECT_TRUE(Rep.IdentityOk);
+  EXPECT_EQ(Rep.Net.WireShed, Shed);
+  EXPECT_EQ(Rep.Net.RequestsAdmitted, Served);
+  EXPECT_EQ(Rep.Net.ResponsesDelivered, N);
+  EXPECT_EQ(Rep.Pool.ShedQueueFull, Shed);
+}
+
+TEST(SocketServerTest, DrainTimeoutPoisonsHungRequests) {
+  // A request that never finishes on its own: drain()'s budget expires,
+  // the escalation cancels it, and the books say so — Clean = false,
+  // poisoned once, identity still exact.
+  Module M("net");
+  buildSpinModule(M, ~0ULL >> 8);
+  ServerOptions Opts;
+  Opts.Shards = 1;
+  Opts.Pool.Workers = 1;
+  Opts.Pool.Function = "spin";
+  // Effectively infinite fuel: cancellation must be the only way out.
+  Opts.Pool.InterpOpts.Fuel = 1ULL << 62;
+  Opts.DrainTimeoutMillis = 100;
+  SocketServer Server(M, Opts);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  BlockingClient C;
+  ASSERT_TRUE(C.connectTo(Server.port()));
+  WireRequest Req;
+  Req.Index = 0;
+  ASSERT_TRUE(C.sendRequest(Req));
+  sleepMillis(100); // let it be admitted and start spinning
+
+  DrainReport Rep = Server.drain();
+  EXPECT_FALSE(Rep.Clean);
+  EXPECT_TRUE(Rep.IdentityOk);
+  EXPECT_EQ(Rep.Pool.Poisoned, 1u);
+  EXPECT_EQ(Rep.Pool.PoisonedPoolDeath, 1u);
+  ASSERT_EQ(Rep.Outcomes.size(), 1u);
+  EXPECT_TRUE(Rep.Outcomes[0].Poisoned);
+
+  // The poisoned verdict is still delivered to the waiting client during
+  // the flush phase (a drain is graceful to readers even when the work
+  // had to be shot).
+  WireResponse R;
+  if (C.recvResponse(R, 2000)) {
+    EXPECT_EQ(R.Status, WireStatus::Poisoned);
+    EXPECT_EQ(Rep.Net.ResponsesDelivered, 1u);
+  } else {
+    EXPECT_EQ(Rep.Net.ResponsesOrphaned, 1u);
+  }
+}
+
+TEST(SocketServerTest, IdleConnectionsAreReaped) {
+  Module M("net");
+  buildRandModule(M);
+  ServerOptions Opts = randServerOptions(1);
+  Opts.IdleTimeoutMillis = 50;
+  SocketServer Server(M, Opts);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  BlockingClient C;
+  ASSERT_TRUE(C.connectTo(Server.port()));
+  // Say nothing; the reaper should close us within a few sweep periods.
+  WireResponse R;
+  bool Closed = false;
+  for (unsigned I = 0; I != 40 && !Closed; ++I) {
+    (void)C.recvResponse(R, 100);
+    Closed = C.peerClosed();
+  }
+  EXPECT_TRUE(Closed);
+
+  DrainReport Rep = Server.drain();
+  EXPECT_TRUE(Rep.IdentityOk);
+  EXPECT_EQ(Rep.Net.IdleReaped, 1u);
+  EXPECT_EQ(Rep.Net.ConnectionsClosed, 1u);
+}
+
+TEST(SocketServerTest, ClientResetOrphansItsResponses) {
+  // The client dies (RST) while its request is being served: the
+  // completion finds no connection and is booked Orphaned, keeping
+  // Delivered + Orphaned == Admitted exact.
+  Module M("net");
+  buildSpinModule(M, 3'000'000);
+  ServerOptions Opts;
+  Opts.Shards = 1;
+  Opts.Pool.Workers = 1;
+  Opts.Pool.Function = "spin";
+  SocketServer Server(M, Opts);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  BlockingClient C;
+  ASSERT_TRUE(C.connectTo(Server.port()));
+  WireRequest Req;
+  Req.Index = 0;
+  ASSERT_TRUE(C.sendRequest(Req));
+  sleepMillis(30); // admitted, still spinning
+  C.resetConn();
+
+  DrainReport Rep = Server.drain();
+  EXPECT_TRUE(Rep.IdentityOk);
+  EXPECT_EQ(Rep.Net.RequestsAdmitted, 1u);
+  EXPECT_EQ(Rep.Net.ResponsesDelivered + Rep.Net.ResponsesOrphaned, 1u);
+  EXPECT_EQ(Rep.Pool.Completed, 1u) << "the work itself still completes";
+}
+
+TEST(SocketServerTest, RequestStopIsObservable) {
+  Module M("net");
+  buildRandModule(M);
+  SocketServer Server(M, randServerOptions(1));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  EXPECT_FALSE(Server.stopRequested());
+  Server.requestStop();
+  EXPECT_TRUE(Server.stopRequested());
+  DrainReport Rep = Server.drain();
+  EXPECT_TRUE(Rep.Clean);
+  EXPECT_TRUE(Rep.IdentityOk);
+}
+
+TEST(SocketServerTest, DrainIsIdempotent) {
+  Module M("net");
+  buildRandModule(M);
+  SocketServer Server(M, randServerOptions(2));
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  serveAll(Server.port(), 8);
+  DrainReport A = Server.drain();
+  DrainReport B = Server.drain();
+  EXPECT_EQ(A.Net.FramesDecoded, B.Net.FramesDecoded);
+  EXPECT_EQ(A.Outcomes.size(), B.Outcomes.size());
+  EXPECT_TRUE(B.IdentityOk);
+}
+
+} // namespace

@@ -6,15 +6,26 @@ the same bench and fails (exit 1) when:
 
   * a throughput metric dropped more than --max-drop-pct below the
     baseline (default 25%), or
-  * for the chaos soak, the outcome digest differs from the baseline while
+  * for the soaks, the outcome digest differs from the baseline while
     the run parameters (requests, seed, workers, fault rate) match — the
     digest is bit-deterministic, so any mismatch is a real behavior
     change, not noise.
 
+A malformed input (missing "bench" kind, missing gated field) is reported
+as a clear REGRESSION line naming the file and the field, never as a
+Python traceback: a gate that crashes is a gate that silently stops
+gating once someone renames a key.
+
 Supported bench kinds (selected by the "bench"/"benchmark" key):
 
   soak_chaos        gates requests_per_sec and the exact digest
-  soak_scaling      gates requests_per_sec of the matching sweep points
+  soak_scaling      gates requests_per_sec and digest of the matching
+                    sweep points, and of the matching net_sweep points
+                    (keyed by connections × shards) when both files
+                    carry one
+  soak_net_chaos    gates requests_per_sec, the exact wire digest, and
+                    the wire-vs-in-process and accounting-identity
+                    verdicts
   interp_throughput gates max_speedup (a machine-relative ratio, so it
                     transfers across runner generations better than raw
                     steps/sec)
@@ -33,6 +44,10 @@ import json
 import sys
 
 
+class GateError(Exception):
+    """A malformed input that makes the gate impossible to evaluate."""
+
+
 def fail(msg):
     print(f"REGRESSION: {msg}")
     return 1
@@ -43,8 +58,18 @@ def ok(msg):
     return 0
 
 
+def require(d, key, where):
+    """d[key], or a GateError naming the file and the missing field."""
+    if not isinstance(d, dict) or key not in d:
+        raise GateError(f"{where}: missing required field {key!r}")
+    return d[key]
+
+
 def check_drop(name, base, cand, max_drop_pct):
     """Fails when cand fell more than max_drop_pct below base."""
+    if not isinstance(base, (int, float)) or not isinstance(cand, (int, float)):
+        raise GateError(f"{name}: non-numeric value (base {base!r}, "
+                        f"candidate {cand!r})")
     if base <= 0:
         return ok(f"{name}: baseline {base} not gateable")
     drop_pct = (base - cand) / base * 100.0
@@ -63,18 +88,51 @@ def same_params(base, cand, keys):
 def check_soak_chaos(base, cand, max_drop_pct):
     rc = check_drop(
         "requests_per_sec",
-        base["requests_per_sec"],
-        cand["requests_per_sec"],
+        require(base, "requests_per_sec", "baseline"),
+        require(cand, "requests_per_sec", "candidate"),
         max_drop_pct,
     )
     if same_params(base, cand, ["requests", "seed", "workers", "fault_rate"]):
-        if base["digest"] != cand["digest"]:
+        base_digest = require(base, "digest", "baseline")
+        cand_digest = require(cand, "digest", "candidate")
+        if base_digest != cand_digest:
             rc |= fail(
-                f"digest {cand['digest']} != baseline {base['digest']} "
+                f"digest {cand_digest} != baseline {base_digest} "
                 "for identical parameters (determinism break)"
             )
         else:
-            rc |= ok(f"digest matches baseline exactly ({base['digest']})")
+            rc |= ok(f"digest matches baseline exactly ({base_digest})")
+    else:
+        rc |= ok("digest not compared (run parameters differ from baseline)")
+    return rc
+
+
+def check_soak_net_chaos(base, cand, max_drop_pct):
+    rc = check_drop(
+        "requests_per_sec",
+        require(base, "requests_per_sec", "baseline"),
+        require(cand, "requests_per_sec", "candidate"),
+        max_drop_pct,
+    )
+    # These verdicts are parameter-independent: the wire digest must equal
+    # the in-process digest and the accounting identity must hold on every
+    # run, whatever its size.
+    for verdict in ("wire_equals_in_process", "identity_holds"):
+        if require(cand, verdict, "candidate") is not True:
+            rc |= fail(f"candidate {verdict} is not true")
+        else:
+            rc |= ok(f"candidate {verdict}")
+    if same_params(base, cand,
+                   ["requests", "seed", "fault_rate", "connections"]):
+        base_digest = require(base, "digest", "baseline")
+        cand_digest = require(cand, "digest", "candidate")
+        if base_digest != cand_digest:
+            rc |= fail(
+                f"wire digest {cand_digest} != baseline {base_digest} "
+                "for identical parameters (determinism break)"
+            )
+        else:
+            rc |= ok(f"wire digest matches baseline exactly ({base_digest})")
     else:
         rc |= ok("digest not compared (run parameters differ from baseline)")
     return rc
@@ -82,27 +140,65 @@ def check_soak_chaos(base, cand, max_drop_pct):
 
 def check_soak_scaling(base, cand, max_drop_pct):
     rc = 0
-    if not same_params(base, cand, ["requests", "seed", "fault_rate"]):
+    comparable = same_params(base, cand, ["requests", "seed", "fault_rate"])
+    if not comparable:
         print("note: scaling parameters differ from baseline; "
               "gating matching sweep points only on throughput ratio")
-    base_points = {p["workers"]: p for p in base["sweep"]}
+    base_points = {
+        require(p, "workers", "baseline sweep point"): p
+        for p in require(base, "sweep", "baseline")
+    }
     compared = 0
-    for p in cand["sweep"]:
-        b = base_points.get(p["workers"])
-        if b is None or not same_params(base, cand,
-                                        ["requests", "seed", "fault_rate"]):
+    for p in require(cand, "sweep", "candidate"):
+        workers = require(p, "workers", "candidate sweep point")
+        b = base_points.get(workers)
+        if b is None or not comparable:
             continue
         compared += 1
         rc |= check_drop(
-            f"workers={p['workers']} requests_per_sec",
-            b["requests_per_sec"],
-            p["requests_per_sec"],
+            f"workers={workers} requests_per_sec",
+            require(b, "requests_per_sec", "baseline sweep point"),
+            require(p, "requests_per_sec", "candidate sweep point"),
             max_drop_pct,
         )
-        if b["digest"] != p["digest"]:
+        if require(b, "digest", "baseline sweep point") != \
+                require(p, "digest", "candidate sweep point"):
             rc |= fail(
-                f"workers={p['workers']} digest {p['digest']} != baseline "
+                f"workers={workers} digest {p['digest']} != baseline "
                 f"{b['digest']} (determinism break)"
+            )
+    # The wire dimension: net_sweep points are keyed (connections, shards).
+    # Older baselines predate the socket front-end and carry none; that is
+    # a note, not a failure.
+    base_net = {
+        (require(p, "connections", "baseline net_sweep point"),
+         require(p, "shards", "baseline net_sweep point")): p
+        for p in base.get("net_sweep", [])
+    }
+    for p in cand.get("net_sweep", []):
+        key = (require(p, "connections", "candidate net_sweep point"),
+               require(p, "shards", "candidate net_sweep point"))
+        if require(p, "wire_matches_in_process",
+                   "candidate net_sweep point") is not True:
+            rc |= fail(
+                f"net conns={key[0]} shards={key[1]}: wire digest does not "
+                "match the in-process digest"
+            )
+        b = base_net.get(key)
+        if b is None or not comparable:
+            continue
+        compared += 1
+        rc |= check_drop(
+            f"net conns={key[0]} shards={key[1]} requests_per_sec",
+            require(b, "requests_per_sec", "baseline net_sweep point"),
+            require(p, "requests_per_sec", "candidate net_sweep point"),
+            max_drop_pct,
+        )
+        if require(b, "digest", "baseline net_sweep point") != \
+                require(p, "digest", "candidate net_sweep point"):
+            rc |= fail(
+                f"net conns={key[0]} shards={key[1]} digest {p['digest']} "
+                f"!= baseline {b['digest']} (determinism break)"
             )
     if compared == 0:
         rc |= ok("no directly comparable sweep points; nothing gated")
@@ -111,15 +207,18 @@ def check_soak_scaling(base, cand, max_drop_pct):
 
 def check_interp(base, cand, max_drop_pct):
     return check_drop(
-        "max_speedup", base["max_speedup"], cand["max_speedup"], max_drop_pct
+        "max_speedup",
+        require(base, "max_speedup", "baseline"),
+        require(cand, "max_speedup", "candidate"),
+        max_drop_pct,
     )
 
 
 def check_request_reset(base, cand, max_drop_pct):
     return check_drop(
         "restore_speedup_vs_rebuild",
-        base["restore_speedup_vs_rebuild"],
-        cand["restore_speedup_vs_rebuild"],
+        require(base, "restore_speedup_vs_rebuild", "baseline"),
+        require(cand, "restore_speedup_vs_rebuild", "candidate"),
         max_drop_pct,
     )
 
@@ -131,13 +230,20 @@ def main():
     ap.add_argument("--max-drop-pct", type=float, default=25.0)
     args = ap.parse_args()
 
-    with open(args.baseline) as f:
-        base = json.load(f)
-    with open(args.candidate) as f:
-        cand = json.load(f)
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.candidate) as f:
+            cand = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot load bench JSON: {e}")
 
     kind_of = lambda d: d.get("bench") or d.get("benchmark")
     kind = kind_of(base)
+    if kind is None:
+        return fail(
+            f"{args.baseline}: no 'bench'/'benchmark' key; cannot gate"
+        )
     if kind != kind_of(cand):
         return fail(
             f"bench kind mismatch: baseline {kind}, candidate {kind_of(cand)}"
@@ -146,13 +252,17 @@ def main():
     checks = {
         "soak_chaos": check_soak_chaos,
         "soak_scaling": check_soak_scaling,
+        "soak_net_chaos": check_soak_net_chaos,
         "interp_throughput": check_interp,
         "request_reset": check_request_reset,
     }
     if kind not in checks:
         return fail(f"unknown bench kind {kind!r}")
     print(f"checking {kind}: {args.candidate} against {args.baseline}")
-    return checks[kind](base, cand, args.max_drop_pct)
+    try:
+        return checks[kind](base, cand, args.max_drop_pct)
+    except GateError as e:
+        return fail(str(e))
 
 
 if __name__ == "__main__":

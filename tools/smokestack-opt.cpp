@@ -36,6 +36,23 @@
 ///                            exhaustion. The exact accounting identity
 ///                            (submitted == completed + shed + poisoned)
 ///                            is verified; a violation exits nonzero.
+///     -serve                 serve -run over loopback TCP through the
+///                            epoll socket front-end (net/SocketServer.h)
+///                            instead of submitting to the pool directly;
+///                            an in-process client drives -requests=M
+///                            requests through the wire as a self-test.
+///                            SIGTERM requests a graceful stop: the server
+///                            finishes what it can and drains
+///     -shards=N              serve mode: number of WorkerPool shards
+///                            behind the front-end (default 1); results
+///                            are bit-identical at any shard count
+///     -drain-timeout=MS      serve mode: graceful-drain budget (default
+///                            5000). If in-flight requests outlive it they
+///                            are cancelled and poison-accounted, and the
+///                            tool exits nonzero (exit code 4)
+///     -fuel=N                VM step budget per request (default 2e8);
+///                            mostly for tests that need a request to
+///                            outlive the drain budget
 ///     -metrics=FILE          after -run: export every counter and latency
 ///                            histogram as Prometheus text to FILE and as
 ///                            smokestack-metrics-v1 JSON to FILE.json;
@@ -60,6 +77,8 @@
 #include "faults/FaultInjector.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "net/Client.h"
+#include "net/SocketServer.h"
 #include "obs/MetricsRegistry.h"
 #include "obs/Trace.h"
 #include "rng/AesCtr.h"
@@ -71,6 +90,7 @@
 #include "support/Statistics.h"
 #include "vm/Interpreter.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -102,8 +122,22 @@ struct Options {
   uint64_t PoolSeed = 7;
   bool Chaos = false;
   double ChaosRate = 0.0;
+  bool Serve = false;
+  unsigned Shards = 1;
+  unsigned DrainTimeoutMillis = 5000;
+  uint64_t Fuel = 0; ///< 0 = interpreter default.
   std::string MetricsFile;
 };
+
+/// The SIGTERM → requestStop() bridge for -serve. requestStop() is
+/// async-signal-safe (atomic store + pipe write); the main thread sees
+/// stopRequested() and performs the actual drain.
+SocketServer *ServeInstance = nullptr;
+
+void onSigTerm(int) {
+  if (ServeInstance)
+    ServeInstance->requestStop();
+}
 
 /// Writes \p Registry to \p Path (Prometheus text) and \p Path.json.
 /// Returns false (with a diagnostic) when either write fails.
@@ -135,6 +169,8 @@ int usage(const char *Argv0) {
                "          [-resilient] [-faults=SEED:RATE]\n"
                "          [-workers=N] [-requests=M] [-seed=S] "
                "[-chaos=RATE] [-metrics=FILE]\n"
+               "          [-serve] [-shards=N] [-drain-timeout=MS] "
+               "[-fuel=N]\n"
                "          [-input=TEXT]... [-print] [-verify] [-stats] "
                "<file.ir|->\n",
                Argv0);
@@ -195,6 +231,17 @@ int main(int argc, char **argv) {
       }
       Opts.Chaos = true;
       Opts.ChaosRate = Rate;
+    } else if (Arg == "-serve") {
+      Opts.Serve = true;
+    } else if (Arg.rfind("-shards=", 0) == 0) {
+      Opts.Shards =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 8, nullptr, 0));
+    } else if (Arg.rfind("-drain-timeout=", 0) == 0 ||
+               Arg.rfind("--drain-timeout=", 0) == 0) {
+      Opts.DrainTimeoutMillis = static_cast<unsigned>(
+          std::strtoul(Arg.c_str() + Arg.find('=') + 1, nullptr, 0));
+    } else if (Arg.rfind("-fuel=", 0) == 0) {
+      Opts.Fuel = std::strtoull(Arg.c_str() + 6, nullptr, 0);
     } else if (Arg == "-resilient") {
       Opts.Resilient = true;
     } else if (Arg.rfind("-faults=", 0) == 0) {
@@ -307,13 +354,15 @@ int main(int argc, char **argv) {
 
     InterpreterOptions VMOpts;
     VMOpts.UseDecodedEngine = Opts.Engine == "decoded";
+    if (Opts.Fuel)
+      VMOpts.Fuel = Opts.Fuel;
 
     // -metrics wants the latency histograms populated, so turn on the
     // process-wide timing probes before anything serves.
     if (!Opts.MetricsFile.empty())
       enableObsTiming();
 
-    if (Opts.Pool) {
+    if (Opts.Pool || Opts.Serve) {
       // Pool mode: the WorkerPool owns per-request deterministic RNG
       // chains and per-request fault injectors, so -rng/-resilient (and
       // the -faults seed) are superseded by -seed.
@@ -348,6 +397,98 @@ int main(int argc, char **argv) {
       TraceRecorder Recorder;
       if (!Opts.MetricsFile.empty())
         PO.Tracer = &Recorder;
+
+      if (Opts.Serve) {
+        // Serve mode: the identical pool configuration behind the epoll
+        // socket front-end, self-tested by an in-process loopback client
+        // pipelining the same requests through the wire protocol.
+        ServerOptions SO;
+        SO.Shards = Opts.Shards ? Opts.Shards : 1;
+        SO.DrainTimeoutMillis = Opts.DrainTimeoutMillis;
+        SO.Pool = PO;
+        SocketServer Server(M, SO);
+        ServeInstance = &Server;
+        std::signal(SIGTERM, onSigTerm);
+        std::string Err;
+        if (!Server.start(&Err)) {
+          std::fprintf(stderr, "error: -serve: %s\n", Err.c_str());
+          return 1;
+        }
+        std::printf("serve: listening on 127.0.0.1:%u (%u shards)\n",
+                    Server.port(), SO.Shards);
+
+        BlockingClient Client;
+        uint64_t Sent = 0, Answered = 0, Ok = 0, Trapped = 0, Other = 0;
+        bool Stalled = false;
+        if (!Client.connectTo(Server.port(), &Err)) {
+          std::fprintf(stderr, "error: -serve self-connect: %s\n",
+                       Err.c_str());
+          Stalled = true;
+        }
+        constexpr uint64_t Window = 16;
+        while (!Stalled && Answered != Opts.PoolRequests &&
+               !Server.stopRequested()) {
+          while (Sent != Opts.PoolRequests && Sent - Answered < Window) {
+            WireRequest Req;
+            Req.Index = Sent;
+            Req.Inputs = Records;
+            if (!Client.sendRequest(Req)) {
+              Stalled = true;
+              break;
+            }
+            ++Sent;
+          }
+          if (Stalled)
+            break;
+          WireResponse Resp;
+          if (!Client.recvResponse(Resp, /*TimeoutMillis=*/2000)) {
+            // A request that never answers lands here; the drain below
+            // decides whether that is a timeout worth a nonzero exit.
+            Stalled = true;
+            break;
+          }
+          ++Answered;
+          if (Resp.Status == WireStatus::Ok)
+            ++Ok;
+          else if (Resp.Status == WireStatus::Trapped)
+            ++Trapped;
+          else
+            ++Other;
+        }
+
+        DrainReport Rep = Server.drain();
+        std::signal(SIGTERM, SIG_DFL);
+        ServeInstance = nullptr;
+
+        std::printf("serve: %u shards, %llu sent, %llu answered, %llu ok, "
+                    "%llu trapped, %llu other, %llu delivered\n",
+                    SO.Shards, (unsigned long long)Sent,
+                    (unsigned long long)Answered, (unsigned long long)Ok,
+                    (unsigned long long)Trapped, (unsigned long long)Other,
+                    (unsigned long long)Rep.Net.ResponsesDelivered);
+        if (!Opts.MetricsFile.empty()) {
+          MetricsRegistry Registry;
+          Rep.Pool.exportMetrics(Registry);
+          Rep.Net.exportMetrics(Registry);
+          Recorder.exportMetrics(Registry);
+          if (!writeMetrics(Registry, Opts.MetricsFile))
+            return 1;
+        }
+        if (!Rep.IdentityOk) {
+          std::fprintf(stderr,
+                       "error: wire accounting identity violated\n");
+          return 3;
+        }
+        if (!Rep.Clean) {
+          std::fprintf(stderr,
+                       "drain: TIMEOUT after %u ms; %llu in-flight "
+                       "request(s) poisoned\n",
+                       Opts.DrainTimeoutMillis,
+                       (unsigned long long)Rep.Pool.Poisoned);
+          return 4;
+        }
+        return Trapped == 0 && Other == 0 && !Stalled ? 0 : 1;
+      }
 
       WorkerPool Pool(M, PO);
       Pool.start();
