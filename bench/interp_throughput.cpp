@@ -6,19 +6,31 @@
 ///
 /// \file
 /// Measures Mini-IR interpreter throughput (executed instructions per
-/// second) for the tree-walking engine against the pre-decoded engine, on
-/// four SPEC-shaped kernels mirroring the workload models used elsewhere in
-/// the reproduction (perlbench-like hashing, bzip2-like byte frequencies,
-/// mcf-like min scans, gcc-like mixed control flow).
+/// second) for the tree-walking engine, the pre-decoded engine, and the
+/// copy-and-patch JIT, on four SPEC-shaped kernels mirroring the workload
+/// models used elsewhere in the reproduction (perlbench-like hashing,
+/// bzip2-like byte frequencies, mcf-like min scans, gcc-like mixed control
+/// flow).
 ///
-/// Both engines run the same module object; the decoded engine pays its
-/// one-time decode on the warmup run, which is exactly the deployment
-/// model (decode per function, execute per invocation). Results land in
-/// BENCH_interp.json (path overridable as argv[1]).
+/// All engines run the same module object; the decoded engine pays its
+/// one-time decode — and the JIT its decode+compile — on the warmup run,
+/// which is exactly the deployment model (translate per function, execute
+/// per invocation). Every kernel's (Steps, ReturnValue) pair is digested
+/// per engine and the digests must agree exactly; any divergence is a
+/// correctness bug and exits nonzero. Results land in BENCH_interp.json
+/// (path overridable as argv[1]) plus BENCH_interp_jit.json (argv[2]) with
+/// the JIT-vs-decoded identity digests and speedups, gated in CI at >= 2x.
+///
+/// -engine=all (default) measures everything; -engine=jit skips the slow
+/// tree-walk and measures decoded vs jit only; -engine=decoded restores
+/// the historical tree-walk vs decoded run; -engine=treewalk measures the
+/// oracle alone. On hosts without jitAvailable() the JIT is skipped and
+/// BENCH_interp_jit.json records jit_available=false.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ir/IRBuilder.h"
+#include "jit/JitAbi.h"
 #include "obs/Trace.h"
 #include "vm/Interpreter.h"
 
@@ -310,18 +322,37 @@ const KernelSpec Kernels[] = {
     {"gcc.worklist", buildWorklistKernel},
 };
 
+enum class Engine { Treewalk, Decoded, Jit };
+
 struct EngineResult {
   uint64_t Steps = 0;
   uint64_t ReturnValue = 0;
   double SecondsPerRun = 0.0;
+  uint64_t Digest = 0;
 };
+
+/// FNV-1a over the result pair — the identity fingerprint compared across
+/// engines (and archived in BENCH_interp_jit.json for the CI gate).
+uint64_t digestResult(uint64_t Steps, uint64_t ReturnValue) {
+  uint64_t H = 1469598103934665603ULL;
+  for (uint64_t V : {Steps, ReturnValue})
+    for (int B = 0; B != 8; ++B) {
+      H ^= (V >> (B * 8)) & 0xFF;
+      H *= 1099511628211ULL;
+    }
+  return H;
+}
 
 /// Runs `main` of \p M Reps times on one engine and returns the median
 /// per-run wall time. The first (untimed) warmup run absorbs the one-time
-/// decode cost for the decoded engine and any allocator warmup for both.
-EngineResult measureEngine(Module &M, bool UseDecoded, int Reps) {
+/// decode cost for the decoded engine — plus the stencil compile for the
+/// JIT (JitThreshold=0 promotes on the warmup call) — and any allocator
+/// warmup for all of them.
+EngineResult measureEngine(Module &M, Engine E, int Reps) {
   InterpreterOptions Opts;
-  Opts.UseDecodedEngine = UseDecoded;
+  Opts.UseDecodedEngine = E != Engine::Treewalk;
+  Opts.UseJit = E == Engine::Jit;
+  Opts.JitThreshold = 0;
   Interpreter VM(M, nullptr, Opts);
 
   ExecResult Warm = VM.run("main");
@@ -346,32 +377,81 @@ EngineResult measureEngine(Module &M, bool UseDecoded, int Reps) {
   }
   std::sort(Times.begin(), Times.end());
   R.SecondsPerRun = Times[Times.size() / 2];
+  R.Digest = digestResult(R.Steps, R.ReturnValue);
   return R;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  const char *JsonPath = argc > 1 ? argv[1] : "BENCH_interp.json";
+  std::string EngineSel = "all";
+  std::vector<const char *> Paths;
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("-engine=", 0) == 0) {
+      EngineSel = Arg.substr(8);
+      if (EngineSel != "all" && EngineSel != "jit" && EngineSel != "decoded" &&
+          EngineSel != "treewalk") {
+        std::fprintf(stderr,
+                     "unknown -engine=%s (all|jit|decoded|treewalk)\n",
+                     EngineSel.c_str());
+        return 1;
+      }
+    } else {
+      Paths.push_back(argv[I]);
+    }
+  }
+  const char *JsonPath = Paths.size() > 0 ? Paths[0] : "BENCH_interp.json";
+  const char *JitJsonPath =
+      Paths.size() > 1 ? Paths[1] : "BENCH_interp_jit.json";
   const int Reps = 5;
 
-  std::printf("Mini-IR interpreter throughput: tree-walk vs pre-decoded\n");
-  std::printf("%-22s %12s %14s %14s %9s\n", "kernel", "steps", "tree Mst/s",
-              "decoded Mst/s", "speedup");
+  // The decoded engine is always measured: it is the digest oracle for the
+  // JIT and the baseline of both speedup gates. -engine trims the rest.
+  const bool WantTree = EngineSel == "all" || EngineSel == "decoded" ||
+                        EngineSel == "treewalk";
+  const bool WantDecoded = EngineSel != "treewalk";
+  const bool WantJit =
+      (EngineSel == "all" || EngineSel == "jit") && jitAvailable();
+  if ((EngineSel == "all" || EngineSel == "jit") && !jitAvailable())
+    std::fprintf(stderr,
+                 "warning: JIT unavailable on this host; measuring the "
+                 "decoded engine only\n");
+
+  std::printf("Mini-IR interpreter throughput: tree-walk vs pre-decoded "
+              "vs jit\n");
+  std::printf("%-22s %12s %14s %14s %14s %9s %9s\n", "kernel", "steps",
+              "tree Mst/s", "decoded Mst/s", "jit Mst/s", "speedup",
+              "jit/dec");
 
   std::string Json = "{\n  \"benchmark\": \"interp_throughput\",\n"
                      "  \"reps\": " +
                      std::to_string(Reps) + ",\n  \"kernels\": [\n";
+  std::string JitJson =
+      std::string("{\n  \"benchmark\": \"interp_jit\",\n") +
+      "  \"jit_available\": " + (jitAvailable() ? "true" : "false") +
+      ",\n  \"reps\": " + std::to_string(Reps) + ",\n  \"kernels\": [\n";
   double MaxSpeedup = 0.0;
+  double MinJitSpeedup = WantJit ? 1e300 : 0.0;
+  bool DigestMismatch = false;
   for (size_t K = 0; K != std::size(Kernels); ++K) {
     const KernelSpec &Spec = Kernels[K];
     Module M(Spec.Name);
     Spec.Build(M);
 
-    EngineResult Tree = measureEngine(M, /*UseDecoded=*/false, Reps);
-    EngineResult Decoded = measureEngine(M, /*UseDecoded=*/true, Reps);
-    if (Tree.ReturnValue != Decoded.ReturnValue ||
-        Tree.Steps != Decoded.Steps) {
+    EngineResult Tree, Decoded, Jit;
+    if (WantTree)
+      Tree = measureEngine(M, Engine::Treewalk, Reps);
+    if (WantDecoded)
+      Decoded = measureEngine(M, Engine::Decoded, Reps);
+    else
+      Decoded = Tree; // -engine=treewalk: reuse the oracle as the baseline
+    if (WantJit)
+      Jit = measureEngine(M, Engine::Jit, Reps);
+
+    if (WantTree && WantDecoded &&
+        (Tree.ReturnValue != Decoded.ReturnValue ||
+         Tree.Steps != Decoded.Steps)) {
       std::fprintf(stderr, "%s: engine divergence (tree %llu/%llu steps, "
                            "decoded %llu/%llu steps)\n",
                    Spec.Name,
@@ -381,26 +461,86 @@ int main(int argc, char **argv) {
                    static_cast<unsigned long long>(Decoded.Steps));
       return 1;
     }
+    if (WantJit && Jit.Digest != Decoded.Digest) {
+      std::fprintf(stderr, "%s: JIT identity violation (decoded %llu/%llu, "
+                           "jit %llu/%llu)\n",
+                   Spec.Name,
+                   static_cast<unsigned long long>(Decoded.ReturnValue),
+                   static_cast<unsigned long long>(Decoded.Steps),
+                   static_cast<unsigned long long>(Jit.ReturnValue),
+                   static_cast<unsigned long long>(Jit.Steps));
+      DigestMismatch = true;
+    }
 
-    double TreeRate = Tree.Steps / Tree.SecondsPerRun;
+    double TreeRate = WantTree ? Tree.Steps / Tree.SecondsPerRun : 0.0;
     double DecodedRate = Decoded.Steps / Decoded.SecondsPerRun;
-    double Speedup = DecodedRate / TreeRate;
+    double JitRate = WantJit ? Jit.Steps / Jit.SecondsPerRun : 0.0;
+    double Speedup = WantTree && WantDecoded ? DecodedRate / TreeRate : 0.0;
+    double JitSpeedup = WantJit ? JitRate / DecodedRate : 0.0;
     MaxSpeedup = std::max(MaxSpeedup, Speedup);
+    if (WantJit)
+      MinJitSpeedup = std::min(MinJitSpeedup, JitSpeedup);
 
-    std::printf("%-22s %12llu %14.2f %14.2f %8.2fx\n", Spec.Name,
-                static_cast<unsigned long long>(Tree.Steps), TreeRate / 1e6,
-                DecodedRate / 1e6, Speedup);
+    std::printf("%-22s %12llu %14.2f %14.2f %14.2f %8.2fx %8.2fx\n",
+                Spec.Name,
+                static_cast<unsigned long long>(Decoded.Steps),
+                TreeRate / 1e6, DecodedRate / 1e6, JitRate / 1e6, Speedup,
+                JitSpeedup);
 
-    char Row[512];
+    char Row[640];
     std::snprintf(Row, sizeof(Row),
                   "    {\"name\": \"%s\", \"steps\": %llu, "
                   "\"treewalk_steps_per_sec\": %.0f, "
-                  "\"decoded_steps_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
-                  Spec.Name, static_cast<unsigned long long>(Tree.Steps),
-                  TreeRate, DecodedRate, Speedup,
+                  "\"decoded_steps_per_sec\": %.0f, "
+                  "\"jit_steps_per_sec\": %.0f, \"speedup\": %.3f, "
+                  "\"jit_speedup_vs_decoded\": %.3f}%s\n",
+                  Spec.Name, static_cast<unsigned long long>(Decoded.Steps),
+                  TreeRate, DecodedRate, JitRate, Speedup, JitSpeedup,
                   K + 1 == std::size(Kernels) ? "" : ",");
     Json += Row;
+
+    char JitRow[512];
+    std::snprintf(JitRow, sizeof(JitRow),
+                  "    {\"name\": \"%s\", "
+                  "\"digest_decoded\": \"%016llx\", "
+                  "\"digest_jit\": \"%016llx\", "
+                  "\"jit_speedup_vs_decoded\": %.3f}%s\n",
+                  Spec.Name,
+                  static_cast<unsigned long long>(Decoded.Digest),
+                  static_cast<unsigned long long>(WantJit ? Jit.Digest
+                                                          : Decoded.Digest),
+                  JitSpeedup, K + 1 == std::size(Kernels) ? "" : ",");
+    JitJson += JitRow;
   }
+  // The JIT identity/throughput summary is written whenever the decoded
+  // baseline was measured; on hosts without a JIT the digests are the
+  // decoded ones and jit_available=false tells the gate to skip.
+  if (WantDecoded) {
+    char JitTail[128];
+    std::snprintf(JitTail, sizeof(JitTail),
+                  "  ],\n  \"min_jit_speedup_vs_decoded\": %.3f\n}\n",
+                  WantJit ? MinJitSpeedup : 0.0);
+    JitJson += JitTail;
+    if (std::FILE *Out = std::fopen(JitJsonPath, "w")) {
+      std::fputs(JitJson.c_str(), Out);
+      std::fclose(Out);
+      std::printf("\nwrote %s\n", JitJsonPath);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", JitJsonPath);
+      return 1;
+    }
+  }
+  if (DigestMismatch)
+    return 1;
+  if (WantJit && MinJitSpeedup < 2.0) {
+    std::fprintf(stderr,
+                 "gate: min JIT speedup vs decoded %.2fx < 2.0x\n",
+                 MinJitSpeedup);
+    return 2;
+  }
+  if (!WantTree)
+    return 0; // -engine=jit: no tree-walk baseline, no obs A/B, no gate below
+
   // Observability-overhead A/B (DESIGN.md §11): the same tiny request
   // served three ways — obs probes compiled in but timing off, off again
   // (the delta between the two off runs is the measurement noise floor),

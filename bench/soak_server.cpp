@@ -69,6 +69,7 @@
 #include "defenses/Deploy.h"
 #include "faults/FaultInjector.h"
 #include "ir/IRBuilder.h"
+#include "jit/JitAbi.h"
 #include "net/Client.h"
 #include "net/SocketServer.h"
 #include "obs/MetricsRegistry.h"
@@ -309,6 +310,18 @@ struct PassResult {
   uint64_t VmRecoveries = 0;
 };
 
+/// Serving engine for every soak VM (-engine= flips it): the sequential
+/// server, the pool workers, and the socket shards all run under the same
+/// selection, because the soak digests are only comparable across modes if
+/// the execution engine is held constant. "jit" degrades to "decoded" with
+/// a warning on hosts without jitAvailable().
+std::string SoakEngine = "decoded";
+
+void applySoakEngine(InterpreterOptions &O) {
+  O.UseDecodedEngine = SoakEngine != "treewalk";
+  O.UseJit = SoakEngine == "jit";
+}
+
 /// Serves NumRequests through one Interpreter under fault injection, then a
 /// blackout segment and a recovery segment. Fully deterministic in Seed.
 PassResult runSoakPass(uint64_t Seed, uint64_t NumRequests, double FaultRate) {
@@ -356,7 +369,9 @@ PassResult runSoakPass(uint64_t Seed, uint64_t NumRequests, double FaultRate) {
   RO.Policy = ResilientRandomSource::FailPolicy::FailClosed;
   ResilientRandomSource Rng({Chain, 2}, RO);
 
-  Interpreter Server(M, &Rng, Deployed.InterpOpts);
+  InterpreterOptions ServerOpts = Deployed.InterpOpts;
+  applySoakEngine(ServerOpts);
+  Interpreter Server(M, &Rng, ServerOpts);
 
   // Main segment: benign traffic with every eighth request an attack.
   for (uint64_t I = 0; I != NumRequests; ++I) {
@@ -572,6 +587,7 @@ PoolOptions makeSoakPoolOptions(uint64_t Seed, uint64_t NumRequests,
   PO.QueueCapacity = 256;
   PO.Function = "driver";
   PO.InterpOpts = InterpOpts;
+  applySoakEngine(PO.InterpOpts);
   PO.InjectFaults = true;
   PO.SnapshotRestore = SnapshotRestore;
   PO.Tracer = Tracer;
@@ -891,7 +907,20 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
   PoolPassResult E =
       runPoolPass(Seed, NumRequests, FaultRate, Workers, /*Chaos=*/true,
                   /*Tracer=*/nullptr, !UseSnapshotFastPath);
-  if (!A.Valid || !B.Valid || !C.Valid || !E.Valid)
+  // The engine differential pass: when serving under the JIT (or the
+  // tree-walk oracle), replay the identical campaign on the plain decoded
+  // engine and demand a bit-identical digest — the JIT's identity contract
+  // under full chaos (crashes, retries, quarantine) at this worker count.
+  const bool EngineDiff = SoakEngine != "decoded";
+  PoolPassResult F;
+  if (EngineDiff) {
+    std::string Saved = SoakEngine;
+    SoakEngine = "decoded";
+    F = runPoolPass(Seed, NumRequests, FaultRate, Workers, /*Chaos=*/true);
+    SoakEngine = Saved;
+  }
+  if (!A.Valid || !B.Valid || !C.Valid || !E.Valid ||
+      (EngineDiff && !F.Valid))
     return 1;
 
   printPoolLedger(A);
@@ -966,6 +995,9 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
           "digest is invariant under the worker count");
   checkEq(A.DigestValue, E.DigestValue,
           "snapshot fast-path on/off digests are bit-identical");
+  if (EngineDiff)
+    checkEq(A.DigestValue, F.DigestValue,
+            "selected-engine digest equals decoded-engine digest");
 
   // 7. Trace completeness: the span stream reconstructs the ledger. Every
   //    request has exactly one terminal span, every contained crash and
@@ -1016,6 +1048,7 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                  "  \"death_rate\": 0.002,\n"
                  "  \"seed\": %" PRIu64 ",\n"
                  "  \"workers\": %u,\n"
+                 "  \"engine\": \"%s\",\n"
                  "  \"digest\": \"0x%016" PRIx64 "\",\n"
                  "  \"accounting\": {\n"
                  "    \"submitted\": %" PRIu64 ",\n"
@@ -1053,7 +1086,8 @@ int runChaosSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                  "  \"requests_per_sec\": %.1f,\n"
                  "  \"metrics\": %s\n"
                  "}\n",
-                 NumRequests, FaultRate, Seed, Workers, A.DigestValue,
+                 NumRequests, FaultRate, Seed, Workers, SoakEngine.c_str(),
+                 A.DigestValue,
                  BK.Submitted, BK.Completed, BK.Shed, BK.Poisoned,
                  BK.accountingIdentityHolds() ? "true" : "false",
                  BK.CrashesContained, BK.WorkerDeaths, BK.WorkerRestarts,
@@ -1717,6 +1751,14 @@ int main(int argc, char **argv) {
       Connections = static_cast<unsigned>(std::strtoul(Arg + 13, nullptr, 0));
     } else if (std::strcmp(Arg, "-no-snapshot") == 0) {
       UseSnapshotFastPath = false;
+    } else if (std::strncmp(Arg, "-engine=", 8) == 0) {
+      SoakEngine = Arg + 8;
+      if (SoakEngine != "jit" && SoakEngine != "decoded" &&
+          SoakEngine != "treewalk") {
+        std::fprintf(stderr, "unknown -engine=%s (jit|decoded|treewalk)\n",
+                     SoakEngine.c_str());
+        return 2;
+      }
     } else if (std::strncmp(Arg, "-requests=", 10) == 0) {
       NumRequests = std::strtoull(Arg + 10, nullptr, 0);
     } else if (std::strncmp(Arg, "-rate=", 6) == 0) {
@@ -1730,7 +1772,8 @@ int main(int argc, char **argv) {
                    "usage: soak_server [requests [rate [seed]]] "
                    "[-requests=N] [-rate=R] [-seed=S] [-workers=N] "
                    "[-scaling] [-chaos] [-net] [-connections=N] "
-                   "[-no-snapshot] [-json=PATH]\n");
+                   "[-no-snapshot] [-engine=jit|decoded|treewalk] "
+                   "[-json=PATH]\n");
       return 2;
     } else if (Positional == 0) {
       NumRequests = std::strtoull(Arg, nullptr, 0);
@@ -1742,6 +1785,12 @@ int main(int argc, char **argv) {
       Seed = std::strtoull(Arg, nullptr, 0);
       ++Positional;
     }
+  }
+
+  if (SoakEngine == "jit" && !jitAvailable()) {
+    std::fprintf(stderr, "warning: JIT unavailable on this host; "
+                         "falling back to the decoded engine\n");
+    SoakEngine = "decoded";
   }
 
   if (JsonPath.empty())

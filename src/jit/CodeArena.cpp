@@ -1,0 +1,77 @@
+//===- jit/CodeArena.cpp - W^X executable code arena ----------------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CodeArena.h"
+
+#include "jit/JitAbi.h"
+
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+using namespace smokestack;
+
+bool smokestack::jitAvailable() {
+#if defined(__x86_64__) && !defined(_WIN32)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if !defined(_WIN32)
+
+CodeArena::CodeArena(size_t Capacity) : Cap(Capacity) {
+  long Page = sysconf(_SC_PAGESIZE);
+  if (Page > 0)
+    PageSize = static_cast<size_t>(Page);
+  // Reserve address space only; pages are committed RW per install and
+  // sealed RX before anyone can jump to them.
+  void *P = mmap(nullptr, Cap, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P != MAP_FAILED)
+    Base = static_cast<uint8_t *>(P);
+}
+
+CodeArena::~CodeArena() {
+  if (Base)
+    munmap(Base, Cap);
+}
+
+const void *CodeArena::install(const std::vector<uint8_t> &Code) {
+  if (!Base || Code.empty())
+    return nullptr;
+  size_t Need = (Code.size() + PageSize - 1) & ~(PageSize - 1);
+  if (Need > Cap - Cursor)
+    return nullptr;
+  uint8_t *Span = Base + Cursor;
+  // W^X: writable strictly before executable, never both. The span is
+  // fresh (PROT_NONE until now), so no already-published code is ever
+  // reopened for writing.
+  if (mprotect(Span, Need, PROT_READ | PROT_WRITE) != 0)
+    return nullptr;
+  std::memcpy(Span, Code.data(), Code.size());
+  if (mprotect(Span, Need, PROT_READ | PROT_EXEC) != 0) {
+    // Failing to seal must not leave a writable span that a later success
+    // could alias with executable expectations; retire it unexecutable.
+    mprotect(Span, Need, PROT_NONE);
+    return nullptr;
+  }
+  Cursor += Need;
+  return Span;
+}
+
+#else // _WIN32 stub: no executable memory, jitAvailable() is false.
+
+CodeArena::CodeArena(size_t Capacity) : Cap(Capacity) {}
+CodeArena::~CodeArena() = default;
+const void *CodeArena::install(const std::vector<uint8_t> &) {
+  return nullptr;
+}
+
+#endif

@@ -1,0 +1,60 @@
+//===- jit/CodeArena.h - W^X executable code arena -------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arena-backed storage for JIT-compiled code with a strict W^X
+/// discipline: the arena reserves one PROT_NONE region up front, each
+/// installed function gets a page-aligned span that is flipped to
+/// read+write only for the duration of the copy, then sealed read+execute
+/// before its address is ever published. No page in the arena is ever
+/// writable and executable at the same time, and sealed spans are never
+/// reopened — each install uses fresh pages, so finalized code cannot be
+/// retargeted even transiently (verified by the jit-labeled W^X test
+/// against /proc/self/maps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_JIT_CODEARENA_H
+#define SMOKESTACK_JIT_CODEARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smokestack {
+
+class CodeArena {
+public:
+  /// Reserves \p Capacity bytes of address space (PROT_NONE; no backing
+  /// pages are committed until install()). The default comfortably holds
+  /// every function of the largest module in the repo many times over.
+  explicit CodeArena(size_t Capacity = 16u << 20);
+  ~CodeArena();
+
+  CodeArena(const CodeArena &) = delete;
+  CodeArena &operator=(const CodeArena &) = delete;
+
+  /// Copies \p Code into a fresh page-aligned executable span and returns
+  /// its entry address, or nullptr when the reservation failed or the
+  /// arena is exhausted. On return the span is PROT_READ|PROT_EXEC.
+  const void *install(const std::vector<uint8_t> &Code);
+
+  /// Bytes of address space consumed (page-rounded), for accounting.
+  size_t bytesUsed() const { return Cursor; }
+
+  /// True when the initial reservation succeeded.
+  bool valid() const { return Base != nullptr; }
+
+private:
+  uint8_t *Base = nullptr;
+  size_t Cap = 0;
+  size_t Cursor = 0;
+  size_t PageSize = 4096;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_JIT_CODEARENA_H

@@ -1,0 +1,75 @@
+//===- jit/JitCache.h - Tiered native-code cache ---------------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-Interpreter cache of compiled DecodedFunctions with invocation-count
+/// tiering: a function runs under the decoded engine until it has been
+/// entered JitThreshold times, then gets compiled once and runs native from
+/// there on. Compilation failures are remembered so a function that cannot
+/// be compiled costs one attempt, not one per call.
+///
+/// The cache is *derived* state: everything in it can be rebuilt from the
+/// DecodedFunction it is keyed on, so snapshot restore keeps it (compiled
+/// code embeds no per-Interpreter pointers — see JitAbi.h) and only a
+/// program change (setSharedProgram with a different program) clears it,
+/// because the DecodedFunction keys would dangle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_JIT_JITCACHE_H
+#define SMOKESTACK_JIT_JITCACHE_H
+
+#include "jit/CodeArena.h"
+#include "jit/JitAbi.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace smokestack {
+
+class JitCache {
+public:
+  /// \p Threshold is the number of interpreted invocations before a
+  /// function is compiled; 0 compiles on first call (tests, benchmarks).
+  explicit JitCache(unsigned Threshold) : Threshold(Threshold) {}
+
+  /// Called at function entry. Returns the native entry point when this
+  /// function is hot and compiled, or nullptr to run the decoded engine
+  /// this time (cold, failed to compile, or arena exhausted).
+  JitFn onCall(const DecodedFunction &DF);
+
+  /// Drops every entry (the keys are about to dangle). Sealed code pages
+  /// stay mapped RX in the arena — W^X forbids reopening them — but are
+  /// unreachable once their entries are gone.
+  void clear() { Entries.clear(); }
+
+  /// Number of functions with installed native code (tests, -stats).
+  uint64_t compiledFunctions() const {
+    uint64_t N = 0;
+    for (const auto &[_, E] : Entries)
+      if (E.Fn)
+        ++N;
+    return N;
+  }
+
+  /// Page-rounded bytes of sealed code.
+  uint64_t codeBytes() const { return Arena.bytesUsed(); }
+
+private:
+  struct Entry {
+    JitFn Fn = nullptr;
+    uint64_t Invocations = 0;
+    bool Failed = false;
+  };
+
+  unsigned Threshold;
+  CodeArena Arena;
+  std::unordered_map<const DecodedFunction *, Entry> Entries;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_JIT_JITCACHE_H

@@ -1,0 +1,783 @@
+//===- jit/JitCompiler.cpp - DecodedFunction -> x86-64 stencils -----------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One DecodedInst becomes one stencil instance: a fixed byte template with
+// its holes patched in place (register-file disp32s, immediates, branch
+// rel32s, shim addresses). The emitted body reproduces the decoded
+// dispatch loop of Interpreter::callDecoded bit for bit:
+//
+//  * every instruction is preceded by the fuel/cancel prologue in the
+//    interpreter's exact order (fuel==0 trap first, then the
+//    (FuelLeft & JitCancelMask)==0 cancel poll, then the decrement), so
+//    ExecResult::Steps and every trap point land on the same instruction;
+//  * hot opcodes (ALU, shifts, compares, selects, geps, casts, branches,
+//    stack-segment loads/stores) are inlined; everything else — and the
+//    out-of-segment tail of loads/stores — funnels through the
+//    ssJitInterpOne shim, which *is* the interpreter's switch;
+//  * inlined stores replicate SimMemory's touched-range bookkeeping so
+//    snapshot restore and request-boundary hygiene see identical ranges.
+//
+// Layout of a compiled function:
+//
+//   [prologue]  pin rbx/r13/r14/r15/r12/rbp from the JitContext
+//   [body]      one stencil per DecodedInst, in decode order
+//   [ool]       out-of-line slow paths for inlined loads/stores
+//   [fuel]      shared OutOfFuel stub -> trap epilogue
+//   [exit]      status 0 (returned) / 1 (trapped), restore, ret
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JitCompiler.h"
+
+#include "ir/Instructions.h"
+#include "jit/JitAbi.h"
+#include "vm/DecodedFunction.h"
+#include "vm/SimMemory.h"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+using namespace smokestack;
+
+#if defined(__x86_64__) && !defined(_WIN32)
+
+namespace {
+
+// x86-64 register numbers (low 3 bits go in ModRM/SIB; bit 3 in REX).
+enum HReg : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+/// Branch-fixup targets that are not decoded-instruction indices.
+enum class Label { FuelStub, TrapExit, OkExit };
+
+/// A minimal x86-64 byte emitter: just enough encoder to instantiate the
+/// stencil set below. Every emit helper appends to Code; rel32 holes are
+/// recorded and patched once all positions are known.
+class Emitter {
+public:
+  std::vector<uint8_t> Code;
+
+  struct Fixup {
+    size_t Pos;       ///< Offset of the rel32 hole.
+    bool IsInst;      ///< Target is a decoded-instruction index...
+    uint32_t Inst;    ///< ...this one, or
+    Label L;          ///< ...this shared label.
+  };
+  std::vector<Fixup> Fixups;
+
+  void u8(uint8_t B) { Code.push_back(B); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Code.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Code.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  }
+
+  size_t pos() const { return Code.size(); }
+
+  /// REX prefix; emitted when any bit is set (W, or extended registers).
+  void rex(bool W, uint8_t Reg, uint8_t Index, uint8_t Base) {
+    uint8_t B = 0x40 | (W ? 8 : 0) | ((Reg >> 3) << 2) | ((Index >> 3) << 1) |
+                (Base >> 3);
+    if (B != 0x40 || W)
+      u8(B);
+  }
+
+  /// ModRM(+SIB+disp) for [Base + Disp]. Handles the RSP/R12 SIB escape
+  /// and the RBP/R13 mandatory-displacement cases.
+  void mem(uint8_t Reg, uint8_t Base, int32_t Disp) {
+    uint8_t R = Reg & 7, B = Base & 7;
+    uint8_t Mod;
+    if (Disp == 0 && B != 5)
+      Mod = 0;
+    else if (Disp >= -128 && Disp <= 127)
+      Mod = 1;
+    else
+      Mod = 2;
+    u8(static_cast<uint8_t>((Mod << 6) | (R << 3) | B));
+    if (B == 4)
+      u8(0x24); // SIB: scale 1, no index, base
+    if (Mod == 1)
+      u8(static_cast<uint8_t>(Disp));
+    else if (Mod == 2)
+      u32(static_cast<uint32_t>(Disp));
+  }
+
+  /// ModRM+SIB for [Base + Index] (scale 1, no displacement; bases with
+  /// low bits 101 would need a disp8 — unused here).
+  void memIndex(uint8_t Reg, uint8_t Base, uint8_t Index) {
+    assert((Base & 7) != 5 && "base needing disp8 unsupported");
+    u8(static_cast<uint8_t>((0 << 6) | ((Reg & 7) << 3) | 4));
+    u8(static_cast<uint8_t>((0 << 6) | ((Index & 7) << 3) | (Base & 7)));
+  }
+
+  void modrmReg(uint8_t Reg, uint8_t Rm) {
+    u8(static_cast<uint8_t>(0xC0 | ((Reg & 7) << 3) | (Rm & 7)));
+  }
+
+  //===--- loads/stores against the register file [rbx + idx*8] ---------===//
+
+  void loadSlot(uint8_t Dst, uint32_t Idx) { // mov Dst, [rbx + Idx*8]
+    rex(true, Dst, 0, RBX);
+    u8(0x8B);
+    mem(Dst, RBX, static_cast<int32_t>(Idx) * 8);
+  }
+  void storeSlot(uint32_t Idx, uint8_t Src) { // mov [rbx + Idx*8], Src
+    rex(true, Src, 0, RBX);
+    u8(0x89);
+    mem(Src, RBX, static_cast<int32_t>(Idx) * 8);
+  }
+
+  //===--- reg/reg and reg/mem ALU -------------------------------------===//
+
+  void movRR(uint8_t Dst, uint8_t Src) { // mov Dst, Src (64-bit)
+    rex(true, Src, 0, Dst);
+    u8(0x89);
+    modrmReg(Src, Dst);
+  }
+  /// Opcode is the r64, r/m64 form (add=0x03, sub=0x2B, and=0x23,
+  /// or=0x0B, xor=0x33, cmp=0x3B).
+  void aluRegSlot(uint8_t Op, uint8_t Dst, uint32_t Idx) {
+    rex(true, Dst, 0, RBX);
+    u8(Op);
+    mem(Dst, RBX, static_cast<int32_t>(Idx) * 8);
+  }
+  void imulRegSlot(uint8_t Dst, uint32_t Idx) { // imul Dst, [rbx+Idx*8]
+    rex(true, Dst, 0, RBX);
+    u8(0x0F);
+    u8(0xAF);
+    mem(Dst, RBX, static_cast<int32_t>(Idx) * 8);
+  }
+  void movImm64(uint8_t Dst, uint64_t V) { // movabs Dst, V
+    rex(true, 0, 0, Dst);
+    u8(static_cast<uint8_t>(0xB8 | (Dst & 7)));
+    u64(V);
+  }
+  void movImm32(uint8_t Dst, uint32_t V) { // mov Dst32, V (zero-extends)
+    rex(false, 0, 0, Dst);
+    u8(static_cast<uint8_t>(0xB8 | (Dst & 7)));
+    u32(V);
+  }
+  void addRR(uint8_t Dst, uint8_t Src) { // add Dst, Src
+    rex(true, Src, 0, Dst);
+    u8(0x01);
+    modrmReg(Src, Dst);
+  }
+  /// add Dst, Imm when it fits an imm32 (sign-extended); else via scratch
+  /// (must differ from Dst).
+  void addImm(uint8_t Dst, int64_t Imm, uint8_t Scratch) {
+    if (Imm == 0)
+      return;
+    if (Imm >= std::numeric_limits<int32_t>::min() &&
+        Imm <= std::numeric_limits<int32_t>::max()) {
+      rex(true, 0, 0, Dst);
+      u8(0x81);
+      modrmReg(0, Dst); // /0 = add
+      u32(static_cast<uint32_t>(static_cast<int32_t>(Imm)));
+    } else {
+      movImm64(Scratch, static_cast<uint64_t>(Imm));
+      addRR(Dst, Scratch);
+    }
+  }
+  void cmpImm32(uint8_t Reg, uint32_t V) { // cmp Reg, imm32 (sign-ext)
+    rex(true, 0, 0, Reg);
+    u8(0x81);
+    modrmReg(7, Reg); // /7 = cmp
+    u32(V);
+  }
+  void cmpRR(uint8_t A, uint8_t B) { // cmp A, B
+    rex(true, B, 0, A);
+    u8(0x39);
+    modrmReg(B, A);
+  }
+  void cmpRegMem(uint8_t Reg, uint8_t Base, int32_t Disp) {
+    rex(true, Reg, 0, Base); // cmp Reg, [Base+Disp]
+    u8(0x3B);
+    mem(Reg, Base, Disp);
+  }
+  void cmpSlotZero(uint32_t Idx) { // cmp qword [rbx + Idx*8], 0
+    rex(true, 0, 0, RBX);
+    u8(0x83);
+    mem(7, RBX, static_cast<int32_t>(Idx) * 8); // /7 = cmp, imm8
+    u8(0x00);
+  }
+  void testRR(uint8_t A) { // test A, A (64-bit)
+    rex(true, A, 0, A);
+    u8(0x85);
+    modrmReg(A, A);
+  }
+  void testEaxImm32(uint32_t V) { // test eax, imm32
+    u8(0xA9);
+    u32(V);
+  }
+  void decReg(uint8_t Reg) { // dec Reg (64-bit)
+    rex(true, 0, 0, Reg);
+    u8(0xFF);
+    modrmReg(1, Reg); // /1 = dec
+  }
+  void shiftCl(uint8_t Reg, uint8_t Sub) { // D3 /Sub: 4=shl 5=shr 7=sar
+    rex(true, 0, 0, Reg);
+    u8(0xD3);
+    modrmReg(Sub, Reg);
+  }
+  void sarImm(uint8_t Reg, uint8_t N) { // sar Reg, N
+    rex(true, 0, 0, Reg);
+    u8(0xC1);
+    modrmReg(7, Reg);
+    u8(N);
+  }
+  void cmovRR(uint8_t Cc, uint8_t Dst, uint8_t Src) { // cmovcc Dst, Src
+    rex(true, Dst, 0, Src);
+    u8(0x0F);
+    u8(0x40 | Cc);
+    modrmReg(Dst, Src);
+  }
+  void setccAl(uint8_t Cc) { // setcc al
+    u8(0x0F);
+    u8(0x90 | Cc);
+    u8(0xC0);
+  }
+  void imulImm32(uint8_t Dst, uint8_t Src, uint32_t V) {
+    rex(true, Dst, 0, Src); // imul Dst, Src, imm32 (sign-extended)
+    u8(0x69);
+    modrmReg(Dst, Src);
+    u32(V);
+  }
+
+  //===--- width conversions on rax/rdx --------------------------------===//
+
+  /// Zero upper bits so rax holds maskToWidth(rax, W).
+  void maskAcc(unsigned W) {
+    if (W >= 8)
+      return;
+    if (W == 4) { // mov eax, eax
+      u8(0x89);
+      u8(0xC0);
+    } else if (W == 2) { // movzx eax, ax
+      u8(0x0F);
+      u8(0xB7);
+      u8(0xC0);
+    } else { // movzx eax, al
+      u8(0x0F);
+      u8(0xB6);
+      u8(0xC0);
+    }
+  }
+  /// Sign-extend the low W bytes of Reg (rax or rdx) to 64 bits.
+  void sext(uint8_t Reg, unsigned W) {
+    if (W >= 8)
+      return;
+    uint8_t Rm = static_cast<uint8_t>(0xC0 | ((Reg & 7) << 3) | (Reg & 7));
+    if (W == 4) { // movsxd Reg, Reg32
+      u8(0x48);
+      u8(0x63);
+      u8(Rm);
+    } else if (W == 2) { // movsx Reg, Reg16
+      u8(0x48);
+      u8(0x0F);
+      u8(0xBF);
+      u8(Rm);
+    } else { // movsx Reg, Reg8
+      u8(0x48);
+      u8(0x0F);
+      u8(0xBE);
+      u8(Rm);
+    }
+  }
+
+  //===--- control flow -------------------------------------------------===//
+
+  void jccInst(uint8_t Cc, uint32_t TargetInst) { // jcc rel32 -> inst
+    u8(0x0F);
+    u8(0x80 | Cc);
+    Fixups.push_back({pos(), true, TargetInst, Label::OkExit});
+    u32(0);
+  }
+  void jccLabel(uint8_t Cc, Label L) {
+    u8(0x0F);
+    u8(0x80 | Cc);
+    Fixups.push_back({pos(), false, 0, L});
+    u32(0);
+  }
+  void jmpInst(uint32_t TargetInst) {
+    u8(0xE9);
+    Fixups.push_back({pos(), true, TargetInst, Label::OkExit});
+    u32(0);
+  }
+  void jmpLabel(Label L) {
+    u8(0xE9);
+    Fixups.push_back({pos(), false, 0, L});
+    u32(0);
+  }
+  /// jcc rel32 to a code offset known later; returns the hole position.
+  size_t jccHole(uint8_t Cc) {
+    u8(0x0F);
+    u8(0x80 | Cc);
+    size_t P = pos();
+    u32(0);
+    return P;
+  }
+  size_t jmpHole() {
+    u8(0xE9);
+    size_t P = pos();
+    u32(0);
+    return P;
+  }
+  void patchRel32(size_t Hole, size_t Target) {
+    int64_t Rel = static_cast<int64_t>(Target) -
+                  static_cast<int64_t>(Hole + 4);
+    assert(Rel >= std::numeric_limits<int32_t>::min() &&
+           Rel <= std::numeric_limits<int32_t>::max());
+    uint32_t V = static_cast<uint32_t>(static_cast<int32_t>(Rel));
+    std::memcpy(&Code[Hole], &V, 4);
+  }
+  void jmpRel8(int8_t Rel) {
+    u8(0xEB);
+    u8(static_cast<uint8_t>(Rel));
+  }
+  void jccRel8(uint8_t Cc, int8_t Rel) {
+    u8(0x70 | Cc);
+    u8(static_cast<uint8_t>(Rel));
+  }
+
+  /// mov rdi, r13; mov rsi, rbx; mov edx, IP; movabs rax, Fn; call rax.
+  void callShim3(uint64_t Fn, uint32_t IP) {
+    movRR(RDI, R13);
+    movRR(RSI, RBX);
+    movImm32(RDX, IP);
+    movImm64(RAX, Fn);
+    u8(0xFF);
+    u8(0xD0); // call rax
+  }
+  void callShim1(uint64_t Fn) { // mov rdi, r13; movabs rax, Fn; call rax
+    movRR(RDI, R13);
+    movImm64(RAX, Fn);
+    u8(0xFF);
+    u8(0xD0);
+  }
+  void testEax() { // test eax, eax
+    u8(0x85);
+    u8(0xC0);
+  }
+};
+
+// Condition codes.
+constexpr uint8_t CC_E = 0x4, CC_NE = 0x5, CC_B = 0x2, CC_AE = 0x3,
+                  CC_BE = 0x6, CC_A = 0x7, CC_L = 0xC, CC_GE = 0xD,
+                  CC_LE = 0xE, CC_G = 0xF, CC_Z = 0x4, CC_NZ = 0x5;
+
+uint8_t setccForPredicate(ICmpInst::Predicate P) {
+  switch (P) {
+  case ICmpInst::Predicate::EQ:
+    return CC_E;
+  case ICmpInst::Predicate::NE:
+    return CC_NE;
+  case ICmpInst::Predicate::ULT:
+    return CC_B;
+  case ICmpInst::Predicate::ULE:
+    return CC_BE;
+  case ICmpInst::Predicate::UGT:
+    return CC_A;
+  case ICmpInst::Predicate::UGE:
+    return CC_AE;
+  case ICmpInst::Predicate::SLT:
+    return CC_L;
+  case ICmpInst::Predicate::SLE:
+    return CC_LE;
+  case ICmpInst::Predicate::SGT:
+    return CC_G;
+  case ICmpInst::Predicate::SGE:
+    return CC_GE;
+  default:
+    return 0xFF; // float predicate: not inlineable
+  }
+}
+
+bool isSignedPredicate(ICmpInst::Predicate P) {
+  switch (P) {
+  case ICmpInst::Predicate::SLT:
+  case ICmpInst::Predicate::SLE:
+  case ICmpInst::Predicate::SGT:
+  case ICmpInst::Predicate::SGE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// One pending out-of-line slow path for an inlined load/store.
+struct OolBlock {
+  size_t JccHole;   ///< rel32 hole of the `ja slow` in the fast path.
+  size_t Resume;    ///< Code offset to jump back to.
+  uint32_t IP;      ///< Decoded-instruction index for ssJitInterpOne.
+};
+
+} // namespace
+
+std::vector<uint8_t> smokestack::compileDecoded(const DecodedFunction &DF) {
+  // A backstop against pathological inputs: at the observed ~60 bytes per
+  // stencil this caps emitted code well inside rel32 range and the arena.
+  if (DF.Insts.size() > (1u << 16))
+    return {};
+
+  Emitter E;
+  std::vector<size_t> InstOff(DF.Insts.size(), 0);
+  std::vector<OolBlock> Ools;
+
+  const auto InterpOne = reinterpret_cast<uint64_t>(&ssJitInterpOne);
+  const auto PollCancel = reinterpret_cast<uint64_t>(&ssJitPollCancel);
+  const auto OutOfFuel = reinterpret_cast<uint64_t>(&ssJitOutOfFuel);
+
+  //===--- prologue ------------------------------------------------------===//
+  // Entry: rdi = JitContext*, rsi = Regs. Pin the six callee-saved
+  // registers per JitAbi.h; sub rsp,8 keeps calls 16-byte aligned.
+  E.u8(0x55);             // push rbp
+  E.u8(0x53);             // push rbx
+  E.u8(0x41); E.u8(0x54); // push r12
+  E.u8(0x41); E.u8(0x55); // push r13
+  E.u8(0x41); E.u8(0x56); // push r14
+  E.u8(0x41); E.u8(0x57); // push r15
+  E.u8(0x48); E.u8(0x83); E.u8(0xEC); E.u8(0x08); // sub rsp, 8
+  E.movRR(RBX, RSI); // rbx = Regs
+  E.movRR(R13, RDI); // r13 = Ctx
+  auto loadCtxField = [&](uint8_t Dst, size_t Off) {
+    E.rex(true, Dst, 0, RDI);
+    E.u8(0x8B);
+    E.mem(Dst, RDI, static_cast<int32_t>(Off));
+  };
+  loadCtxField(R14, offsetof(JitContext, FuelLeft));
+  loadCtxField(R15, offsetof(JitContext, StackHost));
+  loadCtxField(R12, offsetof(JitContext, StackTouchedLo));
+  loadCtxField(RBP, offsetof(JitContext, StackTouchedHi));
+
+  //===--- per-instruction stencils --------------------------------------===//
+  for (uint32_t IP = 0; IP != DF.Insts.size(); ++IP) {
+    const DecodedInst &DI = DF.Insts[IP];
+    InstOff[IP] = E.pos();
+    unsigned W = DI.Width;
+
+    // Fuel/cancel prologue, in the interpreter's exact order: trap on
+    // fuel==0, poll cancel when (FuelLeft & JitCancelMask)==0, then
+    // decrement.
+    E.rex(true, RAX, 0, R14); // mov rax, [r14]
+    E.u8(0x8B);
+    E.mem(RAX, R14, 0);
+    E.testRR(RAX);
+    E.jccLabel(CC_Z, Label::FuelStub);
+    E.testEaxImm32(static_cast<uint32_t>(JitCancelMask));
+    {
+      // jnz skip over the poll block (fixed 26 bytes).
+      E.jccRel8(CC_NZ, 26);
+      size_t PollStart = E.pos();
+      E.callShim1(PollCancel); // 3 + 10 + 2
+      E.testEax();             // 2
+      E.jccLabel(CC_NZ, Label::TrapExit); // 6
+      E.rex(true, RAX, 0, R14); // reload fuel after the call: 3
+      E.u8(0x8B);
+      E.mem(RAX, R14, 0);
+      assert(E.pos() - PollStart == 26 && "cancel poll stencil size");
+      (void)PollStart;
+    }
+    E.decReg(RAX);
+    E.rex(true, RAX, 0, R14); // mov [r14], rax
+    E.u8(0x89);
+    E.mem(RAX, R14, 0);
+
+    switch (DI.Op) {
+    case DecodedOp::Add:
+    case DecodedOp::Sub:
+    case DecodedOp::Mul: {
+      E.loadSlot(RAX, DI.A);
+      if (DI.Op == DecodedOp::Mul)
+        E.imulRegSlot(RAX, DI.B);
+      else
+        E.aluRegSlot(DI.Op == DecodedOp::Add ? 0x03 : 0x2B, RAX, DI.B);
+      E.maskAcc(W);
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::And:
+    case DecodedOp::Or:
+    case DecodedOp::Xor: {
+      // The decoded engine does not re-mask these (operands are already
+      // in-width), so neither do we.
+      uint8_t Op = DI.Op == DecodedOp::And ? 0x23
+                   : DI.Op == DecodedOp::Or ? 0x0B
+                                            : 0x33;
+      E.loadSlot(RAX, DI.A);
+      E.aluRegSlot(Op, RAX, DI.B);
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::Shl: {
+      E.loadSlot(RCX, DI.B);
+      E.loadSlot(RAX, DI.A);
+      E.shiftCl(RAX, 4); // shl rax, cl
+      E.maskAcc(W);
+      E.u8(0x31); E.u8(0xD2); // xor edx, edx
+      E.cmpImm32(RCX, W * 8u);
+      E.cmovRR(CC_AE, RAX, RDX); // width-exceeding shift -> 0
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::LShr: {
+      E.loadSlot(RCX, DI.B);
+      E.loadSlot(RAX, DI.A);
+      E.shiftCl(RAX, 5); // shr rax, cl
+      E.u8(0x31); E.u8(0xD2); // xor edx, edx
+      E.cmpImm32(RCX, W * 8u);
+      E.cmovRR(CC_AE, RAX, RDX);
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::AShr: {
+      E.loadSlot(RCX, DI.B);
+      E.loadSlot(RAX, DI.A);
+      E.sext(RAX, W);
+      E.movRR(RDX, RAX);
+      E.sarImm(RDX, 63); // rdx = SL < 0 ? -1 : 0 (the saturated result)
+      E.shiftCl(RAX, 7); // sar rax, cl
+      E.cmpImm32(RCX, W * 8u);
+      E.cmovRR(CC_AE, RAX, RDX);
+      E.maskAcc(W);
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::ICmpInt: {
+      auto P = static_cast<ICmpInst::Predicate>(DI.C);
+      uint8_t Cc = setccForPredicate(P);
+      if (Cc == 0xFF) { // defensive: decoder never emits this
+        E.callShim3(InterpOne, IP);
+        E.testEax();
+        E.jccLabel(CC_NZ, Label::TrapExit);
+        break;
+      }
+      E.loadSlot(RAX, DI.A);
+      E.loadSlot(RDX, DI.B);
+      if (isSignedPredicate(P)) {
+        E.sext(RAX, W);
+        E.sext(RDX, W);
+      }
+      E.cmpRR(RAX, RDX);
+      E.setccAl(Cc);
+      E.u8(0x0F); E.u8(0xB6); E.u8(0xC0); // movzx eax, al
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::CastCopy: {
+      E.loadSlot(RAX, DI.A);
+      E.maskAcc(W);
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::CastSExt: {
+      E.loadSlot(RAX, DI.A);
+      E.sext(RAX, DI.C); // source width
+      E.maskAcc(W);
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::Select: {
+      E.loadSlot(RAX, DI.B); // true value
+      E.loadSlot(RDX, DI.C); // false value
+      E.cmpSlotZero(DI.A);
+      E.cmovRR(CC_E, RAX, RDX);
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::GepConst: {
+      E.loadSlot(RAX, DI.A);
+      E.addImm(RAX, DI.Imm, RDX);
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::GepIndex: {
+      E.loadSlot(RAX, DI.A);
+      E.loadSlot(RDX, DI.B);
+      if (DI.C <= static_cast<uint32_t>(std::numeric_limits<int32_t>::max()))
+        E.imulImm32(RDX, RDX, DI.C);
+      else { // scale would sign-extend as imm32; go through a register
+        E.movImm64(RCX, DI.C);
+        E.rex(true, RDX, 0, RCX); // imul rdx, rcx
+        E.u8(0x0F); E.u8(0xAF);
+        E.modrmReg(RDX, RCX);
+      }
+      E.addRR(RAX, RDX);
+      E.addImm(RAX, DI.Imm, RDX);
+      E.storeSlot(DI.Dest, RAX);
+      break;
+    }
+    case DecodedOp::Load: {
+      // Stack-segment fast path; anything else (globals, heap, rodata,
+      // unmapped) takes the interpreter shim out of line.
+      E.loadSlot(RAX, DI.A);
+      E.rex(true, RCX, 0, RAX); // lea rcx, [rax - StackBase]
+      E.u8(0x8D);
+      E.mem(RCX, RAX, -static_cast<int32_t>(MemoryMap::StackBase));
+      E.cmpImm32(RCX, static_cast<uint32_t>(MemoryMap::StackSize - W));
+      Ools.push_back({E.jccHole(CC_A), 0, IP});
+      if (W == 1) { // movzx eax, byte [r15 + rcx]
+        E.rex(false, RAX, RCX, R15);
+        E.u8(0x0F); E.u8(0xB6);
+        E.memIndex(RAX, R15, RCX);
+      } else if (W == 2) { // movzx eax, word [r15 + rcx]
+        E.rex(false, RAX, RCX, R15);
+        E.u8(0x0F); E.u8(0xB7);
+        E.memIndex(RAX, R15, RCX);
+      } else if (W == 4) { // mov eax, dword [r15 + rcx]
+        E.rex(false, RAX, RCX, R15);
+        E.u8(0x8B);
+        E.memIndex(RAX, R15, RCX);
+      } else { // mov rax, qword [r15 + rcx]
+        E.rex(true, RAX, RCX, R15);
+        E.u8(0x8B);
+        E.memIndex(RAX, R15, RCX);
+      }
+      E.storeSlot(DI.Dest, RAX);
+      Ools.back().Resume = E.pos();
+      break;
+    }
+    case DecodedOp::Store: {
+      E.loadSlot(RDX, DI.A); // value
+      E.loadSlot(RAX, DI.B); // address
+      E.rex(true, RCX, 0, RAX); // lea rcx, [rax - StackBase]
+      E.u8(0x8D);
+      E.mem(RCX, RAX, -static_cast<int32_t>(MemoryMap::StackBase));
+      E.cmpImm32(RCX, static_cast<uint32_t>(MemoryMap::StackSize - W));
+      Ools.push_back({E.jccHole(CC_A), 0, IP});
+      if (W == 1) { // mov byte [r15 + rcx], dl
+        E.rex(false, RDX, RCX, R15);
+        E.u8(0x88);
+        E.memIndex(RDX, R15, RCX);
+      } else if (W == 2) { // mov word [r15 + rcx], dx
+        E.u8(0x66);
+        E.rex(false, RDX, RCX, R15);
+        E.u8(0x89);
+        E.memIndex(RDX, R15, RCX);
+      } else if (W == 4) { // mov dword [r15 + rcx], edx
+        E.rex(false, RDX, RCX, R15);
+        E.u8(0x89);
+        E.memIndex(RDX, R15, RCX);
+      } else { // mov qword [r15 + rcx], rdx
+        E.rex(true, RDX, RCX, R15);
+        E.u8(0x89);
+        E.memIndex(RDX, R15, RCX);
+      }
+      // ByteArena::noteTouched(Off, Off + W), verbatim:
+      //   if (Off < TouchedLo) TouchedLo = Off;
+      //   if (Off + W > TouchedHi) TouchedHi = Off + W;
+      E.cmpRegMem(RCX, R12, 0); // cmp rcx, [r12]
+      E.jccRel8(CC_AE, 4);
+      E.rex(true, RCX, 0, R12); // mov [r12], rcx (4 bytes)
+      E.u8(0x89);
+      E.mem(RCX, R12, 0);
+      E.rex(true, RSI, 0, RCX); // lea rsi, [rcx + W]
+      E.u8(0x8D);
+      E.mem(RSI, RCX, static_cast<int32_t>(W));
+      E.cmpRegMem(RSI, RBP, 0); // cmp rsi, [rbp]
+      E.jccRel8(CC_BE, 4);
+      E.rex(true, RSI, 0, RBP); // mov [rbp], rsi (4 bytes)
+      E.u8(0x89);
+      E.mem(RSI, RBP, 0);
+      Ools.back().Resume = E.pos();
+      break;
+    }
+    case DecodedOp::Br:
+      E.jmpInst(static_cast<uint32_t>(DI.A));
+      break;
+    case DecodedOp::CondBr:
+      E.cmpSlotZero(DI.A);
+      E.jccInst(CC_NE, static_cast<uint32_t>(DI.B));
+      E.jmpInst(static_cast<uint32_t>(DI.C));
+      break;
+    case DecodedOp::Ret:
+      E.loadSlot(RAX, DI.A);
+      E.rex(true, RAX, 0, R13); // mov [r13 + RetValue], rax
+      E.u8(0x89);
+      E.mem(RAX, R13, static_cast<int32_t>(offsetof(JitContext, RetValue)));
+      E.jmpLabel(Label::OkExit);
+      break;
+    case DecodedOp::RetVoid:
+      E.jmpLabel(Label::OkExit);
+      break;
+    default:
+      // Everything else — allocas, calls, division/remainder, all floating
+      // point, FP-involved casts, observed geps, unreachable — runs the
+      // interpreter's own switch via the shim.
+      E.callShim3(InterpOne, IP);
+      E.testEax();
+      E.jccLabel(CC_NZ, Label::TrapExit);
+      break;
+    }
+  }
+
+  //===--- out-of-line slow paths ----------------------------------------===//
+  for (const OolBlock &B : Ools) {
+    E.patchRel32(B.JccHole, E.pos());
+    E.callShim3(InterpOne, B.IP);
+    E.testEax();
+    E.jccLabel(CC_NZ, Label::TrapExit);
+    size_t Back = E.jmpHole();
+    E.patchRel32(Back, B.Resume);
+  }
+
+  //===--- shared exits ---------------------------------------------------===//
+  size_t FuelStubOff = E.pos();
+  E.callShim1(OutOfFuel); // falls through into the trap exit
+  size_t TrapOff = E.pos();
+  E.movImm32(RAX, 1);
+  E.jmpRel8(2); // over the ok exit's xor
+  size_t OkOff = E.pos();
+  E.u8(0x31); E.u8(0xC0); // xor eax, eax
+  // restore (trap path falls in via the jmpRel8 landing here):
+  E.u8(0x48); E.u8(0x83); E.u8(0xC4); E.u8(0x08); // add rsp, 8
+  E.u8(0x41); E.u8(0x5F); // pop r15
+  E.u8(0x41); E.u8(0x5E); // pop r14
+  E.u8(0x41); E.u8(0x5D); // pop r13
+  E.u8(0x41); E.u8(0x5C); // pop r12
+  E.u8(0x5B);             // pop rbx
+  E.u8(0x5D);             // pop rbp
+  E.u8(0xC3);             // ret
+
+  //===--- patch all recorded holes ---------------------------------------===//
+  for (const Emitter::Fixup &F : E.Fixups) {
+    size_t Target;
+    if (F.IsInst) {
+      assert(F.Inst < InstOff.size() && "branch to missing instruction");
+      Target = InstOff[F.Inst];
+    } else {
+      Target = F.L == Label::FuelStub ? FuelStubOff
+               : F.L == Label::TrapExit ? TrapOff
+                                        : OkOff;
+    }
+    E.patchRel32(F.Pos, Target);
+  }
+
+  return std::move(E.Code);
+}
+
+#else // non-x86-64 build: never compiled, caller falls back to decoded.
+
+std::vector<uint8_t> smokestack::compileDecoded(const DecodedFunction &) {
+  return {};
+}
+
+#endif

@@ -1,0 +1,34 @@
+//===- jit/JitCompiler.h - DecodedFunction -> x86-64 stencils --*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline copy-and-patch compiler: lowers one DecodedFunction to
+/// x86-64 machine code by concatenating per-opcode byte stencils and
+/// patching their holes (register-file displacements, immediates, branch
+/// rel32s, shim addresses). See DESIGN.md §14 for the stencil catalogue
+/// and JitAbi.h for the calling contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_JIT_JITCOMPILER_H
+#define SMOKESTACK_JIT_JITCOMPILER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace smokestack {
+
+struct DecodedFunction;
+
+/// Compiles \p DF to position-independent machine code implementing the
+/// JitFn contract. Returns an empty vector when the function cannot be
+/// compiled (pathologically large, or a non-x86-64 build); callers fall
+/// back to the decoded engine.
+std::vector<uint8_t> compileDecoded(const DecodedFunction &DF);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_JIT_JITCOMPILER_H

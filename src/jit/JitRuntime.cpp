@@ -1,0 +1,353 @@
+//===- jit/JitRuntime.cpp - Shims called by compiled code -----------------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The generic slow path behind every stencil the compiler does not inline:
+// ssJitInterpOne executes exactly one DecodedInst with the interpreter's
+// own semantics — the case bodies below are the decoded dispatch loop of
+// Interpreter::callDecoded, case for case, sharing its helpers
+// (materializeAlloca, dispatchBuiltin, SimMemory, vm/SlotBits.h) through
+// the JitShims friendship. That construction is what makes "bit-identical
+// to the decoded engine" a structural property instead of a test wish:
+// anything subtle (RNG draw order inside builtins, trap messages, signed
+// division edge cases, observer callbacks) runs the same statements either
+// way.
+//
+// Control flow (Br/CondBr/Ret/RetVoid) is always inlined by the compiler
+// and must never arrive here; fuel for the instruction was already
+// decremented by the emitted per-instruction prologue.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instructions.h"
+#include "jit/JitAbi.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "vm/DecodedFunction.h"
+#include "vm/Interpreter.h"
+#include "vm/SlotBits.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace smokestack {
+
+/// Friend-of-Interpreter implementation of the C shims. One decoded
+/// instruction per call; returns 0 to continue, 1 on trap.
+struct JitShims {
+  // The emitted cancel-poll schedule must match the interpreter's; the
+  // constant is private, so the check lives here with friend access.
+  static_assert(Interpreter::CancelCheckMask == JitCancelMask,
+                "JitAbi.h's JitCancelMask is out of sync with the "
+                "interpreter's poll schedule");
+
+  static uint64_t interpOne(JitContext *Ctx, uint64_t *Regs, uint64_t IP);
+  static uint64_t pollCancel(JitContext *Ctx);
+  static void outOfFuel(JitContext *Ctx);
+};
+
+uint64_t JitShims::interpOne(JitContext *Ctx, uint64_t *Regs, uint64_t IP) {
+  Interpreter &I = *Ctx->Interp;
+  const DecodedFunction &DF = *Ctx->DF;
+  ExecResult &Result = *Ctx->Result;
+  Function *F = DF.F;
+  const DecodedInst &DI = DF.Insts[IP];
+
+  switch (DI.Op) {
+  case DecodedOp::AllocaStatic:
+  case DecodedOp::AllocaVLA: {
+    uint64_t Count = DI.Op == DecodedOp::AllocaVLA ? Regs[DI.A] : 1;
+    uint64_t Addr =
+        I.materializeAlloca(*F, *cast<AllocaInst>(DI.Src), Count, Result);
+    if (Result.Trap != TrapKind::None)
+      return 1;
+    Regs[DI.Dest] = Addr;
+    return 0;
+  }
+  case DecodedOp::Load: {
+    // Out-of-stack-segment tail of the inlined fast path (globals, heap,
+    // rodata, unmapped).
+    uint64_t Bits = 0;
+    if (!I.Memory.loadInt(Regs[DI.A], DI.Width, Bits)) {
+      Result.Trap = I.Memory.getTrap();
+      Result.Message = I.Memory.getTrapMessage();
+      return 1;
+    }
+    Regs[DI.Dest] = Bits;
+    return 0;
+  }
+  case DecodedOp::Store:
+    if (!I.Memory.storeInt(Regs[DI.B], DI.Width, Regs[DI.A])) {
+      Result.Trap = I.Memory.getTrap();
+      Result.Message = I.Memory.getTrapMessage();
+      return 1;
+    }
+    return 0;
+  case DecodedOp::GepConst:
+    Regs[DI.Dest] = Regs[DI.A] + static_cast<uint64_t>(DI.Imm);
+    return 0;
+  case DecodedOp::GepIndex:
+    Regs[DI.Dest] =
+        Regs[DI.A] + Regs[DI.B] * DI.C + static_cast<uint64_t>(DI.Imm);
+    return 0;
+  case DecodedOp::GepConstObs:
+  case DecodedOp::GepIndexObs: {
+    uint64_t Addr = Regs[DI.A] + static_cast<uint64_t>(DI.Imm);
+    if (DI.Op == DecodedOp::GepIndexObs)
+      Addr += Regs[DI.B] * DI.C;
+    Regs[DI.Dest] = Addr;
+    if (I.TheObserver) {
+      const std::string &Name = DI.Src->getName();
+      I.TheObserver->onVariableAddress(*F, Name.substr(0, Name.size() - 3),
+                                       Addr);
+    }
+    return 0;
+  }
+  case DecodedOp::Add:
+    Regs[DI.Dest] = maskToWidth(Regs[DI.A] + Regs[DI.B], DI.Width);
+    return 0;
+  case DecodedOp::Sub:
+    Regs[DI.Dest] = maskToWidth(Regs[DI.A] - Regs[DI.B], DI.Width);
+    return 0;
+  case DecodedOp::Mul:
+    Regs[DI.Dest] = maskToWidth(Regs[DI.A] * Regs[DI.B], DI.Width);
+    return 0;
+  case DecodedOp::UDiv:
+  case DecodedOp::URem: {
+    uint64_t L = Regs[DI.A], R = Regs[DI.B];
+    if (R == 0) {
+      Result.Trap = TrapKind::DivisionByZero;
+      Result.Message = "division by zero in " + F->getName();
+      return 1;
+    }
+    Regs[DI.Dest] = DI.Op == DecodedOp::UDiv ? L / R : L % R;
+    return 0;
+  }
+  case DecodedOp::SDiv:
+  case DecodedOp::SRem: {
+    int64_t SL = sextFromWidth(Regs[DI.A], DI.Width);
+    int64_t SR = sextFromWidth(Regs[DI.B], DI.Width);
+    if (SR == 0) {
+      Result.Trap = TrapKind::DivisionByZero;
+      Result.Message = "division by zero in " + F->getName();
+      return 1;
+    }
+    uint64_t Out;
+    if (SL == INT64_MIN && SR == -1)
+      Out = static_cast<uint64_t>(SL); // wraps, remainder 0
+    else
+      Out = static_cast<uint64_t>(DI.Op == DecodedOp::SDiv ? SL / SR
+                                                           : SL % SR);
+    Regs[DI.Dest] = maskToWidth(Out, DI.Width);
+    return 0;
+  }
+  case DecodedOp::And:
+    Regs[DI.Dest] = Regs[DI.A] & Regs[DI.B];
+    return 0;
+  case DecodedOp::Or:
+    Regs[DI.Dest] = Regs[DI.A] | Regs[DI.B];
+    return 0;
+  case DecodedOp::Xor:
+    Regs[DI.Dest] = Regs[DI.A] ^ Regs[DI.B];
+    return 0;
+  case DecodedOp::Shl: {
+    uint64_t R = Regs[DI.B];
+    Regs[DI.Dest] =
+        R >= DI.Width * 8u ? 0 : maskToWidth(Regs[DI.A] << R, DI.Width);
+    return 0;
+  }
+  case DecodedOp::LShr: {
+    uint64_t R = Regs[DI.B];
+    Regs[DI.Dest] = R >= DI.Width * 8u ? 0 : Regs[DI.A] >> R;
+    return 0;
+  }
+  case DecodedOp::AShr: {
+    int64_t SL = sextFromWidth(Regs[DI.A], DI.Width);
+    uint64_t R = Regs[DI.B];
+    uint64_t Out = static_cast<uint64_t>(
+        R >= DI.Width * 8u ? (SL < 0 ? -1 : 0) : SL >> R);
+    Regs[DI.Dest] = maskToWidth(Out, DI.Width);
+    return 0;
+  }
+  case DecodedOp::FAdd:
+    Regs[DI.Dest] = fpToSlotW(slotToFPW(Regs[DI.A], DI.Width) +
+                                  slotToFPW(Regs[DI.B], DI.Width),
+                              DI.Width);
+    return 0;
+  case DecodedOp::FSub:
+    Regs[DI.Dest] = fpToSlotW(slotToFPW(Regs[DI.A], DI.Width) -
+                                  slotToFPW(Regs[DI.B], DI.Width),
+                              DI.Width);
+    return 0;
+  case DecodedOp::FMul:
+    Regs[DI.Dest] = fpToSlotW(slotToFPW(Regs[DI.A], DI.Width) *
+                                  slotToFPW(Regs[DI.B], DI.Width),
+                              DI.Width);
+    return 0;
+  case DecodedOp::FDiv:
+    Regs[DI.Dest] = fpToSlotW(slotToFPW(Regs[DI.A], DI.Width) /
+                                  slotToFPW(Regs[DI.B], DI.Width),
+                              DI.Width);
+    return 0;
+  case DecodedOp::ICmpInt: {
+    uint64_t L = Regs[DI.A], R = Regs[DI.B];
+    int64_t SL = sextFromWidth(L, DI.Width);
+    int64_t SR = sextFromWidth(R, DI.Width);
+    bool Out = false;
+    using Pred = ICmpInst::Predicate;
+    switch (static_cast<Pred>(DI.C)) {
+    case Pred::EQ:
+      Out = L == R;
+      break;
+    case Pred::NE:
+      Out = L != R;
+      break;
+    case Pred::ULT:
+      Out = L < R;
+      break;
+    case Pred::ULE:
+      Out = L <= R;
+      break;
+    case Pred::UGT:
+      Out = L > R;
+      break;
+    case Pred::UGE:
+      Out = L >= R;
+      break;
+    case Pred::SLT:
+      Out = SL < SR;
+      break;
+    case Pred::SLE:
+      Out = SL <= SR;
+      break;
+    case Pred::SGT:
+      Out = SL > SR;
+      break;
+    case Pred::SGE:
+      Out = SL >= SR;
+      break;
+    default:
+      smokestack_unreachable("float predicate on integer operands");
+    }
+    Regs[DI.Dest] = Out ? 1 : 0;
+    return 0;
+  }
+  case DecodedOp::ICmpFloat: {
+    double DL = slotToFPW(Regs[DI.A], DI.Width);
+    double DR = slotToFPW(Regs[DI.B], DI.Width);
+    bool Out = false;
+    using Pred = ICmpInst::Predicate;
+    switch (static_cast<Pred>(DI.C)) {
+    case Pred::OEQ:
+      Out = DL == DR;
+      break;
+    case Pred::OLT:
+      Out = DL < DR;
+      break;
+    case Pred::OLE:
+      Out = DL <= DR;
+      break;
+    case Pred::OGT:
+      Out = DL > DR;
+      break;
+    case Pred::OGE:
+      Out = DL >= DR;
+      break;
+    default:
+      smokestack_unreachable("integer predicate on float operands");
+    }
+    Regs[DI.Dest] = Out ? 1 : 0;
+    return 0;
+  }
+  case DecodedOp::CastCopy:
+    Regs[DI.Dest] = maskToWidth(Regs[DI.A], DI.Width);
+    return 0;
+  case DecodedOp::CastSExt:
+    Regs[DI.Dest] = maskToWidth(
+        static_cast<uint64_t>(sextFromWidth(Regs[DI.A], DI.C)), DI.Width);
+    return 0;
+  case DecodedOp::CastFPToSI:
+    Regs[DI.Dest] = maskToWidth(
+        static_cast<uint64_t>(
+            static_cast<int64_t>(slotToFPW(Regs[DI.A], DI.C))),
+        DI.Width);
+    return 0;
+  case DecodedOp::CastSIToFP:
+    Regs[DI.Dest] = fpToSlotW(
+        static_cast<double>(sextFromWidth(Regs[DI.A], DI.C)), DI.Width);
+    return 0;
+  case DecodedOp::CastFPConvert:
+    Regs[DI.Dest] = fpToSlotW(slotToFPW(Regs[DI.A], DI.C), DI.Width);
+    return 0;
+  case DecodedOp::Select:
+    Regs[DI.Dest] = Regs[DI.A] ? Regs[DI.B] : Regs[DI.C];
+    return 0;
+  case DecodedOp::Call: {
+    const DecodedCallSite &CS = DF.CallSites[DI.A];
+    std::vector<uint64_t> CallArgs;
+    CallArgs.reserve(CS.NumArgs);
+    for (uint32_t J = 0; J != CS.NumArgs; ++J)
+      CallArgs.push_back(Regs[DF.CallArgRegs[CS.ArgStart + J]]);
+    uint64_t RetValue = 0;
+    if (CS.IsBuiltin) {
+      if (!I.dispatchBuiltin(CS.Callee, CallArgs, RetValue, Result))
+        return 1;
+    } else {
+      // Recursion re-enters callDecoded, so a hot callee runs its own
+      // compiled body and a cold one stays interpreted — tiering nests.
+      RetValue = I.callDecoded(I.getDecoded(CS.Callee), CallArgs, Result,
+                               static_cast<unsigned>(Ctx->Depth) + 1);
+      if (Result.Trap != TrapKind::None)
+        return 1;
+    }
+    if (DI.Dest != DecodedInst::NoReg)
+      Regs[DI.Dest] = DI.Width ? maskToWidth(RetValue, DI.Width) : RetValue;
+    return 0;
+  }
+  case DecodedOp::Unreachable:
+    Result.Trap = TrapKind::ExplicitTrap;
+    Result.Message = "reached unreachable in " + F->getName();
+    return 1;
+  case DecodedOp::Br:
+  case DecodedOp::CondBr:
+  case DecodedOp::Ret:
+  case DecodedOp::RetVoid:
+    break; // always inlined; falls through to the unreachable below
+  }
+  smokestack_unreachable("control flow routed to the JIT interp shim");
+}
+
+uint64_t JitShims::pollCancel(JitContext *Ctx) {
+  Interpreter &I = *Ctx->Interp;
+  if (I.CancelFlag && I.CancelFlag->load(std::memory_order_relaxed)) {
+    Ctx->Result->Trap = TrapKind::WorkerCrash;
+    Ctx->Result->Message = "cooperative cancel in " + Ctx->DF->F->getName();
+    return 1;
+  }
+  return 0;
+}
+
+void JitShims::outOfFuel(JitContext *Ctx) {
+  Ctx->Result->Trap = TrapKind::OutOfFuel;
+  Ctx->Result->Message =
+      "instruction budget exhausted in " + Ctx->DF->F->getName();
+}
+
+} // namespace smokestack
+
+using namespace smokestack;
+
+extern "C" uint64_t ssJitInterpOne(JitContext *Ctx, uint64_t *Regs,
+                                   uint64_t IP) {
+  return JitShims::interpOne(Ctx, Regs, IP);
+}
+
+extern "C" uint64_t ssJitPollCancel(JitContext *Ctx) {
+  return JitShims::pollCancel(Ctx);
+}
+
+extern "C" void ssJitOutOfFuel(JitContext *Ctx) {
+  return JitShims::outOfFuel(Ctx);
+}

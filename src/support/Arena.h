@@ -60,6 +60,14 @@ public:
       TouchedHi = Hi;
   }
 
+  /// Stable addresses of the touched-range bounds, for code that updates
+  /// them without going through noteTouched() — the JIT's inlined stack
+  /// stores replicate noteTouched's two compares against these slots, so
+  /// both engines keep one set of books. The encoding invariant (empty is
+  /// Lo == capacity, Hi == 0) must be preserved by any writer.
+  uint64_t *touchedLoSlot() { return &TouchedLo; }
+  uint64_t *touchedHiSlot() { return &TouchedHi; }
+
   bool touched() const { return TouchedHi > TouchedLo; }
   uint64_t touchedLo() const { return touched() ? TouchedLo : 0; }
   uint64_t touchedHi() const { return touched() ? TouchedHi : 0; }

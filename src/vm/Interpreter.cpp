@@ -14,8 +14,10 @@
 #include "support/ErrorHandling.h"
 #include "support/Format.h"
 #include "support/Statistics.h"
+#include "jit/JitCache.h"
 #include "vm/DecodedProgram.h"
 #include "vm/Decoder.h"
+#include "vm/SlotBits.h"
 
 #include <cassert>
 #include <cstring>
@@ -32,20 +34,9 @@ uint64_t scalarWidth(const Type *Ty) {
   return Ty->sizeInBytes();
 }
 
-/// Masks \p Bits to the low \p Width bytes.
-uint64_t maskToWidth(uint64_t Bits, uint64_t Width) {
-  if (Width >= 8)
-    return Bits;
-  return Bits & ((uint64_t(1) << (Width * 8)) - 1);
-}
-
-/// Sign-extends the low \p Width bytes of \p Bits to 64 bits.
-int64_t sextFromWidth(uint64_t Bits, uint64_t Width) {
-  if (Width >= 8)
-    return static_cast<int64_t>(Bits);
-  unsigned Shift = static_cast<unsigned>(64 - Width * 8);
-  return static_cast<int64_t>(Bits << Shift) >> Shift;
-}
+// maskToWidth / sextFromWidth / slotToFPW / fpToSlotW live in
+// vm/SlotBits.h, shared with the JIT runtime shims so both engines compute
+// from one definition.
 
 /// Reinterprets a slot as double given its IR type.
 double slotToFP(uint64_t Bits, const Type *Ty) {
@@ -63,32 +54,6 @@ double slotToFP(uint64_t Bits, const Type *Ty) {
 /// Encodes a double into a slot of IR type \p Ty.
 uint64_t fpToSlot(double Value, const Type *Ty) {
   if (Ty->getKind() == Type::Kind::Float) {
-    float F = static_cast<float>(Value);
-    uint32_t Low;
-    std::memcpy(&Low, &F, sizeof(F));
-    return Low;
-  }
-  uint64_t Bits;
-  std::memcpy(&Bits, &Value, sizeof(Value));
-  return Bits;
-}
-
-/// Width-keyed twins of slotToFP/fpToSlot for the decoded engine, which
-/// carries FP slot widths (4 = float, 8 = double) instead of Type pointers.
-double slotToFPW(uint64_t Bits, unsigned Width) {
-  if (Width == 4) {
-    float F;
-    uint32_t Low = static_cast<uint32_t>(Bits);
-    std::memcpy(&F, &Low, sizeof(F));
-    return F;
-  }
-  double D;
-  std::memcpy(&D, &Bits, sizeof(D));
-  return D;
-}
-
-uint64_t fpToSlotW(double Value, unsigned Width) {
-  if (Width == 4) {
     float F = static_cast<float>(Value);
     uint32_t Low;
     std::memcpy(&Low, &F, sizeof(F));
@@ -125,9 +90,27 @@ Interpreter::Interpreter(Module &M, RandomSource *Rng,
     : M(M), Rng(Rng), Opts(Opts) {
   assert(Opts.StackBaseOffset < MemoryMap::StackSize / 2 &&
          "stack base randomization exceeds half the stack");
+  if (this->Opts.UseJit && jitAvailable()) {
+    // The JIT compiles decoded functions; it cannot tier the tree-walker.
+    this->Opts.UseDecodedEngine = true;
+    Jit = std::make_unique<JitCache>(this->Opts.JitThreshold);
+  }
 }
 
 Interpreter::~Interpreter() = default;
+
+void Interpreter::setSharedProgram(const DecodedProgram *Program) {
+  // Cache entries are keyed on the old program's DecodedFunctions, which a
+  // new program replaces; reusing them would execute stale code against
+  // dangling decode state.
+  if (Jit && Program != SharedProgram)
+    Jit->clear();
+  SharedProgram = Program;
+}
+
+uint64_t Interpreter::jitCompiledFunctions() const {
+  return Jit ? Jit->compiledFunctions() : 0;
+}
 
 const Interpreter::Numbering &Interpreter::getNumbering(Function *F) {
   auto It = Numberings.find(F);
@@ -676,6 +659,29 @@ uint64_t Interpreter::callDecoded(const DecodedFunction &DF,
 
   if (TheObserver)
     TheObserver->onFunctionEnter(*F);
+
+  // Hot functions run as native code from here: the entry sequence above
+  // (depth check, call accounting, register-file image, observer) and the
+  // exit below (stack-pointer restore, trap propagation) are shared with
+  // the decoded engine verbatim, so only the dispatch loop differs — and
+  // the compiled loop keeps the same books (see jit/JitAbi.h).
+  if (Jit) {
+    if (JitFn Fn = Jit->onCall(DF)) {
+      SimMemory::JitStackView SV = Memory.jitStackView();
+      JitContext Ctx;
+      Ctx.Interp = this;
+      Ctx.DF = &DF;
+      Ctx.Result = &Result;
+      Ctx.Depth = Depth;
+      Ctx.FuelLeft = &FuelLeft;
+      Ctx.StackHost = SV.Host;
+      Ctx.StackTouchedLo = SV.TouchedLo;
+      Ctx.StackTouchedHi = SV.TouchedHi;
+      uint64_t Trapped = Fn(&Ctx, Regs.data());
+      StackPointer = SavedStackPointer;
+      return Trapped ? 0 : Ctx.RetValue;
+    }
+  }
 
   size_t IP = 0;
   while (true) {

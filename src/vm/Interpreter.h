@@ -32,6 +32,8 @@
 
 namespace smokestack {
 
+class JitCache;
+struct JitShims;
 class RandomSource;
 struct DecodedFunction;
 class DecodedProgram;
@@ -89,6 +91,14 @@ struct InterpreterOptions {
   /// engine remains available as a differential-testing oracle; both
   /// produce bit-identical ExecResults including Steps.
   bool UseDecodedEngine = true;
+  /// Compile hot decoded functions to native x86-64 code (jit/). Implies
+  /// the decoded engine; silently ignored (decoded fallback) on hosts
+  /// where jitAvailable() is false. The JIT preserves the decoded engine's
+  /// results bit for bit — ExecResult including Steps, trap points and
+  /// messages, RNG draw order, and memory touched-range accounting.
+  bool UseJit = false;
+  /// Invocations of a function before it is compiled (0 = first call).
+  unsigned JitThreshold = 8;
 };
 
 /// The Mini-IR virtual machine.
@@ -157,9 +167,15 @@ public:
   /// shared form instead of this interpreter's private decode cache, so N
   /// pool workers pay the decode cost once. The program must outlive this
   /// interpreter and must have been built from the same Module.
-  void setSharedProgram(const DecodedProgram *Program) {
-    SharedProgram = Program;
-  }
+  ///
+  /// Changing the program invalidates the JIT code cache (its entries are
+  /// keyed on the old program's DecodedFunctions); out-of-line so the
+  /// header does not need the cache type.
+  void setSharedProgram(const DecodedProgram *Program);
+
+  /// Number of functions this VM has compiled to native code (0 when the
+  /// JIT is disabled or unavailable). Tier-promotion observability.
+  uint64_t jitCompiledFunctions() const;
 
   /// Number of functions entered during the last run (perf accounting).
   uint64_t callsExecuted() const { return CallCount; }
@@ -179,6 +195,11 @@ public:
   void restoreFromSnapshot(const VmSnapshot &S);
 
 private:
+  /// The JIT runtime shims (jit/JitRuntime.cpp) execute single decoded
+  /// instructions with this class's own code — the mechanism that keeps
+  /// compiled execution bit-identical to the decoded engine.
+  friend struct JitShims;
+
   /// Per-function value numbering (registers).
   struct Numbering {
     std::unordered_map<const Value *, unsigned> Index;
@@ -250,6 +271,10 @@ private:
   /// Shared read-only decode cache consulted before DecodedCache (set by
   /// the worker pool; nullptr for standalone interpreters).
   const DecodedProgram *SharedProgram = nullptr;
+  /// Tiered native-code cache (jit/JitCache.h); null unless Opts.UseJit on
+  /// a jitAvailable() host. Derived state: survives snapshot restore,
+  /// cleared when the shared program changes.
+  std::unique_ptr<JitCache> Jit;
   /// Depth-indexed register files reused across decoded calls; sized once
   /// per run so references stay stable through recursion.
   std::vector<std::vector<uint64_t>> RegisterPool;

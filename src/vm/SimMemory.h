@@ -113,6 +113,22 @@ public:
   /// the bytes zeroed (reset-cost observability).
   uint64_t resetHeap();
 
+  /// Direct host view of the stack segment for the JIT's inlined
+  /// load/store fast path: the backing bytes plus the addresses of the
+  /// segment's touched-range bounds (see ByteArena::touchedLoSlot). The
+  /// host pointer is stable for this SimMemory's lifetime (the arena never
+  /// reallocates), but callers re-fetch it per invocation anyway so
+  /// compiled code stays free of per-VM pointers.
+  struct JitStackView {
+    uint8_t *Host = nullptr;
+    uint64_t *TouchedLo = nullptr;
+    uint64_t *TouchedHi = nullptr;
+  };
+  JitStackView jitStackView() {
+    return {Stack.Mem.data(), Stack.Mem.touchedLoSlot(),
+            Stack.Mem.touchedHiSlot()};
+  }
+
   /// Captures every segment's touched content plus the heap cursor into
   /// \p S (vm/Snapshot.h; implemented in Snapshot.cpp).
   void captureImage(VmSnapshot &S) const;

@@ -1,0 +1,312 @@
+//===- tests/jit/JitDifferentialTest.cpp - JIT vs decoded differential -----===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential testing of the copy-and-patch JIT against the decoded
+/// engine, mirroring vm/DecodedDifferentialTest.cpp one tier up: with
+/// JitThreshold=0 every function runs as native code from its first call,
+/// and the results must be bit-identical to pure decoded execution — trap
+/// kind and message, return value, step count, call count, and builtin
+/// output — across the shipped examples (plain and Smokestack-hardened),
+/// the randomized fuzz corpus, and handcrafted trap scenarios.
+///
+/// The whole suite GTEST_SKIPs on hosts where jitAvailable() is false.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/RandomProgramGen.h"
+#include "core/SmokestackPass.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "jit/JitAbi.h"
+#include "rng/AesCtr.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace smokestack;
+
+namespace {
+
+#define SKIP_WITHOUT_JIT()                                                     \
+  do {                                                                         \
+    if (!jitAvailable())                                                       \
+      GTEST_SKIP() << "JIT unavailable on this host";                          \
+  } while (0)
+
+/// Runs \p FuncName under the decoded engine and under the JIT (compile on
+/// first call) and asserts result parity. Each engine gets its own
+/// interpreter and, when \p Seed is nonzero, an identically-seeded AES-10
+/// source so hardened modules draw identical layout streams — any
+/// divergence in RNG draw *order* between the engines would desync the
+/// streams and fail loudly.
+void expectJitParity(Module &M, const std::string &FuncName,
+                     uint64_t Seed = 0,
+                     InterpreterOptions BaseOpts = InterpreterOptions()) {
+  InterpreterOptions DecodedOpts = BaseOpts;
+  DecodedOpts.UseDecodedEngine = true;
+  DecodedOpts.UseJit = false;
+  InterpreterOptions JitOpts = BaseOpts;
+  JitOpts.UseJit = true;
+  JitOpts.JitThreshold = 0;
+
+  DeterministicEntropySource DecodedEntropy(Seed), JitEntropy(Seed);
+  AesCtrRandomSource DecodedRng(DecodedEntropy, 10), JitRng(JitEntropy, 10);
+
+  Interpreter DecodedVM(M, Seed ? &DecodedRng : nullptr, DecodedOpts);
+  Interpreter JitVM(M, Seed ? &JitRng : nullptr, JitOpts);
+
+  ExecResult DecodedR = DecodedVM.run(FuncName);
+  ExecResult JitR = JitVM.run(FuncName);
+
+  EXPECT_EQ(DecodedR.Trap, JitR.Trap)
+      << FuncName << ": decoded trapped with '" << trapKindName(DecodedR.Trap)
+      << "' (" << DecodedR.Message << "), jit with '"
+      << trapKindName(JitR.Trap) << "' (" << JitR.Message << ")";
+  EXPECT_EQ(DecodedR.Message, JitR.Message) << FuncName;
+  EXPECT_EQ(DecodedR.ReturnValue, JitR.ReturnValue) << FuncName;
+  EXPECT_EQ(DecodedR.Steps, JitR.Steps) << FuncName;
+  EXPECT_EQ(DecodedVM.callsExecuted(), JitVM.callsExecuted()) << FuncName;
+  EXPECT_EQ(DecodedVM.output(), JitVM.output()) << FuncName;
+}
+
+std::vector<std::filesystem::path> exampleModules() {
+  std::vector<std::filesystem::path> Paths;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(SMOKESTACK_EXAMPLES_DIR))
+    if (Entry.path().extension() == ".ir")
+      Paths.push_back(Entry.path());
+  return Paths;
+}
+
+ParseResult parseFile(const std::filesystem::path &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return parseModule(Buf.str(), Path.filename().string());
+}
+
+} // namespace
+
+TEST(JitDifferentialTest, ExampleModulesMatchPlain) {
+  SKIP_WITHOUT_JIT();
+  std::vector<std::filesystem::path> Paths = exampleModules();
+  ASSERT_FALSE(Paths.empty()) << "no examples/*.ir modules found";
+  unsigned FunctionsRun = 0;
+  for (const auto &Path : Paths) {
+    ParseResult Parsed = parseFile(Path);
+    ASSERT_TRUE(Parsed.ok()) << Path << ": " << Parsed.Error;
+    Module &M = *Parsed.M;
+    for (size_t I = 0, E = M.getNumFunctions(); I != E; ++I) {
+      Function *F = M.getFunctionAt(I);
+      if (F->isDeclaration() || F->getNumArgs() != 0)
+        continue;
+      expectJitParity(M, F->getName());
+      ++FunctionsRun;
+    }
+  }
+  EXPECT_GT(FunctionsRun, 0u) << "no zero-argument definitions exercised";
+}
+
+TEST(JitDifferentialTest, ExampleModulesMatchHardened) {
+  SKIP_WITHOUT_JIT();
+  for (const auto &Path : exampleModules()) {
+    ParseResult Parsed = parseFile(Path);
+    ASSERT_TRUE(Parsed.ok()) << Path << ": " << Parsed.Error;
+    Module &M = *Parsed.M;
+    PassManager PM;
+    PM.addPass(std::make_unique<SmokestackPass>());
+    PM.run(M);
+    ASSERT_TRUE(verifyModule(M));
+    for (size_t I = 0, E = M.getNumFunctions(); I != E; ++I) {
+      Function *F = M.getFunctionAt(I);
+      if (F->isDeclaration() || F->getNumArgs() != 0)
+        continue;
+      expectJitParity(M, F->getName(), /*Seed=*/0xD1FF);
+    }
+  }
+}
+
+// The randomized corpus of the instrumentation fuzzer, replayed one tier
+// up: plain modules and Smokestack-hardened modules with pinned randomness.
+class JitDifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JitDifferentialFuzz, CorpusMatches) {
+  SKIP_WITHOUT_JIT();
+  uint64_t Seed = GetParam();
+  Module Plain("plain");
+  buildRandomProgram(Plain, Seed);
+  ASSERT_TRUE(verifyModule(Plain));
+  expectJitParity(Plain, "main");
+
+  Module Hard("hard");
+  buildRandomProgram(Hard, Seed);
+  PassManager PM;
+  PM.addPass(std::make_unique<SmokestackPass>());
+  PM.run(Hard);
+  ASSERT_TRUE(verifyModule(Hard));
+  expectJitParity(Hard, "main", /*Seed=*/Seed ^ 0xF022);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitDifferentialFuzz,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(JitDifferentialTest, DivisionByZeroParity) {
+  SKIP_WITHOUT_JIT();
+  Module M("t");
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *Zero = B.alloca_(B.i64(), "z");
+  B.store(B.constI64(0), Zero);
+  B.ret(B.udiv(B.constI64(7), B.load(B.i64(), Zero)));
+  expectJitParity(M, "main");
+}
+
+TEST(JitDifferentialTest, SignedDivisionOverflowParity) {
+  // INT64_MIN / -1 wraps (remainder 0) in both engines instead of faulting
+  // — the one case where native idiv would trap #DE, so it must stay on
+  // the shim path.
+  SKIP_WITHOUT_JIT();
+  Module M("t");
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *MinSlot = B.alloca_(B.i64(), "m");
+  B.store(B.constI64(uint64_t(1) << 63), MinSlot);
+  AllocaInst *NegSlot = B.alloca_(B.i64(), "n");
+  B.store(B.constI64(~uint64_t(0)), NegSlot);
+  Value *Q = B.sdiv(B.load(B.i64(), MinSlot), B.load(B.i64(), NegSlot));
+  Value *R = B.srem(B.load(B.i64(), MinSlot), B.load(B.i64(), NegSlot));
+  B.ret(B.add(Q, R));
+  expectJitParity(M, "main");
+}
+
+TEST(JitDifferentialTest, UnmappedAccessParity) {
+  SKIP_WITHOUT_JIT();
+  Module M("t");
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Bad = B.cast_(CastInst::CastOp::IntToPtr, B.ptr(), B.constI64(64));
+  B.ret(B.load(B.i64(), Bad));
+  expectJitParity(M, "main");
+}
+
+TEST(JitDifferentialTest, OutOfFuelParity) {
+  SKIP_WITHOUT_JIT();
+  Module M("t");
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  B.setInsertPoint(Entry);
+  B.br(Loop);
+  B.setInsertPoint(Loop);
+  B.br(Loop);
+  InterpreterOptions Opts;
+  Opts.Fuel = 100;
+  expectJitParity(M, "main", /*Seed=*/0, Opts);
+}
+
+TEST(JitDifferentialTest, VlaSizeOverflowParity) {
+  SKIP_WITHOUT_JIT();
+  Module M("t");
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *CountSlot = B.alloca_(B.i64(), "n");
+  B.store(B.constI64(uint64_t(1) << 62), CountSlot);
+  AllocaInst *VLA = B.allocaVLA(B.i64(), B.load(B.i64(), CountSlot), "vla");
+  B.store(B.constI64(1), VLA);
+  B.ret(B.constI64(0));
+  expectJitParity(M, "main");
+}
+
+TEST(JitDifferentialTest, UnreachableParity) {
+  SKIP_WITHOUT_JIT();
+  Module M("t");
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  B.unreachable_();
+  expectJitParity(M, "main");
+}
+
+TEST(JitDifferentialTest, CallDepthLimitParity) {
+  SKIP_WITHOUT_JIT();
+  Module M("t");
+  IRBuilder B(M);
+  Function *F = M.createFunction("main", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  B.ret(B.call(F, {}, "again"));
+  expectJitParity(M, "main");
+}
+
+TEST(JitDifferentialTest, UnknownBuiltinParity) {
+  SKIP_WITHOUT_JIT();
+  Module M("t");
+  IRBuilder B(M);
+  Function *Mystery = M.getOrInsertDeclaration("no.such.builtin", B.i64(), {});
+  Function *F = M.createFunction("main", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  B.ret(B.call(Mystery, {}));
+  expectJitParity(M, "main");
+}
+
+TEST(JitDifferentialTest, BuiltinsAndInputParity) {
+  SKIP_WITHOUT_JIT();
+  Module M("t");
+  IRBuilder B(M);
+  Function *GetInput =
+      M.getOrInsertDeclaration("get_input", B.i64(), {B.ptr(), B.i64()});
+  Function *Print =
+      M.getOrInsertDeclaration("print_i64", B.voidTy(), {B.i64()});
+  Function *F = M.createFunction("main", B.i64(), {});
+  B.setInsertPoint(F->createBlock("entry"));
+  AllocaInst *Buf = B.alloca_(B.getContext().getArrayTy(B.i8(), 16), "buf");
+  Value *Got = B.call(GetInput, {Buf, B.constI64(16)});
+  B.call(Print, {Got});
+  B.ret(B.add(Got, B.load(B.i64(), Buf)));
+
+  InterpreterOptions DecodedOpts, JitOpts;
+  JitOpts.UseJit = true;
+  JitOpts.JitThreshold = 0;
+  Interpreter DecodedVM(M, nullptr, DecodedOpts), JitVM(M, nullptr, JitOpts);
+  DecodedVM.pushInputString("hello");
+  JitVM.pushInputString("hello");
+  ExecResult DecodedR = DecodedVM.run("main"), JitR = JitVM.run("main");
+  EXPECT_EQ(DecodedR.Trap, JitR.Trap);
+  EXPECT_EQ(DecodedR.ReturnValue, JitR.ReturnValue);
+  EXPECT_EQ(DecodedR.Steps, JitR.Steps);
+  EXPECT_EQ(DecodedVM.output(), JitVM.output());
+}
+
+TEST(JitDifferentialTest, RepeatedRunsReuseCompiledCode) {
+  // The second run must reuse the installed code (one compiled function,
+  // stable results) — guards against per-run recompilation and against
+  // stale state leaking between runs through the code cache.
+  SKIP_WITHOUT_JIT();
+  Module M("t");
+  IRBuilder B(M);
+  buildRandomProgram(M, 7);
+  InterpreterOptions JitOpts;
+  JitOpts.UseJit = true;
+  JitOpts.JitThreshold = 0;
+  Interpreter JitVM(M, nullptr, JitOpts);
+  ExecResult First = JitVM.run("main");
+  uint64_t CompiledAfterFirst = JitVM.jitCompiledFunctions();
+  ExecResult Second = JitVM.run("main");
+  EXPECT_EQ(First.Trap, Second.Trap);
+  EXPECT_EQ(First.ReturnValue, Second.ReturnValue);
+  EXPECT_EQ(First.Steps, Second.Steps);
+  EXPECT_GT(CompiledAfterFirst, 0u);
+  EXPECT_EQ(JitVM.jitCompiledFunctions(), CompiledAfterFirst);
+}

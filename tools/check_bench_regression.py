@@ -32,6 +32,11 @@ Supported bench kinds (selected by the "bench"/"benchmark" key):
   request_reset     gates restore_speedup_vs_rebuild (snapshot restore vs
                     full VM reconstruction — machine-relative like
                     max_speedup)
+  interp_jit        gates per-kernel JIT-vs-decoded digest identity (any
+                    mismatch is a correctness bug, not noise), the
+                    min_jit_speedup_vs_decoded ratio, and its >= 2x floor;
+                    a candidate with jit_available false (non-x86-64
+                    runner) passes with a note
 
 Only the Python standard library is used.
 
@@ -214,6 +219,40 @@ def check_interp(base, cand, max_drop_pct):
     )
 
 
+def check_interp_jit(base, cand, max_drop_pct):
+    if require(cand, "jit_available", "candidate") is not True:
+        return ok("jit unavailable on this runner; nothing gated")
+    rc = 0
+    for kernel in require(cand, "kernels", "candidate"):
+        name = require(kernel, "name", "candidate kernel")
+        dec = require(kernel, "digest_decoded", f"candidate kernel {name}")
+        jit = require(kernel, "digest_jit", f"candidate kernel {name}")
+        if dec != jit:
+            rc |= fail(
+                f"{name}: jit digest {jit} != decoded digest {dec} "
+                "(identity violation — the JIT changed observable behavior)"
+            )
+        else:
+            rc |= ok(f"{name}: jit digest equals decoded digest ({dec})")
+    cand_min = require(cand, "min_jit_speedup_vs_decoded", "candidate")
+    if require(base, "jit_available", "baseline") is True:
+        rc |= check_drop(
+            "min_jit_speedup_vs_decoded",
+            require(base, "min_jit_speedup_vs_decoded", "baseline"),
+            cand_min,
+            max_drop_pct,
+        )
+    else:
+        rc |= ok("baseline has no jit measurements; gating the floor only")
+    if not isinstance(cand_min, (int, float)) or cand_min < 2.0:
+        rc |= fail(
+            f"min_jit_speedup_vs_decoded {cand_min} is below the 2.0x floor"
+        )
+    else:
+        rc |= ok(f"min_jit_speedup_vs_decoded {cand_min:.2f} >= 2.0x floor")
+    return rc
+
+
 def check_request_reset(base, cand, max_drop_pct):
     return check_drop(
         "restore_speedup_vs_rebuild",
@@ -254,6 +293,7 @@ def main():
         "soak_scaling": check_soak_scaling,
         "soak_net_chaos": check_soak_net_chaos,
         "interp_throughput": check_interp,
+        "interp_jit": check_interp_jit,
         "request_reset": check_request_reset,
     }
     if kind not in checks:

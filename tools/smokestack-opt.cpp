@@ -77,6 +77,7 @@
 #include "faults/FaultInjector.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "jit/JitAbi.h"
 #include "net/Client.h"
 #include "net/SocketServer.h"
 #include "obs/MetricsRegistry.h"
@@ -165,7 +166,7 @@ int usage(const char *Argv0) {
                "usage: %s [-smokestack] [-static-perm[=SEED]] "
                "[-entry-pad[=SEED]] [-canary[=GUARD]]\n"
                "          [-run=FUNC] [-rng=pseudo|aes1|aes10|rdrand] "
-               "[-engine=decoded|treewalk]\n"
+               "[-engine=jit|decoded|treewalk]\n"
                "          [-resilient] [-faults=SEED:RATE]\n"
                "          [-workers=N] [-requests=M] [-seed=S] "
                "[-chaos=RATE] [-metrics=FILE]\n"
@@ -347,13 +348,20 @@ int main(int argc, char **argv) {
   }
 
   if (!Opts.RunFunction.empty()) {
-    if (Opts.Engine != "decoded" && Opts.Engine != "treewalk") {
+    if (Opts.Engine != "jit" && Opts.Engine != "decoded" &&
+        Opts.Engine != "treewalk") {
       std::fprintf(stderr, "error: unknown engine '%s'\n", Opts.Engine.c_str());
       return 1;
     }
+    if (Opts.Engine == "jit" && !jitAvailable()) {
+      std::fprintf(stderr, "warning: JIT unavailable on this host; "
+                           "falling back to the decoded engine\n");
+      Opts.Engine = "decoded";
+    }
 
     InterpreterOptions VMOpts;
-    VMOpts.UseDecodedEngine = Opts.Engine == "decoded";
+    VMOpts.UseDecodedEngine = Opts.Engine != "treewalk";
+    VMOpts.UseJit = Opts.Engine == "jit";
     if (Opts.Fuel)
       VMOpts.Fuel = Opts.Fuel;
 
