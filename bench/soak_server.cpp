@@ -572,6 +572,13 @@ constexpr uint64_t PoisonPhase = 400;
 /// setting and demanding bit-identical digests.
 bool UseSnapshotFastPath = true;
 
+/// -shard-mode=: whether -net passes serve through in-process WorkerPool
+/// shards (thread) or forked shard child processes (process). The wire
+/// digest is mode-invariant by contract; under -chaos, process mode
+/// additionally injects seeded shard SIGKILLs to prove kill-and-replay
+/// is digest-neutral too.
+ShardMode SoakShardMode = ShardMode::Thread;
+
 /// The pool options every soak pass serves under — one constructor shared
 /// by the in-process pool soak and the socket soak's shards, because "the
 /// wire digest equals the in-process digest" is only a meaningful claim
@@ -1174,6 +1181,7 @@ NetPassResult runNetPass(uint64_t Seed, uint64_t NumRequests, double FaultRate,
 
   ServerOptions SO;
   SO.Shards = Shards;
+  SO.Mode = SoakShardMode;
   SO.Pool = makeSoakPoolOptions(Seed, NumRequests, FaultRate, WorkersPerShard,
                                 Chaos, /*Tracer=*/nullptr, UseSnapshotFastPath,
                                 Deployed.InterpOpts);
@@ -1187,6 +1195,13 @@ NetPassResult runNetPass(uint64_t Seed, uint64_t NumRequests, double FaultRate,
     SO.NetFaultPlan.site(FaultSite::AcceptFailure) = {0.05, 1, 0};
     SO.NetFaultPlan.site(FaultSite::NetPartialIo) = {0.01, 1, 0};
     SO.NetFaultPlan.site(FaultSite::ClientStall) = {0.01, 1, 0};
+    if (SoakShardMode == ShardMode::Process) {
+      // Whole-shard chaos on top of that: seeded SIGKILLs of shard child
+      // processes (the parent must re-fork and replay with zero digest
+      // effect) and short reads/writes on the parent<->child IPC channel.
+      SO.NetFaultPlan.site(FaultSite::ShardKill) = {0.0012, 1, 0};
+      SO.NetFaultPlan.site(FaultSite::ShardIpcIo) = {0.01, 1, 0};
+    }
   }
   SocketServer Server(M, SO);
   std::string Err;
@@ -1320,6 +1335,19 @@ NetPassResult runNetPass(uint64_t Seed, uint64_t NumRequests, double FaultRate,
   // Reconstruct the outcome stream from the wire responses. Indices
   // 0..N-1 in order is already index-sorted, as tallyPass requires.
   bool AllServed = !ClientFailed.load(std::memory_order_relaxed);
+  if (!AllServed) {
+    uint64_t Missing = 0;
+    for (uint64_t I = 0; I != NumRequests; ++I)
+      if (!Got[I])
+        ++Missing;
+    std::fprintf(stderr,
+                 "net soak: client failure, %" PRIu64 " responses missing "
+                 "(kills=%" PRIu64 " deaths=%" PRIu64 " restarts=%" PRIu64
+                 " replays=%" PRIu64 ")\n",
+                 Missing, R.Report.Net.ShardKillFaults,
+                 R.Report.Net.ShardDeaths, R.Report.Net.ShardRestarts,
+                 R.Report.Net.ShardReplays);
+  }
   std::vector<PoolOutcome> Outcomes;
   Outcomes.reserve(NumRequests);
   for (uint64_t I = 0; AllServed && I != NumRequests; ++I) {
@@ -1384,6 +1412,18 @@ void runNetPassChecks(const NetPassResult &P, uint64_t NumRequests,
   if (Chaos)
     check(NB.AcceptFaults + NB.PartialIoFaults + NB.StallFaults > 0,
           "socket-layer faults actually injected");
+  if (Chaos && SoakShardMode == ShardMode::Process) {
+    // The process-isolation contract: seeded SIGKILLs actually landed,
+    // every one of them re-forked the shard (no retirements: the restart
+    // budget is far above the kill volume), and the deaths the books saw
+    // are exactly the signal deaths we caused.
+    check(NB.ShardKillFaults > 0, "shard kills actually injected");
+    check(NB.ShardRestarts >= 1, "killed shard processes were restarted");
+    checkEq(NB.ShardDeaths, NB.ShardRestarts,
+            "every shard death re-forked (no retirements)");
+    checkEq(NB.ShardDeathsBySignal, NB.ShardDeaths,
+            "all shard deaths were the injected SIGKILLs");
+  }
 }
 
 /// Socket soak: the in-process pool pass as the reference, then the same
@@ -1451,6 +1491,13 @@ int runNetSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                 Passes.front().Pool.PoisonedSeen);
     printSupervisionLedger(Passes.front().Pool.Books);
   }
+  if (SoakShardMode == ShardMode::Process) {
+    const NetBooks &NB0 = Passes.front().Report.Net;
+    std::printf("  shard kills/deaths/restarts/replays %" PRIu64 "/%" PRIu64
+                "/%" PRIu64 "/%" PRIu64 "\n",
+                NB0.ShardKillFaults, NB0.ShardDeaths, NB0.ShardRestarts,
+                NB0.ShardReplays);
+  }
 
   std::printf("\nchecks:\n");
   for (size_t I = 0; I != Passes.size(); ++I) {
@@ -1497,6 +1544,11 @@ int runNetSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                  "  \"seed\": %" PRIu64 ",\n"
                  "  \"connections\": %u,\n"
                  "  \"chaos\": %s,\n"
+                 "  \"shard_mode\": \"%s\",\n"
+                 "  \"shard_kills_enabled\": %s,\n"
+                 "  \"shard_restarts\": %" PRIu64 ",\n"
+                 "  \"shard_deaths\": %" PRIu64 ",\n"
+                 "  \"shard_replays\": %" PRIu64 ",\n"
                  "  \"digest\": \"0x%016" PRIx64 "\",\n"
                  "  \"in_process_digest\": \"0x%016" PRIx64 "\",\n"
                  "  \"wire_equals_in_process\": %s,\n"
@@ -1513,11 +1565,18 @@ int runNetSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                  "  \"net_faults\": {\n"
                  "    \"accept\": %" PRIu64 ",\n"
                  "    \"partial_io\": %" PRIu64 ",\n"
-                 "    \"stall\": %" PRIu64 "\n"
+                 "    \"stall\": %" PRIu64 ",\n"
+                 "    \"shard_kill\": %" PRIu64 ",\n"
+                 "    \"shard_ipc\": %" PRIu64 "\n"
                  "  },\n"
                  "  \"shards\": [\n",
                  NumRequests, FaultRate, Seed, Connections,
-                 Chaos ? "true" : "false", N0.Pool.DigestValue,
+                 Chaos ? "true" : "false",
+                 SoakShardMode == ShardMode::Process ? "process" : "thread",
+                 Chaos && SoakShardMode == ShardMode::Process ? "true"
+                                                              : "false",
+                 N0.Report.Net.ShardRestarts, N0.Report.Net.ShardDeaths,
+                 N0.Report.Net.ShardReplays, N0.Pool.DigestValue,
                  Ref.DigestValue, AllEqual ? "true" : "false",
                  N0.Report.IdentityOk ? "true" : "false",
                  N0.Report.Clean ? "true" : "false",
@@ -1526,18 +1585,21 @@ int runNetSoak(uint64_t Seed, uint64_t NumRequests, double FaultRate,
                  N0.Report.Net.FrameZeroLength, N0.Report.Net.FrameOversize,
                  N0.Report.Net.FrameTruncated, N0.Report.Net.BadPayload,
                  N0.Report.Net.AcceptFaults, N0.Report.Net.PartialIoFaults,
-                 N0.Report.Net.StallFaults);
+                 N0.Report.Net.StallFaults, N0.Report.Net.ShardKillFaults,
+                 N0.Report.Net.ShardIpcFaults);
     for (size_t I = 0; I != Passes.size(); ++I) {
       const NetPassResult &P = Passes[I];
       std::fprintf(Out,
                    "    {\"shards\": %u, \"seconds\": %.4f, "
                    "\"requests_per_sec\": %.1f, \"digest\": \"0x%016" PRIx64
-                   "\", \"identity\": %s, \"clean\": %s}%s\n",
+                   "\", \"identity\": %s, \"clean\": %s, "
+                   "\"restarts\": %" PRIu64 "}%s\n",
                    ShardSweep[I], P.Pool.Seconds,
                    static_cast<double>(NumRequests) / P.Pool.Seconds,
                    P.Pool.DigestValue,
                    P.Report.IdentityOk ? "true" : "false",
                    P.Report.Clean ? "true" : "false",
+                   P.Report.Net.ShardRestarts,
                    I + 1 == Passes.size() ? "" : ",");
     }
     std::fprintf(Out,
@@ -1747,6 +1809,17 @@ int main(int argc, char **argv) {
       Chaos = true;
     } else if (std::strcmp(Arg, "-net") == 0) {
       Net = true;
+    } else if (std::strncmp(Arg, "-shard-mode=", 12) == 0) {
+      const char *Mode = Arg + 12;
+      if (std::strcmp(Mode, "thread") == 0) {
+        SoakShardMode = ShardMode::Thread;
+      } else if (std::strcmp(Mode, "process") == 0) {
+        SoakShardMode = ShardMode::Process;
+      } else {
+        std::fprintf(stderr, "unknown -shard-mode=%s (thread|process)\n",
+                     Mode);
+        return 2;
+      }
     } else if (std::strncmp(Arg, "-connections=", 13) == 0) {
       Connections = static_cast<unsigned>(std::strtoul(Arg + 13, nullptr, 0));
     } else if (std::strcmp(Arg, "-no-snapshot") == 0) {
@@ -1772,8 +1845,8 @@ int main(int argc, char **argv) {
                    "usage: soak_server [requests [rate [seed]]] "
                    "[-requests=N] [-rate=R] [-seed=S] [-workers=N] "
                    "[-scaling] [-chaos] [-net] [-connections=N] "
-                   "[-no-snapshot] [-engine=jit|decoded|treewalk] "
-                   "[-json=PATH]\n");
+                   "[-shard-mode=thread|process] [-no-snapshot] "
+                   "[-engine=jit|decoded|treewalk] [-json=PATH]\n");
       return 2;
     } else if (Positional == 0) {
       NumRequests = std::strtoull(Arg, nullptr, 0);
@@ -1797,6 +1870,11 @@ int main(int argc, char **argv) {
     JsonPath = Net     ? "BENCH_netsoak.json"
                : Chaos ? "BENCH_soak.json"
                        : "BENCH_scaling.json";
+  // Harness-side signal hygiene, same as any long-lived server entry
+  // point: SIGPIPE must be an errno (client threads write to sockets the
+  // server may have torn down), and in process shard mode the SIGCHLD
+  // fan-out handler must be installed before the first fork.
+  installServerSignalDefaults();
   if (Net)
     return runNetSoak(Seed, NumRequests, FaultRate, Connections, Chaos,
                       JsonPath);

@@ -58,6 +58,10 @@ const char *smokestack::faultSiteName(FaultSite Site) {
     return "conn-reset";
   case FaultSite::ClientStall:
     return "client-stall";
+  case FaultSite::ShardKill:
+    return "shard-kill";
+  case FaultSite::ShardIpcIo:
+    return "shard-ipc-io";
   }
   return "unknown";
 }

@@ -60,10 +60,17 @@ enum class FaultSite : unsigned {
   NetPartialIo,   ///< A socket read/write moves only one byte (short I/O).
   ConnReset,      ///< A connection drops mid-stream (ECONNRESET/EPIPE).
   ClientStall,    ///< A send hits a stalled peer (kernel buffer full).
+
+  // Process-isolation sites (DESIGN.md §15). Like the network sites these
+  // perturb delivery, never results: a killed shard child is re-forked and
+  // its in-flight requests replayed, and the replay is bit-identical
+  // because every request is a pure function of (RootSeed, Index).
+  ShardKill,   ///< A shard child process dies outright (seeded SIGKILL).
+  ShardIpcIo,  ///< A parent<->child IPC read/write moves only one byte.
 };
 
 /// Number of FaultSite values (array bound).
-inline constexpr unsigned NumFaultSites = 11;
+inline constexpr unsigned NumFaultSites = 13;
 
 /// Printable site name ("rdrand-step", ...).
 const char *faultSiteName(FaultSite Site);

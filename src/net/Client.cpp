@@ -7,6 +7,7 @@
 #include "net/Client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -83,6 +84,11 @@ bool BlockingClient::sendRequest(const WireRequest &Req) {
 bool BlockingClient::recvResponse(WireResponse &Out, unsigned TimeoutMillis) {
   std::vector<uint8_t> Payload;
   FrameError Err;
+  // Wall-clock deadline rather than a per-poll() budget: in a process that
+  // reaps shard children, SIGCHLD interrupts poll() with EINTR at any time,
+  // and each retry must wait only the *remaining* budget.
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(TimeoutMillis);
   for (;;) {
     FrameDecoder::Item I = Decoder.next(Payload, Err);
     if (I == FrameDecoder::Item::Error)
@@ -91,10 +97,19 @@ bool BlockingClient::recvResponse(WireResponse &Out, unsigned TimeoutMillis) {
       return parseResponsePayload(Payload.data(), Payload.size(), Out);
     if (PeerClosed || Fd < 0)
       return false;
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Deadline - std::chrono::steady_clock::now());
+    if (Left.count() <= 0)
+      return false; // timeout
     pollfd Pfd = {Fd, POLLIN, 0};
-    int R = ::poll(&Pfd, 1, static_cast<int>(TimeoutMillis));
-    if (R <= 0)
-      return false; // timeout or poll failure
+    int R = ::poll(&Pfd, 1, static_cast<int>(Left.count()));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue; // signal (e.g. a shard child's SIGCHLD); budget unchanged
+      return false;
+    }
+    if (R == 0)
+      return false; // timeout
     uint8_t Buf[65536];
     ssize_t N = ::recv(Fd, Buf, sizeof Buf, 0);
     if (N < 0) {

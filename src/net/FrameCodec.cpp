@@ -69,6 +69,35 @@ void prependLength(std::vector<uint8_t> &Frame) {
     Frame[I] = static_cast<uint8_t>(PayloadLen >> (8 * I));
 }
 
+/// The RequestBooks wire layout, shared by the encoder and parser so the
+/// field list lives in one place. Order is declaration order; the RNG
+/// books are flattened in their own declaration order.
+template <typename Fn> void eachBooksField(RequestBooks &B, Fn &&F) {
+  F(B.Requests);
+  F(B.RequestTraps);
+  F(B.RequestRecoveries);
+  F(B.Rng.DrawsServed);
+  F(B.Rng.DegradedDraws);
+  F(B.Rng.FallbackDraws);
+  F(B.Rng.FailClosedDraws);
+  F(B.Rng.Failovers);
+  F(B.Rng.Recoveries);
+  F(B.Rng.RetriesUsed);
+  F(B.Rng.EmergencyDraws);
+  F(B.Rng.DrngRetryFailures);
+  F(B.Rng.DrngFailureEvents);
+  F(B.Rng.AesRekeys);
+  F(B.Rng.FailedRekeys);
+  F(B.Rng.StaleKeyDraws);
+  F(B.Rng.UnkeyedDraws);
+  F(B.Rng.BufferRefills);
+  F(B.CrashesContained);
+  F(B.WorkerDeaths);
+  F(B.WorkerRestarts);
+  F(B.Retries);
+  F(B.PoisonedPoolDeath);
+}
+
 } // namespace
 
 std::vector<uint8_t> smokestack::encodeRequestFrame(const WireRequest &Req) {
@@ -95,6 +124,37 @@ std::vector<uint8_t> smokestack::encodeResponseFrame(const WireResponse &R) {
   putU32(F, R.Attempts);
   putU64(F, R.ReturnValue);
   putU64(F, R.Steps);
+  prependLength(F);
+  return F;
+}
+
+std::vector<uint8_t> smokestack::encodeShardOutcomeFrame(const ShardOutcome &O) {
+  std::vector<uint8_t> F(4);
+  putU32(F, ShardOutcomeMagic);
+  putU64(F, O.Resp.Index);
+  F.push_back(static_cast<uint8_t>(O.Resp.Status));
+  F.push_back(static_cast<uint8_t>(O.Resp.Trap));
+  putU16(F, O.Resp.Flags);
+  putU32(F, O.Resp.Attempts);
+  putU64(F, O.Resp.ReturnValue);
+  putU64(F, O.Resp.Steps);
+  RequestBooks B = O.Books; // non-const view for the shared field walker
+  eachBooksField(B, [&F](uint64_t &V) { putU64(F, V); });
+  putU32(F, NumFaultSites);
+  for (unsigned S = 0; S != NumFaultSites; ++S)
+    putU64(F, O.Books.InjectedProbes[S]);
+  for (unsigned S = 0; S != NumFaultSites; ++S)
+    putU64(F, O.Books.InjectedEvents[S]);
+  prependLength(F);
+  return F;
+}
+
+std::vector<uint8_t> smokestack::encodeShardControlFrame(const ShardControl &C) {
+  std::vector<uint8_t> F(4);
+  putU32(F, ShardControlMagic);
+  F.push_back(static_cast<uint8_t>(C.Op));
+  putU32(F, C.BudgetMillis);
+  F.push_back(C.Clean ? 1 : 0);
   prependLength(F);
   return F;
 }
@@ -140,6 +200,58 @@ bool smokestack::parseResponsePayload(const uint8_t *Data, size_t Len,
     return false;
   Out.Status = static_cast<WireStatus>(Status);
   Out.Trap = static_cast<TrapKind>(Trap);
+  return R.exhausted();
+}
+
+bool smokestack::parseShardOutcomePayload(const uint8_t *Data, size_t Len,
+                                          ShardOutcome &Out) {
+  Reader R(Data, Len);
+  uint32_t Magic;
+  uint8_t Status, Trap;
+  if (!R.u32(Magic) || Magic != ShardOutcomeMagic)
+    return false;
+  if (!R.u64(Out.Resp.Index) || !R.u8(Status) || !R.u8(Trap) ||
+      !R.u16(Out.Resp.Flags) || !R.u32(Out.Resp.Attempts) ||
+      !R.u64(Out.Resp.ReturnValue) || !R.u64(Out.Resp.Steps))
+    return false;
+  if (Status > static_cast<uint8_t>(WireStatus::ProtocolError) ||
+      Trap > static_cast<uint8_t>(TrapKind::WorkerCrash))
+    return false;
+  Out.Resp.Status = static_cast<WireStatus>(Status);
+  Out.Resp.Trap = static_cast<TrapKind>(Trap);
+  Out.Books = RequestBooks();
+  bool Ok = true;
+  eachBooksField(Out.Books, [&R, &Ok](uint64_t &V) { Ok = Ok && R.u64(V); });
+  if (!Ok)
+    return false;
+  uint32_t SiteCount;
+  if (!R.u32(SiteCount) || SiteCount != NumFaultSites)
+    return false;
+  for (unsigned S = 0; S != NumFaultSites; ++S)
+    if (!R.u64(Out.Books.InjectedProbes[S]))
+      return false;
+  for (unsigned S = 0; S != NumFaultSites; ++S)
+    if (!R.u64(Out.Books.InjectedEvents[S]))
+      return false;
+  return R.exhausted();
+}
+
+bool smokestack::parseShardControlPayload(const uint8_t *Data, size_t Len,
+                                          ShardControl &Out) {
+  Reader R(Data, Len);
+  uint32_t Magic;
+  uint8_t Op, Clean;
+  if (!R.u32(Magic) || Magic != ShardControlMagic)
+    return false;
+  if (!R.u8(Op) || !R.u32(Out.BudgetMillis) || !R.u8(Clean))
+    return false;
+  if (Op != static_cast<uint8_t>(ShardControlOp::DrainCmd) &&
+      Op != static_cast<uint8_t>(ShardControlOp::DrainAck))
+    return false;
+  if (Clean > 1)
+    return false;
+  Out.Op = static_cast<ShardControlOp>(Op);
+  Out.Clean = Clean != 0;
   return R.exhausted();
 }
 

@@ -29,6 +29,7 @@
 #ifndef SMOKESTACK_NET_FRAMECODEC_H
 #define SMOKESTACK_NET_FRAMECODEC_H
 
+#include "runtime/WorkerPool.h"
 #include "vm/Trap.h"
 
 #include <cstddef>
@@ -46,6 +47,11 @@ inline constexpr uint32_t MaxRequestInputs = 64;
 /// Payload magics (first four payload bytes, little-endian u32).
 inline constexpr uint32_t RequestMagic = 0x31535152;  // "RQS1"
 inline constexpr uint32_t ResponseMagic = 0x31505352; // "RSP1"
+/// Parent<->child shard-IPC magics (docs/protocol.md, DESIGN.md §15). The
+/// socketpair carries the same length-prefixed framing as the public
+/// socket, with two private payload schemas on top.
+inline constexpr uint32_t ShardOutcomeMagic = 0x314F4853; // "SHO1"
+inline constexpr uint32_t ShardControlMagic = 0x31544353; // "SCT1"
 
 /// The ways a frame can be malformed. Every class is booked separately in
 /// NetBooks so a chaos run can assert exact counts per failure mode.
@@ -96,12 +102,52 @@ struct WireResponse {
 std::vector<uint8_t> encodeRequestFrame(const WireRequest &Req);
 std::vector<uint8_t> encodeResponseFrame(const WireResponse &Resp);
 
+/// One shard child -> parent outcome (SHO1): the wire response the parent
+/// will forward to the client, plus the per-request accounting delta the
+/// parent folds into the shard's books. Shipping the delta with every
+/// outcome is what makes a SIGKILLed child digest-neutral: the parent's
+/// reassembled books cover exactly the outcomes it delivered, and replayed
+/// requests bring their (identical, by the determinism contract) deltas
+/// with the replayed outcome.
+struct ShardOutcome {
+  WireResponse Resp;
+  RequestBooks Books;
+};
+
+/// Parent <-> child control plane (SCT1).
+enum class ShardControlOp : uint8_t {
+  DrainCmd = 1, ///< parent->child: drain within BudgetMillis, then exit.
+  DrainAck = 2, ///< child->parent: all outcomes streamed; Clean says how.
+};
+
+struct ShardControl {
+  ShardControlOp Op = ShardControlOp::DrainCmd;
+  /// DrainCmd: cooperative-drain budget in ms before the child escalates
+  /// to shutdownNow on itself.
+  uint32_t BudgetMillis = 0;
+  /// DrainAck: true when every request completed without forced
+  /// cancellation inside the child.
+  bool Clean = false;
+};
+
+std::vector<uint8_t> encodeShardOutcomeFrame(const ShardOutcome &O);
+std::vector<uint8_t> encodeShardControlFrame(const ShardControl &C);
+
 /// Schema parsers over one complete frame payload. Return false on any
 /// inconsistency — bad magic, short header, input lengths that disagree
 /// with the payload size, trailing garbage — without reading out of
 /// bounds. They never throw.
 bool parseRequestPayload(const uint8_t *Data, size_t Len, WireRequest &Out);
 bool parseResponsePayload(const uint8_t *Data, size_t Len, WireResponse &Out);
+/// Shard-IPC schema parsers. Both ends are our own code, but the parsers
+/// stay as paranoid as the public ones: a half-dead child can emit
+/// arbitrary bytes, and the fault plan deliberately shears IPC writes. The
+/// outcome payload embeds its fault-site count and is rejected when it
+/// disagrees with NumFaultSites (a version/ABI mismatch, not a short read).
+bool parseShardOutcomePayload(const uint8_t *Data, size_t Len,
+                              ShardOutcome &Out);
+bool parseShardControlPayload(const uint8_t *Data, size_t Len,
+                              ShardControl &Out);
 
 /// Incremental frame decoder: feed() raw socket bytes in any chunking,
 /// poll next() for complete payloads. One decoder per connection.

@@ -1,0 +1,641 @@
+//===- net/ShardProcess.cpp - Process-isolated WorkerPool shards ----------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/ShardProcess.h"
+
+#include "net/SocketServer.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+using namespace smokestack;
+
+//===----------------------------------------------------------------------===//
+// InProcessShard
+//===----------------------------------------------------------------------===//
+
+InProcessShard::InProcessShard(Module &M, const PoolOptions &Opts)
+    : Pool(M, Opts) {}
+
+bool InProcessShard::start(std::string *) {
+  Pool.start();
+  return true;
+}
+
+bool InProcessShard::submit(PoolRequest Req) {
+  return Pool.submit(std::move(Req));
+}
+
+bool InProcessShard::drainWithin(unsigned Millis) {
+  return Pool.drainWithin(Millis);
+}
+
+void InProcessShard::shutdownNow() { Pool.shutdownNow(); }
+
+std::vector<PoolOutcome> InProcessShard::finish() { return Pool.finish(); }
+
+PoolBooks InProcessShard::books() const { return Pool.books(); }
+
+//===----------------------------------------------------------------------===//
+// Shard child process
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The entire life of a shard child. Forked from the server (initially
+/// from start(), later from the loop thread on a restart), it owns a
+/// fresh WorkerPool and speaks frames over \p Channel: RQS1 in, SHO1 out,
+/// SCT1 both ways for the drain handshake. It leaves only through _exit —
+/// never the parent's destructors, atexit handlers, or sanitizer leak
+/// pass, all of which belong to the process image it was cloned from.
+[[noreturn]] void shardChildMain(Module &M, PoolOptions PO, int Channel) {
+  // Shed the parent's identity: signal handlers (SIGPIPE stays ignored —
+  // writes to a dead parent must be EPIPE, not death), the fault-injector
+  // slots inherited from the forking thread, and every inherited fd
+  // except stdio and the channel (the parent's epoll, listener, client
+  // connections, and sibling-shard channels must not survive in here).
+  resetSignalDefaultsInChild();
+  detail::ProcessInjector.store(nullptr, std::memory_order_release);
+  detail::ThreadInjector = nullptr;
+  if (Channel != 3) {
+    ::dup2(Channel, 3);
+    ::close(Channel);
+    Channel = 3;
+  }
+#ifdef SYS_close_range
+  ::syscall(SYS_close_range, 4u, ~0u, 0u);
+#else
+  for (int Fd = 4; Fd != 1024; ++Fd)
+    ::close(Fd);
+#endif
+
+  // Outcome writes come from every worker thread; one mutex serializes
+  // them so frames never interleave. Writes block (the channel is the
+  // child's only output and the parent drains it) and a write failure
+  // means the parent is gone — nothing left to serve for.
+  std::mutex WriteMtx;
+  auto WriteFrame = [&WriteMtx, Channel](const std::vector<uint8_t> &F) {
+    std::lock_guard<std::mutex> Lock(WriteMtx);
+    size_t Off = 0;
+    while (Off < F.size()) {
+      ssize_t W = ::write(Channel, F.data() + Off, F.size() - Off);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        ::_exit(2);
+      }
+      Off += static_cast<size_t>(W);
+    }
+  };
+
+  // Block admission: the parent's in-flight cap (<= QueueCapacity) is the
+  // real backpressure point, so the child never sheds — shedding here
+  // would be timing-dependent and break the digest contract.
+  PO.Admission.Policy = AdmissionOptions::ShedPolicy::Block;
+  PO.Tracer = nullptr;
+  PO.OnOutcome = nullptr;
+  PO.OnOutcomeBooks = [&WriteFrame](const PoolOutcome &O,
+                                    const RequestBooks &B) {
+    ShardOutcome SO;
+    SO.Resp.Index = O.Index;
+    SO.Resp.Status = O.Poisoned                  ? WireStatus::Poisoned
+                     : O.Trap != TrapKind::None ? WireStatus::Trapped
+                                                : WireStatus::Ok;
+    SO.Resp.Trap = O.Trap;
+    SO.Resp.Attempts = O.Attempts;
+    SO.Resp.ReturnValue = O.ReturnValue;
+    SO.Resp.Steps = O.Steps;
+    SO.Books = B;
+    WriteFrame(encodeShardOutcomeFrame(SO));
+  };
+
+  WorkerPool Pool(M, PO);
+  Pool.start();
+
+  FrameDecoder Dec;
+  std::vector<uint8_t> Payload;
+  FrameError FErr;
+  uint8_t Buf[65536];
+  for (;;) {
+    ssize_t R = ::read(Channel, Buf, sizeof Buf);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      ::_exit(2);
+    }
+    if (R == 0)
+      ::_exit(2); // parent died: an orphan shard has no one to answer
+    Dec.feed(Buf, static_cast<size_t>(R));
+    for (;;) {
+      FrameDecoder::Item I = Dec.next(Payload, FErr);
+      if (I == FrameDecoder::Item::None)
+        break;
+      if (I == FrameDecoder::Item::Error)
+        ::_exit(3);
+      WireRequest Req;
+      ShardControl Ctl;
+      if (parseRequestPayload(Payload.data(), Payload.size(), Req)) {
+        (void)Pool.submit({Req.Index, std::move(Req.Inputs)});
+      } else if (parseShardControlPayload(Payload.data(), Payload.size(),
+                                          Ctl) &&
+                 Ctl.Op == ShardControlOp::DrainCmd) {
+        // Drain handshake: cooperative within the budget, escalating to
+        // cancellation past it, then finish() — which streams every
+        // remaining outcome (cancelled runs as poisoned) through the hook
+        // BEFORE the ack, so the parent's books are complete when the ack
+        // lands.
+        bool Clean = Pool.drainWithin(Ctl.BudgetMillis);
+        if (!Clean)
+          Pool.shutdownNow();
+        Pool.finish();
+        ShardControl Ack;
+        Ack.Op = ShardControlOp::DrainAck;
+        Ack.Clean = Clean;
+        WriteFrame(encodeShardControlFrame(Ack));
+        ::_exit(0);
+      } else {
+        ::_exit(3); // the parent speaking gibberish is unrecoverable
+      }
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ChildProcessShard — parent side
+//===----------------------------------------------------------------------===//
+
+ChildProcessShard::ChildProcessShard(Module &M, PoolOptions Opts,
+                                     unsigned Index, unsigned RestartBudget,
+                                     ShardSupervisor &Reaper, NetBooks &Net,
+                                     ShardHooks Hooks)
+    : M(M), Opts(std::move(Opts)), Idx(Index), RestartBudget(RestartBudget),
+      Reaper(Reaper), Net(Net), Hooks(std::move(Hooks)) {}
+
+ChildProcessShard::~ChildProcessShard() {
+  // No outcome delivery from a destructor: the owning server may be mid-
+  // teardown. drain() already ran in every normal lifecycle.
+  Hooks.DeliverOutcome = nullptr;
+  abortInline();
+  if (ChannelFd >= 0) {
+    ::close(ChannelFd);
+    ChannelFd = -1;
+  }
+}
+
+bool ChildProcessShard::start(std::string *Err) { return launch(Err); }
+
+bool ChildProcessShard::launch(std::string *Err) {
+  int Sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Sv) != 0) {
+    if (Err)
+      *Err = std::string("socketpair: ") + std::strerror(errno);
+    return false;
+  }
+  pid_t Child = ::fork();
+  if (Child < 0) {
+    if (Err)
+      *Err = std::string("fork: ") + std::strerror(errno);
+    ::close(Sv[0]);
+    ::close(Sv[1]);
+    return false;
+  }
+  if (Child == 0) {
+    ::close(Sv[0]);
+    shardChildMain(M, Opts, Sv[1]); // noreturn
+  }
+  ::close(Sv[1]);
+  int Flags = ::fcntl(Sv[0], F_GETFL, 0);
+  ::fcntl(Sv[0], F_SETFL, Flags | O_NONBLOCK);
+  ::fcntl(Sv[0], F_SETFD, FD_CLOEXEC);
+  ChannelFd = Sv[0];
+  ++ChannelEpoch;
+  Decoder = FrameDecoder(); // a fresh epoch: no partial frame carries over
+  Outbound.clear();
+  OutPos = 0;
+  ChannelBroken = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    Pid = Child;
+    Reaped = false;
+  }
+  // The monitor thread only records the death and wakes the loop; all
+  // heavy processing stays on the loop thread (processDeath).
+  Reaper.watch(Child, [this](const ShardDeath &D) {
+    {
+      std::lock_guard<std::mutex> Lock(Mtx);
+      Reaped = true;
+      PendingDeath = D;
+    }
+    if (Hooks.WakeLoop)
+      Hooks.WakeLoop();
+  });
+  return true;
+}
+
+bool ChildProcessShard::submit(PoolRequest Req) {
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    ++Books.Submitted;
+    if (St != State::Running) {
+      // Retired (or draining — the server quiesced reads, so this is
+      // defensive): the request is shed with exact books, like a closed
+      // pool in thread mode.
+      ++Books.Shed;
+      ++Books.ShedClosed;
+      return false;
+    }
+    if (Cache.size() >= Opts.QueueCapacity) {
+      // Parent-side in-flight cap, the process-mode face of queue-full
+      // shedding. Mirrors thread mode exactly when the client window is
+      // below QueueCapacity (the soak's regime): neither mode sheds.
+      ++Books.Shed;
+      ++Books.ShedQueueFull;
+      return false;
+    }
+    ++Books.Accepted;
+  }
+  WireRequest W;
+  W.Index = Req.Index;
+  W.DeadlineMillis = 0; // deadlines are enforced parent-side
+  W.Inputs = std::move(Req.Inputs);
+  std::vector<uint8_t> Frame = encodeRequestFrame(W);
+  Cache.emplace(Req.Index, Frame);
+  appendFrame(Frame);
+  flushOutbound();
+  return true;
+}
+
+void ChildProcessShard::appendFrame(const std::vector<uint8_t> &Frame) {
+  // Same anti-ratchet compaction rule as the connection buffers.
+  if (OutPos > 4096 && OutPos * 2 > Outbound.size()) {
+    Outbound.erase(Outbound.begin(),
+                   Outbound.begin() + static_cast<ptrdiff_t>(OutPos));
+    OutPos = 0;
+  }
+  Outbound.insert(Outbound.end(), Frame.begin(), Frame.end());
+}
+
+void ChildProcessShard::flushOutbound() {
+  if (ChannelFd < 0 || ChannelBroken)
+    return;
+  while (OutPos < Outbound.size()) {
+    size_t N = Outbound.size() - OutPos;
+    if (Hooks.Probe && Hooks.Probe(FaultSite::ShardIpcIo)) {
+      ++Net.ShardIpcFaults;
+      N = 1;
+    }
+    ssize_t W = ::send(ChannelFd, Outbound.data() + OutPos, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break; // the server arms EPOLLOUT off wantWrite()
+      // EPIPE etc.: the child is dying. Stop writing; the death path
+      // clears this buffer and replays from the cache.
+      ChannelBroken = true;
+      break;
+    }
+    OutPos += static_cast<size_t>(W);
+  }
+  if (OutPos == Outbound.size()) {
+    Outbound.clear();
+    OutPos = 0;
+  }
+}
+
+void ChildProcessShard::onWritable() { flushOutbound(); }
+
+void ChildProcessShard::onReadable() {
+  if (ChannelFd < 0)
+    return;
+  uint8_t Buf[65536];
+  for (;;) {
+    size_t Want = sizeof Buf;
+    if (Hooks.Probe && Hooks.Probe(FaultSite::ShardIpcIo)) {
+      ++Net.ShardIpcFaults;
+      Want = 1;
+    }
+    ssize_t R = ::recv(ChannelFd, Buf, Want, 0);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // EAGAIN, or an error the death path will explain
+    }
+    if (R == 0)
+      break; // EOF: the reap (processDeath) owns the teardown
+    Decoder.feed(Buf, static_cast<size_t>(R));
+    std::vector<uint8_t> Payload;
+    FrameError Err;
+    for (;;) {
+      FrameDecoder::Item I = Decoder.next(Payload, Err);
+      if (I == FrameDecoder::Item::None)
+        break;
+      if (I == FrameDecoder::Item::Error) {
+        // A corrupt stream from our own child: unsalvageable. Kill it;
+        // the death path restarts and replays.
+        killNow();
+        return;
+      }
+      handleChildFrame(Payload);
+    }
+    if (static_cast<size_t>(R) < Want)
+      break;
+  }
+}
+
+void ChildProcessShard::handleChildFrame(const std::vector<uint8_t> &Payload) {
+  ShardOutcome SO;
+  ShardControl Ctl;
+  if (parseShardOutcomePayload(Payload.data(), Payload.size(), SO)) {
+    PoolOutcome O;
+    O.Index = SO.Resp.Index;
+    O.Trap = SO.Resp.Trap;
+    O.ReturnValue = SO.Resp.ReturnValue;
+    O.Steps = SO.Resp.Steps;
+    O.Attempts = SO.Resp.Attempts;
+    O.Poisoned = SO.Resp.Status == WireStatus::Poisoned;
+    auto It = Cache.find(O.Index);
+    if (It == Cache.end())
+      return; // not in flight here: defensive (cannot happen by design)
+    Cache.erase(It);
+    {
+      std::lock_guard<std::mutex> Lock(Mtx);
+      // Exactly-once books: the delta rides the outcome, and the cache
+      // erase above is what keeps a replay from ever producing a second
+      // frame for this index.
+      SO.Books.addTo(Books);
+      if (O.Poisoned) {
+        ++Books.Poisoned;
+        Books.PoisonedIndices.push_back(O.Index);
+      } else {
+        ++Books.Completed;
+      }
+      Outcomes.push_back(O);
+    }
+    if (Hooks.DeliverOutcome)
+      Hooks.DeliverOutcome(O);
+    return;
+  }
+  if (parseShardControlPayload(Payload.data(), Payload.size(), Ctl) &&
+      Ctl.Op == ShardControlOp::DrainAck) {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    CleanAck = Ctl.Clean;
+    St = State::Drained;
+    Cv.notify_all();
+    return;
+  }
+  killNow(); // schema nonsense from the child: same as a corrupt stream
+}
+
+void ChildProcessShard::service() {
+  std::optional<ShardDeath> D;
+  bool NeedKill = false;
+  bool NeedDrain = false;
+  unsigned Budget = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    if (PendingDeath) {
+      D = *PendingDeath;
+      PendingDeath.reset();
+    }
+    NeedKill = KillPending && !KillIssued;
+    if (!D && !NeedKill && St == State::DrainRequested) {
+      NeedDrain = true;
+      Budget = DrainBudgetMillis;
+    }
+  }
+  if (D) {
+    processDeath(*D);
+    return;
+  }
+  if (NeedKill) {
+    killNow();
+    return;
+  }
+  if (NeedDrain)
+    sendDrainCmd(Budget);
+}
+
+void ChildProcessShard::sendDrainCmd(unsigned BudgetMillis) {
+  ShardControl C;
+  C.Op = ShardControlOp::DrainCmd;
+  C.BudgetMillis = BudgetMillis;
+  appendFrame(encodeShardControlFrame(C));
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    if (St == State::Running || St == State::DrainRequested)
+      St = State::DrainSent;
+  }
+  flushOutbound();
+}
+
+void ChildProcessShard::injectKill() {
+  // A chaos kill, not an escalation: deliberately does NOT set KillIssued,
+  // so the death path re-forks and replays instead of retiring — the whole
+  // point is proving that a SIGKILLed shard costs the digest nothing.
+  std::unique_lock<std::mutex> Lock(Mtx);
+  if (Reaped || Pid <= 0 || KillIssued || St != State::Running)
+    return; // already dying, draining, or down
+  pid_t P = Pid;
+  Lock.unlock();
+  ::kill(P, SIGKILL);
+}
+
+void ChildProcessShard::killNow() {
+  std::unique_lock<std::mutex> Lock(Mtx);
+  KillPending = true;
+  if (KillIssued || Reaped || Pid <= 0) {
+    // Nothing left to kill. If the child is gone and its death already
+    // processed without retiring (can't normally happen), make the state
+    // terminal so drain()/finish() cannot hang.
+    if (Pid <= 0 && St != State::Drained && St != State::Retired)
+      retireLocked(Lock); // unlocks
+    return;
+  }
+  KillIssued = true;
+  pid_t P = Pid;
+  Lock.unlock();
+  ::kill(P, SIGKILL);
+}
+
+void ChildProcessShard::processDeath(const ShardDeath &D) {
+  // Drain the dead channel to EOF first: outcomes the child wrote before
+  // dying are real — processing them erases their cache entries, so they
+  // are never replayed (counted exactly once). The child is reaped, so
+  // there is no writer left: the reads end at EOF, never EAGAIN.
+  if (ChannelFd >= 0) {
+    uint8_t Buf[65536];
+    for (;;) {
+      ssize_t R = ::read(ChannelFd, Buf, sizeof Buf);
+      if (R > 0) {
+        Decoder.feed(Buf, static_cast<size_t>(R));
+        std::vector<uint8_t> Payload;
+        FrameError Err;
+        while (Decoder.next(Payload, Err) == FrameDecoder::Item::Payload)
+          handleChildFrame(Payload);
+        continue;
+      }
+      if (R < 0 && errno == EINTR)
+        continue;
+      break;
+    }
+    ::close(ChannelFd);
+    ChannelFd = -1;
+  }
+  Decoder = FrameDecoder(); // a torn mid-write frame dies with the child
+  Outbound.clear();
+  OutPos = 0;
+  ChannelBroken = false;
+
+  std::unique_lock<std::mutex> Lock(Mtx);
+  Pid = -1;
+  if (St == State::Drained) {
+    // The expected drain-time exit (the ack was processed above or
+    // earlier). Not a death in the books' sense.
+    Cv.notify_all();
+    return;
+  }
+  ++Net.ShardDeaths;
+  if (D.Signaled)
+    ++Net.ShardDeathsBySignal;
+  if (KillIssued || RestartsUsed >= RestartBudget) {
+    retireLocked(Lock); // unlocks
+    return;
+  }
+  ++RestartsUsed;
+  bool ResumeDrain = DrainWanted;
+  unsigned Budget = DrainBudgetMillis;
+  Lock.unlock();
+
+  std::string Err;
+  if (!launch(&Err)) {
+    Lock.lock();
+    retireLocked(Lock);
+    return;
+  }
+  ++Net.ShardRestarts;
+  Net.ShardReplays += Cache.size();
+  // Replay, in index order (deterministic, though order doesn't matter —
+  // each request is independent). The replayed requests were Submitted
+  // once already: no admission books move here.
+  for (const auto &[Index, Frame] : Cache)
+    appendFrame(Frame);
+  Lock.lock();
+  St = ResumeDrain ? State::DrainRequested : State::Running;
+  Lock.unlock();
+  if (ResumeDrain)
+    sendDrainCmd(Budget); // queued behind the replays on the same stream
+  else
+    flushOutbound();
+}
+
+void ChildProcessShard::retireLocked(std::unique_lock<std::mutex> &Lock) {
+  St = State::Retired;
+  // Poison everything still cached: its serving process is gone for good.
+  // PoisonedPoolDeath is the same class thread mode books when a pool
+  // dies under its backlog — the accounting identity outlives the shard.
+  std::vector<PoolOutcome> Synth;
+  for (const auto &[Index, Frame] : Cache) {
+    PoolOutcome O;
+    O.Index = Index;
+    O.Attempts = 0;
+    O.Poisoned = true;
+    ++Books.Poisoned;
+    ++Books.PoisonedPoolDeath;
+    Books.PoisonedIndices.push_back(Index);
+    Outcomes.push_back(O);
+    Synth.push_back(O);
+  }
+  Cache.clear();
+  Cv.notify_all();
+  Lock.unlock();
+  for (const PoolOutcome &O : Synth)
+    if (Hooks.DeliverOutcome)
+      Hooks.DeliverOutcome(O);
+}
+
+bool ChildProcessShard::drainWithin(unsigned Millis) {
+  std::unique_lock<std::mutex> Lock(Mtx);
+  if (St == State::Retired)
+    return true; // nothing in flight; like draining a dead pool
+  if (St == State::Drained)
+    return CleanAck;
+  DrainWanted = true;
+  DrainBudgetMillis = Millis;
+  if (St == State::Running)
+    St = State::DrainRequested;
+  Lock.unlock();
+  if (Hooks.WakeLoop)
+    Hooks.WakeLoop();
+  Lock.lock();
+  // Slack past the child's budget covers the SCT1 round-trip and any
+  // mid-drain death (re-fork + replay restarts the child's clock).
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(uint64_t(Millis) + 2000);
+  bool Done = Cv.wait_until(Lock, Deadline, [this] {
+    return St == State::Drained || St == State::Retired;
+  });
+  return Done && (St == State::Retired || CleanAck);
+}
+
+void ChildProcessShard::shutdownNow() {
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    KillPending = true;
+  }
+  if (Hooks.WakeLoop)
+    Hooks.WakeLoop();
+}
+
+std::vector<PoolOutcome> ChildProcessShard::finish() {
+  std::unique_lock<std::mutex> Lock(Mtx);
+  bool Done = Cv.wait_for(Lock, std::chrono::seconds(5), [this] {
+    return St == State::Drained || St == State::Retired;
+  });
+  if (!Done) {
+    // No cooperating loop (a failed start(), or an abandoned server):
+    // take the child down inline. Only reached when the loop thread is
+    // not running, so touching loop state here is safe.
+    Lock.unlock();
+    abortInline();
+    Lock.lock();
+  }
+  return std::move(Outcomes);
+}
+
+void ChildProcessShard::abortInline() {
+  pid_t P = -1;
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    if (!Reaped && Pid > 0 && !KillIssued) {
+      KillIssued = true;
+      P = Pid;
+    }
+  }
+  if (P > 0)
+    ::kill(P, SIGKILL);
+  if (ChannelFd >= 0) {
+    ::close(ChannelFd);
+    ChannelFd = -1;
+  }
+  std::unique_lock<std::mutex> Lock(Mtx);
+  if (St != State::Drained && St != State::Retired)
+    retireLocked(Lock); // unlocks
+}
+
+PoolBooks ChildProcessShard::books() const {
+  std::lock_guard<std::mutex> Lock(Mtx);
+  return Books;
+}

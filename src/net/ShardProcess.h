@@ -1,0 +1,232 @@
+//===- net/ShardProcess.h - Process-isolated WorkerPool shards -*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Shard abstraction under SocketServer (DESIGN.md §15): the routing,
+/// backpressure, and deadline machinery above it is mode-blind, and a
+/// shard is either a WorkerPool in this process (InProcessShard — the
+/// original, zero-overhead arrangement) or a forked child process owning
+/// its own WorkerPool (ChildProcessShard), speaking the length-prefixed
+/// frame protocol to the parent over a socketpair registered in the
+/// parent's epoll loop.
+///
+/// Process isolation buys crash containment one level up from worker
+/// threads: a wild write that takes out a whole shard process — not just
+/// one worker — costs the parent a re-fork and a replay, not the server.
+/// The replay is what makes the isolation free of observable effect: every
+/// request is a pure function of (RootSeed, Index), so re-submitting the
+/// requests that were in flight in a SIGKILLed child reproduces their
+/// outcomes AND their per-request accounting deltas bit for bit. The
+/// parent assembles the shard's PoolBooks from the deltas shipped with
+/// each outcome (net/FrameCodec.h SHO1), so a dead child's unsent work is
+/// recomputed, never lost and never double-counted: an outcome is booked
+/// when its SHO1 frame is processed, exactly once, because the in-flight
+/// cache entry that triggers replay is erased by that same processing.
+///
+/// Threading. submit(), the channel handlers, and service() run on the
+/// server's loop thread, which owns all heavy shard state (cache, codec
+/// buffers, parent-side books). drainWithin()/shutdownNow()/finish() run
+/// on the drain() caller's thread and communicate with the loop through a
+/// small mutex-guarded command block + condition variable. The
+/// ShardSupervisor's monitor thread only records a pending death and wakes
+/// the loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_NET_SHARDPROCESS_H
+#define SMOKESTACK_NET_SHARDPROCESS_H
+
+#include "net/FrameCodec.h"
+#include "runtime/ShardSupervisor.h"
+#include "runtime/WorkerPool.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smokestack {
+
+struct NetBooks;
+
+/// Callbacks a shard uses to reach back into its owning SocketServer.
+struct ShardHooks {
+  /// Hands a terminal outcome to the server's completion channel
+  /// (thread-safe; the server matches it to its connection).
+  std::function<void(const PoolOutcome &)> DeliverOutcome;
+  /// Fault probe against the server's net injector (loop thread only).
+  std::function<bool(FaultSite)> Probe;
+  /// Wakes the server's event loop (thread-safe, async-signal-safe).
+  std::function<void()> WakeLoop;
+};
+
+/// One WorkerPool shard as SocketServer sees it. submit() is loop-thread
+/// only and must never block; the drain trio follows WorkerPool's
+/// lifecycle contract (drainWithin → [shutdownNow] → finish).
+class Shard {
+public:
+  virtual ~Shard() = default;
+
+  /// Brings the shard up. Returns false with \p Err set on failure.
+  virtual bool start(std::string *Err) = 0;
+
+  /// Routes one request in. False = shed (the caller books WireShed and
+  /// answers Shed); the shard keeps its own Submitted/Shed books exact
+  /// either way.
+  virtual bool submit(PoolRequest Req) = 0;
+
+  /// Cooperative drain within \p Millis. True when every in-flight
+  /// request reached a terminal state without forced cancellation.
+  virtual bool drainWithin(unsigned Millis) = 0;
+
+  /// Escalation after a failed drain: cancel/kill outstanding work. The
+  /// affected requests are booked poisoned, keeping the identity exact.
+  virtual void shutdownNow() = 0;
+
+  /// Final teardown; every outcome has been delivered through
+  /// ShardHooks::DeliverOutcome (or is in the returned vector) exactly
+  /// once. The shard is dead afterwards.
+  virtual std::vector<PoolOutcome> finish() = 0;
+
+  /// The shard's books. Exact after finish().
+  virtual PoolBooks books() const = 0;
+};
+
+/// The original arrangement: a WorkerPool in the server's process. All
+/// Shard calls forward directly; outcomes flow through the pool's
+/// OnOutcome hook (already wired to the server by PoolOptions).
+class InProcessShard final : public Shard {
+public:
+  InProcessShard(Module &M, const PoolOptions &Opts);
+
+  bool start(std::string *Err) override;
+  bool submit(PoolRequest Req) override;
+  bool drainWithin(unsigned Millis) override;
+  void shutdownNow() override;
+  std::vector<PoolOutcome> finish() override;
+  PoolBooks books() const override;
+
+private:
+  WorkerPool Pool;
+};
+
+/// A shard forked into its own process. The parent end holds: the
+/// nonblocking socketpair channel (registered in the server's epoll under
+/// the shard-id namespace), the in-flight request cache that powers
+/// replay, and the parent-assembled PoolBooks.
+class ChildProcessShard final : public Shard {
+public:
+  /// \p Opts is the per-shard pool template; the child rebuilds a fresh
+  /// WorkerPool from it after fork (admission switched to Block — the
+  /// parent's in-flight cap is the real backpressure point, so the child
+  /// never sheds and never blocks for long).
+  ChildProcessShard(Module &M, PoolOptions Opts, unsigned Index,
+                    unsigned RestartBudget, ShardSupervisor &Reaper,
+                    NetBooks &Net, ShardHooks Hooks);
+  ~ChildProcessShard() override;
+
+  bool start(std::string *Err) override;
+  bool submit(PoolRequest Req) override;
+  bool drainWithin(unsigned Millis) override;
+  void shutdownNow() override;
+  std::vector<PoolOutcome> finish() override;
+  PoolBooks books() const override;
+
+  // ---- Loop-thread service surface -------------------------------------
+
+  /// Parent end of the IPC channel (-1 while down). The server re-checks
+  /// after service(): a re-fork changes it.
+  int channelFd() const { return ChannelFd; }
+
+  /// Bumped by every successful launch (including the first). The server
+  /// keys epoll re-registration off this, NOT off the fd value: a re-fork
+  /// routinely reuses the number of the channel fd it just closed, which
+  /// would make fd comparison miss the swap and strand the new channel
+  /// outside epoll.
+  uint32_t channelEpoch() const { return ChannelEpoch; }
+
+  /// True while unsent IPC bytes are buffered (EPOLLOUT wanted).
+  bool wantWrite() const { return OutPos < Outbound.size(); }
+
+  /// Channel events from the server's epoll loop.
+  void onReadable();
+  void onWritable();
+
+  /// Runs pending cross-thread commands: a reaped death (book, re-fork,
+  /// replay or retire), a requested drain (send the SCT1 command), a
+  /// requested kill. Called by the loop every wake.
+  void service();
+
+  /// Seeded ShardKill fault: SIGKILL the child outright (loop thread).
+  void injectKill();
+
+  unsigned index() const { return Idx; }
+  uint32_t restartsUsed() const { return RestartsUsed; }
+
+private:
+  enum class State : int {
+    Running = 0,
+    DrainRequested, ///< drainWithin() called; SCT1 cmd not yet sent.
+    DrainSent,      ///< SCT1 cmd on the wire; awaiting the ack.
+    Drained,        ///< Ack processed; child exited (or is exiting).
+    Retired,        ///< Dead for good: budget exhausted or killed.
+  };
+
+  bool launch(std::string *Err);
+  void processDeath(const ShardDeath &D);
+  void sendDrainCmd(unsigned BudgetMillis);
+  void killNow();
+  void appendFrame(const std::vector<uint8_t> &Frame);
+  void flushOutbound();
+  void handleChildFrame(const std::vector<uint8_t> &Payload);
+  void retireLocked(std::unique_lock<std::mutex> &Lock);
+  void abortInline();
+
+  Module &M;
+  PoolOptions Opts;
+  unsigned Idx = 0;
+  unsigned RestartBudget = 0;
+  ShardSupervisor &Reaper;
+  NetBooks &Net;
+  ShardHooks Hooks;
+
+  // ---- Loop-thread state ------------------------------------------------
+  int ChannelFd = -1;
+  uint32_t ChannelEpoch = 0;
+  pid_t Pid = -1;
+  FrameDecoder Decoder;
+  std::vector<uint8_t> Outbound;
+  size_t OutPos = 0;
+  bool ChannelBroken = false;
+  /// In-flight cache: encoded RQS1 frame per outstanding index, the replay
+  /// source of truth. An entry lives from submit() to its SHO1 (or its
+  /// synthesized poison), so |Cache| is also the parent-side admission cap.
+  std::map<uint64_t, std::vector<uint8_t>> Cache;
+  uint32_t RestartsUsed = 0;
+
+  // ---- Cross-thread command block (Mtx) ---------------------------------
+  mutable std::mutex Mtx;
+  std::condition_variable Cv;
+  State St = State::Running;
+  std::optional<ShardDeath> PendingDeath;
+  bool Reaped = false;       ///< Child pid has been waitpid'ed (monitor).
+  bool KillPending = false;  ///< shutdownNow()/injectKill asked for SIGKILL.
+  bool KillIssued = false;   ///< SIGKILL sent; the next death retires.
+  bool DrainWanted = false;  ///< A drain survives deaths: re-forks re-send.
+  unsigned DrainBudgetMillis = 0;
+  bool CleanAck = false;     ///< The ack's Clean flag.
+  PoolBooks Books;           ///< Parent-assembled (loop writes under Mtx).
+  std::vector<PoolOutcome> Outcomes;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_NET_SHARDPROCESS_H

@@ -18,6 +18,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -28,8 +29,18 @@ namespace {
 /// epoll user-data slots for the two non-connection fds.
 constexpr uint64_t ListenerId = 0;
 constexpr uint64_t WakeId = 1;
+/// Shard IPC channels live in their own id namespace, far above any
+/// connection id (NextConnId would need 2^48 accepts to collide): the low
+/// bits are the shard index. A re-fork swaps the fd under the same id.
+constexpr uint64_t ShardIdBase = 0xFFFF'0000'0000'0000ull;
 
 constexpr uint64_t MillisToNanos = 1000u * 1000u;
+
+/// epoll_wait timeout. The eventfd carries every real wake (completions,
+/// stop/drain requests, shard deaths), so the timeout is only a sampling
+/// fallback: long by default, short while wall-clock state needs polling
+/// (connection reaping timeouts, the drain flush deadline).
+int loopTimeoutMillis(bool Polling) { return Polling ? 50 : 500; }
 
 } // namespace
 
@@ -55,6 +66,18 @@ void NetBooks::exportMetrics(MetricsRegistry &R) const {
     StallFaults);
   G("net.books.reset-faults", "Injected mid-stream connection resets",
     ResetFaults);
+  G("net.books.shard-deaths", "Shard child processes reaped unexpectedly",
+    ShardDeaths);
+  G("net.books.shard-deaths-by-signal", "Shard deaths killed by a signal",
+    ShardDeathsBySignal);
+  G("net.books.shard-restarts", "Shard re-forks after a death",
+    ShardRestarts);
+  G("net.books.shard-replays", "In-flight requests replayed into a new child",
+    ShardReplays);
+  G("net.books.shard-kill-faults", "Injected shard SIGKILL faults",
+    ShardKillFaults);
+  G("net.books.shard-ipc-faults", "Injected one-byte shard IPC I/Os",
+    ShardIpcFaults);
   G("net.books.bytes-in", "Payload bytes read from sockets", BytesIn);
   G("net.books.bytes-out", "Payload bytes written to sockets", BytesOut);
   G("net.books.frames-decoded", "Complete frames decoded", FramesDecoded);
@@ -151,11 +174,20 @@ SocketServer::SocketServer(Module &M, ServerOptions Opts)
 SocketServer::~SocketServer() {
   if (Started && !Drained)
     drain();
-  for (int *Fd : {&EpollFd, &ListenFd, &WakeFd[0], &WakeFd[1]})
+  if (Reaper)
+    Reaper->stop();
+  for (int *Fd : {&EpollFd, &ListenFd, &WakeEventFd})
     if (*Fd >= 0) {
       ::close(*Fd);
       *Fd = -1;
     }
+}
+
+void SocketServer::wakeLoop() {
+  if (WakeEventFd >= 0) {
+    uint64_t One = 1;
+    (void)!::write(WakeEventFd, &One, sizeof One);
+  }
 }
 
 bool SocketServer::netProbe(FaultSite Site) {
@@ -170,19 +202,29 @@ bool SocketServer::start(std::string *Err) {
   auto Fail = [&](const char *What) {
     if (Err)
       *Err = std::string(What) + ": " + std::strerror(errno);
-    for (int *Fd : {&EpollFd, &ListenFd, &WakeFd[0], &WakeFd[1]})
+    for (int *Fd : {&EpollFd, &ListenFd, &WakeEventFd})
       if (*Fd >= 0) {
         ::close(*Fd);
         *Fd = -1;
       }
+    if (Reaper)
+      Reaper->stop();
     for (auto &S : Shards)
       S->finish();
     Shards.clear();
+    ProcShards.clear();
+    Reaper.reset();
     return false;
   };
 
   if (Started)
     return false;
+
+  // SIGPIPE must be ignored process-wide (peer teardown during a write is
+  // an EPIPE, never death) and SIGCHLD needs its fan-out handler before
+  // the first shard fork. Idempotent, and also called by the entry-point
+  // binaries — this is the backstop for embedders.
+  installServerSignalDefaults();
 
   ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (ListenFd < 0)
@@ -203,8 +245,9 @@ bool SocketServer::start(std::string *Err) {
     return Fail("getsockname");
   BoundPort = ntohs(Addr.sin_port);
 
-  if (::pipe2(WakeFd, O_NONBLOCK | O_CLOEXEC) < 0)
-    return Fail("pipe2");
+  WakeEventFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (WakeEventFd < 0)
+    return Fail("eventfd");
 
   EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
   if (EpollFd < 0)
@@ -216,31 +259,64 @@ bool SocketServer::start(std::string *Err) {
     return Fail("epoll_ctl(listener)");
   ListenerArmed = true;
   Ev.data.u64 = WakeId;
-  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd[0], &Ev) < 0)
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeEventFd, &Ev) < 0)
     return Fail("epoll_ctl(wake)");
 
   if (Opts.InjectNetFaults)
     NetInjector = std::make_unique<FaultInjector>(Opts.NetFaultPlan);
 
   // Shards: same module, same RootSeed — a request's outcome depends only
-  // on its index, so the shard split is invisible to results. The loop
-  // thread must never block in submit(), so admission is forced to
-  // ShedNewest; a full shard queue becomes an exact WireShed book entry
-  // plus a Shed response, which is the backpressure contract.
+  // on its index, so the shard split (and the isolation mode) is invisible
+  // to results. The loop thread must never block in submit(), so thread-
+  // mode admission is forced to ShedNewest; a full shard queue becomes an
+  // exact WireShed book entry plus a Shed response, which is the
+  // backpressure contract. (Process mode enforces the same cap parent-side
+  // and flips the child to Block admission — see ShardProcess.h.)
   PoolOptions ShardOpts = Opts.Pool;
   ShardOpts.Admission.Policy = AdmissionOptions::ShedPolicy::ShedNewest;
-  ShardOpts.OnOutcome = [this](const PoolOutcome &O) {
+  auto Deliver = [this](const PoolOutcome &O) {
     {
       std::lock_guard<std::mutex> Lock(CompletionMutex);
       Completions.push_back(O);
     }
-    char Byte = 1;
-    // A full pipe is fine: any byte already in it wakes the loop.
-    (void)!::write(WakeFd[1], &Byte, 1);
+    wakeLoop();
   };
-  for (unsigned I = 0; I != Opts.Shards; ++I) {
-    Shards.push_back(std::make_unique<WorkerPool>(M, ShardOpts));
-    Shards.back()->start();
+  ShardOpts.OnOutcome = Deliver;
+  if (Opts.Mode == ShardMode::Process) {
+    Reaper = std::make_unique<ShardSupervisor>();
+    Reaper->start();
+    ShardHooks Hooks;
+    Hooks.DeliverOutcome = Deliver;
+    Hooks.Probe = [this](FaultSite S) { return netProbe(S); };
+    Hooks.WakeLoop = [this] { wakeLoop(); };
+    for (unsigned I = 0; I != Opts.Shards; ++I) {
+      auto C = std::make_unique<ChildProcessShard>(
+          M, ShardOpts, I, Opts.ShardRestartBudget, *Reaper, Net, Hooks);
+      std::string ChildErr;
+      if (!C->start(&ChildErr)) {
+        if (Err)
+          *Err = ChildErr;
+        Shards.push_back(std::move(C)); // Fail() finishes it
+        return Fail("shard fork");
+      }
+      epoll_event SEv = {};
+      SEv.events = EPOLLIN;
+      SEv.data.u64 = ShardIdBase | I;
+      if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, C->channelFd(), &SEv) < 0) {
+        Shards.push_back(std::move(C));
+        return Fail("epoll_ctl(shard)");
+      }
+      ShardEpochs.push_back(C->channelEpoch());
+      ShardFds.push_back(C->channelFd());
+      ShardArmed.push_back(EPOLLIN);
+      ProcShards.push_back(C.get());
+      Shards.push_back(std::move(C));
+    }
+  } else {
+    for (unsigned I = 0; I != Opts.Shards; ++I) {
+      Shards.push_back(std::make_unique<InProcessShard>(M, ShardOpts));
+      Shards.back()->start(nullptr);
+    }
   }
 
   Started = true;
@@ -250,10 +326,9 @@ bool SocketServer::start(std::string *Err) {
 
 void SocketServer::requestStop() {
   StopFlag.store(true, std::memory_order_release);
-  if (WakeFd[1] >= 0) {
-    char Byte = 1;
-    (void)!::write(WakeFd[1], &Byte, 1);
-  }
+  // eventfd writes are async-signal-safe, like the pipe write this
+  // replaced — requestStop stays callable from a SIGTERM handler.
+  wakeLoop();
 }
 
 void SocketServer::updateEpoll(Conn &C) {
@@ -449,6 +524,14 @@ void SocketServer::handleFrame(Conn &C, const std::vector<uint8_t> &Payload) {
     return;
   }
   ++Net.RequestsAdmitted;
+  // Process-isolation chaos: a seeded SIGKILL of the child that just
+  // admitted this request. The kill perturbs only *delivery* — the death
+  // path re-forks and replays the in-flight requests, whose outcomes are
+  // pure functions of (RootSeed, Index) — so the digest is unchanged.
+  if (!ProcShards.empty() && netProbe(FaultSite::ShardKill)) {
+    ++Net.ShardKillFaults;
+    ProcShards[Shard]->injectKill();
+  }
 }
 
 void SocketServer::pumpDecoder(Conn &C) {
@@ -585,6 +668,40 @@ void SocketServer::reapTimeouts(uint64_t NowNs) {
   }
 }
 
+void SocketServer::serviceShards() {
+  for (size_t I = 0, E = ProcShards.size(); I != E; ++I) {
+    ChildProcessShard &S = *ProcShards[I];
+    S.service();
+    int Fd = S.channelFd();
+    if (S.channelEpoch() != ShardEpochs[I]) {
+      // A re-fork swapped the channel. The old fd's epoll entry died with
+      // its close; register the new one under the same shard id. The new
+      // fd usually has the same number as the old (first-free-slot fd
+      // allocation), which is why the epoch, not the fd, is compared.
+      ShardEpochs[I] = S.channelEpoch();
+      ShardFds[I] = Fd;
+      ShardArmed[I] = -1;
+      if (Fd >= 0) {
+        epoll_event Ev = {};
+        Ev.events = EPOLLIN;
+        Ev.data.u64 = ShardIdBase | I;
+        if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) == 0)
+          ShardArmed[I] = EPOLLIN;
+      }
+    }
+    if (Fd < 0)
+      continue;
+    int Want = int(EPOLLIN) | (S.wantWrite() ? int(EPOLLOUT) : 0);
+    if (Want != ShardArmed[I]) {
+      epoll_event Ev = {};
+      Ev.events = static_cast<uint32_t>(Want);
+      Ev.data.u64 = ShardIdBase | I;
+      ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, Fd, &Ev);
+      ShardArmed[I] = Want;
+    }
+  }
+}
+
 void SocketServer::loopMain() {
   int AppliedPhase = static_cast<int>(Phase::Running);
   uint64_t FlushDeadlineNs = 0;
@@ -638,8 +755,14 @@ void SocketServer::loopMain() {
       }
     }
 
+    serviceShards();
+
+    // The eventfd carries every cross-thread wake; the timeout is only a
+    // wall-clock sampler (reap timeouts, flush deadline), long otherwise.
+    bool Polling = AppliedPhase == static_cast<int>(Phase::Flush) ||
+                   Opts.IdleTimeoutMillis || Opts.StallTimeoutMillis;
     epoll_event Events[64];
-    int N = ::epoll_wait(EpollFd, Events, 64, 50);
+    int N = ::epoll_wait(EpollFd, Events, 64, loopTimeoutMillis(Polling));
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -654,10 +777,19 @@ void SocketServer::loopMain() {
         continue;
       }
       if (Id == WakeId) {
-        uint8_t Sink[256];
-        while (::read(WakeFd[0], Sink, sizeof Sink) > 0)
-          ;
+        uint64_t Count = 0;
+        (void)!::read(WakeEventFd, &Count, sizeof Count); // one read clears
         drainCompletions();
+        continue;
+      }
+      if (Id >= ShardIdBase) {
+        size_t SIdx = static_cast<size_t>(Id & 0xFFFF);
+        if (SIdx < ProcShards.size()) {
+          if (Ev & (EPOLLIN | EPOLLHUP | EPOLLERR))
+            ProcShards[SIdx]->onReadable();
+          if (Ev & EPOLLOUT)
+            ProcShards[SIdx]->onWritable();
+        }
         continue;
       }
       auto It = Conns.find(Id);
@@ -688,13 +820,8 @@ DrainReport SocketServer::drain() {
   }
   Drained = true;
 
-  auto Wake = [this] {
-    char Byte = 1;
-    (void)!::write(WakeFd[1], &Byte, 1);
-  };
-
   PhaseFlag.store(static_cast<int>(Phase::Quiesce), std::memory_order_release);
-  Wake();
+  wakeLoop();
 
   // Drain every shard inside the budget; one laggard escalates ALL shards
   // to cancellation so drain() has a bounded worst case. Cancelled runs
@@ -720,9 +847,11 @@ DrainReport SocketServer::drain() {
             });
 
   PhaseFlag.store(static_cast<int>(Phase::Flush), std::memory_order_release);
-  Wake();
+  wakeLoop();
   if (LoopThread.joinable())
     LoopThread.join();
+  if (Reaper)
+    Reaper->stop();
 
   for (const PoolBooks &B : Report.PerShard)
     mergePoolBooks(Report.Pool, B);

@@ -7,15 +7,19 @@
 /// \file
 /// The network serving front-end (DESIGN.md §13): one epoll event-loop
 /// thread speaking the length-prefixed wire protocol (net/FrameCodec.h)
-/// over loopback TCP, routing every request to one of N WorkerPool shards
-/// by the deterministic (RootSeed, Index) hash (net/ShardRouter.h).
+/// over loopback TCP, routing every request to one of N shards by the
+/// deterministic (RootSeed, Index) hash (net/ShardRouter.h). A shard is a
+/// WorkerPool in this process or a forked child process owning one
+/// (ServerOptions::Mode, net/ShardProcess.h, DESIGN.md §15) — the routing,
+/// backpressure, and deadline machinery here is mode-blind.
 ///
 /// Threading model. The loop thread owns the listener, every Connection,
-/// the in-flight request map, and the NetBooks — none of it is locked,
-/// because nothing else touches it. The only cross-thread traffic is the
-/// completion path: shard workers fire PoolOptions::OnOutcome, which
-/// appends the outcome to a mutex-protected vector and pokes a wake pipe;
-/// the loop drains the vector on its own thread and writes responses.
+/// the in-flight request map, the shard IPC channels, and the NetBooks —
+/// none of it is locked, because nothing else touches it. The only
+/// cross-thread traffic is the completion path: shard workers (or the
+/// loop's own shard-channel reads) fire a delivery hook that appends the
+/// outcome to a mutex-protected vector and pokes the wake eventfd; the
+/// loop drains the vector on its own thread and writes responses.
 /// Requests therefore flow loop → shard and outcomes flow shard → loop
 /// with exactly one synchronization point each way.
 ///
@@ -52,6 +56,8 @@
 #define SMOKESTACK_NET_SOCKETSERVER_H
 
 #include "net/FrameCodec.h"
+#include "net/ShardProcess.h"
+#include "runtime/ShardSupervisor.h"
 #include "runtime/WorkerPool.h"
 
 #include <atomic>
@@ -85,6 +91,18 @@ struct NetBooks {
   uint64_t PartialIoFaults = 0;
   uint64_t StallFaults = 0;
   uint64_t ResetFaults = 0;
+
+  // Process-mode shard lifecycle (DESIGN.md §15). A death is any reap the
+  // parent did not order via drain; a restart is the re-fork that follows
+  // while the budget lasts; a replay is one cached in-flight request
+  // re-submitted into the replacement child. Replays never touch the
+  // admission books — the request was Submitted exactly once.
+  uint64_t ShardDeaths = 0;
+  uint64_t ShardDeathsBySignal = 0; ///< Subset of Deaths: WIFSIGNALED.
+  uint64_t ShardRestarts = 0;
+  uint64_t ShardReplays = 0;
+  uint64_t ShardKillFaults = 0; ///< Injected ShardKill probes that fired.
+  uint64_t ShardIpcFaults = 0;  ///< Injected one-byte parent-side IPC I/Os.
 
   // Raw I/O.
   uint64_t BytesIn = 0;
@@ -136,6 +154,12 @@ struct NetBooks {
 /// the scaling soak pins.
 void mergePoolBooks(PoolBooks &Into, const PoolBooks &From);
 
+/// How each shard is isolated from the server (DESIGN.md §15).
+enum class ShardMode {
+  Thread, ///< WorkerPool in this process (InProcessShard).
+  Process ///< Forked child process per shard (ChildProcessShard).
+};
+
 struct ServerOptions {
   /// TCP port on 127.0.0.1 (loopback only; this is a harness front-end,
   /// not an internet-facing daemon). 0 = kernel-assigned, read via port().
@@ -143,6 +167,13 @@ struct ServerOptions {
   /// WorkerPool shards. Each shard is an independent pool over the same
   /// module and RootSeed; requests land by shardForRequest().
   unsigned Shards = 1;
+  /// Shard isolation level. Process mode is digest-neutral: the wire
+  /// outcome stream and the aggregate books are bit-identical to thread
+  /// mode, including across injected SIGKILLs (kill-and-replay).
+  ShardMode Mode = ShardMode::Thread;
+  /// Per-shard re-fork budget (process mode). Past it the shard retires:
+  /// its in-flight requests are poisoned and later submits shed.
+  unsigned ShardRestartBudget = 1u << 20;
   /// Connection cap; accepts beyond it are closed immediately (Refused).
   unsigned MaxConnections = 256;
   /// Reap connections idle this long with nothing in flight (0 = never).
@@ -233,15 +264,29 @@ private:
   void reapTimeouts(uint64_t NowNs);
   void updateEpoll(Conn &C);
   bool netProbe(FaultSite Site);
+  void wakeLoop();
+  void serviceShards();
 
   Module &M;
   ServerOptions Opts;
 
-  std::vector<std::unique_ptr<WorkerPool>> Shards;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  /// Non-owning process-mode view of Shards (empty in thread mode).
+  std::vector<ChildProcessShard *> ProcShards;
+  /// Per-process-shard epoll bookkeeping: registered channel epoch, fd,
+  /// and armed event mask. Re-registration keys off the epoch — a re-fork
+  /// swaps the channel under the same shard id and routinely reuses the
+  /// just-closed fd number, so fd comparison cannot detect the swap.
+  std::vector<uint32_t> ShardEpochs;
+  std::vector<int> ShardFds;
+  std::vector<int> ShardArmed;
+  std::unique_ptr<ShardSupervisor> Reaper;
 
   int EpollFd = -1;
   int ListenFd = -1;
-  int WakeFd[2] = {-1, -1};
+  /// Loop wakeup: an eventfd (write is async-signal-safe, so requestStop
+  /// and completion hooks can poke it from anywhere).
+  int WakeEventFd = -1;
   uint16_t BoundPort = 0;
   bool ListenerArmed = false;
 

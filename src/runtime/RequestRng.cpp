@@ -39,6 +39,25 @@ RequestRng::Books &RequestRng::Books::operator+=(const Books &O) {
   return *this;
 }
 
+RequestRng::Books &RequestRng::Books::operator-=(const Books &O) {
+  DrawsServed -= O.DrawsServed;
+  DegradedDraws -= O.DegradedDraws;
+  FallbackDraws -= O.FallbackDraws;
+  FailClosedDraws -= O.FailClosedDraws;
+  Failovers -= O.Failovers;
+  Recoveries -= O.Recoveries;
+  RetriesUsed -= O.RetriesUsed;
+  EmergencyDraws -= O.EmergencyDraws;
+  DrngRetryFailures -= O.DrngRetryFailures;
+  DrngFailureEvents -= O.DrngFailureEvents;
+  AesRekeys -= O.AesRekeys;
+  FailedRekeys -= O.FailedRekeys;
+  StaleKeyDraws -= O.StaleKeyDraws;
+  UnkeyedDraws -= O.UnkeyedDraws;
+  BufferRefills -= O.BufferRefills;
+  return *this;
+}
+
 RequestRng::Books RequestRng::liveBooks() const {
   Books B;
   if (!Chain)

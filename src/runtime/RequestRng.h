@@ -80,6 +80,11 @@ public:
     uint64_t BufferRefills = 0;
 
     Books &operator+=(const Books &O);
+    /// Counter-wise difference against an earlier snapshot of the SAME
+    /// monotonically growing books (per-request delta capture). The caller
+    /// guarantees \p Since <= *this field-wise; reset() breaks that, so
+    /// deltas must be taken before any rebuild banks-and-resets.
+    Books &operator-=(const Books &O);
   };
 
   explicit RequestRng(Config C) : Cfg(C) {}

@@ -1,0 +1,196 @@
+//===- runtime/ShardSupervisor.cpp - Shard child process reaper -----------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ShardSupervisor.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+using namespace smokestack;
+
+namespace {
+
+/// The SIGCHLD handler's fan-out registry: write ends of supervisor
+/// self-pipes. A fixed array of atomics because the handler may run on any
+/// thread at any instant — no locks, no allocation, just O_NONBLOCK
+/// write() of one byte per live slot (async-signal-safe by POSIX).
+constexpr unsigned MaxChldPipes = 8;
+std::atomic<int> ChldPipes[MaxChldPipes] = {};
+std::atomic<bool> PipesInitialized{false};
+
+void initPipesOnce() {
+  bool Expected = false;
+  if (PipesInitialized.compare_exchange_strong(Expected, true))
+    for (std::atomic<int> &Slot : ChldPipes)
+      Slot.store(-1, std::memory_order_relaxed);
+}
+
+void onSigChld(int) {
+  int SavedErrno = errno;
+  for (std::atomic<int> &Slot : ChldPipes) {
+    int Fd = Slot.load(std::memory_order_acquire);
+    if (Fd >= 0) {
+      uint8_t Byte = 1;
+      // A full pipe is fine — the reader already has a pending wake.
+      (void)!::write(Fd, &Byte, 1);
+    }
+  }
+  errno = SavedErrno;
+}
+
+bool registerChldPipe(int Fd) {
+  initPipesOnce();
+  for (std::atomic<int> &Slot : ChldPipes) {
+    int Expected = -1;
+    if (Slot.compare_exchange_strong(Expected, Fd,
+                                     std::memory_order_acq_rel))
+      return true;
+  }
+  return false;
+}
+
+void unregisterChldPipe(int Fd) {
+  for (std::atomic<int> &Slot : ChldPipes) {
+    int Expected = Fd;
+    Slot.compare_exchange_strong(Expected, -1, std::memory_order_acq_rel);
+  }
+}
+
+} // namespace
+
+void smokestack::installServerSignalDefaults() {
+  initPipesOnce();
+
+  // SIGPIPE off, process-wide: every write path to a dying peer — client
+  // sockets, shard socketpairs — must fail with EPIPE instead of killing
+  // the server.
+  struct sigaction Ign;
+  std::memset(&Ign, 0, sizeof(Ign));
+  Ign.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &Ign, nullptr);
+
+  // SIGCHLD fan-out. SA_RESTART keeps unrelated slow syscalls from
+  // spraying EINTR across the codebase; SA_NOCLDSTOP keeps job-control
+  // stops from masquerading as deaths. Reinstalling the identical handler
+  // is harmless, which is what makes this idempotent.
+  struct sigaction Chld;
+  std::memset(&Chld, 0, sizeof(Chld));
+  Chld.sa_handler = onSigChld;
+  Chld.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+  ::sigemptyset(&Chld.sa_mask);
+  ::sigaction(SIGCHLD, &Chld, nullptr);
+}
+
+void smokestack::resetSignalDefaultsInChild() {
+  initPipesOnce();
+  for (std::atomic<int> &Slot : ChldPipes)
+    Slot.store(-1, std::memory_order_relaxed);
+  struct sigaction Dfl;
+  std::memset(&Dfl, 0, sizeof(Dfl));
+  Dfl.sa_handler = SIG_DFL;
+  ::sigaction(SIGCHLD, &Dfl, nullptr);
+}
+
+ShardSupervisor::ShardSupervisor() = default;
+
+ShardSupervisor::~ShardSupervisor() { stop(); }
+
+void ShardSupervisor::start() {
+  if (Running)
+    return;
+  if (::pipe2(WakeFd, O_CLOEXEC | O_NONBLOCK) != 0)
+    return;
+  registerChldPipe(WakeFd[1]);
+  StopRequested.store(false, std::memory_order_relaxed);
+  Running = true;
+  Thread = std::thread([this] { monitorMain(); });
+}
+
+void ShardSupervisor::stop() {
+  if (!Running)
+    return;
+  StopRequested.store(true, std::memory_order_relaxed);
+  uint8_t Byte = 1;
+  (void)!::write(WakeFd[1], &Byte, 1);
+  if (Thread.joinable())
+    Thread.join();
+  unregisterChldPipe(WakeFd[1]);
+  ::close(WakeFd[0]);
+  ::close(WakeFd[1]);
+  WakeFd[0] = WakeFd[1] = -1;
+  Running = false;
+}
+
+void ShardSupervisor::watch(pid_t Pid,
+                            std::function<void(const ShardDeath &)> Callback) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Watched[Pid] = std::move(Callback);
+  }
+  // Cover the fork-before-watch race: the child may already be a zombie.
+  uint8_t Byte = 1;
+  (void)!::write(WakeFd[1], &Byte, 1);
+}
+
+size_t ShardSupervisor::watchedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Watched.size();
+}
+
+void ShardSupervisor::monitorMain() {
+  while (!StopRequested.load(std::memory_order_relaxed)) {
+    struct pollfd Pfd;
+    Pfd.fd = WakeFd[0];
+    Pfd.events = POLLIN;
+    Pfd.revents = 0;
+    // The timeout is only a backstop for a SIGCHLD that fired before the
+    // pipe was registered; the handler's poke is the real wake.
+    (void)::poll(&Pfd, 1, /*timeout=*/200);
+    uint8_t Buf[64];
+    while (::read(WakeFd[0], Buf, sizeof(Buf)) > 0) {
+    }
+    if (StopRequested.load(std::memory_order_relaxed))
+      return;
+
+    // Reap every watched pid that has exited. Callbacks run outside the
+    // lock so they may call watch() for the replacement child.
+    std::vector<std::pair<ShardDeath, std::function<void(const ShardDeath &)>>>
+        Deaths;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      for (auto It = Watched.begin(); It != Watched.end();) {
+        int Status = 0;
+        pid_t Got = ::waitpid(It->first, &Status, WNOHANG);
+        if (Got == It->first || (Got < 0 && errno == ECHILD)) {
+          ShardDeath D;
+          D.Pid = It->first;
+          if (Got == It->first && WIFSIGNALED(Status)) {
+            D.Signaled = true;
+            D.Code = WTERMSIG(Status);
+          } else if (Got == It->first && WIFEXITED(Status)) {
+            D.Code = WEXITSTATUS(Status);
+          }
+          Deaths.emplace_back(D, std::move(It->second));
+          It = Watched.erase(It);
+        } else {
+          ++It;
+        }
+      }
+    }
+    for (auto &[Death, Callback] : Deaths)
+      if (Callback)
+        Callback(Death);
+  }
+}

@@ -1,0 +1,110 @@
+//===- runtime/ShardSupervisor.h - Shard child process reaper --*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-level supervision for multi-process shards (DESIGN.md §15): the
+/// counterpart, one level down the isolation ladder, of the thread-level
+/// Supervisor in runtime/Supervisor.h. Where the Supervisor joins dead
+/// worker *threads* inside one address space, the ShardSupervisor reaps
+/// dead shard child *processes* — a shard taken out by a wild write, an
+/// abort, or an injected SIGKILL — and reports each death (signal or exit
+/// code) to whoever owns the shard so it can be re-forked and its
+/// in-flight requests replayed.
+///
+/// Mechanics. SIGCHLD is async-signal-constrained, so the handler does the
+/// only safe thing: it writes one byte to each registered self-pipe (write
+/// is async-signal-safe; the fds live in a fixed array of atomic ints).
+/// The supervisor's monitor thread blocks in poll() on its pipe, drains
+/// it, and calls waitpid(WNOHANG) per watched pid — never a blocking wait,
+/// so an unrelated child (or a pid registered a microsecond later) can
+/// never wedge it. A periodic poll timeout backstops the one race that
+/// matters: a SIGCHLD delivered after fork() but before watch().
+///
+/// Callbacks run on the monitor thread. They must be quick and must not
+/// call back into the supervisor; the intended shape is "record the death,
+/// wake the owning event loop" — the loop thread then does the booking,
+/// the re-fork, and the replay, keeping single-threaded ownership of all
+/// shard state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_RUNTIME_SHARDSUPERVISOR_H
+#define SMOKESTACK_RUNTIME_SHARDSUPERVISOR_H
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace smokestack {
+
+/// One reaped shard child.
+struct ShardDeath {
+  pid_t Pid = -1;
+  /// True when the child was killed by a signal (WIFSIGNALED); false for a
+  /// normal exit.
+  bool Signaled = false;
+  /// The terminating signal when Signaled, else the exit status.
+  int Code = 0;
+};
+
+/// Reaps watched child processes via SIGCHLD + waitpid and delivers each
+/// death to its registered callback. Lifecycle: construct → start() →
+/// watch()… → stop(). installServerSignalDefaults() must have run before
+/// start(), or SIGCHLD delivery falls back to the poll-timeout path.
+class ShardSupervisor {
+public:
+  ShardSupervisor();
+  ~ShardSupervisor();
+
+  /// Launches the monitor thread. Idempotent.
+  void start();
+
+  /// Joins the monitor thread. Watched children are NOT killed or reaped
+  /// past this point; callers drain their shards first. Idempotent.
+  void stop();
+
+  /// Registers \p Pid for reaping. \p Callback runs on the monitor thread
+  /// exactly once, when the child is reaped — including a normal exit, so
+  /// expected drain-time exits flow through the same path as kills.
+  void watch(pid_t Pid, std::function<void(const ShardDeath &)> Callback);
+
+  /// Watched children not yet reaped (diagnostic).
+  size_t watchedCount() const;
+
+private:
+  void monitorMain();
+
+  std::thread Thread;
+  mutable std::mutex Mutex;
+  std::map<pid_t, std::function<void(const ShardDeath &)>> Watched;
+  int WakeFd[2] = {-1, -1};
+  std::atomic<bool> StopRequested{false};
+  bool Running = false;
+};
+
+/// Installs the process-wide server signal defaults, idempotently:
+/// SIGPIPE ignored (a peer closing mid-write must surface as EPIPE on the
+/// write, never kill the process — MSG_NOSIGNAL only covers send() call
+/// sites, not pipe/socketpair writes), and a SIGCHLD handler that pokes
+/// every registered ShardSupervisor self-pipe (SA_RESTART | SA_NOCLDSTOP).
+/// Server entry points (smokestack-opt -serve, soak_server) and
+/// SocketServer::start() all call this.
+void installServerSignalDefaults();
+
+/// Resets signal state in a freshly forked shard child: SIGCHLD back to
+/// SIG_DFL and the handler's pipe registry cleared, so the child never
+/// pokes fds it inherited from the parent. SIGPIPE stays ignored — the
+/// child writes responses to the parent over a socketpair and must see
+/// EPIPE, not die, when the parent is gone.
+void resetSignalDefaultsInChild();
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_RUNTIME_SHARDSUPERVISOR_H

@@ -118,16 +118,28 @@ void Supervisor::handleDeath(unsigned Id) {
     std::lock_guard<std::mutex> Lock(W.StashMutex);
     Item.swap(W.Stash);
   }
+  const bool WillRestart =
+      RestartsUsed < Pool.Opts.Supervision.MaxWorkerRestarts;
   if (Item) {
+    // The death (and the restart it earns, if any) is attributed to the
+    // request the worker died holding, so aggregate supervision books stay
+    // an exact sum of per-request deltas.
+    Item->Delta.WorkerDeaths += 1;
+    if (WillRestart)
+      Item->Delta.WorkerRestarts += 1;
     uint32_t Burned = Item->Attempt + 1;
     if (Burned < Pool.attemptBudget(Item->Req.Index)) {
       ++Retries;
-      WorkerPool::Pending Retry{std::move(Item->Req), Burned};
+      Item->Delta.Retries += 1;
+      WorkerPool::Pending Retry;
+      Retry.Req = std::move(Item->Req);
+      Retry.Attempt = Burned;
+      Retry.Delta = std::move(Item->Delta);
       if (Pool.Opts.Tracer)
         Retry.EnqueueNs = obsNowNanos();
       Pool.Queue.pushPriority(std::move(Retry));
     } else {
-      Pool.recordPoisoned(Outcomes, Item->Req.Index, Burned);
+      Pool.recordPoisoned(Outcomes, Item->Req.Index, Burned, &Item->Delta);
       if (TraceRecorder *T = Pool.Opts.Tracer)
         T->recordExternal({Item->Req.Index, Id, Burned,
                            SpanDisposition::Poisoned, 0, 0, 0, 0, 0});
@@ -135,7 +147,7 @@ void Supervisor::handleDeath(unsigned Id) {
     Pool.Queue.taskDone();
   }
 
-  if (RestartsUsed < Pool.Opts.Supervision.MaxWorkerRestarts) {
+  if (WillRestart) {
     // Rebuild on this thread, then relaunch: the thread create publishes
     // the rebuilt Interpreter/RequestRng (snapshot-restored in place on
     // the fast-path, reconstructed otherwise) to the new worker thread.
@@ -166,7 +178,9 @@ void Supervisor::declarePoolDead() {
   Pool.CancelAll.store(true, std::memory_order_relaxed);
   Pool.Queue.close();
   while (std::optional<WorkerPool::Pending> Item = Pool.Queue.tryPop()) {
-    Pool.recordPoisoned(Outcomes, Item->Req.Index, Item->Attempt);
+    Item->Delta.PoisonedPoolDeath += 1;
+    Pool.recordPoisoned(Outcomes, Item->Req.Index, Item->Attempt,
+                        &Item->Delta);
     ++PoisonedPoolDeath;
     if (TraceRecorder *T = Pool.Opts.Tracer)
       T->recordExternal({Item->Req.Index, 0, Item->Attempt,

@@ -66,6 +66,39 @@ private:
 
 } // namespace
 
+RequestBooks &RequestBooks::operator+=(const RequestBooks &O) {
+  Requests += O.Requests;
+  RequestTraps += O.RequestTraps;
+  RequestRecoveries += O.RequestRecoveries;
+  Rng += O.Rng;
+  for (unsigned S = 0; S != NumFaultSites; ++S) {
+    InjectedProbes[S] += O.InjectedProbes[S];
+    InjectedEvents[S] += O.InjectedEvents[S];
+  }
+  CrashesContained += O.CrashesContained;
+  WorkerDeaths += O.WorkerDeaths;
+  WorkerRestarts += O.WorkerRestarts;
+  Retries += O.Retries;
+  PoisonedPoolDeath += O.PoisonedPoolDeath;
+  return *this;
+}
+
+void RequestBooks::addTo(PoolBooks &B) const {
+  B.Requests += Requests;
+  B.RequestTraps += RequestTraps;
+  B.RequestRecoveries += RequestRecoveries;
+  B.Rng += Rng;
+  for (unsigned S = 0; S != NumFaultSites; ++S) {
+    B.InjectedProbes[S] += InjectedProbes[S];
+    B.InjectedEvents[S] += InjectedEvents[S];
+  }
+  B.CrashesContained += CrashesContained;
+  B.WorkerDeaths += WorkerDeaths;
+  B.WorkerRestarts += WorkerRestarts;
+  B.Retries += Retries;
+  B.PoisonedPoolDeath += PoisonedPoolDeath;
+}
+
 uint64_t PoolBooks::totalInjectedProbes() const {
   uint64_t Total = 0;
   for (uint64_t P : InjectedProbes)
@@ -208,7 +241,8 @@ bool WorkerPool::submit(PoolRequest Request) {
     }
   }
 
-  Pending Item{std::move(Request), 0};
+  Pending Item;
+  Item.Req = std::move(Request);
   if (Opts.Tracer)
     Item.EnqueueNs = obsNowNanos();
   if (A.Policy == AdmissionOptions::ShedPolicy::ShedNewest) {
@@ -262,7 +296,8 @@ uint32_t WorkerPool::attemptBudget(uint64_t Index) const {
 }
 
 void WorkerPool::recordPoisoned(std::vector<PoolOutcome> &Sink, uint64_t Index,
-                                uint32_t Attempts) {
+                                uint32_t Attempts,
+                                const RequestBooks *Delta) {
   PoolOutcome O;
   O.Index = Index;
   O.Trap = TrapKind::WorkerCrash;
@@ -272,6 +307,10 @@ void WorkerPool::recordPoisoned(std::vector<PoolOutcome> &Sink, uint64_t Index,
   ++NumPoolPoisoned;
   if (Opts.OnOutcome)
     Opts.OnOutcome(O);
+  if (Opts.OnOutcomeBooks) {
+    static const RequestBooks Empty;
+    Opts.OnOutcomeBooks(O, Delta ? *Delta : Empty);
+  }
 }
 
 void WorkerPool::rebuildWorker(Worker &W) {
@@ -323,6 +362,7 @@ void WorkerPool::workerMain(Worker &W) {
 
     if (Crashed) {
       ++W.CrashEvents;
+      Item->Delta.CrashesContained += 1;
       rebuildWorker(W);
       uint32_t Burned = Item->Attempt + 1;
       if (W.Ring)
@@ -330,12 +370,18 @@ void WorkerPool::workerMain(Worker &W) {
                       0, 0, 0, 0, 0});
       if (Burned < attemptBudget(Item->Req.Index)) {
         ++W.Retries;
-        Pending Retry{std::move(Item->Req), Burned};
+        Item->Delta.Retries += 1;
+        Pending Retry;
+        Retry.Req = std::move(Item->Req);
+        Retry.Attempt = Burned;
+        // The retry carries the crashed attempts' accounting forward; a
+        // fresh Pending here would silently zero the request's delta.
+        Retry.Delta = std::move(Item->Delta);
         if (Opts.Tracer)
           Retry.EnqueueNs = obsNowNanos();
         Queue.pushPriority(std::move(Retry));
       } else {
-        recordPoisoned(W.Outcomes, Item->Req.Index, Burned);
+        recordPoisoned(W.Outcomes, Item->Req.Index, Burned, &Item->Delta);
         if (W.Ring)
           W.Ring->push({Item->Req.Index, W.Id, Burned,
                         SpanDisposition::Poisoned, 0, 0, 0, 0, 0});
@@ -407,14 +453,40 @@ WorkerPool::ServeVerdict WorkerPool::serveRequest(Worker &W, Pending &Item) {
     Scope.emplace(*Injector);
   }
 
-  ScopeExit Harvest([&] {
+  // Per-attempt delta capture: everything this attempt moves lands in
+  // Item.Delta, folded exactly once — explicitly before the terminal-state
+  // hooks fire (they must see the attempt's full delta), and from the
+  // scope-exit runner on the crash/death unwind paths. The before/after
+  // subtraction is safe because it runs strictly before rebuildWorker
+  // banks-and-resets the VM and RNG counters.
+  const uint64_t VmReqBefore = W.VM->requestsServed();
+  const uint64_t VmTrapBefore = W.VM->requestTraps();
+  const uint64_t VmRecBefore = W.VM->requestRecoveries();
+  const RequestRng::Books RngBefore = W.Rng->books();
+  bool DeltaFolded = false;
+  auto FoldDelta = [&] {
+    if (DeltaFolded)
+      return;
+    DeltaFolded = true;
+    RequestBooks &D = Item.Delta;
+    D.Requests += W.VM->requestsServed() - VmReqBefore;
+    D.RequestTraps += W.VM->requestTraps() - VmTrapBefore;
+    D.RequestRecoveries += W.VM->requestRecoveries() - VmRecBefore;
+    RequestRng::Books RngNow = W.Rng->books();
+    RngNow -= RngBefore;
+    D.Rng += RngNow;
     if (!Injector)
       return;
     for (unsigned S = 0; S != NumFaultSites; ++S) {
-      W.InjectedProbes[S] += Injector->injectedProbes(static_cast<FaultSite>(S));
-      W.InjectedEvents[S] += Injector->injectedEvents(static_cast<FaultSite>(S));
+      uint64_t P = Injector->injectedProbes(static_cast<FaultSite>(S));
+      uint64_t E = Injector->injectedEvents(static_cast<FaultSite>(S));
+      W.InjectedProbes[S] += P;
+      D.InjectedProbes[S] += P;
+      W.InjectedEvents[S] += E;
+      D.InjectedEvents[S] += E;
     }
-  });
+  };
+  ScopeExit Harvest([&] { FoldDelta(); });
 
   // Crash/death probes come BEFORE the reseed: a doomed attempt consumes
   // no request randomness, so the RNG lanes stay attempt-independent and
@@ -450,7 +522,9 @@ WorkerPool::ServeVerdict WorkerPool::serveRequest(Worker &W, Pending &Item) {
     // The cooperative cancel flag fired mid-run: the pool is in abnormal
     // shutdown. The run was cut short, so its result is not a completion;
     // book it as poisoned-by-pool-death.
-    recordPoisoned(W.Outcomes, Request.Index, Item.Attempt + 1);
+    FoldDelta();
+    Item.Delta.PoisonedPoolDeath += 1;
+    recordPoisoned(W.Outcomes, Request.Index, Item.Attempt + 1, &Item.Delta);
     W.Outcomes.back().Steps = E.Steps;
     ++W.PoisonedPoolDeath;
     if (Ring) {
@@ -466,8 +540,11 @@ WorkerPool::ServeVerdict WorkerPool::serveRequest(Worker &W, Pending &Item) {
   CompletedCount.fetch_add(1, std::memory_order_relaxed);
   if (E.Trap != TrapKind::None)
     TrappedCount.fetch_add(1, std::memory_order_relaxed);
+  FoldDelta();
   if (Opts.OnOutcome)
     Opts.OnOutcome(W.Outcomes.back());
+  if (Opts.OnOutcomeBooks)
+    Opts.OnOutcomeBooks(W.Outcomes.back(), Item.Delta);
   if (Ring) {
     Span.Disposition = E.Trap != TrapKind::None ? SpanDisposition::Trapped
                                                 : SpanDisposition::Completed;
@@ -499,7 +576,8 @@ std::vector<PoolOutcome> WorkerPool::finish() {
     // queued work. Quarantine it so the accounting identity holds rather
     // than silently dropping accepted requests.
     while (std::optional<Pending> Item = Queue.tryPop()) {
-      recordPoisoned(Outcomes, Item->Req.Index, Item->Attempt);
+      Item->Delta.PoisonedPoolDeath += 1;
+      recordPoisoned(Outcomes, Item->Req.Index, Item->Attempt, &Item->Delta);
       Books.PoisonedPoolDeath += 1;
       if (Opts.Tracer)
         Opts.Tracer->recordExternal({Item->Req.Index, 0, Item->Attempt,

@@ -123,6 +123,41 @@ struct PoolOutcome {
   bool ok() const { return Trap == TrapKind::None && !Poisoned; }
 };
 
+struct PoolBooks;
+
+/// The per-request accounting delta: every digest-relevant PoolBooks
+/// counter a single request moved, across ALL of its attempts (including
+/// attempts that crashed or died with their worker). By the determinism
+/// contract each delta is a pure function of (RootSeed, Index), and the
+/// worker-count-invariant aggregate books are exactly the sum of the
+/// per-request deltas — which is what lets a shard child process ship its
+/// books one request at a time over IPC: a SIGKILLed child loses nothing
+/// the already-delivered deltas have not banked, and replaying its
+/// in-flight requests reproduces the lost partial work bit for bit
+/// (DESIGN.md §15).
+struct RequestBooks {
+  // VM request boundary.
+  uint64_t Requests = 0;
+  uint64_t RequestTraps = 0;
+  uint64_t RequestRecoveries = 0;
+  // Randomness chain.
+  RequestRng::Books Rng;
+  // Fault injection, per site.
+  uint64_t InjectedProbes[NumFaultSites] = {};
+  uint64_t InjectedEvents[NumFaultSites] = {};
+  // Supervision events attributed to this request.
+  uint64_t CrashesContained = 0;
+  uint64_t WorkerDeaths = 0;
+  uint64_t WorkerRestarts = 0;
+  uint64_t Retries = 0;
+  uint64_t PoisonedPoolDeath = 0;
+
+  RequestBooks &operator+=(const RequestBooks &O);
+  /// Accumulates this delta into an aggregate ledger (the shard parent's
+  /// re-assembly path; admission/terminal counters are the caller's).
+  void addTo(PoolBooks &B) const;
+};
+
 /// Aggregate accounting across all workers. Every field except
 /// StallAlarms is a sum of per-request deltas, so it is invariant under
 /// worker count (given shedding off and sufficient restart budget).
@@ -255,6 +290,14 @@ struct PoolOptions {
   /// into the pool. Shed requests never reach a worker and are NOT
   /// reported here — submit()'s false return is the shed signal.
   std::function<void(const PoolOutcome &)> OnOutcome;
+  /// Like OnOutcome, but also hands over the request's accounting delta
+  /// (RequestBooks) — the shard child process's response path, which ships
+  /// each outcome together with the books it moved so the parent can
+  /// re-assemble aggregate PoolBooks from survivors of a killed child.
+  /// Same threading rules as OnOutcome; both hooks may be set at once and
+  /// fire back to back for the same outcome.
+  std::function<void(const PoolOutcome &, const RequestBooks &)>
+      OnOutcomeBooks;
   /// Per-request tracing (obs/Trace.h). Non-owning; null = tracing off,
   /// and the serve path pays exactly one pointer test per request (the
   /// FaultInjector probe pattern). Spans are observational only — they
@@ -323,6 +366,10 @@ private:
     /// Enqueue timestamp (obsNowNanos) for the span's queue-wait field;
     /// 0 when tracing is off.
     uint64_t EnqueueNs = 0;
+    /// Accounting accumulated across this request's attempts so far.
+    /// Requeue sites MUST carry it forward — a retry Pending that drops
+    /// the delta silently loses the crashed attempts' books.
+    RequestBooks Delta;
   };
 
   /// Where one serve attempt ended up.
@@ -393,9 +440,11 @@ private:
   void rebuildWorker(Worker &W);
   /// Deterministic per-request attempt budget (>= 1).
   uint32_t attemptBudget(uint64_t Index) const;
-  /// Records a quarantined request into \p Sink and fires OnOutcome.
+  /// Records a quarantined request into \p Sink and fires OnOutcome (and
+  /// OnOutcomeBooks with \p Delta, or an all-zero delta when null).
   void recordPoisoned(std::vector<PoolOutcome> &Sink, uint64_t Index,
-                      uint32_t Attempts);
+                      uint32_t Attempts,
+                      const RequestBooks *Delta = nullptr);
 
   Module &M;
   PoolOptions Opts;

@@ -1,0 +1,232 @@
+//===- tests/net/ShardProcessTest.cpp - process-shard isolation tests -----===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Multi-process shard isolation (DESIGN.md §15): serving through forked
+// shard child processes is bit-identical to serving through in-process
+// WorkerPool shards; a SIGKILLed shard child is re-forked and its
+// in-flight requests replayed with no observable effect beyond the shard
+// lifecycle counters; and when the restart budget is exhausted the
+// stranded requests are poisoned with exact books instead of being lost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/ShardProcess.h"
+
+#include "ir/IRBuilder.h"
+#include "net/Client.h"
+#include "net/SocketServer.h"
+#include "runtime/ShardSupervisor.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace smokestack;
+
+namespace {
+
+/// driver(): folds two smokestack.rand draws into a byte — the per-request
+/// RNG chain makes every response a pure function of (RootSeed, Index),
+/// which is what thread-vs-process and kill-and-replay comparisons key on.
+void buildRandModule(Module &M) {
+  IRBuilder B(M);
+  Function *Rand = M.getOrInsertDeclaration("smokestack.rand", B.i64(), {});
+  Function *Driver = M.createFunction("driver", B.i64(), {});
+  B.setInsertPoint(Driver->createBlock("entry"));
+  Value *A = B.call(Rand, {});
+  Value *C = B.call(Rand, {});
+  B.ret(B.and_(B.add(A, C), B.constI64(0xff)));
+}
+
+ServerOptions shardServerOptions(unsigned Shards, ShardMode Mode) {
+  ServerOptions Opts;
+  Opts.Shards = Shards;
+  Opts.Mode = Mode;
+  Opts.Pool.Workers = 2;
+  Opts.Pool.RootSeed = 7;
+  Opts.Pool.Function = "driver";
+  return Opts;
+}
+
+/// Sends indices [0, N) pipelined on one connection and returns the
+/// responses keyed by index (completion order is scheduling-dependent).
+std::map<uint64_t, WireResponse> serveAll(uint16_t Port, uint64_t N) {
+  BlockingClient Client;
+  EXPECT_TRUE(Client.connectTo(Port));
+  for (uint64_t I = 0; I != N; ++I) {
+    WireRequest Req;
+    Req.Index = I;
+    EXPECT_TRUE(Client.sendRequest(Req));
+  }
+  std::map<uint64_t, WireResponse> ByIndex;
+  for (uint64_t I = 0; I != N; ++I) {
+    WireResponse R;
+    if (!Client.recvResponse(R, /*TimeoutMillis=*/30000)) {
+      ADD_FAILURE() << "response " << I << " never arrived";
+      break;
+    }
+    ByIndex[R.Index] = R;
+  }
+  return ByIndex;
+}
+
+TEST(ShardProcessTest, ProcessModeMatchesThreadModeBitForBit) {
+  constexpr uint64_t N = 48;
+  Module M("shardproc");
+  buildRandModule(M);
+  installServerSignalDefaults();
+
+  std::map<uint64_t, WireResponse> PerMode[2];
+  DrainReport Reports[2];
+  const ShardMode Modes[] = {ShardMode::Thread, ShardMode::Process};
+  for (unsigned I = 0; I != 2; ++I) {
+    SocketServer Server(M, shardServerOptions(2, Modes[I]));
+    std::string Err;
+    ASSERT_TRUE(Server.start(&Err)) << Err;
+    PerMode[I] = serveAll(Server.port(), N);
+    Reports[I] = Server.drain();
+    ASSERT_TRUE(Reports[I].Clean);
+    ASSERT_TRUE(Reports[I].IdentityOk);
+  }
+
+  ASSERT_EQ(PerMode[1].size(), PerMode[0].size());
+  for (const auto &[Index, RT] : PerMode[0]) {
+    const WireResponse &RP = PerMode[1].at(Index);
+    EXPECT_EQ(RP.Status, RT.Status) << Index;
+    EXPECT_EQ(RP.Trap, RT.Trap) << Index;
+    EXPECT_EQ(RP.ReturnValue, RT.ReturnValue) << Index;
+    EXPECT_EQ(RP.Steps, RT.Steps) << Index;
+    EXPECT_EQ(RP.Attempts, RT.Attempts) << Index;
+  }
+
+  // The aggregate books survive the IPC round trip: the parent rebuilds
+  // them from per-request deltas, and the rebuilt ledger must equal the
+  // in-process merge field for field.
+  EXPECT_EQ(Reports[1].Pool.Requests, Reports[0].Pool.Requests);
+  EXPECT_EQ(Reports[1].Pool.Completed, Reports[0].Pool.Completed);
+  EXPECT_EQ(Reports[1].Pool.Submitted, Reports[0].Pool.Submitted);
+  EXPECT_EQ(Reports[1].Pool.Rng.DrawsServed, Reports[0].Pool.Rng.DrawsServed);
+  EXPECT_EQ(Reports[1].Pool.Rng.AesRekeys, Reports[0].Pool.Rng.AesRekeys);
+
+  // Sorted outcome streams are bit-identical too.
+  ASSERT_EQ(Reports[1].Outcomes.size(), Reports[0].Outcomes.size());
+  for (size_t I = 0; I != Reports[0].Outcomes.size(); ++I) {
+    EXPECT_EQ(Reports[1].Outcomes[I].Index, Reports[0].Outcomes[I].Index);
+    EXPECT_EQ(Reports[1].Outcomes[I].ReturnValue,
+              Reports[0].Outcomes[I].ReturnValue);
+    EXPECT_EQ(Reports[1].Outcomes[I].Steps, Reports[0].Outcomes[I].Steps);
+  }
+
+  // No chaos here: the process pass must not have restarted anything.
+  EXPECT_EQ(Reports[1].Net.ShardDeaths, 0u);
+  EXPECT_EQ(Reports[1].Net.ShardRestarts, 0u);
+}
+
+TEST(ShardProcessTest, SigkillShardReplaysInFlightBitForBit) {
+  constexpr uint64_t N = 48;
+  Module M("shardproc");
+  buildRandModule(M);
+  installServerSignalDefaults();
+
+  // The reference: the same campaign in thread mode.
+  SocketServer RefServer(M, shardServerOptions(1, ShardMode::Thread));
+  std::string Err;
+  ASSERT_TRUE(RefServer.start(&Err)) << Err;
+  std::map<uint64_t, WireResponse> Ref = serveAll(RefServer.port(), N);
+  DrainReport RefRep = RefServer.drain();
+  ASSERT_TRUE(RefRep.Clean);
+
+  // Process mode with a scripted kill: from the 32nd admitted request on,
+  // every ShardKill probe fires, so the shard child is SIGKILLed with the
+  // pipelined window still in flight — forcing at least one re-fork and
+  // replay while requests are outstanding.
+  ServerOptions SO = shardServerOptions(1, ShardMode::Process);
+  SO.InjectNetFaults = true;
+  SO.NetFaultPlan.Seed = 99;
+  SO.NetFaultPlan.site(FaultSite::ShardKill) = {0.0, 1, /*FailFromProbe=*/32};
+  SocketServer Server(M, SO);
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  std::map<uint64_t, WireResponse> Got = serveAll(Server.port(), N);
+  DrainReport Rep = Server.drain();
+
+  // Every response arrived, served, and bit-identical to thread mode —
+  // the kills are invisible outside the lifecycle counters.
+  ASSERT_EQ(Got.size(), N);
+  for (const auto &[Index, RT] : Ref) {
+    const WireResponse &RP = Got.at(Index);
+    EXPECT_EQ(RP.Status, RT.Status) << Index;
+    EXPECT_EQ(RP.ReturnValue, RT.ReturnValue) << Index;
+    EXPECT_EQ(RP.Steps, RT.Steps) << Index;
+    EXPECT_EQ(RP.Attempts, RT.Attempts) << Index;
+  }
+
+  EXPECT_TRUE(Rep.Clean);
+  EXPECT_TRUE(Rep.IdentityOk);
+  EXPECT_EQ(Rep.Pool.Completed, N);
+  EXPECT_EQ(Rep.Pool.Poisoned, 0u);
+  EXPECT_GE(Rep.Net.ShardKillFaults, 1u) << "the scripted kill never fired";
+  EXPECT_GE(Rep.Net.ShardDeaths, 1u);
+  EXPECT_GE(Rep.Net.ShardRestarts, 1u) << "the killed shard never re-forked";
+  EXPECT_EQ(Rep.Net.ShardDeaths, Rep.Net.ShardRestarts)
+      << "every death within the budget must re-fork";
+  EXPECT_GE(Rep.Net.ShardReplays, 1u)
+      << "a kill with requests in flight must replay them";
+  EXPECT_EQ(Rep.Net.ResponsesDelivered, N);
+  EXPECT_EQ(Rep.Net.ResponsesOrphaned, 0u);
+}
+
+TEST(ShardProcessTest, ExhaustedRestartBudgetPoisonsInFlightWithExactBooks) {
+  constexpr uint64_t N = 32;
+  Module M("shardproc");
+  buildRandModule(M);
+  installServerSignalDefaults();
+
+  // Budget 0: the first kill retires the shard. Everything still cached
+  // is poisoned (PoisonedPoolDeath, the same class thread mode books when
+  // a pool dies under its backlog) and still answered — the wire
+  // accounting identity must hold even with a permanently dead shard.
+  ServerOptions SO = shardServerOptions(1, ShardMode::Process);
+  SO.ShardRestartBudget = 0;
+  SO.InjectNetFaults = true;
+  SO.NetFaultPlan.Seed = 99;
+  SO.NetFaultPlan.site(FaultSite::ShardKill) = {0.0, 1, /*FailFromProbe=*/16};
+  SocketServer Server(M, SO);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  std::map<uint64_t, WireResponse> Got = serveAll(Server.port(), N);
+  DrainReport Rep = Server.drain();
+
+  ASSERT_EQ(Got.size(), N);
+  uint64_t Ok = 0, Poisoned = 0, Shed = 0;
+  for (const auto &[Index, R] : Got) {
+    switch (R.Status) {
+    case WireStatus::Ok:
+      ++Ok;
+      break;
+    case WireStatus::Poisoned:
+      ++Poisoned;
+      break;
+    case WireStatus::Shed:
+      ++Shed;
+      break;
+    default:
+      ADD_FAILURE() << "unexpected status for " << Index;
+    }
+  }
+  (void)Ok; // how many served before the kill is scheduling-dependent
+  EXPECT_GT(Poisoned + Shed, 0u)
+      << "a permanently dead shard must poison or shed, not serve, the rest";
+  EXPECT_TRUE(Rep.IdentityOk)
+      << "Submitted == Completed + Shed + Poisoned across the retirement";
+  EXPECT_EQ(Rep.Net.ShardDeaths, 1u);
+  EXPECT_EQ(Rep.Net.ShardRestarts, 0u) << "budget 0 never re-forks";
+  EXPECT_EQ(Rep.Pool.Poisoned, Poisoned);
+  EXPECT_EQ(Rep.Pool.PoisonedPoolDeath, Poisoned);
+  EXPECT_EQ(Rep.Pool.Completed + Rep.Pool.Shed + Rep.Pool.Poisoned,
+            Rep.Pool.Submitted);
+}
+
+} // namespace

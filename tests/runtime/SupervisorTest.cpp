@@ -20,7 +20,10 @@
 
 #include "gtest/gtest.h"
 
+#include <chrono>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 using namespace smokestack;
 
@@ -407,6 +410,102 @@ TEST(SupervisorTest, ShutdownNowCancelsInFlightRunsAsPoisoned) {
   for (const PoolOutcome &O : Outcomes) {
     EXPECT_TRUE(O.Poisoned);
     EXPECT_EQ(O.Trap, TrapKind::WorkerCrash);
+  }
+}
+
+TEST(SupervisorTest, StallAlarmBooksWedgedWorkerOnceAndCancelUnwedges) {
+  Module M("chaos");
+  buildSpinModule(M, 50'000'000); // far longer than the test will wait
+  PoolOptions Opts;
+  Opts.Workers = 1;
+  Opts.Function = "spin";
+  Opts.QueueCapacity = 4;
+  Opts.Supervision.HeartbeatMillis = 5;
+
+  WorkerPool Pool(M, Opts);
+  Pool.start();
+  EXPECT_TRUE(Pool.submit({0, {}}));
+  // The worker bumps its heartbeat once per request pop, then wedges in
+  // the spin. Two supervisor samples across an unmoved beat book exactly
+  // one stall alarm (per-stall dedup); sleep long enough for several
+  // sampling periods so the alarm is guaranteed, not racy.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  // Un-wedge deterministically: the cooperative cancel flag is polled
+  // every 1024 interpreter steps, so the endless run ends as a poisoned
+  // cancellation — no reliance on fuel or timing.
+  Pool.shutdownNow();
+  std::vector<PoolOutcome> Outcomes = Pool.finish();
+  const PoolBooks &B = Pool.books();
+
+  EXPECT_GE(B.StallAlarms, 1u) << "the wedged worker was never sampled";
+  EXPECT_TRUE(B.accountingIdentityHolds());
+  EXPECT_EQ(B.Submitted, 1u);
+  EXPECT_EQ(B.Completed, 0u) << "no run can finish 50M steps here";
+  EXPECT_EQ(B.Poisoned, 1u);
+  ASSERT_EQ(Outcomes.size(), 1u);
+  EXPECT_TRUE(Outcomes[0].Poisoned);
+  EXPECT_EQ(Outcomes[0].Trap, TrapKind::WorkerCrash);
+}
+
+TEST(SupervisorTest, PerRequestDeltasSumToAggregateBooks) {
+  // The foundation under process-shard accounting: the per-request deltas
+  // streamed through OnOutcomeBooks, summed, must reproduce the pool's own
+  // aggregate books exactly — under chaos, where crashes, deaths, retries,
+  // and injected faults all have to land on some request's delta.
+  Module M("chaos");
+  buildRandModule(M);
+  PoolOptions Opts = chaosOptions();
+  constexpr uint64_t N = 96;
+
+  RequestBooks Sum;
+  std::mutex SumMtx;
+  uint64_t Hooked = 0;
+  Opts.OnOutcomeBooks = [&](const PoolOutcome &, const RequestBooks &D) {
+    std::lock_guard<std::mutex> Lock(SumMtx);
+    Sum += D;
+    ++Hooked;
+  };
+  Opts.Workers = 3;
+  WorkerPool Pool(M, Opts);
+  Pool.start();
+  for (uint64_t I = 0; I != N; ++I)
+    EXPECT_TRUE(Pool.submit({I, {}}));
+  Pool.finish();
+  const PoolBooks &B = Pool.books();
+  EXPECT_EQ(Hooked, N) << "one delta per terminal outcome";
+
+  // The chaos must bite for the sum to be a meaningful reconstruction.
+  EXPECT_GT(B.CrashesContained, 0u);
+  EXPECT_GT(B.WorkerDeaths, 0u);
+
+  PoolBooks R;
+  Sum.addTo(R);
+  EXPECT_EQ(R.Requests, B.Requests);
+  EXPECT_EQ(R.RequestTraps, B.RequestTraps);
+  EXPECT_EQ(R.RequestRecoveries, B.RequestRecoveries);
+  EXPECT_EQ(R.CrashesContained, B.CrashesContained);
+  EXPECT_EQ(R.WorkerDeaths, B.WorkerDeaths);
+  EXPECT_EQ(R.WorkerRestarts, B.WorkerRestarts);
+  EXPECT_EQ(R.Retries, B.Retries);
+  EXPECT_EQ(R.PoisonedPoolDeath, B.PoisonedPoolDeath);
+  EXPECT_EQ(R.Rng.DrawsServed, B.Rng.DrawsServed);
+  EXPECT_EQ(R.Rng.DegradedDraws, B.Rng.DegradedDraws);
+  EXPECT_EQ(R.Rng.FallbackDraws, B.Rng.FallbackDraws);
+  EXPECT_EQ(R.Rng.FailClosedDraws, B.Rng.FailClosedDraws);
+  EXPECT_EQ(R.Rng.Failovers, B.Rng.Failovers);
+  EXPECT_EQ(R.Rng.Recoveries, B.Rng.Recoveries);
+  EXPECT_EQ(R.Rng.RetriesUsed, B.Rng.RetriesUsed);
+  EXPECT_EQ(R.Rng.EmergencyDraws, B.Rng.EmergencyDraws);
+  EXPECT_EQ(R.Rng.DrngRetryFailures, B.Rng.DrngRetryFailures);
+  EXPECT_EQ(R.Rng.DrngFailureEvents, B.Rng.DrngFailureEvents);
+  EXPECT_EQ(R.Rng.AesRekeys, B.Rng.AesRekeys);
+  EXPECT_EQ(R.Rng.FailedRekeys, B.Rng.FailedRekeys);
+  EXPECT_EQ(R.Rng.StaleKeyDraws, B.Rng.StaleKeyDraws);
+  EXPECT_EQ(R.Rng.UnkeyedDraws, B.Rng.UnkeyedDraws);
+  EXPECT_EQ(R.Rng.BufferRefills, B.Rng.BufferRefills);
+  for (unsigned S = 0; S != NumFaultSites; ++S) {
+    EXPECT_EQ(R.InjectedProbes[S], B.InjectedProbes[S]) << "site " << S;
+    EXPECT_EQ(R.InjectedEvents[S], B.InjectedEvents[S]) << "site " << S;
   }
 }
 

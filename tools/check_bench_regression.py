@@ -127,6 +127,27 @@ def check_soak_net_chaos(base, cand, max_drop_pct):
             rc |= fail(f"candidate {verdict} is not true")
         else:
             rc |= ok(f"candidate {verdict}")
+    # Shard-isolation accounting. shard_mode is required so a run from
+    # before the multi-process front-end (old JSON shape) is an explicit
+    # gate error, not a silent pass. When the run injected shard kills,
+    # at least one restart must have been booked: a kill campaign with
+    # zero restarts means the chaos never reached the child processes.
+    shard_mode = require(cand, "shard_mode", "candidate")
+    if shard_mode not in ("thread", "process"):
+        rc |= fail(f"candidate shard_mode {shard_mode!r} is not "
+                   "'thread' or 'process'")
+    else:
+        rc |= ok(f"candidate shard_mode {shard_mode!r}")
+    if require(cand, "shard_kills_enabled", "candidate"):
+        restarts = require(cand, "shard_restarts", "candidate")
+        if not isinstance(restarts, int) or restarts < 1:
+            rc |= fail(f"shard kills enabled but shard_restarts is "
+                       f"{restarts!r} (expected >= 1)")
+        else:
+            rc |= ok(f"shard kills enabled and {restarts} restart(s) booked")
+    # shard_mode is deliberately NOT a digest-comparison parameter: the
+    # digest must be invariant across thread and process mode, so a
+    # process-mode candidate is compared against a thread-mode baseline.
     if same_params(base, cand,
                    ["requests", "seed", "fault_rate", "connections"]):
         base_digest = require(base, "digest", "baseline")

@@ -46,6 +46,12 @@
 ///     -shards=N              serve mode: number of WorkerPool shards
 ///                            behind the front-end (default 1); results
 ///                            are bit-identical at any shard count
+///     -shard-mode=thread|process
+///                            serve mode: run each shard as an in-process
+///                            WorkerPool (thread, the default) or as a
+///                            forked child process with crash containment
+///                            and kill-and-replay (process); results are
+///                            bit-identical in either mode
 ///     -drain-timeout=MS      serve mode: graceful-drain budget (default
 ///                            5000). If in-flight requests outlive it they
 ///                            are cancelled and poison-accounted, and the
@@ -125,6 +131,7 @@ struct Options {
   double ChaosRate = 0.0;
   bool Serve = false;
   unsigned Shards = 1;
+  ShardMode Mode = ShardMode::Thread;
   unsigned DrainTimeoutMillis = 5000;
   uint64_t Fuel = 0; ///< 0 = interpreter default.
   std::string MetricsFile;
@@ -170,8 +177,8 @@ int usage(const char *Argv0) {
                "          [-resilient] [-faults=SEED:RATE]\n"
                "          [-workers=N] [-requests=M] [-seed=S] "
                "[-chaos=RATE] [-metrics=FILE]\n"
-               "          [-serve] [-shards=N] [-drain-timeout=MS] "
-               "[-fuel=N]\n"
+               "          [-serve] [-shards=N] [-shard-mode=thread|process] "
+               "[-drain-timeout=MS] [-fuel=N]\n"
                "          [-input=TEXT]... [-print] [-verify] [-stats] "
                "<file.ir|->\n",
                Argv0);
@@ -237,6 +244,18 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("-shards=", 0) == 0) {
       Opts.Shards =
           static_cast<unsigned>(std::strtoul(Arg.c_str() + 8, nullptr, 0));
+    } else if (Arg.rfind("-shard-mode=", 0) == 0) {
+      std::string Mode = Arg.substr(12);
+      if (Mode == "thread") {
+        Opts.Mode = ShardMode::Thread;
+      } else if (Mode == "process") {
+        Opts.Mode = ShardMode::Process;
+      } else {
+        std::fprintf(stderr, "error: unknown -shard-mode=%s "
+                             "(thread|process)\n",
+                     Mode.c_str());
+        return usage(argv[0]);
+      }
     } else if (Arg.rfind("-drain-timeout=", 0) == 0 ||
                Arg.rfind("--drain-timeout=", 0) == 0) {
       Opts.DrainTimeoutMillis = static_cast<unsigned>(
@@ -412,8 +431,12 @@ int main(int argc, char **argv) {
         // pipelining the same requests through the wire protocol.
         ServerOptions SO;
         SO.Shards = Opts.Shards ? Opts.Shards : 1;
+        SO.Mode = Opts.Mode;
         SO.DrainTimeoutMillis = Opts.DrainTimeoutMillis;
         SO.Pool = PO;
+        // Before any fork or socket write: SIGPIPE must be an errno and
+        // the SIGCHLD fan-out handler must predate the first shard child.
+        installServerSignalDefaults();
         SocketServer Server(M, SO);
         ServeInstance = &Server;
         std::signal(SIGTERM, onSigTerm);
