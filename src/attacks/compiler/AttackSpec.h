@@ -1,0 +1,146 @@
+//===- attacks/compiler/AttackSpec.h - High-level attack description -*- C++
+//-*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The attack compiler's source language (STEROIDS-style, see PAPERS.md):
+/// an AttackSpec names a corruption source region, a DOP computation (a
+/// chain of gadget operations the victim's own dispatcher must execute),
+/// and the write targets, without naming any address. The compiler
+/// (Synthesis.h + Lowering.h) synthesizes a vulnerable victim workload
+/// realizing the spec's shape, discovers the concrete data-oriented
+/// gadgets from a probe of the deployed binary's frame layout, and lowers
+/// the spec onto overflow payload records.
+///
+/// Every field of a spec is a pure function of (RootSeed, SpecIndex) — see
+/// SpecGen.h — which is what makes corpus cells replayable in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_ATTACKS_COMPILER_ATTACKSPEC_H
+#define SMOKESTACK_ATTACKS_COMPILER_ATTACKSPEC_H
+
+#include "attacks/Scenarios.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace smokestack {
+
+/// How the spec's corruption reaches its targets.
+enum class CorruptionMode {
+  Direct,          ///< Linear overflow sweep into the dispatcher's frame.
+  PointerIndirect, ///< Corrupt adjacent data pointers; the program's own
+                   ///< write-through lands the attacker values.
+};
+
+/// Shape of the synthesized DOP dispatcher loop (Direct mode).
+enum class DispatcherShape {
+  CountedLoop,  ///< Exits when the corruptible counter reaches Rounds.
+  SentinelLoop, ///< Exits when the corruptible opcode reads Halt; a
+                ///< counter backstop bounds benign/mis-landed runs.
+};
+
+/// One gadget dialect operation of the synthesized dispatcher. Values are
+/// the opcode encodings the dispatcher branches on.
+enum class GadgetOp : uint64_t {
+  Add = 0, ///< acc += step
+  Sub = 1, ///< acc -= step
+  Xor = 2, ///< acc ^= step
+};
+
+/// SentinelLoop's terminator opcode (not a gadget).
+inline constexpr uint64_t GadgetHaltOp = 3;
+
+/// Opcode that matches no dispatcher arm (benign no-op round).
+inline constexpr uint64_t GadgetNoOp = 7;
+
+/// One step of the spec's DOP computation.
+struct GadgetStep {
+  GadgetOp Op = GadgetOp::Add;
+  uint64_t Operand = 0;
+
+  uint64_t apply(uint64_t Acc) const {
+    switch (Op) {
+    case GadgetOp::Add:
+      return Acc + Operand;
+    case GadgetOp::Sub:
+      return Acc - Operand;
+    case GadgetOp::Xor:
+      return Acc ^ Operand;
+    }
+    return Acc;
+  }
+};
+
+const char *corruptionModeName(CorruptionMode Mode);
+const char *dispatcherShapeName(DispatcherShape Shape);
+
+/// A synthesized attack against a synthesized victim workload.
+struct AttackSpec {
+  /// Provenance: the corpus coordinates this spec replays from.
+  uint64_t RootSeed = 0;
+  uint32_t Index = 0;
+
+  CorruptionMode Mode = CorruptionMode::Direct;
+  /// Where the overflowed buffer lives (Direct mode is stack-only; the
+  /// sweep must cross frames).
+  BufferRegion Region = BufferRegion::Stack;
+  DispatcherShape Shape = DispatcherShape::CountedLoop;
+
+  /// Overflowed buffer size in bytes (multiple of 16 so data/heap cell
+  /// adjacency stays 8-aligned).
+  unsigned BufferBytes = 64;
+  /// Extra locals in the vulnerable frame / the dispatcher frame — the
+  /// permutation entropy the defense gets to work with.
+  unsigned VictimFillers = 2;
+  unsigned DriverFillers = 3;
+  /// Dispatcher iteration bound (CountedLoop exit; SentinelLoop backstop).
+  unsigned Rounds = 8;
+
+  /// The DOP computation (Direct mode): the victim's dispatcher must
+  /// execute exactly this gadget chain over InitialAcc.
+  std::vector<GadgetStep> Chain;
+  uint64_t InitialAcc = 0;
+
+  /// PointerIndirect mode: number of corrupted pointer cells, each
+  /// redirected at its own stack-resident target word.
+  unsigned TargetCells = 2;
+
+  /// Seeds every compile-time random choice of the deployed build.
+  uint64_t BuildSeed = 1;
+  /// Shuffles alloca declaration order in both synthesized frames.
+  uint64_t LayoutSalt = 0;
+
+  /// The value the dispatcher's gadget chain leaves in acc when the attack
+  /// lands (Direct mode success criterion).
+  uint64_t dopResult() const {
+    uint64_t Acc = InitialAcc;
+    for (const GadgetStep &Step : Chain)
+      Acc = Step.apply(Acc);
+    return Acc;
+  }
+
+  /// Value after the first \p Steps chain steps (payload intermediates).
+  uint64_t dopIntermediate(unsigned Steps) const {
+    uint64_t Acc = InitialAcc;
+    for (unsigned I = 0; I != Steps && I < Chain.size(); ++I)
+      Acc = Chain[I].apply(Acc);
+    return Acc;
+  }
+
+  /// The magic value the program writes through corrupted cell \p I
+  /// (PointerIndirect mode success criterion, per target).
+  uint64_t cellMagic(unsigned I) const;
+
+  /// FNV-1a over every field — the spec's identity. Distinctness of the
+  /// corpus is defined over fingerprints; the corpus digest mixes them.
+  uint64_t fingerprint() const;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_ATTACKS_COMPILER_ATTACKSPEC_H

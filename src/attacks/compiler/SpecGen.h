@@ -1,0 +1,39 @@
+//===- attacks/compiler/SpecGen.h - Seeded attack-spec generator -*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic enumeration of AttackSpecs. generateSpec(RootSeed, Index)
+/// is a pure function — no state is shared between indices — so any corpus
+/// cell replays bit-identically in isolation from its (RootSeed, SpecIndex)
+/// coordinates, and the corpus can be sliced, sharded, or spot-checked
+/// without re-running predecessors.
+///
+/// Stratification is by index arithmetic, not by coin flips: even indices
+/// are Direct, odd are PointerIndirect; within each family the dispatcher
+/// shape / buffer region cycles. A corpus of 2N specs therefore carries
+/// exactly N of each corruption family, and "hundreds of distinct specs
+/// per workload family" is a property of the enumeration, not luck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_ATTACKS_COMPILER_SPECGEN_H
+#define SMOKESTACK_ATTACKS_COMPILER_SPECGEN_H
+
+#include "attacks/compiler/AttackSpec.h"
+
+namespace smokestack {
+
+/// The spec at corpus coordinates (RootSeed, Index). The field draw order
+/// is the generator's wire format: changing it changes every committed
+/// corpus digest.
+AttackSpec generateSpec(uint64_t RootSeed, uint32_t Index);
+
+/// Specs 0..Count-1 under RootSeed.
+std::vector<AttackSpec> generateSpecs(uint64_t RootSeed, unsigned Count);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_ATTACKS_COMPILER_SPECGEN_H

@@ -1,0 +1,370 @@
+//===- attacks/compiler/Synthesis.cpp - Victim workload synthesis ----------===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/compiler/Synthesis.h"
+
+#include "ir/IRBuilder.h"
+#include "support/ErrorHandling.h"
+#include "support/SplitMix64.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace smokestack;
+
+namespace {
+
+/// Frame-salt tags: each synthesized frame draws its filler shapes and its
+/// declaration shuffle from LayoutSalt xor one of these, so the two frames
+/// of a spec (and the same frame across specs) lay out independently.
+constexpr uint64_t VulnFrameTag = 0x76756C6EULL;   // "vuln"
+constexpr uint64_t DriverFrameTag = 0x64727672ULL; // "drvr"
+
+/// One local of a synthesized frame, before emission.
+struct FrameLocal {
+  std::string Name;
+  unsigned Kind = 0;  ///< 0 = i64, 1 = i32, 2 = i8 array
+  unsigned Bytes = 8; ///< array payload when Kind == 2
+};
+
+FrameLocal word(std::string Name) { return {std::move(Name), 0, 8}; }
+
+/// Seeded filler locals named <Prefix>0..<Prefix>Count-1 with varied shapes
+/// — the permutation entropy the defense gets to work with.
+std::vector<FrameLocal> makeFillers(const char *Prefix, unsigned Count,
+                                    SplitMix64 &Rng) {
+  std::vector<FrameLocal> Fillers;
+  Fillers.reserve(Count);
+  for (unsigned I = 0; I != Count; ++I) {
+    FrameLocal L;
+    L.Name = Prefix + std::to_string(I);
+    L.Kind = unsigned(Rng.nextBounded(3));
+    L.Bytes = 8 + 8 * unsigned(Rng.nextBounded(3));
+    Fillers.push_back(std::move(L));
+  }
+  return Fillers;
+}
+
+/// Fisher-Yates on the declaration order.
+void shuffleLocals(std::vector<FrameLocal> &Locals, SplitMix64 &Rng) {
+  for (size_t I = Locals.size(); I > 1; --I)
+    std::swap(Locals[I - 1], Locals[Rng.nextBounded(I)]);
+}
+
+/// Emits the allocas in (shuffled) order. All of a frame's allocas must be
+/// emitted before any other instruction: StaticPermutationPass reinserts
+/// shuffled allocas into the original index slots, so an alloca trailing a
+/// store could be hoisted-past by its own initializer.
+std::map<std::string, AllocaInst *>
+emitAllocas(IRBuilder &B, const std::vector<FrameLocal> &Locals) {
+  std::map<std::string, AllocaInst *> Slots;
+  for (const FrameLocal &L : Locals) {
+    AllocaInst *A = nullptr;
+    switch (L.Kind) {
+    case 0:
+      A = B.alloca_(B.i64(), L.Name);
+      break;
+    case 1:
+      A = B.alloca_(B.i32(), L.Name);
+      break;
+    default:
+      A = B.alloca_(B.getContext().getArrayTy(B.i8(), L.Bytes), L.Name);
+      break;
+    }
+    Slots[L.Name] = A;
+  }
+  return Slots;
+}
+
+/// Zero-initializes the emitted locals — the benign program reads nothing
+/// uninitialized.
+void initLocals(IRBuilder &B, const std::map<std::string, AllocaInst *> &Slots,
+                const std::vector<FrameLocal> &Locals) {
+  for (const FrameLocal &L : Locals) {
+    AllocaInst *A = Slots.at(L.Name);
+    switch (L.Kind) {
+    case 0:
+      B.store(B.constI64(0), A);
+      break;
+    case 1:
+      B.store(B.constI32(0), A);
+      break;
+    default:
+      B.store(B.constI8(0), A);
+      break;
+    }
+  }
+}
+
+std::string cellName(unsigned I) { return "cell" + std::to_string(I); }
+std::string tgtName(unsigned I) { return "tgt" + std::to_string(I); }
+
+//===----------------------------------------------------------------------===//
+// Direct mode: overflow sweeps from vuln's buff into driver's dispatcher
+//===----------------------------------------------------------------------===//
+
+/// vuln(): salted fillers, then the overflowable buffer as the lowest
+/// local. One get_input call per invocation — each dispatcher round hands
+/// the attacker one overflow record.
+void buildOverflowCallee(Module &M, const AttackSpec &Spec) {
+  IRBuilder B(M);
+  Function *GetInput =
+      M.getOrInsertDeclaration("get_input", B.i64(), {B.ptr()});
+  Function *Vuln = M.createFunction("vuln", B.voidTy(), {});
+  B.setInsertPoint(Vuln->createBlock("entry"));
+
+  SplitMix64 Rng(Spec.LayoutSalt ^ VulnFrameTag);
+  std::vector<FrameLocal> Locals =
+      makeFillers("vf", Spec.VictimFillers, Rng);
+  if (Spec.Mode == CorruptionMode::PointerIndirect) {
+    Locals.push_back(word("scratch"));
+    for (unsigned I = 0; I != Spec.TargetCells; ++I)
+      Locals.push_back(word(cellName(I)));
+  }
+  shuffleLocals(Locals, Rng);
+  auto Slots = emitAllocas(B, Locals);
+  // The vulnerable pattern: the buffer is declared last, below everything
+  // the overflow is meant to reach.
+  AllocaInst *Buff =
+      B.alloca_(B.getContext().getArrayTy(B.i8(), Spec.BufferBytes), "buff");
+  initLocals(B, Slots, Locals);
+  B.store(B.constI8(0), Buff);
+
+  if (Spec.Mode == CorruptionMode::PointerIndirect) {
+    Value *ScratchAddr =
+        B.cast_(CastInst::CastOp::PtrToInt, B.i64(), Slots.at("scratch"));
+    for (unsigned I = 0; I != Spec.TargetCells; ++I)
+      B.store(ScratchAddr, Slots.at(cellName(I)));
+  }
+
+  B.call(GetInput, {Buff});
+
+  if (Spec.Mode == CorruptionMode::PointerIndirect) {
+    // The program's own write-throughs: whoever the cells point at
+    // receives that cell's magic constant.
+    for (unsigned I = 0; I != Spec.TargetCells; ++I) {
+      Value *P = B.cast_(CastInst::CastOp::IntToPtr, B.ptr(),
+                         B.load(B.i64(), Slots.at(cellName(I))));
+      B.store(B.constI64(Spec.cellMagic(I)), P);
+    }
+  }
+  B.ret();
+}
+
+/// driver() for Direct mode: the gadget dispatcher of the paper's Listing
+/// 1, generalized. Loop state (ctr/op/step/acc) lives shuffled among
+/// fillers; the gadget dialect is add/sub/xor selected by the corruptible
+/// opcode; the loop exit is the spec's dispatcher shape.
+void buildDispatcherDriver(Module &M, const AttackSpec &Spec) {
+  IRBuilder B(M);
+  Function *Vuln = M.getFunction("vuln");
+  Function *Driver = M.createFunction("driver", B.i64(), {});
+
+  BasicBlock *Entry = Driver->createBlock("entry");
+  BasicBlock *Loop = Driver->createBlock("loop");
+  BasicBlock *Body = Driver->createBlock("body");
+  BasicBlock *Disp =
+      Spec.Shape == DispatcherShape::SentinelLoop
+          ? Driver->createBlock("disp")
+          : nullptr;
+  BasicBlock *Chk1 = Driver->createBlock("chk1");
+  BasicBlock *Chk2 = Driver->createBlock("chk2");
+  BasicBlock *GAdd = Driver->createBlock("g_add");
+  BasicBlock *GSub = Driver->createBlock("g_sub");
+  BasicBlock *GXor = Driver->createBlock("g_xor");
+  BasicBlock *Latch = Driver->createBlock("latch");
+  BasicBlock *Exit = Driver->createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  SplitMix64 Rng(Spec.LayoutSalt ^ DriverFrameTag);
+  std::vector<FrameLocal> Locals =
+      makeFillers("df", Spec.DriverFillers, Rng);
+  Locals.push_back(word("ctr"));
+  Locals.push_back(word("op"));
+  Locals.push_back(word("step"));
+  Locals.push_back(word("acc"));
+  shuffleLocals(Locals, Rng);
+  auto Slots = emitAllocas(B, Locals);
+  initLocals(B, Slots, Locals);
+  AllocaInst *Ctr = Slots.at("ctr");
+  AllocaInst *Op = Slots.at("op");
+  AllocaInst *Step = Slots.at("step");
+  AllocaInst *Acc = Slots.at("acc");
+  // Benign opcode: a no-op round for the counted shape, immediate halt for
+  // the sentinel shape. The benign accumulator is masked away from
+  // InitialAcc so a benign run cannot alias the attack's success value.
+  uint64_t BenignOp = Spec.Shape == DispatcherShape::SentinelLoop
+                          ? GadgetHaltOp
+                          : GadgetNoOp;
+  B.store(B.constI64(BenignOp), Op);
+  B.store(B.constI64(1), Step);
+  B.store(B.constI64(Spec.InitialAcc ^ 0xA5A5A5A5A5A5A5A5ULL), Acc);
+  B.br(Loop);
+
+  B.setInsertPoint(Loop);
+  B.condBr(B.icmp(ICmpInst::Predicate::SLT, B.load(B.i64(), Ctr),
+                  B.constI64(Spec.Rounds)),
+           Body, Exit);
+
+  B.setInsertPoint(Body);
+  B.call(Vuln, {});
+  Value *OpV = B.load(B.i64(), Op);
+  if (Spec.Shape == DispatcherShape::SentinelLoop) {
+    B.condBr(B.icmp(ICmpInst::Predicate::EQ, OpV, B.constI64(GadgetHaltOp)),
+             Exit, Disp);
+    B.setInsertPoint(Disp);
+    OpV = B.load(B.i64(), Op);
+  }
+  B.condBr(B.icmp(ICmpInst::Predicate::EQ, OpV,
+                  B.constI64(uint64_t(GadgetOp::Add))),
+           GAdd, Chk1);
+  B.setInsertPoint(Chk1);
+  B.condBr(B.icmp(ICmpInst::Predicate::EQ, OpV,
+                  B.constI64(uint64_t(GadgetOp::Sub))),
+           GSub, Chk2);
+  B.setInsertPoint(Chk2);
+  B.condBr(B.icmp(ICmpInst::Predicate::EQ, OpV,
+                  B.constI64(uint64_t(GadgetOp::Xor))),
+           GXor, Latch);
+
+  B.setInsertPoint(GAdd);
+  B.store(B.add(B.load(B.i64(), Acc), B.load(B.i64(), Step)), Acc);
+  B.br(Latch);
+  B.setInsertPoint(GSub);
+  B.store(B.sub(B.load(B.i64(), Acc), B.load(B.i64(), Step)), Acc);
+  B.br(Latch);
+  B.setInsertPoint(GXor);
+  B.store(B.xor_(B.load(B.i64(), Acc), B.load(B.i64(), Step)), Acc);
+  B.br(Latch);
+
+  B.setInsertPoint(Latch);
+  B.store(B.add(B.load(B.i64(), Ctr), B.constI64(1)), Ctr);
+  B.br(Loop);
+
+  B.setInsertPoint(Exit);
+  B.ret(B.load(B.i64(), Acc));
+}
+
+//===----------------------------------------------------------------------===//
+// PointerIndirect mode: the program's write-throughs land the values
+//===----------------------------------------------------------------------===//
+
+/// driver() for PointerIndirect: holds the target words the spec's writes
+/// must reach, calls the region-specific corruption body, then checks every
+/// target received its magic.
+void buildTargetCheckDriver(Module &M, const AttackSpec &Spec) {
+  IRBuilder B(M);
+  Function *Driver = M.createFunction("driver", B.i64(), {});
+  B.setInsertPoint(Driver->createBlock("entry"));
+
+  SplitMix64 Rng(Spec.LayoutSalt ^ DriverFrameTag);
+  // Non-stack regions have no vuln frame; its filler budget moves here so
+  // every spec carries its full permutation entropy.
+  unsigned FillerCount = Spec.Region == BufferRegion::Stack
+                             ? Spec.DriverFillers
+                             : Spec.DriverFillers + Spec.VictimFillers;
+  std::vector<FrameLocal> Locals = makeFillers("df", FillerCount, Rng);
+  for (unsigned I = 0; I != Spec.TargetCells; ++I)
+    Locals.push_back(word(tgtName(I)));
+  if (Spec.Region == BufferRegion::Heap)
+    Locals.push_back(word("hscratch"));
+  shuffleLocals(Locals, Rng);
+  auto Slots = emitAllocas(B, Locals);
+  initLocals(B, Slots, Locals);
+
+  Function *GetInput =
+      M.getOrInsertDeclaration("get_input", B.i64(), {B.ptr()});
+  switch (Spec.Region) {
+  case BufferRegion::Stack:
+    B.call(M.getFunction("vuln"), {});
+    break;
+  case BufferRegion::Global: {
+    GlobalVariable *GBuf = M.getGlobal("g_buf");
+    GlobalVariable *GScratch = M.getGlobal("g_scratch");
+    Value *ScratchAddr =
+        B.cast_(CastInst::CastOp::PtrToInt, B.i64(), GScratch);
+    for (unsigned I = 0; I != Spec.TargetCells; ++I)
+      B.store(ScratchAddr, M.getGlobal("g_" + cellName(I)));
+    B.call(GetInput, {GBuf});
+    for (unsigned I = 0; I != Spec.TargetCells; ++I) {
+      Value *P =
+          B.cast_(CastInst::CastOp::IntToPtr, B.ptr(),
+                  B.load(B.i64(), M.getGlobal("g_" + cellName(I))));
+      B.store(B.constI64(Spec.cellMagic(I)), P);
+    }
+    break;
+  }
+  case BufferRegion::Heap: {
+    Function *Malloc =
+        M.getOrInsertDeclaration("malloc", B.ptr(), {B.i64()});
+    // Bump-adjacent allocations: the cells sit at BufferBytes + 8*i from
+    // the buffer, the layout the lowering relies on.
+    Value *HBuf = B.call(Malloc, {B.constI64(Spec.BufferBytes)}, "hbuf");
+    Value *HCells =
+        B.call(Malloc, {B.constI64(8 * uint64_t(Spec.TargetCells))},
+               "hcells");
+    Value *ScratchAddr =
+        B.cast_(CastInst::CastOp::PtrToInt, B.i64(), Slots.at("hscratch"));
+    for (unsigned I = 0; I != Spec.TargetCells; ++I) {
+      Value *CellPtr = I ? B.gepConst(HCells, 8 * int64_t(I)) : HCells;
+      B.store(ScratchAddr, CellPtr);
+    }
+    B.call(GetInput, {HBuf});
+    for (unsigned I = 0; I != Spec.TargetCells; ++I) {
+      Value *CellPtr = I ? B.gepConst(HCells, 8 * int64_t(I)) : HCells;
+      Value *P = B.cast_(CastInst::CastOp::IntToPtr, B.ptr(),
+                         B.load(B.i64(), CellPtr));
+      B.store(B.constI64(Spec.cellMagic(I)), P);
+    }
+    break;
+  }
+  }
+
+  // The privilege escalation counts only if every target word was hit.
+  Value *All = nullptr;
+  for (unsigned I = 0; I != Spec.TargetCells; ++I) {
+    Value *Hit =
+        B.icmp(ICmpInst::Predicate::EQ, B.load(B.i64(), Slots.at(tgtName(I))),
+               B.constI64(Spec.cellMagic(I)));
+    All = All ? B.and_(All, Hit) : Hit;
+  }
+  B.ret(B.zext(B.i64(), All));
+}
+
+void declareGlobalRegion(Module &M, const AttackSpec &Spec) {
+  IRBuilder B(M);
+  // Declaration order fixes the data-segment adjacency the attack needs:
+  // cells directly after the buffer.
+  M.createGlobal("g_buf", B.getContext().getArrayTy(B.i8(), Spec.BufferBytes));
+  for (unsigned I = 0; I != Spec.TargetCells; ++I)
+    M.createGlobal("g_" + cellName(I), B.i64());
+  M.createGlobal("g_scratch", B.i64());
+}
+
+} // namespace
+
+void smokestack::synthesizeVictim(Module &M, const AttackSpec &Spec) {
+  if (Spec.Mode == CorruptionMode::Direct) {
+    if (Spec.Region != BufferRegion::Stack)
+      smokestack_unreachable("direct corruption is a stack-sweep attack");
+    buildOverflowCallee(M, Spec);
+    buildDispatcherDriver(M, Spec);
+    return;
+  }
+  switch (Spec.Region) {
+  case BufferRegion::Stack:
+    buildOverflowCallee(M, Spec);
+    break;
+  case BufferRegion::Global:
+    declareGlobalRegion(M, Spec);
+    break;
+  case BufferRegion::Heap:
+    break;
+  }
+  buildTargetCheckDriver(M, Spec);
+}

@@ -1,0 +1,43 @@
+//===- attacks/compiler/Synthesis.h - Victim workload synthesis -*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an AttackSpec's *victim side* to Mini-IR: a vulnerable workload
+/// program whose shape (buffer region, frame population, dispatcher loop,
+/// gadget dialect) realizes the spec. The attacker side is lowered by
+/// Lowering.h against a probe of the deployed binary.
+///
+/// Local names are the compiler's symbol contract with the lowering:
+///
+///   "buff"              the overflowed buffer (always the lowest local of
+///                       its frame, the classic vulnerable pattern)
+///   "ctr"/"op"/"step"/"acc"  the dispatcher's corruptible state (Direct)
+///   "cell<i>"           corruptible data pointers (PointerIndirect)
+///   "tgt<i>"            the stack words the spec's writes must reach
+///
+/// Everything else (filler locals, declaration order) is salted by
+/// Spec.LayoutSalt so every spec presents a different frame to the
+/// defense's permutation machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_ATTACKS_COMPILER_SYNTHESIS_H
+#define SMOKESTACK_ATTACKS_COMPILER_SYNTHESIS_H
+
+#include "attacks/compiler/AttackSpec.h"
+#include "ir/Module.h"
+
+namespace smokestack {
+
+/// Builds the victim workload realizing \p Spec into \p M. Defines the
+/// entry function "driver" and, for stack-buffer specs, the vulnerable
+/// callee "vuln". The module is self-contained and benign when run without
+/// attacker input records.
+void synthesizeVictim(Module &M, const AttackSpec &Spec);
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_ATTACKS_COMPILER_SYNTHESIS_H

@@ -79,10 +79,21 @@ bool StackCanaryPass::runOnModule(Module &M) {
     M.createGlobal(CanaryGuardName, M.getContext().getInt64Ty(),
                    std::move(Init));
   }
-  bool Changed = false;
+  // Insert the trap declaration up front: instrumentFunction's
+  // getOrInsertDeclaration would otherwise append to the function list
+  // mid-iteration and invalidate the iterators (which bit real modules
+  // whose instrumented functions precede their declarations).
+  {
+    IRBuilder B(M);
+    M.getOrInsertDeclaration("smokestack.trap", B.voidTy(), {B.i64()});
+  }
+  std::vector<Function *> Defined;
   for (const auto &F : M)
     if (!F->isDeclaration())
-      Changed |= instrumentFunction(*F, M);
+      Defined.push_back(F.get());
+  bool Changed = false;
+  for (Function *F : Defined)
+    Changed |= instrumentFunction(*F, M);
   return Changed;
 }
 

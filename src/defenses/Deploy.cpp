@@ -31,6 +31,26 @@ const char *smokestack::defenseKindName(DefenseKind Kind) {
   smokestack_unreachable("unknown defense kind");
 }
 
+std::span<const DefenseKind> smokestack::allDefenseKinds() {
+  static constexpr DefenseKind Kinds[] = {
+      DefenseKind::None,
+      DefenseKind::StackBaseRandomization,
+      DefenseKind::EntryPadding,
+      DefenseKind::StaticPermutation,
+      DefenseKind::StackCanary,
+      DefenseKind::Smokestack,
+  };
+  return Kinds;
+}
+
+std::optional<DefenseKind>
+smokestack::defenseKindFromName(std::string_view Name) {
+  for (DefenseKind Kind : allDefenseKinds())
+    if (Name == defenseKindName(Kind))
+      return Kind;
+  return std::nullopt;
+}
+
 DeployedDefense smokestack::deployDefense(Module &M, DefenseKind Kind,
                                           uint64_t BuildSeed) {
   DeployedDefense Result;

@@ -18,6 +18,9 @@
 #include "vm/Interpreter.h"
 
 #include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
 
 namespace smokestack {
 
@@ -33,6 +36,15 @@ enum class DefenseKind {
 
 /// Printable name ("none", "aslr", "entry-pad", ...).
 const char *defenseKindName(DefenseKind Kind);
+
+/// Every DefenseKind in the order the security matrices iterate them
+/// (None first, Smokestack last). The attack-corpus digest is defined over
+/// this order, so it is part of the corpus wire format.
+std::span<const DefenseKind> allDefenseKinds();
+
+/// Parses the defenseKindName() spelling back to the kind; nullopt for an
+/// unknown name. Used by the bench tools' -defense= flags.
+std::optional<DefenseKind> defenseKindFromName(std::string_view Name);
 
 /// Everything needed to run a module under a deployed defense.
 struct DeployedDefense {

@@ -1,0 +1,39 @@
+//===- support/Fnv.h - FNV-1a digest over 64-bit words ---------*- C++ -*-===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repo's canonical determinism digest: FNV-1a folded byte-by-byte over
+/// little-endian 64-bit words. The soak harness, the attack corpus, and the
+/// spec generator all use this exact formulation, so their digests are
+/// comparable across builds and platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMOKESTACK_SUPPORT_FNV_H
+#define SMOKESTACK_SUPPORT_FNV_H
+
+#include <cstdint>
+
+namespace smokestack {
+
+class Fnv64 {
+public:
+  void mix(uint64_t Value) {
+    for (unsigned I = 0; I != 8; ++I) {
+      Hash ^= (Value >> (8 * I)) & 0xff;
+      Hash *= 1099511628211ULL;
+    }
+  }
+
+  uint64_t value() const { return Hash; }
+
+private:
+  uint64_t Hash = 14695981039346656037ULL;
+};
+
+} // namespace smokestack
+
+#endif // SMOKESTACK_SUPPORT_FNV_H

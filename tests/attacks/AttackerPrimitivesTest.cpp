@@ -1,0 +1,118 @@
+//===- tests/attacks/AttackerPrimitivesTest.cpp - Primitive edge cases ---===//
+//
+// Part of the Smokestack reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boundary behavior of the attacker's building blocks: Payload byte-poking
+/// at zero lengths and overlapping ranges (the lowering stacks many pokes
+/// into one record, so last-writer-wins and auto-extension are load-bearing),
+/// and predictPseudoDraw's limits against sources whose state is not in
+/// attacker-readable memory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "attacks/Attacker.h"
+
+#include "rng/AesCtr.h"
+#include "rng/Pseudo.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace smokestack;
+
+TEST(AttackerPrimitivesTest, ZeroLengthPayloadStartsEmpty) {
+  Payload P(0);
+  EXPECT_EQ(P.size(), 0u);
+  EXPECT_TRUE(P.bytes().empty());
+  // A poke into an empty payload grows exactly the swept range.
+  P.pokeInt(0, 0x11, /*Width=*/1);
+  EXPECT_EQ(P.size(), 1u);
+  EXPECT_EQ(P.bytes()[0], 0x11);
+}
+
+TEST(AttackerPrimitivesTest, ZeroSizePokeStillExtendsTheSweep) {
+  // A zero-byte poke carries no data but still declares how far the
+  // record overflows: the payload grows to the offset, filled with 'A'.
+  Payload P(2, 0xCC);
+  uint8_t Dummy = 0;
+  P.pokeBytes(6, &Dummy, 0);
+  EXPECT_EQ(P.size(), 6u);
+  EXPECT_EQ(P.bytes()[2], 'A') << "extension uses the overflow filler";
+  EXPECT_EQ(P.bytes()[5], 'A');
+  // Inside the existing range it is a no-op.
+  P.pokeBytes(1, &Dummy, 0);
+  EXPECT_EQ(P.size(), 6u);
+  EXPECT_EQ(P.bytes()[1], 0xCC);
+}
+
+TEST(AttackerPrimitivesTest, OverlappingPokesLastWriterWins) {
+  Payload P(16);
+  P.pokeInt(0, 0x1111111111111111ULL);
+  P.pokeInt(4, 0x2222222222222222ULL); // overlaps bytes 4..7
+  EXPECT_EQ(P.bytes()[3], 0x11);
+  EXPECT_EQ(P.bytes()[4], 0x22) << "second poke overwrites the overlap";
+  EXPECT_EQ(P.bytes()[11], 0x22);
+  P.pokeInt(4, 0x33, /*Width=*/1); // narrow re-poke inside the wide one
+  EXPECT_EQ(P.bytes()[4], 0x33);
+  EXPECT_EQ(P.bytes()[5], 0x22) << "narrow poke leaves neighbors intact";
+  EXPECT_EQ(P.size(), 16u) << "in-range pokes never shrink or grow";
+}
+
+TEST(AttackerPrimitivesTest, ExtensionFillerIsOverflowFiller) {
+  // Auto-extension must pad with the sweep filler 'A', not the payload's
+  // construction filler: the planted bytes between old end and new target
+  // are part of the linear overflow, exactly what the victim's sweep
+  // writes anyway.
+  Payload P(2, 0xEE);
+  P.pokeInt(8, 0xAB, /*Width=*/1);
+  EXPECT_EQ(P.size(), 9u);
+  EXPECT_EQ(P.bytes()[0], 0xEE);
+  EXPECT_EQ(P.bytes()[2], 'A');
+  EXPECT_EQ(P.bytes()[7], 'A');
+  EXPECT_EQ(P.bytes()[8], 0xAB);
+}
+
+TEST(AttackerPrimitivesTest, PredictionTracksOnlyMatchingPseudoState) {
+  // Control: with the victim's actual state, prediction is exact.
+  DeterministicEntropySource Entropy(5);
+  PseudoRandomSource Victim(Entropy);
+  uint8_t Stolen[16];
+  std::memcpy(Stolen, Victim.disclosableState().data(), 16);
+  EXPECT_EQ(predictPseudoDraw(Stolen, 1), Victim.next());
+
+  // A stale snapshot (victim re-seeded after the disclosure) mispredicts:
+  // state compromise does not survive a reseed.
+  DeterministicEntropySource Fresh(6);
+  PseudoRandomSource Reseeded(Fresh);
+  EXPECT_NE(predictPseudoDraw(Stolen, 1), Reseeded.next());
+}
+
+TEST(AttackerPrimitivesTest, AesCtrExposesNoDisclosableState) {
+  // The AES-CTR scheme keeps key schedule and counter out of data memory
+  // (registers, per the threat model), so the disclosure primitive that
+  // powers predictPseudoDraw has nothing to read — this emptiness is the
+  // security argument for `aes10` and it must never regress.
+  DeterministicEntropySource Entropy(5);
+  AesCtrRandomSource Src(Entropy, 10);
+  (void)Src.next();
+  EXPECT_TRUE(Src.disclosableState().empty());
+  EXPECT_TRUE(Src.mutableDisclosableState().empty());
+  EXPECT_TRUE(Src.bufferedState().empty())
+      << "unbuffered draws leave no undrawn words in memory";
+}
+
+TEST(AttackerPrimitivesTest, StateCorruptionStillTracksPseudo) {
+  // The flip side of disclosure: the attacker *writes* the pseudo state
+  // and then predicts the forced stream — pseudo is fully hijackable.
+  DeterministicEntropySource Entropy(5);
+  PseudoRandomSource Victim(Entropy);
+  uint8_t Forced[16];
+  for (int I = 0; I != 16; ++I)
+    Forced[I] = static_cast<uint8_t>(0xB0 + I);
+  std::memcpy(Victim.mutableDisclosableState().data(), Forced, 16);
+  EXPECT_EQ(predictPseudoDraw(Forced, 1), Victim.next());
+  EXPECT_EQ(predictPseudoDraw(Forced, 2), Victim.next());
+}

@@ -37,6 +37,13 @@ Supported bench kinds (selected by the "bench"/"benchmark" key):
                     min_jit_speedup_vs_decoded ratio, and its >= 2x floor;
                     a candidate with jit_available false (non-x86-64
                     runner) passes with a note
+  attack_corpus     gates the defeat-rate invariants of the DOP attack
+                    corpus (smokestack must defeat >= 99% of attacks and
+                    strictly beat every baseline defense; undefended
+                    attacks must land >= 95%), spec distinctness, the
+                    in-process rerun verdict, and the exact corpus digest
+                    when the (seed, specs, budget) parameters match the
+                    baseline
 
 Only the Python standard library is used.
 
@@ -274,6 +281,91 @@ def check_interp_jit(base, cand, max_drop_pct):
     return rc
 
 
+def check_attack_corpus(base, cand, max_drop_pct):
+    del max_drop_pct  # rate floors are absolute, not baseline-relative
+    rc = 0
+
+    # The committed baseline is required to be a real corpus: at least 200
+    # distinct specs. A shrunken baseline would quietly weaken every gate
+    # below, so it is an error in its own right.
+    base_specs = require(base, "specs", "baseline")
+    if not isinstance(base_specs, int) or base_specs < 200:
+        rc |= fail(f"baseline specs {base_specs!r} is below the 200-spec "
+                   "floor for a committed corpus")
+
+    # Determinism verdicts computed in-process by the corpus driver.
+    if require(cand, "rerun_checked", "candidate") is True:
+        if require(cand, "rerun_bit_identical", "candidate") is not True:
+            rc |= fail("candidate rerun was not bit-identical "
+                       "(determinism break)")
+        else:
+            rc |= ok("candidate rerun bit-identical")
+    else:
+        rc |= ok("candidate skipped the rerun check (-no-rerun)")
+    cand_specs = require(cand, "specs", "candidate")
+    distinct = require(cand, "distinct_specs", "candidate")
+    if distinct != cand_specs:
+        rc |= fail(f"candidate enumerated {distinct} distinct specs of "
+                   f"{cand_specs} (generator collision)")
+    else:
+        rc |= ok(f"candidate specs all distinct ({distinct})")
+
+    # Defeat-rate policy. The table is keyed by defense name so a renamed
+    # or missing column is an explicit gate error.
+    rates = {}
+    for entry in require(cand, "defenses", "candidate"):
+        name = require(entry, "defense", "candidate defense entry")
+        rates[name] = require(entry, "defeat_rate",
+                              f"candidate defense {name}")
+        if require(entry, "attacks", f"candidate defense {name}") \
+                != cand_specs:
+            rc |= fail(f"{name}: ran {entry['attacks']} attacks, "
+                       f"expected {cand_specs}")
+    for needed in ("none", "smokestack"):
+        if needed not in rates:
+            raise GateError(f"candidate: no defeat-rate entry for {needed!r}")
+    if rates["none"] > 0.05:
+        rc |= fail(f"undefended defeat rate {rates['none']:.4f} exceeds "
+                   "0.05 — the compiled attacks themselves are broken")
+    else:
+        rc |= ok(f"undefended defeat rate {rates['none']:.4f} <= 0.05 "
+                 f"(attacks land {100 * (1 - rates['none']):.1f}%)")
+    if rates["smokestack"] < 0.99:
+        rc |= fail(f"smokestack defeat rate {rates['smokestack']:.4f} is "
+                   "below the 0.99 floor")
+    else:
+        rc |= ok(f"smokestack defeat rate {rates['smokestack']:.4f} "
+                 ">= 0.99")
+    for name, rate in rates.items():
+        if name == "smokestack":
+            continue
+        if rates["smokestack"] <= rate:
+            rc |= fail(f"smokestack defeat rate {rates['smokestack']:.4f} "
+                       f"does not strictly beat {name} ({rate:.4f})")
+        else:
+            rc |= ok(f"smokestack strictly beats {name} "
+                     f"({rates['smokestack']:.4f} > {rate:.4f})")
+
+    # Bit-exact digest comparison when the corpus coordinates match. The
+    # digest folds every spec fingerprint and every cell outcome, so any
+    # mismatch is a real behavior change in the generator, the lowering,
+    # the VM, or a defense — never noise.
+    if same_params(base, cand, ["root_seed", "specs", "budget"]):
+        base_digest = require(base, "digest", "baseline")
+        cand_digest = require(cand, "digest", "candidate")
+        if base_digest != cand_digest:
+            rc |= fail(f"corpus digest {cand_digest} != baseline "
+                       f"{base_digest} for identical parameters "
+                       "(determinism break)")
+        else:
+            rc |= ok(f"corpus digest matches baseline exactly "
+                     f"({base_digest})")
+    else:
+        rc |= ok("digest not compared (corpus parameters differ from "
+                 "baseline)")
+    return rc
+
+
 def check_request_reset(base, cand, max_drop_pct):
     return check_drop(
         "restore_speedup_vs_rebuild",
@@ -316,6 +408,7 @@ def main():
         "interp_throughput": check_interp,
         "interp_jit": check_interp_jit,
         "request_reset": check_request_reset,
+        "attack_corpus": check_attack_corpus,
     }
     if kind not in checks:
         return fail(f"unknown bench kind {kind!r}")
